@@ -1,0 +1,75 @@
+"""Ablation (Secs. 4.3/4.5): call-by-need vs call-by-value evaluation of
+the derivative.
+
+The specialized derivative never *uses* its base argument
+``merge xs ys``, but only laziness stops it from being *computed*: "to
+achieve good performance our current implementation requires some form of
+dead code elimination, such as laziness".  Under the strict evaluator the
+dead base argument is evaluated every step, dragging the 'incremental'
+program back to O(n).
+"""
+
+from benchmarks.conftest import time_best_of
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, oplus_value
+from repro.data.group import BAG_GROUP
+from repro.derive.derive import derive_program
+from repro.mapreduce.skeleton import grand_total_term
+from repro.semantics.eval import apply_value, evaluate
+
+SIZE = 30_000
+
+_STATE = {}
+
+
+def prepared(registry):
+    if not _STATE:
+        term = grand_total_term(registry)
+        derived = derive_program(term, registry)
+        _STATE["lazy"] = evaluate(derived, strict=False)
+        _STATE["strict"] = evaluate(derived, strict=True)
+        _STATE["xs"] = Bag.from_iterable(range(SIZE))
+        _STATE["ys"] = Bag.from_iterable(range(SIZE, 2 * SIZE))
+    return _STATE
+
+
+def changes():
+    return (
+        GroupChange(BAG_GROUP, Bag.of(1)),
+        GroupChange(BAG_GROUP, Bag.of(2)),
+    )
+
+
+def run(state, mode):
+    dxs, dys = changes()
+    return apply_value(
+        state[mode], state["xs"], dxs, state["ys"], dys
+    )
+
+
+def test_lazy_derivative(benchmark, registry):
+    state = prepared(registry)
+    benchmark.extra_info["variant"] = "call-by-need"
+    result = benchmark(run, state, "lazy")
+    assert oplus_value(0, result) == 3
+
+
+def test_strict_derivative(benchmark, registry):
+    state = prepared(registry)
+    benchmark.extra_info["variant"] = "call-by-value"
+    result = benchmark(run, state, "strict")
+    assert oplus_value(0, result) == 3
+
+
+def test_laziness_shape(benchmark, registry):
+    state = prepared(registry)
+    lazy_time = time_best_of(lambda: run(state, "lazy"))
+    strict_time = time_best_of(lambda: run(state, "strict"), repeats=1)
+    print(
+        f"\nlaziness ablation at n={SIZE}: "
+        f"lazy {lazy_time:.6f}s vs strict {strict_time:.4f}s "
+        f"({strict_time / lazy_time:,.0f}x)"
+    )
+    # Strict evaluation forces the dead O(n) base argument.
+    assert strict_time > lazy_time * 20
+    benchmark(run, state, "lazy")

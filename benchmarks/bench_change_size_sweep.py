@@ -1,0 +1,71 @@
+"""The other axis of the complexity claim: cost vs *change* size.
+
+Fig. 7 sweeps the input size at constant change size; Sec. 1 claims the
+derivative's complexity "only depends on the size of dxs and dys."  This
+bench sweeps the change size at constant input size: incremental cost
+should grow (roughly linearly) with |change| while recomputation stays
+flat -- the mirror image of Fig. 7, and the crossover tells users when
+recomputation is cheaper (changes comparable to the input itself).
+"""
+
+import pytest
+
+from benchmarks.conftest import time_best_of
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.incremental.engine import incrementalize
+from repro.mapreduce.skeleton import grand_total_term
+from repro.plugins.registry import standard_registry
+
+INPUT_SIZE = 50_000
+CHANGE_SIZES = (1, 100, 10_000)
+
+_STATE = {}
+
+
+def prepared():
+    if not _STATE:
+        registry = standard_registry()
+        program = incrementalize(grand_total_term(registry), registry)
+        program.initialize(
+            Bag.from_iterable(range(INPUT_SIZE)),
+            Bag.from_iterable(range(INPUT_SIZE, 2 * INPUT_SIZE)),
+        )
+        _STATE["program"] = program
+    return _STATE["program"]
+
+
+def change_of_size(size: int) -> GroupChange:
+    return GroupChange(BAG_GROUP, Bag.from_iterable(range(-size, 0)))
+
+
+@pytest.mark.parametrize("change_size", CHANGE_SIZES)
+def test_step_vs_change_size(benchmark, change_size):
+    program = prepared()
+    change = change_of_size(change_size)
+    nil = GroupChange(BAG_GROUP, Bag.empty())
+    benchmark.extra_info["change_size"] = change_size
+    benchmark(program.step, change, nil)
+
+
+def test_change_size_shape(benchmark):
+    program = prepared()
+    nil = GroupChange(BAG_GROUP, Bag.empty())
+    times = []
+    for change_size in CHANGE_SIZES:
+        change = change_of_size(change_size)
+        times.append(
+            (change_size, time_best_of(lambda: program.step(change, nil)))
+        )
+    recompute = time_best_of(program.recompute, repeats=1)
+    print(f"\ncost vs |change| at n={INPUT_SIZE}:")
+    for change_size, step_time in times:
+        print(f"  |d|={change_size:>6}: {step_time:.6f}s")
+    print(f"  recompute: {recompute:.4f}s")
+    # Incremental cost grows with the change (O(|change|))...
+    assert times[-1][1] > times[0][1] * 10
+    # ...but a 10k-element change against a 100k-element input is still
+    # far cheaper than recomputation.
+    assert times[-1][1] < recompute
+    benchmark(program.step, change_of_size(1), nil)

@@ -1,0 +1,72 @@
+"""The Sec. 4.5 lesson: "incrementalization increases code size
+significantly".
+
+Measures AST sizes of source programs vs their derivatives (generic and
+specialized, before and after optimization) across the example corpus,
+and benchmarks the Derive transformation itself.
+"""
+
+import pytest
+
+from repro.derive.derive import derive_program
+from repro.lang.parser import parse
+from repro.lang.traversal import term_size
+from repro.mapreduce.skeleton import histogram_term
+from repro.optimize.pipeline import optimize
+
+CORPUS = [
+    ("grand_total", r"\xs ys -> foldBag gplus id (merge xs ys)"),
+    ("map_inc", r"\xs -> mapBag (\e -> add e 1) xs"),
+    ("polynomial", r"\x y -> add (mul x x) (mul 2 (mul x y))"),
+    ("conditional", r"\x -> ifThenElse (ltInt x 0) (negateInt x) x"),
+    ("pipeline", r"\xs -> foldBag gplus id (filterBag (\e -> ltInt 0 e) (mapBag (\e -> mul e e) xs))"),
+]
+
+
+def corpus_terms(registry):
+    terms = [(name, parse(source, registry)) for name, source in CORPUS]
+    terms.append(("histogram", histogram_term(registry)))
+    return terms
+
+
+def test_code_growth_table(benchmark, registry):
+    rows = []
+    for name, term in corpus_terms(registry):
+        source_size = term_size(term)
+        generic = term_size(derive_program(term, registry, specialize=False))
+        specialized = term_size(derive_program(term, registry))
+        optimized = term_size(
+            optimize(derive_program(term, registry)).term
+        )
+        rows.append((name, source_size, generic, specialized, optimized))
+
+    print("\ncode growth (AST nodes):")
+    print(f"{'program':>12} {'source':>7} {'generic':>8} {'special':>8} {'opt':>6} {'growth':>7}")
+    for name, source_size, generic, specialized, optimized in rows:
+        print(
+            f"{name:>12} {source_size:>7} {generic:>8} {specialized:>8} "
+            f"{optimized:>6} {generic / source_size:>6.1f}x"
+        )
+
+    for name, source_size, generic, specialized, optimized in rows:
+        # The paper's lesson: derivatives are significantly bigger.
+        assert generic > source_size
+        # Specialization and optimization mitigate but rarely erase it.
+        assert specialized <= generic
+        assert optimized <= specialized
+
+    # Benchmark the transformation itself (it is a compile-time cost).
+    term = histogram_term(registry)
+    benchmark(derive_program, term, registry)
+
+
+@pytest.mark.parametrize("specialize", [True, False], ids=["spec", "generic"])
+def test_derive_transformation_speed(benchmark, registry, specialize):
+    term = histogram_term(registry)
+    benchmark.extra_info["specialize"] = specialize
+    benchmark(derive_program, term, registry, specialize)
+
+
+def test_optimizer_speed(benchmark, registry):
+    derived = derive_program(histogram_term(registry), registry)
+    benchmark(lambda: optimize(derived))

@@ -1,0 +1,85 @@
+"""Figure 7: incremental wordcount vs recomputation across input sizes.
+
+The paper's only evaluation figure plots, in log-log scale, the runtime
+of reacting to a single change (one word occurrence added to one
+document) for the incremental program and for from-scratch recomputation,
+with input size on the x-axis.  Expected shape: the incremental series is
+essentially flat (self-maintainable derivatives touch only the change),
+the recomputation series grows linearly, and the gap reaches orders of
+magnitude -- "our program reacts to input changes in essentially constant
+time ... hence orders of magnitude faster than recomputation" (Sec. 4.5).
+
+Run:  pytest benchmarks/bench_fig7_histogram.py --benchmark-only -s
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    FIG7_SIZES,
+    prepared_histogram,
+    time_best_of,
+)
+from repro.mapreduce.workloads import add_word_change
+
+
+@pytest.mark.parametrize("size", FIG7_SIZES)
+def test_fig7_incremental(benchmark, registry, size):
+    """One incremental step (the paper's 'Incremental' series)."""
+    program, corpus = prepared_histogram(registry, size)
+    change = add_word_change(0, 7)
+    benchmark.extra_info["series"] = "incremental"
+    benchmark.extra_info["input_size"] = size
+    benchmark(program.step, change)
+
+
+@pytest.mark.parametrize("size", FIG7_SIZES)
+def test_fig7_recomputation(benchmark, registry, size):
+    """From-scratch recomputation (the paper's 'Recomputation' series)."""
+    program, corpus = prepared_histogram(registry, size)
+    benchmark.extra_info["series"] = "recomputation"
+    benchmark.extra_info["input_size"] = size
+    benchmark(program.recompute)
+
+
+def test_fig7_shape(benchmark, registry):
+    """The qualitative Fig. 7 claims, asserted:
+
+    * recomputation grows with input size;
+    * incremental stays flat (within noise);
+    * at the largest size the speedup is large (orders of magnitude at
+      the paper's 4M-element scale; >= 100x already at our 64k scale).
+    """
+    rows = []
+    for size in FIG7_SIZES:
+        program, _ = prepared_histogram(registry, size)
+        change = add_word_change(0, 7)
+        incremental = time_best_of(lambda: program.step(change))
+        recomputation = time_best_of(program.recompute, repeats=1)
+        rows.append((size, incremental, recomputation))
+
+    print("\nFig. 7 reproduction (runtime per reaction, seconds):")
+    print(f"{'size':>10} {'incremental':>14} {'recompute':>12} {'speedup':>9}")
+    for size, incremental, recomputation in rows:
+        print(
+            f"{size:>10} {incremental:>14.6f} {recomputation:>12.4f} "
+            f"{recomputation / incremental:>8.0f}x"
+        )
+
+    smallest, largest = rows[0], rows[-1]
+    # Recomputation scales roughly linearly: 64x the input should cost
+    # at least 10x the time.
+    assert largest[2] > smallest[2] * 10
+    # Incremental stays flat: within an order of magnitude across a 64x
+    # size range (it is O(|change|), the measured jitter is allocator noise).
+    assert largest[1] < smallest[1] * 10
+    # The headline: large speedup at the largest size, growing with size.
+    assert largest[2] / largest[1] > 100
+    assert largest[2] / largest[1] > smallest[2] / smallest[1]
+
+    benchmark.extra_info["table"] = [
+        {"size": size, "incremental_s": inc, "recompute_s": rec}
+        for size, inc, rec in rows
+    ]
+    # Give pytest-benchmark something representative to record.
+    program, _ = prepared_histogram(registry, FIG7_SIZES[-1])
+    benchmark(program.step, add_word_change(1, 9))

@@ -1,0 +1,81 @@
+"""The Sec. 4.4 foldMap / foldMapGen trade-off, measured.
+
+``foldMap`` demands the Fig. 5 homomorphism precondition and repays it
+with a self-maintainable derivative; ``foldMapGen`` "has the same
+implementation but without those restrictions; as a consequence, its
+derivative is not self-maintainable, but it is more generally
+applicable."  Same program, two primitives, two complexity classes.
+"""
+
+from benchmarks.conftest import time_best_of
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP, map_group
+from repro.data.pmap import PMap
+from repro.incremental.engine import IncrementalProgram
+from repro.lang.parser import parse
+from repro.plugins.registry import standard_registry
+
+DOCUMENTS = 2_000
+
+# Total words per document id, via the homomorphism fold...
+WITH_FOLD_MAP = (
+    r"\(m: Map Int (Bag Int)) -> "
+    r"foldMap groupOnBags gplus (\key words -> foldBag gplus id words) m"
+)
+# ...and via the unrestricted general fold.
+WITH_FOLD_MAP_GEN = (
+    r"\(m: Map Int (Bag Int)) -> "
+    r"foldMapGen 0 add (\key words -> foldBag gplus id words) m"
+)
+
+_CACHE = {}
+
+
+def prepared(kind):
+    if kind not in _CACHE:
+        registry = standard_registry()
+        source = WITH_FOLD_MAP if kind == "foldMap" else WITH_FOLD_MAP_GEN
+        program = IncrementalProgram(parse(source, registry), registry)
+        documents = PMap(
+            {doc_id: Bag.of(doc_id % 50, (doc_id * 7) % 50) for doc_id in range(DOCUMENTS)}
+        )
+        program.initialize(documents)
+        _CACHE[kind] = program
+    return _CACHE[kind]
+
+
+def change():
+    return GroupChange(
+        map_group(BAG_GROUP), PMap.singleton(3, Bag.singleton(9))
+    )
+
+
+def test_fold_map_step(benchmark):
+    program = prepared("foldMap")
+    benchmark.extra_info["variant"] = "foldMap (homomorphism)"
+    benchmark(program.step, change())
+
+
+def test_fold_map_gen_step(benchmark):
+    program = prepared("foldMapGen")
+    benchmark.extra_info["variant"] = "foldMapGen (general)"
+    benchmark(program.step, change())
+
+
+def test_variants_shape(benchmark):
+    fold_map = prepared("foldMap")
+    fold_map_gen = prepared("foldMapGen")
+    specialized_time = time_best_of(lambda: fold_map.step(change()))
+    general_time = time_best_of(lambda: fold_map_gen.step(change()), repeats=1)
+    print(
+        f"\nfoldMap vs foldMapGen over {DOCUMENTS} documents (per step):"
+        f"\n  foldMap    (self-maintainable): {specialized_time:.6f}s"
+        f"\n  foldMapGen (recomputes):        {general_time:.4f}s"
+        f"\n  ratio: {general_time / specialized_time:,.0f}x"
+    )
+    # (The two programs have absorbed different numbers of benchmark
+    # steps, so outputs are compared against their own recomputations.)
+    assert specialized_time * 20 < general_time
+    assert fold_map.verify() and fold_map_gen.verify()
+    benchmark(fold_map.step, change())

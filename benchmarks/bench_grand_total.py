@@ -1,0 +1,76 @@
+"""The Sec. 1 grand_total example at scale.
+
+``grand_total xs ys`` is O(n); its derivative is O(|change|): "if we
+increase the size of the original inputs ... the time complexity of
+grand_total' only depends on the size of dxs and dys".
+"""
+
+import pytest
+
+from benchmarks.conftest import time_best_of
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.incremental.engine import incrementalize
+from repro.mapreduce.skeleton import grand_total_term
+
+SIZES = (1_000, 8_000, 64_000)
+
+_CACHE = {}
+
+
+def prepared(registry, size):
+    if size not in _CACHE:
+        xs = Bag.from_iterable(range(size))
+        ys = Bag.from_iterable(range(size, 2 * size))
+        program = incrementalize(grand_total_term(registry), registry)
+        program.initialize(xs, ys)
+        _CACHE[size] = program
+    return _CACHE[size]
+
+
+def small_changes():
+    return (
+        GroupChange(BAG_GROUP, Bag.of(1).negate()),
+        GroupChange(BAG_GROUP, Bag.of(5)),
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_grand_total_incremental(benchmark, registry, size):
+    program = prepared(registry, size)
+    dxs, dys = small_changes()
+    benchmark.extra_info["series"] = "incremental"
+    benchmark.extra_info["input_size"] = size
+    benchmark(program.step, dxs, dys)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_grand_total_recomputation(benchmark, registry, size):
+    program = prepared(registry, size)
+    benchmark.extra_info["series"] = "recomputation"
+    benchmark.extra_info["input_size"] = size
+    benchmark(program.recompute)
+
+
+def test_grand_total_shape(benchmark, registry):
+    rows = []
+    for size in SIZES:
+        program = prepared(registry, size)
+        dxs, dys = small_changes()
+        incremental = time_best_of(lambda: program.step(dxs, dys))
+        recomputation = time_best_of(program.recompute, repeats=1)
+        rows.append((size, incremental, recomputation))
+    print("\ngrand_total (runtime per reaction, seconds):")
+    for size, incremental, recomputation in rows:
+        print(
+            f"  n={size:>7}: incremental {incremental:.6f}s, "
+            f"recompute {recomputation:.4f}s, "
+            f"speedup {recomputation / incremental:,.0f}x"
+        )
+    # Incremental flat, recompute grows, big gap at the top.
+    assert rows[-1][1] < rows[0][1] * 10
+    assert rows[-1][2] > rows[0][2] * 10
+    assert rows[-1][2] / rows[-1][1] > 100
+    program = prepared(registry, SIZES[0])
+    benchmark(program.step, *small_changes())

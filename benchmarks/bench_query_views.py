@@ -1,0 +1,67 @@
+"""Materialized-view maintenance cost (the SQUOPT motivation, Sec. 6).
+
+Per-mutation maintenance of a grouped-revenue view vs re-running the
+query; the reified query pipeline derives to self-maintainable folds, so
+the per-mutation cost is independent of table size.
+"""
+
+import random
+
+from benchmarks.conftest import time_best_of
+from repro.lang.types import TInt, TPair
+from repro.plugins.registry import standard_registry
+from repro.queries import Query
+
+TABLE_SIZES = (2_000, 32_000)
+
+_CACHE = {}
+
+
+def prepared(size):
+    if size not in _CACHE:
+        registry = standard_registry()
+        const = registry.constant
+        query = Query.source("orders", TPair(TInt, TInt), registry).group_sum(
+            key=lambda r: const("fst")(r), value=lambda r: const("snd")(r)
+        )
+        rng = random.Random(5)
+        rows = [(rng.randrange(200), rng.randrange(1, 100)) for _ in range(size)]
+        _CACHE[size] = query.materialize(rows)
+    return _CACHE[size]
+
+
+def test_view_insert_small(benchmark):
+    view = prepared(TABLE_SIZES[0])
+    benchmark.extra_info["table_size"] = TABLE_SIZES[0]
+    benchmark(view.insert, (7, 42))
+
+
+def test_view_insert_large(benchmark):
+    view = prepared(TABLE_SIZES[1])
+    benchmark.extra_info["table_size"] = TABLE_SIZES[1]
+    benchmark(view.insert, (7, 42))
+
+
+def test_view_requery_large(benchmark):
+    view = prepared(TABLE_SIZES[1])
+    benchmark.extra_info["table_size"] = TABLE_SIZES[1]
+    benchmark(view.recompute)
+
+
+def test_view_shape(benchmark):
+    small = prepared(TABLE_SIZES[0])
+    large = prepared(TABLE_SIZES[1])
+    small_insert = time_best_of(lambda: small.insert((3, 9)))
+    large_insert = time_best_of(lambda: large.insert((3, 9)))
+    requery = time_best_of(large.recompute, repeats=1)
+    print(
+        f"\nview maintenance: insert@{TABLE_SIZES[0]} {small_insert:.6f}s, "
+        f"insert@{TABLE_SIZES[1]} {large_insert:.6f}s, "
+        f"re-query@{TABLE_SIZES[1]} {requery:.4f}s "
+        f"({requery / large_insert:,.0f}x)"
+    )
+    # Maintenance flat in table size; re-query linear-class.
+    assert large_insert < small_insert * 10
+    assert requery / large_insert > 50
+    assert large.verify()
+    benchmark(large.insert, (9, 9))

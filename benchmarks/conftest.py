@@ -1,0 +1,57 @@
+"""Shared benchmark fixtures and the Fig. 7 measurement harness.
+
+Benchmarks deliberately measure two things separately:
+
+* pytest-benchmark timings (the tables printed at the end of a run);
+* explicit paper-shape summaries (printed per bench, recorded in
+  ``benchmark.extra_info``), asserting the *qualitative* claims --
+  who wins, roughly by how much, and how the gap scales -- rather than
+  absolute numbers, which depend on CPython vs the authors' JVM rig.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+import pytest
+
+from repro.incremental.engine import IncrementalProgram, incrementalize
+from repro.mapreduce.skeleton import grand_total_term, histogram_term
+from repro.mapreduce.workloads import add_word_change, make_corpus
+from repro.plugins.registry import Registry, standard_registry
+
+
+@pytest.fixture(scope="session")
+def registry() -> Registry:
+    return standard_registry()
+
+
+#: Input sizes for the Fig. 7 sweep (number of word occurrences).  The
+#: paper sweeps 1k..4096k on the JVM; CPython constant factors make the
+#: same *shape* visible at 1k..64k in a few seconds.
+FIG7_SIZES = (1_000, 4_000, 16_000, 64_000)
+
+
+_HISTOGRAM_CACHE: Dict[int, Tuple[IncrementalProgram, object]] = {}
+
+
+def prepared_histogram(registry: Registry, size: int):
+    """An initialized incremental histogram over a ``size``-word corpus,
+    cached per size for the whole benchmark session."""
+    if size not in _HISTOGRAM_CACHE:
+        corpus = make_corpus(size, vocabulary_size=1_000, seed=42)
+        program = incrementalize(histogram_term(registry), registry)
+        program.initialize(corpus.documents)
+        _HISTOGRAM_CACHE[size] = (program, corpus)
+    return _HISTOGRAM_CACHE[size]
+
+
+def time_once(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def time_best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    return min(time_once(fn) for _ in range(repeats))

@@ -1,0 +1,98 @@
+"""A tour of the theory of changes (Sec. 2), executed.
+
+Demonstrates, on concrete values:
+
+* change structures and their laws (naturals, integers, bags);
+* function changes and the incrementalization theorem (Thm. 2.9);
+* "nil changes are derivatives" (Thm. 2.10);
+* the derivative of ``app = λf x. f x`` from Sec. 2.2:
+  incrementalizing ``app`` gives ``λf df x dx. df x dx``;
+* the change semantics ⟦t⟧Δ agreeing with the derived program.
+
+Run:  python examples/higher_order_changes.py
+"""
+
+from repro import derive_program, evaluate, parse, pretty, standard_registry
+from repro.changes import (
+    BAG_CHANGES,
+    FunctionChangeStructure,
+    INT_CHANGES,
+    NAT_CHANGES,
+    check_change_structure_laws,
+    check_incrementalization,
+    check_nil_is_derivative,
+)
+from repro.data import Bag, GroupChange, INT_ADD_GROUP
+from repro.semantics.change_eval import semantic_derivative_of_term
+from repro.semantics.denotation import apply_semantic
+from repro.semantics.eval import apply_value
+
+
+def main() -> None:
+    registry = standard_registry()
+
+    # -- change structures (Def. 2.1) --------------------------------------
+    print("N̂: naturals, where Δv = {dv | v + dv ≥ 0} depends on v")
+    print("   5 ⊖ 2 =", NAT_CHANGES.ominus(5, 2), " 2 ⊕ 3 =", NAT_CHANGES.oplus(2, 3))
+    check_change_structure_laws(NAT_CHANGES, 5, 2)
+    print("   Δ2 contains -2:", NAT_CHANGES.delta_contains(2, -2))
+    print("   Δ2 contains -3:", NAT_CHANGES.delta_contains(2, -3), "(would go negative)")
+
+    print("\nB̂ag: every bag is a change to every bag (Sec. 2.1)")
+    old = Bag.of(1, 2)
+    change = Bag.from_counts([(1, 2), (5, -1)])  # insert two 1s, delete a 5
+    print(f"   {old!r} ⊕ {change!r} = {BAG_CHANGES.oplus(old, change)!r}")
+    check_change_structure_laws(BAG_CHANGES, Bag.of(9, 9), old)
+
+    # -- function changes (Sec. 2.2) ------------------------------------------
+    int_to_int = FunctionChangeStructure(
+        INT_CHANGES, INT_CHANGES, samples=[(0, 1), (10, -3), (7, 7)]
+    )
+
+    def triple(x: int) -> int:
+        return 3 * x
+
+    # A function change: df a da accounts for both the function changing
+    # (to λx. 3x + 100) and the argument changing.
+    def triple_change(a: int, da: int) -> int:
+        return 3 * da + 100
+
+    df = lambda a: lambda da: triple_change(a, da)  # curried, as in ⟦·⟧Δ
+    check_incrementalization(
+        int_to_int, triple, lambda a, da: triple_change(a, da), 5, 2
+    )
+    updated = int_to_int.oplus(triple, lambda a, da: triple_change(a, da))
+    print("\nThm 2.9: (f ⊕ df)(5 ⊕ 2) =", updated(7), "= f 5 ⊕ df 5 2 =",
+          triple(5) + triple_change(5, 2))
+
+    # -- nil changes are derivatives (Thm. 2.10) ---------------------------------
+    check_nil_is_derivative(int_to_int, triple, 5, 2)
+    nil = int_to_int.nil(triple)
+    print("Thm 2.10: 0_triple 5 2 =", nil(5, 2), "= triple(7) - triple(5)")
+
+    # -- the app example (Sec. 2.2) ------------------------------------------------
+    app = parse(r"\f x -> f x", registry)
+    derived_app = derive_program(app, registry)
+    print("\nDerive(app) =", pretty(derived_app))
+
+    # Runtime: feed a function, a function change, a base and a change.
+    succ = evaluate(parse(r"\x -> add x 1", registry))
+    # A nil function change for succ: df x dx = dx (its derivative,
+    # by Thm. 2.10 -- succ is linear, so its derivative is the identity
+    # on changes).
+    dsucc = evaluate(parse(r"\x dx -> dx", registry))
+    result_change = apply_value(
+        evaluate(derived_app), succ, dsucc, 41, GroupChange(INT_ADD_GROUP, 1)
+    )
+    print("Derive(app) succ 0_succ 41 (+1) =", result_change)
+
+    # Change semantics ⟦app⟧Δ (Fig. 4h) agrees.
+    semantic = semantic_derivative_of_term(app)
+    semantic_result = apply_semantic(
+        semantic, lambda x: x + 1, lambda a: lambda da: da, 41, 1
+    )
+    print("⟦app⟧Δ  succ 0_succ 41 (+1) =", semantic_result)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""ILC: Incrementalizing λ-Calculi by Static Differentiation.
+
+A Python reproduction of Cai, Giarrusso, Rendel & Ostermann,
+*A Theory of Changes for Higher-Order Languages* (PLDI 2014).
+
+Quickstart::
+
+    from repro import standard_registry, incrementalize
+    from repro.data import Bag, GroupChange, BAG_GROUP
+    from repro.mapreduce import grand_total_term
+
+    registry = standard_registry()
+    program = incrementalize(grand_total_term(registry), registry)
+    program.initialize(Bag.of(1, 1), Bag.of(2, 3, 4))        # 11
+    program.step(
+        GroupChange(BAG_GROUP, Bag.of(1).negate()),          # remove a 1
+        GroupChange(BAG_GROUP, Bag.of(5)),                   # insert a 5
+    )                                                        # 15, in O(|change|)
+
+See ``examples/`` for runnable walkthroughs, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the reproduced evaluation.
+"""
+
+import sys as _sys
+
+# Interpreting, inferring, printing and differentiating are all
+# structural recursions over the AST, each costing a handful of Python
+# frames per term level; the default limit of 1000 caps programs at a few
+# hundred nodes of depth.  Raise it so realistically deep programs work
+# (CPython's 8 MB C stack comfortably accommodates this).
+if _sys.getrecursionlimit() < 10_000:
+    _sys.setrecursionlimit(10_000)
+
+from repro.derive import check_derive_correctness, derive, derive_program
+from repro.incremental import IncrementalProgram, incrementalize
+from repro.lang.builders import app, lam, let, lit, v
+from repro.lang.infer import infer_type, type_of
+from repro.lang.parser import parse, parse_type
+from repro.lang.pretty import pretty, pretty_type
+from repro.optimize import optimize
+from repro.plugins import Registry, standard_registry
+from repro.semantics.eval import apply_value, evaluate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IncrementalProgram",
+    "Registry",
+    "app",
+    "apply_value",
+    "check_derive_correctness",
+    "derive",
+    "derive_program",
+    "evaluate",
+    "incrementalize",
+    "infer_type",
+    "lam",
+    "let",
+    "lit",
+    "optimize",
+    "parse",
+    "parse_type",
+    "pretty",
+    "pretty_type",
+    "standard_registry",
+    "type_of",
+    "v",
+]

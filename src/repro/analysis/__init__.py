@@ -1,0 +1,28 @@
+"""Static analyses (Secs. 4.2 and 4.3).
+
+* ``nil_analysis``         -- which subterms of a program are closed, hence
+  receive provably-nil changes (the analysis that licenses derivative
+  specializations);
+* ``self_maintainability`` -- whether a derivative term can run without
+  its base inputs (the paper's analogue of self-maintainable views).
+"""
+
+from repro.analysis.nil_analysis import (
+    NilChangeReport,
+    analyze_nil_changes,
+    closed_subterms,
+)
+from repro.analysis.self_maintainability import (
+    SelfMaintainabilityReport,
+    analyze_self_maintainability,
+    is_self_maintainable,
+)
+
+__all__ = [
+    "NilChangeReport",
+    "SelfMaintainabilityReport",
+    "analyze_nil_changes",
+    "analyze_self_maintainability",
+    "closed_subterms",
+    "is_self_maintainable",
+]

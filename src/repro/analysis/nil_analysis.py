@@ -1,0 +1,154 @@
+"""The nil-change analysis of Sec. 4.2.
+
+"A (conservative) static analysis can detect changes that are guaranteed
+to be nil at runtime": a closed subterm's value cannot depend on any
+changing input, so its change is nil (Thm. 2.10).  ``Derive`` uses the
+closedness facts inline; this module exposes the analysis as a standalone
+report so users can see *why* a specialization did or did not fire, and so
+benchmarks can count specialization opportunities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro.lang.terms import App, Const, Lam, Let, Term, Var
+from repro.lang.traversal import spine
+
+
+def closed_subterms(term: Term) -> List[Term]:
+    """All subterms with no free variables (whose changes are nil)."""
+    result: List[Term] = []
+    _collect_closed(term, frozenset(), result)
+    return result
+
+
+def _free_under(term: Term, bound: FrozenSet[str]) -> FrozenSet[str]:
+    if isinstance(term, Var):
+        return frozenset() if term.name in bound else frozenset({term.name})
+    if isinstance(term, Lam):
+        return _free_under(term.body, bound | {term.param})
+    if isinstance(term, App):
+        return _free_under(term.fn, bound) | _free_under(term.arg, bound)
+    if isinstance(term, Let):
+        return _free_under(term.bound, bound) | _free_under(
+            term.body, bound | {term.name}
+        )
+    return frozenset()
+
+
+def _collect_closed(term: Term, bound: FrozenSet[str], out: List[Term]) -> None:
+    if not _free_under(term, frozenset()):
+        out.append(term)
+    if isinstance(term, Lam):
+        _collect_closed(term.body, bound | {term.param}, out)
+    elif isinstance(term, App):
+        _collect_closed(term.fn, bound, out)
+        _collect_closed(term.arg, bound, out)
+    elif isinstance(term, Let):
+        _collect_closed(term.bound, bound, out)
+        _collect_closed(term.body, bound | {term.name}, out)
+
+
+@dataclass
+class SpineFact:
+    """One primitive application spine and its nil-argument mask."""
+
+    constant: str
+    argument_count: int
+    arity: int
+    nil_mask: Tuple[bool, ...]
+    specialization: str = ""
+
+    @property
+    def fully_applied(self) -> bool:
+        return self.argument_count == self.arity
+
+
+@dataclass
+class NilChangeReport:
+    """Result of ``analyze_nil_changes``."""
+
+    closed_count: int = 0
+    total_subterms: int = 0
+    spines: List[SpineFact] = field(default_factory=list)
+    specializable: int = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.closed_count}/{self.total_subterms} subterms closed "
+            f"(nil changes); {self.specializable} primitive spines "
+            "admit specialized derivatives",
+        ]
+        for fact in self.spines:
+            mask = "".join("N" if nil else "." for nil in fact.nil_mask)
+            status = fact.specialization or (
+                "generic" if fact.fully_applied else "partial application"
+            )
+            lines.append(f"  {fact.constant} [{mask}] -> {status}")
+        return "\n".join(lines)
+
+
+def analyze_nil_changes(term: Term) -> NilChangeReport:
+    """Report closedness facts and specialization opportunities, using
+    the same closed-variable propagation through ``let`` as ``Derive``
+    (Sec. 4.2: the analysis "detects and propagates information about
+    closed terms")."""
+    from repro.lang.traversal import subterms
+
+    report = NilChangeReport()
+    all_subterms = list(subterms(term))
+    report.total_subterms = len(all_subterms)
+    report.closed_count = len(closed_subterms(term))
+    _collect_spines(term, report, frozenset())
+    return report
+
+
+def _statically_nil(term: Term, closed_vars: FrozenSet[str]) -> bool:
+    return _free_under(term, frozenset()) <= closed_vars
+
+
+def _collect_spines(
+    term: Term, report: NilChangeReport, closed_vars: FrozenSet[str]
+) -> None:
+    if isinstance(term, App):
+        head, arguments = spine(term)
+        if isinstance(head, Const):
+            spec = head.spec
+            nil_mask = tuple(
+                _statically_nil(argument, closed_vars)
+                for argument in arguments
+            )
+            fact = SpineFact(
+                constant=spec.name,
+                argument_count=len(arguments),
+                arity=spec.arity,
+                nil_mask=nil_mask,
+            )
+            if fact.fully_applied:
+                nil_positions = {
+                    index for index, nil in enumerate(nil_mask) if nil
+                }
+                for specialization in spec.specializations:
+                    if specialization.nil_positions <= nil_positions:
+                        fact.specialization = (
+                            specialization.description or "specialized"
+                        )
+                        report.specializable += 1
+                        break
+            report.spines.append(fact)
+            for argument in arguments:
+                _collect_spines(argument, report, closed_vars)
+            return
+        _collect_spines(term.fn, report, closed_vars)
+        _collect_spines(term.arg, report, closed_vars)
+    elif isinstance(term, Lam):
+        _collect_spines(term.body, report, closed_vars - {term.param})
+    elif isinstance(term, Let):
+        _collect_spines(term.bound, report, closed_vars)
+        if _statically_nil(term.bound, closed_vars):
+            inner = closed_vars | {term.name}
+        else:
+            inner = closed_vars - {term.name}
+        _collect_spines(term.body, report, inner)

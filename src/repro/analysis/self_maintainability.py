@@ -1,0 +1,117 @@
+"""Self-maintainability analysis (Sec. 4.3).
+
+"We call a derivative self-maintainable if it uses no base parameters,
+only their changes."  Under call-by-need, a base parameter is *used* only
+if some strict position forces it; this analysis computes, conservatively,
+which base parameters a derivative may force:
+
+* forcing a variable demands it;
+* a fully applied primitive demands only its strict arguments (arguments
+  at plugin-declared lazy positions stay unforced thunks on the fast
+  path);
+* λ-bodies are analyzed pessimistically (a primitive may apply the
+  closure);
+* ``let`` demands its binding only if the body demands the bound name.
+
+``is_self_maintainable`` applies this to a derived program: peel the
+``λx dx y dy …`` prefix and check that no *base* parameter is demanded.
+The analysis is optimistic about change representations: it reports the
+group-change fast path, matching the paper's usage (derivatives fall back
+to recomputation on ``Replace`` changes, which by construction only occur
+when something upstream already gave up on incrementality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Set, Tuple
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.traversal import spine
+
+
+def demanded_variables(term: Term) -> FrozenSet[str]:
+    """The free variables ``term`` may force when evaluated (conservative,
+    modulo the lazy-position optimism described in the module docstring)."""
+    return _demands(term)
+
+
+def _demands(term: Term) -> FrozenSet[str]:
+    if isinstance(term, Var):
+        return frozenset({term.name})
+    if isinstance(term, (Const, Lit)):
+        return frozenset()
+    if isinstance(term, Lam):
+        # Pessimistic: assume the closure is eventually applied.
+        return _demands(term.body) - {term.param}
+    if isinstance(term, Let):
+        body_demands = _demands(term.body)
+        if term.name in body_demands:
+            return (body_demands - {term.name}) | _demands(term.bound)
+        return body_demands
+    if isinstance(term, App):
+        head, arguments = spine(term)
+        if isinstance(head, Const) and len(arguments) == head.spec.arity:
+            demanded: Set[str] = set()
+            for index, argument in enumerate(arguments):
+                if index not in head.spec.lazy_positions:
+                    demanded |= _demands(argument)
+            return frozenset(demanded)
+        return _demands(term.fn) | _demands(term.arg)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _peel_parameters(term: Term) -> Tuple[List[str], Term]:
+    parameters: List[str] = []
+    while isinstance(term, Lam):
+        parameters.append(term.param)
+        term = term.body
+    return parameters, term
+
+
+@dataclass
+class SelfMaintainabilityReport:
+    """Result of ``analyze_self_maintainability``."""
+
+    base_parameters: List[str] = field(default_factory=list)
+    change_parameters: List[str] = field(default_factory=list)
+    demanded_bases: List[str] = field(default_factory=list)
+
+    @property
+    def self_maintainable(self) -> bool:
+        return not self.demanded_bases
+
+    def summary(self) -> str:
+        if self.self_maintainable:
+            return (
+                "self-maintainable: no base parameter "
+                f"({', '.join(self.base_parameters) or 'none'}) is demanded"
+            )
+        return (
+            "NOT self-maintainable: demands base parameters "
+            f"{', '.join(self.demanded_bases)}"
+        )
+
+
+def analyze_self_maintainability(derived_term: Term) -> SelfMaintainabilityReport:
+    """Analyze a derivative produced by ``Derive`` (whose parameter list
+    alternates ``x, dx, y, dy, …``)."""
+    parameters, body = _peel_parameters(derived_term)
+    report = SelfMaintainabilityReport()
+    change_names = set()
+    for index, name in enumerate(parameters):
+        if index % 2 == 1 and name.startswith("d"):
+            report.change_parameters.append(name)
+            change_names.add(name)
+        else:
+            report.base_parameters.append(name)
+    demanded = demanded_variables(body)
+    report.demanded_bases = sorted(
+        name for name in report.base_parameters if name in demanded
+    )
+    return report
+
+
+def is_self_maintainable(derived_term: Term) -> bool:
+    """True if the derivative never demands a base parameter (Sec. 4.3)."""
+    return analyze_self_maintainability(derived_term).self_maintainable

@@ -1,0 +1,54 @@
+"""The theory of changes (Sec. 2 of the paper), executable.
+
+Change structures here are *semantic*: their carriers are host values and
+their operations are host functions.  They power the change semantics
+``⟦t⟧Δ`` (Fig. 4h), the erasure checks of Sec. 3.6, and the property tests
+that play the role of the paper's Agda proofs.
+
+The erased, runtime representation used by transformed programs lives in
+``repro.data.change_values`` instead (Sec. 4.4).
+"""
+
+from repro.changes.structure import ChangeStructure
+from repro.changes.group import GroupChangeStructure, INT_CHANGES
+from repro.changes.primitive import (
+    BOOL_CHANGES,
+    NAT_CHANGES,
+    ReplaceChangeStructure,
+)
+from repro.changes.bag import BAG_CHANGES, BagChangeStructure
+from repro.changes.map import MapChangeStructure
+from repro.changes.product import ProductChangeStructure
+from repro.changes.function import FunctionChangeStructure
+from repro.changes.environment import EnvironmentChangeStructure
+from repro.changes.laws import (
+    LawViolation,
+    check_change_structure_laws,
+    check_derivative,
+    check_derivative_on_nil,
+    check_incrementalization,
+    check_nil_behavior,
+    check_nil_is_derivative,
+)
+
+__all__ = [
+    "BAG_CHANGES",
+    "BOOL_CHANGES",
+    "BagChangeStructure",
+    "ChangeStructure",
+    "EnvironmentChangeStructure",
+    "FunctionChangeStructure",
+    "GroupChangeStructure",
+    "INT_CHANGES",
+    "LawViolation",
+    "MapChangeStructure",
+    "NAT_CHANGES",
+    "ProductChangeStructure",
+    "ReplaceChangeStructure",
+    "check_change_structure_laws",
+    "check_derivative",
+    "check_derivative_on_nil",
+    "check_incrementalization",
+    "check_nil_behavior",
+    "check_nil_is_derivative",
+]

@@ -1,0 +1,31 @@
+"""The change structure on bags with signed multiplicities (Sec. 2.1).
+
+``B̂ag S = (Bag S, λv. Bag S, merge, λx y. merge x (negate y))`` -- the
+change structure induced by the abelian group ``(Bag S, merge, negate, ∅)``.
+Every bag is a valid change to every other bag; ``{{1, 1, 5̄}}`` as a change
+means "insert two 1s, delete one 5".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.changes.group import GroupChangeStructure
+from repro.data.bag import Bag
+from repro.data.group import BAG_GROUP
+
+
+class BagChangeStructure(GroupChangeStructure):
+    """``B̂ag S``; membership requires actual ``Bag`` values."""
+
+    def __init__(self) -> None:
+        super().__init__(BAG_GROUP, name="B̂ag")
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, Bag)
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        return isinstance(change, Bag)
+
+
+BAG_CHANGES = BagChangeStructure()

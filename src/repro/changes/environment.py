@@ -1,0 +1,76 @@
+"""Change structures on environments (Def. 3.5, Fig. 4e).
+
+Environments are finite maps from variable names to values; their change
+structure acts pointwise: a change environment ``dρ`` assigns to each
+``x = v`` in ``ρ`` a change ``dx = dv ∈ Δτ v``.  This is the domain of
+the change semantics ``⟦t⟧Δ ρ dρ``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.changes.structure import ChangeStructure
+
+
+class EnvironmentChangeStructure(ChangeStructure):
+    """Pointwise lifting of per-variable change structures to environments.
+
+    Environments are plain dicts ``{name: value}``; change environments are
+    dicts ``{d<name>: change}`` keyed by the *change names*, matching the
+    binding convention of ``Derive`` so the same dictionaries can be fed to
+    both semantics.
+    """
+
+    def __init__(self, structures: Mapping[str, ChangeStructure]):
+        self.structures: Dict[str, ChangeStructure] = dict(structures)
+        self.name = f"Env({', '.join(sorted(self.structures))})"
+
+    @staticmethod
+    def change_name(name: str) -> str:
+        return f"d{name}"
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, dict):
+            return False
+        if set(value) != set(self.structures):
+            return False
+        return all(
+            structure.contains(value[name])
+            for name, structure in self.structures.items()
+        )
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        if not isinstance(change, dict):
+            return False
+        expected = {self.change_name(name) for name in self.structures}
+        if set(change) != expected:
+            return False
+        return all(
+            structure.delta_contains(value[name], change[self.change_name(name)])
+            for name, structure in self.structures.items()
+        )
+
+    def oplus(self, value: Any, change: Any) -> Any:
+        return {
+            name: structure.oplus(value[name], change[self.change_name(name)])
+            for name, structure in self.structures.items()
+        }
+
+    def ominus(self, new: Any, old: Any) -> Any:
+        return {
+            self.change_name(name): structure.ominus(new[name], old[name])
+            for name, structure in self.structures.items()
+        }
+
+    def nil(self, value: Any) -> Any:
+        return {
+            self.change_name(name): structure.nil(value[name])
+            for name, structure in self.structures.items()
+        }
+
+    def values_equal(self, left: Any, right: Any) -> bool:
+        return all(
+            structure.values_equal(left[name], right[name])
+            for name, structure in self.structures.items()
+        )

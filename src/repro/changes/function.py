@@ -1,0 +1,126 @@
+"""Change structures on function spaces (Sec. 2.2, Theorem 2.8).
+
+Given change structures ``Â`` and ``B̂``, the function space ``A → B``
+carries the change structure ``Â → B̂``:
+
+* a change ``df ∈ Δ(A→B) f`` is a *binary* function taking a base input
+  and an input change to an output change (Def. 2.6), such that
+  ``f a ⊕ df a da = (f ⊕ df)(a ⊕ da)`` (Thm. 2.9);
+* ``(f ⊕ df) v = f v ⊕ df v 0_v`` and
+  ``(g ⊖ f) v dv = g (v ⊕ dv) ⊖ f v`` (Def. 2.7).
+
+Carriers are host callables, so the base set is not decidable; membership
+and validity are checked extensionally on caller-supplied sample points,
+which is exactly what the property-test suite feeds in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.changes.structure import ChangeStructure
+
+SamplePoints = Sequence[Tuple[Any, Any]]
+
+
+class FunctionChangeStructure(ChangeStructure):
+    """``Â → B̂``: the lifted change structure on functions."""
+
+    def __init__(
+        self,
+        domain: ChangeStructure,
+        codomain: ChangeStructure,
+        samples: Optional[SamplePoints] = None,
+    ):
+        self.domain = domain
+        self.codomain = codomain
+        self.samples: SamplePoints = tuple(samples) if samples else ()
+        self.name = f"({domain!r} → {codomain!r})"
+
+    def with_samples(self, samples: Iterable[Tuple[Any, Any]]):
+        """A copy of this structure using the given ``(a, da)`` samples for
+        extensional checks."""
+        return FunctionChangeStructure(self.domain, self.codomain, tuple(samples))
+
+    # -- membership (extensional, sample-based) ------------------------------
+
+    def contains(self, value: Any) -> bool:
+        if not callable(value):
+            return False
+        return all(
+            self.codomain.contains(value(point)) for point, _ in self.samples
+        )
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        """Spot-check Def. 2.6 on the sample points.
+
+        (a) ``df a da ∈ Δ_B (f a)``;
+        (b) ``f a ⊕ df a da = f (a ⊕ da) ⊕ df (a ⊕ da) 0_{a⊕da}``.
+        """
+        if not callable(change):
+            return False
+        for point, point_change in self.samples:
+            output_change = change(point, point_change)
+            if not self.codomain.delta_contains(value(point), output_change):
+                return False
+            updated_point = self.domain.oplus(point, point_change)
+            left = self.codomain.oplus(value(point), output_change)
+            right = self.codomain.oplus(
+                value(updated_point),
+                change(updated_point, self.domain.nil(updated_point)),
+            )
+            if not self.codomain.values_equal(left, right):
+                return False
+        return True
+
+    # -- operations (Def. 2.7) ------------------------------------------------
+
+    def oplus(self, value: Any, change: Any) -> Any:
+        domain = self.domain
+        codomain = self.codomain
+
+        def updated(point: Any) -> Any:
+            return codomain.oplus(value(point), change(point, domain.nil(point)))
+
+        return updated
+
+    def ominus(self, new: Any, old: Any) -> Any:
+        domain = self.domain
+        codomain = self.codomain
+
+        def difference(point: Any, point_change: Any) -> Any:
+            return codomain.ominus(
+                new(domain.oplus(point, point_change)), old(point)
+            )
+
+        return difference
+
+    def nil(self, value: Any) -> Any:
+        """``0_f v dv = f (v ⊕ dv) ⊖ f v`` -- which by Thm. 2.10 *is* the
+        (trivial) derivative of ``f``."""
+        return self.ominus(value, value)
+
+    # -- extensional equality ----------------------------------------------------
+
+    def values_equal(self, left: Any, right: Any) -> bool:
+        """Extensional equality on the sample points (and their updates,
+        to catch disagreements just off the sample grid)."""
+        for point, point_change in self.samples:
+            if not self.codomain.values_equal(left(point), right(point)):
+                return False
+            updated = self.domain.oplus(point, point_change)
+            if not self.codomain.values_equal(left(updated), right(updated)):
+                return False
+        return True
+
+    # -- pointwise changes (Sec. 2.2, "Understanding function changes") -----------
+
+    def pointwise_difference(self, change: Any, value: Any) -> Callable[[Any], Any]:
+        """``∇f = λa. (f ⊕ df) a ⊖ f a``: the part of a function change
+        that is not explained by the derivative."""
+        updated = self.oplus(value, change)
+
+        def nabla(point: Any) -> Any:
+            return self.codomain.ominus(updated(point), value(point))
+
+        return nabla

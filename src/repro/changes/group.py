@@ -1,0 +1,56 @@
+"""The abelian-group construction of change structures (Sec. 2.1).
+
+Each abelian group ``(G, •, inverse, e)`` induces a change structure
+``(G, λg. G, •, λg h. g • inverse(h))``: the change set for every element
+is the whole carrier, update is the group operation, and difference
+composes with the inverse.  Integers with addition and bags with merge are
+the paper's running examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.changes.structure import ChangeStructure
+from repro.data.group import AbelianGroup, INT_ADD_GROUP
+
+
+class GroupChangeStructure(ChangeStructure):
+    """The change structure induced by an abelian group."""
+
+    def __init__(
+        self,
+        group: AbelianGroup,
+        member: Optional[Callable[[Any], bool]] = None,
+        name: Optional[str] = None,
+    ):
+        self.group = group
+        self._member = member
+        self.name = name or f"Group({group!r})"
+
+    def contains(self, value: Any) -> bool:
+        if self._member is not None:
+            return self._member(value)
+        return True
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        # Δv = G for every v: every group element is a change to every value.
+        return self.contains(change)
+
+    def oplus(self, value: Any, change: Any) -> Any:
+        return self.group.merge(value, change)
+
+    def ominus(self, new: Any, old: Any) -> Any:
+        return self.group.merge(new, self.group.inverse(old))
+
+    def nil(self, value: Any) -> Any:
+        # v ⊖ v = v • inverse(v) = e, computed without touching ``value``.
+        return self.group.zero
+
+
+INT_CHANGES = GroupChangeStructure(
+    INT_ADD_GROUP,
+    member=lambda value: isinstance(value, int) and not isinstance(value, bool),
+    name="Ẑ",
+)
+"""``Ẑ = (Z, λv. Z, +, −)`` -- the change structure on integers (Sec. 2.1)."""

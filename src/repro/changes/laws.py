@@ -1,0 +1,131 @@
+"""Executable statements of the lemmas and theorems of Sec. 2.
+
+Each function checks one law at concrete points and raises ``LawViolation``
+with a counterexample on failure.  The property-test suite instantiates
+these for every change structure in the library -- the Python analogue of
+the paper's Agda lemmas:
+
+* Def. 2.1(e)   -- ``check_change_structure_laws``
+* Lemma 2.3     -- ``check_nil_behavior``
+* Def. 2.4      -- ``check_derivative``
+* Lemma 2.5     -- ``check_derivative_on_nil``
+* Thm. 2.9      -- ``check_incrementalization``
+* Thm. 2.10     -- ``check_nil_is_derivative``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.changes.function import FunctionChangeStructure
+from repro.changes.structure import ChangeStructure
+
+
+class LawViolation(AssertionError):
+    """A change-structure law failed at a concrete point."""
+
+
+def check_change_structure_laws(
+    structure: ChangeStructure, new: Any, old: Any
+) -> None:
+    """Def. 2.1: ``u ⊖ v ∈ Δv`` and ``v ⊕ (u ⊖ v) = u``."""
+    change = structure.ominus(new, old)
+    if not structure.delta_contains(old, change):
+        raise LawViolation(
+            f"{structure!r}: ({new!r} ⊖ {old!r}) = {change!r} "
+            f"is not in Δ{old!r}"
+        )
+    updated = structure.oplus(old, change)
+    if not structure.values_equal(updated, new):
+        raise LawViolation(
+            f"{structure!r}: {old!r} ⊕ ({new!r} ⊖ {old!r}) = {updated!r} "
+            f"!= {new!r}"
+        )
+
+
+def check_nil_behavior(structure: ChangeStructure, value: Any) -> None:
+    """Lemma 2.3: ``v ⊕ 0_v = v``."""
+    nil = structure.nil(value)
+    if not structure.delta_contains(value, nil):
+        raise LawViolation(f"{structure!r}: 0_{value!r} = {nil!r} not in Δ")
+    updated = structure.oplus(value, nil)
+    if not structure.values_equal(updated, value):
+        raise LawViolation(
+            f"{structure!r}: {value!r} ⊕ 0 = {updated!r} != {value!r}"
+        )
+
+
+def check_derivative(
+    domain: ChangeStructure,
+    codomain: ChangeStructure,
+    fn: Callable[[Any], Any],
+    derivative: Callable[[Any, Any], Any],
+    value: Any,
+    change: Any,
+) -> None:
+    """Def. 2.4: ``f (a ⊕ da) = f a ⊕ f' a da``."""
+    expected = fn(domain.oplus(value, change))
+    actual = codomain.oplus(fn(value), derivative(value, change))
+    if not codomain.values_equal(actual, expected):
+        raise LawViolation(
+            f"derivative law failed at a={value!r}, da={change!r}: "
+            f"f(a⊕da)={expected!r} but f a ⊕ f' a da={actual!r}"
+        )
+
+
+def check_derivative_on_nil(
+    domain: ChangeStructure,
+    codomain: ChangeStructure,
+    fn: Callable[[Any], Any],
+    derivative: Callable[[Any, Any], Any],
+    value: Any,
+) -> None:
+    """Lemma 2.5: ``f' a 0_a`` behaves as ``0_(f a)``.
+
+    Changes are only compared through their effect on base values (the
+    paper never equates changes), so we check ``f a ⊕ f' a 0_a = f a``.
+    """
+    output_change = derivative(value, domain.nil(value))
+    updated = codomain.oplus(fn(value), output_change)
+    if not codomain.values_equal(updated, fn(value)):
+        raise LawViolation(
+            f"f' a 0_a is not nil at a={value!r}: updates {fn(value)!r} "
+            f"to {updated!r}"
+        )
+
+
+def check_incrementalization(
+    function_structure: FunctionChangeStructure,
+    fn: Callable[[Any], Any],
+    fn_change: Callable[[Any, Any], Any],
+    value: Any,
+    change: Any,
+) -> None:
+    """Thm. 2.9: ``(f ⊕ df) (a ⊕ da) = f a ⊕ df a da``."""
+    domain = function_structure.domain
+    codomain = function_structure.codomain
+    left = function_structure.oplus(fn, fn_change)(domain.oplus(value, change))
+    right = codomain.oplus(fn(value), fn_change(value, change))
+    if not codomain.values_equal(left, right):
+        raise LawViolation(
+            f"incrementalization failed at a={value!r}, da={change!r}: "
+            f"(f⊕df)(a⊕da)={left!r} but f a ⊕ df a da={right!r}"
+        )
+
+
+def check_nil_is_derivative(
+    function_structure: FunctionChangeStructure,
+    fn: Callable[[Any], Any],
+    value: Any,
+    change: Any,
+) -> None:
+    """Thm. 2.10: ``0_f`` is a derivative of ``f`` (checked via Def. 2.4)."""
+    nil_change = function_structure.nil(fn)
+    check_derivative(
+        function_structure.domain,
+        function_structure.codomain,
+        fn,
+        nil_change,
+        value,
+        change,
+    )

@@ -1,0 +1,67 @@
+"""The semantic change structure on lists (edit scripts).
+
+Lists form no abelian group, so this structure is built directly:
+``Δv`` is the set of edit scripts applicable to ``v``, ``⊕`` applies a
+script, and ``⊖`` produces the (naive) clear-and-rebuild script.  It
+satisfies Def. 2.1 like any other change structure -- demonstrating that
+the theory accommodates non-group collections, per the paper's future
+work on lists and algebraic data types.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.changes.structure import ChangeStructure
+from repro.data.list_changes import Delete, Insert, ListChange
+
+
+class ListChangeStructure(ChangeStructure):
+    """Lists (Python tuples) with edit-script changes."""
+
+    name = "L̂ist"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, tuple)
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        if not isinstance(change, ListChange):
+            return False
+        try:
+            change.apply_to(value)
+        except (IndexError, TypeError):
+            return False
+        return True
+
+    def oplus(self, value: Any, change: Any) -> Any:
+        return change.apply_to(value)
+
+    def ominus(self, new: Any, old: Any) -> Any:
+        # Keep the common prefix as updates where elements differ, then
+        # delete the old tail / insert the new tail.
+        edits = []
+        shared = min(len(old), len(new))
+        for index in range(shared):
+            if old[index] != new[index]:
+                from repro.data.change_values import ominus_values
+
+                edits.append(
+                    _update(index, ominus_values(new[index], old[index]))
+                )
+        for _ in range(len(old) - shared):
+            edits.append(Delete(shared))
+        for index in range(shared, len(new)):
+            edits.append(Insert(index, new[index]))
+        return ListChange(*edits)
+
+    def nil(self, value: Any) -> ListChange:
+        return ListChange.nil()
+
+
+def _update(index: int, change: Any):
+    from repro.data.list_changes import Update
+
+    return Update(index, change)
+
+
+LIST_CHANGES = ListChangeStructure()

@@ -1,0 +1,91 @@
+"""Change structures for primitive carriers that are *not* groups.
+
+Two structures from the paper:
+
+* naturals, the motivating example of Sec. 2.1: ``Δv = {dv | v + dv ≥ 0}``
+  -- change sets genuinely depend on the base value, which is why change
+  structures generalize abelian groups;
+* the "replacement" structure, valid for any set: ``Δv = V``,
+  ``v ⊕ dv = dv``, ``u ⊖ v = u``.  This is the semantic counterpart of the
+  runtime ``Replace`` constructor and is used for booleans and other types
+  with no exploitable algebraic structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.changes.structure import ChangeStructure
+
+
+class NatChangeStructure(ChangeStructure):
+    """Naturals with integer deltas: ``Δv = {dv ∈ Z | v + dv ≥ 0}``."""
+
+    name = "N̂"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        return (
+            isinstance(change, int)
+            and not isinstance(change, bool)
+            and value + change >= 0
+        )
+
+    def oplus(self, value: Any, change: Any) -> Any:
+        result = value + change
+        if result < 0:
+            raise ValueError(
+                f"{change} is not a valid change for natural {value}"
+            )
+        return result
+
+    def ominus(self, new: Any, old: Any) -> Any:
+        return new - old
+
+    def nil(self, value: Any) -> Any:
+        return 0
+
+
+NAT_CHANGES = NatChangeStructure()
+
+
+class ReplaceChangeStructure(ChangeStructure):
+    """The replacement change structure on an arbitrary set.
+
+    ``Δv = V``, ``v ⊕ dv = dv`` and ``u ⊖ v = u``; law (e) holds because
+    ``v ⊕ (u ⊖ v) = u`` by definition.  Every set admits this structure,
+    which is why the erased ``⊖`` of Sec. 4.4 can always fall back to
+    ``Replace``.
+    """
+
+    def __init__(
+        self,
+        member: Optional[Callable[[Any], bool]] = None,
+        name: str = "Replace",
+    ):
+        self._member = member
+        self.name = name
+
+    def contains(self, value: Any) -> bool:
+        if self._member is not None:
+            return self._member(value)
+        return True
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        return self.contains(change)
+
+    def oplus(self, value: Any, change: Any) -> Any:
+        return change
+
+    def ominus(self, new: Any, old: Any) -> Any:
+        return new
+
+    def nil(self, value: Any) -> Any:
+        return value
+
+
+BOOL_CHANGES = ReplaceChangeStructure(
+    member=lambda value: isinstance(value, bool), name="B̂ool"
+)

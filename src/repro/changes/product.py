@@ -1,0 +1,57 @@
+"""The product change structure.
+
+``Δ(a, b) = Δa × Δb`` with pointwise update and difference -- the semantic
+structure behind the pairs plugin.  The laws follow componentwise from the
+component structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.changes.structure import ChangeStructure
+
+
+class ProductChangeStructure(ChangeStructure):
+    """Change structure on pairs, componentwise."""
+
+    def __init__(self, left: ChangeStructure, right: ChangeStructure):
+        self.left = left
+        self.right = right
+        self.name = f"({left!r} × {right!r})"
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, tuple)
+            and len(value) == 2
+            and self.left.contains(value[0])
+            and self.right.contains(value[1])
+        )
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        return (
+            isinstance(change, tuple)
+            and len(change) == 2
+            and self.left.delta_contains(value[0], change[0])
+            and self.right.delta_contains(value[1], change[1])
+        )
+
+    def oplus(self, value: Any, change: Any) -> Any:
+        return (
+            self.left.oplus(value[0], change[0]),
+            self.right.oplus(value[1], change[1]),
+        )
+
+    def ominus(self, new: Any, old: Any) -> Any:
+        return (
+            self.left.ominus(new[0], old[0]),
+            self.right.ominus(new[1], old[1]),
+        )
+
+    def nil(self, value: Any) -> Any:
+        return (self.left.nil(value[0]), self.right.nil(value[1]))
+
+    def values_equal(self, left: Any, right: Any) -> bool:
+        return self.left.values_equal(left[0], right[0]) and (
+            self.right.values_equal(left[1], right[1])
+        )

@@ -1,0 +1,196 @@
+"""A value-directed algebra of *semantic* changes.
+
+The typed change structures in this package are indexed by a type; the
+change semantics ⟦t⟧Δ, however, must evaluate polymorphic constants such
+as ``foldBag`` whose result type is a schema variable.  In the paper's
+Agda development each constant's ⟦c⟧Δ is defined at the constant's
+(fixed) type; the executable counterpart here dispatches on the *value*
+instead, using the canonical change representation for each semantic
+carrier:
+
+=============  ============================  ====================
+carrier        change representation          structure
+=============  ============================  ====================
+bool           the new value                  replacement
+int            an integer delta               group (Z, +)
+Bag            a bag of signed insertions     group (Bag, merge)
+PMap           a map of value-changes         pointwise group
+tuple          a tuple of changes             product
+AbelianGroup   the new group                  replacement
+SumValue       the new value                  replacement
+callable       binary function ``a, da → db`` Â → B̂ (Def. 2.7)
+=============  ============================  ====================
+
+These agree pointwise with the typed structures (tested in
+``tests/changes/test_semantic_algebra.py``), so Lemma 3.7-style checks can
+use either view.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.bag import Bag
+from repro.data.group import AbelianGroup
+from repro.data.pmap import PMap
+from repro.data.sum import SumValue
+
+
+def semantic_zero_like(value: Any) -> Any:
+    """The additive zero of ``value``'s carrier, where one exists."""
+    if isinstance(value, bool):
+        raise TypeError("booleans have no additive zero")
+    if isinstance(value, int):
+        return 0
+    if isinstance(value, float):
+        return 0.0
+    if isinstance(value, Bag):
+        return Bag.empty()
+    if isinstance(value, PMap):
+        return PMap.empty()
+    if isinstance(value, tuple):
+        return tuple(semantic_zero_like(component) for component in value)
+    raise TypeError(f"no additive zero for {value!r}")
+
+
+def semantic_nil(value: Any) -> Any:
+    """The canonical nil change ``0_v`` for a semantic value."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return type(value)(0)
+    if isinstance(value, Bag):
+        return Bag.empty()
+    if isinstance(value, PMap):
+        return PMap.empty()
+    if isinstance(value, tuple):
+        return tuple(semantic_nil(component) for component in value)
+    if isinstance(value, (AbelianGroup, SumValue, str)):
+        return value
+    if callable(value) or hasattr(value, "apply"):
+        # 0_f = f ⊖ f, the trivial derivative of f (Thm. 2.10).
+        return semantic_ominus(value, value)
+    raise TypeError(f"no canonical nil change for {value!r}")
+
+
+def semantic_oplus(value: Any, change: Any) -> Any:
+    """``value ⊕ change`` in the canonical semantic structure."""
+    if isinstance(value, bool):
+        return change
+    if isinstance(value, (int, float)):
+        return value + change
+    if isinstance(value, Bag):
+        return value.merge(change)
+    if isinstance(value, PMap):
+        return _map_oplus(value, change)
+    if isinstance(value, tuple):
+        return tuple(
+            semantic_oplus(component, component_change)
+            for component, component_change in zip(value, change)
+        )
+    if isinstance(value, (AbelianGroup, SumValue, str)):
+        return change
+    if callable(value) or hasattr(value, "apply"):
+        return _function_oplus(value, change)
+    raise TypeError(f"cannot ⊕ semantic value {value!r}")
+
+
+def semantic_ominus(new: Any, old: Any) -> Any:
+    """``new ⊖ old`` in the canonical semantic structure."""
+    if isinstance(new, bool):
+        return new
+    if isinstance(new, (int, float)):
+        return new - old
+    if isinstance(new, Bag):
+        return new.difference(old)
+    if isinstance(new, PMap):
+        return _map_ominus(new, old)
+    if isinstance(new, tuple):
+        return tuple(
+            semantic_ominus(new_component, old_component)
+            for new_component, old_component in zip(new, old)
+        )
+    if isinstance(new, (AbelianGroup, SumValue, str)):
+        return new
+    if callable(new) or hasattr(new, "apply"):
+        return _function_ominus(new, old)
+    raise TypeError(f"cannot ⊖ semantic value {new!r}")
+
+
+def semantic_equal(left: Any, right: Any) -> bool:
+    """Base-value equality; functions cannot be compared here (use the
+    sample-based ``FunctionChangeStructure.values_equal``)."""
+    if callable(left) or hasattr(left, "apply"):
+        raise TypeError("semantic function values require extensional comparison")
+    return left == right
+
+
+# -- maps -----------------------------------------------------------------------
+
+
+def _map_oplus(value: PMap, change: PMap) -> PMap:
+    entries = dict(value.items())
+    for key, value_change in change.items():
+        if key in entries:
+            updated = semantic_oplus(entries[key], value_change)
+            if _is_zero_entry(updated):
+                del entries[key]
+            else:
+                entries[key] = updated
+        else:
+            inserted = value_change
+            if not _is_zero_entry(inserted):
+                entries[key] = inserted
+    return PMap(entries)
+
+
+def _map_ominus(new: PMap, old: PMap) -> PMap:
+    delta = {}
+    for key, new_value in new.items():
+        if key in old:
+            if new_value != old[key]:
+                delta[key] = semantic_ominus(new_value, old[key])
+        else:
+            delta[key] = new_value
+    for key, old_value in old.items():
+        if key not in new:
+            delta[key] = semantic_ominus(semantic_zero_like(old_value), old_value)
+    return PMap(delta)
+
+
+def _is_zero_entry(value: Any) -> bool:
+    try:
+        return value == semantic_zero_like(value)
+    except TypeError:
+        return False
+
+
+# -- functions -------------------------------------------------------------------
+
+
+def _apply(fn: Any, *arguments: Any) -> Any:
+    from repro.semantics.denotation import apply_semantic
+
+    return apply_semantic(fn, *arguments)
+
+
+def _function_oplus(fn: Any, change: Any) -> Any:
+    def updated(argument: Any) -> Any:
+        return semantic_oplus(
+            _apply(fn, argument), _apply(change, argument, semantic_nil(argument))
+        )
+
+    return updated
+
+
+def _function_ominus(new: Any, old: Any) -> Any:
+    def difference(argument: Any) -> Any:
+        def with_change(argument_change: Any) -> Any:
+            return semantic_ominus(
+                _apply(new, semantic_oplus(argument, argument_change)),
+                _apply(old, argument),
+            )
+
+        return with_change
+
+    return difference

@@ -1,0 +1,76 @@
+"""Change structures (Definition 2.1).
+
+A change structure ``V̂ = (V, Δ, ⊕, ⊖)`` consists of
+
+(a) a base set ``V``,
+(b) for each ``v ∈ V`` a set ``Δv`` of changes for ``v``,
+(c) an update ``v ⊕ dv ∈ V`` for ``dv ∈ Δv``,
+(d) a difference ``u ⊖ v ∈ Δv`` for ``u, v ∈ V``,
+(e) satisfying ``v ⊕ (u ⊖ v) = u``.
+
+Note what is *not* required: ``(v ⊕ dv) ⊖ v = dv`` need not hold -- several
+changes may take ``v`` to the same new value, and the theory only ever
+compares base values, never changes (Sec. 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ChangeStructure:
+    """Abstract base class for semantic change structures.
+
+    Subclasses implement membership tests (used by law checks and the
+    erasure relation) and the two operations.  ``nil`` and ``derivative``
+    have the universal definitions of Def. 2.2 and Sec. 3, overridable
+    when a structure has a cheaper nil.
+    """
+
+    name: str = "ChangeStructure"
+
+    # -- membership ------------------------------------------------------------
+
+    def contains(self, value: Any) -> bool:
+        """Is ``value`` in the base set ``V``?"""
+        raise NotImplementedError
+
+    def delta_contains(self, value: Any, change: Any) -> bool:
+        """Is ``change`` in the change set ``Δ value``?"""
+        raise NotImplementedError
+
+    # -- operations ----------------------------------------------------------------
+
+    def oplus(self, value: Any, change: Any) -> Any:
+        """``value ⊕ change``."""
+        raise NotImplementedError
+
+    def ominus(self, new: Any, old: Any) -> Any:
+        """``new ⊖ old``: a change in ``Δ old`` taking ``old`` to ``new``."""
+        raise NotImplementedError
+
+    def nil(self, value: Any) -> Any:
+        """The nil change ``0_v = v ⊖ v`` (Def. 2.2)."""
+        return self.ominus(value, value)
+
+    # -- derived notions ----------------------------------------------------------------
+
+    def values_equal(self, left: Any, right: Any) -> bool:
+        """Equality on the base set (overridable for approximate carriers,
+        e.g. floats or functions compared extensionally on samples)."""
+        return left == right
+
+    def derivative(self, fn, codomain: "ChangeStructure"):
+        """The trivial derivative ``f' x dx = f (x ⊕ dx) ⊖ f x`` (Sec. 3).
+
+        Always correct, never fast -- it recomputes ``f`` from scratch.
+        This is the baseline every efficient derivative is compared to.
+        """
+
+        def trivial_derivative(value: Any, change: Any) -> Any:
+            return codomain.ominus(fn(self.oplus(value, change)), fn(value))
+
+        return trivial_derivative
+
+    def __repr__(self) -> str:
+        return self.name

@@ -1,0 +1,140 @@
+"""Command-line interface.
+
+    python -m repro derive "\\xs ys -> foldBag gplus id (merge xs ys)"
+    python -m repro check  "\\xs -> mapBag (\\e -> add e 1) xs"
+    python -m repro eval   "foldBag gplus id {{1, 2, 3}}"
+
+Subcommands:
+
+* ``derive``  -- print a program's derivative (optionally unspecialized /
+  unoptimized), its type, and the derivative's type;
+* ``check``   -- type a program and print the Sec. 4.2/4.3 analysis
+  reports (closed subterms, specializable spines, self-maintainability);
+* ``eval``    -- evaluate a closed term and print the value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.nil_analysis import analyze_nil_changes
+from repro.analysis.self_maintainability import analyze_self_maintainability
+from repro.derive.derive import derive_program
+from repro.lang.infer import InferenceError, infer_type
+from repro.lang.parser import ParseError, parse
+from repro.lang.pretty import pretty, pretty_type
+from repro.lang.typecheck import TypeCheckError, check
+from repro.lang.context import Context
+from repro.optimize.pipeline import optimize
+from repro.plugins.registry import standard_registry
+from repro.semantics.eval import evaluate
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "ILC: incrementalizing λ-calculi by static differentiation "
+            "(PLDI 2014 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    derive_parser = subparsers.add_parser(
+        "derive", help="differentiate a program"
+    )
+    derive_parser.add_argument("program", help="surface-syntax program")
+    derive_parser.add_argument(
+        "--no-specialize",
+        action="store_true",
+        help="disable the Sec. 4.2 nil-change specializations",
+    )
+    derive_parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="print the raw derivative without β/DCE/folding",
+    )
+
+    check_parser = subparsers.add_parser(
+        "check", help="type a program and run the static analyses"
+    )
+    check_parser.add_argument("program", help="surface-syntax program")
+
+    eval_parser = subparsers.add_parser(
+        "eval", help="evaluate a closed term"
+    )
+    eval_parser.add_argument("term", help="surface-syntax term")
+    eval_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="use call-by-value evaluation",
+    )
+    return parser
+
+
+def _command_derive(args: argparse.Namespace, out) -> int:
+    registry = standard_registry()
+    term = parse(args.program, registry)
+    annotated, ty = infer_type(term, require_ground=False)
+    print(f"program:    {pretty(annotated)}", file=out)
+    print(f"type:       {pretty_type(ty)}", file=out)
+    derived = derive_program(
+        annotated, registry, specialize=not args.no_specialize
+    )
+    if not args.no_optimize:
+        derived = optimize(derived).term
+    print(f"derivative: {pretty(derived)}", file=out)
+    try:
+        derived_type = check(derived, Context.empty())
+        print(f"of type:    {pretty_type(derived_type)}", file=out)
+    except TypeCheckError:
+        pass  # open terms / non-base schema instantiations
+    return 0
+
+
+def _command_check(args: argparse.Namespace, out) -> int:
+    registry = standard_registry()
+    term = parse(args.program, registry)
+    annotated, ty = infer_type(term, require_ground=False)
+    print(f"type: {pretty_type(ty)}", file=out)
+    print("", file=out)
+    print("nil-change analysis (Sec. 4.2):", file=out)
+    print(analyze_nil_changes(annotated).summary(), file=out)
+    derived = optimize(derive_program(annotated, registry)).term
+    report = analyze_self_maintainability(derived)
+    print("", file=out)
+    print(f"derivative: {report.summary()}", file=out)
+    return 0
+
+
+def _command_eval(args: argparse.Namespace, out) -> int:
+    registry = standard_registry()
+    term = parse(args.term, registry)
+    infer_type(term, require_ground=False)  # surface type errors early
+    value = evaluate(term, strict=args.strict)
+    print(repr(value), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "derive":
+            return _command_derive(args, out)
+        if args.command == "check":
+            return _command_check(args, out)
+        if args.command == "eval":
+            return _command_eval(args, out)
+    except (ParseError, InferenceError, TypeCheckError) as error:
+        print(f"error: {error}", file=out)
+        return 1
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

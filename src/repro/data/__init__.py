@@ -1,0 +1,55 @@
+"""Runtime data substrate for the ILC reproduction.
+
+This package is the Python counterpart of the Scala primitives in Fig. 6 of
+the paper: bags with signed multiplicities, immutable maps, first-class
+abelian groups, and the erased change-value ADT of Sec. 4.4
+(``Replace`` / ``GroupChange``).
+"""
+
+from repro.data.bag import Bag
+from repro.data.change_values import (
+    Change,
+    GroupChange,
+    Replace,
+    is_nil_change,
+    ominus_values,
+    oplus_value,
+)
+from repro.data.group import (
+    AbelianGroup,
+    BAG_GROUP,
+    FLOAT_ADD_GROUP,
+    INT_ADD_GROUP,
+    INT_MUL_GROUP,
+    MapGroup,
+    PairGroup,
+    map_group,
+    pair_group,
+)
+from repro.data.pmap import PMap
+from repro.data.sum import Inl, InlChange, Inr, InrChange, SumValue
+
+__all__ = [
+    "AbelianGroup",
+    "BAG_GROUP",
+    "Bag",
+    "Change",
+    "FLOAT_ADD_GROUP",
+    "GroupChange",
+    "INT_ADD_GROUP",
+    "INT_MUL_GROUP",
+    "Inl",
+    "InlChange",
+    "Inr",
+    "InrChange",
+    "MapGroup",
+    "PMap",
+    "PairGroup",
+    "Replace",
+    "SumValue",
+    "is_nil_change",
+    "map_group",
+    "ominus_values",
+    "oplus_value",
+    "pair_group",
+]

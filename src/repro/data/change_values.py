@@ -1,0 +1,255 @@
+"""Erased runtime change values (Sec. 4.4).
+
+The paper's practical plugin represents a change to a base value as
+
+    Δτ  =  Replace τ  |  GroupChange (AbelianGroup τ) Δ
+
+with update defined by
+
+    v ⊕ Replace u                 = u
+    v ⊕ GroupChange (•, inv, 0) d = v • d
+
+A ``Replace`` change triggers recomputation downstream; a ``GroupChange``
+carries a *difference* that self-maintainable derivatives can propagate
+without touching base values.
+
+Changes to *functions* need no constructor of their own: at runtime a
+function change is simply a function value of two (curried) arguments
+``a, da``, and the erased ⊕ of Fig. 3 applies:
+
+    (f ⊕ df) x = f x ⊕ df x (x ⊖ x)
+
+Function values participate through the ``__oplus__`` protocol, implemented
+by the evaluator's closure/primitive classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.group import AbelianGroup
+
+
+class Change:
+    """Base class of erased change values for base types.
+
+    Plugins may add change representations beyond ``Replace`` and
+    ``GroupChange`` (e.g. the lists plugin's index-based edit scripts) by
+    subclassing and implementing ``apply_to`` -- ``oplus_value`` dispatches
+    through it.
+    """
+
+    __slots__ = ()
+
+    def apply_to(self, value: Any) -> Any:
+        """``value ⊕ self``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement apply_to"
+        )
+
+
+class Replace(Change):
+    """A change that replaces the old value wholesale.
+
+    ``Replace(v)`` is always a valid change from *any* old value to ``v``;
+    in particular ``Replace(v)`` is a valid nil change for ``v`` itself.
+    This is the paper's generic ``⊖``: ``v ⊖ u = Replace v``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Replace):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Replace", self.value))
+
+    def apply_to(self, value: Any) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Replace({self.value!r})"
+
+
+class GroupChange(Change):
+    """A difference expressed via an abelian group on the base type.
+
+    ``v ⊕ GroupChange(g, d) = g.merge(v, d)``.  The update never inspects
+    more of ``v`` than the group operation does, which for bags and maps is
+    proportional to the size of ``d`` -- the heart of self-maintainability.
+    """
+
+    __slots__ = ("group", "delta")
+
+    def __init__(self, group: AbelianGroup, delta: Any):
+        self.group = group
+        self.delta = delta
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GroupChange):
+            return NotImplemented
+        return self.group == other.group and self.delta == other.delta
+
+    def __hash__(self) -> int:
+        return hash(("GroupChange", self.group, self.delta))
+
+    def apply_to(self, value: Any) -> Any:
+        return self.group.merge(value, self.delta)
+
+    def __repr__(self) -> str:
+        return f"GroupChange({self.group!r}, {self.delta!r})"
+
+
+def oplus_value(value: Any, change: Any) -> Any:
+    """Update ``value`` with ``change`` (the erased ``⊕``).
+
+    Dispatches on the change representation: ``Replace`` and ``GroupChange``
+    for base data, the ``__oplus__`` protocol for function values updated by
+    function changes, and tuples pointwise (the product change structure
+    used by the pairs plugin).
+    """
+    if isinstance(change, Replace):
+        return change.value
+    if isinstance(change, GroupChange):
+        return change.group.merge(value, change.delta)
+    if isinstance(change, Change):
+        return change.apply_to(value)
+    if isinstance(change, tuple) and isinstance(value, tuple):
+        if len(change) != len(value):
+            raise ValueError(
+                f"pair change arity {len(change)} != value arity {len(value)}"
+            )
+        return tuple(
+            oplus_value(component, component_change)
+            for component, component_change in zip(value, change)
+        )
+    oplus = getattr(value, "__oplus__", None)
+    if oplus is not None:
+        return oplus(change)
+    raise TypeError(
+        f"cannot apply change {change!r} to value {value!r}"
+    )
+
+
+def ominus_values(new: Any, old: Any) -> Any:
+    """The erased generic ``⊖``: a change taking ``old`` to ``new``.
+
+    Base data falls back to ``Replace(new)`` exactly as in Sec. 4.4 ("the
+    operator ⊖ does not know which group to use, so it does not take
+    advantage of the group structure").  Function values use their
+    ``__ominus__`` protocol, and tuples difference pointwise.
+    """
+    ominus = getattr(new, "__ominus__", None)
+    if ominus is not None:
+        return ominus(old)
+    if isinstance(new, tuple) and isinstance(old, tuple) and len(new) == len(old):
+        return tuple(
+            ominus_values(new_component, old_component)
+            for new_component, old_component in zip(new, old)
+        )
+    return Replace(new)
+
+
+def group_ominus(group: AbelianGroup, new: Any, old: Any) -> GroupChange:
+    """A group-aware ``⊖``: ``new ⊖ old = GroupChange(g, new • inv(old))``."""
+    return GroupChange(group, group.merge(new, group.inverse(old)))
+
+
+def nil_change_for(value: Any) -> Any:
+    """A canonical nil change for ``value``.
+
+    Ints and bags get detectably-nil ``GroupChange``s with zero deltas;
+    everything else falls back to ``Replace(value)``, which is a valid (if
+    opaque) nil change.  Function values use their ``__nil_change__`` hook.
+    """
+    from repro.data.bag import Bag
+    from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+
+    nil_hook = getattr(value, "__nil_change__", None)
+    if nil_hook is not None:
+        return nil_hook()
+    if isinstance(value, bool):
+        return Replace(value)
+    if isinstance(value, int):
+        return GroupChange(INT_ADD_GROUP, 0)
+    if isinstance(value, Bag):
+        return GroupChange(BAG_GROUP, Bag.empty())
+    if isinstance(value, tuple):
+        return tuple(nil_change_for(component) for component in value)
+    from repro.data.sum import Inl, InlChange, Inr, InrChange
+
+    if isinstance(value, Inl):
+        return InlChange(nil_change_for(value.value))
+    if isinstance(value, Inr):
+        return InrChange(nil_change_for(value.value))
+    return Replace(value)
+
+
+def compose_changes(first: Any, second: Any) -> Any:
+    """A single change equivalent to applying ``first`` then ``second``:
+    ``v ⊕ compose(d₁, d₂) = (v ⊕ d₁) ⊕ d₂`` for every ``v``.
+
+    Returns None when no base-independent composition exists (the caller
+    should keep the changes queued instead).  Compositions found:
+
+    * ``GroupChange(g, a)`` then ``GroupChange(g, b)`` = ``GroupChange(g, a•b)``;
+    * anything then ``Replace(u)`` = ``Replace(u)`` (the second wins);
+    * ``Replace(u)`` then ``d`` = ``Replace(u ⊕ d)``;
+    * list edit scripts concatenate;
+    * pair changes compose pointwise (when both components compose).
+    """
+    if isinstance(second, Replace):
+        return second
+    if isinstance(first, Replace):
+        return Replace(oplus_value(first.value, second))
+    if (
+        isinstance(first, GroupChange)
+        and isinstance(second, GroupChange)
+        and first.group == second.group
+    ):
+        return GroupChange(first.group, first.group.merge(first.delta, second.delta))
+    if isinstance(first, tuple) and isinstance(second, tuple) and len(first) == len(second):
+        composed = tuple(
+            compose_changes(first_component, second_component)
+            for first_component, second_component in zip(first, second)
+        )
+        if all(component is not None for component in composed):
+            return composed
+        return None
+    compose_hook = getattr(first, "compose_with", None)
+    if compose_hook is not None:
+        return compose_hook(second)
+    return None
+
+
+def is_nil_change(change: Any, base: Any = None) -> bool:
+    """Conservatively detect nil changes.
+
+    Returns True only when the change provably does not alter any base
+    value (zero-delta ``GroupChange``) or provably does not alter the given
+    ``base`` (``Replace`` equal to it).  Function changes are never
+    detectably nil at runtime -- the static analysis of Sec. 4.2 exists
+    precisely because this runtime check is conservative.
+    """
+    if isinstance(change, GroupChange):
+        return change.group.is_zero(change.delta)
+    if isinstance(change, Replace) and base is not None:
+        return change.value == base
+    from repro.data.sum import SumValue, _SideChange
+
+    if isinstance(change, _SideChange):
+        inner_base = base.value if isinstance(base, SumValue) else None
+        return is_nil_change(change.change, inner_base)
+    if isinstance(change, tuple):
+        if base is not None and isinstance(base, tuple) and len(base) == len(change):
+            return all(
+                is_nil_change(component, base_component)
+                for component, base_component in zip(change, base)
+            )
+        return all(is_nil_change(component) for component in change)
+    return False

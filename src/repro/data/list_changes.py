@@ -1,0 +1,143 @@
+"""Structural changes for lists: index-based edit scripts.
+
+Lists are the paper's example of a type with *fewer* algebraic properties
+than bags -- concatenation is not commutative and has no inverses, so the
+abelian-group construction does not apply and changes must speak about
+*positions* (Sec. 6: "even lists can benefit from special support",
+citing Maier & Odersky's incremental lists).
+
+A list change is a script of edits, applied left to right:
+
+* ``Insert(index, value)`` -- insert ``value`` before ``index``;
+* ``Delete(index)``        -- remove the element at ``index``;
+* ``Update(index, change)`` -- apply an element change at ``index``.
+
+Lists themselves are Python tuples (immutable, hashable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.data.change_values import Change, oplus_value
+
+
+@dataclass(frozen=True)
+class Insert:
+    index: int
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Insert({self.index}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class Delete:
+    index: int
+
+    def __repr__(self) -> str:
+        return f"Delete({self.index})"
+
+
+@dataclass(frozen=True)
+class Update:
+    index: int
+    change: Any
+
+    def __repr__(self) -> str:
+        return f"Update({self.index}, {self.change!r})"
+
+
+Edit = Any  # Insert | Delete | Update
+
+
+class ListChange(Change):
+    """An edit script over a list value."""
+
+    __slots__ = ("edits",)
+
+    def __init__(self, *edits: Edit):
+        self.edits: Tuple[Edit, ...] = tuple(edits)
+
+    @staticmethod
+    def nil() -> "ListChange":
+        return _NIL
+
+    def is_nil(self) -> bool:
+        return not self.edits
+
+    def apply_to(self, value: Any) -> Any:
+        if not isinstance(value, tuple):
+            raise TypeError(f"list change applied to non-list: {value!r}")
+        items = list(value)
+        for edit in self.edits:
+            if isinstance(edit, Insert):
+                if not 0 <= edit.index <= len(items):
+                    raise IndexError(
+                        f"insert at {edit.index} out of range 0..{len(items)}"
+                    )
+                items.insert(edit.index, edit.value)
+            elif isinstance(edit, Delete):
+                if not 0 <= edit.index < len(items):
+                    raise IndexError(
+                        f"delete at {edit.index} out of range"
+                    )
+                del items[edit.index]
+            elif isinstance(edit, Update):
+                if not 0 <= edit.index < len(items):
+                    raise IndexError(
+                        f"update at {edit.index} out of range"
+                    )
+                items[edit.index] = oplus_value(items[edit.index], edit.change)
+            else:
+                raise TypeError(f"unknown list edit: {edit!r}")
+        return tuple(items)
+
+    def then(self, other: "ListChange") -> "ListChange":
+        """Sequential composition (apply ``self`` first)."""
+        return ListChange(*(self.edits + other.edits))
+
+    def compose_with(self, other: Any) -> "ListChange | None":
+        """Hook for ``repro.data.change_values.compose_changes``."""
+        if isinstance(other, ListChange):
+            return self.then(other)
+        return None
+
+    def shifted(self, offset: int) -> "ListChange":
+        """The same edits, displaced by ``offset`` positions (used by
+        ``append``'s derivative to route right-list edits)."""
+        shifted_edits = []
+        for edit in self.edits:
+            if isinstance(edit, Insert):
+                shifted_edits.append(Insert(edit.index + offset, edit.value))
+            elif isinstance(edit, Delete):
+                shifted_edits.append(Delete(edit.index + offset))
+            else:
+                shifted_edits.append(Update(edit.index + offset, edit.change))
+        return ListChange(*shifted_edits)
+
+    def net_length_change(self) -> int:
+        """Inserts minus deletes -- the derivative of ``length``."""
+        net = 0
+        for edit in self.edits:
+            if isinstance(edit, Insert):
+                net += 1
+            elif isinstance(edit, Delete):
+                net -= 1
+        return net
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ListChange):
+            return NotImplemented
+        return self.edits == other.edits
+
+    def __hash__(self) -> int:
+        return hash(("ListChange", self.edits))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(edit) for edit in self.edits)
+        return f"ListChange({body})"
+
+
+_NIL = ListChange()

@@ -1,0 +1,98 @@
+"""Tagged unions (sums) as runtime values, with structural changes.
+
+The paper's case-study plugin "also implements tuples, tagged unions,
+Booleans and integers with the usual introduction and elimination forms"
+(Sec. 4.4).  Beyond the paper, sums here get *structural* changes (part
+of the Sec. 6 algebraic-data-types future work): a change to ``Inl a``
+that stays on the left is ``InlChange(da)`` carrying a payload change,
+letting ``matchSum`` propagate branch derivatives instead of replacing
+wholesale; side switches fall back to ``Replace``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.change_values import Change, oplus_value
+
+
+class SumValue:
+    """Base class for values of a sum type ``σ + τ``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.value == other.value
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.value))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.value!r})"
+
+
+class Inl(SumValue):
+    """Left injection into a sum type."""
+
+    __slots__ = ()
+
+
+class Inr(SumValue):
+    """Right injection into a sum type."""
+
+    __slots__ = ()
+
+
+class _SideChange(Change):
+    """A payload change that stays on one side of the sum."""
+
+    __slots__ = ("change",)
+    _side: type = SumValue
+
+    def __init__(self, change: Any):
+        self.change = change
+
+    def apply_to(self, value: Any) -> Any:
+        if not isinstance(value, self._side):
+            raise TypeError(
+                f"{type(self).__name__} applied to {value!r}: the change "
+                "stays on the other side (use Replace to switch sides)"
+            )
+        return self._side(oplus_value(value.value, self.change))
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.change == other.change
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.change))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.change!r})"
+
+
+class InlChange(_SideChange):
+    """A change to ``Inl a`` staying left: ``Inl a ⊕ InlChange(da) =
+    Inl (a ⊕ da)``."""
+
+    __slots__ = ()
+    _side = Inl
+
+
+class InrChange(_SideChange):
+    """A change to ``Inr b`` staying right."""
+
+    __slots__ = ()
+    _side = Inr

@@ -1,0 +1,11 @@
+"""Static differentiation (Sec. 3.2) and its validation harness."""
+
+from repro.derive.derive import DeriveError, derive, derive_program
+from repro.derive.validate import check_derive_correctness
+
+__all__ = [
+    "DeriveError",
+    "check_derive_correctness",
+    "derive",
+    "derive_program",
+]

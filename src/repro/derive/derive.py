@@ -1,0 +1,187 @@
+"""The ``Derive`` source-to-source transformation (Fig. 4g).
+
+    Derive(x)      = dx
+    Derive(λx. t)  = λx dx. Derive(t)
+    Derive(s t)    = Derive(s) t Derive(t)
+    Derive(c)      = the plugin-supplied derivative of c
+
+extended with the practical cases:
+
+    Derive(let x = s in t) = let x = s; dx = Derive(s) in Derive(t)
+    Derive(lit)            = a nil-change literal for lit's type
+
+and with the static nil-change analysis of Sec. 4.2: at a fully applied
+primitive spine ``c t₁ … tₙ`` whose plugin registers a specialization for
+argument positions that are *closed terms* (closed ⇒ change is nil,
+Thm. 2.10), the specialized -- typically self-maintainable -- derivative
+is emitted instead of ``Derive(c) t₁ Derive(t₁) …``.
+
+Hygiene: ``Derive`` names the change of ``x`` as ``dx``; source programs
+must not bind variables starting with ``d``.  ``derive_program`` α-renames
+offenders first (``prepare=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.infer import infer_type
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.traversal import (
+    bound_variables,
+    free_variables,
+    rename_d_variables,
+    spine,
+)
+from repro.plugins.registry import Registry
+
+
+class DeriveError(ValueError):
+    """Differentiation failed (hygiene violation or missing plugin data)."""
+
+
+def derive(
+    term: Term,
+    registry: Registry,
+    specialize: bool = True,
+) -> Term:
+    """Differentiate ``term`` (Fig. 4g).
+
+    If ``Γ ⊢ t : τ`` then ``Γ, ΔΓ ⊢ Derive(t) : Δτ``: the result mentions
+    ``x`` and ``dx`` for every free variable ``x`` of ``term``.
+
+    ``specialize`` enables the Sec. 4.2 nil-change specializations; with
+    it off, every primitive uses its generic derivative (the ablation
+    benchmarks compare the two).
+    """
+    _check_hygiene(term)
+    return _derive(term, registry, specialize, frozenset())
+
+
+def _check_hygiene(term: Term) -> None:
+    offenders = sorted(
+        name
+        for name in (free_variables(term) | bound_variables(term))
+        if name.startswith("d")
+    )
+    if offenders:
+        raise DeriveError(
+            "variables must not start with 'd' (they would collide with "
+            f"change names): {', '.join(offenders)}; "
+            "use derive_program(..., prepare=True) to α-rename them"
+        )
+
+
+def _derive(
+    term: Term,
+    registry: Registry,
+    specialize: bool,
+    closed_vars: frozenset,
+) -> Term:
+    """``closed_vars`` propagates the Sec. 4.2 analysis: variables bound
+    (by ``let``) to closed terms are themselves statically nil."""
+    if isinstance(term, Var):
+        return Var(f"d{term.name}")
+    if isinstance(term, Lam):
+        change_param_type = (
+            registry.change_type(term.param_type)
+            if term.param_type is not None
+            else None
+        )
+        inner_closed = closed_vars - {term.param}
+        return Lam(
+            term.param,
+            Lam(
+                f"d{term.param}",
+                _derive(term.body, registry, specialize, inner_closed),
+                change_param_type,
+            ),
+            term.param_type,
+        )
+    if isinstance(term, App):
+        if specialize:
+            specialized = _try_specialize(term, registry, closed_vars)
+            if specialized is not None:
+                return specialized
+        return App(
+            App(_derive(term.fn, registry, specialize, closed_vars), term.arg),
+            _derive(term.arg, registry, specialize, closed_vars),
+        )
+    if isinstance(term, Let):
+        if _statically_nil(term.bound, closed_vars):
+            inner_closed = closed_vars | {term.name}
+        else:
+            inner_closed = closed_vars - {term.name}
+        return Let(
+            term.name,
+            term.bound,
+            Let(
+                f"d{term.name}",
+                _derive(term.bound, registry, specialize, closed_vars),
+                _derive(term.body, registry, specialize, inner_closed),
+            ),
+        )
+    if isinstance(term, Const):
+        spec = term.spec
+        if spec.derivative is None and spec.arity == 0:
+            # A ground constant's change is its nil change (Thm. 2.10);
+            # plugins provide detectably-nil literals where possible.
+            return Lit(
+                registry.nil_change_literal(spec.value, spec.schema.type),
+                registry.change_type(spec.schema.type),
+            )
+        return spec.derivative_term()
+    if isinstance(term, Lit):
+        return Lit(
+            registry.nil_change_literal(term.value, term.type),
+            registry.change_type(term.type),
+        )
+    raise DeriveError(f"unknown term node: {term!r}")
+
+
+def _statically_nil(term: Term, closed_vars: frozenset) -> bool:
+    """True if ``term``'s change is provably nil: every free variable is
+    itself bound to a closed term (closed ⇒ nil change, Thm. 2.10)."""
+    return free_variables(term) <= closed_vars
+
+
+def _try_specialize(
+    term: App, registry: Registry, closed_vars: frozenset
+) -> Optional[Term]:
+    """Apply the most specific matching derivative specialization at this
+    application spine, if any (Sec. 4.2)."""
+    head, arguments = spine(term)
+    if not isinstance(head, Const):
+        return None
+    spec = head.spec
+    if not spec.specializations or len(arguments) != spec.arity:
+        return None
+    nil_positions = {
+        index
+        for index, argument in enumerate(arguments)
+        if _statically_nil(argument, closed_vars)
+    }
+    for specialization in spec.specializations:
+        if specialization.nil_positions <= nil_positions:
+            return specialization.builder(
+                arguments,
+                lambda t: _derive(t, registry, True, closed_vars),
+            )
+    return None
+
+
+def derive_program(
+    term: Term,
+    registry: Registry,
+    specialize: bool = True,
+    prepare: bool = True,
+    annotate: bool = False,
+) -> Term:
+    """Convenience front door: optionally α-rename ``d``-variables away,
+    optionally run inference to annotate λ binders (so the derivative's
+    binders carry change types), then differentiate."""
+    if prepare:
+        term = rename_d_variables(term)
+    if annotate:
+        term, _ = infer_type(term, require_ground=False)
+    return derive(term, registry, specialize)

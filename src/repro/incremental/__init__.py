@@ -1,0 +1,17 @@
+"""The incremental-execution engines.
+
+* ``IncrementalProgram`` -- the Sec. 4.1 workflow: derive once, react to
+  change streams.
+* ``CachingIncrementalProgram`` -- the Sec. 5.2.2 extension: additionally
+  cache every intermediate result (via ANF let-lifting) so derivatives
+  that need base values read them from caches instead of recomputing.
+"""
+
+from repro.incremental.caching import CachingIncrementalProgram
+from repro.incremental.engine import IncrementalProgram, incrementalize
+
+__all__ = [
+    "CachingIncrementalProgram",
+    "IncrementalProgram",
+    "incrementalize",
+]

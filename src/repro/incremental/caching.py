@@ -1,0 +1,216 @@
+"""Static caching of intermediate results (the Sec. 5.2.2 future work).
+
+The paper: "not-self-maintainable derivatives can require expensive
+computations to supply their base arguments, which ... are also computed
+while running the base program, [so] one could reuse the previously
+computed value through memoization or extensions of static caching ...
+We leave implementing these optimizations for future work."
+
+``CachingIncrementalProgram`` implements that extension:
+
+1. the program body is let-lifted to A-normal form, naming every
+   intermediate result;
+2. each binding's right-hand side is differentiated separately
+   (``dvᵢ = Derive(eᵢ)``, evaluated in an environment with cached values
+   and current changes);
+3. the base run caches every intermediate; each step evaluates only the
+   per-binding *derivatives*, updates each cache with ``⊕`` (lazily), and
+   emits the result's change.
+
+Effect: a derivative that *reads* a base value (e.g. ``mul'`` needing
+``x`` and ``y``) finds it in the cache in O(1) instead of re-running the
+expression that produced it -- turning programs like
+``λxs ys. (Σxs) · (Σys)``, whose top-level derivative is not
+self-maintainable, back into O(|change|) reactions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.data.change_values import oplus_value
+from repro.derive.derive import derive, rename_d_variables
+from repro.incremental.engine import _LazyInput
+from repro.lang.infer import infer_type
+from repro.lang.terms import Lam, Lit, Term, Var
+from repro.optimize.anf import anf_bindings, is_atomic, to_anf
+from repro.plugins.registry import Registry
+from repro.semantics.env import Env
+from repro.semantics.eval import Evaluator
+from repro.semantics.thunk import EvalStats, Thunk, force
+
+
+class CachingIncrementalProgram:
+    """Incremental execution with per-intermediate caches."""
+
+    def __init__(
+        self,
+        term: Term,
+        registry: Registry,
+        specialize: bool = True,
+        infer: bool = True,
+    ):
+        self.registry = registry
+        self.stats = EvalStats()
+        self._evaluator = Evaluator(strict=False, stats=self.stats)
+
+        term = rename_d_variables(term)
+        if infer:
+            term, program_type = infer_type(term)
+            self.program_type = program_type
+        else:
+            self.program_type = None
+
+        # Peel the parameter prefix.
+        params: List[str] = []
+        body: Term = term
+        while isinstance(body, Lam):
+            params.append(body.param)
+            body = body.body
+        if not params:
+            raise ValueError("program must take at least one input")
+        self.term = term
+        self.parameters = params
+
+        # Let-lift the body and make sure it ends in an atom.
+        normalized = to_anf(body)
+        bindings, result = anf_bindings(normalized)
+        if not is_atomic(result):
+            bindings = bindings + [("cache_result", result)]
+            result = Var("cache_result")
+        self.bindings: List[Tuple[str, Term]] = bindings
+        self.result_atom: Term = result
+
+        # Differentiate each binding's RHS independently.
+        self.binding_derivatives: List[Tuple[str, Term]] = [
+            (name, derive(bound, registry, specialize=specialize))
+            for name, bound in bindings
+        ]
+
+        self._inputs: Optional[List[_LazyInput]] = None
+        self._caches: Dict[str, _LazyInput] = {}
+        self._output: Any = None
+        self._steps = 0
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, *inputs: Any) -> Any:
+        if len(inputs) != self.arity:
+            raise ValueError(f"expected {self.arity} inputs, got {len(inputs)}")
+        self._inputs = [_LazyInput(value) for value in inputs]
+        env = Env.empty()
+        for name, lazy_input in zip(self.parameters, self._inputs):
+            env = env.extend(name, Thunk(lazy_input.current, self.stats))
+        self._caches = {}
+        for name, bound in self.bindings:
+            snapshot = env
+            cache = _LazyInput(
+                Thunk(
+                    lambda t=bound, e=snapshot: self._evaluator.eval(t, e),
+                    self.stats,
+                )
+            )
+            self._caches[name] = cache
+            env = env.extend(name, Thunk(cache.current, self.stats))
+        self._output = self._resolve_atom(self.result_atom)
+        self._steps = 0
+        return self._output
+
+    def _resolve_atom(self, atom: Term) -> Any:
+        if isinstance(atom, Lit):
+            return atom.value
+        if isinstance(atom, Var):
+            if atom.name in self._caches:
+                return self._caches[atom.name].current()
+            index = self.parameters.index(atom.name)
+            return self._inputs[index].current()
+        return force(self._evaluator.eval(atom, Env.empty()))
+
+    def step(self, *changes: Any) -> Any:
+        if self._inputs is None:
+            raise RuntimeError("call initialize() before step()")
+        if len(changes) != self.arity:
+            raise ValueError(
+                f"expected {self.arity} changes, got {len(changes)}"
+            )
+        env = Env.empty()
+        for name, lazy_input, change in zip(
+            self.parameters, self._inputs, changes
+        ):
+            env = env.extend(name, Thunk(lazy_input.current, self.stats))
+            env = env.extend(f"d{name}", change)
+
+        binding_changes: Dict[str, Any] = {}
+        for (name, _), (_, derivative) in zip(
+            self.bindings, self.binding_derivatives
+        ):
+            cache = self._caches[name]
+            env = env.extend(name, Thunk(cache.current, self.stats))
+            change = Thunk(
+                lambda t=derivative, e=env: self._evaluator.eval(t, e),
+                self.stats,
+            )
+            env = env.extend(f"d{name}", change)
+            binding_changes[name] = change
+
+        output_change = self._atom_change(changes, binding_changes)
+        self._output = oplus_value(self._output, force(output_change))
+        # Advance caches and inputs only now: every derivative above saw
+        # pre-step values.  Unforced derivative thunks are forced here (a
+        # cache cannot skip its own update), still lazily per value.
+        for name, change in binding_changes.items():
+            self._caches[name].push(force(change))
+        for lazy_input, change in zip(self._inputs, changes):
+            lazy_input.push(change)
+        self._steps += 1
+        return self._output
+
+    def _atom_change(self, changes, binding_changes) -> Any:
+        atom = self.result_atom
+        if isinstance(atom, Lit):
+            return self.registry.nil_change_literal(atom.value, atom.type)
+        if isinstance(atom, Var):
+            if atom.name in binding_changes:
+                return binding_changes[atom.name]
+            index = self.parameters.index(atom.name)
+            return changes[index]
+        raise RuntimeError(f"non-atomic result: {atom!r}")
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def output(self) -> Any:
+        if self._inputs is None:
+            raise RuntimeError("program not initialized")
+        return self._output
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def cached_value(self, name: str) -> Any:
+        """The current value of a named intermediate (forces its queue)."""
+        return self._caches[name].current()
+
+    def cache_names(self) -> List[str]:
+        return [name for name, _ in self.bindings]
+
+    def current_inputs(self) -> List[Any]:
+        if self._inputs is None:
+            raise RuntimeError("program not initialized")
+        return [lazy_input.current() for lazy_input in self._inputs]
+
+    def recompute(self) -> Any:
+        from repro.semantics.eval import apply_value, evaluate
+
+        if self._inputs is None:
+            raise RuntimeError("program not initialized")
+        program = evaluate(self.term)
+        return apply_value(program, *self.current_inputs())
+
+    def verify(self) -> bool:
+        return self.recompute() == self._output

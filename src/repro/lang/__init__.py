@@ -1,0 +1,77 @@
+"""The object language: a simply-typed λ-calculus parameterized by plugins.
+
+Implements Fig. 1 of the paper (syntax and typing) plus the conveniences a
+practical implementation needs: a unification-based type inference engine
+(so plugin constants can be given polymorphic *schemas* while every term
+instance remains simply typed, mirroring the paper's "family of base types"
+trick), a surface-syntax parser, a precedence-aware pretty-printer, and a
+builder DSL for embedding object terms in Python.
+"""
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.types import (
+    Schema,
+    TBag,
+    TBool,
+    TChange,
+    TFun,
+    TGroup,
+    TInt,
+    TMap,
+    TPair,
+    TSum,
+    TVar,
+    TBase,
+    Type,
+    fun_type,
+    result_type,
+    uncurry_fun_type,
+)
+from repro.lang.context import Context
+from repro.lang.traversal import (
+    alpha_equivalent,
+    free_variables,
+    fresh_name,
+    rename_d_variables,
+    spine,
+    substitute,
+    subterms,
+    term_size,
+    unspine,
+)
+
+__all__ = [
+    "App",
+    "Const",
+    "Context",
+    "Lam",
+    "Let",
+    "Lit",
+    "Schema",
+    "TBag",
+    "TBase",
+    "TBool",
+    "TChange",
+    "TFun",
+    "TGroup",
+    "TInt",
+    "TMap",
+    "TPair",
+    "TSum",
+    "TVar",
+    "Term",
+    "Type",
+    "Var",
+    "alpha_equivalent",
+    "free_variables",
+    "fresh_name",
+    "fun_type",
+    "rename_d_variables",
+    "result_type",
+    "spine",
+    "substitute",
+    "subterms",
+    "term_size",
+    "uncurry_fun_type",
+    "unspine",
+]

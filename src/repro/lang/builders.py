@@ -1,0 +1,83 @@
+"""A small builder DSL for embedding object terms in Python.
+
+The paper embeds its object language as an EDSL in Scala (Sec. 4.1); this
+module plays the same role for Python::
+
+    from repro.lang.builders import lam, let, v
+
+    grand_total = lam("xs", "ys")(
+        fold_bag(G_PLUS, id_int, merge(v.xs, v.ys))
+    )
+
+``v.name`` (or ``v["name"]``) builds a variable; ``lam("x", "y")(body)``
+builds nested λs; every ``Term`` is callable, so ``f(a, b)`` is
+application.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from repro.lang.terms import App, Lam, Let, Lit, Term, Var, _as_term
+from repro.lang.types import TBool, TInt, Type
+
+
+class _VarFactory:
+    """Attribute access mints variables: ``v.xs == Var('xs')``."""
+
+    def __getattr__(self, name: str) -> Var:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return Var(name)
+
+    def __getitem__(self, name: str) -> Var:
+        return Var(name)
+
+
+v = _VarFactory()
+
+
+def lam(*params: Union[str, tuple]) -> Callable[[Any], Term]:
+    """Build nested λs: ``lam("x", ("y", TInt))(body)``.
+
+    Each parameter is either a bare name or a ``(name, type)`` pair.
+    Returns a function awaiting the body, so usage reads like a binder.
+    """
+    if not params:
+        raise ValueError("lam needs at least one parameter")
+
+    def build(body: Any) -> Term:
+        term = _as_term(body)
+        for param in reversed(params):
+            if isinstance(param, tuple):
+                name, annotation = param
+                term = Lam(name, term, annotation)
+            else:
+                term = Lam(param, term)
+        return term
+
+    return build
+
+
+def let(name: str, bound: Any, body: Any) -> Let:
+    """``let name = bound in body``."""
+    return Let(name, _as_term(bound), _as_term(body))
+
+
+def lit(value: Any, ty: Optional[Type] = None) -> Lit:
+    """Embed a host value as a literal, inferring ``Int``/``Bool`` types."""
+    if ty is not None:
+        return Lit(value, ty)
+    if isinstance(value, bool):
+        return Lit(value, TBool)
+    if isinstance(value, int):
+        return Lit(value, TInt)
+    raise TypeError(f"cannot infer a type for literal {value!r}; pass ty=")
+
+
+def app(fn: Any, *arguments: Any) -> Term:
+    """Left-nested application ``fn a₁ … aₙ``."""
+    term = _as_term(fn)
+    for argument in arguments:
+        term = App(term, _as_term(argument))
+    return term

@@ -1,0 +1,84 @@
+"""Typing contexts Γ (Fig. 1) and change contexts ΔΓ (Fig. 4d).
+
+A context maps variable names to types.  ``Context.change_context``
+implements ``ΔΓ``: for each binding ``x : τ`` it adds ``dx : Δτ``, using
+the plugin registry to compute ``Δτ`` for base types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.lang.types import Type
+
+
+class Context:
+    """An immutable typing context."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Dict[str, Type] | None = None):
+        self._bindings = dict(bindings) if bindings else {}
+
+    @staticmethod
+    def empty() -> "Context":
+        return Context()
+
+    @staticmethod
+    def of(**bindings: Type) -> "Context":
+        return Context(bindings)
+
+    def extend(self, name: str, ty: Type) -> "Context":
+        bindings = dict(self._bindings)
+        bindings[name] = ty
+        return Context(bindings)
+
+    def lookup(self, name: str) -> Optional[Type]:
+        return self._bindings.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __getitem__(self, name: str) -> Type:
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise KeyError(f"unbound variable: {name}") from None
+
+    def names(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def items(self) -> Iterator[Tuple[str, Type]]:
+        return iter(self._bindings.items())
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Context):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    def change_context(self, change_type) -> "Context":
+        """``ΔΓ``: for each ``x : τ`` also bind ``dx : Δτ`` (Fig. 4d).
+
+        ``change_type`` maps a type to its change type (usually
+        ``repro.derive.change_types.change_type`` partially applied to a
+        registry).  The result contains *both* Γ and ΔΓ, matching the
+        typing rule ``Γ, ΔΓ ⊢ Derive(t) : Δτ``.
+        """
+        bindings = dict(self._bindings)
+        for name, ty in self._bindings.items():
+            bindings[f"d{name}"] = change_type(ty)
+        return Context(bindings)
+
+    def __repr__(self) -> str:
+        if not self._bindings:
+            return "Context()"
+        body = ", ".join(
+            f"{name}: {ty!r}" for name, ty in sorted(self._bindings.items())
+        )
+        return f"Context({body})"

@@ -1,0 +1,242 @@
+"""Unification-based type inference for the object language.
+
+Every term instance is simply typed (Fig. 1), but plugin constants carry
+polymorphic schemas (e.g. ``merge : ∀a. Bag a → Bag a → Bag a``) so the
+same primitive works at many base types -- the paper's "family of base
+types" exposed by the plugin (Sec. 4.1).  Inference instantiates schemas
+with fresh variables, solves the usual unification constraints, and
+returns a fully annotated term in which every λ binder carries its
+(ground) parameter type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.lang.context import Context
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.types import (
+    TBase,
+    TFun,
+    TVar,
+    Type,
+    TypeVarSupply,
+    is_ground,
+)
+
+
+class InferenceError(TypeError):
+    """A type error detected during inference."""
+
+
+class UnificationError(InferenceError):
+    """Two types could not be unified."""
+
+    def __init__(self, left: Type, right: Type, context: str = ""):
+        detail = f" ({context})" if context else ""
+        super().__init__(f"cannot unify {left!r} with {right!r}{detail}")
+        self.left = left
+        self.right = right
+
+
+class OccursCheckError(InferenceError):
+    """A type variable occurs inside the type it would be bound to."""
+
+    def __init__(self, var: TVar, ty: Type):
+        super().__init__(f"occurs check: {var!r} in {ty!r}")
+
+
+class AmbiguousTypeError(InferenceError):
+    """Inference succeeded but left an unconstrained type variable."""
+
+
+class Unifier:
+    """A mutable union-find-free substitution with eager path resolution."""
+
+    def __init__(self) -> None:
+        self._subst: Dict[str, Type] = {}
+
+    def resolve(self, ty: Type) -> Type:
+        """Follow substitution links on the head of ``ty``."""
+        while isinstance(ty, TVar):
+            replacement = self._subst.get(ty.name)
+            if replacement is None:
+                return ty
+            ty = replacement
+        return ty
+
+    def zonk(self, ty: Type) -> Type:
+        """Fully apply the substitution throughout ``ty``."""
+        ty = self.resolve(ty)
+        if isinstance(ty, TFun):
+            return TFun(self.zonk(ty.arg), self.zonk(ty.res))
+        if isinstance(ty, TBase):
+            if not ty.args:
+                return ty
+            return TBase(ty.name, tuple(self.zonk(arg) for arg in ty.args))
+        return ty
+
+    def unify(self, left: Type, right: Type, context: str = "") -> None:
+        left = self.resolve(left)
+        right = self.resolve(right)
+        if left == right:
+            return
+        if isinstance(left, TVar):
+            self._bind(left, right)
+            return
+        if isinstance(right, TVar):
+            self._bind(right, left)
+            return
+        if isinstance(left, TFun) and isinstance(right, TFun):
+            self.unify(left.arg, right.arg, context)
+            self.unify(left.res, right.res, context)
+            return
+        if (
+            isinstance(left, TBase)
+            and isinstance(right, TBase)
+            and left.name == right.name
+            and len(left.args) == len(right.args)
+        ):
+            for left_arg, right_arg in zip(left.args, right.args):
+                self.unify(left_arg, right_arg, context)
+            return
+        raise UnificationError(self.zonk(left), self.zonk(right), context)
+
+    def _bind(self, var: TVar, ty: Type) -> None:
+        if self._occurs(var, ty):
+            raise OccursCheckError(var, self.zonk(ty))
+        self._subst[var.name] = ty
+
+    def _occurs(self, var: TVar, ty: Type) -> bool:
+        ty = self.resolve(ty)
+        if isinstance(ty, TVar):
+            return ty.name == var.name
+        if isinstance(ty, TFun):
+            return self._occurs(var, ty.arg) or self._occurs(var, ty.res)
+        if isinstance(ty, TBase):
+            return any(self._occurs(var, arg) for arg in ty.args)
+        return False
+
+
+class _Inferencer:
+    def __init__(self) -> None:
+        self.unifier = Unifier()
+        self.supply = TypeVarSupply()
+
+    def annotate(self, term: Term, env: Dict[str, Type]) -> Term:
+        """Rebuild ``term`` with every λ binder carrying its zonked type."""
+        if isinstance(term, (Var, Lit, Const)):
+            return term
+        if isinstance(term, Lam):
+            param_type: Type = (
+                term.param_type
+                if term.param_type is not None
+                else self._binder_types[id(term)]
+            )
+            param_type = self.unifier.zonk(param_type)
+            inner = dict(env)
+            inner[term.param] = param_type
+            return Lam(term.param, self.annotate(term.body, inner), param_type)
+        if isinstance(term, App):
+            return App(self.annotate(term.fn, env), self.annotate(term.arg, env))
+        if isinstance(term, Let):
+            return Let(
+                term.name,
+                self.annotate(term.bound, env),
+                self.annotate(term.body, env),
+            )
+        raise InferenceError(f"unknown term node: {term!r}")
+
+    _binder_types: Dict[int, Type]
+
+    def run(self, term: Term, env: Dict[str, Type]) -> Tuple[Term, Type]:
+        self._binder_types = {}
+        ty = self._infer_remembering(term, env)
+        annotated = self.annotate(term, env)
+        zonked = self.unifier.zonk(ty)
+        return annotated, zonked
+
+    def _infer_remembering(self, term: Term, env: Dict[str, Type]) -> Type:
+        """Infer ``term``'s type, recording each λ's parameter type by
+        node id so ``annotate`` can fill binders in afterwards."""
+        if isinstance(term, Var):
+            ty = env.get(term.name)
+            if ty is None:
+                raise InferenceError(f"unbound variable: {term.name}")
+            return ty
+        if isinstance(term, Lit):
+            return term.type
+        if isinstance(term, Const):
+            return term.spec.schema.instantiate(self.supply)
+        if isinstance(term, Lam):
+            param_type: Type = (
+                term.param_type
+                if term.param_type is not None
+                else self.supply.fresh(term.param)
+            )
+            self._binder_types[id(term)] = param_type
+            inner = dict(env)
+            inner[term.param] = param_type
+            body_type = self._infer_remembering(term.body, inner)
+            return TFun(param_type, body_type)
+        if isinstance(term, App):
+            fn_type = self._infer_remembering(term.fn, env)
+            arg_type = self._infer_remembering(term.arg, env)
+            result = self.supply.fresh("r")
+            self.unifier.unify(
+                fn_type, TFun(arg_type, result), f"applying {term.fn!r}"
+            )
+            return result
+        if isinstance(term, Let):
+            bound_type = self._infer_remembering(term.bound, env)
+            inner = dict(env)
+            inner[term.name] = bound_type
+            return self._infer_remembering(term.body, inner)
+        raise InferenceError(f"unknown term node: {term!r}")
+
+
+def infer_type(
+    term: Term,
+    context: Optional[Context] = None,
+    require_ground: bool = True,
+) -> Tuple[Term, Type]:
+    """Infer the type of ``term`` under ``context``.
+
+    Returns ``(annotated_term, type)`` where every λ binder in the
+    annotated term carries a concrete parameter type.  Raises
+    ``AmbiguousTypeError`` when an unconstrained type variable remains
+    (e.g. the type of ``λx. x`` in isolation) unless ``require_ground`` is
+    False.
+    """
+    env: Dict[str, Type] = dict(context.items()) if context is not None else {}
+    inferencer = _Inferencer()
+    annotated, ty = inferencer.run(term, env)
+    if require_ground and not is_ground(ty):
+        raise AmbiguousTypeError(
+            f"inferred type {ty!r} for {term!r} is not ground; "
+            "add annotations or a type context"
+        )
+    if require_ground and not _binders_ground(annotated):
+        raise AmbiguousTypeError(
+            f"some λ binders in {annotated!r} have ambiguous types; "
+            "add annotations"
+        )
+    return annotated, ty
+
+
+def _binders_ground(term: Term) -> bool:
+    if isinstance(term, Lam):
+        if term.param_type is None or not is_ground(term.param_type):
+            return False
+        return _binders_ground(term.body)
+    if isinstance(term, App):
+        return _binders_ground(term.fn) and _binders_ground(term.arg)
+    if isinstance(term, Let):
+        return _binders_ground(term.bound) and _binders_ground(term.body)
+    return True
+
+
+def type_of(term: Term, context: Optional[Context] = None) -> Type:
+    """The inferred type of ``term`` (convenience wrapper)."""
+    _, ty = infer_type(term, context)
+    return ty

@@ -1,0 +1,122 @@
+"""Lexer for the surface syntax of the object language.
+
+The surface language is a small Haskell-flavoured notation::
+
+    \\xs ys -> foldBag gplus idInt (merge xs ys)
+    let total = foldBag gplus idInt xs in total
+    {{1, 1, ~2}}        -- a bag: two 1s and a negative occurrence of 2
+
+``--`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class LexError(SyntaxError):
+    """A lexical error with position information."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at {line}:{column}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+KEYWORDS = {"let", "in", "true", "false"}
+
+_SIMPLE = {
+    "\\": "LAMBDA",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ":": "COLON",
+    "=": "EQUALS",
+    "~": "TILDE",
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, appending a terminal EOF token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("--", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("->", index):
+            yield Token("ARROW", "->", line, column)
+            index += 2
+            column += 2
+            continue
+        if source.startswith("{{", index):
+            yield Token("LBAG", "{{", line, column)
+            index += 2
+            column += 2
+            continue
+        if source.startswith("}}", index):
+            yield Token("RBAG", "}}", line, column)
+            index += 2
+            column += 2
+            continue
+        if char in _SIMPLE:
+            yield Token(_SIMPLE[char], char, line, column)
+            index += 1
+            column += 1
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and source[index + 1].isdigit()
+        ):
+            start = index
+            start_column = column
+            if char == "-":
+                index += 1
+                column += 1
+            while index < length and source[index].isdigit():
+                index += 1
+                column += 1
+            yield Token("INT", source[start:index], line, start_column)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            start_column = column
+            while index < length and (
+                source[index].isalnum() or source[index] in "_'"
+            ):
+                index += 1
+                column += 1
+            text = source[start:index]
+            kind = "KEYWORD" if text in KEYWORDS else "IDENT"
+            yield Token(kind, text, line, start_column)
+            continue
+        raise LexError(f"unexpected character {char!r}", line, column)
+    yield Token("EOF", "", line, column)

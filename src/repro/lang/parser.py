@@ -1,0 +1,242 @@
+"""Recursive-descent parser for the surface syntax.
+
+Identifiers are resolved against an optional plugin registry: names of
+registered constants become ``Const`` nodes, every other identifier is a
+``Var``.  This mirrors the paper's EDSL embedding, where the metalanguage
+environment decides which names denote primitives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.data.bag import Bag
+from repro.lang.lexer import Token, tokenize
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.types import TBag, TBase, TBool, TFun, TInt, TPair, Type
+
+
+class ParseError(SyntaxError):
+    """A syntax error with position information."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{message} at {token.line}:{token.column}")
+        self.token = token
+
+
+_ATOM_STARTERS = {"IDENT", "INT", "LPAREN", "LBAG"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token], registry=None):
+        self._tokens = tokens
+        self._position = 0
+        self._registry = registry
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text if text is not None else kind
+            raise ParseError(f"expected {expected}, found {token.text!r}", token)
+        return self._advance()
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "KEYWORD" and token.text == word
+
+    # -- terms -------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self._peek()
+        if token.kind == "LAMBDA":
+            return self._parse_lambda()
+        if self._at_keyword("let"):
+            return self._parse_let()
+        return self._parse_application()
+
+    def _parse_lambda(self) -> Term:
+        self._expect("LAMBDA")
+        binders = [self._parse_binder()]
+        while self._peek().kind in ("IDENT", "LPAREN"):
+            binders.append(self._parse_binder())
+        self._expect("ARROW")
+        body = self.parse_term()
+        for name, annotation in reversed(binders):
+            body = Lam(name, body, annotation)
+        return body
+
+    def _parse_binder(self):
+        token = self._peek()
+        if token.kind == "IDENT":
+            self._advance()
+            return token.text, None
+        if token.kind == "LPAREN":
+            self._advance()
+            name = self._expect("IDENT").text
+            self._expect("COLON")
+            annotation = self.parse_type()
+            self._expect("RPAREN")
+            return name, annotation
+        raise ParseError("expected a λ binder", token)
+
+    def _parse_let(self) -> Term:
+        self._expect("KEYWORD", "let")
+        name = self._expect("IDENT").text
+        self._expect("EQUALS")
+        bound = self.parse_term()
+        if not self._at_keyword("in"):
+            raise ParseError("expected 'in'", self._peek())
+        self._advance()
+        body = self.parse_term()
+        return Let(name, bound, body)
+
+    def _parse_application(self) -> Term:
+        term = self._parse_atom()
+        while True:
+            token = self._peek()
+            if token.kind in _ATOM_STARTERS or (
+                token.kind == "KEYWORD" and token.text in ("true", "false")
+            ):
+                term = App(term, self._parse_atom())
+            else:
+                return term
+
+    def _parse_atom(self) -> Term:
+        token = self._peek()
+        if token.kind == "IDENT":
+            self._advance()
+            return self._resolve(token.text)
+        if token.kind == "INT":
+            self._advance()
+            return Lit(int(token.text), TInt)
+        if token.kind == "KEYWORD" and token.text in ("true", "false"):
+            self._advance()
+            return Lit(token.text == "true", TBool)
+        if token.kind == "LBAG":
+            return self._parse_bag()
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self.parse_term()
+            if self._peek().kind == "COMMA":
+                self._advance()
+                second = self.parse_term()
+                self._expect("RPAREN")
+                return self._make_pair(inner, second, token)
+            self._expect("RPAREN")
+            return inner
+        raise ParseError(f"unexpected token {token.text!r}", token)
+
+    def _make_pair(self, first: Term, second: Term, token: Token) -> Term:
+        """``(a, b)``: a literal when both components are literals,
+        otherwise sugar for ``pair a b``."""
+        if isinstance(first, Lit) and isinstance(second, Lit):
+            return Lit(
+                (first.value, second.value), TPair(first.type, second.type)
+            )
+        if self._registry is not None:
+            spec = self._registry.lookup_constant("pair")
+            if spec is not None:
+                return App(App(Const(spec), first), second)
+        return App(App(Var("pair"), first), second)
+
+    def _resolve(self, name: str) -> Term:
+        if self._registry is not None:
+            spec = self._registry.lookup_constant(name)
+            if spec is not None:
+                return Const(spec)
+        return Var(name)
+
+    def _parse_bag(self) -> Term:
+        self._expect("LBAG")
+        counts = {}
+        if self._peek().kind != "RBAG":
+            while True:
+                negative = False
+                if self._peek().kind == "TILDE":
+                    self._advance()
+                    negative = True
+                element_token = self._peek()
+                if element_token.kind == "INT":
+                    self._advance()
+                    element = int(element_token.text)
+                elif element_token.kind == "LPAREN":
+                    self._advance()
+                    element = int(self._expect("INT").text)
+                    self._expect("RPAREN")
+                else:
+                    raise ParseError(
+                        "bag literals may only contain integers", element_token
+                    )
+                counts[element] = counts.get(element, 0) + (-1 if negative else 1)
+                if self._peek().kind == "COMMA":
+                    self._advance()
+                    continue
+                break
+        self._expect("RBAG")
+        return Lit(Bag(counts), TBag(TInt))
+
+    # -- types ----------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        left = self._parse_type_application()
+        if self._peek().kind == "ARROW":
+            self._advance()
+            return TFun(left, self.parse_type())
+        return left
+
+    def _parse_type_application(self) -> Type:
+        token = self._peek()
+        if token.kind == "IDENT" and token.text[0].isupper():
+            self._advance()
+            arguments = []
+            while True:
+                next_token = self._peek()
+                if next_token.kind == "IDENT" and next_token.text[0].isupper():
+                    self._advance()
+                    arguments.append(TBase(next_token.text))
+                elif next_token.kind == "LPAREN":
+                    self._advance()
+                    arguments.append(self.parse_type())
+                    self._expect("RPAREN")
+                else:
+                    break
+            return TBase(token.text, tuple(arguments))
+        return self._parse_type_atom()
+
+    def _parse_type_atom(self) -> Type:
+        token = self._peek()
+        if token.kind == "IDENT":
+            self._advance()
+            return TBase(token.text)
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self.parse_type()
+            self._expect("RPAREN")
+            return inner
+        raise ParseError(f"expected a type, found {token.text!r}", token)
+
+
+def parse(source: str, registry=None) -> Term:
+    """Parse a term from ``source``, resolving constants via ``registry``."""
+    parser = Parser(tokenize(source), registry)
+    term = parser.parse_term()
+    parser._expect("EOF")
+    return term
+
+
+def parse_type(source: str) -> Type:
+    """Parse a type from ``source``."""
+    parser = Parser(tokenize(source))
+    ty = parser.parse_type()
+    parser._expect("EOF")
+    return ty

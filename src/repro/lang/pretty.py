@@ -1,0 +1,97 @@
+"""Precedence-aware pretty-printer for terms and types.
+
+Produces the surface syntax accepted by ``repro.lang.parser``, so that
+``parse(pretty(t))`` is α-equivalent to ``t`` (a property test).
+"""
+
+from __future__ import annotations
+
+from repro.data.bag import Bag
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.types import TBase, TFun, TVar, Type
+
+_ATOM = 3
+_APP = 2
+_LAM = 0
+
+
+def pretty_type(ty: Type, precedence: int = 0) -> str:
+    """Render a type; ``precedence`` > 0 forces parentheses on arrows."""
+    if isinstance(ty, TVar):
+        return ty.name
+    if isinstance(ty, TFun):
+        rendered = (
+            f"{pretty_type(ty.arg, 1)} -> {pretty_type(ty.res, 0)}"
+        )
+        return f"({rendered})" if precedence > 0 else rendered
+    if isinstance(ty, TBase):
+        if not ty.args:
+            return ty.name
+        inner = " ".join(pretty_type(arg, 2) for arg in ty.args)
+        rendered = f"{ty.name} {inner}"
+        return f"({rendered})" if precedence > 1 else rendered
+    raise TypeError(f"unknown type node: {ty!r}")
+
+
+def pretty(term: Term, precedence: int = _LAM) -> str:
+    """Render a term in the surface syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        return term.spec.name
+    if isinstance(term, Lit):
+        return _pretty_literal(term)
+    if isinstance(term, App):
+        rendered = f"{pretty(term.fn, _APP)} {pretty(term.arg, _ATOM)}"
+        return f"({rendered})" if precedence > _APP else rendered
+    if isinstance(term, Lam):
+        params = []
+        body: Term = term
+        while isinstance(body, Lam):
+            if body.param_type is not None:
+                params.append(f"({body.param}: {pretty_type(body.param_type)})")
+            else:
+                params.append(body.param)
+            body = body.body
+        rendered = f"\\{' '.join(params)} -> {pretty(body, _LAM)}"
+        return f"({rendered})" if precedence > _LAM else rendered
+    if isinstance(term, Let):
+        rendered = (
+            f"let {term.name} = {pretty(term.bound, _LAM)} "
+            f"in {pretty(term.body, _LAM)}"
+        )
+        return f"({rendered})" if precedence > _LAM else rendered
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _pretty_literal(term: Lit) -> str:
+    value = term.value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value) if value >= 0 else f"({value})"
+    if isinstance(value, tuple) and len(value) == 2 and isinstance(
+        term.type, TBase
+    ) and term.type.name == "Pair":
+        left = _pretty_literal(Lit(value[0], term.type.args[0]))
+        right = _pretty_literal(Lit(value[1], term.type.args[1]))
+        return f"({left}, {right})"
+    if isinstance(value, Bag):
+        parts = []
+        for element, count in sorted(
+            value.counts(), key=lambda kv: repr(kv[0])
+        ):
+            rendered = (
+                str(element)
+                if isinstance(element, int) and element >= 0
+                else f"({element})"
+                if isinstance(element, int)
+                else repr(element)
+            )
+            if count >= 0:
+                parts.extend([rendered] * count)
+            else:
+                parts.extend([f"~{rendered}"] * (-count))
+        return "{{" + ", ".join(parts) + "}}"
+    # Opaque host values (groups, maps, changes) have no surface syntax.
+    return f"<lit {value!r} : {pretty_type(term.type)}>"

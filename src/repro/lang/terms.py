@@ -1,0 +1,166 @@
+"""Terms of the object language (Fig. 1: ``t ::= c | λx. t | t t | x``).
+
+Two practical extensions over the paper's grammar:
+
+* ``Lit`` embeds ground host values (integers, booleans, bags, groups…) as
+  literals; semantically each literal is a nullary constant.
+* ``Let`` is the usual sugar ``let x = s in t``; ``Derive`` handles it
+  directly (producing ``let x = s; dx = Derive(s) in Derive(t)``) so that
+  sharing survives differentiation.
+
+Terms are immutable and compare structurally (by bound-variable *name*;
+α-equivalence is a separate predicate in ``traversal``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.lang.types import Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.plugins.base import ConstantSpec
+
+
+class Term:
+    """Base class of object-language terms."""
+
+    __slots__ = ()
+
+    def __call__(self, *arguments: "Term") -> "Term":
+        """Application sugar: ``f(a, b)`` builds ``App(App(f, a), b)``."""
+        result: Term = self
+        for argument in arguments:
+            result = App(result, _as_term(argument))
+        return result
+
+
+def _as_term(value: Any) -> Term:
+    """Coerce Python scalars to literals so builders read naturally."""
+    if isinstance(value, Term):
+        return value
+    from repro.lang.types import TBool, TInt
+
+    if isinstance(value, bool):
+        return Lit(value, TBool)
+    if isinstance(value, int):
+        return Lit(value, TInt)
+    raise TypeError(f"cannot coerce {value!r} to a term")
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable reference."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    """λ-abstraction; the parameter annotation is optional (inference
+    fills it in)."""
+
+    param: str
+    body: Term
+    param_type: Optional[Type] = None
+
+    def __repr__(self) -> str:
+        if self.param_type is not None:
+            return f"(\\{self.param}: {self.param_type!r} -> {self.body!r})"
+        return f"(\\{self.param} -> {self.body!r})"
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application ``fn arg``."""
+
+    fn: Term
+    arg: Term
+
+    def __repr__(self) -> str:
+        return f"({self.fn!r} {self.arg!r})"
+
+
+@dataclass(frozen=True)
+class Let(Term):
+    """``let name = bound in body`` (call-by-need sharing)."""
+
+    name: str
+    bound: Term
+    body: Term
+
+    def __repr__(self) -> str:
+        return f"(let {self.name} = {self.bound!r} in {self.body!r})"
+
+
+class Const(Term):
+    """A primitive constant, carrying its plugin-supplied specification.
+
+    Constants compare by name: two ``Const`` nodes naming the same primitive
+    are the same constant even if resolved through different registry
+    instances.
+    """
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: "ConstantSpec"):
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Const):
+            return NotImplemented
+        return self.spec.name == other.spec.name
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.spec.name))
+
+    def __repr__(self) -> str:
+        return self.spec.name
+
+
+class Lit(Term):
+    """A ground host value embedded as a literal of the given type."""
+
+    __slots__ = ("value", "type")
+
+    def __init__(self, value: Any, type: Type):
+        self.value = value
+        self.type = type
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lit):
+            return NotImplemented
+        return (
+            self.type == other.type
+            and type(self.value) is type(other.value)
+            and self.value == other.value
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        try:
+            return hash(("Lit", self.value, self.type))
+        except TypeError:
+            return hash(("Lit", self.type))
+
+    def __repr__(self) -> str:
+        return repr(self.value)

@@ -1,0 +1,270 @@
+"""Syntactic traversals: free variables, substitution, α-equivalence,
+spines, sizes, and the hygiene rename required by ``Derive``.
+
+The paper assumes "the original program contains no variable names that
+start with d" (Sec. 3.2); ``rename_d_variables`` establishes that invariant
+mechanically so user programs need not care.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+
+
+def free_variables(term: Term) -> FrozenSet[str]:
+    """The free variables of ``term``."""
+    result: Set[str] = set()
+    _free_variables(term, frozenset(), result)
+    return frozenset(result)
+
+
+def _free_variables(term: Term, bound: FrozenSet[str], out: Set[str]) -> None:
+    if isinstance(term, Var):
+        if term.name not in bound:
+            out.add(term.name)
+    elif isinstance(term, Lam):
+        _free_variables(term.body, bound | {term.param}, out)
+    elif isinstance(term, App):
+        _free_variables(term.fn, bound, out)
+        _free_variables(term.arg, bound, out)
+    elif isinstance(term, Let):
+        _free_variables(term.bound, bound, out)
+        _free_variables(term.body, bound | {term.name}, out)
+    elif isinstance(term, (Const, Lit)):
+        pass
+    else:
+        raise TypeError(f"unknown term node: {term!r}")
+
+
+def is_closed(term: Term) -> bool:
+    """True if ``term`` has no free variables -- the static condition under
+    which its change is guaranteed nil (Sec. 4.2)."""
+    return not free_variables(term)
+
+
+def fresh_name(base: str, avoid: Set[str] | FrozenSet[str]) -> str:
+    """A name not in ``avoid``, derived from ``base``."""
+    if base not in avoid:
+        return base
+    index = 1
+    while f"{base}_{index}" in avoid:
+        index += 1
+    return f"{base}_{index}"
+
+
+def substitute(term: Term, name: str, replacement: Term) -> Term:
+    """Capture-avoiding substitution ``term[name := replacement]``."""
+    replacement_free = free_variables(replacement)
+    return _substitute(term, name, replacement, replacement_free)
+
+
+def _substitute(
+    term: Term, name: str, replacement: Term, replacement_free: FrozenSet[str]
+) -> Term:
+    if isinstance(term, Var):
+        return replacement if term.name == name else term
+    if isinstance(term, (Const, Lit)):
+        return term
+    if isinstance(term, App):
+        return App(
+            _substitute(term.fn, name, replacement, replacement_free),
+            _substitute(term.arg, name, replacement, replacement_free),
+        )
+    if isinstance(term, Lam):
+        if term.param == name:
+            return term
+        if term.param in replacement_free:
+            avoid = (
+                replacement_free
+                | free_variables(term.body)
+                | {name, term.param}
+            )
+            new_param = fresh_name(term.param, avoid)
+            renamed = _substitute(
+                term.body,
+                term.param,
+                Var(new_param),
+                frozenset({new_param}),
+            )
+            return Lam(
+                new_param,
+                _substitute(renamed, name, replacement, replacement_free),
+                term.param_type,
+            )
+        return Lam(
+            term.param,
+            _substitute(term.body, name, replacement, replacement_free),
+            term.param_type,
+        )
+    if isinstance(term, Let):
+        new_bound = _substitute(term.bound, name, replacement, replacement_free)
+        if term.name == name:
+            return Let(term.name, new_bound, term.body)
+        if term.name in replacement_free:
+            avoid = (
+                replacement_free
+                | free_variables(term.body)
+                | {name, term.name}
+            )
+            new_name = fresh_name(term.name, avoid)
+            renamed = _substitute(
+                term.body, term.name, Var(new_name), frozenset({new_name})
+            )
+            return Let(
+                new_name,
+                new_bound,
+                _substitute(renamed, name, replacement, replacement_free),
+            )
+        return Let(
+            term.name,
+            new_bound,
+            _substitute(term.body, name, replacement, replacement_free),
+        )
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def alpha_equivalent(left: Term, right: Term) -> bool:
+    """Structural equality up to renaming of bound variables."""
+    return _alpha(left, right, {}, {})
+
+
+def _alpha(
+    left: Term, right: Term, left_env: Dict[str, int], right_env: Dict[str, int]
+) -> bool:
+    if isinstance(left, Var) and isinstance(right, Var):
+        left_index = left_env.get(left.name)
+        right_index = right_env.get(right.name)
+        if left_index is None and right_index is None:
+            return left.name == right.name
+        return left_index == right_index
+    if isinstance(left, Lam) and isinstance(right, Lam):
+        depth = len(left_env)
+        return _alpha(
+            left.body,
+            right.body,
+            {**left_env, left.param: depth},
+            {**right_env, right.param: depth},
+        )
+    if isinstance(left, App) and isinstance(right, App):
+        return _alpha(left.fn, right.fn, left_env, right_env) and _alpha(
+            left.arg, right.arg, left_env, right_env
+        )
+    if isinstance(left, Let) and isinstance(right, Let):
+        if not _alpha(left.bound, right.bound, left_env, right_env):
+            return False
+        depth = len(left_env)
+        return _alpha(
+            left.body,
+            right.body,
+            {**left_env, left.name: depth},
+            {**right_env, right.name: depth},
+        )
+    if isinstance(left, (Const, Lit)) and type(left) is type(right):
+        return left == right
+    return False
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """All subterms of ``term`` in pre-order (including itself)."""
+    yield term
+    if isinstance(term, Lam):
+        yield from subterms(term.body)
+    elif isinstance(term, App):
+        yield from subterms(term.fn)
+        yield from subterms(term.arg)
+    elif isinstance(term, Let):
+        yield from subterms(term.bound)
+        yield from subterms(term.body)
+
+
+def term_size(term: Term) -> int:
+    """Number of AST nodes; the code-size metric of the Sec. 4.5 lesson."""
+    return sum(1 for _ in subterms(term))
+
+
+def spine(term: Term) -> Tuple[Term, List[Term]]:
+    """Decompose nested applications: ``f a b c ↦ (f, [a, b, c])``."""
+    arguments: List[Term] = []
+    while isinstance(term, App):
+        arguments.append(term.arg)
+        term = term.fn
+    arguments.reverse()
+    return term, arguments
+
+
+def unspine(head: Term, arguments: List[Term]) -> Term:
+    """Rebuild nested applications from a head and argument list."""
+    result = head
+    for argument in arguments:
+        result = App(result, argument)
+    return result
+
+
+def map_subterms(term: Term, fn: Callable[[Term], Term]) -> Term:
+    """Rebuild ``term`` with ``fn`` applied to each immediate subterm."""
+    if isinstance(term, Lam):
+        return Lam(term.param, fn(term.body), term.param_type)
+    if isinstance(term, App):
+        return App(fn(term.fn), fn(term.arg))
+    if isinstance(term, Let):
+        return Let(term.name, fn(term.bound), fn(term.body))
+    return term
+
+
+def bound_variables(term: Term) -> FrozenSet[str]:
+    """All variable names bound anywhere inside ``term``."""
+    result: Set[str] = set()
+    for node in subterms(term):
+        if isinstance(node, Lam):
+            result.add(node.param)
+        elif isinstance(node, Let):
+            result.add(node.name)
+    return frozenset(result)
+
+
+def rename_d_variables(term: Term) -> Term:
+    """α-rename every variable starting with ``d`` to a safe name.
+
+    ``Derive`` names the change of ``x`` as ``dx``; the transformation is
+    only hygienic if no source variable already starts with ``d``
+    (Sec. 3.2).  Free variables are left untouched (the caller controls
+    their names); bound ones are renamed to ``v_<original>``.
+    """
+    avoid = set(free_variables(term)) | set(bound_variables(term))
+    return _rename_d(term, {}, avoid)
+
+
+def _rename_d(term: Term, renaming: Dict[str, str], avoid: Set[str]) -> Term:
+    if isinstance(term, Var):
+        return Var(renaming.get(term.name, term.name))
+    if isinstance(term, (Const, Lit)):
+        return term
+    if isinstance(term, App):
+        return App(
+            _rename_d(term.fn, renaming, avoid),
+            _rename_d(term.arg, renaming, avoid),
+        )
+    if isinstance(term, Lam):
+        new_param, inner = _rename_binder(term.param, renaming, avoid)
+        return Lam(new_param, _rename_d(term.body, inner, avoid), term.param_type)
+    if isinstance(term, Let):
+        new_bound = _rename_d(term.bound, renaming, avoid)
+        new_name, inner = _rename_binder(term.name, renaming, avoid)
+        return Let(new_name, new_bound, _rename_d(term.body, inner, avoid))
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _rename_binder(
+    name: str, renaming: Dict[str, str], avoid: Set[str]
+) -> Tuple[str, Dict[str, str]]:
+    if not name.startswith("d"):
+        inner = dict(renaming)
+        inner.pop(name, None)
+        return name, inner
+    new_name = fresh_name(f"v_{name}", avoid)
+    avoid.add(new_name)
+    inner = dict(renaming)
+    inner[name] = new_name
+    return new_name, inner

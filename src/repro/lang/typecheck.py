@@ -1,0 +1,119 @@
+"""A checking-mode typechecker for fully annotated terms (Fig. 1b).
+
+Inference (``infer.py``) is the convenient front door; this module is the
+simple, independently auditable checker used to validate inference results
+and -- crucially -- to verify the ``Derive`` typing rule of Sec. 3.2:
+
+    Γ ⊢ t : τ
+    ─────────────────────────
+    Γ, ΔΓ ⊢ Derive(t) : Δτ
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.context import Context
+from repro.lang.infer import Unifier
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.types import TFun, Type, TypeVarSupply
+
+
+class TypeCheckError(TypeError):
+    """A type error detected while checking an annotated term."""
+
+
+def check(term: Term, context: Optional[Context] = None) -> Type:
+    """Compute the type of a fully annotated ``term`` under ``context``.
+
+    Every λ binder must carry a parameter type.  Constant occurrences are
+    checked against (an instance of) their schema: the instance is solved
+    locally by unification against the surrounding applications, which the
+    checker performs one spine at a time.
+    """
+    ctx = context if context is not None else Context.empty()
+    return _check(term, ctx)
+
+
+def _check(term: Term, context: Context) -> Type:
+    if isinstance(term, Var):
+        ty = context.lookup(term.name)
+        if ty is None:
+            raise TypeCheckError(f"unbound variable: {term.name}")
+        return ty
+    if isinstance(term, Lit):
+        return term.type
+    if isinstance(term, Const):
+        schema = term.spec.schema
+        if schema.vars:
+            raise TypeCheckError(
+                f"constant {term.spec.name} is polymorphic; it can only be "
+                "checked at an application spine (or use inference)"
+            )
+        return schema.type
+    if isinstance(term, Lam):
+        if term.param_type is None:
+            raise TypeCheckError(
+                f"unannotated λ binder {term.param!r}; run inference first"
+            )
+        body_type = _check(
+            term.body, context.extend(term.param, term.param_type)
+        )
+        return TFun(term.param_type, body_type)
+    if isinstance(term, App):
+        return _check_spine(term, context)
+    if isinstance(term, Let):
+        bound_type = _check(term.bound, context)
+        return _check(term.body, context.extend(term.name, bound_type))
+    raise TypeCheckError(f"unknown term node: {term!r}")
+
+
+def _check_spine(term: App, context: Context) -> Type:
+    """Check an application spine, instantiating a polymorphic head constant
+    against the argument types via local unification."""
+    from repro.lang.traversal import spine
+
+    head, arguments = spine(term)
+    if isinstance(head, Const) and head.spec.schema.vars:
+        unifier = Unifier()
+        supply = TypeVarSupply("!")
+        head_type: Type = head.spec.schema.instantiate(supply)
+        for argument in arguments:
+            if isinstance(argument, Const) and argument.spec.schema.vars:
+                # Polymorphic constants passed as arguments (e.g. ``id`` to
+                # ``foldBag``) are instantiated against this spine's unifier.
+                argument_type: Type = argument.spec.schema.instantiate(supply)
+            else:
+                argument_type = _check(argument, context)
+            head_type = unifier.resolve(head_type)
+            if not isinstance(head_type, TFun):
+                raise TypeCheckError(
+                    f"over-applied constant {head.spec.name}: "
+                    f"{head_type!r} applied to {argument!r}"
+                )
+            try:
+                unifier.unify(head_type.arg, argument_type)
+            except TypeError as error:
+                raise TypeCheckError(
+                    f"argument {argument!r} of {head.spec.name}: {error}"
+                ) from error
+            head_type = head_type.res
+        result = unifier.zonk(head_type)
+        return result
+    fn_type = _check(term.fn, context)
+    arg_type = _check(term.arg, context)
+    if not isinstance(fn_type, TFun):
+        raise TypeCheckError(
+            f"cannot apply non-function {term.fn!r} : {fn_type!r}"
+        )
+    if fn_type.arg != arg_type:
+        # Fall back to unification so polymorphic sub-spines interoperate.
+        unifier = Unifier()
+        try:
+            unifier.unify(fn_type.arg, arg_type)
+        except TypeError as error:
+            raise TypeCheckError(
+                f"argument type mismatch in {term!r}: expected "
+                f"{fn_type.arg!r}, got {arg_type!r}"
+            ) from error
+    return fn_type.res

@@ -1,0 +1,223 @@
+"""Types of the object language (Fig. 1: ``τ ::= ι | τ → τ``).
+
+Base types ``ι`` are plugin-supplied constructors; we model them uniformly
+as ``TBase(name, args)`` so collection types like ``Bag σ`` and ``Map κ ν``
+are families of base types indexed by their element types, exactly the
+trick the paper uses to "simulate polymorphic collections even though the
+object language is simply-typed" (Sec. 4.1).
+
+``TVar`` appears only inside constant *schemas* and during inference; a
+fully inferred term mentions no type variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+
+class Type:
+    """Base class of object-language types."""
+
+    __slots__ = ()
+
+    def __rshift__(self, other: "Type") -> "TFun":
+        """``a >> b`` builds the function type ``a → b``."""
+        return TFun(self, other)
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """A type variable (only inside schemas / during unification)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TFun(Type):
+    """The function type ``arg → res``."""
+
+    arg: Type
+    res: Type
+
+    def __repr__(self) -> str:
+        arg = f"({self.arg!r})" if isinstance(self.arg, TFun) else f"{self.arg!r}"
+        return f"{arg} -> {self.res!r}"
+
+
+@dataclass(frozen=True)
+class TBase(Type):
+    """A (possibly parameterized) base type, e.g. ``Int`` or ``Bag Int``."""
+
+    name: str
+    args: Tuple[Type, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.name
+        inner = " ".join(
+            f"({arg!r})" if isinstance(arg, (TFun, TBase)) and _needs_parens(arg)
+            else f"{arg!r}"
+            for arg in self.args
+        )
+        return f"{self.name} {inner}"
+
+
+def _needs_parens(ty: Type) -> bool:
+    if isinstance(ty, TFun):
+        return True
+    if isinstance(ty, TBase):
+        return bool(ty.args)
+    return False
+
+
+# -- Standard base-type constructors ------------------------------------------
+
+TInt = TBase("Int")
+TBool = TBase("Bool")
+
+
+def TBag(element: Type) -> TBase:
+    """``Bag σ``: bags with signed multiplicities over ``σ``."""
+    return TBase("Bag", (element,))
+
+
+def TMap(key: Type, value: Type) -> TBase:
+    """``Map κ ν``: finite maps."""
+    return TBase("Map", (key, value))
+
+
+def TPair(left: Type, right: Type) -> TBase:
+    """``σ × τ``: pairs."""
+    return TBase("Pair", (left, right))
+
+
+def TSum(left: Type, right: Type) -> TBase:
+    """``σ + τ``: tagged unions."""
+    return TBase("Sum", (left, right))
+
+
+def TGroup(carrier: Type) -> TBase:
+    """``Group τ``: a first-class abelian group on ``τ`` (Fig. 6)."""
+    return TBase("Group", (carrier,))
+
+
+def TChange(base: Type) -> TBase:
+    """``Δι`` for a base type ι: the erased change type of Sec. 4.4,
+    inhabited by ``Replace``/``GroupChange`` values."""
+    return TBase("Change", (base,))
+
+
+# -- Helpers --------------------------------------------------------------------
+
+def fun_type(*types: Type) -> Type:
+    """Right-associated function type: ``fun_type(a, b, c) = a → b → c``."""
+    if not types:
+        raise ValueError("fun_type needs at least one type")
+    result = types[-1]
+    for argument in reversed(types[:-1]):
+        result = TFun(argument, result)
+    return result
+
+
+def uncurry_fun_type(ty: Type) -> Tuple[Tuple[Type, ...], Type]:
+    """Split ``a → b → c`` into ``((a, b), c)``."""
+    arguments = []
+    while isinstance(ty, TFun):
+        arguments.append(ty.arg)
+        ty = ty.res
+    return tuple(arguments), ty
+
+
+def result_type(ty: Type, applied: int) -> Type:
+    """The result of applying a value of type ``ty`` to ``applied`` args."""
+    for _ in range(applied):
+        if not isinstance(ty, TFun):
+            raise TypeError(f"over-application: {ty!r} is not a function type")
+        ty = ty.res
+    return ty
+
+
+def type_variables(ty: Type) -> Iterator[TVar]:
+    """All type variables occurring in ``ty`` (with repetitions)."""
+    if isinstance(ty, TVar):
+        yield ty
+    elif isinstance(ty, TFun):
+        yield from type_variables(ty.arg)
+        yield from type_variables(ty.res)
+    elif isinstance(ty, TBase):
+        for argument in ty.args:
+            yield from type_variables(argument)
+
+
+def apply_substitution(subst: Dict[str, Type], ty: Type) -> Type:
+    """Apply a type substitution, resolving chains."""
+    if isinstance(ty, TVar):
+        replacement = subst.get(ty.name)
+        if replacement is None:
+            return ty
+        resolved = apply_substitution(subst, replacement)
+        return resolved
+    if isinstance(ty, TFun):
+        return TFun(
+            apply_substitution(subst, ty.arg), apply_substitution(subst, ty.res)
+        )
+    if isinstance(ty, TBase):
+        if not ty.args:
+            return ty
+        return TBase(
+            ty.name,
+            tuple(apply_substitution(subst, argument) for argument in ty.args),
+        )
+    raise TypeError(f"unknown type node: {ty!r}")
+
+
+def is_ground(ty: Type) -> bool:
+    """True if ``ty`` contains no type variables."""
+    return next(iter(type_variables(ty)), None) is None
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A constant's type schema: quantified variables plus a type skeleton.
+
+    The object language stays simply typed; schemas exist so one ``Const``
+    like ``merge`` can be used at ``Bag Int`` and ``Bag (Pair Int Int)``
+    alike, with inference instantiating the variables per occurrence.
+    """
+
+    vars: Tuple[str, ...]
+    type: Type
+
+    @staticmethod
+    def mono(ty: Type) -> "Schema":
+        """A monomorphic schema (no quantified variables)."""
+        return Schema((), ty)
+
+    def instantiate(self, fresh: "TypeVarSupply") -> Type:
+        """Replace quantified variables with fresh ones."""
+        if not self.vars:
+            return self.type
+        mapping = {name: fresh.fresh(name) for name in self.vars}
+        return apply_substitution(mapping, self.type)
+
+    def __repr__(self) -> str:
+        if self.vars:
+            quantified = " ".join(self.vars)
+            return f"forall {quantified}. {self.type!r}"
+        return repr(self.type)
+
+
+class TypeVarSupply:
+    """A supply of fresh type variables for schema instantiation."""
+
+    def __init__(self, prefix: str = "?"):
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str = "t") -> TVar:
+        self._counter += 1
+        return TVar(f"{self._prefix}{hint}{self._counter}")

@@ -1,0 +1,29 @@
+"""The MapReduce case study (Sec. 4.4, Figs. 5 and 6)."""
+
+from repro.mapreduce.skeleton import (
+    grand_total_term,
+    histogram_term,
+    map_reduce,
+    word_count_term,
+)
+from repro.mapreduce.workloads import (
+    ChangeScript,
+    DocumentCorpus,
+    add_document_change,
+    add_word_change,
+    make_corpus,
+    remove_word_change,
+)
+
+__all__ = [
+    "ChangeScript",
+    "DocumentCorpus",
+    "add_document_change",
+    "add_word_change",
+    "grand_total_term",
+    "histogram_term",
+    "make_corpus",
+    "map_reduce",
+    "remove_word_change",
+    "word_count_term",
+]

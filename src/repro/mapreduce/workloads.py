@@ -1,0 +1,132 @@
+"""Synthetic workloads for the case study and benchmarks.
+
+The paper benchmarks wordcount on realistic inputs (Sec. 4.5 / Fig. 7):
+collections of documents, with small changes (a word added to a document)
+arriving against inputs of growing size.  We generate the same shape
+synthetically: a corpus is a ``Map Int (Bag Int)`` from document ids to
+bags of words, words are drawn from a fixed Zipf-like vocabulary (real
+text has a bounded vocabulary, which is what keeps the histogram -- and
+hence incremental update cost -- bounded while the input grows).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP, map_group
+from repro.data.pmap import PMap
+
+MAP_OF_BAGS_GROUP = map_group(BAG_GROUP)
+
+
+@dataclass
+class DocumentCorpus:
+    """A generated corpus plus its generation parameters."""
+
+    documents: PMap  # Map Int (Bag Int)
+    total_words: int
+    vocabulary_size: int
+    document_count: int
+    seed: int
+
+    def word_histogram(self) -> PMap:
+        """The expected histogram, computed directly in Python (the
+        oracle the object-language program is checked against)."""
+        counts: dict = {}
+        for _, document in self.documents.items():
+            for word, count in document.counts():
+                counts[word] = counts.get(word, 0) + count
+        return PMap({word: count for word, count in counts.items() if count})
+
+
+def _zipf_word(rng: random.Random, vocabulary_size: int) -> int:
+    """A word id with a Zipf-ish distribution (rank ∝ 1/u)."""
+    u = rng.random()
+    rank = int(vocabulary_size ** u)
+    return min(rank, vocabulary_size - 1)
+
+
+def make_corpus(
+    total_words: int,
+    vocabulary_size: int = 1000,
+    document_count: int | None = None,
+    seed: int = 42,
+) -> DocumentCorpus:
+    """Generate a corpus with ``total_words`` word occurrences spread over
+    documents of ~100 words each (unless ``document_count`` is given)."""
+    rng = random.Random(seed)
+    if document_count is None:
+        document_count = max(1, total_words // 100)
+    buckets: List[dict] = [{} for _ in range(document_count)]
+    for _ in range(total_words):
+        word = _zipf_word(rng, vocabulary_size)
+        bucket = buckets[rng.randrange(document_count)]
+        bucket[word] = bucket.get(word, 0) + 1
+    documents = PMap(
+        {
+            document_id: Bag(bucket)
+            for document_id, bucket in enumerate(buckets)
+        }
+    )
+    return DocumentCorpus(
+        documents=documents,
+        total_words=total_words,
+        vocabulary_size=vocabulary_size,
+        document_count=document_count,
+        seed=seed,
+    )
+
+
+# -- change constructors -------------------------------------------------------
+
+def add_word_change(document_id: int, word: int) -> GroupChange:
+    """The change "insert one occurrence of ``word`` into document
+    ``document_id``" -- the Fig. 7 workload's change."""
+    return GroupChange(
+        MAP_OF_BAGS_GROUP, PMap.singleton(document_id, Bag.singleton(word))
+    )
+
+
+def remove_word_change(document_id: int, word: int) -> GroupChange:
+    """Remove one occurrence of ``word`` from document ``document_id``."""
+    return GroupChange(
+        MAP_OF_BAGS_GROUP,
+        PMap.singleton(document_id, Bag.singleton(word).negate()),
+    )
+
+
+def add_document_change(document_id: int, words: Bag) -> GroupChange:
+    """Add a whole new document."""
+    return GroupChange(MAP_OF_BAGS_GROUP, PMap.singleton(document_id, words))
+
+
+@dataclass
+class ChangeScript:
+    """A reproducible stream of small changes against a corpus."""
+
+    corpus: DocumentCorpus
+    length: int
+    seed: int = 7
+
+    def __iter__(self) -> Iterator[GroupChange]:
+        rng = random.Random(self.seed)
+        for _ in range(self.length):
+            document_id = rng.randrange(self.corpus.document_count)
+            word = _zipf_word(rng, self.corpus.vocabulary_size)
+            if rng.random() < 0.8:
+                yield add_word_change(document_id, word)
+            else:
+                yield remove_word_change(document_id, word)
+
+    def apply_all(self) -> Tuple[PMap, List[GroupChange]]:
+        """The changes as a list, plus the corpus map after applying all
+        of them (an oracle for multi-step tests)."""
+        changes = list(self)
+        documents = self.corpus.documents
+        for change in changes:
+            documents = MAP_OF_BAGS_GROUP.merge(documents, change.delta)
+        return documents, changes

@@ -1,0 +1,24 @@
+"""Standard optimizations over object-language terms.
+
+A selling point of ILC over dynamic approaches is that ``Derive`` produces
+a *program in the same language*, so "all optimization techniques for the
+original program are applicable to the incremental program as well"
+(Sec. 1).  These passes are deliberately standard: β-reduction /
+let-inlining, dead-let elimination, and constant folding, iterated to a
+fixpoint.  The pipeline-soundness property tests check that every pass
+preserves both ⟦·⟧ and Eq. (1).
+"""
+
+from repro.optimize.beta import beta_reduce, count_occurrences
+from repro.optimize.constant_fold import constant_fold
+from repro.optimize.dce import eliminate_dead_lets
+from repro.optimize.pipeline import OptimizationResult, optimize
+
+__all__ = [
+    "OptimizationResult",
+    "beta_reduce",
+    "constant_fold",
+    "count_occurrences",
+    "eliminate_dead_lets",
+    "optimize",
+]

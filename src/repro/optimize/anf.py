@@ -1,0 +1,122 @@
+"""A-normal form (let-lifting).
+
+``to_anf`` names every non-trivial intermediate result with a ``let``:
+
+    foldBag g f (merge xs ys)
+      ==>  let t1 = merge xs ys in let t2 = foldBag g f t1 in t2
+
+ANF is the enabler for the static-caching engine (Sec. 5.2.2's future
+work): once every intermediate has a name, the base run can cache each
+named value and the incremental run can *update* each cache with the
+corresponding derivative instead of recomputing it -- Liu-style static
+caching married to ILC derivatives.
+
+The transformation is semantics-preserving under both strict and lazy
+evaluation (the language is pure and total) and is careful not to lift
+computations out of λ-abstractions (which would change how often they
+run relative to the closure's applications).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.traversal import bound_variables, free_variables
+
+
+class _NameSupply:
+    def __init__(self, avoid: set):
+        self._avoid = set(avoid)
+        self._counter = 0
+
+    def fresh(self) -> str:
+        while True:
+            self._counter += 1
+            name = f"t{self._counter}"
+            if name not in self._avoid:
+                self._avoid.add(name)
+                return name
+
+
+def is_atomic(term: Term) -> bool:
+    """Variables, literals and constants need no naming."""
+    return isinstance(term, (Var, Lit, Const))
+
+
+def to_anf(term: Term) -> Term:
+    """Convert ``term`` to A-normal form."""
+    supply = _NameSupply(free_variables(term) | bound_variables(term))
+    bindings: List[Tuple[str, Term]] = []
+    result = _anf_term(term, supply, bindings)
+    return _wrap(bindings, result)
+
+
+def _wrap(bindings: List[Tuple[str, Term]], body: Term) -> Term:
+    for name, bound in reversed(bindings):
+        body = Let(name, bound, body)
+    return body
+
+
+def _anf_term(
+    term: Term, supply: _NameSupply, bindings: List[Tuple[str, Term]]
+) -> Term:
+    """Flatten ``term``, appending bindings for named intermediates, and
+    return an atom (or an application of atoms that the caller will bind)."""
+    if is_atomic(term):
+        return term
+    if isinstance(term, Lam):
+        # λ-bodies get their own binding scope: we must not hoist work
+        # out of the abstraction.
+        return Lam(term.param, to_anf(term.body), term.param_type)
+    if isinstance(term, Let):
+        bound = _anf_named(term.bound, supply, bindings)
+        bindings.append((term.name, bound))
+        return _anf_term(term.body, supply, bindings)
+    if isinstance(term, App):
+        fn = _anf_atom(term.fn, supply, bindings, allow_application=True)
+        argument = _anf_atom(term.arg, supply, bindings)
+        return App(fn, argument)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _anf_named(
+    term: Term, supply: _NameSupply, bindings: List[Tuple[str, Term]]
+) -> Term:
+    """Like ``_anf_term`` but keeps applications unnamed (they are about
+    to be bound by the caller anyway)."""
+    flattened = _anf_term(term, supply, bindings)
+    return flattened
+
+
+def _anf_atom(
+    term: Term,
+    supply: _NameSupply,
+    bindings: List[Tuple[str, Term]],
+    allow_application: bool = False,
+) -> Term:
+    """Reduce ``term`` to an atom, naming it if needed.
+
+    Function positions of applications may stay as (curried) application
+    spines -- naming every partial application would hide primitive
+    spines from the specializer and the caching engine.
+    """
+    flattened = _anf_term(term, supply, bindings)
+    if is_atomic(flattened):
+        return flattened
+    if allow_application and isinstance(flattened, App):
+        return flattened
+    if isinstance(flattened, Lam):
+        return flattened
+    name = supply.fresh()
+    bindings.append((name, flattened))
+    return Var(name)
+
+
+def anf_bindings(term: Term) -> Tuple[List[Tuple[str, Term]], Term]:
+    """Split an ANF term's top-level ``let`` spine into (bindings, body)."""
+    bindings: List[Tuple[str, Term]] = []
+    while isinstance(term, Let):
+        bindings.append((term.name, term.bound))
+        term = term.body
+    return bindings, term

@@ -1,0 +1,83 @@
+"""β-reduction and let-inlining.
+
+The object language is pure and strongly normalizing, so substitution is
+always *semantics*-preserving; the only concern is work duplication.  A
+redex ``(λx. b) a`` (or ``let x = a in b``) is contracted when either
+
+* ``a`` is cheap (a variable, literal, constant, or λ -- re-evaluating it
+  is O(1)), or
+* ``x`` occurs at most once in ``b`` (no duplication).
+
+λ-arguments are additionally required to occur at most once, to keep the
+code-size growth that Sec. 4.5 worries about in check.
+"""
+
+from __future__ import annotations
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.traversal import substitute
+
+
+def count_occurrences(term: Term, name: str) -> int:
+    """Free occurrences of ``name`` in ``term``."""
+    if isinstance(term, Var):
+        return 1 if term.name == name else 0
+    if isinstance(term, (Const, Lit)):
+        return 0
+    if isinstance(term, Lam):
+        if term.param == name:
+            return 0
+        return count_occurrences(term.body, name)
+    if isinstance(term, App):
+        return count_occurrences(term.fn, name) + count_occurrences(
+            term.arg, name
+        )
+    if isinstance(term, Let):
+        occurrences = count_occurrences(term.bound, name)
+        if term.name != name:
+            occurrences += count_occurrences(term.body, name)
+        return occurrences
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _cheap(term: Term) -> bool:
+    return isinstance(term, (Var, Const, Lit))
+
+
+def _should_inline(binder_body: Term, name: str, argument: Term) -> bool:
+    if _cheap(argument):
+        return True
+    occurrences = count_occurrences(binder_body, name)
+    if occurrences == 0:
+        return True
+    if occurrences == 1:
+        return True
+    if isinstance(argument, Lam):
+        # Duplicating a λ duplicates code, not work; still keep growth down.
+        return False
+    return False
+
+
+def beta_reduce(term: Term) -> Term:
+    """One bottom-up pass of β/let contraction."""
+    if isinstance(term, (Var, Const, Lit)):
+        return term
+    if isinstance(term, Lam):
+        return Lam(term.param, beta_reduce(term.body), term.param_type)
+    if isinstance(term, Let):
+        bound = beta_reduce(term.bound)
+        body = beta_reduce(term.body)
+        if _should_inline(body, term.name, bound):
+            return substitute(body, term.name, bound)
+        return Let(term.name, bound, body)
+    if isinstance(term, App):
+        fn = beta_reduce(term.fn)
+        argument = beta_reduce(term.arg)
+        if isinstance(fn, Lam) and _should_inline(fn.body, fn.param, argument):
+            return substitute(fn.body, fn.param, argument)
+        if isinstance(fn, Lam):
+            # Preserve sharing without duplicating work: turn the redex
+            # into a let, which call-by-need evaluates once.
+            return Let(fn.param, argument, fn.body)
+        return App(fn, argument)
+    raise TypeError(f"unknown term node: {term!r}")

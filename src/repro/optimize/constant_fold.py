@@ -1,0 +1,71 @@
+"""Constant folding: evaluate closed first-order subterms at compile time.
+
+A fully applied primitive spine whose arguments are all literals (or
+ground constants) is evaluated once and replaced by a literal -- the
+"constant folding" the paper lists among the standard optimizations that
+apply to derivatives.  Only first-order results are folded: function
+values have no literal form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.bag import Bag
+from repro.data.change_values import Change
+from repro.data.group import AbelianGroup
+from repro.data.pmap import PMap
+from repro.data.sum import SumValue
+from repro.lang.infer import InferenceError, infer_type
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.traversal import spine
+from repro.lang.types import TFun, is_ground
+from repro.semantics.eval import evaluate
+
+
+_FOLDABLE_TYPES = (bool, int, Bag, PMap, AbelianGroup, SumValue, Change, tuple)
+
+
+def _ground_argument(term: Term) -> bool:
+    if isinstance(term, Lit):
+        return True
+    if isinstance(term, Const) and term.spec.arity == 0:
+        return True
+    return False
+
+
+def _try_fold_spine(term: App) -> Optional[Lit]:
+    head, arguments = spine(term)
+    if not isinstance(head, Const):
+        return None
+    if len(arguments) != head.spec.arity:
+        return None
+    if not all(_ground_argument(argument) for argument in arguments):
+        return None
+    try:
+        _, result_type = infer_type(term, require_ground=True)
+    except InferenceError:
+        return None
+    if isinstance(result_type, TFun) or not is_ground(result_type):
+        return None
+    value = evaluate(term)
+    if not isinstance(value, _FOLDABLE_TYPES):
+        return None
+    return Lit(value, result_type)
+
+
+def constant_fold(term: Term) -> Term:
+    """One bottom-up constant-folding pass."""
+    if isinstance(term, (Var, Const, Lit)):
+        return term
+    if isinstance(term, Lam):
+        return Lam(term.param, constant_fold(term.body), term.param_type)
+    if isinstance(term, Let):
+        return Let(
+            term.name, constant_fold(term.bound), constant_fold(term.body)
+        )
+    if isinstance(term, App):
+        folded = App(constant_fold(term.fn), constant_fold(term.arg))
+        literal = _try_fold_spine(folded)
+        return literal if literal is not None else folded
+    raise TypeError(f"unknown term node: {term!r}")

@@ -1,0 +1,29 @@
+"""Dead-code elimination: drop unused ``let`` bindings.
+
+Safe unconditionally in a pure, total language.  (The paper points at
+Appel-style shrinking reductions [7] as the standard technique; with
+``Let`` as the only sharing form, dead-let removal is the whole story.)
+"""
+
+from __future__ import annotations
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.optimize.beta import count_occurrences
+
+
+def eliminate_dead_lets(term: Term) -> Term:
+    """Remove ``let x = s in t`` when ``x`` is unused in ``t``."""
+    if isinstance(term, (Var, Const, Lit)):
+        return term
+    if isinstance(term, Lam):
+        return Lam(term.param, eliminate_dead_lets(term.body), term.param_type)
+    if isinstance(term, App):
+        return App(
+            eliminate_dead_lets(term.fn), eliminate_dead_lets(term.arg)
+        )
+    if isinstance(term, Let):
+        body = eliminate_dead_lets(term.body)
+        if count_occurrences(body, term.name) == 0:
+            return body
+        return Let(term.name, eliminate_dead_lets(term.bound), body)
+    raise TypeError(f"unknown term node: {term!r}")

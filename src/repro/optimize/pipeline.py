@@ -1,0 +1,65 @@
+"""The optimization pipeline: iterate the passes to a fixpoint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.lang.terms import Term
+from repro.lang.traversal import term_size
+from repro.optimize.beta import beta_reduce
+from repro.optimize.constant_fold import constant_fold
+from repro.optimize.dce import eliminate_dead_lets
+
+
+@dataclass
+class OptimizationResult:
+    """The optimized term plus a small audit trail."""
+
+    term: Term
+    iterations: int
+    initial_size: int
+    final_size: int
+    pass_log: List[str] = field(default_factory=list)
+
+    @property
+    def size_ratio(self) -> float:
+        if self.initial_size == 0:
+            return 1.0
+        return self.final_size / self.initial_size
+
+
+def optimize(
+    term: Term,
+    fold_constants: bool = True,
+    max_iterations: int = 20,
+) -> OptimizationResult:
+    """β-reduce, eliminate dead lets, and (optionally) constant-fold until
+    no pass changes the term (or ``max_iterations`` is hit)."""
+    initial_size = term_size(term)
+    log: List[str] = []
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        previous = term
+        term = beta_reduce(term)
+        if term != previous:
+            log.append(f"iter {iterations}: beta ({term_size(term)} nodes)")
+        before_dce = term
+        term = eliminate_dead_lets(term)
+        if term != before_dce:
+            log.append(f"iter {iterations}: dce ({term_size(term)} nodes)")
+        if fold_constants:
+            before_fold = term
+            term = constant_fold(term)
+            if term != before_fold:
+                log.append(f"iter {iterations}: fold ({term_size(term)} nodes)")
+        if term == previous:
+            break
+    return OptimizationResult(
+        term=term,
+        iterations=iterations,
+        initial_size=initial_size,
+        final_size=term_size(term),
+        pass_log=log,
+    )

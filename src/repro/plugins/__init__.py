@@ -1,0 +1,24 @@
+"""Plugins: base types and primitives with their derivatives (Sec. 3.7).
+
+A *differentiation plugin* provides base types (each with its erased
+change structure) and primitives (each with its ``Derive(c)``).  The
+framework here additionally asks for the *proof-plugin* data in executable
+form: a semantic change structure per base type and a semantic derivative
+per constant, which the validation layer (change semantics + erasure)
+checks against the erased artifacts.
+
+``standard_registry()`` assembles the case-study plugin of Sec. 4.4:
+integers, booleans, pairs, tagged unions, bags and maps.
+"""
+
+from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin, Specialization
+from repro.plugins.registry import Registry, standard_registry
+
+__all__ = [
+    "BaseTypeSpec",
+    "ConstantSpec",
+    "Plugin",
+    "Registry",
+    "Specialization",
+    "standard_registry",
+]

@@ -1,0 +1,429 @@
+"""Bags plugin -- the heart of the case study (Sec. 4.4).
+
+Primitives follow Gluche et al. as adapted by the paper: constructors
+``emptyBag``/``singleton``/``merge``/``negate`` (the abelian-group
+presentation of bags) and the fold ``foldBag g f``, the unique group
+homomorphism extending ``f`` into the abelian group ``g``.
+
+Derivative highlights (all from Sec. 4.3/4.4):
+
+* ``merge' u du v dv = merge du dv`` -- self-maintainable;
+* ``foldBag' g f`` (when static analysis shows ``dg``, ``df`` nil)
+  ``= λb db. GroupChange g (foldBag g f db)`` -- self-maintainable, and
+  declared *lazy in the base bag*, so the base argument thunk is never
+  forced (this is what turns O(n) updates into O(|change|));
+* the generic ``foldBag'`` (changing ``g`` or ``f``) falls back to
+  recomputation, which is why the nil-change analysis matters.
+
+``mapBag``/``flatMapBag``/``filterBag`` are provided as primitives with
+the same specialization structure ("the derivative of map f xs ignores
+xs if the changes to f are always nil").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.changes.bag import BAG_CHANGES
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import BAG_GROUP
+from repro.lang.terms import Const, Term
+from repro.lang.types import (
+    Schema,
+    TBag,
+    TBool,
+    TChange,
+    TGroup,
+    TVar,
+    fun_type,
+)
+from repro.plugins.base import (
+    BaseTypeSpec,
+    ConstantSpec,
+    Plugin,
+    Specialization,
+)
+from repro.semantics.denotation import apply_semantic, curry_host
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+
+def _is_bag_delta(change: Any) -> bool:
+    return isinstance(change, GroupChange) and change.group == BAG_GROUP
+
+
+def bag_delta(change: Any, base: Any = None) -> Bag:
+    """Extract the bag-of-insertions view of a bag change.
+
+    ``GroupChange`` carries it directly; ``Replace`` needs the old bag to
+    compute ``new ⊖ old`` (which forces the base -- callers that want
+    self-maintainability must not hit this path with lazy bases).
+    """
+    if _is_bag_delta(change):
+        return change.delta
+    if isinstance(change, Replace):
+        if base is None:
+            raise TypeError("Replace bag change needs the base bag")
+        return change.value.difference(force(base))
+    raise TypeError(f"not a bag change: {change!r}")
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="bags")
+
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Bag",
+            type_arity=1,
+            change_structure=lambda ty, registry: BAG_CHANGES,
+            nil_literal=lambda value, ty, registry: GroupChange(
+                BAG_GROUP, Bag.empty()
+            ),
+            group_for=lambda ty, registry: BAG_GROUP,
+        )
+    )
+
+    a = TVar("a")
+    b = TVar("b")
+    bag_a = TBag(a)
+    bag_b = TBag(b)
+
+    result.add_constant(
+        ConstantSpec(
+            name="emptyBag",
+            schema=Schema(("a",), bag_a),
+            arity=0,
+            value=Bag.empty(),
+        )
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="groupOnBags",
+            schema=Schema(("a",), TGroup(bag_a)),
+            arity=0,
+            value=BAG_GROUP,
+        )
+    )
+
+    # -- singleton ---------------------------------------------------------
+
+    def singleton_derivative_impl(element: Any, element_change: Any) -> Any:
+        from repro.data.change_values import is_nil_change
+
+        element_change = force(element_change)
+        if is_nil_change(element_change):
+            return GroupChange(BAG_GROUP, Bag.empty())
+        element = force(element)
+        new_element = oplus_value(element, element_change)
+        return GroupChange(
+            BAG_GROUP,
+            Bag.singleton(new_element).merge(Bag.singleton(element).negate()),
+        )
+
+    singleton_derivative = result.add_constant(ConstantSpec(
+        name="singleton'",
+        schema=Schema(("a",), fun_type(a, TChange(a), TChange(bag_a))),
+        arity=2,
+        impl=singleton_derivative_impl,
+        lazy_positions=(0,),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="singleton",
+            schema=Schema(("a",), fun_type(a, bag_a)),
+            arity=1,
+            impl=Bag.singleton,
+            derivative=singleton_derivative,
+            semantic_derivative=lambda: curry_host(
+                lambda x, dx: _semantic_singleton_change(x, dx), 2
+            ),
+        )
+    )
+
+    # -- merge / negate ------------------------------------------------------
+
+    def merge_derivative_impl(u: Any, du: Any, v: Any, dv: Any) -> Any:
+        du = force(du)
+        dv = force(dv)
+        if _is_bag_delta(du) and _is_bag_delta(dv):
+            # Derive(merge) = λu du v dv. merge du dv (Sec. 3.7).
+            return GroupChange(BAG_GROUP, du.delta.merge(dv.delta))
+        new_u = oplus_value(force(u), du)
+        new_v = oplus_value(force(v), dv)
+        return Replace(new_u.merge(new_v))
+
+    merge_derivative = result.add_constant(ConstantSpec(
+        name="merge'",
+        schema=Schema(
+            ("a",),
+            fun_type(bag_a, TChange(bag_a), bag_a, TChange(bag_a), TChange(bag_a)),
+        ),
+        arity=4,
+        impl=merge_derivative_impl,
+        lazy_positions=(0, 2),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="merge",
+            schema=Schema(("a",), fun_type(bag_a, bag_a, bag_a)),
+            arity=2,
+            impl=lambda u, v: u.merge(v),
+            derivative=merge_derivative,
+            semantic_derivative=lambda: curry_host(
+                lambda u, du, v, dv: du.merge(dv), 4
+            ),
+        )
+    )
+
+    def negate_derivative_impl(v: Any, dv: Any) -> Any:
+        dv = force(dv)
+        if _is_bag_delta(dv):
+            return GroupChange(BAG_GROUP, dv.delta.negate())
+        return Replace(oplus_value(force(v), dv).negate())
+
+    negate_derivative = result.add_constant(ConstantSpec(
+        name="negate'",
+        schema=Schema(
+            ("a",), fun_type(bag_a, TChange(bag_a), TChange(bag_a))
+        ),
+        arity=2,
+        impl=negate_derivative_impl,
+        lazy_positions=(0,),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="negate",
+            schema=Schema(("a",), fun_type(bag_a, bag_a)),
+            arity=1,
+            impl=Bag.negate,
+            derivative=negate_derivative,
+            semantic_derivative=lambda: curry_host(
+                lambda v, dv: dv.negate(), 2
+            ),
+        )
+    )
+
+    # -- foldBag ------------------------------------------------------------------
+
+    def fold_bag_impl(group: Any, fn: Any, bag: Any) -> Any:
+        return bag.fold_group(group, lambda element: apply_semantic(fn, element))
+
+    def fold_bag_nil_impl(group: Any, fn: Any, bag: Any, bag_change: Any) -> Any:
+        """``foldBag'`` with dg, df statically nil (Sec. 4.4):
+
+            λb db. GroupChange g (foldBag g f db)
+
+        Lazy in ``bag``: with a ``GroupChange`` input it is never forced.
+        """
+        bag_change = force(bag_change)
+        if _is_bag_delta(bag_change):
+            return GroupChange(
+                group,
+                bag_change.delta.fold_group(
+                    group, lambda element: apply_semantic(fn, element)
+                ),
+            )
+        if isinstance(bag_change, Replace):
+            return Replace(fold_bag_impl(group, fn, bag_change.value))
+        raise TypeError(f"not a bag change: {bag_change!r}")
+
+    fold_bag_nil = ConstantSpec(
+        name="foldBag'_gf",
+        schema=Schema(
+            ("a", "b"),
+            fun_type(
+                TGroup(b),
+                fun_type(a, b),
+                bag_a,
+                TChange(bag_a),
+                TChange(b),
+            ),
+        ),
+        arity=4,
+        impl=fold_bag_nil_impl,
+        lazy_positions=(2,),
+    )
+    result.add_constant(fold_bag_nil)
+
+    def fold_bag_specialized(
+        arguments: Sequence[Term], derive: Callable[[Term], Term]
+    ) -> Term:
+        group_term, fn_term, bag_term = arguments
+        return Const(fold_bag_nil)(group_term, fn_term, bag_term, derive(bag_term))
+
+    result.add_constant(
+        ConstantSpec(
+            name="foldBag",
+            schema=Schema(
+                ("a", "b"), fun_type(TGroup(b), fun_type(a, b), bag_a, b)
+            ),
+            arity=3,
+            impl=fold_bag_impl,
+            specializations=[
+                Specialization(
+                    nil_positions=frozenset({0, 1}),
+                    builder=fold_bag_specialized,
+                    description="dg, df nil ⇒ self-maintainable foldBag'",
+                )
+            ],
+        )
+    )
+
+    # -- mapBag / flatMapBag / filterBag ---------------------------------------------
+
+    def map_bag_impl(fn: Any, bag: Any) -> Any:
+        return bag.map(lambda element: apply_semantic(fn, element))
+
+    def map_bag_nil_impl(fn: Any, bag: Any, bag_change: Any) -> Any:
+        bag_change = force(bag_change)
+        if _is_bag_delta(bag_change):
+            return GroupChange(BAG_GROUP, map_bag_impl(fn, bag_change.delta))
+        if isinstance(bag_change, Replace):
+            return Replace(map_bag_impl(fn, bag_change.value))
+        raise TypeError(f"not a bag change: {bag_change!r}")
+
+    map_bag_nil = ConstantSpec(
+        name="mapBag'_f",
+        schema=Schema(
+            ("a", "b"),
+            fun_type(fun_type(a, b), bag_a, TChange(bag_a), TChange(bag_b)),
+        ),
+        arity=3,
+        impl=map_bag_nil_impl,
+        lazy_positions=(1,),
+    )
+    result.add_constant(map_bag_nil)
+
+    def map_bag_specialized(
+        arguments: Sequence[Term], derive: Callable[[Term], Term]
+    ) -> Term:
+        fn_term, bag_term = arguments
+        return Const(map_bag_nil)(fn_term, bag_term, derive(bag_term))
+
+    result.add_constant(
+        ConstantSpec(
+            name="mapBag",
+            schema=Schema(("a", "b"), fun_type(fun_type(a, b), bag_a, bag_b)),
+            arity=2,
+            impl=map_bag_impl,
+            specializations=[
+                Specialization(
+                    nil_positions=frozenset({0}),
+                    builder=map_bag_specialized,
+                    description="df nil ⇒ map the change only",
+                )
+            ],
+        )
+    )
+
+    def flat_map_bag_impl(fn: Any, bag: Any) -> Any:
+        return bag.flat_map(lambda element: apply_semantic(fn, element))
+
+    def flat_map_bag_nil_impl(fn: Any, bag: Any, bag_change: Any) -> Any:
+        bag_change = force(bag_change)
+        if _is_bag_delta(bag_change):
+            return GroupChange(BAG_GROUP, flat_map_bag_impl(fn, bag_change.delta))
+        if isinstance(bag_change, Replace):
+            return Replace(flat_map_bag_impl(fn, bag_change.value))
+        raise TypeError(f"not a bag change: {bag_change!r}")
+
+    flat_map_bag_nil = ConstantSpec(
+        name="flatMapBag'_f",
+        schema=Schema(
+            ("a", "b"),
+            fun_type(
+                fun_type(a, bag_b), bag_a, TChange(bag_a), TChange(bag_b)
+            ),
+        ),
+        arity=3,
+        impl=flat_map_bag_nil_impl,
+        lazy_positions=(1,),
+    )
+    result.add_constant(flat_map_bag_nil)
+
+    def flat_map_bag_specialized(
+        arguments: Sequence[Term], derive: Callable[[Term], Term]
+    ) -> Term:
+        fn_term, bag_term = arguments
+        return Const(flat_map_bag_nil)(fn_term, bag_term, derive(bag_term))
+
+    result.add_constant(
+        ConstantSpec(
+            name="flatMapBag",
+            schema=Schema(
+                ("a", "b"), fun_type(fun_type(a, bag_b), bag_a, bag_b)
+            ),
+            arity=2,
+            impl=flat_map_bag_impl,
+            specializations=[
+                Specialization(
+                    nil_positions=frozenset({0}),
+                    builder=flat_map_bag_specialized,
+                    description="df nil ⇒ flatMap the change only",
+                )
+            ],
+        )
+    )
+
+    def filter_bag_impl(predicate: Any, bag: Any) -> Any:
+        return bag.filter(lambda element: apply_semantic(predicate, element))
+
+    def filter_bag_nil_impl(predicate: Any, bag: Any, bag_change: Any) -> Any:
+        bag_change = force(bag_change)
+        if _is_bag_delta(bag_change):
+            return GroupChange(BAG_GROUP, filter_bag_impl(predicate, bag_change.delta))
+        if isinstance(bag_change, Replace):
+            return Replace(filter_bag_impl(predicate, bag_change.value))
+        raise TypeError(f"not a bag change: {bag_change!r}")
+
+    filter_bag_nil = ConstantSpec(
+        name="filterBag'_p",
+        schema=Schema(
+            ("a",),
+            fun_type(fun_type(a, TBool), bag_a, TChange(bag_a), TChange(bag_a)),
+        ),
+        arity=3,
+        impl=filter_bag_nil_impl,
+        lazy_positions=(1,),
+    )
+    result.add_constant(filter_bag_nil)
+
+    def filter_bag_specialized(
+        arguments: Sequence[Term], derive: Callable[[Term], Term]
+    ) -> Term:
+        predicate_term, bag_term = arguments
+        return Const(filter_bag_nil)(predicate_term, bag_term, derive(bag_term))
+
+    result.add_constant(
+        ConstantSpec(
+            name="filterBag",
+            schema=Schema(("a",), fun_type(fun_type(a, TBool), bag_a, bag_a)),
+            arity=2,
+            impl=filter_bag_impl,
+            specializations=[
+                Specialization(
+                    nil_positions=frozenset({0}),
+                    builder=filter_bag_specialized,
+                    description="dp nil ⇒ filter the change only",
+                )
+            ],
+        )
+    )
+
+    _PLUGIN = result
+    return result
+
+
+def _semantic_singleton_change(element: Any, element_change: Any) -> Bag:
+    from repro.changes.semantic_algebra import semantic_oplus
+
+    new_element = semantic_oplus(element, element_change)
+    if new_element == element:
+        return Bag.empty()
+    return Bag.singleton(new_element).merge(Bag.singleton(element).negate())

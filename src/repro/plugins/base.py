@@ -1,0 +1,313 @@
+"""The plugin interface (Sec. 3.7).
+
+A differentiation plugin must provide:
+
+* base types, and for each base type its erased change structure
+  (change type, runtime ⊕/⊖ behaviour, nil-change literals);
+* primitives, and for each primitive ``c`` the term ``Derive(c)``.
+
+The executable analogue of the *proof plugin* rides along: a semantic
+change structure per base type (``BaseTypeSpec.change_structure``) and a
+semantic derivative per constant (``ConstantSpec.semantic_derivative``),
+with a universally-correct default -- the trivial derivative
+``f' x dx = f (x ⊕ dx) ⊖ f x`` of Sec. 3, which is what inefficient
+incrementalization degenerates to.
+
+``Specialization`` implements the static-analysis hook of Sec. 4.2: when
+``Derive`` reaches a fully applied primitive whose arguments at the
+specialization's positions are closed terms (hence their changes are
+provably nil, Thm. 2.10), it emits the specialized -- typically
+self-maintainable -- derivative instead of the generic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.data.change_values import Replace, oplus_value
+from repro.lang.terms import Const, Term
+from repro.lang.types import Schema, TBase, TChange, TFun, TVar, Type
+from repro.semantics.thunk import force
+from repro.semantics.values import Primitive
+
+
+@dataclass(frozen=True)
+class Specialization:
+    """A derivative specialization triggered by statically-nil arguments.
+
+    ``nil_positions`` are the (0-based) argument indices that must be
+    closed terms for the specialization to apply; ``builder`` receives the
+    original argument terms and the ``derive`` function, and returns the
+    full derivative term for the application spine.
+    """
+
+    nil_positions: frozenset
+    builder: Callable[[Sequence[Term], Callable[[Term], Term]], Term]
+    description: str = ""
+
+
+class ConstantSpec:
+    """Specification of one primitive constant.
+
+    Parameters
+    ----------
+    name:
+        Surface name of the constant.
+    schema:
+        Type schema; schema variables range over base types.
+    arity:
+        Number of value parameters (0 for ground constants).
+    impl:
+        For ``arity == 0``, ignored (use ``value``); otherwise the host
+        implementation, receiving one argument per parameter.  Arguments at
+        ``lazy_positions`` arrive as unforced thunks.
+    value:
+        The runtime value of a ground constant.
+    lazy_positions:
+        Parameter indices the implementation promises not to force unless
+        needed (Sec. 4.3's laziness).
+    derivative:
+        ``Derive(c)``: a ``ConstantSpec`` (for a derivative primitive), a
+        ``Term``, or None to fall back to the trivial derivative.
+    semantic_impl:
+        Host implementation used by the denotational semantics; defaults
+        to ``impl`` (which is correct whenever ``impl`` works on plain
+        host values and applies function arguments via ``apply_semantic``).
+    semantic_derivative:
+        A zero-argument factory for ⟦c⟧Δ (Fig. 4h); defaults to the
+        trivial derivative built from the semantic change algebra.
+    specializations:
+        Static nil-change specializations (Sec. 4.2), tried most-specific
+        first by ``Derive``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        arity: int = 0,
+        impl: Optional[Callable[..., Any]] = None,
+        value: Any = None,
+        lazy_positions: Sequence[int] = (),
+        derivative: Any = None,
+        semantic_impl: Optional[Callable[..., Any]] = None,
+        semantic_derivative: Optional[Callable[[], Any]] = None,
+        specializations: Sequence[Specialization] = (),
+    ):
+        if arity > 0 and impl is None:
+            raise ValueError(f"constant {name} with arity {arity} needs an impl")
+        self.name = name
+        self.schema = schema
+        self.arity = arity
+        self.impl = impl
+        self.value = value
+        self.lazy_positions = frozenset(lazy_positions)
+        self.derivative = derivative
+        self.semantic_impl = semantic_impl
+        self.semantic_derivative = semantic_derivative
+        self.specializations = tuple(
+            sorted(
+                specializations,
+                key=lambda spec: -len(spec.nil_positions),
+            )
+        )
+        self._runtime_template: Optional[Primitive] = None
+
+    # -- runtime ----------------------------------------------------------------
+
+    def runtime_value(self, stats: Any = None) -> Any:
+        """The value of this constant in the operational semantics."""
+        if self.arity == 0:
+            return self.value
+        if self._runtime_template is None:
+            self._runtime_template = Primitive(
+                self.name, self.arity, self.impl, self.lazy_positions
+            )
+        if stats is None:
+            return self._runtime_template
+        return self._runtime_template.with_stats(stats)
+
+    # -- denotational -------------------------------------------------------------
+
+    def semantic(self) -> Any:
+        """⟦c⟧: the constant's denotation over host values."""
+        from repro.semantics.denotation import curry_host
+
+        if self.arity == 0:
+            return self.value
+        impl = self.semantic_impl if self.semantic_impl is not None else self.impl
+        if self.semantic_impl is None and self.lazy_positions:
+            # The runtime impl expects thunks at lazy positions; feed it
+            # pre-forced thunks so it also works on plain host values.
+            from repro.semantics.thunk import Thunk
+
+            base_impl = impl
+            lazy = self.lazy_positions
+
+            def strictified(*args: Any) -> Any:
+                prepared = [
+                    Thunk.ready(arg) if index in lazy else arg
+                    for index, arg in enumerate(args)
+                ]
+                return base_impl(*prepared)
+
+            impl = strictified
+        return curry_host(impl, self.arity)
+
+    def semantic_derivative_value(self) -> Any:
+        """⟦c⟧Δ: the constant's change denotation (Fig. 4h)."""
+        if self.semantic_derivative is not None:
+            return self.semantic_derivative()
+        if self.arity == 0:
+            from repro.changes.semantic_algebra import semantic_nil
+
+            return semantic_nil(self.value)
+        return _trivial_semantic_derivative(self)
+
+    # -- differentiation -------------------------------------------------------------
+
+    def derivative_term(self) -> Term:
+        """The term ``Derive(c)`` (Sec. 3.2, constant case)."""
+        if isinstance(self.derivative, ConstantSpec):
+            return Const(self.derivative)
+        if isinstance(self.derivative, Term):
+            return self.derivative
+        return Const(trivial_derivative_spec(self))
+
+    def __repr__(self) -> str:
+        return f"ConstantSpec({self.name!r} : {self.schema!r})"
+
+
+def _trivial_semantic_derivative(spec: ConstantSpec) -> Any:
+    """``λa₁ da₁ … aₙ daₙ. c (a₁ ⊕ da₁) … ⊖ c a₁ …`` over semantic values."""
+    from repro.changes.semantic_algebra import semantic_ominus, semantic_oplus
+    from repro.semantics.denotation import apply_semantic, curry_host
+
+    semantic_value = spec.semantic()
+    arity = spec.arity
+
+    def impl(*args: Any) -> Any:
+        bases = args[0::2]
+        changes = args[1::2]
+        updated = [
+            semantic_oplus(base, change) for base, change in zip(bases, changes)
+        ]
+        return semantic_ominus(
+            apply_semantic(semantic_value, *updated),
+            apply_semantic(semantic_value, *bases),
+        )
+
+    return curry_host(impl, 2 * arity)
+
+
+_TRIVIAL_DERIVATIVE_CACHE: Dict[str, ConstantSpec] = {}
+
+
+def trivial_derivative_spec(spec: ConstantSpec) -> ConstantSpec:
+    """A generic (never self-maintainable) runtime derivative for ``spec``:
+
+        c' a₁ da₁ … aₙ daₙ = Replace (c (a₁ ⊕ da₁) … (aₙ ⊕ daₙ))
+
+    Always correct by Def. 2.6 -- ``Replace`` of the new output is a change
+    from any old output -- but it recomputes from scratch, so efficient
+    plugins override ``derivative`` (Sec. 4.1: "efficient derivatives for
+    primitives are essential").
+    """
+    if spec.arity == 0:
+        raise ValueError(
+            f"ground constant {spec.name} has no derivative primitive; "
+            "its change is a nil-change literal (handled by Derive)"
+        )
+    cached = _TRIVIAL_DERIVATIVE_CACHE.get(spec.name)
+    if cached is not None:
+        return cached
+
+    runtime = spec.runtime_value()
+
+    def impl(*args: Any) -> Any:
+        from repro.semantics.eval import apply_value
+
+        bases = args[0::2]
+        changes = args[1::2]
+        updated = [
+            oplus_value(force(base), force(change))
+            for base, change in zip(bases, changes)
+        ]
+        return Replace(apply_value(runtime, *updated))
+
+    derived = ConstantSpec(
+        name=f"{spec.name}'",
+        schema=derivative_schema(spec.schema),
+        arity=2 * spec.arity,
+        impl=impl,
+    )
+    _TRIVIAL_DERIVATIVE_CACHE[spec.name] = derived
+    return derived
+
+
+def change_type_skeleton(ty: Type) -> Type:
+    """``Δτ`` computed structurally (Figs. 2 and 3), with schema variables
+    treated as base types: ``Δa = Change a``."""
+    if isinstance(ty, TFun):
+        return TFun(
+            ty.arg, TFun(change_type_skeleton(ty.arg), change_type_skeleton(ty.res))
+        )
+    if isinstance(ty, (TBase, TVar)):
+        return TChange(ty)
+    raise TypeError(f"unknown type node: {ty!r}")
+
+
+def derivative_schema(schema: Schema) -> Schema:
+    """The schema of ``Derive(c)`` given the schema of ``c``:
+    ``σ₁ → … → σₙ → τ`` becomes ``σ₁ → Δσ₁ → … → σₙ → Δσₙ → Δτ``."""
+    ty = schema.type
+    arguments = []
+    while isinstance(ty, TFun):
+        arguments.append(ty.arg)
+        ty = ty.res
+    result: Type = change_type_skeleton(ty)
+    for argument in reversed(arguments):
+        result = TFun(argument, TFun(change_type_skeleton(argument), result))
+    return Schema(schema.vars, result)
+
+
+@dataclass
+class BaseTypeSpec:
+    """Specification of one base-type constructor.
+
+    ``change_type`` gives ``Δι`` (defaulting to the erased
+    ``Change ι`` ADT); ``change_structure`` gives the *semantic* change
+    structure used by the validation layer; ``nil_literal`` produces a
+    runtime nil change for literal values (used by ``Derive`` on ``Lit``
+    nodes); ``group_for`` exposes the canonical abelian group on the type
+    when one exists.
+    """
+
+    name: str
+    type_arity: int = 0
+    change_type: Optional[Callable[[TBase], Type]] = None
+    change_structure: Optional[Callable[[TBase, Any], Any]] = None
+    nil_literal: Optional[Callable[[Any, TBase, Any], Any]] = None
+    group_for: Optional[Callable[[TBase, Any], Any]] = None
+
+
+@dataclass
+class Plugin:
+    """A bundle of base types and constants."""
+
+    name: str
+    base_types: Dict[str, BaseTypeSpec] = field(default_factory=dict)
+    constants: Dict[str, ConstantSpec] = field(default_factory=dict)
+
+    def add_constant(self, spec: ConstantSpec) -> ConstantSpec:
+        if spec.name in self.constants:
+            raise ValueError(f"duplicate constant {spec.name} in plugin {self.name}")
+        self.constants[spec.name] = spec
+        return spec
+
+    def add_base_type(self, spec: BaseTypeSpec) -> BaseTypeSpec:
+        if spec.name in self.base_types:
+            raise ValueError(f"duplicate base type {spec.name} in plugin {self.name}")
+        self.base_types[spec.name] = spec
+        return spec

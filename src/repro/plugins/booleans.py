@@ -1,0 +1,111 @@
+"""Booleans plugin.
+
+``Bool`` carries replacement changes only.  The interesting primitive is
+``ifThenElse : ∀a. Bool → a → a → a``, lazy in both branches, whose
+derivative must handle the condition *flipping*: when it does, the output
+change replaces the old branch's value with the updated other branch's
+value; when it does not, the output change is just the taken branch's
+change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.changes.primitive import BOOL_CHANGES
+from repro.data.change_values import Replace, oplus_value
+from repro.lang.types import Schema, TBool, TChange, TVar, fun_type
+from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+_DBOOL = TChange(TBool)
+
+
+def _ite_derivative_impl(
+    condition: Any,
+    condition_change: Any,
+    then_value: Any,
+    then_change: Any,
+    else_value: Any,
+    else_change: Any,
+) -> Any:
+    new_condition = oplus_value(condition, condition_change)
+    if new_condition == condition:
+        # Condition stable: propagate the taken branch's change.
+        return force(then_change) if condition else force(else_change)
+    # Condition flipped: the new output is the *other* branch's updated
+    # value; only that branch is forced (laziness pays off here too).
+    if new_condition:
+        return Replace(oplus_value(force(then_value), force(then_change)))
+    return Replace(oplus_value(force(else_value), force(else_change)))
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="booleans")
+
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Bool",
+            change_structure=lambda ty, registry: BOOL_CHANGES,
+            nil_literal=lambda value, ty, registry: Replace(value),
+        )
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="not",
+            schema=Schema.mono(fun_type(TBool, TBool)),
+            arity=1,
+            impl=lambda a: not a,
+        )
+    )
+    bool_binop = Schema.mono(fun_type(TBool, TBool, TBool))
+    result.add_constant(
+        ConstantSpec(
+            name="and", schema=bool_binop, arity=2, impl=lambda a, b: a and b
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="or", schema=bool_binop, arity=2, impl=lambda a, b: a or b
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="xor", schema=bool_binop, arity=2, impl=lambda a, b: a != b
+        )
+    )
+
+    a = TVar("a")
+    ite_derivative = result.add_constant(ConstantSpec(
+        name="ifThenElse'",
+        schema=Schema(
+            ("a",),
+            fun_type(TBool, _DBOOL, a, TChange(a), a, TChange(a), TChange(a)),
+        ),
+        arity=6,
+        impl=_ite_derivative_impl,
+        lazy_positions=(2, 3, 4, 5),
+    ))
+
+    def ite_impl(condition: Any, then_value: Any, else_value: Any) -> Any:
+        return force(then_value) if condition else force(else_value)
+
+    result.add_constant(
+        ConstantSpec(
+            name="ifThenElse",
+            schema=Schema(("a",), fun_type(TBool, a, a, a)),
+            arity=3,
+            impl=ite_impl,
+            lazy_positions=(1, 2),
+            derivative=ite_derivative,
+        )
+    )
+
+    _PLUGIN = result
+    return result

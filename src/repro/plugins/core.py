@@ -1,0 +1,87 @@
+"""Core plugin: the ``Group`` and ``Change`` base types, plus first-class
+change manipulation.
+
+"Changes are simple first-class values of this language" (Sec. 1): the
+erased change ADT (Sec. 4.4) gets a base type ``Change τ`` and the three
+operations of Fig. 2 as primitives --
+
+* ``oplus  : a → Change a → a``        (``⊕``)
+* ``ominus : a → a → Change a``        (``⊖``, the generic Replace-based one)
+* ``nilChange : a → Change a``         (``0_v = v ⊖ v``)
+
+so object programs can *produce and consume* changes, not only be
+differentiated.  First-class abelian groups (Fig. 6) get the ``Group τ``
+base type.  Neither carries exploitable change structure: both use
+replacement changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.changes.primitive import ReplaceChangeStructure
+from repro.data.change_values import (
+    Replace,
+    nil_change_for,
+    ominus_values,
+    oplus_value,
+)
+from repro.lang.types import Schema, TChange, TVar, fun_type
+from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+
+_PLUGIN: Optional[Plugin] = None
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="core")
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Group",
+            type_arity=1,
+            change_structure=lambda ty, registry: ReplaceChangeStructure(
+                name=f"Replace({ty!r})"
+            ),
+            nil_literal=lambda value, ty, registry: Replace(value),
+        )
+    )
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Change",
+            type_arity=1,
+            change_structure=lambda ty, registry: ReplaceChangeStructure(
+                name=f"Replace({ty!r})"
+            ),
+            nil_literal=lambda value, ty, registry: Replace(value),
+        )
+    )
+    a = TVar("a")
+    result.add_constant(
+        ConstantSpec(
+            name="oplus",
+            schema=Schema(("a",), fun_type(a, TChange(a), a)),
+            arity=2,
+            impl=oplus_value,
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="ominus",
+            schema=Schema(("a",), fun_type(a, a, TChange(a))),
+            arity=2,
+            impl=ominus_values,
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="nilChange",
+            schema=Schema(("a",), fun_type(a, TChange(a))),
+            arity=1,
+            impl=nil_change_for,
+        )
+    )
+
+    _PLUGIN = result
+    return result

@@ -1,0 +1,205 @@
+"""Integers plugin.
+
+The base type ``Int`` with the change structure induced by the additive
+group ``G+ = (Z, +, −, 0)`` (Sec. 2.1), arithmetic primitives with
+efficient derivatives, comparison primitives (whose boolean results use
+replacement changes), and the first-class group constant ``gplus``.
+
+Derivative highlights:
+
+* ``add' x dx y dy = dx + dy``  -- self-maintainable: never touches x, y;
+* ``mul' x dx y dy = x·dy + y·dx + dx·dy``  -- efficient but needs bases;
+* comparisons fall back to the generic trivial derivative (recompute and
+  ``Replace``), as the paper's plugin does for forms with "few
+  optimizations".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.changes.group import INT_CHANGES
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import INT_ADD_GROUP
+from repro.lang.types import Schema, TBool, TChange, TGroup, TInt, fun_type
+from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.semantics.denotation import curry_host
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+_DINT = TChange(TInt)
+
+
+def _is_int_delta(change: Any) -> bool:
+    return isinstance(change, GroupChange) and change.group == INT_ADD_GROUP
+
+
+def _linear_int_derivative(name: str, combine) -> ConstantSpec:
+    """A derivative for a binary int primitive whose output delta depends
+    only on the input deltas (self-maintainable when both changes are
+    additive)."""
+
+    def impl(x: Any, dx: Any, y: Any, dy: Any) -> Any:
+        dx = force(dx)
+        dy = force(dy)
+        if _is_int_delta(dx) and _is_int_delta(dy):
+            return GroupChange(INT_ADD_GROUP, combine(dx.delta, dy.delta))
+        new_x = oplus_value(force(x), dx)
+        new_y = oplus_value(force(y), dy)
+        return Replace(_BINARY_IMPLS[name](new_x, new_y))
+
+    return ConstantSpec(
+        name=f"{name}'",
+        schema=Schema.mono(
+            fun_type(TInt, _DINT, TInt, _DINT, _DINT)
+        ),
+        arity=4,
+        impl=impl,
+        lazy_positions=(0, 2),
+    )
+
+
+_BINARY_IMPLS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+}
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="integers")
+
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Int",
+            change_structure=lambda ty, registry: INT_CHANGES,
+            nil_literal=lambda value, ty, registry: GroupChange(INT_ADD_GROUP, 0),
+            group_for=lambda ty, registry: INT_ADD_GROUP,
+        )
+    )
+
+    int_binop = Schema.mono(fun_type(TInt, TInt, TInt))
+    int_cmp = Schema.mono(fun_type(TInt, TInt, TBool))
+
+    add_d = result.add_constant(
+        _linear_int_derivative("add", lambda dx, dy: dx + dy)
+    )
+    sub_d = result.add_constant(
+        _linear_int_derivative("sub", lambda dx, dy: dx - dy)
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="add",
+            schema=int_binop,
+            arity=2,
+            impl=lambda a, b: a + b,
+            derivative=add_d,
+            semantic_derivative=lambda: curry_host(
+                lambda x, dx, y, dy: dx + dy, 4
+            ),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="sub",
+            schema=int_binop,
+            arity=2,
+            impl=lambda a, b: a - b,
+            derivative=sub_d,
+            semantic_derivative=lambda: curry_host(
+                lambda x, dx, y, dy: dx - dy, 4
+            ),
+        )
+    )
+
+    def mul_derivative_impl(x: Any, dx: Any, y: Any, dy: Any) -> Any:
+        dx = force(dx)
+        dy = force(dy)
+        if _is_int_delta(dx) and _is_int_delta(dy):
+            x = force(x)
+            y = force(y)
+            return GroupChange(
+                INT_ADD_GROUP, x * dy.delta + y * dx.delta + dx.delta * dy.delta
+            )
+        new_x = oplus_value(force(x), dx)
+        new_y = oplus_value(force(y), dy)
+        return Replace(new_x * new_y)
+
+    mul_d = result.add_constant(ConstantSpec(
+        name="mul'",
+        schema=Schema.mono(fun_type(TInt, _DINT, TInt, _DINT, _DINT)),
+        arity=4,
+        impl=mul_derivative_impl,
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="mul",
+            schema=int_binop,
+            arity=2,
+            impl=lambda a, b: a * b,
+            derivative=mul_d,
+            semantic_derivative=lambda: curry_host(
+                lambda x, dx, y, dy: x * dy + y * dx + dx * dy, 4
+            ),
+        )
+    )
+
+    def negate_derivative_impl(x: Any, dx: Any) -> Any:
+        dx = force(dx)
+        if _is_int_delta(dx):
+            return GroupChange(INT_ADD_GROUP, -dx.delta)
+        return Replace(-oplus_value(force(x), dx))
+
+    negate_d = result.add_constant(ConstantSpec(
+        name="negateInt'",
+        schema=Schema.mono(fun_type(TInt, _DINT, _DINT)),
+        arity=2,
+        impl=negate_derivative_impl,
+        lazy_positions=(0,),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="negateInt",
+            schema=Schema.mono(fun_type(TInt, TInt)),
+            arity=1,
+            impl=lambda a: -a,
+            derivative=negate_d,
+            semantic_derivative=lambda: curry_host(lambda x, dx: -dx, 2),
+        )
+    )
+
+    # Comparisons: boolean outputs use replacement changes; the generic
+    # trivial derivative (recompute + Replace) is exactly right.
+    result.add_constant(
+        ConstantSpec(
+            name="eqInt", schema=int_cmp, arity=2, impl=lambda a, b: a == b
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="ltInt", schema=int_cmp, arity=2, impl=lambda a, b: a < b
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="leqInt", schema=int_cmp, arity=2, impl=lambda a, b: a <= b
+        )
+    )
+
+    # G+ as a first-class value (Sec. 2.1 / Fig. 5's additiveGroupOnIntegers).
+    result.add_constant(
+        ConstantSpec(
+            name="gplus",
+            schema=Schema.mono(TGroup(TInt)),
+            arity=0,
+            value=INT_ADD_GROUP,
+        )
+    )
+
+    _PLUGIN = result
+    return result

@@ -1,0 +1,338 @@
+"""Lists plugin -- the paper's future-work collection type (Sec. 6).
+
+Lists have fewer algebraic properties than bags (no commutativity, no
+inverses), so their changes are positional edit scripts
+(``repro.data.list_changes``) rather than group deltas.  Derivative
+quality varies accordingly, which is the instructive part:
+
+* ``length'`` is self-maintainable (inserts minus deletes);
+* ``cons'`` and ``append'`` route edits structurally (append needs only
+  the *length* of its left base);
+* ``sumList'`` / ``listToBag'`` / ``mapList'`` need base elements for
+  deletes/updates, but still cost O(|edits|·...) instead of O(n)
+  recomputation -- incremental yet not self-maintainable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.changes.list import LIST_CHANGES
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.data.list_changes import Delete, Insert, ListChange, Update
+from repro.lang.terms import Const, Term
+from repro.lang.types import Schema, TBag, TBase, TChange, TInt, TVar, fun_type
+from repro.plugins.base import (
+    BaseTypeSpec,
+    ConstantSpec,
+    Plugin,
+    Specialization,
+)
+from repro.semantics.denotation import apply_semantic
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+
+def TList(element) -> TBase:
+    """``List σ``."""
+    return TBase("List", (element,))
+
+
+def _coerce_list_change(change: Any, base_thunk: Any) -> ListChange:
+    """View any list change as an edit script (``Replace`` forces the
+    base to diff against)."""
+    if isinstance(change, ListChange):
+        return change
+    if isinstance(change, Replace):
+        return LIST_CHANGES.ominus(change.value, force(base_thunk))
+    raise TypeError(f"not a list change: {change!r}")
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="lists")
+
+    result.add_base_type(
+        BaseTypeSpec(
+            name="List",
+            type_arity=1,
+            change_structure=lambda ty, registry: LIST_CHANGES,
+            nil_literal=lambda value, ty, registry: ListChange.nil(),
+        )
+    )
+
+    a = TVar("a")
+    b = TVar("b")
+    list_a = TList(a)
+    list_b = TList(b)
+
+    result.add_constant(
+        ConstantSpec(
+            name="emptyList", schema=Schema(("a",), list_a), arity=0, value=()
+        )
+    )
+
+    # -- cons ----------------------------------------------------------------
+
+    def cons_derivative_impl(x: Any, dx: Any, l: Any, dl: Any) -> Any:
+        dx = force(dx)
+        dl = force(dl)
+        if isinstance(dl, ListChange):
+            head_edit = Update(0, dx)
+            return ListChange(head_edit).then(dl.shifted(1))
+        new_head = oplus_value(force(x), dx)
+        new_tail = oplus_value(force(l), dl)
+        return Replace((new_head,) + new_tail)
+
+    cons_derivative = result.add_constant(
+        ConstantSpec(
+            name="consList'",
+            schema=Schema(
+                ("a",),
+                fun_type(a, TChange(a), list_a, TChange(list_a), TChange(list_a)),
+            ),
+            arity=4,
+            impl=cons_derivative_impl,
+            lazy_positions=(0, 2),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="consList",
+            schema=Schema(("a",), fun_type(a, list_a, list_a)),
+            arity=2,
+            impl=lambda x, l: (x,) + l,
+            derivative=cons_derivative,
+        )
+    )
+
+    # -- append -----------------------------------------------------------------
+
+    def append_derivative_impl(u: Any, du: Any, v: Any, dv: Any) -> Any:
+        du = force(du)
+        dv = force(dv)
+        if isinstance(du, ListChange) and isinstance(dv, ListChange):
+            # du edits the left part in place; dv's edits shift by the
+            # *updated* left length -- only the length of u is needed.
+            left_length = len(force(u)) + du.net_length_change()
+            return du.then(dv.shifted(left_length))
+        new_u = oplus_value(force(u), du)
+        new_v = oplus_value(force(v), dv)
+        return Replace(new_u + new_v)
+
+    append_derivative = result.add_constant(
+        ConstantSpec(
+            name="appendList'",
+            schema=Schema(
+                ("a",),
+                fun_type(
+                    list_a, TChange(list_a), list_a, TChange(list_a),
+                    TChange(list_a),
+                ),
+            ),
+            arity=4,
+            impl=append_derivative_impl,
+            lazy_positions=(2,),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="appendList",
+            schema=Schema(("a",), fun_type(list_a, list_a, list_a)),
+            arity=2,
+            impl=lambda u, v: u + v,
+            derivative=append_derivative,
+        )
+    )
+
+    # -- length ------------------------------------------------------------------
+
+    def length_derivative_impl(l: Any, dl: Any) -> Any:
+        dl = force(dl)
+        if isinstance(dl, ListChange):
+            return GroupChange(INT_ADD_GROUP, dl.net_length_change())
+        return Replace(len(oplus_value(force(l), dl)))
+
+    length_derivative = result.add_constant(
+        ConstantSpec(
+            name="lengthList'",
+            schema=Schema(
+                ("a",), fun_type(list_a, TChange(list_a), TChange(TInt))
+            ),
+            arity=2,
+            impl=length_derivative_impl,
+            lazy_positions=(0,),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="lengthList",
+            schema=Schema(("a",), fun_type(list_a, TInt)),
+            arity=1,
+            impl=len,
+            derivative=length_derivative,
+        )
+    )
+
+    # -- sumList --------------------------------------------------------------------
+
+    def sum_derivative_impl(l: Any, dl: Any) -> Any:
+        dl = force(dl)
+        if not isinstance(dl, ListChange):
+            return Replace(sum(oplus_value(force(l), dl)))
+        items = list(force(l))
+        delta = 0
+        for edit in dl.edits:
+            if isinstance(edit, Insert):
+                delta += edit.value
+                items.insert(edit.index, edit.value)
+            elif isinstance(edit, Delete):
+                delta -= items[edit.index]
+                del items[edit.index]
+            else:
+                updated = oplus_value(items[edit.index], edit.change)
+                delta += updated - items[edit.index]
+                items[edit.index] = updated
+        return GroupChange(INT_ADD_GROUP, delta)
+
+    sum_derivative = result.add_constant(
+        ConstantSpec(
+            name="sumList'",
+            schema=Schema.mono(
+                fun_type(TList(TInt), TChange(TList(TInt)), TChange(TInt))
+            ),
+            arity=2,
+            impl=sum_derivative_impl,
+            lazy_positions=(0,),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="sumList",
+            schema=Schema.mono(fun_type(TList(TInt), TInt)),
+            arity=1,
+            impl=sum,
+            derivative=sum_derivative,
+        )
+    )
+
+    # -- listToBag ---------------------------------------------------------------------
+
+    def list_to_bag_derivative_impl(l: Any, dl: Any) -> Any:
+        dl = force(dl)
+        if not isinstance(dl, ListChange):
+            return Replace(Bag.from_iterable(oplus_value(force(l), dl)))
+        items = list(force(l))
+        delta = Bag.empty()
+        for edit in dl.edits:
+            if isinstance(edit, Insert):
+                delta = delta.merge(Bag.singleton(edit.value))
+                items.insert(edit.index, edit.value)
+            elif isinstance(edit, Delete):
+                delta = delta.merge(Bag.singleton(items[edit.index]).negate())
+                del items[edit.index]
+            else:
+                updated = oplus_value(items[edit.index], edit.change)
+                delta = delta.merge(
+                    Bag.from_counts(
+                        [(items[edit.index], -1), (updated, 1)]
+                    )
+                )
+                items[edit.index] = updated
+        return GroupChange(BAG_GROUP, delta)
+
+    list_to_bag_derivative = result.add_constant(
+        ConstantSpec(
+            name="listToBag'",
+            schema=Schema(
+                ("a",), fun_type(list_a, TChange(list_a), TChange(TBag(a)))
+            ),
+            arity=2,
+            impl=list_to_bag_derivative_impl,
+            lazy_positions=(0,),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="listToBag",
+            schema=Schema(("a",), fun_type(list_a, TBag(a))),
+            arity=1,
+            impl=Bag.from_iterable,
+            derivative=list_to_bag_derivative,
+        )
+    )
+
+    # -- mapList ------------------------------------------------------------------------
+
+    def map_list_impl(fn: Any, l: Any) -> Any:
+        return tuple(apply_semantic(fn, item) for item in l)
+
+    def map_list_nil_impl(fn: Any, l: Any, dl: Any) -> Any:
+        dl = force(dl)
+        if not isinstance(dl, ListChange):
+            return Replace(map_list_impl(fn, oplus_value(force(l), dl)))
+        items = list(force(l))
+        mapped_edits = []
+        for edit in dl.edits:
+            if isinstance(edit, Insert):
+                mapped_edits.append(
+                    Insert(edit.index, apply_semantic(fn, edit.value))
+                )
+                items.insert(edit.index, edit.value)
+            elif isinstance(edit, Delete):
+                mapped_edits.append(edit)
+                del items[edit.index]
+            else:
+                updated = oplus_value(items[edit.index], edit.change)
+                mapped_edits.append(
+                    Update(edit.index, Replace(apply_semantic(fn, updated)))
+                )
+                items[edit.index] = updated
+        return ListChange(*mapped_edits)
+
+    map_list_nil = result.add_constant(
+        ConstantSpec(
+            name="mapList'_f",
+            schema=Schema(
+                ("a", "b"),
+                fun_type(
+                    fun_type(a, b), list_a, TChange(list_a), TChange(list_b)
+                ),
+            ),
+            arity=3,
+            impl=map_list_nil_impl,
+            lazy_positions=(1,),
+        )
+    )
+
+    def map_list_specialized(
+        arguments: Sequence[Term], derive: Callable[[Term], Term]
+    ) -> Term:
+        fn_term, list_term = arguments
+        return Const(map_list_nil)(fn_term, list_term, derive(list_term))
+
+    result.add_constant(
+        ConstantSpec(
+            name="mapList",
+            schema=Schema(
+                ("a", "b"), fun_type(fun_type(a, b), list_a, list_b)
+            ),
+            arity=2,
+            impl=map_list_impl,
+            specializations=[
+                Specialization(
+                    nil_positions=frozenset({0}),
+                    builder=map_list_specialized,
+                    description="df nil ⇒ map edits structurally",
+                )
+            ],
+        )
+    )
+
+    _PLUGIN = result
+    return result

@@ -1,0 +1,245 @@
+"""Maps plugin (Fig. 6's ``Map`` primitives).
+
+When the value type carries an abelian group, ``groupOnMaps`` lifts it to
+maps pointwise and map changes become ``GroupChange(groupOnMaps g, δ)``
+where ``δ`` touches only affected keys.
+
+``foldMap group_a group_b f`` requires the Fig. 5 precondition -- each
+``f k`` must be a group homomorphism from ``group_a`` to ``group_b`` --
+and in exchange has a self-maintainable derivative (fold the change map
+only).  ``foldMapGen`` drops the precondition and with it the efficient
+derivative: its generic derivative recomputes, exactly the trade-off the
+paper describes ("its derivative is not self-maintainable, but it is more
+generally applicable", Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.changes.map import MapChangeStructure
+from repro.changes.primitive import ReplaceChangeStructure
+from repro.data.change_values import GroupChange, Replace, is_nil_change, oplus_value
+from repro.data.group import map_group
+from repro.data.pmap import PMap
+from repro.lang.terms import Const, Term
+from repro.lang.types import Schema, TChange, TGroup, TMap, TVar, fun_type
+from repro.plugins.base import (
+    BaseTypeSpec,
+    ConstantSpec,
+    Plugin,
+    Specialization,
+)
+from repro.semantics.denotation import apply_semantic
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="maps")
+
+    def map_change_structure(ty, registry):
+        value_group = registry.group_for_type(ty.args[1])
+        if value_group is not None:
+            return MapChangeStructure(value_group)
+        return ReplaceChangeStructure(name=f"Replace({ty!r})")
+
+    def map_nil_literal(value, ty, registry):
+        value_group = registry.group_for_type(ty.args[1])
+        if value_group is not None:
+            return GroupChange(map_group(value_group), PMap.empty())
+        return Replace(value)
+
+    def map_group_for(ty, registry):
+        value_group = registry.group_for_type(ty.args[1])
+        if value_group is None:
+            return None
+        return map_group(value_group)
+
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Map",
+            type_arity=2,
+            change_structure=map_change_structure,
+            nil_literal=map_nil_literal,
+            group_for=map_group_for,
+        )
+    )
+
+    k = TVar("k")
+    a = TVar("a")
+    b = TVar("b")
+    map_ka = TMap(k, a)
+
+    result.add_constant(
+        ConstantSpec(
+            name="emptyMap",
+            schema=Schema(("k", "a"), map_ka),
+            arity=0,
+            value=PMap.empty(),
+        )
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="groupOnMaps",
+            schema=Schema(("k", "a"), fun_type(TGroup(a), TGroup(map_ka))),
+            arity=1,
+            impl=map_group,
+        )
+    )
+
+    # -- singletonMap ---------------------------------------------------------
+
+    def singleton_map_derivative_impl(
+        key: Any, key_change: Any, value: Any, value_change: Any
+    ) -> Any:
+        key_change = force(key_change)
+        value_change = force(value_change)
+        if is_nil_change(key_change, key):
+            if isinstance(value_change, GroupChange):
+                return GroupChange(
+                    map_group(value_change.group),
+                    PMap.singleton(key, value_change.delta),
+                )
+            if isinstance(value_change, Replace):
+                return Replace(PMap.singleton(key, value_change.value))
+        new_key = oplus_value(key, key_change)
+        new_value = oplus_value(force(value), value_change)
+        return Replace(PMap.singleton(new_key, new_value))
+
+    singleton_map_derivative = result.add_constant(ConstantSpec(
+        name="singletonMap'",
+        schema=Schema(
+            ("k", "a"),
+            fun_type(k, TChange(k), a, TChange(a), TChange(map_ka)),
+        ),
+        arity=4,
+        impl=singleton_map_derivative_impl,
+        lazy_positions=(2,),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="singletonMap",
+            schema=Schema(("k", "a"), fun_type(k, a, map_ka)),
+            arity=2,
+            impl=PMap.singleton,
+            derivative=singleton_map_derivative,
+        )
+    )
+
+    # -- lookup -----------------------------------------------------------------
+
+    result.add_constant(
+        ConstantSpec(
+            name="lookupWithDefault",
+            schema=Schema(("k", "a"), fun_type(k, a, map_ka, a)),
+            arity=3,
+            impl=lambda key, default, mapping: mapping.get(key, default),
+        )
+    )
+
+    # -- foldMap (homomorphism fold, Fig. 6) ----------------------------------------
+
+    def fold_map_impl(group_a: Any, group_b: Any, fn: Any, mapping: Any) -> Any:
+        accumulator = group_b.zero
+        for key, value in mapping.items():
+            accumulator = group_b.merge(
+                accumulator, apply_semantic(fn, key, value)
+            )
+        return accumulator
+
+    def fold_map_nil_impl(
+        group_a: Any, group_b: Any, fn: Any, mapping: Any, mapping_change: Any
+    ) -> Any:
+        """Self-maintainable ``foldMap'`` under the Fig. 5 precondition
+        (each ``f k`` is a homomorphism from ``group_a`` to ``group_b``):
+        fold the change map and wrap the result as a ``group_b`` change."""
+        mapping_change = force(mapping_change)
+        if isinstance(mapping_change, GroupChange):
+            delta = mapping_change.delta
+            return GroupChange(group_b, fold_map_impl(group_a, group_b, fn, delta))
+        if isinstance(mapping_change, Replace):
+            return Replace(
+                fold_map_impl(group_a, group_b, fn, mapping_change.value)
+            )
+        raise TypeError(f"not a map change: {mapping_change!r}")
+
+    fold_map_nil = ConstantSpec(
+        name="foldMap'_gf",
+        schema=Schema(
+            ("k", "a", "b"),
+            fun_type(
+                TGroup(a),
+                TGroup(b),
+                fun_type(k, a, b),
+                map_ka,
+                TChange(map_ka),
+                TChange(b),
+            ),
+        ),
+        arity=5,
+        impl=fold_map_nil_impl,
+        lazy_positions=(3,),
+    )
+    result.add_constant(fold_map_nil)
+
+    def fold_map_specialized(
+        arguments: Sequence[Term], derive: Callable[[Term], Term]
+    ) -> Term:
+        group_a_term, group_b_term, fn_term, map_term = arguments
+        return Const(fold_map_nil)(
+            group_a_term, group_b_term, fn_term, map_term, derive(map_term)
+        )
+
+    result.add_constant(
+        ConstantSpec(
+            name="foldMap",
+            schema=Schema(
+                ("k", "a", "b"),
+                fun_type(TGroup(a), TGroup(b), fun_type(k, a, b), map_ka, b),
+            ),
+            arity=4,
+            impl=fold_map_impl,
+            specializations=[
+                Specialization(
+                    nil_positions=frozenset({0, 1, 2}),
+                    builder=fold_map_specialized,
+                    description=(
+                        "groups and homomorphic f nil ⇒ self-maintainable"
+                    ),
+                )
+            ],
+        )
+    )
+
+    # -- foldMapGen (no precondition, no efficient derivative) ----------------------
+
+    def fold_map_gen_impl(zero: Any, merge_fn: Any, fn: Any, mapping: Any) -> Any:
+        accumulator = zero
+        for key, value in mapping.items():
+            accumulator = apply_semantic(
+                merge_fn, accumulator, apply_semantic(fn, key, value)
+            )
+        return accumulator
+
+    result.add_constant(
+        ConstantSpec(
+            name="foldMapGen",
+            schema=Schema(
+                ("k", "a", "b"),
+                fun_type(
+                    b, fun_type(b, b, b), fun_type(k, a, b), map_ka, b
+                ),
+            ),
+            arity=4,
+            impl=fold_map_gen_impl,
+        )
+    )
+
+    _PLUGIN = result
+    return result

@@ -1,0 +1,154 @@
+"""Naturals plugin -- the paper's motivating change structure (Sec. 2.1).
+
+Naturals are where change structures earn their keep over plain groups:
+``Δv = {dv ∈ Z | v + dv ≥ 0}`` genuinely depends on the base value, so
+no abelian group induces it.  The *erased* change type is the whole of
+``Int`` -- "we would have ΔNat = Int, even though not every integer is a
+change for every natural number" (Sec. 3.1).  The extra inhabitants are
+the "junk" of Sec. 3.3: behaviour on them is unconstrained, and
+Theorem 3.11's side condition (the change term must erase from a real
+change) is exactly what excludes them.  The tests demonstrate both sides:
+Eq. (1) holds for valid changes; invalid ones may leave the naturals.
+
+Primitives: ``addNat``, ``mulNat``, and ``monus`` (truncated
+subtraction), plus conversions to/from ``Int``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.changes.primitive import NAT_CHANGES
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import INT_ADD_GROUP
+from repro.lang.types import Schema, TBase, TChange, TInt, fun_type
+from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.semantics.denotation import curry_host
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+TNat = TBase("Nat")
+_DNAT = TChange(TNat)
+
+
+def _is_int_delta(change: Any) -> bool:
+    return isinstance(change, GroupChange) and change.group == INT_ADD_GROUP
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="naturals")
+
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Nat",
+            change_structure=lambda ty, registry: NAT_CHANGES,
+            nil_literal=lambda value, ty, registry: GroupChange(
+                INT_ADD_GROUP, 0
+            ),
+            # No group: naturals have no inverses.  (The erased ⊕ still
+            # uses integer deltas; validity is the caller's obligation.)
+        )
+    )
+
+    nat_binop = Schema.mono(fun_type(TNat, TNat, TNat))
+
+    def add_nat_derivative_impl(x: Any, dx: Any, y: Any, dy: Any) -> Any:
+        dx = force(dx)
+        dy = force(dy)
+        if _is_int_delta(dx) and _is_int_delta(dy):
+            # Valid inputs guarantee x+dx ≥ 0 and y+dy ≥ 0, so the sum of
+            # deltas is a valid change for x+y.
+            return GroupChange(INT_ADD_GROUP, dx.delta + dy.delta)
+        new_x = oplus_value(force(x), dx)
+        new_y = oplus_value(force(y), dy)
+        return Replace(new_x + new_y)
+
+    add_nat_derivative = result.add_constant(
+        ConstantSpec(
+            name="addNat'",
+            schema=Schema.mono(fun_type(TNat, _DNAT, TNat, _DNAT, _DNAT)),
+            arity=4,
+            impl=add_nat_derivative_impl,
+            lazy_positions=(0, 2),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="addNat",
+            schema=nat_binop,
+            arity=2,
+            impl=lambda a, b: a + b,
+            derivative=add_nat_derivative,
+            semantic_derivative=lambda: curry_host(
+                lambda x, dx, y, dy: dx + dy, 4
+            ),
+        )
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="mulNat",
+            schema=nat_binop,
+            arity=2,
+            impl=lambda a, b: a * b,
+            # Trivial derivative: recompute.  (The efficient mul' needs
+            # signed intermediates; keeping this trivial shows plugins can
+            # mix efficiency levels.)
+        )
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="monus",
+            schema=nat_binop,
+            arity=2,
+            impl=lambda a, b: max(0, a - b),
+            # monus is not linear (it clamps); only the trivial
+            # recompute-derivative is uniformly correct.
+        )
+    )
+
+    def nat_to_int_derivative_impl(x: Any, dx: Any) -> Any:
+        # ΔNat and ΔInt share the integer-delta representation, so the
+        # inclusion's derivative is the identity on changes.
+        return force(dx)
+
+    nat_to_int_derivative = result.add_constant(
+        ConstantSpec(
+            name="natToInt'",
+            schema=Schema.mono(fun_type(TNat, _DNAT, TChange(TInt))),
+            arity=2,
+            impl=nat_to_int_derivative_impl,
+            lazy_positions=(0,),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="natToInt",
+            schema=Schema.mono(fun_type(TNat, TInt)),
+            arity=1,
+            impl=lambda a: a,
+            derivative=nat_to_int_derivative,
+        )
+    )
+
+    def int_to_nat_impl(a: Any) -> Any:
+        if a < 0:
+            raise ValueError(f"intToNat of negative value {a}")
+        return a
+
+    result.add_constant(
+        ConstantSpec(
+            name="intToNat",
+            schema=Schema.mono(fun_type(TInt, TNat)),
+            arity=1,
+            impl=int_to_nat_impl,
+        )
+    )
+
+    _PLUGIN = result
+    return result

@@ -1,0 +1,157 @@
+"""Pairs plugin.
+
+``Pair a b`` with the product change structure: a pair change is a pair of
+component changes (with ``Replace``/``GroupChange`` accepted as coarser
+representations).  All three primitives have self-maintainable
+derivatives: constructing a pair of changes and projecting a component
+change never touch base values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.changes.product import ProductChangeStructure
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import pair_group
+from repro.lang.types import Schema, TChange, TGroup, TPair, TVar, fun_type
+from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.semantics.denotation import curry_host
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+
+def _project_change(change: Any, pair_value: Any, index: int) -> Any:
+    """The component change of a pair change, in any representation."""
+    change = force(change)
+    if isinstance(change, tuple):
+        return change[index]
+    if isinstance(change, Replace):
+        return Replace(change.value[index])
+    if isinstance(change, GroupChange):
+        component_groups = change.group.args
+        if len(component_groups) == 2:
+            return GroupChange(component_groups[index], change.delta[index])
+        # Unknown group shape: fall back to recomputation.
+        new_pair = oplus_value(force(pair_value), change)
+        return Replace(new_pair[index])
+    raise TypeError(f"not a pair change: {change!r}")
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="pairs")
+
+    def pair_change_structure(ty, registry):
+        return ProductChangeStructure(
+            registry.change_structure(ty.args[0]),
+            registry.change_structure(ty.args[1]),
+        )
+
+    def pair_nil_literal(value, ty, registry):
+        return (
+            registry.nil_change_literal(value[0], ty.args[0]),
+            registry.nil_change_literal(value[1], ty.args[1]),
+        )
+
+    def pair_group_for(ty, registry):
+        left = registry.group_for_type(ty.args[0])
+        right = registry.group_for_type(ty.args[1])
+        if left is None or right is None:
+            return None
+        return pair_group(left, right)
+
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Pair",
+            type_arity=2,
+            change_structure=pair_change_structure,
+            nil_literal=pair_nil_literal,
+            group_for=pair_group_for,
+        )
+    )
+
+    a = TVar("a")
+    b = TVar("b")
+    pair_type = TPair(a, b)
+
+    result.add_constant(
+        ConstantSpec(
+            name="groupOnPairs",
+            schema=Schema(
+                ("a", "b"),
+                fun_type(TGroup(a), TGroup(b), TGroup(pair_type)),
+            ),
+            arity=2,
+            impl=pair_group,
+        )
+    )
+
+    pair_derivative = result.add_constant(ConstantSpec(
+        name="pair'",
+        schema=Schema(
+            ("a", "b"),
+            fun_type(a, TChange(a), b, TChange(b), TChange(pair_type)),
+        ),
+        arity=4,
+        impl=lambda x, dx, y, dy: (force(dx), force(dy)),
+        lazy_positions=(0, 2),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="pair",
+            schema=Schema(("a", "b"), fun_type(a, b, pair_type)),
+            arity=2,
+            impl=lambda x, y: (x, y),
+            derivative=pair_derivative,
+            semantic_derivative=lambda: curry_host(
+                lambda x, dx, y, dy: (dx, dy), 4
+            ),
+        )
+    )
+
+    fst_derivative = result.add_constant(ConstantSpec(
+        name="fst'",
+        schema=Schema(
+            ("a", "b"), fun_type(pair_type, TChange(pair_type), TChange(a))
+        ),
+        arity=2,
+        impl=lambda p, dp: _project_change(dp, p, 0),
+        lazy_positions=(0,),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="fst",
+            schema=Schema(("a", "b"), fun_type(pair_type, a)),
+            arity=1,
+            impl=lambda p: p[0],
+            derivative=fst_derivative,
+            semantic_derivative=lambda: curry_host(lambda p, dp: dp[0], 2),
+        )
+    )
+
+    snd_derivative = result.add_constant(ConstantSpec(
+        name="snd'",
+        schema=Schema(
+            ("a", "b"), fun_type(pair_type, TChange(pair_type), TChange(b))
+        ),
+        arity=2,
+        impl=lambda p, dp: _project_change(dp, p, 1),
+        lazy_positions=(0,),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="snd",
+            schema=Schema(("a", "b"), fun_type(pair_type, b)),
+            arity=1,
+            impl=lambda p: p[1],
+            derivative=snd_derivative,
+            semantic_derivative=lambda: curry_host(lambda p, dp: dp[1], 2),
+        )
+    )
+
+    _PLUGIN = result
+    return result

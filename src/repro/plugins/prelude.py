@@ -1,0 +1,83 @@
+"""Prelude plugin: polymorphic function combinators.
+
+``id`` gets the derivative from the paper's Sec. 2.1 example
+(``id' v dv = dv``); the others make higher-order programs pleasant to
+write and exercise function changes in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.types import Schema, TChange, TVar, fun_type
+from repro.plugins.base import ConstantSpec, Plugin
+from repro.semantics.denotation import apply_semantic, curry_host
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="prelude")
+
+    a = TVar("a")
+    b = TVar("b")
+    c = TVar("c")
+
+    id_derivative = result.add_constant(ConstantSpec(
+        name="id'",
+        schema=Schema(("a",), fun_type(a, TChange(a), TChange(a))),
+        arity=2,
+        impl=lambda value, change: force(change),
+        lazy_positions=(0, 1),
+    ))
+    result.add_constant(
+        ConstantSpec(
+            name="id",
+            schema=Schema(("a",), fun_type(a, a)),
+            arity=1,
+            impl=lambda value: value,
+            derivative=id_derivative,
+            semantic_derivative=lambda: curry_host(
+                lambda value, change: change, 2
+            ),
+        )
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="constFn",
+            schema=Schema(("a", "b"), fun_type(a, b, a)),
+            arity=2,
+            impl=lambda kept, _ignored: kept,
+        )
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="compose",
+            schema=Schema(
+                ("a", "b", "c"),
+                fun_type(fun_type(b, c), fun_type(a, b), a, c),
+            ),
+            arity=3,
+            impl=lambda outer, inner, value: apply_semantic(
+                outer, apply_semantic(inner, value)
+            ),
+        )
+    )
+
+    result.add_constant(
+        ConstantSpec(
+            name="applyFn",
+            schema=Schema(("a", "b"), fun_type(fun_type(a, b), a, b)),
+            arity=2,
+            impl=lambda fn, value: apply_semantic(fn, value),
+        )
+    )
+
+    _PLUGIN = result
+    return result

@@ -1,0 +1,174 @@
+"""The plugin registry: the composition point of the framework.
+
+A registry aggregates plugins and answers the questions the rest of the
+system asks:
+
+* ``lookup_constant`` / ``constant`` -- resolve primitive names (parser,
+  builders);
+* ``change_type`` -- compute ``Δτ`` (Figs. 2/3 + per-plugin base cases);
+* ``change_structure`` -- the *semantic* change structure of a type
+  (validation layer);
+* ``nil_change_literal`` -- a runtime nil change for literal values
+  (``Derive`` on ``Lit`` nodes);
+* ``group_for_type`` -- the canonical abelian group on a type, when one
+  exists (used by specialized derivatives and workload generators).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.changes.function import FunctionChangeStructure
+from repro.changes.primitive import ReplaceChangeStructure
+from repro.changes.structure import ChangeStructure
+from repro.data.change_values import Replace
+from repro.lang.terms import Const
+from repro.lang.types import TBase, TChange, TFun, TVar, Type
+from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+
+
+class PluginError(ValueError):
+    """A plugin composition or lookup error."""
+
+
+class Registry:
+    """An immutable-after-setup collection of plugins."""
+
+    def __init__(self, plugins: Iterable[Plugin] = ()):
+        self._plugins: Dict[str, Plugin] = {}
+        self._constants: Dict[str, ConstantSpec] = {}
+        self._base_types: Dict[str, BaseTypeSpec] = {}
+        for plugin in plugins:
+            self.register(plugin)
+
+    def register(self, plugin: Plugin) -> None:
+        if plugin.name in self._plugins:
+            raise PluginError(f"plugin {plugin.name} already registered")
+        for name in plugin.constants:
+            if name in self._constants:
+                raise PluginError(
+                    f"constant {name} defined by both "
+                    f"{self._owner_of_constant(name)} and {plugin.name}"
+                )
+        for name in plugin.base_types:
+            if name in self._base_types:
+                raise PluginError(f"base type {name} defined twice")
+        self._plugins[plugin.name] = plugin
+        self._constants.update(plugin.constants)
+        self._base_types.update(plugin.base_types)
+
+    def _owner_of_constant(self, name: str) -> str:
+        for plugin in self._plugins.values():
+            if name in plugin.constants:
+                return plugin.name
+        return "<unknown>"
+
+    # -- lookups -----------------------------------------------------------------
+
+    def lookup_constant(self, name: str) -> Optional[ConstantSpec]:
+        return self._constants.get(name)
+
+    def constant(self, name: str) -> Const:
+        spec = self._constants.get(name)
+        if spec is None:
+            raise PluginError(f"unknown constant: {name}")
+        return Const(spec)
+
+    def base_type(self, name: str) -> Optional[BaseTypeSpec]:
+        return self._base_types.get(name)
+
+    def base_type_names(self) -> Iterable[str]:
+        return self._base_types.keys()
+
+    def constants(self) -> Iterable[ConstantSpec]:
+        return self._constants.values()
+
+    def plugin_names(self) -> Iterable[str]:
+        return self._plugins.keys()
+
+    # -- change types (Figs. 2/3) ---------------------------------------------------
+
+    def change_type(self, ty: Type) -> Type:
+        """``Δτ``: plugin-defined on base types, structural on functions."""
+        if isinstance(ty, TFun):
+            return TFun(
+                ty.arg, TFun(self.change_type(ty.arg), self.change_type(ty.res))
+            )
+        if isinstance(ty, TVar):
+            return TChange(ty)
+        if isinstance(ty, TBase):
+            spec = self._base_types.get(ty.name)
+            if spec is not None and spec.change_type is not None:
+                return spec.change_type(ty)
+            return TChange(ty)
+        raise PluginError(f"unknown type node: {ty!r}")
+
+    # -- semantic change structures ----------------------------------------------------
+
+    def change_structure(self, ty: Type) -> ChangeStructure:
+        """The semantic change structure ``Ĉτ`` (Def. 3.4)."""
+        if isinstance(ty, TFun):
+            return FunctionChangeStructure(
+                self.change_structure(ty.arg), self.change_structure(ty.res)
+            )
+        if isinstance(ty, TBase):
+            spec = self._base_types.get(ty.name)
+            if spec is not None and spec.change_structure is not None:
+                return spec.change_structure(ty, self)
+            return ReplaceChangeStructure(name=f"Replace({ty!r})")
+        raise PluginError(f"no change structure for type {ty!r}")
+
+    # -- runtime nil changes -------------------------------------------------------------
+
+    def nil_change_literal(self, value: Any, ty: Type) -> Any:
+        """A runtime nil change for a literal of type ``ty`` (used by
+        ``Derive(Lit)``; Sec. 3.2 treats literals as constants, whose
+        changes are nil by Thm. 2.10)."""
+        if isinstance(ty, TBase):
+            spec = self._base_types.get(ty.name)
+            if spec is not None and spec.nil_literal is not None:
+                return spec.nil_literal(value, ty, self)
+        return Replace(value)
+
+    # -- groups ------------------------------------------------------------------------------
+
+    def group_for_type(self, ty: Type) -> Optional[Any]:
+        """The canonical abelian group on ``ty``, if the plugin declares one."""
+        if isinstance(ty, TBase):
+            spec = self._base_types.get(ty.name)
+            if spec is not None and spec.group_for is not None:
+                return spec.group_for(ty, self)
+        return None
+
+
+def standard_registry() -> Registry:
+    """The case-study plugin suite of Sec. 4.4: integers, booleans, pairs,
+    tagged unions, bags, maps, plus a small prelude of function
+    combinators."""
+    from repro.plugins import (
+        bags,
+        booleans,
+        core,
+        integers,
+        lists,
+        maps,
+        naturals,
+        pairs,
+        prelude,
+        sums,
+    )
+
+    return Registry(
+        [
+            core.plugin(),
+            integers.plugin(),
+            naturals.plugin(),
+            booleans.plugin(),
+            pairs.plugin(),
+            sums.plugin(),
+            bags.plugin(),
+            maps.plugin(),
+            lists.plugin(),
+            prelude.plugin(),
+        ]
+    )

@@ -1,0 +1,184 @@
+"""Tagged-unions plugin.
+
+``Sum a b`` with the usual introduction (``inl``/``inr``) and elimination
+(``matchSum``) forms.  The paper's plugin ships sums "with few
+optimizations for their derivatives" (Sec. 4.4); going one step further
+(the Sec. 6 algebraic-data-types direction), changes here are
+*structural*: ``InlChange(da)`` / ``InrChange(db)`` carry payload changes
+that stay on one side, so
+
+* ``inl' a da = InlChange(da)`` is self-maintainable, and
+* ``matchSum'`` propagates the matching branch's *function change* when
+  the scrutinee stays on its side, recomputing only on side switches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.changes.primitive import ReplaceChangeStructure
+from repro.data.change_values import Replace, oplus_value
+from repro.data.sum import Inl, InlChange, Inr, InrChange
+from repro.lang.types import Schema, TChange, TSum, TVar, fun_type
+from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.semantics.denotation import apply_semantic
+from repro.semantics.eval import apply_value
+from repro.semantics.thunk import force
+
+_PLUGIN: Optional[Plugin] = None
+
+
+def plugin() -> Plugin:
+    global _PLUGIN
+    if _PLUGIN is not None:
+        return _PLUGIN
+    result = Plugin(name="sums")
+
+    result.add_base_type(
+        BaseTypeSpec(
+            name="Sum",
+            type_arity=2,
+            change_structure=lambda ty, registry: ReplaceChangeStructure(
+                name=f"Replace({ty!r})"
+            ),
+            nil_literal=lambda value, ty, registry: _nil_sum_change(
+                value, ty, registry
+            ),
+        )
+    )
+
+    a = TVar("a")
+    b = TVar("b")
+    c = TVar("c")
+    sum_type = TSum(a, b)
+
+    inl_derivative = result.add_constant(
+        ConstantSpec(
+            name="inl'",
+            schema=Schema(
+                ("a", "b"), fun_type(a, TChange(a), TChange(sum_type))
+            ),
+            arity=2,
+            impl=lambda value, change: InlChange(force(change)),
+            lazy_positions=(0,),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="inl",
+            schema=Schema(("a", "b"), fun_type(a, sum_type)),
+            arity=1,
+            impl=Inl,
+            derivative=inl_derivative,
+        )
+    )
+
+    inr_derivative = result.add_constant(
+        ConstantSpec(
+            name="inr'",
+            schema=Schema(
+                ("a", "b"), fun_type(b, TChange(b), TChange(sum_type))
+            ),
+            arity=2,
+            impl=lambda value, change: InrChange(force(change)),
+            lazy_positions=(0,),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="inr",
+            schema=Schema(("a", "b"), fun_type(b, sum_type)),
+            arity=1,
+            impl=Inr,
+            derivative=inr_derivative,
+        )
+    )
+
+    def match_impl(value: Any, on_left: Any, on_right: Any) -> Any:
+        if isinstance(value, Inl):
+            return apply_semantic(on_left, value.value)
+        if isinstance(value, Inr):
+            return apply_semantic(on_right, value.value)
+        raise TypeError(f"matchSum on non-sum value: {value!r}")
+
+    def match_derivative_impl(
+        scrutinee: Any,
+        scrutinee_change: Any,
+        on_left: Any,
+        on_left_change: Any,
+        on_right: Any,
+        on_right_change: Any,
+    ) -> Any:
+        scrutinee_change = force(scrutinee_change)
+        # Fast paths: the scrutinee stays on its side, so the output
+        # change is the matching branch's function change applied to the
+        # payload and its change (Thm. 2.9 at the branch).
+        if isinstance(scrutinee_change, InlChange) and isinstance(
+            scrutinee, Inl
+        ):
+            return apply_value(
+                force(on_left_change), scrutinee.value, scrutinee_change.change
+            )
+        if isinstance(scrutinee_change, InrChange) and isinstance(
+            scrutinee, Inr
+        ):
+            return apply_value(
+                force(on_right_change),
+                scrutinee.value,
+                scrutinee_change.change,
+            )
+        # Side switch or Replace: recompute on the updated everything.
+        new_scrutinee = oplus_value(scrutinee, scrutinee_change)
+        new_left = oplus_value(force(on_left), force(on_left_change))
+        new_right = oplus_value(force(on_right), force(on_right_change))
+        return Replace(match_impl(new_scrutinee, new_left, new_right))
+
+    match_derivative = result.add_constant(
+        ConstantSpec(
+            name="matchSum'",
+            schema=Schema(
+                ("a", "b", "c"),
+                fun_type(
+                    sum_type,
+                    TChange(sum_type),
+                    fun_type(a, c),
+                    fun_type(a, TChange(a), TChange(c)),
+                    fun_type(b, c),
+                    fun_type(b, TChange(b), TChange(c)),
+                    TChange(c),
+                ),
+            ),
+            arity=6,
+            impl=match_derivative_impl,
+            lazy_positions=(2, 4),
+        )
+    )
+    result.add_constant(
+        ConstantSpec(
+            name="matchSum",
+            schema=Schema(
+                ("a", "b", "c"),
+                fun_type(sum_type, fun_type(a, c), fun_type(b, c), c),
+            ),
+            arity=3,
+            impl=match_impl,
+            derivative=match_derivative,
+        )
+    )
+
+    _PLUGIN = result
+    return result
+
+
+def _nil_sum_change(value: Any, ty, registry) -> Any:
+    """A detectably-nil change for a sum literal: the nil of its payload,
+    wrapped on the matching side."""
+    if isinstance(value, Inl):
+        return InlChange(
+            registry.nil_change_literal(value.value, ty.args[0])
+        )
+    if isinstance(value, Inr):
+        return InrChange(
+            registry.nil_change_literal(value.value, ty.args[1])
+        )
+    return Replace(value)

@@ -1,0 +1,287 @@
+"""Plugin conformance validation (the Sec. 3.7 interface, checked).
+
+The paper: "A precise interface specifies what is required to
+incrementalize the chosen primitives" and "for base types with no known
+incrementalization strategy, the precise interfaces for differentiation
+and proof plugins can guide the implementation effort."  This module is
+that interface made executable: given a plugin (or a whole registry), it
+checks each primitive's supplied derivative against Eq. (1)
+
+    c (a₁ ⊕ da₁) … (aₙ ⊕ daₙ)  =  c a₁ … aₙ ⊕ c' a₁ da₁ … aₙ daₙ
+
+on generated sample inputs, and each base type's change structure against
+the Def. 2.1 laws.  Plugin authors run ``validate_registry`` as a test;
+a broken derivative surfaces as a ``ValidationIssue`` with a concrete
+counterexample instead of as silently-wrong incremental output later.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.changes.laws import LawViolation, check_change_structure_laws, check_nil_behavior
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP, map_group
+from repro.data.list_changes import Delete, Insert, ListChange
+from repro.data.pmap import PMap
+from repro.lang.types import TBase, Type, uncurry_fun_type
+from repro.plugins.base import ConstantSpec, Plugin
+from repro.plugins.registry import Registry
+from repro.semantics.eval import apply_value
+from repro.semantics.values import FunctionValue
+
+
+@dataclass
+class ValidationIssue:
+    """One conformance failure, with a reproducible counterexample."""
+
+    subject: str
+    message: str
+
+    def __repr__(self) -> str:
+        return f"[{self.subject}] {self.message}"
+
+
+def samples_for(ty: Type) -> Optional[List[Tuple[Any, Any]]]:
+    """A few ``(value, change)`` pairs inhabiting a first-order type, or
+    None when the type is higher-order / unknown.
+
+    Public so plugin authors can seed their own property tests with the
+    same inputs the conformance validator uses (every change in a pair is
+    valid for its value, covering both group-delta and ``Replace``
+    representations).
+    """
+    if not isinstance(ty, TBase):
+        return None
+    if ty.name == "Int":
+        return [
+            (0, GroupChange(INT_ADD_GROUP, 5)),
+            (7, GroupChange(INT_ADD_GROUP, -3)),
+            (2, Replace(11)),
+        ]
+    if ty.name == "Bool":
+        return [(True, Replace(False)), (False, Replace(False))]
+    if ty.name == "Bag":
+        return [
+            (Bag.of(1, 2), GroupChange(BAG_GROUP, Bag.of(3))),
+            (Bag.of(1), GroupChange(BAG_GROUP, Bag.of(1).negate())),
+            (Bag.empty(), Replace(Bag.of(9))),
+        ]
+    if ty.name == "Map":
+        return [
+            (
+                PMap({1: 10}),
+                GroupChange(map_group(INT_ADD_GROUP), PMap({1: 5})),
+            ),
+            (PMap.empty(), Replace(PMap({2: 3}))),
+        ]
+    if ty.name == "Pair":
+        return [
+            (
+                (1, 2),
+                (GroupChange(INT_ADD_GROUP, 3), GroupChange(INT_ADD_GROUP, -1)),
+            ),
+            ((0, 0), Replace((5, 5))),
+        ]
+    if ty.name == "List":
+        return [
+            ((1, 2, 3), ListChange(Insert(0, 9))),
+            ((4,), ListChange(Delete(0))),
+            ((1, 2), Replace((7,))),
+        ]
+    if ty.name == "Group":
+        inner = ty.args[0] if ty.args else None
+        if isinstance(inner, TBase) and inner.name == "Bag":
+            return [(BAG_GROUP, Replace(BAG_GROUP))]
+        return [(INT_ADD_GROUP, Replace(INT_ADD_GROUP))]
+    if ty.name == "Sum":
+        from repro.data.sum import Inl, InlChange, Inr
+
+        return [
+            (Inl(1), Replace(Inr(2))),
+            (Inr(3), Replace(Inr(4))),
+            (Inl(5), InlChange(GroupChange(INT_ADD_GROUP, 2))),
+        ]
+    if ty.name == "Nat":
+        return [
+            (0, GroupChange(INT_ADD_GROUP, 5)),
+            (7, GroupChange(INT_ADD_GROUP, -3)),
+            (2, Replace(11)),
+        ]
+    return None
+
+
+def _instantiate_schema(spec: ConstantSpec) -> Type:
+    """The constant's type with schema variables set to ``Int`` -- the
+    canonical ground instantiation for sampling."""
+    from repro.lang.types import TInt, apply_substitution
+
+    substitution = {name: TInt for name in spec.schema.vars}
+    return apply_substitution(substitution, spec.schema.type)
+
+
+def default_cases_for(
+    spec: ConstantSpec, max_cases: int = 8
+) -> Optional[List[Tuple[List[Any], List[Any]]]]:
+    """Generate ``(arguments, changes)`` cases for a first-order constant,
+    or None when any argument type is higher-order/unknown."""
+    if spec.arity == 0:
+        return []
+    ty = _instantiate_schema(spec)
+    argument_types, _ = uncurry_fun_type(ty)
+    if len(argument_types) < spec.arity:
+        return None
+    argument_types = argument_types[: spec.arity]
+    per_argument = []
+    for argument_type in argument_types:
+        samples = samples_for(argument_type)
+        if samples is None:
+            return None
+        per_argument.append(samples)
+    cases = []
+    for combo in itertools.islice(itertools.product(*per_argument), max_cases):
+        arguments = [value for value, _ in combo]
+        changes = [change for _, change in combo]
+        cases.append((arguments, changes))
+    return cases
+
+
+def validate_constant(
+    spec: ConstantSpec,
+    cases: Optional[Sequence[Tuple[Sequence[Any], Sequence[Any]]]] = None,
+) -> List[ValidationIssue]:
+    """Check Eq. (1) for ``spec``'s supplied derivative on ``cases``
+    (auto-generated when omitted)."""
+    issues: List[ValidationIssue] = []
+    if spec.arity == 0:
+        return issues
+    if cases is None:
+        cases = default_cases_for(spec)
+        if cases is None:
+            issues.append(
+                ValidationIssue(
+                    spec.name,
+                    "skipped: higher-order or unsampled argument types "
+                    "(provide explicit cases)",
+                )
+            )
+            return issues
+    runtime = spec.runtime_value()
+    derivative_term = spec.derivative_term()
+    from repro.semantics.eval import evaluate
+
+    derivative = evaluate(derivative_term)
+    for arguments, changes in cases:
+        try:
+            updated_arguments = [
+                oplus_value(value, change)
+                for value, change in zip(arguments, changes)
+            ]
+            recomputed = apply_value(runtime, *updated_arguments)
+            original = apply_value(runtime, *arguments)
+            interleaved: List[Any] = []
+            for value, change in zip(arguments, changes):
+                interleaved.extend([value, change])
+            output_change = apply_value(derivative, *interleaved)
+            incremental = oplus_value(original, output_change)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            issues.append(
+                ValidationIssue(
+                    spec.name,
+                    f"derivative raised {type(error).__name__}: {error} "
+                    f"at arguments={arguments!r} changes={changes!r}",
+                )
+            )
+            continue
+        if isinstance(recomputed, FunctionValue) or isinstance(
+            incremental, FunctionValue
+        ):
+            continue  # function outputs need extensional cases; skip
+        if recomputed != incremental:
+            issues.append(
+                ValidationIssue(
+                    spec.name,
+                    f"Eq. (1) failed: arguments={arguments!r} "
+                    f"changes={changes!r}; recomputed={recomputed!r} but "
+                    f"incremental={incremental!r}",
+                )
+            )
+    return issues
+
+
+def validate_base_type(
+    name: str, registry: Registry
+) -> List[ValidationIssue]:
+    """Check the Def. 2.1 laws of a base type's semantic change structure
+    on its samples."""
+    issues: List[ValidationIssue] = []
+    base_spec = registry.base_type(name)
+    if base_spec is None:
+        return [ValidationIssue(name, "unknown base type")]
+    from repro.lang.types import TInt
+
+    args = tuple(
+        TInt for _ in range(base_spec.type_arity)
+    )
+    ty = TBase(name, args)
+    samples = samples_for(ty)
+    if samples is None:
+        return issues
+    structure = registry.change_structure(ty)
+    values = [value for value, _ in samples]
+    for new in values:
+        for old in values:
+            try:
+                check_change_structure_laws(structure, new, old)
+                check_nil_behavior(structure, old)
+            except LawViolation as violation:
+                issues.append(ValidationIssue(name, str(violation)))
+    return issues
+
+
+def validate_plugin(
+    plugin: Plugin,
+    registry: Registry,
+    extra_cases: Optional[Dict[str, Sequence]] = None,
+) -> List[ValidationIssue]:
+    """Validate every constant and base type of ``plugin``."""
+    issues: List[ValidationIssue] = []
+    extra_cases = extra_cases or {}
+    for name in plugin.base_types:
+        issues.extend(validate_base_type(name, registry))
+    for name, spec in plugin.constants.items():
+        if name.endswith("'") or "'" in name:
+            continue  # derivative primitives are exercised via their sources
+        issues.extend(validate_constant(spec, extra_cases.get(name)))
+    return issues
+
+
+def validate_registry(
+    registry: Registry,
+    extra_cases: Optional[Dict[str, Sequence]] = None,
+    include_skips: bool = False,
+) -> List[ValidationIssue]:
+    """Validate every plugin in ``registry``.
+
+    Returns hard failures; pass ``include_skips=True`` to also see which
+    constants were skipped for lack of first-order samples.
+    """
+    issues: List[ValidationIssue] = []
+    extra_cases = extra_cases or {}
+    seen_base_types = set()
+    for spec in registry.constants():
+        if "'" in spec.name:
+            continue
+        issues.extend(validate_constant(spec, extra_cases.get(spec.name)))
+    for name in registry.base_type_names():
+        if name not in seen_base_types:
+            seen_base_types.add(name)
+            issues.extend(validate_base_type(name, registry))
+    if not include_skips:
+        issues = [
+            issue for issue in issues if not issue.message.startswith("skipped")
+        ]
+    return issues

@@ -1,0 +1,16 @@
+"""A reified collection-query layer over the object language.
+
+The paper's motivation includes the SQUOPT project ("reify your
+collection queries for modularity and speed", Sec. 6): queries written as
+host-language combinators are *reified* into object-language terms, which
+ILC can then differentiate -- turning every query into an incrementally
+maintained materialized view.
+
+``Query`` builds terms; ``MaterializedView`` wraps the incremental engine
+with a record-oriented API (insert/delete/update).
+"""
+
+from repro.queries.dsl import Query, row
+from repro.queries.view import MaterializedView
+
+__all__ = ["MaterializedView", "Query", "row"]

@@ -1,0 +1,213 @@
+"""The query combinators.
+
+A ``Query`` is a *description* of a computation over a bag of rows; each
+combinator stacks another primitive application, and ``to_term`` reifies
+the whole pipeline as a closed λ-term over the source bag.  Because every
+stage is a plugin primitive with a derivative specialization, the reified
+term's derivative is self-maintainable end to end whenever the row
+functions are closed -- which they always are here, since they are built
+from literals and the bound row variable.
+
+Row functions are written as Python callables receiving the row *term*::
+
+    from repro.queries import Query, row
+
+    revenue = (
+        Query.source("sales", TPair(TInt, TInt))
+        .where(lambda r: const("leqInt")(100, snd(r)))
+        .group_sum(key=lambda r: fst(r), value=lambda r: snd(r))
+    )
+
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.lang.builders import lam
+from repro.lang.terms import Lam, Term, Var
+from repro.lang.types import TBag, TInt, TMap, Type
+from repro.plugins.registry import Registry, standard_registry
+
+RowFn = Callable[[Term], Any]
+
+
+def row(name: str = "query_row") -> Var:
+    """The row variable, for writing row functions point-free-ish."""
+    return Var(name)
+
+
+class Query:
+    """An immutable query description over ``Bag row_type``."""
+
+    _ROW = "query_row"
+
+    def __init__(
+        self,
+        source_name: str,
+        row_type: Type,
+        body: Term,
+        registry: Optional[Registry] = None,
+        result_type: Optional[Type] = None,
+        source_row_type: Optional[Type] = None,
+    ):
+        self.source_name = source_name
+        self.row_type = row_type  # row type at the *current* stage
+        self.source_row_type = (
+            source_row_type if source_row_type is not None else row_type
+        )
+        self._body = body  # a term of some Bag type over Var(source_name)
+        self.registry = registry if registry is not None else standard_registry()
+        self.result_type = result_type  # None while still a bag pipeline
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def source(
+        name: str,
+        row_type: Type,
+        registry: Optional[Registry] = None,
+    ) -> "Query":
+        """A query reading the source bag unchanged."""
+        if name.startswith("d"):
+            raise ValueError(
+                "source names must not start with 'd' (reserved for changes)"
+            )
+        return Query(name, row_type, Var(name), registry)
+
+    def _const(self, name: str) -> Term:
+        return self.registry.constant(name)
+
+    def _row_lambda(self, fn: RowFn) -> Term:
+        return lam((self._ROW, self.row_type))(fn(Var(self._ROW)))
+
+    def _pipeline(self, body: Term, row_type: Optional[Type] = None) -> "Query":
+        if self.result_type is not None:
+            raise TypeError(
+                "query already aggregated; no further stages allowed"
+            )
+        return Query(
+            self.source_name,
+            row_type if row_type is not None else self.row_type,
+            body,
+            self.registry,
+            source_row_type=self.source_row_type,
+        )
+
+    # -- bag → bag stages ----------------------------------------------------------
+
+    def where(self, predicate: RowFn) -> "Query":
+        """Keep rows satisfying ``predicate`` (reifies to ``filterBag``)."""
+        return self._pipeline(
+            self._const("filterBag")(self._row_lambda(predicate), self._body)
+        )
+
+    def select(self, fn: RowFn, result_row_type: Type) -> "Query":
+        """Transform each row (reifies to ``mapBag``)."""
+        return self._pipeline(
+            self._const("mapBag")(self._row_lambda(fn), self._body),
+            row_type=result_row_type,
+        )
+
+    def flat_select(self, fn: RowFn, result_row_type: Type) -> "Query":
+        """Map each row to a bag of rows (reifies to ``flatMapBag``)."""
+        return self._pipeline(
+            self._const("flatMapBag")(self._row_lambda(fn), self._body),
+            row_type=result_row_type,
+        )
+
+    # -- aggregations (terminal stages) -----------------------------------------------
+
+    def _aggregated(self, body: Term, result_type: Type) -> "Query":
+        if self.result_type is not None:
+            raise TypeError("query already aggregated")
+        return Query(
+            self.source_name,
+            self.row_type,
+            body,
+            self.registry,
+            result_type,
+            source_row_type=self.source_row_type,
+        )
+
+    def sum(self, value: Optional[RowFn] = None) -> "Query":
+        """Sum an integer projection of the rows (``foldBag gplus``)."""
+        projection = (
+            self._row_lambda(value)
+            if value is not None
+            else self._const("id")
+        )
+        return self._aggregated(
+            self._const("foldBag")(self._const("gplus"), projection, self._body),
+            TInt,
+        )
+
+    def count(self) -> "Query":
+        """Count rows (with multiplicity)."""
+        return self._aggregated(
+            self._const("foldBag")(
+                self._const("gplus"),
+                self._row_lambda(lambda _row: 1),
+                self._body,
+            ),
+            TInt,
+        )
+
+    def group_sum(
+        self,
+        key: RowFn,
+        value: RowFn,
+        key_type: Type = TInt,
+    ) -> "Query":
+        """A grouped integer aggregation: ``Map key (Σ value)`` -- the
+        incremental *index* of the SQUOPT motivation."""
+        mapper = self._row_lambda(
+            lambda r: self._const("singletonMap")(key(r), value(r))
+        )
+        body = self._const("foldBag")(
+            self._const("groupOnMaps")(self._const("gplus")),
+            mapper,
+            self._body,
+        )
+        return self._aggregated(body, TMap(key_type, TInt))
+
+    def group_bags(
+        self,
+        key: RowFn,
+        value: RowFn,
+        key_type: Type,
+        value_type: Type,
+    ) -> "Query":
+        """Group values into per-key bags: ``Map key (Bag value)``."""
+        mapper = self._row_lambda(
+            lambda r: self._const("singletonMap")(
+                key(r), self._const("singleton")(value(r))
+            )
+        )
+        body = self._const("foldBag")(
+            self._const("groupOnMaps")(self._const("groupOnBags")),
+            mapper,
+            self._body,
+        )
+        return self._aggregated(body, TMap(key_type, TBag(value_type)))
+
+    # -- reification --------------------------------------------------------------------
+
+    def to_term(self) -> Lam:
+        """The reified query: ``λ<source>. <pipeline>``."""
+        return Lam(self.source_name, self._body, TBag(self.source_row_type))
+
+    def materialize(self, initial_rows=None, **engine_options):
+        """Compile to an incrementally maintained view (optionally loading
+        ``initial_rows``)."""
+        from repro.queries.view import MaterializedView
+
+        view = MaterializedView(self, **engine_options)
+        if initial_rows is not None:
+            view.load(initial_rows)
+        return view
+
+    def __repr__(self) -> str:
+        from repro.lang.pretty import pretty
+
+        return f"Query({pretty(self.to_term())})"

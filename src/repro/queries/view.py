@@ -1,0 +1,117 @@
+"""Materialized views: record-oriented incremental maintenance.
+
+Wraps the incremental engine with the vocabulary of view maintenance
+(Gupta & Mumick; Blakeley et al. -- the paper's §5.2.1 lineage): load a
+base table, then ``insert``/``delete``/``update`` records and read the
+maintained result.  Every mutation is translated into a bag change and
+pushed through the statically-derived derivative; ``self_maintainable``
+reports whether maintenance provably never rescans the base table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.analysis.self_maintainability import analyze_self_maintainability
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.incremental.engine import IncrementalProgram
+
+
+class MaterializedView:
+    """An incrementally maintained query result."""
+
+    def __init__(self, query, **engine_options: Any):
+        self.query = query
+        self.program = IncrementalProgram(
+            query.to_term(), query.registry, **engine_options
+        )
+        self._loaded = False
+        self._batch: Optional[Bag] = None
+
+    # -- loading ------------------------------------------------------------
+
+    def load(self, rows: Iterable[Any]) -> Any:
+        """Run the base query over ``rows`` and start maintaining."""
+        table = rows if isinstance(rows, Bag) else Bag.from_iterable(rows)
+        self._loaded = True
+        return self.program.initialize(table)
+
+    # -- mutations -----------------------------------------------------------
+
+    def _require_loaded(self) -> None:
+        if not self._loaded:
+            raise RuntimeError("load() the view before mutating it")
+
+    def apply_delta(self, delta: Bag) -> Any:
+        """Apply a bag of signed row insertions in one maintenance step."""
+        self._require_loaded()
+        if self._batch is not None:
+            self._batch = self._batch.merge(delta)
+            return self.program.output
+        return self.program.step(GroupChange(BAG_GROUP, delta))
+
+    def insert(self, *rows: Any) -> Any:
+        return self.apply_delta(Bag.from_iterable(rows))
+
+    def delete(self, *rows: Any) -> Any:
+        return self.apply_delta(Bag.from_iterable(rows).negate())
+
+    def update(self, old_row: Any, new_row: Any) -> Any:
+        """Replace one occurrence of ``old_row`` with ``new_row``."""
+        return self.apply_delta(
+            Bag.from_counts([(old_row, -1), (new_row, 1)])
+        )
+
+    # -- batching -------------------------------------------------------------
+
+    def batch(self) -> "_Batch":
+        """Collect several mutations into one maintenance step::
+
+            with view.batch():
+                view.insert(a)
+                view.delete(b)
+        """
+        self._require_loaded()
+        return _Batch(self)
+
+    # -- reads ------------------------------------------------------------------
+
+    @property
+    def value(self) -> Any:
+        self._require_loaded()
+        return self.program.output
+
+    def recompute(self) -> Any:
+        return self.program.recompute()
+
+    def verify(self) -> bool:
+        return self.program.verify()
+
+    @property
+    def self_maintainable(self) -> bool:
+        """True if maintenance provably never reads the base table
+        (Sec. 4.3 -- the same notion as for database views)."""
+        return analyze_self_maintainability(
+            self.program.derived_term
+        ).self_maintainable
+
+    def __repr__(self) -> str:
+        state = "loaded" if self._loaded else "empty"
+        return f"MaterializedView({self.query.source_name}, {state})"
+
+
+class _Batch:
+    def __init__(self, view: MaterializedView):
+        self._view = view
+
+    def __enter__(self) -> "_Batch":
+        self._view._batch = Bag.empty()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pending = self._view._batch
+        self._view._batch = None
+        if exc_type is None and pending is not None and not pending.is_empty():
+            self._view.apply_delta(pending)

@@ -1,0 +1,28 @@
+"""Semantics of the object language.
+
+* ``eval``        -- the standard semantics ⟦t⟧ρ (Fig. 4i), implemented as a
+  call-by-need interpreter (the laziness of Sec. 4.3 is what lets
+  self-maintainable derivatives skip their base arguments).
+* ``change_eval`` -- the change semantics ⟦t⟧Δ ρ dρ (Fig. 4h), operating on
+  elements of semantic change structures; by Lemma 3.7 it computes the
+  derivative of ⟦t⟧.
+* ``erasure``     -- the logical relation of Def. 3.8 connecting the two.
+"""
+
+from repro.semantics.env import Env
+from repro.semantics.eval import Evaluator, apply_value, evaluate
+from repro.semantics.thunk import EvalStats, Thunk, force
+from repro.semantics.values import Closure, Primitive, UpdatedFunction
+
+__all__ = [
+    "Closure",
+    "Env",
+    "EvalStats",
+    "Evaluator",
+    "Primitive",
+    "Thunk",
+    "UpdatedFunction",
+    "apply_value",
+    "evaluate",
+    "force",
+]

@@ -1,0 +1,83 @@
+"""The change semantics ⟦t⟧Δ ρ dρ (Fig. 4h).
+
+The non-standard denotational semantics that evaluates a term to the
+*change* of its value, given values and changes for all free variables:
+
+    ⟦c⟧Δ ρ dρ      = ⟦c⟧Δ                       (plugin-supplied)
+    ⟦λx. t⟧Δ ρ dρ  = λv dv. ⟦t⟧Δ (ρ, x=v) (dρ, dx=dv)
+    ⟦s t⟧Δ ρ dρ    = (⟦s⟧Δ ρ dρ) (⟦t⟧ ρ) (⟦t⟧Δ ρ dρ)
+    ⟦x⟧Δ ρ dρ      = dρ(dx)
+
+By Lemma 3.7, ``⟦t⟧Δ`` is the derivative of ``⟦t⟧``: evaluating with nil
+changes for every free variable yields a nil output change, and for closed
+function terms ``⟦t⟧Δ ∅ ∅`` is the semantic derivative erased by
+``Derive(t)`` (Lemma 3.10).  This module is the executable heart of the
+correctness argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.semantics.denotation import apply_semantic, denote
+
+
+def change_denote(
+    term: Term, rho: Mapping[str, Any], drho: Mapping[str, Any]
+) -> Any:
+    """⟦t⟧Δ ρ dρ.
+
+    ``rho`` maps each free variable ``x`` to its value; ``drho`` maps the
+    corresponding ``dx`` to its (semantic) change.
+    """
+    if isinstance(term, Var):
+        change_name = f"d{term.name}"
+        try:
+            return drho[change_name]
+        except KeyError:
+            raise NameError(
+                f"no change for variable {term.name} (looked up {change_name})"
+            ) from None
+    if isinstance(term, Lit):
+        # A literal is a closed term: its change is its nil change
+        # (Sec. 3.2, the constant case of Derive).
+        from repro.changes.semantic_algebra import semantic_nil
+
+        return semantic_nil(term.value)
+    if isinstance(term, Const):
+        return term.spec.semantic_derivative_value()
+    if isinstance(term, Lam):
+        rho_snapshot = dict(rho)
+        drho_snapshot = dict(drho)
+
+        def function_change(value: Any, _term: Lam = term) -> Any:
+            def with_change(change: Any) -> Any:
+                inner_rho = dict(rho_snapshot)
+                inner_rho[_term.param] = value
+                inner_drho = dict(drho_snapshot)
+                inner_drho[f"d{_term.param}"] = change
+                return change_denote(_term.body, inner_rho, inner_drho)
+
+            return with_change
+
+        return function_change
+    if isinstance(term, App):
+        function_change = change_denote(term.fn, rho, drho)
+        argument_value = denote(term.arg, rho)
+        argument_change = change_denote(term.arg, rho, drho)
+        return apply_semantic(function_change, argument_value, argument_change)
+    if isinstance(term, Let):
+        inner_rho = dict(rho)
+        inner_rho[term.name] = denote(term.bound, rho)
+        inner_drho = dict(drho)
+        inner_drho[f"d{term.name}"] = change_denote(term.bound, rho, drho)
+        return change_denote(term.body, inner_rho, inner_drho)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def semantic_derivative_of_term(term: Term) -> Any:
+    """``⟦t⟧Δ ∅ ∅`` for a closed term ``t`` -- by Thm. 2.10 and Lemma 3.7
+    this is the (semantic) derivative of ``⟦t⟧``."""
+    empty: Dict[str, Any] = {}
+    return change_denote(term, empty, empty)

@@ -1,0 +1,72 @@
+"""The denotational semantics ⟦t⟧ρ over *host* values (Def. 3.3).
+
+This is the mathematical semantics used by the proof layer: λ-abstractions
+denote Python callables, constants denote their plugin-supplied semantic
+values, and environments are plain dicts.  The operational interpreter in
+``eval.py`` computes the same function on closed first-order results; the
+two are kept separate so the change semantics (Fig. 4h) and the erasure
+relation (Def. 3.8) can be stated exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.semantics.values import FunctionValue
+from repro.semantics.thunk import Thunk, force
+
+
+def apply_semantic(fn: Any, *arguments: Any) -> Any:
+    """Apply a semantic function, which may be a host callable (curried) or
+    an operational ``FunctionValue``."""
+    result = fn
+    for argument in arguments:
+        result = force(result)
+        if isinstance(result, FunctionValue):
+            result = force(result.apply(Thunk.ready(argument)))
+        elif callable(result):
+            result = result(argument)
+        else:
+            raise TypeError(f"cannot apply semantic non-function: {result!r}")
+    return force(result)
+
+
+def curry_host(fn: Callable[..., Any], arity: int) -> Any:
+    """Curry an n-ary host function into nested unary callables."""
+    if arity == 0:
+        return fn()
+
+    def curried(*collected: Any) -> Any:
+        if len(collected) == arity:
+            return fn(*collected)
+        return lambda argument: curried(*collected, argument)
+
+    return curried()
+
+
+def denote(term: Term, rho: Mapping[str, Any]) -> Any:
+    """⟦t⟧ρ (Fig. 4i) over host values."""
+    if isinstance(term, Var):
+        try:
+            return rho[term.name]
+        except KeyError:
+            raise NameError(f"unbound variable in denotation: {term.name}") from None
+    if isinstance(term, Lit):
+        return term.value
+    if isinstance(term, Const):
+        return term.spec.semantic()
+    if isinstance(term, Lam):
+        def closure(value: Any, _term: Lam = term, _rho: Dict[str, Any] = dict(rho)) -> Any:
+            inner = dict(_rho)
+            inner[_term.param] = value
+            return denote(_term.body, inner)
+
+        return closure
+    if isinstance(term, App):
+        return apply_semantic(denote(term.fn, rho), denote(term.arg, rho))
+    if isinstance(term, Let):
+        inner = dict(rho)
+        inner[term.name] = denote(term.bound, rho)
+        return denote(term.body, inner)
+    raise TypeError(f"unknown term node: {term!r}")

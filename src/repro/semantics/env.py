@@ -1,0 +1,62 @@
+"""Runtime environments ρ (Def. 3.2).
+
+Environments map variable names to values (or thunks).  They are
+persistent: ``extend`` returns a new environment, so closures can capture
+their defining environment safely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+
+class Env:
+    """A persistent runtime environment."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[str, Any]] = None):
+        self._bindings: Dict[str, Any] = dict(bindings) if bindings else {}
+
+    @staticmethod
+    def empty() -> "Env":
+        return _EMPTY_ENV
+
+    @staticmethod
+    def of(**bindings: Any) -> "Env":
+        return Env(bindings)
+
+    def extend(self, name: str, value: Any) -> "Env":
+        bindings = dict(self._bindings)
+        bindings[name] = value
+        return Env(bindings)
+
+    def extend_many(self, pairs: Mapping[str, Any]) -> "Env":
+        bindings = dict(self._bindings)
+        bindings.update(pairs)
+        return Env(bindings)
+
+    def lookup(self, name: str) -> Any:
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise NameError(f"unbound variable at runtime: {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def names(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return iter(self._bindings.items())
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={value!r}" for name, value in self._bindings.items())
+        return f"Env({body})"
+
+
+_EMPTY_ENV = Env()

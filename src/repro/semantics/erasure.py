@@ -1,0 +1,92 @@
+"""The erasure relation (Def. 3.8) and Lemma 3.9/3.10 checks.
+
+``dv ∼ᵥ dv′`` relates an element ``dv`` of a semantic change structure to
+an erased runtime change ``dv′``:
+
+* at base type: the two agree -- which for our distinct representations
+  means they update the base value identically (this *is* the content of
+  Lemma 3.9, ``v ⊕ dv = v ⊕′ dv′``);
+* at function type ``σ₀ → σ₁``: for all related argument changes
+  ``dw ∼w dw′``, the results ``dv w dw ∼_{v w} dv′ w dw′`` are related.
+
+Function types are quantified over caller-supplied sample points, making
+the relation executable; the property tests instantiate it to check
+Lemma 3.10 (``⟦t⟧Δ ∅ ∅`` erases to ``Derive(t)``) on generated terms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Tuple
+
+from repro.data.change_values import oplus_value
+from repro.lang.types import TBase, TFun, Type
+from repro.semantics.denotation import apply_semantic
+from repro.semantics.eval import apply_value
+
+# A sample: (argument, runtime argument, semantic change, runtime change).
+Sample = Tuple[Any, Any, Any, Any]
+Sampler = Callable[[Type], Iterable[Sample]]
+
+
+class ErasureCheckError(TypeError):
+    """The erasure relation cannot be checked at this type."""
+
+
+def erases_to(
+    semantic_change: Any,
+    runtime_change: Any,
+    ty: Type,
+    base_semantic: Any,
+    base_runtime: Any,
+    registry,
+    sampler: Sampler,
+) -> bool:
+    """Check ``semantic_change ∼_{base} runtime_change`` at type ``ty``.
+
+    ``base_semantic``/``base_runtime`` are the two representations of the
+    base value ``v`` (they coincide for first-order data); ``registry``
+    supplies the semantic change structure of base types; ``sampler``
+    supplies argument/change quadruples for function types.
+    """
+    if isinstance(ty, TBase):
+        structure = registry.change_structure(ty)
+        updated_semantic = structure.oplus(base_semantic, semantic_change)
+        updated_runtime = oplus_value(base_runtime, runtime_change)
+        return structure.values_equal(updated_semantic, updated_runtime)
+    if isinstance(ty, TFun):
+        for argument, runtime_argument, argument_change, runtime_argument_change in (
+            sampler(ty.arg)
+        ):
+            result_change = apply_semantic(
+                semantic_change, argument, argument_change
+            )
+            runtime_result_change = apply_value(
+                runtime_change, runtime_argument, runtime_argument_change
+            )
+            result_base_semantic = apply_semantic(base_semantic, argument)
+            result_base_runtime = apply_value(base_runtime, runtime_argument)
+            if not erases_to(
+                result_change,
+                runtime_result_change,
+                ty.res,
+                result_base_semantic,
+                result_base_runtime,
+                registry,
+                sampler,
+            ):
+                return False
+        return True
+    raise ErasureCheckError(f"cannot check erasure at type {ty!r}")
+
+
+def check_update_agreement(
+    structure,
+    base: Any,
+    semantic_change: Any,
+    runtime_change: Any,
+) -> bool:
+    """Lemma 3.9 at a point: ``v ⊕ dv = v ⊕′ dv′``."""
+    return structure.values_equal(
+        structure.oplus(base, semantic_change),
+        oplus_value(base, runtime_change),
+    )

@@ -1,0 +1,103 @@
+"""The standard semantics ⟦t⟧ρ (Fig. 4i) as a call-by-need interpreter.
+
+The object language is strongly normalizing and pure, so strict and lazy
+evaluation agree on results; we default to call-by-need because the
+performance story of Sec. 4.3 depends on it (self-maintainable derivatives
+receive their base arguments as thunks and never force them).  ``strict=True``
+switches to call-by-value, which the laziness-ablation benchmark uses to
+reproduce the paper's "some form of dead code elimination, such as
+laziness, is required" lesson.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Union
+
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.semantics.env import Env
+from repro.semantics.thunk import EvalStats, Thunk, force
+from repro.semantics.values import Closure, FunctionValue
+
+
+class EvaluationError(RuntimeError):
+    """A runtime error during evaluation (ill-formed term or plugin bug)."""
+
+
+class Evaluator:
+    """An interpreter instance carrying evaluation mode and statistics."""
+
+    def __init__(self, strict: bool = False, stats: Optional[EvalStats] = None):
+        self.strict = strict
+        self.stats = stats if stats is not None else EvalStats()
+
+    def eval(self, term: Term, env: Env) -> Any:
+        if isinstance(term, Var):
+            return env.lookup(term.name)
+        if isinstance(term, Lit):
+            return term.value
+        if isinstance(term, Const):
+            return term.spec.runtime_value(self.stats)
+        if isinstance(term, Lam):
+            return Closure(term.param, term.body, env, self)
+        if isinstance(term, App):
+            fn = force(self.eval(term.fn, env))
+            if self.strict:
+                argument: Any = force(self.eval(term.arg, env))
+            else:
+                argument = Thunk(
+                    lambda t=term.arg, e=env: self.eval(t, e), self.stats
+                )
+            return self.apply(fn, argument)
+        if isinstance(term, Let):
+            if self.strict:
+                bound: Any = force(self.eval(term.bound, env))
+            else:
+                bound = Thunk(
+                    lambda t=term.bound, e=env: self.eval(t, e), self.stats
+                )
+            return self.eval(term.body, env.extend(term.name, bound))
+        raise EvaluationError(f"unknown term node: {term!r}")
+
+    def apply(self, fn: Any, argument: Any) -> Any:
+        fn = force(fn)
+        if isinstance(fn, FunctionValue):
+            return fn.apply(argument)
+        raise EvaluationError(f"cannot apply non-function value: {fn!r}")
+
+
+def evaluate(
+    term: Term,
+    env: Union[Env, Mapping[str, Any], None] = None,
+    strict: bool = False,
+    stats: Optional[EvalStats] = None,
+) -> Any:
+    """Evaluate ``term`` in ``env`` and force the (top-level) result.
+
+    ``env`` may be an ``Env`` or a plain mapping of variable names to
+    values/thunks.
+    """
+    if env is None:
+        runtime_env = Env.empty()
+    elif isinstance(env, Env):
+        runtime_env = env
+    else:
+        runtime_env = Env(env)
+    evaluator = Evaluator(strict=strict, stats=stats)
+    return force(evaluator.eval(term, runtime_env))
+
+
+def apply_value(fn: Any, *arguments: Any) -> Any:
+    """Apply a runtime function value to host values, forcing the result.
+
+    Arguments are wrapped as pre-forced thunks so laziness declarations on
+    primitives are respected without re-evaluation.
+    """
+    result = force(fn)
+    for argument in arguments:
+        if not isinstance(argument, Thunk):
+            argument = Thunk.ready(argument)
+        result = force(result)
+        if not isinstance(result, FunctionValue):
+            raise EvaluationError(f"cannot apply non-function value: {result!r}")
+        result = result.apply(argument)
+    return force(result)

@@ -1,0 +1,96 @@
+"""Memoizing thunks and evaluation statistics.
+
+The paper's implementation "currently employs lazy evaluation" so that
+self-maintainable derivatives never compute the base arguments they ignore
+(Sec. 4.3).  ``Thunk`` is that mechanism; ``EvalStats`` counts forcings and
+primitive calls so tests and benchmarks can *prove* a derivative never
+touched its base input rather than merely time it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+
+class EvalStats:
+    """Counters threaded through an evaluation."""
+
+    __slots__ = ("thunks_created", "thunks_forced", "primitive_calls")
+
+    def __init__(self) -> None:
+        self.thunks_created = 0
+        self.thunks_forced = 0
+        self.primitive_calls: Dict[str, int] = {}
+
+    def record_primitive(self, name: str) -> None:
+        self.primitive_calls[name] = self.primitive_calls.get(name, 0) + 1
+
+    def calls(self, name: str) -> int:
+        return self.primitive_calls.get(name, 0)
+
+    def reset(self) -> None:
+        self.thunks_created = 0
+        self.thunks_forced = 0
+        self.primitive_calls.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EvalStats(created={self.thunks_created}, "
+            f"forced={self.thunks_forced}, calls={self.primitive_calls})"
+        )
+
+
+_UNEVALUATED = object()
+
+
+class Thunk:
+    """A memoized delayed computation (call-by-need)."""
+
+    __slots__ = ("_compute", "_value", "_stats")
+
+    def __init__(
+        self,
+        compute: Callable[[], Any],
+        stats: Optional[EvalStats] = None,
+    ):
+        self._compute = compute
+        self._value = _UNEVALUATED
+        self._stats = stats
+        if stats is not None:
+            stats.thunks_created += 1
+
+    @staticmethod
+    def ready(value: Any) -> "Thunk":
+        """A pre-forced thunk wrapping ``value``."""
+        thunk = Thunk.__new__(Thunk)
+        thunk._compute = None
+        thunk._value = value
+        thunk._stats = None
+        return thunk
+
+    @property
+    def is_forced(self) -> bool:
+        return self._value is not _UNEVALUATED
+
+    def force(self) -> Any:
+        if self._value is _UNEVALUATED:
+            if self._stats is not None:
+                self._stats.thunks_forced += 1
+            self._value = self._compute()
+            self._compute = None  # release captured environment
+            # Collapse nested thunks so repeated forcing is O(1).
+            while isinstance(self._value, Thunk):
+                self._value = self._value.force()
+        return self._value
+
+    def __repr__(self) -> str:
+        if self.is_forced:
+            return f"Thunk(={self._value!r})"
+        return "Thunk(<unforced>)"
+
+
+def force(value: Any) -> Any:
+    """Force ``value`` if it is a thunk (possibly nested)."""
+    while isinstance(value, Thunk):
+        value = value.force()
+    return value

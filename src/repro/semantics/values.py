@@ -1,0 +1,194 @@
+"""Runtime function values: closures, curried primitives, and updated
+functions.
+
+A *function change* at runtime is itself a function value of two curried
+arguments (Sec. 3.1: ``Δ(σ→τ) = σ → Δσ → Δτ``), so updating a function
+value with a change follows the erased ``⊕`` of Fig. 3:
+
+    (f ⊕ df) x = f x ⊕ df x (x ⊖ x)
+
+``UpdatedFunction`` implements exactly that, and function values expose it
+through the ``__oplus__`` protocol used by ``repro.data.change_values``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING
+
+from repro.semantics.env import Env
+from repro.semantics.thunk import Thunk, force
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lang.terms import Term
+    from repro.semantics.eval import Evaluator
+
+
+class FunctionValue:
+    """Base class of applicable runtime values."""
+
+    __slots__ = ()
+
+    def apply(self, argument: Any) -> Any:
+        raise NotImplementedError
+
+    def __oplus__(self, change: Any) -> "UpdatedFunction":
+        return UpdatedFunction(self, change)
+
+    def __ominus__(self, old: Any) -> "FunctionDifference":
+        return FunctionDifference(self, old)
+
+    def __call__(self, *arguments: Any) -> Any:
+        """Host-friendly application: forces the final result."""
+        result: Any = self
+        for argument in arguments:
+            result = force(result).apply(Thunk.ready(argument))
+        return force(result)
+
+
+class Closure(FunctionValue):
+    """The value of ``λx. body`` in a captured environment."""
+
+    __slots__ = ("param", "body", "env", "evaluator")
+
+    def __init__(self, param: str, body: "Term", env: Env, evaluator: "Evaluator"):
+        self.param = param
+        self.body = body
+        self.env = env
+        self.evaluator = evaluator
+
+    def apply(self, argument: Any) -> Any:
+        return self.evaluator.eval(self.body, self.env.extend(self.param, argument))
+
+    def __repr__(self) -> str:
+        return f"<closure \\{self.param} -> ...>"
+
+
+class Primitive(FunctionValue):
+    """A curried primitive of known arity.
+
+    ``impl`` receives one argument per parameter; arguments at positions in
+    ``lazy_positions`` arrive as thunks, all others pre-forced.  Laziness
+    declarations are how self-maintainable derivatives avoid ever computing
+    their base inputs (Sec. 4.3).
+    """
+
+    __slots__ = ("name", "arity", "impl", "lazy_positions", "args", "stats")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        impl: Callable[..., Any],
+        lazy_positions: frozenset = frozenset(),
+        args: Tuple[Any, ...] = (),
+        stats: Optional[Any] = None,
+    ):
+        if arity < 1:
+            raise ValueError(f"primitive {name} must have arity >= 1")
+        self.name = name
+        self.arity = arity
+        self.impl = impl
+        self.lazy_positions = lazy_positions
+        self.args = args
+        self.stats = stats
+
+    def with_stats(self, stats: Any) -> "Primitive":
+        return Primitive(
+            self.name, self.arity, self.impl, self.lazy_positions, self.args, stats
+        )
+
+    def apply(self, argument: Any) -> Any:
+        args = self.args + (argument,)
+        if len(args) < self.arity:
+            return Primitive(
+                self.name, self.arity, self.impl, self.lazy_positions, args, self.stats
+            )
+        if self.stats is not None:
+            self.stats.record_primitive(self.name)
+        prepared = [
+            arg if index in self.lazy_positions else force(arg)
+            for index, arg in enumerate(args)
+        ]
+        return self.impl(*prepared)
+
+    def __repr__(self) -> str:
+        if self.args:
+            return f"<prim {self.name}/{self.arity} (+{len(self.args)} args)>"
+        return f"<prim {self.name}/{self.arity}>"
+
+
+class HostFunction(FunctionValue):
+    """A host callable lifted into the object-language value space.
+
+    Used by tests and the erasure checker to inject semantic functions;
+    receives its argument forced.
+    """
+
+    __slots__ = ("fn", "label")
+
+    def __init__(self, fn: Callable[[Any], Any], label: str = "host"):
+        self.fn = fn
+        self.label = label
+
+    def apply(self, argument: Any) -> Any:
+        return self.fn(force(argument))
+
+    def __repr__(self) -> str:
+        return f"<host {self.label}>"
+
+
+class UpdatedFunction(FunctionValue):
+    """``f ⊕ df`` for function values (Fig. 3)."""
+
+    __slots__ = ("base", "change")
+
+    def __init__(self, base: Any, change: Any):
+        self.base = base
+        self.change = change
+
+    def apply(self, argument: Any) -> Any:
+        from repro.data.change_values import nil_change_for, oplus_value
+
+        original = force(force(self.base).apply(argument))
+        nil = nil_change_for(force(argument))
+        delta = force(
+            force(force(self.change).apply(argument)).apply(Thunk.ready(nil))
+        )
+        return oplus_value(original, delta)
+
+    def __repr__(self) -> str:
+        return f"<{self.base!r} ⊕ {self.change!r}>"
+
+
+class FunctionDifference(FunctionValue):
+    """``g ⊖ f`` for function values (Fig. 3): a binary function change
+    ``λx dx. g (x ⊕ dx) ⊖ f x``."""
+
+    __slots__ = ("new", "old")
+
+    def __init__(self, new: Any, old: Any):
+        self.new = new
+        self.old = old
+
+    def apply(self, argument: Any) -> Any:
+        return _FunctionDifferenceStep(self.new, self.old, argument)
+
+    def __repr__(self) -> str:
+        return f"<{self.new!r} ⊖ {self.old!r}>"
+
+
+class _FunctionDifferenceStep(FunctionValue):
+    __slots__ = ("new", "old", "point")
+
+    def __init__(self, new: Any, old: Any, point: Any):
+        self.new = new
+        self.old = old
+        self.point = point
+
+    def apply(self, point_change: Any) -> Any:
+        from repro.data.change_values import ominus_values, oplus_value
+
+        updated_point = oplus_value(force(self.point), force(point_change))
+        new_output = force(force(self.new).apply(Thunk.ready(updated_point)))
+        old_output = force(force(self.old).apply(self.point))
+        return ominus_values(new_output, old_output)

@@ -1,0 +1,83 @@
+"""Tests for the nil-change analysis (Sec. 4.2)."""
+
+from repro.analysis.nil_analysis import (
+    analyze_nil_changes,
+    closed_subterms,
+)
+from repro.lang.builders import lam, v
+from repro.lang.parser import parse
+
+
+class TestClosedSubterms:
+    def test_closed_lambda_detected(self, registry):
+        term = parse(r"\xs -> mapBag (\e -> add e 1) xs", registry)
+        closed = closed_subterms(term)
+        assert any(repr(t).startswith("(\\e") for t in closed)
+
+    def test_open_subterms_not_closed(self):
+        term = lam("x")(v.f(v.x))
+        closed = closed_subterms(term)
+        assert v.f not in closed
+        assert v.x not in closed
+
+    def test_whole_closed_term_included(self):
+        term = lam("x")(v.x)
+        assert term in closed_subterms(term)
+
+
+class TestReport:
+    def test_grand_total_report(self, registry):
+        term = parse(r"\xs ys -> foldBag gplus id (merge xs ys)", registry)
+        report = analyze_nil_changes(term)
+        assert report.specializable == 1
+        fold_facts = [f for f in report.spines if f.constant == "foldBag"]
+        assert len(fold_facts) == 1
+        fact = fold_facts[0]
+        assert fact.nil_mask == (True, True, False)
+        assert fact.fully_applied
+        assert "self-maintainable" in fact.specialization
+
+    def test_merge_spine_has_no_specialization(self, registry):
+        term = parse(r"\xs ys -> merge xs ys", registry)
+        report = analyze_nil_changes(term)
+        [fact] = report.spines
+        assert fact.constant == "merge"
+        assert fact.specialization == ""
+
+    def test_histogram_finds_all_folds(self, registry):
+        from repro.mapreduce.skeleton import histogram_term
+
+        report = analyze_nil_changes(histogram_term(registry))
+        assert report.specializable >= 3  # two foldMaps and one foldBag
+
+    def test_summary_renders(self, registry):
+        term = parse(r"\xs -> foldBag gplus id xs", registry)
+        summary = analyze_nil_changes(term).summary()
+        assert "foldBag" in summary
+        assert "NN." in summary
+
+    def test_counts(self, registry):
+        term = parse(r"\x -> add x 1", registry)
+        report = analyze_nil_changes(term)
+        assert report.total_subterms > 0
+        assert 0 < report.closed_count <= report.total_subterms
+
+
+class TestLetPropagation:
+    def test_let_bound_closed_function_counts_as_nil(self, registry):
+        term = parse(
+            r"let sq = \e -> mul e e in \xs -> mapBag sq xs", registry
+        )
+        report = analyze_nil_changes(term)
+        map_facts = [f for f in report.spines if f.constant == "mapBag"]
+        assert map_facts and map_facts[0].nil_mask[0] is True
+        assert report.specializable == 1
+
+    def test_shadowed_let_variable_is_not_nil(self, registry):
+        term = parse(
+            r"let f = \e -> mul e e in \f xs -> mapBag f xs", registry
+        )
+        report = analyze_nil_changes(term)
+        map_facts = [f for f in report.spines if f.constant == "mapBag"]
+        assert map_facts and map_facts[0].nil_mask[0] is False
+        assert report.specializable == 0

@@ -1,0 +1,92 @@
+"""Tests for the self-maintainability analysis (Sec. 4.3)."""
+
+from repro.analysis.self_maintainability import (
+    analyze_self_maintainability,
+    demanded_variables,
+    is_self_maintainable,
+)
+from repro.derive.derive import derive_program
+from repro.lang.parser import parse
+from repro.optimize.pipeline import optimize
+
+
+def derived(source, registry, specialize=True):
+    term = parse(source, registry)
+    return optimize(derive_program(term, registry, specialize=specialize)).term
+
+
+class TestDemandedVariables:
+    def test_variable_demands_itself(self, registry):
+        assert demanded_variables(parse("x", registry)) == {"x"}
+
+    def test_lazy_positions_not_demanded(self, registry):
+        # foldBag'_gf is lazy in its base-bag argument (position 2).
+        term = parse("foldBag'_gf gplus id xs dxs", registry)
+        demanded = demanded_variables(term)
+        assert "dxs" in demanded
+        assert "xs" not in demanded
+
+    def test_strict_positions_demanded(self, registry):
+        term = parse("foldBag gplus id xs", registry)
+        assert "xs" in demanded_variables(term)
+
+    def test_let_demand_propagates(self, registry):
+        term = parse("let y = add x 1 in add y y", registry)
+        assert "x" in demanded_variables(term)
+
+    def test_unused_let_not_demanded(self, registry):
+        term = parse("let y = add x 1 in 5", registry)
+        assert "x" not in demanded_variables(term)
+
+    def test_lambda_bodies_pessimistic(self, registry):
+        term = parse(r"\e -> add x e", registry)
+        assert "x" in demanded_variables(term)
+
+
+class TestDerivatives:
+    def test_specialized_grand_total_is_self_maintainable(self, registry):
+        term = derived(
+            r"\xs ys -> foldBag gplus id (merge xs ys)", registry
+        )
+        report = analyze_self_maintainability(term)
+        assert report.self_maintainable
+        assert report.base_parameters == ["xs", "ys"]
+        assert report.change_parameters == ["dxs", "dys"]
+        assert "self-maintainable" in report.summary()
+
+    def test_generic_grand_total_is_not(self, registry):
+        term = derived(
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            registry,
+            specialize=False,
+        )
+        report = analyze_self_maintainability(term)
+        assert not report.self_maintainable
+        assert "NOT" in report.summary()
+
+    def test_histogram_derivative_is_self_maintainable(self, registry):
+        from repro.mapreduce.skeleton import histogram_term
+
+        term = optimize(
+            derive_program(histogram_term(registry), registry)
+        ).term
+        assert is_self_maintainable(term)
+
+    def test_mul_derivative_needs_bases(self, registry):
+        term = derived(r"\x y -> mul x y", registry)
+        report = analyze_self_maintainability(term)
+        # mul' uses x and y (strict positions).
+        assert not report.self_maintainable
+        assert set(report.demanded_bases) == {"x", "y"}
+
+    def test_add_derivative_is_self_maintainable(self, registry):
+        term = derived(r"\x y -> add x y", registry)
+        assert is_self_maintainable(term)
+
+    def test_merge_derivative_is_self_maintainable(self, registry):
+        term = derived(r"\xs ys -> merge xs ys", registry)
+        assert is_self_maintainable(term)
+
+    def test_comparison_derivative_is_not(self, registry):
+        term = derived(r"\x y -> ltInt x y", registry)
+        assert not is_self_maintainable(term)

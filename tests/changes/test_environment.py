@@ -1,0 +1,58 @@
+"""Tests for environment change structures (Def. 3.5)."""
+
+from hypothesis import given
+
+from repro.changes.bag import BAG_CHANGES
+from repro.changes.environment import EnvironmentChangeStructure
+from repro.changes.group import INT_CHANGES
+from repro.changes.laws import check_change_structure_laws, check_nil_behavior
+from repro.data.bag import Bag
+
+from tests.strategies import bags_of_ints, small_ints
+
+ENV = EnvironmentChangeStructure({"x": INT_CHANGES, "xs": BAG_CHANGES})
+
+
+@given(small_ints, bags_of_ints, small_ints, bags_of_ints)
+def test_environment_laws(x_new, xs_new, x_old, xs_old):
+    new = {"x": x_new, "xs": xs_new}
+    old = {"x": x_old, "xs": xs_old}
+    check_change_structure_laws(ENV, new, old)
+    check_nil_behavior(ENV, old)
+
+
+def test_operations_act_pointwise():
+    rho = {"x": 1, "xs": Bag.of(1)}
+    drho = {"dx": 5, "dxs": Bag.of(2)}
+    updated = ENV.oplus(rho, drho)
+    assert updated == {"x": 6, "xs": Bag.of(1, 2)}
+
+
+def test_ominus_names_changes_with_d_prefix():
+    new = {"x": 10, "xs": Bag.of(9)}
+    old = {"x": 1, "xs": Bag.empty()}
+    drho = ENV.ominus(new, old)
+    assert set(drho) == {"dx", "dxs"}
+    assert drho["dx"] == 9
+
+
+def test_nil_environment():
+    rho = {"x": 7, "xs": Bag.of(1, 2)}
+    nil = ENV.nil(rho)
+    assert nil["dx"] == 0
+    assert nil["dxs"].is_empty()
+    assert ENV.oplus(rho, nil) == rho
+
+
+def test_membership():
+    assert ENV.contains({"x": 1, "xs": Bag.empty()})
+    assert not ENV.contains({"x": 1})  # missing binding
+    assert not ENV.contains({"x": 1, "xs": Bag.empty(), "extra": 2})
+    assert not ENV.contains({"x": Bag.empty(), "xs": Bag.empty()})
+
+
+def test_delta_membership():
+    rho = {"x": 1, "xs": Bag.empty()}
+    assert ENV.delta_contains(rho, {"dx": 1, "dxs": Bag.of(3)})
+    assert not ENV.delta_contains(rho, {"dx": 1})
+    assert not ENV.delta_contains(rho, {"x": 1, "xs": Bag.empty()})

@@ -1,0 +1,167 @@
+"""Tests for function change structures (Sec. 2.2): Definitions 2.6/2.7,
+Theorem 2.8 (laws), Theorem 2.9 (incrementalization), Theorem 2.10 (nil
+changes are derivatives), and the pointwise-change decomposition."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.changes.bag import BAG_CHANGES
+from repro.changes.function import FunctionChangeStructure
+from repro.changes.group import INT_CHANGES
+from repro.changes.laws import (
+    check_change_structure_laws,
+    check_derivative,
+    check_derivative_on_nil,
+    check_incrementalization,
+    check_nil_behavior,
+    check_nil_is_derivative,
+)
+from repro.data.bag import Bag
+
+from tests.strategies import bags_of_ints, small_ints
+
+INT_SAMPLES = [(0, 1), (5, -2), (-3, 3), (10, 0)]
+INT_TO_INT = FunctionChangeStructure(INT_CHANGES, INT_CHANGES, INT_SAMPLES)
+
+BAG_SAMPLES = [
+    (Bag.empty(), Bag.of(1)),
+    (Bag.of(1, 2), Bag.of(1).negate()),
+    (Bag.of(5), Bag.empty()),
+]
+BAG_TO_BAG = FunctionChangeStructure(BAG_CHANGES, BAG_CHANGES, BAG_SAMPLES)
+
+
+def linear(x):
+    return 3 * x
+
+
+def linear_derivative(a, da):
+    return 3 * da
+
+
+class TestDefinition26:
+    def test_valid_change_accepted(self):
+        # df a da = 3·da + 100 changes `linear` to λx. 3x + 100.
+        df = lambda a, da: 3 * da + 100
+        assert INT_TO_INT.delta_contains(linear, df)
+
+    def test_invalid_change_rejected(self):
+        # df a da = a·da violates condition (b).
+        df = lambda a, da: a * da
+        assert not INT_TO_INT.delta_contains(linear, df)
+
+    def test_non_callable_rejected(self):
+        assert not INT_TO_INT.delta_contains(linear, 42)
+
+    def test_paper_bag_example_merge_changes_const(self):
+        """Sec. 2.2: for f = const ∅, merge is a valid change; for id it
+        is not, but did a da = merge da {{1,2}} is."""
+        const_empty = lambda x: Bag.empty()
+        merge_change = lambda a, da: a.merge(da)
+        assert BAG_TO_BAG.delta_contains(const_empty, merge_change)
+
+        identity = lambda x: x
+        assert not BAG_TO_BAG.delta_contains(identity, merge_change)
+
+        did = lambda a, da: da.merge(Bag.of(1, 2))
+        assert BAG_TO_BAG.delta_contains(identity, did)
+
+    def test_different_functions_different_change_sets(self):
+        # Constant functions are changes to const-∅, not to id.
+        const_change = lambda a, da: Bag.of(9)
+        assert BAG_TO_BAG.delta_contains(lambda x: Bag.empty(), const_change)
+        assert not BAG_TO_BAG.delta_contains(lambda x: x, const_change)
+
+
+class TestTheorem28:
+    """Â → B̂ is itself a change structure."""
+
+    @given(small_ints, small_ints)
+    def test_laws_on_function_space(self, p, q):
+        new = lambda x: x * p
+        old = lambda x: x + q
+        check_change_structure_laws(INT_TO_INT, new, old)
+
+    def test_nil_behavior(self):
+        check_nil_behavior(INT_TO_INT, linear)
+
+    @given(bags_of_ints)
+    def test_bag_function_laws(self, bag):
+        new = lambda x: x.merge(bag)
+        old = lambda x: x.negate()
+        check_change_structure_laws(BAG_TO_BAG, new, old)
+
+
+class TestTheorem29:
+    """(f ⊕ df)(a ⊕ da) = f a ⊕ df a da."""
+
+    @given(small_ints, small_ints)
+    def test_incrementalization_linear(self, a, da):
+        df = lambda x, dx: 3 * dx + 7
+        check_incrementalization(INT_TO_INT, linear, df, a, da)
+
+    @given(small_ints, small_ints, small_ints)
+    def test_incrementalization_from_ominus(self, a, da, p):
+        new = lambda x: x * p
+        df = INT_TO_INT.ominus(new, linear)
+        check_incrementalization(INT_TO_INT, linear, df, a, da)
+
+
+class TestTheorem210:
+    """Nil changes are derivatives."""
+
+    @given(small_ints, small_ints)
+    def test_nil_of_linear(self, a, da):
+        check_nil_is_derivative(INT_TO_INT, linear, a, da)
+
+    @given(bags_of_ints, bags_of_ints)
+    def test_nil_of_bag_function(self, a, da):
+        double = lambda bag: bag.merge(bag)
+        check_nil_is_derivative(BAG_TO_BAG, double, a, da)
+
+    @given(small_ints, small_ints)
+    def test_explicit_derivative_satisfies_def24(self, a, da):
+        check_derivative(INT_CHANGES, INT_CHANGES, linear, linear_derivative, a, da)
+
+    @given(small_ints)
+    def test_derivative_on_nil_is_nil(self, a):
+        # Lemma 2.5.
+        check_derivative_on_nil(
+            INT_CHANGES, INT_CHANGES, linear, linear_derivative, a
+        )
+
+
+class TestPaperDerivativeExamples:
+    """Sec. 2.1 examples: derivative of const-∅ and of id on bags."""
+
+    @given(bags_of_ints, bags_of_ints)
+    def test_constant_function_derivative(self, v, dv):
+        constant = lambda x: Bag.empty()
+        derivative = lambda v, dv: Bag.empty()
+        check_derivative(BAG_CHANGES, BAG_CHANGES, constant, derivative, v, dv)
+
+    @given(bags_of_ints, bags_of_ints)
+    def test_identity_derivative(self, v, dv):
+        identity = lambda x: x
+        derivative = lambda v, dv: dv
+        check_derivative(BAG_CHANGES, BAG_CHANGES, identity, derivative, v, dv)
+
+
+class TestPointwiseChanges:
+    """Sec. 2.2, "Understanding function changes"."""
+
+    @given(small_ints)
+    def test_pointwise_difference(self, a):
+        df = lambda x, dx: 3 * dx + 7
+        nabla = INT_TO_INT.pointwise_difference(df, linear)
+        # f a ⊕ df a 0_a = f a ⊕ ∇f a.
+        assert linear(a) + df(a, 0) == linear(a) + nabla(a)
+
+    @given(small_ints, small_ints)
+    def test_decomposition(self, a, da):
+        # df a da = f' a da ⊕ ∇f (a ⊕ da)  (as effects on f a).
+        df = lambda x, dx: 3 * dx + 7
+        nabla = INT_TO_INT.pointwise_difference(df, linear)
+        left = linear(a) + df(a, da)
+        right = linear(a) + linear_derivative(a, da) + nabla(a + da)
+        assert left == right

@@ -1,0 +1,128 @@
+"""Tests that the value-directed semantic change algebra agrees with the
+typed change structures (they are two views of the same Def. 3.4
+structures)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.changes.bag import BAG_CHANGES
+from repro.changes.group import INT_CHANGES
+from repro.changes.map import MapChangeStructure
+from repro.changes.semantic_algebra import (
+    semantic_equal,
+    semantic_nil,
+    semantic_ominus,
+    semantic_oplus,
+    semantic_zero_like,
+)
+from repro.data.bag import Bag
+from repro.data.group import INT_ADD_GROUP
+from repro.data.pmap import PMap
+
+from tests.strategies import bags_of_ints, maps_int_int, small_ints
+
+MAP_CHANGES = MapChangeStructure(INT_ADD_GROUP)
+
+
+class TestAgreementWithTypedStructures:
+    @given(small_ints, small_ints)
+    def test_ints(self, new, old):
+        assert semantic_ominus(new, old) == INT_CHANGES.ominus(new, old)
+        assert semantic_oplus(old, new - old) == INT_CHANGES.oplus(
+            old, new - old
+        )
+        assert semantic_nil(old) == INT_CHANGES.nil(old)
+
+    @given(bags_of_ints, bags_of_ints)
+    def test_bags(self, new, old):
+        assert semantic_ominus(new, old) == BAG_CHANGES.ominus(new, old)
+        assert semantic_oplus(old, new) == BAG_CHANGES.oplus(old, new)
+        assert semantic_nil(old) == BAG_CHANGES.nil(old)
+
+    @given(maps_int_int, maps_int_int)
+    def test_maps_restore(self, new, old):
+        change = semantic_ominus(new, old)
+        assert semantic_oplus(old, change) == new
+
+    @given(maps_int_int, maps_int_int)
+    def test_maps_agree_with_group_structure(self, new, old):
+        ours = semantic_oplus(old, semantic_ominus(new, old))
+        theirs = MAP_CHANGES.oplus(old, MAP_CHANGES.ominus(new, old))
+        assert ours == theirs == new
+
+
+class TestBasics:
+    def test_bool_is_replacement(self):
+        assert semantic_oplus(True, False) is False
+        assert semantic_ominus(False, True) is False
+        assert semantic_nil(True) is True
+
+    def test_zero_like(self):
+        assert semantic_zero_like(5) == 0
+        assert semantic_zero_like(1.5) == 0.0
+        assert semantic_zero_like(Bag.of(1)) == Bag.empty()
+        assert semantic_zero_like(PMap.of(a=1)) == PMap.empty()
+        assert semantic_zero_like((1, Bag.of(2))) == (0, Bag.empty())
+        with pytest.raises(TypeError):
+            semantic_zero_like(True)
+        with pytest.raises(TypeError):
+            semantic_zero_like("str")
+
+    def test_tuple_pointwise(self):
+        assert semantic_oplus((1, 2), (10, 20)) == (11, 22)
+        assert semantic_ominus((5, 5), (1, 1)) == (4, 4)
+        assert semantic_nil((1, Bag.of(2))) == (0, Bag.empty())
+
+    def test_map_nil_is_empty(self):
+        assert semantic_nil(PMap.of(a=1)) == PMap.empty()
+
+    def test_map_ominus_drops_unchanged_keys(self):
+        old = PMap.of(a=1, b=2)
+        new = PMap.of(a=1, b=5)
+        delta = semantic_ominus(new, old)
+        assert "a" not in delta
+        assert delta["b"] == 3
+
+    def test_map_ominus_handles_removals(self):
+        old = PMap.of(a=1)
+        new = PMap.empty()
+        delta = semantic_ominus(new, old)
+        assert semantic_oplus(old, delta) == PMap.empty()
+
+    def test_opaque_values_replace(self):
+        assert semantic_oplus("a", "b") == "b"
+        assert semantic_nil("a") == "a"
+
+    def test_unknown_values_raise(self):
+        with pytest.raises(TypeError):
+            semantic_oplus(object(), 1)
+        with pytest.raises(TypeError):
+            semantic_ominus(object(), object())
+        with pytest.raises(TypeError):
+            semantic_nil(object())
+
+
+class TestFunctionCases:
+    @given(small_ints, small_ints)
+    def test_function_nil_is_trivial_derivative(self, a, da):
+        fn = lambda x: x * 4
+        nil = semantic_nil(fn)
+        # 0_f a da = f (a ⊕ da) ⊖ f a.
+        assert nil(a)(da) == fn(a + da) - fn(a)
+
+    @given(small_ints)
+    def test_function_oplus(self, a):
+        fn = lambda x: x + 1
+        change = lambda p: lambda dp: dp + 100  # pointwise +100
+        updated = semantic_oplus(fn, change)
+        assert updated(a) == fn(a) + 100
+
+    def test_semantic_equal_rejects_functions(self):
+        with pytest.raises(TypeError):
+            semantic_equal(lambda x: x, lambda x: x)
+
+    @given(small_ints)
+    def test_equal_on_data(self, a):
+        assert semantic_equal(a, a)
+        assert not semantic_equal(a, a + 1)

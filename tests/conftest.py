@@ -1,0 +1,10 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.plugins.registry import Registry, standard_registry
+
+
+@pytest.fixture(scope="session")
+def registry() -> Registry:
+    return standard_registry()

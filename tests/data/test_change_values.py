@@ -1,0 +1,145 @@
+"""Tests for the erased change-value ADT (Sec. 4.4)."""
+
+import pytest
+from hypothesis import given
+
+from repro.data.bag import Bag
+from repro.data.change_values import (
+    GroupChange,
+    Replace,
+    group_ominus,
+    is_nil_change,
+    nil_change_for,
+    ominus_values,
+    oplus_value,
+)
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP, map_group
+from repro.data.pmap import PMap
+
+from tests.strategies import (
+    bag_changes,
+    bags_of_ints,
+    int_changes,
+    small_ints,
+)
+
+
+class TestOplus:
+    def test_replace(self):
+        # v ⊕ Replace u = u.
+        assert oplus_value(3, Replace(10)) == 10
+        assert oplus_value(Bag.of(1), Replace(Bag.of(2))) == Bag.of(2)
+
+    def test_group_change_int(self):
+        # v ⊕ GroupChange(g, d) = v • d.
+        assert oplus_value(3, GroupChange(INT_ADD_GROUP, 4)) == 7
+
+    def test_group_change_bag(self):
+        change = GroupChange(BAG_GROUP, Bag.of(5))
+        assert oplus_value(Bag.of(1), change) == Bag.of(1, 5)
+
+    def test_group_change_map(self):
+        change = GroupChange(map_group(INT_ADD_GROUP), PMap.of(a=1))
+        assert oplus_value(PMap.of(a=1), change) == PMap.of(a=2)
+
+    def test_tuple_changes_pointwise(self):
+        change = (GroupChange(INT_ADD_GROUP, 1), Replace(9))
+        assert oplus_value((1, 2), change) == (2, 9)
+
+    def test_tuple_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            oplus_value((1, 2), (Replace(1),))
+
+    def test_unknown_change_raises(self):
+        with pytest.raises(TypeError):
+            oplus_value(3, "not a change")
+
+    @given(small_ints, int_changes)
+    def test_int_changes_apply(self, value, change):
+        result = oplus_value(value, change)
+        assert isinstance(result, int)
+
+    @given(bags_of_ints, bag_changes)
+    def test_bag_changes_apply(self, value, change):
+        result = oplus_value(value, change)
+        assert isinstance(result, Bag)
+
+
+class TestOminus:
+    @given(small_ints, small_ints)
+    def test_generic_ominus_is_replace(self, new, old):
+        change = ominus_values(new, old)
+        assert change == Replace(new)
+        assert oplus_value(old, change) == new
+
+    @given(bags_of_ints, bags_of_ints)
+    def test_group_ominus_restores(self, new, old):
+        change = group_ominus(BAG_GROUP, new, old)
+        assert isinstance(change, GroupChange)
+        assert oplus_value(old, change) == new
+
+    def test_tuple_ominus_pointwise(self):
+        change = ominus_values((1, 2), (0, 0))
+        assert oplus_value((0, 0), change) == (1, 2)
+
+
+class TestNil:
+    @given(small_ints)
+    def test_nil_for_int(self, value):
+        nil = nil_change_for(value)
+        assert is_nil_change(nil, value)
+        assert oplus_value(value, nil) == value
+
+    @given(bags_of_ints)
+    def test_nil_for_bag(self, value):
+        nil = nil_change_for(value)
+        assert is_nil_change(nil, value)
+        assert oplus_value(value, nil) == value
+
+    def test_nil_for_bool_is_replace(self):
+        assert nil_change_for(True) == Replace(True)
+
+    def test_nil_for_tuple(self):
+        value = (1, Bag.of(2))
+        nil = nil_change_for(value)
+        assert oplus_value(value, nil) == value
+
+    def test_nil_for_opaque_value(self):
+        assert nil_change_for("opaque") == Replace("opaque")
+
+
+class TestIsNilChange:
+    def test_zero_group_change_is_nil(self):
+        assert is_nil_change(GroupChange(INT_ADD_GROUP, 0))
+        assert is_nil_change(GroupChange(BAG_GROUP, Bag.empty()))
+
+    def test_nonzero_group_change_is_not_nil(self):
+        assert not is_nil_change(GroupChange(INT_ADD_GROUP, 1))
+
+    def test_replace_needs_base(self):
+        assert not is_nil_change(Replace(5))
+        assert is_nil_change(Replace(5), base=5)
+        assert not is_nil_change(Replace(5), base=6)
+
+    def test_tuple_nil(self):
+        change = (GroupChange(INT_ADD_GROUP, 0), GroupChange(INT_ADD_GROUP, 0))
+        assert is_nil_change(change)
+        assert not is_nil_change(
+            (GroupChange(INT_ADD_GROUP, 0), GroupChange(INT_ADD_GROUP, 2))
+        )
+
+
+class TestChangeEquality:
+    def test_replace_equality(self):
+        assert Replace(1) == Replace(1)
+        assert Replace(1) != Replace(2)
+        assert hash(Replace(Bag.of(1))) == hash(Replace(Bag.of(1)))
+
+    def test_group_change_equality(self):
+        assert GroupChange(INT_ADD_GROUP, 1) == GroupChange(INT_ADD_GROUP, 1)
+        assert GroupChange(INT_ADD_GROUP, 1) != GroupChange(INT_ADD_GROUP, 2)
+        assert GroupChange(INT_ADD_GROUP, 1) != Replace(1)
+
+    def test_reprs(self):
+        assert "Replace" in repr(Replace(1))
+        assert "GroupChange" in repr(GroupChange(INT_ADD_GROUP, 1))

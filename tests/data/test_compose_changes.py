@@ -1,0 +1,90 @@
+"""Tests for change composition: v ⊕ compose(d₁, d₂) = (v ⊕ d₁) ⊕ d₂."""
+
+from hypothesis import given
+
+from repro.data.bag import Bag
+from repro.data.change_values import (
+    GroupChange,
+    Replace,
+    compose_changes,
+    oplus_value,
+)
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.data.list_changes import Delete, Insert, ListChange
+
+from tests.strategies import (
+    bag_changes,
+    bags_of_ints,
+    int_changes,
+    small_ints,
+)
+
+
+@given(small_ints, int_changes, int_changes)
+def test_int_composition_law(value, first, second):
+    composed = compose_changes(first, second)
+    assert composed is not None
+    sequential = oplus_value(oplus_value(value, first), second)
+    assert oplus_value(value, composed) == sequential
+
+
+@given(bags_of_ints, bag_changes, bag_changes)
+def test_bag_composition_law(value, first, second):
+    composed = compose_changes(first, second)
+    assert composed is not None
+    sequential = oplus_value(oplus_value(value, first), second)
+    assert oplus_value(value, composed) == sequential
+
+
+def test_group_changes_merge_deltas():
+    composed = compose_changes(
+        GroupChange(INT_ADD_GROUP, 3), GroupChange(INT_ADD_GROUP, 4)
+    )
+    assert composed == GroupChange(INT_ADD_GROUP, 7)
+
+
+def test_second_replace_wins():
+    composed = compose_changes(GroupChange(INT_ADD_GROUP, 3), Replace(9))
+    assert composed == Replace(9)
+
+
+def test_replace_then_delta_folds_in():
+    composed = compose_changes(Replace(10), GroupChange(INT_ADD_GROUP, 5))
+    assert composed == Replace(15)
+
+
+def test_mismatched_groups_do_not_compose():
+    assert (
+        compose_changes(
+            GroupChange(INT_ADD_GROUP, 1),
+            GroupChange(BAG_GROUP, Bag.of(1)),
+        )
+        is None
+    )
+
+
+def test_list_scripts_concatenate():
+    composed = compose_changes(
+        ListChange(Insert(0, 1)), ListChange(Delete(0))
+    )
+    assert composed == ListChange(Insert(0, 1), Delete(0))
+    assert oplus_value((5,), composed) == (5,)
+
+
+def test_pair_changes_compose_pointwise():
+    first = (GroupChange(INT_ADD_GROUP, 1), GroupChange(INT_ADD_GROUP, 2))
+    second = (GroupChange(INT_ADD_GROUP, 10), Replace(0))
+    composed = compose_changes(first, second)
+    assert oplus_value((0, 0), composed) == (11, 0)
+
+
+def test_engine_pending_queue_stays_bounded():
+    """Composable change streams collapse into one pending entry, so the
+    lazily-advanced inputs cannot grow without bound."""
+    from repro.incremental.engine import _LazyInput
+
+    lazy = _LazyInput(Bag.of(1))
+    for index in range(1000):
+        lazy.push(GroupChange(BAG_GROUP, Bag.of(index % 5)))
+    assert lazy.pending_changes == 1
+    assert lazy.current().total_size() == 1001

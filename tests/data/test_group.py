@@ -1,0 +1,118 @@
+"""Tests for the runtime abelian groups."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.bag import Bag
+from repro.data.group import (
+    AbelianGroup,
+    BAG_GROUP,
+    FLOAT_ADD_GROUP,
+    INT_ADD_GROUP,
+    INT_MUL_GROUP,
+    map_group,
+    pair_group,
+)
+
+from tests.strategies import bags_of_ints, small_ints
+
+
+GROUP_LAW_CASES = [
+    (INT_ADD_GROUP, [0, 1, -7, 42]),
+    (BAG_GROUP, [Bag.empty(), Bag.of(1), Bag({2: -3})]),
+    (
+        pair_group(INT_ADD_GROUP, INT_ADD_GROUP),
+        [(0, 0), (1, -2), (5, 5)],
+    ),
+]
+
+
+@pytest.mark.parametrize("group,values", GROUP_LAW_CASES)
+def test_group_laws_on_samples(group: AbelianGroup, values):
+    for a in values:
+        assert group.merge(a, group.zero) == a
+        assert group.merge(group.zero, a) == a
+        assert group.merge(a, group.inverse(a)) == group.zero
+        for b in values:
+            assert group.merge(a, b) == group.merge(b, a)
+            for c in values:
+                assert group.merge(group.merge(a, b), c) == group.merge(
+                    a, group.merge(b, c)
+                )
+
+
+@given(small_ints, small_ints)
+def test_int_group(a, b):
+    assert INT_ADD_GROUP.merge(a, b) == a + b
+    assert INT_ADD_GROUP.inverse(a) == -a
+
+
+def test_float_group():
+    assert FLOAT_ADD_GROUP.merge(1.5, 2.5) == 4.0
+    assert FLOAT_ADD_GROUP.zero == 0.0
+
+
+def test_mul_group_basics():
+    assert INT_MUL_GROUP.merge(2.0, 4.0) == 8.0
+    assert INT_MUL_GROUP.merge(2.0, INT_MUL_GROUP.inverse(2.0)) == 1.0
+
+
+class TestScale:
+    @given(small_ints, st.integers(min_value=-10, max_value=10))
+    def test_int_scale(self, value, count):
+        assert INT_ADD_GROUP.scale(value, count) == value * count
+
+    @given(bags_of_ints, st.integers(min_value=-5, max_value=5))
+    def test_bag_scale_matches_repeated_merge(self, bag, count):
+        expected = Bag.empty()
+        step = bag if count >= 0 else bag.negate()
+        for _ in range(abs(count)):
+            expected = expected.merge(step)
+        assert BAG_GROUP.scale(bag, count) == expected
+
+    def test_generic_scale_fallback(self):
+        # A group without a scale fast path uses doubling.
+        plain = AbelianGroup(
+            "PlainInt", lambda a, b: a + b, lambda a: -a, 0
+        )
+        assert plain.scale(3, 5) == 15
+        assert plain.scale(3, 0) == 0
+        assert plain.scale(3, -4) == -12
+
+
+class TestStructuralEquality:
+    def test_named_groups_compare_by_name(self):
+        other = AbelianGroup("IntAdd", lambda a, b: a + b, lambda a: -a, 0)
+        assert other == INT_ADD_GROUP
+        assert hash(other) == hash(INT_ADD_GROUP)
+
+    def test_derived_groups_compare_by_args(self):
+        assert map_group(INT_ADD_GROUP) == map_group(INT_ADD_GROUP)
+        assert pair_group(INT_ADD_GROUP, BAG_GROUP) == pair_group(
+            INT_ADD_GROUP, BAG_GROUP
+        )
+        assert pair_group(INT_ADD_GROUP, BAG_GROUP) != pair_group(
+            BAG_GROUP, INT_ADD_GROUP
+        )
+
+    def test_is_zero(self):
+        assert INT_ADD_GROUP.is_zero(0)
+        assert not INT_ADD_GROUP.is_zero(1)
+        assert BAG_GROUP.is_zero(Bag.empty())
+
+    def test_repr(self):
+        assert repr(INT_ADD_GROUP) == "IntAdd"
+        assert "MapGroup" in repr(map_group(INT_ADD_GROUP))
+
+
+class TestPairGroup:
+    @given(small_ints, small_ints, small_ints, small_ints)
+    def test_componentwise(self, a, b, c, d):
+        group = pair_group(INT_ADD_GROUP, INT_ADD_GROUP)
+        assert group.merge((a, b), (c, d)) == (a + c, b + d)
+        assert group.inverse((a, b)) == (-a, -b)
+
+    def test_args_exposed(self):
+        group = pair_group(INT_ADD_GROUP, BAG_GROUP)
+        assert group.args == (INT_ADD_GROUP, BAG_GROUP)

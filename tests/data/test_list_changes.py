@@ -1,0 +1,134 @@
+"""Tests for list edit scripts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.change_values import GroupChange, oplus_value
+from repro.data.group import INT_ADD_GROUP
+from repro.data.list_changes import Delete, Insert, ListChange, Update
+
+
+class TestApplication:
+    def test_insert(self):
+        change = ListChange(Insert(1, 99))
+        assert change.apply_to((1, 2)) == (1, 99, 2)
+
+    def test_insert_at_end(self):
+        assert ListChange(Insert(2, 9)).apply_to((1, 2)) == (1, 2, 9)
+
+    def test_delete(self):
+        assert ListChange(Delete(0)).apply_to((1, 2)) == (2,)
+
+    def test_update(self):
+        change = ListChange(Update(1, GroupChange(INT_ADD_GROUP, 10)))
+        assert change.apply_to((1, 2)) == (1, 12)
+
+    def test_sequential_edits_see_prior_effects(self):
+        change = ListChange(Insert(0, 5), Delete(2))
+        # After inserting 5 at 0, index 2 holds the old element 2.
+        assert change.apply_to((1, 2)) == (5, 1)
+
+    def test_nil(self):
+        assert ListChange.nil().apply_to((1, 2)) == (1, 2)
+        assert ListChange.nil().is_nil()
+        assert not ListChange(Delete(0)).is_nil()
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            ListChange(Delete(5)).apply_to((1,))
+        with pytest.raises(IndexError):
+            ListChange(Insert(3, 0)).apply_to((1,))
+        with pytest.raises(IndexError):
+            ListChange(Update(1, GroupChange(INT_ADD_GROUP, 1))).apply_to((1,))
+
+    def test_non_list_raises(self):
+        with pytest.raises(TypeError):
+            ListChange().apply_to("abc")
+
+    def test_oplus_value_dispatches(self):
+        assert oplus_value((1, 2), ListChange(Insert(0, 0))) == (0, 1, 2)
+
+
+class TestCombinators:
+    def test_then_composes(self):
+        first = ListChange(Insert(0, 1))
+        second = ListChange(Insert(0, 2))
+        assert first.then(second).apply_to(()) == (2, 1)
+
+    def test_shifted(self):
+        change = ListChange(Insert(0, 9), Delete(1), Update(0, None))
+        shifted = change.shifted(3)
+        assert shifted.edits[0] == Insert(3, 9)
+        assert shifted.edits[1] == Delete(4)
+        assert shifted.edits[2].index == 3
+
+    def test_net_length_change(self):
+        change = ListChange(Insert(0, 1), Insert(0, 2), Delete(0))
+        assert change.net_length_change() == 1
+        assert ListChange(Update(0, None)).net_length_change() == 0
+
+    def test_equality_and_hash(self):
+        assert ListChange(Delete(0)) == ListChange(Delete(0))
+        assert ListChange(Delete(0)) != ListChange(Delete(1))
+        assert hash(ListChange(Insert(0, 1))) == hash(ListChange(Insert(0, 1)))
+
+
+list_values = st.lists(
+    st.integers(min_value=-9, max_value=9), max_size=6
+).map(tuple)
+
+
+@st.composite
+def list_with_change(draw):
+    value = draw(list_values)
+    edits = []
+    length = len(value)
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        kinds = ["insert"]
+        if length > 0:
+            kinds += ["delete", "update"]
+        kind = draw(st.sampled_from(kinds))
+        if kind == "insert":
+            index = draw(st.integers(min_value=0, max_value=length))
+            edits.append(Insert(index, draw(st.integers(-9, 9))))
+            length += 1
+        elif kind == "delete":
+            index = draw(st.integers(min_value=0, max_value=length - 1))
+            edits.append(Delete(index))
+            length -= 1
+        else:
+            index = draw(st.integers(min_value=0, max_value=length - 1))
+            edits.append(
+                Update(index, GroupChange(INT_ADD_GROUP, draw(st.integers(-9, 9))))
+            )
+    return value, ListChange(*edits)
+
+
+class TestProperties:
+    @given(list_with_change())
+    def test_apply_preserves_listness(self, pair):
+        value, change = pair
+        result = change.apply_to(value)
+        assert isinstance(result, tuple)
+        assert len(result) == len(value) + change.net_length_change()
+
+    @given(list_with_change())
+    def test_semantic_structure_laws(self, pair):
+        from repro.changes.list import LIST_CHANGES
+
+        value, change = pair
+        assert LIST_CHANGES.delta_contains(value, change)
+        updated = LIST_CHANGES.oplus(value, change)
+        # ⊖ then ⊕ restores (Def. 2.1e).
+        recovered = LIST_CHANGES.oplus(
+            value, LIST_CHANGES.ominus(updated, value)
+        )
+        assert recovered == updated
+
+    @given(list_values, list_values)
+    def test_ominus_between_arbitrary_lists(self, new, old):
+        from repro.changes.list import LIST_CHANGES
+
+        change = LIST_CHANGES.ominus(new, old)
+        assert LIST_CHANGES.oplus(old, change) == new

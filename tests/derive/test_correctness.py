@@ -1,0 +1,169 @@
+"""Eq. (1) / Theorem 3.11, property-tested:
+
+    f (a ⊕ da) = f a ⊕ Derive(f) a da
+
+over hand-written corpora and hypothesis-generated well-typed programs,
+in all four configurations {specialized, generic} × {lazy, strict} where
+applicable.  This is the repository's analogue of the paper's main
+machine-checked theorem.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.derive.derive import derive_program
+from repro.derive.validate import (
+    DeriveCorrectnessError,
+    check_derive_correctness,
+)
+from repro.lang.parser import parse
+
+from tests.strategies import (
+    REGISTRY,
+    bag_changes,
+    bags_of_ints,
+    binary_programs,
+    int_changes,
+    small_ints,
+    unary_programs,
+)
+
+UNARY_CORPUS = [
+    (r"\x -> add x 1", small_ints, int_changes),
+    (r"\x -> mul x x", small_ints, int_changes),
+    (r"\x -> sub 10 x", small_ints, int_changes),
+    (r"\x -> negateInt (add x x)", small_ints, int_changes),
+    (r"\x -> ifThenElse (ltInt x 0) (negateInt x) x", small_ints, int_changes),
+    (r"\xs -> foldBag gplus id xs", bags_of_ints, bag_changes),
+    (r"\xs -> foldBag gplus (\e -> mul e e) xs", bags_of_ints, bag_changes),
+    (r"\xs -> merge xs xs", bags_of_ints, bag_changes),
+    (r"\xs -> negate xs", bags_of_ints, bag_changes),
+    (r"\xs -> mapBag (\e -> add e 1) xs", bags_of_ints, bag_changes),
+    (r"\xs -> filterBag (\e -> ltInt 0 e) xs", bags_of_ints, bag_changes),
+    (
+        r"\xs -> flatMapBag (\e -> merge (singleton e) (singleton e)) xs",
+        bags_of_ints,
+        bag_changes,
+    ),
+    (r"\x -> singleton (add x 1)", small_ints, int_changes),
+    (r"\x -> fst (pair x 2)", small_ints, int_changes),
+    (r"\x -> snd (pair 2 x)", small_ints, int_changes),
+    (
+        r"\xs -> foldBag gplus id (mapBag (\e -> mul e 2) xs)",
+        bags_of_ints,
+        bag_changes,
+    ),
+    (r"\x -> let y = add x x in mul y y", small_ints, int_changes),
+    (r"\x -> (\f -> f x) (\y -> add y 1)", small_ints, int_changes),
+    (r"\x -> eqInt x 0", small_ints, int_changes),
+]
+
+
+@pytest.mark.parametrize("specialize", [True, False], ids=["spec", "generic"])
+@pytest.mark.parametrize("source", [case[0] for case in UNARY_CORPUS])
+def test_corpus_fixed_points(source, specialize):
+    values, _changes = next(
+        (vals, chs) for src, vals, chs in UNARY_CORPUS if src == source
+    )
+    term = parse(source, REGISTRY)
+    # A couple of deterministic points per program.
+    sample_inputs = {
+        "Int": [(0, GroupChange(INT_ADD_GROUP, 5)), (7, Replace(-1))],
+        "Bag": [
+            (Bag.of(1, 2), GroupChange(BAG_GROUP, Bag.of(3))),
+            (Bag.of(1), Replace(Bag.of(9, 9))),
+        ],
+    }
+    kind = "Bag" if values is bags_of_ints else "Int"
+    for value, change in sample_inputs[kind]:
+        check_derive_correctness(
+            term, REGISTRY, [value], [change], specialize=specialize
+        )
+
+
+class TestPropertyBased:
+    @settings(max_examples=80, deadline=None)
+    @given(unary_programs())
+    def test_generated_unary_specialized(self, case):
+        check_derive_correctness(
+            case["program"],
+            REGISTRY,
+            [case["input"]],
+            [case["runtime_change"]],
+            specialize=True,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(unary_programs())
+    def test_generated_unary_generic(self, case):
+        check_derive_correctness(
+            case["program"],
+            REGISTRY,
+            [case["input"]],
+            [case["runtime_change"]],
+            specialize=False,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(binary_programs())
+    def test_generated_binary(self, case):
+        check_derive_correctness(
+            case["program"], REGISTRY, case["inputs"], case["changes"]
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(unary_programs())
+    def test_optimized_derivative_agrees(self, case):
+        from repro.optimize.pipeline import optimize
+
+        derived = derive_program(case["program"], REGISTRY)
+        optimized = optimize(derived).term
+        check_derive_correctness(
+            case["program"],
+            REGISTRY,
+            [case["input"]],
+            [case["runtime_change"]],
+            derived=optimized,
+        )
+
+
+class TestMultiStep:
+    """Iterated Eq. (1): chains of changes stay correct."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(bags_of_ints, bag_changes, bag_changes, bag_changes)
+    def test_three_steps(self, initial, c1, c2, c3):
+        from repro.incremental.engine import IncrementalProgram
+
+        term = parse(r"\xs -> foldBag gplus id (merge xs xs)", REGISTRY)
+        program = IncrementalProgram(term, REGISTRY)
+        program.initialize(initial)
+        for change in (c1, c2, c3):
+            program.step(change)
+        assert program.verify()
+
+
+class TestValidator:
+    def test_detects_wrong_derivative(self):
+        term = parse(r"\x -> add x 1", REGISTRY)
+        wrong = parse(r"\x dx -> add' x dx x dx", REGISTRY)  # doubles dx
+        with pytest.raises(DeriveCorrectnessError):
+            check_derive_correctness(
+                term, REGISTRY, [5], [GroupChange(INT_ADD_GROUP, 3)], derived=wrong
+            )
+
+    def test_rejects_misaligned_inputs(self):
+        term = parse(r"\x -> add x 1", REGISTRY)
+        with pytest.raises(ValueError):
+            check_derive_correctness(term, REGISTRY, [1], [])
+
+    def test_function_outputs_rejected(self):
+        term = parse(r"\x y -> add x y", REGISTRY)
+        with pytest.raises(TypeError):
+            # Applying only one argument leaves a function output.
+            check_derive_correctness(
+                term, REGISTRY, [1], [GroupChange(INT_ADD_GROUP, 1)]
+            )

@@ -1,0 +1,169 @@
+"""Structural tests for the Derive transformation (Fig. 4g)."""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.derive.derive import DeriveError, derive, derive_program
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.terms import App, Const, Lam, Let, Lit, Var
+from repro.lang.types import TBag, TChange, TInt
+
+
+class TestTransformationCases:
+    def test_variable(self, registry):
+        assert derive(v.x, registry) == Var("dx")
+
+    def test_lambda_binds_change(self, registry):
+        derived = derive(lam("x")(v.x), registry)
+        assert derived == Lam("x", Lam("dx", Var("dx")))
+
+    def test_annotated_lambda_annotates_change(self, registry):
+        derived = derive(lam(("x", TInt))(v.x), registry)
+        assert isinstance(derived, Lam)
+        assert derived.param_type == TInt
+        assert derived.body.param_type == TChange(TInt)
+
+    def test_application(self, registry):
+        # Derive(s t) = Derive(s) t Derive(t).
+        derived = derive(v.f(v.x), registry)
+        assert derived == App(App(Var("df"), Var("x")), Var("dx"))
+
+    def test_let(self, registry):
+        derived = derive(let("y", v.x, v.y), registry)
+        assert derived == Let(
+            "y", Var("x"), Let("dy", Var("dx"), Var("dy"))
+        )
+
+    def test_constant_uses_plugin_derivative(self, registry):
+        derived = derive(registry.constant("merge"), registry)
+        assert isinstance(derived, Const)
+        assert derived.spec.name == "merge'"
+
+    def test_int_literal_gets_detectable_nil(self, registry):
+        derived = derive(lit(5), registry)
+        assert isinstance(derived, Lit)
+        assert isinstance(derived.value, GroupChange)
+        assert derived.value.group.name == "IntAdd"
+        assert derived.value.delta == 0
+        assert derived.type == TChange(TInt)
+
+    def test_bag_literal_gets_empty_group_change(self, registry):
+        derived = derive(Lit(Bag.of(1), TBag(TInt)), registry)
+        assert derived.value.delta == Bag.empty()
+
+    def test_bool_literal_gets_replace(self, registry):
+        derived = derive(lit(True), registry)
+        assert derived.value == Replace(True)
+
+    def test_ground_constant_gets_nil_literal(self, registry):
+        derived = derive(registry.constant("gplus"), registry)
+        assert isinstance(derived, Lit)
+        assert isinstance(derived.value, Replace)
+
+
+class TestHygiene:
+    def test_d_variable_rejected(self, registry):
+        with pytest.raises(DeriveError):
+            derive(lam("dx")(v.dx), registry)
+
+    def test_free_d_variable_rejected(self, registry):
+        with pytest.raises(DeriveError):
+            derive(v.delta, registry)
+
+    def test_derive_program_renames(self, registry):
+        derived = derive_program(lam("data")(v.data), registry)
+        assert isinstance(derived, Lam)
+        assert not derived.param.startswith("d")
+
+
+class TestPaperGrandTotal:
+    """Sec. 3.2's worked example."""
+
+    def test_generic_derivative_shape(self, registry):
+        term = parse(r"\xs ys -> foldBag gplus id (merge xs ys)", registry)
+        derived = derive(term, registry, specialize=False)
+        rendered = pretty(derived)
+        # λxs dxs ys dys. foldBag' ... (merge xs ys) (merge' xs dxs ys dys)
+        assert rendered.startswith("\\xs dxs ys dys ->")
+        assert "foldBag'" in rendered
+        assert "merge' xs dxs ys dys" in rendered
+        assert "merge xs ys" in rendered
+
+    def test_specialized_derivative_shape(self, registry):
+        term = parse(r"\xs ys -> foldBag gplus id (merge xs ys)", registry)
+        derived = derive(term, registry, specialize=True)
+        rendered = pretty(derived)
+        assert "foldBag'_gf" in rendered
+        # The nil changes for gplus and id disappear entirely.
+        assert "id'" not in rendered
+
+
+class TestSpecialization:
+    def test_requires_closed_arguments(self, registry):
+        # f comes from the context: not closed, no specialization.
+        term = lam("f", "xs")(
+            registry.constant("foldBag")(registry.constant("gplus"), v.f, v.xs)
+        )
+        derived = derive(term, registry)
+        assert "foldBag'_gf" not in pretty(derived)
+
+    def test_closed_lambda_argument_is_nil(self, registry):
+        term = parse(r"\xs -> mapBag (\e -> add e 1) xs", registry)
+        derived = derive(term, registry)
+        assert "mapBag'_f" in pretty(derived)
+
+    def test_partial_application_not_specialized(self, registry):
+        # The foldBag spine is broken by applyFn, so the inner spine has
+        # only two arguments and cannot be specialized.
+        term = parse(r"\xs -> applyFn (foldBag gplus id) xs", registry)
+        derived = derive(term, registry)
+        assert "foldBag'_gf" not in pretty(derived)
+
+    def test_full_application_via_call_chain_specializes(self, registry):
+        term = lam("xs")(
+            registry.constant("foldBag")(
+                registry.constant("gplus"), registry.constant("id")
+            )(v.xs)
+        )
+        derived = derive(term, registry)
+        assert "foldBag'_gf" in pretty(derived)
+
+    def test_specialize_flag_off(self, registry):
+        term = parse(r"\xs -> mapBag (\e -> add e 1) xs", registry)
+        derived = derive(term, registry, specialize=False)
+        assert "mapBag'_f" not in pretty(derived)
+
+    def test_let_propagates_closedness(self, registry):
+        # Sec. 4.2: the analysis "detects and propagates information about
+        # closed terms" -- here through a let binding.
+        term = parse(
+            r"let sq = \e -> mul e e in \xs -> mapBag sq xs", registry
+        )
+        derived = derive_program(term, registry)
+        assert "mapBag'_f" in pretty(derived)
+
+    def test_let_shadowed_by_lambda_is_not_closed(self, registry):
+        term = parse(
+            r"let f = \e -> mul e e in \f xs -> mapBag f xs", registry
+        )
+        derived = derive_program(term, registry)
+        assert "mapBag'_f" not in pretty(derived)
+
+    def test_let_rebinding_open_term_is_not_closed(self, registry):
+        term = parse(
+            r"\g -> let f = g in \xs -> mapBag f xs", registry
+        )
+        derived = derive_program(term, registry)
+        assert "mapBag'_f" not in pretty(derived)
+
+
+class TestDeriveIsTotal:
+    """Derive succeeds on every registered constant."""
+
+    def test_all_constants_have_derivatives(self, registry):
+        for spec in registry.constants():
+            derived = derive(Const(spec), registry)
+            assert derived is not None

@@ -1,0 +1,93 @@
+"""Golden tests: exact pretty-printed derivatives for a pinned corpus.
+
+Property tests catch *incorrect* transformations; these catch *changed*
+ones -- silent drift in specialization decisions, binder naming, or
+optimizer behaviour shows up as a readable diff here.
+"""
+
+import pytest
+
+from repro.derive.derive import derive_program
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.optimize.pipeline import optimize
+
+from tests.strategies import REGISTRY
+
+GOLDEN = [
+    (
+        r"\x -> x",
+        "\\x dx -> dx",
+        "\\x dx -> dx",
+    ),
+    (
+        r"\f x -> f x",
+        "\\f df x dx -> df x dx",
+        "\\f df x dx -> df x dx",
+    ),
+    (
+        r"\xs ys -> foldBag gplus id (merge xs ys)",
+        "\\xs dxs ys dys -> foldBag'_gf gplus id (merge xs ys)"
+        " (merge' xs dxs ys dys)",
+        "\\xs dxs ys dys -> foldBag'_gf gplus id (merge xs ys)"
+        " (merge' xs dxs ys dys)",
+    ),
+    (
+        r"\xs -> mapBag (\e -> add e 1) xs",
+        "\\xs dxs -> mapBag'_f (\\e -> add e 1) xs dxs",
+        "\\xs dxs -> mapBag'_f (\\e -> add e 1) xs dxs",
+    ),
+    (
+        r"\x y -> add x y",
+        "\\x dx y dy -> add' x dx y dy",
+        "\\x dx y dy -> add' x dx y dy",
+    ),
+    (
+        r"\x -> add x (add 1 2)",
+        "\\x dx -> add' x dx (add 1 2)"
+        " (add' 1 <lit GroupChange(IntAdd, 0) : Change Int> 2"
+        " <lit GroupChange(IntAdd, 0) : Change Int>)",
+        "\\x dx -> add' x dx 3 <lit GroupChange(IntAdd, 0) : Change Int>",
+    ),
+    (
+        r"\xs -> negate xs",
+        "\\xs dxs -> negate' xs dxs",
+        "\\xs dxs -> negate' xs dxs",
+    ),
+    (
+        r"\p -> fst p",
+        "\\p dp -> fst' p dp",
+        "\\p dp -> fst' p dp",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "source,raw_expected,optimized_expected",
+    GOLDEN,
+    ids=[case[0] for case in GOLDEN],
+)
+def test_golden_derivatives(source, raw_expected, optimized_expected):
+    term = parse(source, REGISTRY)
+    raw = derive_program(term, REGISTRY)
+    assert pretty(raw) == raw_expected
+    optimized = optimize(raw).term
+    assert pretty(optimized) == optimized_expected
+
+
+def test_golden_histogram_is_stable():
+    """The full Fig. 5 derivative: pin its head shape and size range
+    rather than the whole string (it is ~140 nodes)."""
+    from repro.lang.traversal import term_size
+    from repro.mapreduce.skeleton import histogram_term
+
+    derived = optimize(
+        derive_program(histogram_term(REGISTRY), REGISTRY)
+    ).term
+    rendered = pretty(derived)
+    assert rendered.startswith(
+        "\\(corpus: Map Int (Bag Int)) (dcorpus: Change (Map Int (Bag Int)))"
+    )
+    assert rendered.count("foldMap'_gf") == 2
+    assert rendered.count("foldBag'_gf") == 1
+    assert 120 <= term_size(derived) <= 160

@@ -1,0 +1,92 @@
+"""Eq. (1) at runtime for programs with *function-typed inputs*: the
+derived program receives a function change (a two-argument function
+value) and must combine it correctly with data changes."""
+
+from hypothesis import given, settings
+
+from repro.data.change_values import GroupChange, oplus_value
+from repro.data.group import INT_ADD_GROUP
+from repro.derive.derive import derive_program
+from repro.semantics.eval import apply_value, evaluate
+from repro.semantics.values import HostFunction
+
+from tests.strategies import REGISTRY, higher_order_cases
+
+
+def as_runtime_function(fn):
+    return HostFunction(fn, "f")
+
+
+def as_runtime_function_change(fn_change):
+    """Lift a semantic function change (int → int → int-delta) to a
+    runtime one (returning erased ``GroupChange`` values)."""
+
+    def outer(point):
+        def inner(point_change):
+            delta = fn_change(point)(oplus_int(point_change))
+            return GroupChange(INT_ADD_GROUP, delta)
+
+        return HostFunction(inner, "df@point")
+
+    return HostFunction(outer, "df")
+
+
+def oplus_int(change):
+    """Extract the integer delta from an erased int change."""
+    if isinstance(change, GroupChange):
+        return change.delta
+    raise TypeError(f"expected a group int change, got {change!r}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(higher_order_cases())
+def test_eq1_with_function_inputs(case):
+    program = case["program"]
+    derived = derive_program(program, REGISTRY)
+
+    program_value = evaluate(program)
+    derivative_value = evaluate(derived)
+
+    fn = as_runtime_function(case["fn"])
+    updated_fn = as_runtime_function(case["fn_updated"])
+    fn_change = as_runtime_function_change(case["fn_change"])
+    x = case["input"]
+    dx = GroupChange(INT_ADD_GROUP, case["input_change"])
+
+    recomputed = apply_value(
+        program_value, updated_fn, x + case["input_change"]
+    )
+    original = apply_value(program_value, fn, x)
+    output_change = apply_value(derivative_value, fn, fn_change, x, dx)
+    incremental = oplus_value(original, output_change)
+    assert incremental == recomputed
+
+
+@settings(max_examples=30, deadline=None)
+@given(higher_order_cases())
+def test_nil_function_change_at_runtime(case):
+    """Feeding the function's own trivial derivative as its change (the
+    nil change, Thm. 2.10) leaves the output governed by dx alone."""
+    program = case["program"]
+    derived = derive_program(program, REGISTRY)
+    fn = case["fn"]
+
+    def nil_semantic(point):
+        def with_change(delta):
+            return fn(point + delta) - fn(point)
+
+        return with_change
+
+    runtime_fn = as_runtime_function(fn)
+    nil_change = as_runtime_function_change(nil_semantic)
+    x = case["input"]
+    dx = GroupChange(INT_ADD_GROUP, case["input_change"])
+
+    original = apply_value(evaluate(program), runtime_fn, x)
+    output_change = apply_value(
+        evaluate(derived), runtime_fn, nil_change, x, dx
+    )
+    expected = apply_value(
+        evaluate(program), runtime_fn, x + case["input_change"]
+    )
+    assert oplus_value(original, output_change) == expected

@@ -1,0 +1,121 @@
+"""Eq. (1) for programs containing ``let`` (sharing must survive
+differentiation: Derive(let x = s in t) binds both x and dx)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.derive.validate import check_derive_correctness
+from repro.lang.builders import lam, let, v
+from repro.lang.parser import parse
+from repro.lang.terms import Lam, Let
+from repro.lang.types import TBag, TInt
+
+from tests.strategies import (
+    REGISTRY,
+    bag_changes,
+    bags_of_ints,
+    first_order_terms,
+    int_changes,
+    runtime_changes_of_type,
+    small_ints,
+    values_of_type,
+)
+
+
+@st.composite
+def let_programs(draw):
+    """λx. let aux = <term over x> in <term over x and aux>."""
+    input_type = draw(st.sampled_from([TInt, TBag(TInt)]))
+    aux_type = draw(st.sampled_from([TInt, TBag(TInt)]))
+    result_type = draw(st.sampled_from([TInt, TBag(TInt)]))
+    bound = draw(
+        first_order_terms(aux_type, context=(("x", input_type),), fuel=2)
+    )
+    body = draw(
+        first_order_terms(
+            result_type,
+            context=(("x", input_type), ("aux", aux_type)),
+            fuel=2,
+        )
+    )
+    program = Lam("x", Let("aux", bound, body), input_type)
+    return {
+        "program": program,
+        "input": draw(values_of_type(input_type)),
+        "change": draw(runtime_changes_of_type(input_type)),
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(let_programs())
+def test_eq1_with_lets(case):
+    check_derive_correctness(
+        case["program"], REGISTRY, [case["input"]], [case["change"]]
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(let_programs())
+def test_eq1_with_lets_generic(case):
+    check_derive_correctness(
+        case["program"],
+        REGISTRY,
+        [case["input"]],
+        [case["change"]],
+        specialize=False,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(let_programs())
+def test_optimized_let_derivatives(case):
+    from repro.derive.derive import derive_program
+    from repro.optimize.pipeline import optimize
+
+    derived = optimize(derive_program(case["program"], REGISTRY)).term
+    check_derive_correctness(
+        case["program"],
+        REGISTRY,
+        [case["input"]],
+        [case["change"]],
+        derived=derived,
+    )
+
+
+class TestSharingPreserved:
+    def test_let_derivative_shares_base_binding(self, registry):
+        """Derive(let y = s in t) keeps the base binding: the derived term
+        binds y (to s, not to anything re-derived) and dy."""
+        from repro.derive.derive import derive
+
+        term = parse("let y = foldBag gplus id xs in add y y", registry)
+        derived = derive(term, registry)
+        assert isinstance(derived, Let)
+        assert derived.name == "y"
+        inner = derived.body
+        assert isinstance(inner, Let)
+        assert inner.name == "dy"
+
+    def test_shared_fold_runs_once_in_derivative(self, registry):
+        """Call-by-need + let sharing: evaluating the derivative forces the
+        shared base fold at most once, even when the derivative body
+        mentions it twice."""
+        from repro.derive.derive import derive_program
+        from repro.semantics.eval import apply_value, evaluate
+        from repro.semantics.thunk import EvalStats
+        from repro.data.bag import Bag
+        from repro.data.change_values import GroupChange, Replace
+        from repro.data.group import BAG_GROUP
+
+        program = parse(
+            r"\xs -> let total = foldBag gplus id xs in mul total total",
+            registry,
+        )
+        derived = derive_program(program, registry)
+        stats = EvalStats()
+        derivative = evaluate(derived, stats=stats)
+        apply_value(
+            derivative, Bag.of(1, 2), GroupChange(BAG_GROUP, Bag.of(3))
+        )
+        # mul' forces `total` (a base) once; the let shares it.
+        assert stats.calls("foldBag") <= 1

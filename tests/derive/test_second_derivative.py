@@ -1,0 +1,57 @@
+"""Differentiating a derivative.
+
+Derived programs bind ``dx`` variables, which collide with the names a
+second differentiation would mint -- ``Derive`` must reject them with a
+clear error, and ``derive_program``'s hygiene rename must make a second
+pass possible.  (Second derivatives are mechanically supported through
+the trivial fallback; they are exercised here as a smoke test, not part
+of the validated surface -- see docs/paper_map.md.)
+"""
+
+import pytest
+
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.derive.derive import DeriveError, derive, derive_program
+from repro.data.group import INT_ADD_GROUP
+from repro.lang.parser import parse
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY
+
+
+def test_raw_rederive_rejected():
+    program = parse(r"\x -> add x 1", REGISTRY)
+    first = derive(program, REGISTRY)
+    with pytest.raises(DeriveError):
+        derive(first, REGISTRY)  # dx binders collide
+
+
+def test_rederive_after_hygiene_rename_runs():
+    program = parse(r"\x -> add x 1", REGISTRY)
+    first = derive_program(program, REGISTRY)
+    second = derive_program(first, REGISTRY)  # renames dx, then derives
+    assert second is not None
+
+    # Smoke: the second derivative satisfies Eq. (1) *for the first
+    # derivative* at a point where outputs are comparable.  f' : Int →
+    # ΔInt → ΔInt; feed base args (x=5, dx=+3) and changes for both.
+    first_value = evaluate(first)
+    second_value = evaluate(second)
+
+    x, dx = 5, GroupChange(INT_ADD_GROUP, 3)
+    x_change = GroupChange(INT_ADD_GROUP, 2)          # x: 5 -> 7
+    dx_change = Replace(GroupChange(INT_ADD_GROUP, 10))  # dx: +3 -> +10
+
+    recomputed = apply_value(
+        first_value, oplus_value(x, x_change), oplus_value(dx, dx_change)
+    )
+    original = apply_value(first_value, x, dx)
+    output_change = apply_value(
+        second_value, x, x_change, dx, dx_change
+    )
+    incremental = oplus_value(original, output_change)
+    # Changes are compared through their effect on a base output value.
+    base_output = 6  # f 5 = 6
+    assert oplus_value(base_output, incremental) == oplus_value(
+        base_output, recomputed
+    )

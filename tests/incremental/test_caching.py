@@ -1,0 +1,192 @@
+"""Tests for the static-caching engine (Sec. 5.2.2 future work)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.incremental.caching import CachingIncrementalProgram
+from repro.incremental.engine import IncrementalProgram
+from repro.lang.parser import parse
+
+from tests.strategies import (
+    REGISTRY,
+    bag_changes,
+    bags_of_ints,
+    int_changes,
+    small_ints,
+    unary_programs,
+)
+
+PRODUCT_OF_SUMS = r"\xs ys -> mul (foldBag gplus id xs) (foldBag gplus id ys)"
+
+
+class TestBasics:
+    def test_initialize_and_step(self, registry):
+        program = CachingIncrementalProgram(
+            parse(PRODUCT_OF_SUMS, registry), registry
+        )
+        output = program.initialize(Bag.of(1, 2), Bag.of(10))
+        assert output == 30
+        updated = program.step(
+            GroupChange(BAG_GROUP, Bag.of(3)),
+            GroupChange(BAG_GROUP, Bag.empty()),
+        )
+        assert updated == 60
+        assert program.verify()
+
+    def test_caches_exposed(self, registry):
+        program = CachingIncrementalProgram(
+            parse(PRODUCT_OF_SUMS, registry), registry
+        )
+        program.initialize(Bag.of(1, 2), Bag.of(10))
+        names = program.cache_names()
+        assert len(names) >= 2
+        cached = [program.cached_value(name) for name in names]
+        assert 3 in cached  # Σ xs
+        assert 10 in cached  # Σ ys
+
+    def test_caches_advance(self, registry):
+        program = CachingIncrementalProgram(
+            parse(PRODUCT_OF_SUMS, registry), registry
+        )
+        program.initialize(Bag.of(1, 2), Bag.of(10))
+        program.step(
+            GroupChange(BAG_GROUP, Bag.of(4)),
+            GroupChange(BAG_GROUP, Bag.of(-5)),
+        )
+        cached = {program.cached_value(name) for name in program.cache_names()}
+        assert 7 in cached  # Σ xs after +4
+        assert 5 in cached  # Σ ys after -5
+
+    def test_lifecycle_errors(self, registry):
+        program = CachingIncrementalProgram(
+            parse(PRODUCT_OF_SUMS, registry), registry
+        )
+        with pytest.raises(RuntimeError):
+            program.step(None, None)
+        with pytest.raises(RuntimeError):
+            program.output
+        program.initialize(Bag.empty(), Bag.empty())
+        with pytest.raises(ValueError):
+            program.step(GroupChange(BAG_GROUP, Bag.empty()))
+        with pytest.raises(ValueError):
+            program.initialize(Bag.empty())
+
+    def test_zero_arity_rejected(self, registry):
+        with pytest.raises(ValueError):
+            CachingIncrementalProgram(parse("add 1 2", registry), registry)
+
+    def test_result_can_be_an_input(self, registry):
+        program = CachingIncrementalProgram(
+            parse(r"\(x: Int) -> x", registry), registry
+        )
+        assert program.initialize(5) == 5
+        assert program.step(GroupChange(INT_ADD_GROUP, 3)) == 8
+        assert program.verify()
+
+    def test_replace_changes_supported(self, registry):
+        program = CachingIncrementalProgram(
+            parse(PRODUCT_OF_SUMS, registry), registry
+        )
+        program.initialize(Bag.of(1), Bag.of(2))
+        program.step(
+            Replace(Bag.of(5, 5)),
+            GroupChange(BAG_GROUP, Bag.empty()),
+        )
+        assert program.output == 20
+        assert program.verify()
+
+
+class TestCachingAvoidsRecomputation:
+    def test_fold_not_rerun_on_steps(self, registry):
+        """The headline: the mul' derivative needs both sums, but finds
+        them in caches -- the base foldBag never runs again."""
+        program = CachingIncrementalProgram(
+            parse(PRODUCT_OF_SUMS, registry), registry
+        )
+        program.initialize(Bag.from_iterable(range(100)), Bag.of(1))
+        folds_after_init = program.stats.calls("foldBag")
+        for index in range(10):
+            program.step(
+                GroupChange(BAG_GROUP, Bag.of(index)),
+                GroupChange(BAG_GROUP, Bag.of(index)),
+            )
+        assert program.stats.calls("foldBag") == folds_after_init
+        assert program.verify()
+
+    def test_plain_engine_does_rerun(self, registry):
+        """Contrast: the non-caching engine's derivative recomputes both
+        sums every step (mul' forces its base arguments)."""
+        program = IncrementalProgram(parse(PRODUCT_OF_SUMS, registry), registry)
+        program.initialize(Bag.from_iterable(range(100)), Bag.of(1))
+        folds_after_init = program.stats.calls("foldBag")
+        program.step(
+            GroupChange(BAG_GROUP, Bag.of(1)),
+            GroupChange(BAG_GROUP, Bag.of(2)),
+        )
+        assert program.stats.calls("foldBag") > folds_after_init
+        assert program.verify()
+
+
+class TestAgreementWithPlainEngine:
+    CORPUS = [
+        (PRODUCT_OF_SUMS, "bags2"),
+        (r"\xs ys -> foldBag gplus id (merge xs ys)", "bags2"),
+        (r"\x y -> add (mul x x) (mul y y)", "ints2"),
+        (r"\x y -> mul (add x y) (sub x y)", "ints2"),
+    ]
+
+    @pytest.mark.parametrize("source,kind", CORPUS)
+    def test_same_outputs(self, registry, source, kind):
+        term = parse(source, registry)
+        caching = CachingIncrementalProgram(term, registry)
+        plain = IncrementalProgram(term, registry)
+        if kind == "bags2":
+            inputs = (Bag.of(1, 2, 3), Bag.of(4))
+            steps = [
+                (
+                    GroupChange(BAG_GROUP, Bag.of(7)),
+                    GroupChange(BAG_GROUP, Bag.of(1).negate()),
+                ),
+                (
+                    Replace(Bag.of(2)),
+                    GroupChange(BAG_GROUP, Bag.empty()),
+                ),
+            ]
+        else:
+            inputs = (3, 4)
+            steps = [
+                (GroupChange(INT_ADD_GROUP, 2), GroupChange(INT_ADD_GROUP, -1)),
+                (Replace(10), GroupChange(INT_ADD_GROUP, 5)),
+            ]
+        assert caching.initialize(*inputs) == plain.initialize(*inputs)
+        for changes in steps:
+            assert caching.step(*changes) == plain.step(*changes)
+        assert caching.verify() and plain.verify()
+
+    @settings(max_examples=40, deadline=None)
+    @given(unary_programs())
+    def test_generated_programs(self, case):
+        program = CachingIncrementalProgram(case["program"], REGISTRY)
+        program.initialize(case["input"])
+        program.step(case["runtime_change"])
+        assert program.verify()
+
+
+class TestCachingOnHistogram:
+    def test_full_case_study_through_caching_engine(self):
+        """The Fig. 5 histogram also runs under the caching engine: its
+        ANF bindings (mapPerKey / groupByKey / reducePerKey stages) are
+        cached and updated per step."""
+        from repro.mapreduce.skeleton import histogram_term
+        from repro.mapreduce.workloads import ChangeScript, make_corpus
+
+        corpus = make_corpus(600, vocabulary_size=20, seed=21)
+        program = CachingIncrementalProgram(histogram_term(REGISTRY), REGISTRY)
+        assert program.initialize(corpus.documents) == corpus.word_histogram()
+        assert len(program.cache_names()) >= 2  # staged intermediates
+        for change in ChangeScript(corpus, length=15, seed=22):
+            program.step(change)
+        assert program.verify()

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDerive:
+    def test_grand_total(self):
+        code, output = run_cli(
+            "derive", r"\xs ys -> foldBag gplus id (merge xs ys)"
+        )
+        assert code == 0
+        assert "foldBag'_gf" in output
+        assert "Bag Int -> Bag Int -> Int" in output
+        assert "Change Int" in output  # the derivative's type
+
+    def test_no_specialize(self):
+        code, output = run_cli(
+            "derive",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--no-specialize",
+        )
+        assert code == 0
+        assert "foldBag'_gf" not in output
+        assert "foldBag'" in output
+
+    def test_no_optimize_keeps_raw_form(self):
+        code, optimized = run_cli("derive", r"\x -> add x (add 1 2)")
+        code2, raw = run_cli(
+            "derive", r"\x -> add x (add 1 2)", "--no-optimize"
+        )
+        assert code == code2 == 0
+        optimized_derivative = next(
+            line for line in optimized.splitlines() if "derivative" in line
+        )
+        raw_derivative = next(
+            line for line in raw.splitlines() if "derivative" in line
+        )
+        assert "add 1 2" not in optimized_derivative  # folded to 3
+        assert len(raw_derivative) >= len(optimized_derivative)
+
+    def test_parse_error_is_reported(self):
+        code, output = run_cli("derive", r"\x -> (")
+        assert code == 1
+        assert "error:" in output
+
+    def test_type_error_is_reported(self):
+        code, output = run_cli("derive", "add true 1")
+        assert code == 1
+        assert "error:" in output
+
+
+class TestCheck:
+    def test_reports_analyses(self):
+        code, output = run_cli(
+            "check", r"\xs ys -> foldBag gplus id (merge xs ys)"
+        )
+        assert code == 0
+        assert "nil-change analysis" in output
+        assert "self-maintainable" in output
+        assert "foldBag" in output
+
+    def test_non_self_maintainable_flagged(self):
+        code, output = run_cli("check", r"\x y -> mul x y")
+        assert code == 0
+        assert "NOT self-maintainable" in output
+
+
+class TestEval:
+    def test_fold(self):
+        code, output = run_cli("eval", "foldBag gplus id {{1, 2, 3}}")
+        assert code == 0
+        assert output.strip() == "6"
+
+    def test_bag_result(self):
+        code, output = run_cli("eval", "merge {{1}} {{2}}")
+        assert code == 0
+        assert "Bag" in output
+
+    def test_strict_flag(self):
+        code, output = run_cli("eval", "add 1 2", "--strict")
+        assert code == 0
+        assert output.strip() == "3"
+
+    def test_unbound_variable(self):
+        code, output = run_cli("eval", "mystery")
+        assert code == 1
+        assert "error" in output
+
+
+class TestArgparse:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

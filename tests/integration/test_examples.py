@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example runs to completion (each contains
+its own internal assertions)."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    module = load_example(name)
+    assert hasattr(module, "main"), f"{name} must define main()"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    assert buffer.getvalue().strip(), f"{name} should produce output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "wordcount_mapreduce.py",
+        "higher_order_changes.py",
+        "view_maintenance.py",
+        "incremental_statistics.py",
+    } <= set(EXAMPLES)

@@ -1,0 +1,95 @@
+"""End-to-end: incremental wordcount over generated corpora and change
+scripts, cross-checked against recomputation and the Python oracle."""
+
+import pytest
+
+from repro.data.change_values import oplus_value
+from repro.incremental.engine import incrementalize
+from repro.mapreduce.skeleton import histogram_term
+from repro.mapreduce.workloads import (
+    ChangeScript,
+    add_document_change,
+    add_word_change,
+    make_corpus,
+    remove_word_change,
+)
+from repro.data.bag import Bag
+
+from tests.strategies import REGISTRY
+
+
+@pytest.fixture(scope="module")
+def program():
+    return incrementalize(histogram_term(REGISTRY), REGISTRY)
+
+
+class TestIncrementalHistogram:
+    def test_base_run_matches_oracle(self, program):
+        corpus = make_corpus(1500, vocabulary_size=40, seed=9)
+        output = program.initialize(corpus.documents)
+        assert output == corpus.word_histogram()
+
+    def test_long_change_script(self, program):
+        corpus = make_corpus(800, vocabulary_size=30, seed=10)
+        program.initialize(corpus.documents)
+        script = ChangeScript(corpus, length=60, seed=11)
+        for change in script:
+            program.step(change)
+        assert program.verify()
+
+    def test_document_additions(self, program):
+        corpus = make_corpus(400, vocabulary_size=10, seed=12)
+        program.initialize(corpus.documents)
+        program.step(
+            add_document_change(10_000, Bag.of(1, 2, 3, 1))
+        )
+        assert program.output.get(1, 0) == corpus.word_histogram().get(1, 0) + 2
+        assert program.verify()
+
+    def test_word_count_reaching_zero_disappears(self, program):
+        from repro.data.pmap import PMap
+
+        documents = PMap({1: Bag.of(5)})
+        program.initialize(documents)
+        program.step(remove_word_change(1, 5))
+        assert 5 not in program.output
+        assert program.verify()
+
+    def test_steps_never_rerun_base_folds(self, program):
+        corpus = make_corpus(500, vocabulary_size=20, seed=13)
+        program.initialize(corpus.documents)
+        folds_after_init = program.stats.calls("foldMap")
+        for change in ChangeScript(corpus, length=25, seed=14):
+            program.step(change)
+        # The base foldMap over the whole corpus never runs again; the
+        # derivative's folds run on singleton change-maps via foldMap'_gf.
+        assert program.stats.calls("foldMap") == folds_after_init
+        assert program.stats.calls("foldMap'_gf") >= 25
+
+
+class TestScalingShape:
+    """A miniature of Fig. 7: the incremental step cost stays flat as the
+    corpus grows, while recomputation grows (checked via operation
+    counts, which are stable, rather than wall-clock)."""
+
+    def test_step_work_independent_of_corpus_size(self):
+        costs = []
+        for total_words in (400, 1600, 6400):
+            corpus = make_corpus(total_words, vocabulary_size=50, seed=3)
+            program = incrementalize(histogram_term(REGISTRY), REGISTRY)
+            program.initialize(corpus.documents)
+            program.stats.reset()
+            for index in range(10):
+                program.step(add_word_change(index % corpus.document_count, 7))
+            # Proxy for work: thunks forced during the steps.
+            costs.append(program.stats.thunks_forced)
+        assert costs[0] == costs[1] == costs[2]
+
+    def test_incremental_equals_recompute_at_each_size(self):
+        for total_words in (300, 1200):
+            corpus = make_corpus(total_words, vocabulary_size=25, seed=4)
+            program = incrementalize(histogram_term(REGISTRY), REGISTRY)
+            program.initialize(corpus.documents)
+            for change in ChangeScript(corpus, length=15, seed=5):
+                program.step(change)
+            assert program.verify()

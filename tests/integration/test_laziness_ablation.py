@@ -1,0 +1,57 @@
+"""The Sec. 4.3/4.5 laziness lesson, as tests: without call-by-need, the
+self-maintainable derivative's unused base argument (``merge xs ys``)
+gets computed anyway, costing O(n) per step."""
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.derive.derive import derive_program
+from repro.lang.parser import parse
+from repro.semantics.eval import apply_value, evaluate
+from repro.semantics.thunk import EvalStats
+
+from tests.strategies import REGISTRY
+
+GRAND_TOTAL = r"\xs ys -> foldBag gplus id (merge xs ys)"
+
+
+def run_derivative(strict: bool) -> EvalStats:
+    stats = EvalStats()
+    term = parse(GRAND_TOTAL, REGISTRY)
+    derived = derive_program(term, REGISTRY)
+    derivative = evaluate(derived, strict=strict, stats=stats)
+    change = apply_value(
+        derivative,
+        Bag.of(1, 2, 3),
+        GroupChange(BAG_GROUP, Bag.of(4)),
+        Bag.of(5),
+        GroupChange(BAG_GROUP, Bag.empty()),
+    )
+    assert change == GroupChange(REGISTRY.group_for_type(_int()), 4)
+    return stats
+
+
+def _int():
+    from repro.lang.types import TInt
+
+    return TInt
+
+
+def test_lazy_derivative_never_merges_bases():
+    stats = run_derivative(strict=False)
+    assert stats.calls("merge") == 0
+
+
+def test_strict_derivative_wastes_a_merge():
+    # Strict evaluation computes the dead base argument: the paper's
+    # "to achieve good performance our current implementation requires
+    # some form of dead code elimination, such as laziness".
+    stats = run_derivative(strict=True)
+    assert stats.calls("merge") == 1
+
+
+def test_both_modes_agree_on_results():
+    lazy = run_derivative(strict=False)
+    strict = run_derivative(strict=True)
+    # Same answer (asserted inside run_derivative); different work.
+    assert strict.calls("merge") > lazy.calls("merge")

@@ -1,0 +1,130 @@
+"""Stress tests: deep and wide programs through the whole pipeline.
+
+These pin the engineering envelope: recursion over term structure must
+handle programs far larger than the examples, and the incremental engine
+must survive thousands of steps (no thunk-chain stack blowups -- a real
+bug caught during benchmarking).
+"""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.derive.derive import derive_program
+from repro.derive.validate import check_derive_correctness
+from repro.incremental.engine import incrementalize
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.infer import type_of
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.types import TInt
+from repro.optimize.pipeline import optimize
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY
+
+
+def deep_add_chain(depth: int):
+    """λx. add (add (… (add x 1) …) 1) 1, ``depth`` levels."""
+    add = REGISTRY.constant("add")
+    body = v.x
+    for _ in range(depth):
+        body = add(body, lit(1))
+    return lam(("x", TInt))(body)
+
+
+def wide_let_chain(width: int):
+    """λx. let a1 = x+1 in let a2 = a1+1 in … aW."""
+    add = REGISTRY.constant("add")
+    body = v[f"a{width}"]
+    term = body
+    for index in range(width, 0, -1):
+        previous = v.x if index == 1 else v[f"a{index - 1}"]
+        term = let(f"a{index}", add(previous, lit(1)), term)
+    return lam(("x", TInt))(term)
+
+
+class TestDeepTerms:
+    DEPTH = 300
+
+    def test_pipeline_on_deep_chain(self):
+        program = deep_add_chain(self.DEPTH)
+        assert type_of(program) == (TInt >> TInt)
+        assert apply_value(evaluate(program), 0) == self.DEPTH
+        check_derive_correctness(
+            program, REGISTRY, [5], [GroupChange(INT_ADD_GROUP, 7)]
+        )
+
+    def test_optimizer_on_deep_chain(self):
+        program = deep_add_chain(self.DEPTH)
+        optimized = optimize(program).term
+        assert apply_value(evaluate(optimized), 0) == self.DEPTH
+
+    def test_pretty_parse_roundtrip_on_deep_chain(self):
+        program = deep_add_chain(self.DEPTH)
+        assert parse(pretty(program), REGISTRY) == program
+
+
+class TestWideLets:
+    WIDTH = 200
+
+    def test_pipeline_on_wide_lets(self):
+        program = wide_let_chain(self.WIDTH)
+        assert apply_value(evaluate(program), 0) == self.WIDTH
+        check_derive_correctness(
+            program, REGISTRY, [3], [GroupChange(INT_ADD_GROUP, -1)]
+        )
+
+    def test_caching_engine_on_wide_lets(self):
+        from repro.incremental.caching import CachingIncrementalProgram
+
+        program = CachingIncrementalProgram(wide_let_chain(self.WIDTH), REGISTRY)
+        assert program.initialize(0) == self.WIDTH
+        program.step(GroupChange(INT_ADD_GROUP, 10))
+        assert program.output == self.WIDTH + 10
+        assert program.verify()
+
+
+class TestManySteps:
+    def test_thousands_of_steps_then_recompute(self):
+        program = incrementalize(
+            parse(r"\xs ys -> foldBag gplus id (merge xs ys)", REGISTRY),
+            REGISTRY,
+        )
+        program.initialize(Bag.of(1), Bag.of(2))
+        for index in range(5_000):
+            program.step(
+                GroupChange(BAG_GROUP, Bag.of(index % 10)),
+                GroupChange(BAG_GROUP, Bag.empty()),
+            )
+        # Forcing the lazily-advanced inputs after 5k steps must not
+        # overflow the stack (regression: nested thunk chains).
+        assert program.verify()
+
+    def test_mixed_change_kinds_over_many_steps(self):
+        from repro.data.change_values import Replace
+
+        program = incrementalize(
+            parse(r"\xs -> foldBag gplus id xs", REGISTRY), REGISTRY
+        )
+        program.initialize(Bag.of(1, 2, 3))
+        for index in range(500):
+            if index % 97 == 0:
+                program.step(Replace(Bag.of(index)))
+            else:
+                program.step(GroupChange(BAG_GROUP, Bag.of(1)))
+        assert program.verify()
+
+
+class TestBigValues:
+    def test_histogram_on_large_sparse_corpus(self):
+        from repro.data.pmap import PMap
+        from repro.mapreduce.skeleton import histogram_term
+
+        documents = PMap(
+            {doc_id: Bag.of(doc_id % 997) for doc_id in range(5_000)}
+        )
+        program = incrementalize(histogram_term(REGISTRY), REGISTRY)
+        output = program.initialize(documents)
+        assert sum(output.values()) == 5_000

@@ -1,0 +1,70 @@
+"""Tests for typing contexts and change contexts (Fig. 4d)."""
+
+import pytest
+
+from repro.lang.context import Context
+from repro.lang.types import TBag, TChange, TFun, TInt
+
+from tests.strategies import REGISTRY
+
+
+class TestBasics:
+    def test_empty(self):
+        ctx = Context.empty()
+        assert len(ctx) == 0
+        assert "x" not in ctx
+        assert ctx.lookup("x") is None
+
+    def test_of_and_lookup(self):
+        ctx = Context.of(x=TInt, xs=TBag(TInt))
+        assert ctx["x"] == TInt
+        assert ctx.lookup("xs") == TBag(TInt)
+        assert set(ctx.names()) == {"x", "xs"}
+        assert dict(ctx.items())["x"] == TInt
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            Context.empty()["nope"]
+
+    def test_extend_is_persistent(self):
+        base = Context.of(x=TInt)
+        extended = base.extend("y", TInt)
+        assert "y" in extended
+        assert "y" not in base
+
+    def test_extend_shadows(self):
+        ctx = Context.of(x=TInt).extend("x", TBag(TInt))
+        assert ctx["x"] == TBag(TInt)
+
+    def test_equality_and_hash(self):
+        assert Context.of(x=TInt) == Context.of(x=TInt)
+        assert Context.of(x=TInt) != Context.of(x=TBag(TInt))
+        assert hash(Context.of(x=TInt)) == hash(Context.of(x=TInt))
+
+    def test_repr(self):
+        assert repr(Context.empty()) == "Context()"
+        assert "x: Int" in repr(Context.of(x=TInt))
+
+
+class TestChangeContext:
+    """ΔΓ: every binding x : τ gains dx : Δτ (Fig. 4d)."""
+
+    def test_adds_change_bindings(self):
+        gamma = Context.of(x=TInt, xs=TBag(TInt))
+        delta_gamma = gamma.change_context(REGISTRY.change_type)
+        assert delta_gamma["x"] == TInt  # Γ kept
+        assert delta_gamma["dx"] == TChange(TInt)
+        assert delta_gamma["dxs"] == TChange(TBag(TInt))
+        assert len(delta_gamma) == 4
+
+    def test_function_bindings_get_structural_changes(self):
+        gamma = Context.of(f=TFun(TInt, TInt))
+        delta_gamma = gamma.change_context(REGISTRY.change_type)
+        assert delta_gamma["df"] == TFun(
+            TInt, TFun(TChange(TInt), TChange(TInt))
+        )
+
+    def test_empty_context(self):
+        assert Context.empty().change_context(REGISTRY.change_type) == (
+            Context.empty()
+        )

@@ -1,0 +1,180 @@
+"""Tests for unification-based type inference."""
+
+import pytest
+
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.context import Context
+from repro.lang.infer import (
+    AmbiguousTypeError,
+    InferenceError,
+    OccursCheckError,
+    UnificationError,
+    Unifier,
+    infer_type,
+    type_of,
+)
+from repro.lang.terms import Lam
+from repro.lang.types import (
+    TBag,
+    TBool,
+    TFun,
+    TGroup,
+    TInt,
+    TMap,
+    TPair,
+    TVar,
+    fun_type,
+)
+
+
+class TestUnifier:
+    def test_unify_var(self):
+        unifier = Unifier()
+        unifier.unify(TVar("a"), TInt)
+        assert unifier.zonk(TVar("a")) == TInt
+
+    def test_unify_functions(self):
+        unifier = Unifier()
+        unifier.unify(
+            TFun(TVar("a"), TVar("b")), TFun(TInt, TBool)
+        )
+        assert unifier.zonk(TVar("a")) == TInt
+        assert unifier.zonk(TVar("b")) == TBool
+
+    def test_unify_base_args(self):
+        unifier = Unifier()
+        unifier.unify(TBag(TVar("a")), TBag(TInt))
+        assert unifier.zonk(TVar("a")) == TInt
+
+    def test_mismatch_raises(self):
+        unifier = Unifier()
+        with pytest.raises(UnificationError):
+            unifier.unify(TInt, TBool)
+
+    def test_arity_mismatch_raises(self):
+        unifier = Unifier()
+        with pytest.raises(UnificationError):
+            unifier.unify(TBag(TInt), TMap(TInt, TInt))
+
+    def test_occurs_check(self):
+        unifier = Unifier()
+        with pytest.raises(OccursCheckError):
+            unifier.unify(TVar("a"), TFun(TVar("a"), TInt))
+
+    def test_transitive_resolution(self):
+        unifier = Unifier()
+        unifier.unify(TVar("a"), TVar("b"))
+        unifier.unify(TVar("b"), TInt)
+        assert unifier.zonk(TVar("a")) == TInt
+
+
+class TestInference:
+    def test_literals(self):
+        assert type_of(lit(3)) == TInt
+        assert type_of(lit(True)) == TBool
+
+    def test_annotated_lambda(self):
+        assert type_of(lam(("x", TInt))(v.x)) == TFun(TInt, TInt)
+
+    def test_unannotated_lambda_from_usage(self, registry):
+        term = lam("x")(registry.constant("negateInt")(v.x))
+        assert type_of(term) == TFun(TInt, TInt)
+
+    def test_annotations_are_filled_in(self, registry):
+        term = lam("x")(registry.constant("negateInt")(v.x))
+        annotated, _ = infer_type(term)
+        assert isinstance(annotated, Lam)
+        assert annotated.param_type == TInt
+
+    def test_context_lookup(self):
+        assert type_of(v.x, Context.of(x=TInt)) == TInt
+
+    def test_unbound_variable(self):
+        with pytest.raises(InferenceError):
+            type_of(v.nope)
+
+    def test_let(self, registry):
+        term = let("x", lit(1), registry.constant("add")(v.x, v.x))
+        assert type_of(term) == TInt
+
+    def test_application_mismatch(self, registry):
+        with pytest.raises(InferenceError):
+            type_of(registry.constant("add")(lit(True), lit(1)))
+
+    def test_over_application(self, registry):
+        with pytest.raises(InferenceError):
+            type_of(registry.constant("negateInt")(lit(1), lit(2)))
+
+    def test_ambiguous_identity_rejected(self):
+        with pytest.raises(AmbiguousTypeError):
+            infer_type(lam("x")(v.x))
+
+    def test_ambiguous_allowed_when_requested(self):
+        _, ty = infer_type(lam("x")(v.x), require_ground=False)
+        assert isinstance(ty, TFun)
+
+
+class TestPolymorphicConstants:
+    def test_merge_at_int_bags(self, registry):
+        merge = registry.constant("merge")
+        term = lam(("xs", TBag(TInt)))(merge(v.xs, v.xs))
+        assert type_of(term) == TFun(TBag(TInt), TBag(TInt))
+
+    def test_merge_at_nested_bags(self, registry):
+        merge = registry.constant("merge")
+        nested = TBag(TBag(TInt))
+        term = lam(("xs", nested))(merge(v.xs, v.xs))
+        assert type_of(term) == TFun(nested, nested)
+
+    def test_fold_bag(self, registry):
+        const = registry.constant
+        term = lam(("xs", TBag(TInt)))(
+            const("foldBag")(const("gplus"), const("id"), v.xs)
+        )
+        assert type_of(term) == TFun(TBag(TInt), TInt)
+
+    def test_pair_projections(self, registry):
+        const = registry.constant
+        term = lam(("p", TPair(TInt, TBool)))(const("fst")(v.p))
+        assert type_of(term) == TFun(TPair(TInt, TBool), TInt)
+
+    def test_group_on_maps_key_stays_ambiguous(self, registry):
+        # groupOnMaps gplus : Group (Map ?k Int) -- the key type is
+        # unconstrained, so strict inference refuses it...
+        const = registry.constant
+        term = const("groupOnMaps")(const("gplus"))
+        with pytest.raises(AmbiguousTypeError):
+            infer_type(term)
+        # ...but relaxed inference reveals the shape.
+        _, ty = infer_type(term, require_ground=False)
+        assert ty.name == "Group"
+        assert ty.args[0].name == "Map"
+        assert ty.args[0].args[1] == TInt
+
+    def test_independent_instantiations(self, registry):
+        # The same constant used at two types in one term.
+        const = registry.constant
+        term = lam(("x", TInt), ("b", TBag(TInt)))(
+            const("pair")(
+                const("id")(v.x),
+                const("id")(v.b),
+            )
+        )
+        assert type_of(term) == fun_type(
+            TInt, TBag(TInt), TPair(TInt, TBag(TInt))
+        )
+
+
+class TestHigherOrder:
+    def test_app_combinator(self, registry):
+        term = lam(("f", TFun(TInt, TInt)), ("x", TInt))(v.f(v.x))
+        assert type_of(term) == fun_type(TFun(TInt, TInt), TInt, TInt)
+
+    def test_church_like_composition(self, registry):
+        const = registry.constant
+        term = lam(("x", TInt))(
+            const("compose")(
+                const("negateInt"), const("negateInt"), v.x
+            )
+        )
+        assert type_of(term) == TFun(TInt, TInt)

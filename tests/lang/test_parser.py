@@ -1,0 +1,173 @@
+"""Tests for the lexer and parser."""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse, parse_type
+from repro.lang.terms import App, Lam, Let, Lit, Var
+from repro.lang.types import TBag, TBase, TBool, TFun, TInt
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [token.kind for token in tokenize(r"\x -> x")]
+        assert kinds == ["LAMBDA", "IDENT", "ARROW", "IDENT", "EOF"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x -- this is a comment\ny")
+        assert [t.text for t in tokens if t.kind == "IDENT"] == ["x", "y"]
+
+    def test_positions(self):
+        token = tokenize("  foo")[0]
+        assert (token.line, token.column) == (1, 3)
+
+    def test_negative_int(self):
+        token = tokenize("-42")[0]
+        assert token.kind == "INT" and token.text == "-42"
+
+    def test_bag_braces(self):
+        kinds = [token.kind for token in tokenize("{{1}}")]
+        assert kinds == ["LBAG", "INT", "RBAG", "EOF"]
+
+    def test_primed_identifiers(self):
+        token = tokenize("merge'")[0]
+        assert token.kind == "IDENT" and token.text == "merge'"
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+
+class TestParseTerms:
+    def test_variable(self):
+        assert parse("x") == Var("x")
+
+    def test_lambda_multi_binder(self):
+        assert parse(r"\x y -> x") == Lam("x", Lam("y", Var("x")))
+
+    def test_annotated_binder(self):
+        term = parse(r"\(x: Int) -> x")
+        assert term == Lam("x", Var("x"), TInt)
+
+    def test_application_left_associative(self):
+        assert parse("f a b") == App(App(Var("f"), Var("a")), Var("b"))
+
+    def test_parenthesized_argument(self):
+        assert parse("f (g x)") == App(Var("f"), App(Var("g"), Var("x")))
+
+    def test_let(self):
+        term = parse("let x = 1 in x")
+        assert term == Let("x", Lit(1, TInt), Var("x"))
+
+    def test_nested_let(self):
+        term = parse("let x = 1 in let y = x in y")
+        assert isinstance(term.body, Let)
+
+    def test_literals(self):
+        assert parse("42") == Lit(42, TInt)
+        assert parse("true") == Lit(True, TBool)
+        assert parse("false") == Lit(False, TBool)
+        assert parse("(-3)") == Lit(-3, TInt)
+
+    def test_bag_literal(self):
+        term = parse("{{1, 1, 2}}")
+        assert term == Lit(Bag({1: 2, 2: 1}), TBag(TInt))
+
+    def test_bag_literal_negative_multiplicity(self):
+        term = parse("{{1, ~2}}")
+        assert term.value == Bag({1: 1, 2: -1})
+
+    def test_bag_literal_negative_element(self):
+        term = parse("{{(-3)}}")
+        assert term.value == Bag({-3: 1})
+
+    def test_empty_bag(self):
+        assert parse("{{}}").value == Bag.empty()
+
+    def test_lambda_body_extends_right(self):
+        term = parse(r"\x -> f x")
+        assert term == Lam("x", App(Var("f"), Var("x")))
+
+    def test_constant_resolution(self, registry):
+        term = parse("merge xs ys", registry)
+        head = term.fn.fn
+        assert head.spec.name == "merge"
+
+    def test_unregistered_names_are_variables(self, registry):
+        assert parse("frobnicate", registry) == Var("frobnicate")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "f (",
+            r"\ -> x",
+            "let x = 1",
+            "let x 1 in x",
+            "{{true}}",
+            "f )",
+            "1 2 3 )",
+        ],
+    )
+    def test_bad_syntax(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse("x y )")
+
+
+class TestParseTypes:
+    def test_base(self):
+        assert parse_type("Int") == TInt
+
+    def test_arrow_right_associative(self):
+        assert parse_type("Int -> Int -> Bool") == TFun(
+            TInt, TFun(TInt, TBool)
+        )
+
+    def test_applied_constructor(self):
+        assert parse_type("Bag Int") == TBag(TInt)
+        assert parse_type("Map Int (Bag Int)") == TBase(
+            "Map", (TInt, TBag(TInt))
+        )
+
+    def test_parenthesized(self):
+        assert parse_type("(Int -> Int) -> Int") == TFun(
+            TFun(TInt, TInt), TInt
+        )
+
+    def test_annotation_in_lambda_uses_full_types(self):
+        term = parse(r"\(xs: Bag Int) -> xs")
+        assert term.param_type == TBag(TInt)
+
+
+class TestPairSyntax:
+    def test_literal_pair(self):
+        term = parse("(1, 2)")
+        assert isinstance(term, Lit)
+        assert term.value == (1, 2)
+        assert term.type.name == "Pair"
+
+    def test_nested_literal_pair(self):
+        term = parse("(1, (true, (-2)))")
+        assert term.value == (1, (True, -2))
+
+    def test_non_literal_pair_desugars(self, registry):
+        term = parse("(x, 2)", registry)
+        head = term.fn.fn
+        assert head.spec.name == "pair"
+
+    def test_parenthesized_term_is_not_a_pair(self):
+        assert parse("(1)") == Lit(1, TInt)
+
+    def test_pair_roundtrip(self, registry):
+        from repro.lang.pretty import pretty
+
+        for source in ["(1, 2)", "((-1), true)", "(fst p, 2)"]:
+            term = parse(source, registry)
+            assert parse(pretty(term), registry) == term

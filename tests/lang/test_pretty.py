@@ -1,0 +1,93 @@
+"""Pretty-printer tests, including the parse∘pretty round-trip property."""
+
+from hypothesis import given
+
+from repro.data.bag import Bag
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.parser import parse, parse_type
+from repro.lang.pretty import pretty, pretty_type
+from repro.lang.terms import Lit
+from repro.lang.types import TBag, TBase, TBool, TFun, TInt
+
+from tests.strategies import REGISTRY, bags_of_ints, first_order_terms
+
+
+class TestPrettyTypes:
+    def test_base(self):
+        assert pretty_type(TInt) == "Int"
+
+    def test_arrow(self):
+        assert pretty_type(TFun(TInt, TBool)) == "Int -> Bool"
+
+    def test_arrow_argument_parenthesized(self):
+        assert pretty_type(TFun(TFun(TInt, TInt), TInt)) == "(Int -> Int) -> Int"
+
+    def test_applied_constructor(self):
+        assert pretty_type(TBag(TInt)) == "Bag Int"
+        assert (
+            pretty_type(TBase("Map", (TInt, TBag(TInt)))) == "Map Int (Bag Int)"
+        )
+
+    def test_type_roundtrip(self):
+        for source in [
+            "Int",
+            "Bag Int",
+            "Map Int (Bag Int)",
+            "(Int -> Int) -> Bag Int -> Int",
+            "Group (Bag Int)",
+        ]:
+            ty = parse_type(source)
+            assert parse_type(pretty_type(ty)) == ty
+
+
+class TestPrettyTerms:
+    def test_application_spacing(self):
+        assert pretty(v.f(v.x, v.y)) == "f x y"
+
+    def test_nested_application_parenthesized(self):
+        assert pretty(v.f(v.g(v.x))) == "f (g x)"
+
+    def test_lambda_collapses_binders(self):
+        assert pretty(lam("x", "y")(v.x)) == "\\x y -> x"
+
+    def test_annotated_binder(self):
+        assert pretty(lam(("x", TInt))(v.x)) == "\\(x: Int) -> x"
+
+    def test_let(self):
+        assert pretty(let("x", 1, v.x)) == "let x = 1 in x"
+
+    def test_literals(self):
+        assert pretty(lit(5)) == "5"
+        assert pretty(lit(-5)) == "(-5)"
+        assert pretty(lit(True)) == "true"
+
+    def test_bag_literal(self):
+        rendered = pretty(Lit(Bag({1: 2, 2: -1}), TBag(TInt)))
+        assert rendered == "{{1, 1, ~2}}"
+
+    def test_lambda_argument_parenthesized(self):
+        term = v.f(lam("x")(v.x))
+        assert pretty(term) == "f (\\x -> x)"
+
+
+class TestRoundTrip:
+    def test_handwritten_corpus(self, registry):
+        sources = [
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "let total = foldBag gplus id xs in add total 1",
+            r"\f x -> f x",
+            "{{1, 1, ~2}}",
+            r"\(xs: Bag Int) -> merge xs {{}}",
+            "ifThenElse true 1 2",
+        ]
+        for source in sources:
+            term = parse(source, registry)
+            assert parse(pretty(term), registry) == term
+
+    @given(first_order_terms(TInt, context=(("x", TInt),), fuel=3))
+    def test_generated_roundtrip(self, term):
+        assert parse(pretty(term), REGISTRY) == term
+
+    @given(first_order_terms(TBag(TInt), context=(("xs", TBag(TInt)),), fuel=3))
+    def test_generated_bag_roundtrip(self, term):
+        assert parse(pretty(term), REGISTRY) == term

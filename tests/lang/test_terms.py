@@ -1,0 +1,76 @@
+"""Tests for term construction and equality."""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.lang.builders import app, lam, let, lit, v
+from repro.lang.terms import App, Lam, Let, Lit, Var
+from repro.lang.types import TBag, TBool, TInt
+
+
+class TestBuilders:
+    def test_var_factory(self):
+        assert v.xs == Var("xs")
+        assert v["weird name"] == Var("weird name")
+
+    def test_call_is_application(self):
+        term = v.f(v.x, v.y)
+        assert term == App(App(Var("f"), Var("x")), Var("y"))
+
+    def test_call_coerces_literals(self):
+        term = v.f(1, True)
+        assert term == App(App(Var("f"), Lit(1, TInt)), Lit(True, TBool))
+
+    def test_lam_multi(self):
+        term = lam("x", "y")(v.x)
+        assert term == Lam("x", Lam("y", Var("x")))
+
+    def test_lam_annotated(self):
+        term = lam(("x", TInt))(v.x)
+        assert term == Lam("x", Var("x"), TInt)
+
+    def test_lam_requires_params(self):
+        with pytest.raises(ValueError):
+            lam()
+
+    def test_let(self):
+        term = let("x", 1, v.x)
+        assert term == Let("x", Lit(1, TInt), Var("x"))
+
+    def test_lit_inference(self):
+        assert lit(3) == Lit(3, TInt)
+        assert lit(True) == Lit(True, TBool)
+        assert lit(Bag.of(1), TBag(TInt)).type == TBag(TInt)
+        with pytest.raises(TypeError):
+            lit(Bag.of(1))
+
+    def test_app_helper(self):
+        assert app(v.f, v.x) == App(Var("f"), Var("x"))
+
+
+class TestEquality:
+    def test_structural(self):
+        assert lam("x")(v.x) == lam("x")(v.x)
+        assert lam("x")(v.x) != lam("y")(v.y)  # name-sensitive
+
+    def test_lit_distinguishes_bool_and_int(self):
+        # True == 1 in Python; literals must not conflate them.
+        assert Lit(True, TBool) != Lit(1, TInt)
+        assert Lit(True, TBool) != Lit(1, TBool)
+
+    def test_lit_hash_with_unhashable_value(self):
+        # Literals of unhashable values still hash (by type only).
+        unhashable = Lit([1, 2], TInt)
+        assert isinstance(hash(unhashable), int)
+
+    def test_const_equality_by_name(self, registry):
+        assert registry.constant("merge") == registry.constant("merge")
+        assert registry.constant("merge") != registry.constant("negate")
+        assert hash(registry.constant("id")) == hash(registry.constant("id"))
+
+
+class TestRepr:
+    def test_reprs_render(self):
+        assert repr(Var("x")) == "x"
+        assert "let" in repr(let("x", 1, v.x))
+        assert "\\x" in repr(lam("x")(v.x))

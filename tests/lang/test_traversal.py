@@ -1,0 +1,162 @@
+"""Tests for free variables, substitution, α-equivalence, spines, and the
+Derive hygiene rename."""
+
+from repro.lang.builders import lam, let, v
+from repro.lang.terms import App, Lam, Lit, Var
+from repro.lang.traversal import (
+    alpha_equivalent,
+    bound_variables,
+    free_variables,
+    fresh_name,
+    is_closed,
+    map_subterms,
+    rename_d_variables,
+    spine,
+    substitute,
+    subterms,
+    term_size,
+    unspine,
+)
+from repro.lang.types import TInt
+
+
+class TestFreeVariables:
+    def test_var_is_free(self):
+        assert free_variables(v.x) == {"x"}
+
+    def test_lambda_binds(self):
+        assert free_variables(lam("x")(v.x)) == set()
+        assert free_variables(lam("x")(v.y)) == {"y"}
+
+    def test_let_binds_body_only(self):
+        term = let("x", v.x, v.x)  # the bound x is the *outer* x
+        assert free_variables(term) == {"x"}
+
+    def test_app(self):
+        assert free_variables(v.f(v.x)) == {"f", "x"}
+
+    def test_is_closed(self):
+        assert is_closed(lam("x")(v.x))
+        assert not is_closed(v.x)
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert substitute(v.x, "x", Lit(1, TInt)) == Lit(1, TInt)
+        assert substitute(v.y, "x", Lit(1, TInt)) == v.y
+
+    def test_shadowing_stops_substitution(self):
+        term = lam("x")(v.x)
+        assert substitute(term, "x", Lit(1, TInt)) == term
+
+    def test_capture_avoidance_lambda(self):
+        # (λy. x)[x := y] must not capture: result is λy'. y.
+        term = Lam("y", Var("x"))
+        result = substitute(term, "x", Var("y"))
+        assert isinstance(result, Lam)
+        assert result.param != "y"
+        assert result.body == Var("y")
+
+    def test_capture_avoidance_let(self):
+        term = let("y", Lit(1, TInt), v.x)
+        result = substitute(term, "x", Var("y"))
+        assert result.name != "y"
+        assert result.body == Var("y")
+
+    def test_substitution_in_let_bound(self):
+        term = let("y", v.x, v.y)
+        result = substitute(term, "x", Lit(5, TInt))
+        assert result.bound == Lit(5, TInt)
+
+
+class TestAlphaEquivalence:
+    def test_renamed_binders_equal(self):
+        assert alpha_equivalent(lam("x")(v.x), lam("y")(v.y))
+        assert alpha_equivalent(
+            let("a", Lit(1, TInt), v.a), let("b", Lit(1, TInt), v.b)
+        )
+
+    def test_free_variables_matter(self):
+        assert not alpha_equivalent(v.x, v.y)
+        assert alpha_equivalent(v.x, v.x)
+
+    def test_structure_matters(self):
+        assert not alpha_equivalent(lam("x")(v.x), v.x)
+
+    def test_mixed_binding_depth(self):
+        left = lam("x", "y")(v.x)
+        right = lam("a", "b")(v.b)
+        assert not alpha_equivalent(left, right)
+
+
+class TestSpines:
+    def test_spine_unspine_roundtrip(self):
+        term = v.f(v.a, v.b, v.c)
+        head, arguments = spine(term)
+        assert head == v.f
+        assert arguments == [v.a, v.b, v.c]
+        assert unspine(head, arguments) == term
+
+    def test_spine_of_atom(self):
+        head, arguments = spine(v.x)
+        assert head == v.x and arguments == []
+
+
+class TestMisc:
+    def test_term_size(self):
+        assert term_size(v.x) == 1
+        assert term_size(v.f(v.x)) == 3
+        assert term_size(lam("x")(v.x)) == 2
+
+    def test_subterms_preorder(self):
+        term = v.f(v.x)
+        nodes = list(subterms(term))
+        assert nodes[0] == term
+        assert v.f in nodes and v.x in nodes
+
+    def test_fresh_name(self):
+        assert fresh_name("x", {"y"}) == "x"
+        assert fresh_name("x", {"x"}) == "x_1"
+        assert fresh_name("x", {"x", "x_1"}) == "x_2"
+
+    def test_map_subterms(self):
+        term = v.f(v.x)
+        swapped = map_subterms(term, lambda t: v.z)
+        assert swapped == v.z(v.z)
+
+    def test_bound_variables(self):
+        term = lam("x")(let("y", v.x, v.y))
+        assert bound_variables(term) == {"x", "y"}
+
+
+class TestHygieneRename:
+    def test_d_binders_renamed(self):
+        term = lam("data")(v.data)
+        renamed = rename_d_variables(term)
+        assert isinstance(renamed, Lam)
+        assert not renamed.param.startswith("d")
+        assert alpha_equivalent(term, renamed)
+
+    def test_free_d_variables_untouched(self):
+        # Free variables are the caller's business.
+        assert rename_d_variables(v.delta) == v.delta
+
+    def test_non_d_names_preserved(self):
+        term = lam("xs", "ys")(v.xs(v.ys))
+        assert rename_d_variables(term) == term
+
+    def test_let_binder_renamed(self):
+        term = let("delta", Lit(1, TInt), v.delta)
+        renamed = rename_d_variables(term)
+        assert not renamed.name.startswith("d")
+        assert alpha_equivalent(term, renamed)
+
+    def test_shadowing_restores_original(self):
+        # λdoc. (λdoc. doc) doc -- both binders renamed consistently.
+        inner = lam("doc")(v.doc)
+        term = lam("doc")(App(inner, v.doc))
+        renamed = rename_d_variables(term)
+        assert alpha_equivalent(term, renamed)
+        assert not any(
+            name.startswith("d") for name in bound_variables(renamed)
+        )

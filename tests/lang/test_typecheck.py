@@ -1,0 +1,111 @@
+"""Tests for the checking-mode typechecker, including the Derive typing
+rule Γ, ΔΓ ⊢ Derive(t) : Δτ (Sec. 3.2)."""
+
+import pytest
+
+from repro.derive.derive import derive_program
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.context import Context
+from repro.lang.infer import infer_type
+from repro.lang.parser import parse
+from repro.lang.typecheck import TypeCheckError, check
+from repro.lang.types import TBag, TChange, TFun, TInt
+
+
+class TestCheck:
+    def test_literal(self):
+        assert check(lit(1)) == TInt
+
+    def test_annotated_lambda(self):
+        assert check(lam(("x", TInt))(v.x)) == TFun(TInt, TInt)
+
+    def test_unannotated_lambda_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check(lam("x")(v.x))
+
+    def test_context(self):
+        assert check(v.x, Context.of(x=TInt)) == TInt
+
+    def test_unbound(self):
+        with pytest.raises(TypeCheckError):
+            check(v.x)
+
+    def test_let(self, registry):
+        term = let("x", lit(1), registry.constant("add")(v.x, v.x))
+        assert check(term) == TInt
+
+    def test_polymorphic_spine(self, registry):
+        term = registry.constant("merge")(
+            lit_bag(registry), lit_bag(registry)
+        )
+        assert check(term) == TBag(TInt)
+
+    def test_argument_mismatch(self, registry):
+        term = registry.constant("add")(lit(True), lit(1))
+        with pytest.raises(TypeCheckError):
+            check(term)
+
+    def test_over_application(self, registry):
+        term = registry.constant("negateInt")(lit(1), lit(2))
+        with pytest.raises(TypeCheckError):
+            check(term)
+
+    def test_agrees_with_inference(self, registry):
+        sources = [
+            r"\(xs: Bag Int) (ys: Bag Int) -> foldBag gplus id (merge xs ys)",
+            r"\(x: Int) -> add x 1",
+            "let n = 3 in mul n n",
+        ]
+        for source in sources:
+            term = parse(source, registry)
+            annotated, inferred = infer_type(term)
+            assert check(annotated) == inferred
+
+
+def lit_bag(registry):
+    from repro.data.bag import Bag
+    from repro.lang.terms import Lit
+
+    return Lit(Bag.of(1), TBag(TInt))
+
+
+class TestDeriveTyping:
+    """The static semantics of differentiation: if Γ ⊢ t : τ then
+    Γ, ΔΓ ⊢ Derive(t) : Δτ."""
+
+    def test_closed_first_order_program(self, registry):
+        term = parse(r"\(x: Int) -> add x 1", registry)
+        annotated, ty = infer_type(term)
+        derived = derive_program(annotated, registry)
+        derived_type = check(derived)
+        # Δ(Int → Int) = Int → ΔInt → ΔInt.
+        assert derived_type == TFun(
+            TInt, TFun(TChange(TInt), TChange(TInt))
+        )
+
+    def test_grand_total_derivative_type(self, registry):
+        term = parse(
+            r"\(xs: Bag Int) (ys: Bag Int) -> foldBag gplus id (merge xs ys)",
+            registry,
+        )
+        annotated, _ = infer_type(term)
+        for specialize in (True, False):
+            derived = derive_program(annotated, registry, specialize=specialize)
+            derived_type = check(derived)
+            bag = TBag(TInt)
+            expected = TFun(
+                bag,
+                TFun(
+                    TChange(bag),
+                    TFun(bag, TFun(TChange(bag), TChange(TInt))),
+                ),
+            )
+            assert derived_type == expected
+
+    def test_open_term_in_change_context(self, registry):
+        # Γ = x: Int; ΔΓ adds dx: ΔInt; Derive(add x 1) : ΔInt.
+        term = registry.constant("add")(v.x, lit(1))
+        gamma = Context.of(x=TInt)
+        delta_gamma = gamma.change_context(registry.change_type)
+        derived = derive_program(term, registry, prepare=False)
+        assert check(derived, delta_gamma) == TChange(TInt)

@@ -1,0 +1,105 @@
+"""Tests for the type representation and helpers."""
+
+import pytest
+
+from repro.lang.types import (
+    Schema,
+    TBag,
+    TBase,
+    TBool,
+    TChange,
+    TFun,
+    TGroup,
+    TInt,
+    TMap,
+    TPair,
+    TSum,
+    TVar,
+    TypeVarSupply,
+    apply_substitution,
+    fun_type,
+    is_ground,
+    result_type,
+    type_variables,
+    uncurry_fun_type,
+)
+
+
+class TestConstructors:
+    def test_base_types(self):
+        assert TInt == TBase("Int")
+        assert TBool == TBase("Bool")
+        assert TBag(TInt) == TBase("Bag", (TInt,))
+        assert TMap(TInt, TBool) == TBase("Map", (TInt, TBool))
+        assert TPair(TInt, TInt).name == "Pair"
+        assert TSum(TInt, TBool).name == "Sum"
+        assert TGroup(TInt).args == (TInt,)
+        assert TChange(TBag(TInt)) == TBase("Change", (TBag(TInt),))
+
+    def test_rshift_builds_arrows(self):
+        assert (TInt >> TBool) == TFun(TInt, TBool)
+        # Python's >> is left-associative; use explicit parens (or
+        # fun_type) for curried arrows.
+        assert (TInt >> (TInt >> TBool)) == TFun(TInt, TFun(TInt, TBool))
+
+    def test_equality_is_structural(self):
+        assert TFun(TInt, TBool) == TFun(TInt, TBool)
+        assert TFun(TInt, TBool) != TFun(TBool, TInt)
+        assert TBag(TInt) != TBag(TBool)
+
+
+class TestHelpers:
+    def test_fun_type_right_associates(self):
+        assert fun_type(TInt, TBool, TInt) == TFun(TInt, TFun(TBool, TInt))
+        assert fun_type(TInt) == TInt
+
+    def test_fun_type_empty_raises(self):
+        with pytest.raises(ValueError):
+            fun_type()
+
+    def test_uncurry(self):
+        args, res = uncurry_fun_type(fun_type(TInt, TBool, TBag(TInt)))
+        assert args == (TInt, TBool)
+        assert res == TBag(TInt)
+        assert uncurry_fun_type(TInt) == ((), TInt)
+
+    def test_result_type(self):
+        ty = fun_type(TInt, TBool, TInt)
+        assert result_type(ty, 0) == ty
+        assert result_type(ty, 2) == TInt
+        with pytest.raises(TypeError):
+            result_type(ty, 3)
+
+    def test_type_variables(self):
+        ty = TFun(TVar("a"), TBag(TVar("b")))
+        assert {var.name for var in type_variables(ty)} == {"a", "b"}
+
+    def test_is_ground(self):
+        assert is_ground(TFun(TInt, TBag(TInt)))
+        assert not is_ground(TBag(TVar("a")))
+
+    def test_apply_substitution(self):
+        subst = {"a": TInt, "b": TVar("a")}
+        ty = TFun(TVar("a"), TVar("b"))
+        # Chains resolve: b -> a -> Int.
+        assert apply_substitution(subst, ty) == TFun(TInt, TInt)
+
+
+class TestSchema:
+    def test_mono(self):
+        schema = Schema.mono(TInt)
+        assert schema.vars == ()
+        assert schema.instantiate(TypeVarSupply()) == TInt
+
+    def test_instantiate_freshens(self):
+        schema = Schema(("a",), TFun(TVar("a"), TVar("a")))
+        supply = TypeVarSupply()
+        first = schema.instantiate(supply)
+        second = schema.instantiate(supply)
+        assert first != second  # fresh variables each time
+        assert isinstance(first, TFun)
+        assert first.arg == first.res
+
+    def test_repr(self):
+        schema = Schema(("a",), TVar("a"))
+        assert "forall a" in repr(schema)

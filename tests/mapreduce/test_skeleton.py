@@ -1,0 +1,137 @@
+"""Tests for the Fig. 5 MapReduce skeleton."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.bag import Bag
+from repro.data.pmap import PMap
+from repro.incremental.engine import incrementalize
+from repro.lang.infer import type_of
+from repro.lang.parser import parse_type
+from repro.mapreduce.skeleton import (
+    grand_total_term,
+    histogram_term,
+    map_reduce,
+    word_count_term,
+)
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY
+
+
+@pytest.fixture(scope="module")
+def histogram_value():
+    return evaluate(histogram_term(REGISTRY))
+
+
+def python_histogram(documents: PMap) -> PMap:
+    counts = {}
+    for _, document in documents.items():
+        for word, count in document.counts():
+            counts[word] = counts.get(word, 0) + count
+    return PMap({word: count for word, count in counts.items() if count})
+
+
+class TestTypes:
+    def test_histogram_type(self):
+        assert type_of(histogram_term(REGISTRY)) == parse_type(
+            "Map Int (Bag Int) -> Map Int Int"
+        )
+
+    def test_word_count_is_histogram(self):
+        assert word_count_term(REGISTRY) == histogram_term(REGISTRY)
+
+    def test_grand_total_type(self):
+        assert type_of(grand_total_term(REGISTRY)) == parse_type(
+            "Bag Int -> Bag Int -> Int"
+        )
+
+
+class TestSemantics:
+    def test_empty_corpus(self, histogram_value):
+        assert apply_value(histogram_value, PMap.empty()) == PMap.empty()
+
+    def test_single_document(self, histogram_value):
+        documents = PMap.singleton(1, Bag.of(7, 7, 9))
+        assert apply_value(histogram_value, documents) == PMap({7: 2, 9: 1})
+
+    def test_words_aggregate_across_documents(self, histogram_value):
+        documents = PMap({1: Bag.of(5), 2: Bag.of(5, 6)})
+        assert apply_value(histogram_value, documents) == PMap({5: 2, 6: 1})
+
+    def test_negative_multiplicities_flow_through(self, histogram_value):
+        documents = PMap({1: Bag.of(5), 2: Bag({5: -1})})
+        # Counts cancel: word 5 disappears from the histogram.
+        assert apply_value(histogram_value, documents) == PMap.empty()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=5),
+            st.dictionaries(
+                st.integers(min_value=0, max_value=8),
+                st.integers(min_value=-2, max_value=4).filter(lambda c: c),
+                max_size=5,
+            ),
+            max_size=4,
+        )
+    )
+    def test_against_python_oracle(self, histogram_value, raw):
+        documents = PMap(
+            {doc_id: Bag(words) for doc_id, words in raw.items() if words}
+        )
+        assert apply_value(histogram_value, documents) == python_histogram(
+            documents
+        )
+
+    def test_grand_total_matches_paper(self):
+        program = evaluate(grand_total_term(REGISTRY))
+        assert apply_value(program, Bag.of(1, 1), Bag.of(2, 3, 4)) == 11
+
+
+class TestCustomMapReduce:
+    def test_sum_of_squares_per_word(self):
+        """A different mapReduce instantiation: map each word to its
+        square, keyed by the word -- exercises map_reduce as a reusable
+        combinator with a non-trivial mapper."""
+        from repro.lang.builders import lam, v
+        from repro.lang.types import TBag, TInt, TMap
+
+        const = REGISTRY.constant
+        mapper = lam("key1", "values")(
+            const("foldBag")(
+                const("groupOnBags"),
+                lam("n")(
+                    const("singleton")(
+                        const("pair")(v.n, const("mul")(v.n, v.n))
+                    )
+                ),
+                v.values,
+            )
+        )
+        reducer = lam("key2", "squares")(
+            const("foldBag")(const("gplus"), const("id"), v.squares)
+        )
+        term = map_reduce(
+            REGISTRY,
+            group1=const("groupOnBags"),
+            group3=const("gplus"),
+            mapper=mapper,
+            reducer=reducer,
+            input_var="records",
+            input_type=TMap(TInt, TBag(TInt)),
+        )
+        program = evaluate(term)
+        documents = PMap({1: Bag.of(2, 3)})
+        result = apply_value(program, documents)
+        assert result == PMap({2: 4, 3: 9})
+
+    def test_custom_map_reduce_incrementalizes(self):
+        from repro.mapreduce.workloads import add_word_change
+
+        program = incrementalize(histogram_term(REGISTRY), REGISTRY)
+        program.initialize(PMap({1: Bag.of(5)}))
+        program.step(add_word_change(1, 5))
+        assert program.output == PMap({5: 2})
+        assert program.verify()

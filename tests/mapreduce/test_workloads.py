@@ -1,0 +1,103 @@
+"""Tests for the synthetic corpus and change-script generators."""
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, oplus_value
+from repro.data.pmap import PMap
+from repro.mapreduce.workloads import (
+    ChangeScript,
+    MAP_OF_BAGS_GROUP,
+    add_document_change,
+    add_word_change,
+    make_corpus,
+    remove_word_change,
+)
+
+
+class TestCorpusGeneration:
+    def test_total_words_respected(self):
+        corpus = make_corpus(500, vocabulary_size=20, seed=1)
+        total = sum(
+            document.signed_size() for _, document in corpus.documents.items()
+        )
+        assert total == 500
+
+    def test_vocabulary_bounded(self):
+        corpus = make_corpus(1000, vocabulary_size=10, seed=2)
+        for _, document in corpus.documents.items():
+            for word, _count in document.counts():
+                assert 0 <= word < 10
+
+    def test_document_count_default(self):
+        corpus = make_corpus(1000, seed=3)
+        assert corpus.document_count == 10
+
+    def test_deterministic(self):
+        assert (
+            make_corpus(200, seed=5).documents
+            == make_corpus(200, seed=5).documents
+        )
+        assert (
+            make_corpus(200, seed=5).documents
+            != make_corpus(200, seed=6).documents
+        )
+
+    def test_word_histogram_oracle(self):
+        corpus = make_corpus(300, vocabulary_size=7, seed=4)
+        histogram = corpus.word_histogram()
+        assert sum(histogram.values()) == 300
+
+    def test_explicit_document_count(self):
+        corpus = make_corpus(100, document_count=3, seed=1)
+        assert corpus.document_count == 3
+
+
+class TestChangeConstructors:
+    def test_add_word(self):
+        documents = PMap({1: Bag.of(5)})
+        change = add_word_change(1, 7)
+        assert isinstance(change, GroupChange)
+        updated = oplus_value(documents, change)
+        assert updated[1] == Bag.of(5, 7)
+
+    def test_remove_word(self):
+        documents = PMap({1: Bag.of(5, 7)})
+        updated = oplus_value(documents, remove_word_change(1, 7))
+        assert updated[1] == Bag.of(5)
+
+    def test_remove_last_word_drops_document(self):
+        documents = PMap({1: Bag.of(5)})
+        updated = oplus_value(documents, remove_word_change(1, 5))
+        assert updated == PMap.empty()
+
+    def test_add_document(self):
+        documents = PMap.empty()
+        updated = oplus_value(
+            documents, add_document_change(9, Bag.of(1, 2))
+        )
+        assert updated[9] == Bag.of(1, 2)
+
+
+class TestChangeScript:
+    def test_deterministic_and_sized(self):
+        corpus = make_corpus(200, seed=1)
+        script = ChangeScript(corpus, length=25, seed=2)
+        first = list(script)
+        second = list(script)
+        assert first == second
+        assert len(first) == 25
+
+    def test_apply_all_oracle(self):
+        corpus = make_corpus(200, seed=1)
+        script = ChangeScript(corpus, length=30, seed=3)
+        final_documents, changes = script.apply_all()
+        rebuilt = corpus.documents
+        for change in changes:
+            rebuilt = MAP_OF_BAGS_GROUP.merge(rebuilt, change.delta)
+        assert rebuilt == final_documents
+
+    def test_changes_are_small(self):
+        corpus = make_corpus(200, seed=1)
+        for change in ChangeScript(corpus, length=10, seed=4):
+            assert len(change.delta) == 1  # touches one document
+            [(_, word_bag)] = list(change.delta.items())
+            assert word_bag.total_size() == 1  # one word occurrence

@@ -1,0 +1,97 @@
+"""Tests for A-normal-form conversion."""
+
+from hypothesis import given, settings
+
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.parser import parse
+from repro.lang.terms import App, Lam, Let, Lit, Var
+from repro.optimize.anf import anf_bindings, is_atomic, to_anf
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY, unary_programs
+
+
+def spine_atoms_only(term):
+    """Every application argument in ANF is atomic (or a λ)."""
+    if isinstance(term, App):
+        ok_arg = (
+            is_atomic(term.arg)
+            or isinstance(term.arg, Lam)
+        )
+        return ok_arg and spine_atoms_only(term.fn) and spine_atoms_only(term.arg)
+    if isinstance(term, Lam):
+        return spine_atoms_only(term.body)
+    if isinstance(term, Let):
+        return spine_atoms_only(term.bound) and spine_atoms_only(term.body)
+    return True
+
+
+class TestStructure:
+    def test_atoms_unchanged(self):
+        assert to_anf(v.x) == v.x
+        assert to_anf(lit(1)) == lit(1)
+
+    def test_nested_application_named(self, registry):
+        term = parse("foldBag gplus id (merge xs ys)", registry)
+        normalized = to_anf(term)
+        bindings, result = anf_bindings(normalized)
+        assert len(bindings) >= 1
+        assert any(
+            "merge" in repr(bound) for _, bound in bindings
+        )
+        assert spine_atoms_only(normalized)
+
+    def test_existing_lets_preserved_in_order(self, registry):
+        term = parse("let a = add 1 2 in add a a", registry)
+        bindings, _ = anf_bindings(to_anf(term))
+        assert bindings[0][0] == "a"
+
+    def test_lambda_bodies_not_hoisted(self, registry):
+        term = parse(r"\x -> add (mul x x) 1", registry)
+        normalized = to_anf(term)
+        # The mul stays inside the λ.
+        assert isinstance(normalized, Lam)
+        assert "mul" in repr(normalized.body)
+
+    def test_fresh_names_avoid_existing(self, registry):
+        term = parse("let t1 = add 1 2 in add t1 (mul 3 4)", registry)
+        bindings, _ = anf_bindings(to_anf(term))
+        names = [name for name, _ in bindings]
+        assert len(names) == len(set(names))
+
+    def test_deep_nesting_flattens(self, registry):
+        term = parse("add (add (add 1 2) 3) 4", registry)
+        normalized = to_anf(term)
+        assert spine_atoms_only(normalized)
+        bindings, result = anf_bindings(normalized)
+        assert len(bindings) >= 2
+
+
+class TestSemanticsPreserved:
+    CORPUS = [
+        "add (add 1 2) (mul 3 4)",
+        "foldBag gplus id (merge {{1}} {{2, 3}})",
+        r"(\x -> mul x x) (add 2 3)",
+        "let a = add 1 1 in mul a (add a 1)",
+        r"ifThenElse (ltInt 1 2) (add 1 1) 9",
+    ]
+
+    def test_corpus(self, registry):
+        for source in self.CORPUS:
+            term = parse(source, registry)
+            assert evaluate(to_anf(term)) == evaluate(term), source
+
+    @settings(max_examples=50, deadline=None)
+    @given(unary_programs())
+    def test_generated_programs(self, case):
+        program = case["program"]
+        normalized = to_anf(program)
+        original = apply_value(evaluate(program), case["input"])
+        after = apply_value(evaluate(normalized), case["input"])
+        assert original == after
+
+    @settings(max_examples=30, deadline=None)
+    @given(unary_programs())
+    def test_anf_is_idempotent(self, case):
+        once = to_anf(case["program"])
+        assert to_anf(once) == once

@@ -1,0 +1,152 @@
+"""Unit tests for the individual optimizer passes."""
+
+from repro.data.bag import Bag
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.parser import parse
+from repro.lang.terms import App, Lam, Let, Lit, Var
+from repro.lang.types import TBag, TInt
+from repro.optimize.beta import beta_reduce, count_occurrences
+from repro.optimize.constant_fold import constant_fold
+from repro.optimize.dce import eliminate_dead_lets
+from repro.optimize.pipeline import optimize
+from repro.semantics.eval import evaluate
+
+
+class TestCountOccurrences:
+    def test_counts_free_occurrences(self):
+        assert count_occurrences(v.x(v.x), "x") == 2
+        assert count_occurrences(lam("x")(v.x), "x") == 0
+        assert count_occurrences(let("x", v.x, v.x), "x") == 1  # bound side
+
+    def test_let_shadowing(self):
+        term = let("x", lit(1), v.x)
+        assert count_occurrences(term, "x") == 0
+
+
+class TestBetaReduce:
+    def test_cheap_argument_inlined(self):
+        term = App(lam("x")(v.x(v.x)), v.y)
+        assert beta_reduce(term) == v.y(v.y)
+
+    def test_single_use_inlined(self, registry):
+        add = registry.constant("add")
+        term = App(lam("x")(add(v.x, lit(1))), add(v.a, v.b))
+        reduced = beta_reduce(term)
+        assert reduced == add(add(v.a, v.b), lit(1))
+
+    def test_expensive_multi_use_becomes_let(self, registry):
+        add = registry.constant("add")
+        expensive = add(v.a, v.b)
+        term = App(lam("x")(add(v.x, v.x)), expensive)
+        reduced = beta_reduce(term)
+        assert isinstance(reduced, Let)
+        assert reduced.bound == expensive
+
+    def test_unused_binder_drops_argument(self):
+        term = App(lam("x")(lit(5)), v.huge)
+        assert beta_reduce(term) == lit(5)
+
+    def test_let_inlining(self):
+        term = let("x", v.y, v.x)
+        assert beta_reduce(term) == v.y
+
+    def test_no_capture(self):
+        # (λx. λy. x) y  must not capture the free y.
+        term = App(lam("x")(lam("y")(v.x)), v.y)
+        reduced = beta_reduce(term)
+        assert isinstance(reduced, Lam)
+        assert reduced.body == v.y
+        assert reduced.param != "y"
+
+
+class TestDCE:
+    def test_dead_let_removed(self):
+        term = let("unused", v.expensive, lit(1))
+        assert eliminate_dead_lets(term) == lit(1)
+
+    def test_live_let_kept(self):
+        term = let("x", lit(1), v.x)
+        assert eliminate_dead_lets(term) == term
+
+    def test_nested_dead_lets(self):
+        term = let("a", lit(1), let("b", lit(2), lit(3)))
+        assert eliminate_dead_lets(term) == lit(3)
+
+    def test_chain_of_dead_lets(self):
+        # b uses a, but b itself is dead: both go.
+        term = let("a", lit(1), let("b", v.a, lit(3)))
+        assert eliminate_dead_lets(term) == lit(3)
+
+
+class TestConstantFold:
+    def test_arithmetic_folds(self, registry):
+        term = parse("add 2 3", registry)
+        assert constant_fold(term) == Lit(5, TInt)
+
+    def test_bag_operations_fold(self, registry):
+        term = parse("merge {{1}} {{2}}", registry)
+        folded = constant_fold(term)
+        assert folded == Lit(Bag.of(1, 2), TBag(TInt))
+
+    def test_nested_folding(self, registry):
+        term = parse("add (add 1 2) (add 3 4)", registry)
+        assert constant_fold(term) == Lit(10, TInt)
+
+    def test_open_spines_not_folded(self, registry):
+        term = parse("add x 1", registry)
+        assert constant_fold(term) == term
+
+    def test_function_results_not_folded(self, registry):
+        term = parse("add 1", registry)  # partial application
+        assert constant_fold(term) == term
+
+    def test_fold_under_lambda(self, registry):
+        term = parse(r"\x -> add x (add 1 2)", registry)
+        folded = constant_fold(term)
+        assert Lit(3, TInt) in list(_subterms(folded))
+
+
+def _subterms(term):
+    from repro.lang.traversal import subterms
+
+    return subterms(term)
+
+
+class TestPipeline:
+    def test_runs_to_fixpoint(self, registry):
+        term = parse(r"(\x -> add x (add 1 2)) y", registry)
+        result = optimize(term)
+        assert result.term == registry.constant("add")(v.y, Lit(3, TInt))
+        assert result.final_size <= result.initial_size
+        assert result.iterations >= 1
+
+    def test_audit_log(self, registry):
+        term = parse(r"(\x -> x) (add 1 2)", registry)
+        result = optimize(term)
+        assert result.pass_log  # at least one pass fired
+        assert result.size_ratio <= 1.0
+
+    def test_fold_can_be_disabled(self, registry):
+        term = parse("add 1 2", registry)
+        assert optimize(term, fold_constants=False).term == term
+        assert optimize(term, fold_constants=True).term == Lit(3, TInt)
+
+
+class TestSoundness:
+    """Optimization preserves ⟦·⟧ on a closed corpus."""
+
+    CORPUS = [
+        "add (add 1 2) 3",
+        r"(\x -> mul x x) (add 2 3)",
+        "let x = add 1 1 in add x x",
+        "let unused = foldBag gplus id {{1,2,3}} in 7",
+        r"(\f -> f 1) (\x -> add x 41)",
+        "foldBag gplus id (merge {{1}} {{2, 3}})",
+        r"ifThenElse (ltInt 1 2) (add 1 1) 9",
+    ]
+
+    def test_corpus_preserved(self, registry):
+        for source in self.CORPUS:
+            term = parse(source, registry)
+            optimized = optimize(term).term
+            assert evaluate(optimized) == evaluate(term), source

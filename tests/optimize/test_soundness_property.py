@@ -1,0 +1,53 @@
+"""Property tests: the optimizer preserves both the standard semantics
+and Eq. (1) on generated programs."""
+
+from hypothesis import given, settings
+
+from repro.derive.derive import derive_program
+from repro.derive.validate import check_derive_correctness
+from repro.optimize.pipeline import optimize
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY, unary_programs
+
+
+@settings(max_examples=60, deadline=None)
+@given(unary_programs())
+def test_optimizer_preserves_standard_semantics(case):
+    program = case["program"]
+    optimized = optimize(program).term
+    original = apply_value(evaluate(program), case["input"])
+    after = apply_value(evaluate(optimized), case["input"])
+    assert original == after
+
+
+@settings(max_examples=40, deadline=None)
+@given(unary_programs())
+def test_optimizing_before_deriving_preserves_eq1(case):
+    optimized = optimize(case["program"]).term
+    check_derive_correctness(
+        optimized, REGISTRY, [case["input"]], [case["runtime_change"]]
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(unary_programs())
+def test_optimizing_after_deriving_preserves_eq1(case):
+    derived = derive_program(case["program"], REGISTRY)
+    optimized_derivative = optimize(derived).term
+    check_derive_correctness(
+        case["program"],
+        REGISTRY,
+        [case["input"]],
+        [case["runtime_change"]],
+        derived=optimized_derivative,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(unary_programs())
+def test_optimizer_is_idempotent_enough(case):
+    # A second run finds nothing new.
+    once = optimize(case["program"]).term
+    twice = optimize(once).term
+    assert once == twice

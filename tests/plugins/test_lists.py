@@ -1,0 +1,150 @@
+"""Tests for the lists plugin and its derivatives."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import INT_ADD_GROUP
+from repro.data.list_changes import Delete, Insert, ListChange, Update
+from repro.derive.validate import check_derive_correctness
+from repro.lang.parser import parse
+from repro.lang.terms import Lit
+from repro.lang.types import TInt
+from repro.plugins.lists import TList
+from repro.semantics.eval import apply_value, evaluate
+from repro.semantics.thunk import Thunk
+
+from tests.data.test_list_changes import list_values, list_with_change
+from tests.strategies import REGISTRY
+
+
+def int_list_lit(*items):
+    return Lit(tuple(items), TList(TInt))
+
+
+class TestEvaluation:
+    def test_primitives(self):
+        assert evaluate(parse("emptyList", REGISTRY)) == ()
+        consed = apply_value(
+            evaluate(parse("consList", REGISTRY)), 1, (2, 3)
+        )
+        assert consed == (1, 2, 3)
+        appended = apply_value(
+            evaluate(parse("appendList", REGISTRY)), (1,), (2,)
+        )
+        assert appended == (1, 2)
+        assert apply_value(evaluate(parse("lengthList", REGISTRY)), (1, 2)) == 2
+        assert apply_value(evaluate(parse("sumList", REGISTRY)), (1, 2, 3)) == 6
+        assert apply_value(
+            evaluate(parse("listToBag", REGISTRY)), (1, 1, 2)
+        ) == Bag.of(1, 1, 2)
+
+    def test_map_list(self):
+        program = evaluate(parse(r"mapList (\x -> mul x 10)", REGISTRY))
+        assert apply_value(program, (1, 2)) == (10, 20)
+
+    def test_inference(self):
+        from repro.lang.infer import type_of
+        from repro.lang.context import Context
+
+        term = parse(r"\l -> sumList (mapList (\x -> add x 1) l)", REGISTRY)
+        assert repr(type_of(term)) == "List Int -> Int"
+
+
+class TestDerivatives:
+    def sample_change(self):
+        return ListChange(
+            Insert(0, 9),
+            Update(1, GroupChange(INT_ADD_GROUP, 5)),
+            Delete(2),
+        )
+
+    def check(self, source, value, change):
+        term = parse(source, REGISTRY)
+        check_derive_correctness(term, REGISTRY, [value], [change])
+
+    @given(list_with_change())
+    def test_length(self, pair):
+        value, change = pair
+        self.check(r"\l -> lengthList l", value, change)
+
+    @given(list_with_change())
+    def test_sum(self, pair):
+        value, change = pair
+        self.check(r"\l -> sumList l", value, change)
+
+    @given(list_with_change())
+    def test_to_bag(self, pair):
+        value, change = pair
+        self.check(r"\l -> listToBag l", value, change)
+
+    @given(list_with_change())
+    def test_map(self, pair):
+        value, change = pair
+        self.check(r"\l -> mapList (\x -> mul x x) l", value, change)
+
+    @given(list_with_change())
+    def test_cons(self, pair):
+        value, change = pair
+        self.check(r"\l -> consList 7 l", value, change)
+
+    @given(list_with_change())
+    def test_append_left(self, pair):
+        value, change = pair
+        self.check(r"\l -> appendList l l", value, change)
+
+    @settings(deadline=None)
+    @given(list_with_change())
+    def test_pipeline(self, pair):
+        value, change = pair
+        self.check(
+            r"\l -> foldBag gplus id (listToBag (mapList (\x -> add x 1) l))",
+            value,
+            change,
+        )
+
+    @given(list_values)
+    def test_replace_changes(self, new):
+        self.check(r"\l -> sumList l", (1, 2, 3), Replace(new))
+
+    def test_length_derivative_is_self_maintainable(self):
+        poison = Thunk(lambda: pytest.fail("base list was forced"))
+        spec = REGISTRY.lookup_constant("lengthList'")
+        change = apply_value(
+            spec.runtime_value(), poison, ListChange(Insert(0, 1), Delete(0))
+        )
+        assert change == GroupChange(INT_ADD_GROUP, 0)
+
+    def test_map_specialization_fires(self):
+        from repro.derive.derive import derive_program
+        from repro.lang.pretty import pretty
+
+        term = parse(r"\l -> mapList (\x -> add x 1) l", REGISTRY)
+        assert "mapList'_f" in pretty(derive_program(term, REGISTRY))
+
+    def test_append_derivative_shifts_right_edits(self):
+        spec = REGISTRY.lookup_constant("appendList'")
+        change = apply_value(
+            spec.runtime_value(),
+            (1, 2),
+            ListChange(Insert(0, 0)),
+            (3,),
+            ListChange(Insert(1, 4)),
+        )
+        assert oplus_value((1, 2, 3), change) == (0, 1, 2, 3, 4)
+
+
+class TestIncremental:
+    def test_engine_integration(self):
+        from repro.incremental.engine import incrementalize
+
+        program = incrementalize(
+            parse(r"\(l: List Int) -> sumList (mapList (\x -> mul x 2) l)", REGISTRY),
+            REGISTRY,
+        )
+        assert program.initialize((1, 2, 3)) == 12
+        updated = program.step(ListChange(Insert(0, 10)))
+        assert updated == 32
+        updated = program.step(ListChange(Delete(3), Update(0, GroupChange(INT_ADD_GROUP, -9))))
+        assert program.verify()

@@ -1,0 +1,158 @@
+"""Tests for the naturals plugin -- including the "junk" story of
+Secs. 3.1/3.3: the erased ΔNat admits integers that are not changes for a
+given natural, and correctness (Thm. 3.11) is only promised when the
+supplied change term denotes a *real* change."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.changes.primitive import NAT_CHANGES
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import INT_ADD_GROUP
+from repro.derive.validate import check_derive_correctness
+from repro.lang.infer import type_of
+from repro.lang.parser import parse, parse_type
+from repro.plugins.naturals import TNat
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY
+
+naturals = st.integers(min_value=0, max_value=60)
+
+
+def valid_change_for(value: int, draw_target: int) -> GroupChange:
+    """A change taking ``value`` to ``draw_target`` (both naturals)."""
+    return GroupChange(INT_ADD_GROUP, draw_target - value)
+
+
+class TestEvaluation:
+    def test_primitives(self):
+        assert evaluate(parse("addNat (intToNat 2) (intToNat 3)", REGISTRY)) == 5
+        assert evaluate(parse("mulNat (intToNat 2) (intToNat 3)", REGISTRY)) == 6
+        assert evaluate(parse("monus (intToNat 2) (intToNat 5)", REGISTRY)) == 0
+        assert evaluate(parse("monus (intToNat 5) (intToNat 2)", REGISTRY)) == 3
+        assert evaluate(parse("natToInt (intToNat 4)", REGISTRY)) == 4
+
+    def test_int_to_nat_rejects_negatives(self):
+        with pytest.raises(ValueError):
+            evaluate(parse("intToNat (-1)", REGISTRY))
+
+    def test_types(self):
+        term = parse(r"\(n: Nat) -> addNat n n", REGISTRY)
+        assert type_of(term) == parse_type("Nat -> Nat")
+        bridge = parse(r"\(n: Nat) -> add (natToInt n) 1", REGISTRY)
+        assert type_of(bridge) == parse_type("Nat -> Int")
+
+    def test_change_type_is_erased(self, registry):
+        # ΔNat = Change Nat at the type level; its *values* are integer
+        # deltas -- including junk (Sec. 3.1).
+        assert repr(registry.change_type(TNat)) == "Change Nat"
+
+
+class TestDerivatives:
+    @given(naturals, naturals, naturals, naturals)
+    def test_add_nat_eq1_on_valid_changes(self, x, x_new, y, y_new):
+        term = parse(r"\(a: Nat) (b: Nat) -> addNat a b", REGISTRY)
+        check_derive_correctness(
+            term,
+            REGISTRY,
+            [x, y],
+            [valid_change_for(x, x_new), valid_change_for(y, y_new)],
+        )
+
+    @given(naturals, naturals, naturals, naturals)
+    def test_mul_nat_trivial_derivative(self, x, x_new, y, y_new):
+        term = parse(r"\(a: Nat) (b: Nat) -> mulNat a b", REGISTRY)
+        check_derive_correctness(
+            term,
+            REGISTRY,
+            [x, y],
+            [valid_change_for(x, x_new), valid_change_for(y, y_new)],
+        )
+
+    @given(naturals, naturals, naturals, naturals)
+    def test_monus_eq1(self, x, x_new, y, y_new):
+        term = parse(r"\(a: Nat) (b: Nat) -> monus a b", REGISTRY)
+        check_derive_correctness(
+            term,
+            REGISTRY,
+            [x, y],
+            [valid_change_for(x, x_new), valid_change_for(y, y_new)],
+        )
+
+    @given(naturals, naturals)
+    def test_nat_to_int_bridge(self, x, x_new):
+        term = parse(r"\(a: Nat) -> add (natToInt a) 10", REGISTRY)
+        check_derive_correctness(
+            term, REGISTRY, [x], [valid_change_for(x, x_new)]
+        )
+
+    def test_add_nat_derivative_is_self_maintainable(self):
+        from repro.semantics.thunk import Thunk
+
+        spec = REGISTRY.lookup_constant("addNat'")
+        poison = Thunk(lambda: pytest.fail("base was forced"))
+        change = apply_value(
+            spec.runtime_value(),
+            poison,
+            GroupChange(INT_ADD_GROUP, 2),
+            poison,
+            GroupChange(INT_ADD_GROUP, 3),
+        )
+        assert change == GroupChange(INT_ADD_GROUP, 5)
+
+
+class TestJunk:
+    """Secs. 3.1/3.3: ΔNat's erased carrier contains non-changes, and the
+    framework's guarantees are conditional on validity."""
+
+    def test_semantic_structure_rejects_junk(self):
+        assert NAT_CHANGES.delta_contains(3, -3)
+        assert not NAT_CHANGES.delta_contains(3, -4)
+        with pytest.raises(ValueError):
+            NAT_CHANGES.oplus(3, -4)
+
+    def test_erased_oplus_happily_produces_junk(self):
+        # The erased ⊕ cannot check validity: v ⊕ (-4) at v = 3 leaves N.
+        result = oplus_value(3, GroupChange(INT_ADD_GROUP, -4))
+        assert result == -1  # junk: not a natural
+
+    def test_eq1_still_holds_numerically_even_off_contract(self):
+        # For addNat the derivative formula is total, so Eq. (1) happens
+        # to hold on junk too -- the theorem just doesn't *promise* it.
+        term = parse(r"\(a: Nat) (b: Nat) -> addNat a b", REGISTRY)
+        check_derive_correctness(
+            term,
+            REGISTRY,
+            [3, 5],
+            [
+                GroupChange(INT_ADD_GROUP, -4),  # junk for 3
+                GroupChange(INT_ADD_GROUP, 0),
+            ],
+        )
+
+    def test_monus_breaks_on_junk(self):
+        """monus' is the cautionary tale: its (trivial) derivative
+        recomputes on the *updated* inputs, so junk inputs take the
+        computation outside N where monus's clamping disagrees with any
+        change-based account.  This is exactly why Thm. 3.11 requires the
+        change term to erase from a real change."""
+        program = evaluate(parse(r"\(a: Nat) (b: Nat) -> monus a b", REGISTRY))
+        junk = GroupChange(INT_ADD_GROUP, -10)  # invalid for a = 3
+        nil = GroupChange(INT_ADD_GROUP, 0)
+        from repro.derive.derive import derive_program
+
+        derivative = evaluate(
+            derive_program(
+                parse(r"\(a: Nat) (b: Nat) -> monus a b", REGISTRY), REGISTRY
+            )
+        )
+        original = apply_value(program, 3, 0)
+        output_change = apply_value(derivative, 3, junk, 0, nil)
+        incremental = oplus_value(original, output_change)
+        # The "updated input" -7 is not a natural; monus clamps to 0, and
+        # indeed the incremental result reflects monus(-7, 0) = 0... but
+        # there IS no natural the junk change denotes, so no statement of
+        # Eq. (1) applies.  We only pin the behaviour to document it.
+        assert incremental == max(0, (3 - 10) - 0)

@@ -1,0 +1,188 @@
+"""Tests for plugin composition and the registry's type-level services."""
+
+import pytest
+
+from repro.changes.bag import BagChangeStructure
+from repro.changes.function import FunctionChangeStructure
+from repro.changes.group import GroupChangeStructure
+from repro.changes.map import MapChangeStructure
+from repro.changes.primitive import ReplaceChangeStructure
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP, map_group
+from repro.data.pmap import PMap
+from repro.lang.types import (
+    TBag,
+    TBool,
+    TChange,
+    TFun,
+    TGroup,
+    TInt,
+    TMap,
+    TPair,
+    TSum,
+    TVar,
+)
+from repro.plugins.base import ConstantSpec, Plugin
+from repro.plugins.registry import PluginError, Registry
+
+
+class TestComposition:
+    def test_standard_registry_has_all_plugins(self, registry):
+        names = set(registry.plugin_names())
+        assert {
+            "core",
+            "integers",
+            "booleans",
+            "pairs",
+            "sums",
+            "bags",
+            "maps",
+            "prelude",
+        } <= names
+
+    def test_duplicate_plugin_rejected(self, registry):
+        from repro.plugins import integers
+
+        with pytest.raises(PluginError):
+            Registry([integers.plugin(), integers.plugin()])
+
+    def test_duplicate_constant_rejected(self):
+        first = Plugin(name="p1")
+        first.add_constant(
+            ConstantSpec("c", schema_of_int(), arity=1, impl=lambda x: x)
+        )
+        second = Plugin(name="p2")
+        second.add_constant(
+            ConstantSpec("c", schema_of_int(), arity=1, impl=lambda x: x)
+        )
+        with pytest.raises(PluginError):
+            Registry([first, second])
+
+    def test_duplicate_constant_within_plugin_rejected(self):
+        plugin = Plugin(name="p")
+        plugin.add_constant(
+            ConstantSpec("c", schema_of_int(), arity=1, impl=lambda x: x)
+        )
+        with pytest.raises(ValueError):
+            plugin.add_constant(
+                ConstantSpec("c", schema_of_int(), arity=1, impl=lambda x: x)
+            )
+
+    def test_constant_lookup(self, registry):
+        assert registry.lookup_constant("merge") is not None
+        assert registry.lookup_constant("nope") is None
+        assert registry.constant("merge").spec.name == "merge"
+        with pytest.raises(PluginError):
+            registry.constant("nope")
+
+
+def schema_of_int():
+    from repro.lang.types import Schema, TFun, TInt
+
+    return Schema.mono(TFun(TInt, TInt))
+
+
+class TestChangeTypes:
+    """Δτ (Figs. 2/3)."""
+
+    def test_base_types_get_change_adt(self, registry):
+        assert registry.change_type(TInt) == TChange(TInt)
+        assert registry.change_type(TBag(TInt)) == TChange(TBag(TInt))
+        assert registry.change_type(TGroup(TInt)) == TChange(TGroup(TInt))
+
+    def test_function_types_structural(self, registry):
+        # Δ(σ → τ) = σ → Δσ → Δτ.
+        ty = TFun(TInt, TBag(TInt))
+        expected = TFun(
+            TInt, TFun(TChange(TInt), TChange(TBag(TInt)))
+        )
+        assert registry.change_type(ty) == expected
+
+    def test_nested_function_types(self, registry):
+        ty = TFun(TFun(TInt, TInt), TInt)
+        derived = registry.change_type(ty)
+        assert derived.arg == TFun(TInt, TInt)
+        inner = derived.res.arg  # Δ(Int → Int)
+        assert inner == TFun(TInt, TFun(TChange(TInt), TChange(TInt)))
+
+    def test_type_variables(self, registry):
+        assert registry.change_type(TVar("a")) == TChange(TVar("a"))
+
+
+class TestChangeStructures:
+    def test_int(self, registry):
+        assert isinstance(registry.change_structure(TInt), GroupChangeStructure)
+
+    def test_bool_is_replacement(self, registry):
+        assert isinstance(
+            registry.change_structure(TBool), ReplaceChangeStructure
+        )
+
+    def test_bag(self, registry):
+        assert isinstance(
+            registry.change_structure(TBag(TInt)), BagChangeStructure
+        )
+
+    def test_map_with_group_values(self, registry):
+        structure = registry.change_structure(TMap(TInt, TInt))
+        assert isinstance(structure, MapChangeStructure)
+        assert structure.value_group == INT_ADD_GROUP
+
+    def test_map_without_group_values_is_replacement(self, registry):
+        structure = registry.change_structure(TMap(TInt, TBool))
+        assert isinstance(structure, ReplaceChangeStructure)
+
+    def test_function(self, registry):
+        structure = registry.change_structure(TFun(TInt, TInt))
+        assert isinstance(structure, FunctionChangeStructure)
+
+    def test_sum_is_replacement(self, registry):
+        assert isinstance(
+            registry.change_structure(TSum(TInt, TInt)), ReplaceChangeStructure
+        )
+
+
+class TestNilLiterals:
+    def test_int(self, registry):
+        nil = registry.nil_change_literal(5, TInt)
+        assert nil == GroupChange(INT_ADD_GROUP, 0)
+
+    def test_bag(self, registry):
+        nil = registry.nil_change_literal(Bag.of(1), TBag(TInt))
+        assert nil == GroupChange(BAG_GROUP, Bag.empty())
+
+    def test_map_of_bags(self, registry):
+        nil = registry.nil_change_literal(
+            PMap.empty(), TMap(TInt, TBag(TInt))
+        )
+        assert nil == GroupChange(map_group(BAG_GROUP), PMap.empty())
+
+    def test_bool_replaces(self, registry):
+        assert registry.nil_change_literal(True, TBool) == Replace(True)
+
+    def test_pair_nil_is_componentwise(self, registry):
+        nil = registry.nil_change_literal((1, Bag.of(2)), TPair(TInt, TBag(TInt)))
+        assert isinstance(nil, tuple)
+        assert nil[0] == GroupChange(INT_ADD_GROUP, 0)
+
+
+class TestGroups:
+    def test_group_for_int(self, registry):
+        assert registry.group_for_type(TInt) == INT_ADD_GROUP
+
+    def test_group_for_bag(self, registry):
+        assert registry.group_for_type(TBag(TInt)) == BAG_GROUP
+
+    def test_group_for_map_lifts(self, registry):
+        assert registry.group_for_type(TMap(TInt, TBag(TInt))) == map_group(
+            BAG_GROUP
+        )
+
+    def test_no_group_for_bool(self, registry):
+        assert registry.group_for_type(TBool) is None
+        assert registry.group_for_type(TMap(TInt, TBool)) is None
+
+    def test_group_for_pair(self, registry):
+        group = registry.group_for_type(TPair(TInt, TInt))
+        assert group.merge((1, 2), (3, 4)) == (4, 6)

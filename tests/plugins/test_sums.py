@@ -1,0 +1,130 @@
+"""Tests for the sums plugin and its structural changes."""
+
+import pytest
+from hypothesis import given
+
+from repro.data.change_values import (
+    GroupChange,
+    Replace,
+    is_nil_change,
+    nil_change_for,
+    oplus_value,
+)
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.data.bag import Bag
+from repro.data.sum import Inl, InlChange, Inr, InrChange
+from repro.derive.validate import check_derive_correctness
+from repro.lang.parser import parse
+from repro.semantics.eval import apply_value, evaluate
+from repro.semantics.thunk import Thunk
+
+from tests.strategies import REGISTRY, int_changes, small_ints
+
+
+class TestStructuralChanges:
+    def test_inl_change_updates_payload(self):
+        change = InlChange(GroupChange(INT_ADD_GROUP, 5))
+        assert oplus_value(Inl(1), change) == Inl(6)
+
+    def test_inr_change_updates_payload(self):
+        change = InrChange(GroupChange(BAG_GROUP, Bag.of(9)))
+        assert oplus_value(Inr(Bag.of(1)), change) == Inr(Bag.of(1, 9))
+
+    def test_side_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            oplus_value(Inr(1), InlChange(GroupChange(INT_ADD_GROUP, 1)))
+
+    def test_replace_switches_sides(self):
+        assert oplus_value(Inl(1), Replace(Inr(9))) == Inr(9)
+
+    def test_equality(self):
+        assert InlChange(Replace(1)) == InlChange(Replace(1))
+        assert InlChange(Replace(1)) != InrChange(Replace(1))
+        assert hash(InlChange(Replace(1))) == hash(InlChange(Replace(1)))
+
+    def test_nil_change_for_sums(self):
+        nil = nil_change_for(Inl(3))
+        assert isinstance(nil, InlChange)
+        assert is_nil_change(nil, Inl(3))
+        assert oplus_value(Inl(3), nil) == Inl(3)
+
+    def test_is_nil_detects_zero_payload(self):
+        assert is_nil_change(InlChange(GroupChange(INT_ADD_GROUP, 0)))
+        assert not is_nil_change(InlChange(GroupChange(INT_ADD_GROUP, 2)))
+
+
+class TestDerivatives:
+    @given(small_ints, int_changes)
+    def test_inl_derivative(self, x, dx):
+        term = parse(r"\(x: Int) -> matchSum (inl x) (\l -> mul l 2) (\r -> 0)", REGISTRY)
+        check_derive_correctness(term, REGISTRY, [x], [dx])
+
+    @given(small_ints, int_changes)
+    def test_inr_derivative(self, x, dx):
+        term = parse(
+            r"\(x: Int) -> matchSum (inr x) (\l -> 0) (\r -> add r r)", REGISTRY
+        )
+        check_derive_correctness(term, REGISTRY, [x], [dx])
+
+    def test_match_derivative_fast_path_skips_branches(self):
+        """On a same-side payload change, matchSum' uses only the branch's
+        *change*, never the base branch functions."""
+        spec = REGISTRY.lookup_constant("matchSum'")
+        poison = Thunk(lambda: pytest.fail("base branch was forced"))
+        double_change = evaluate(parse(r"\l dl -> add' l dl l dl", REGISTRY))
+        unused_change = evaluate(parse(r"\r dr -> dr", REGISTRY))
+        change = apply_value(
+            spec.runtime_value(),
+            Inl(5),
+            InlChange(GroupChange(INT_ADD_GROUP, 3)),
+            poison,
+            double_change,
+            poison,
+            unused_change,
+        )
+        # Branch is λl. l + l; derivative dl+dl = 6.
+        assert oplus_value(10, change) == 16
+
+    def test_side_switch_recomputes(self):
+        term = parse(
+            r"\(s: Sum Int Int) -> matchSum s (\l -> mul l 2) (\r -> negateInt r)",
+            REGISTRY,
+        )
+        check_derive_correctness(
+            term, REGISTRY, [Inl(5)], [Replace(Inr(7))]
+        )
+
+    @given(small_ints, int_changes)
+    def test_sum_typed_input(self, x, dx):
+        term = parse(
+            r"\(s: Sum Int Int) -> matchSum s (\l -> add l 1) (\r -> mul r 2)",
+            REGISTRY,
+        )
+        check_derive_correctness(term, REGISTRY, [Inl(x)], [InlChange(dx)])
+        check_derive_correctness(term, REGISTRY, [Inr(x)], [InrChange(dx)])
+
+    def test_derive_of_inl_is_structural(self):
+        from repro.derive.derive import derive_program
+        from repro.lang.pretty import pretty
+
+        term = parse(r"\x -> inl x", REGISTRY)
+        assert "inl'" in pretty(derive_program(term, REGISTRY))
+
+
+class TestIncremental:
+    def test_engine_with_sum_inputs(self):
+        from repro.incremental.engine import incrementalize
+
+        term = parse(
+            r"\(s: Sum Int (Bag Int)) -> "
+            r"matchSum s (\l -> l) (\r -> foldBag gplus id r)",
+            REGISTRY,
+        )
+        program = incrementalize(term, REGISTRY)
+        assert program.initialize(Inr(Bag.of(1, 2))) == 3
+        program.step(InrChange(GroupChange(BAG_GROUP, Bag.of(10))))
+        assert program.output == 13
+        # Switch sides entirely.
+        program.step(Replace(Inl(99)))
+        assert program.output == 99
+        assert program.verify()

@@ -1,0 +1,185 @@
+"""Tests for the plugin conformance validator, including failure
+injection: a deliberately broken derivative must be caught with a
+counterexample."""
+
+import pytest
+
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import INT_ADD_GROUP
+from repro.lang.types import Schema, TChange, TFun, TInt, TVar, fun_type
+from repro.plugins.base import ConstantSpec, Plugin
+from repro.plugins.validation import (
+    ValidationIssue,
+    default_cases_for,
+    validate_base_type,
+    validate_constant,
+    validate_plugin,
+    validate_registry,
+)
+from repro.semantics.thunk import force
+
+
+class TestStandardRegistryConforms:
+    def test_no_issues(self, registry):
+        issues = validate_registry(registry)
+        assert issues == [], "\n".join(map(repr, issues))
+
+    def test_skips_reported_when_requested(self, registry):
+        issues = validate_registry(registry, include_skips=True)
+        skipped = [i for i in issues if i.message.startswith("skipped")]
+        # Higher-order primitives (foldBag, mapBag, ...) are skipped by
+        # the automatic sampler.
+        assert any("foldBag" == issue.subject for issue in skipped)
+        hard_failures = [
+            i for i in issues if not i.message.startswith("skipped")
+        ]
+        assert hard_failures == []
+
+    def test_base_type_laws(self, registry):
+        for name in ("Int", "Bool", "Bag", "Map", "Pair", "List"):
+            assert validate_base_type(name, registry) == []
+
+    def test_unknown_base_type(self, registry):
+        issues = validate_base_type("Quaternion", registry)
+        assert issues and "unknown" in issues[0].message
+
+
+class TestCaseGeneration:
+    def test_first_order_constant(self, registry):
+        cases = default_cases_for(registry.lookup_constant("add"))
+        assert cases
+        for arguments, changes in cases:
+            assert len(arguments) == 2
+            assert len(changes) == 2
+
+    def test_higher_order_constant_yields_none(self, registry):
+        assert default_cases_for(registry.lookup_constant("foldBag")) is None
+
+    def test_ground_constant_trivial(self, registry):
+        assert default_cases_for(registry.lookup_constant("gplus")) == []
+
+
+def broken_add_plugin() -> Plugin:
+    """An ``add`` whose derivative drops dy -- a classic plugin bug."""
+    plugin = Plugin(name="broken")
+    broken_derivative = plugin.add_constant(
+        ConstantSpec(
+            name="badAdd'",
+            schema=Schema.mono(
+                fun_type(TInt, TChange(TInt), TInt, TChange(TInt), TChange(TInt))
+            ),
+            arity=4,
+            impl=lambda x, dx, y, dy: force(dx),  # ignores dy!
+        )
+    )
+    plugin.add_constant(
+        ConstantSpec(
+            name="badAdd",
+            schema=Schema.mono(fun_type(TInt, TInt, TInt)),
+            arity=2,
+            impl=lambda a, b: a + b,
+            derivative=broken_derivative,
+        )
+    )
+    return plugin
+
+
+class TestFailureInjection:
+    def test_broken_derivative_caught(self, registry):
+        plugin = broken_add_plugin()
+        issues = validate_plugin(plugin, registry)
+        assert issues
+        assert any("Eq. (1) failed" in issue.message for issue in issues)
+        assert any(issue.subject == "badAdd" for issue in issues)
+
+    def test_counterexample_is_concrete(self, registry):
+        issues = validate_plugin(broken_add_plugin(), registry)
+        message = next(
+            issue.message for issue in issues if issue.subject == "badAdd"
+        )
+        assert "arguments=" in message and "changes=" in message
+
+    def test_crashing_derivative_reported_not_raised(self):
+        plugin = Plugin(name="crashy")
+        crashing = plugin.add_constant(
+            ConstantSpec(
+                name="boom'",
+                schema=Schema.mono(
+                    fun_type(TInt, TChange(TInt), TChange(TInt))
+                ),
+                arity=2,
+                impl=lambda x, dx: 1 / 0,
+            )
+        )
+        plugin.add_constant(
+            ConstantSpec(
+                name="boom",
+                schema=Schema.mono(fun_type(TInt, TInt)),
+                arity=1,
+                impl=lambda x: x,
+                derivative=crashing,
+            )
+        )
+        issues = validate_constant(plugin.constants["boom"])
+        assert issues
+        assert "ZeroDivisionError" in issues[0].message
+
+    def test_explicit_cases_override(self, registry):
+        spec = registry.lookup_constant("add")
+        issues = validate_constant(
+            spec,
+            cases=[
+                ([1, 2], [GroupChange(INT_ADD_GROUP, 1), Replace(9)]),
+            ],
+        )
+        assert issues == []
+
+    def test_broken_base_type_caught(self, registry):
+        from repro.changes.primitive import ReplaceChangeStructure
+        from repro.plugins.base import BaseTypeSpec
+        from repro.plugins.registry import Registry
+
+        class BrokenStructure(ReplaceChangeStructure):
+            def oplus(self, value, change):
+                return value  # ignores the change
+
+        broken = Plugin(name="brokenint")
+        broken.add_base_type(
+            BaseTypeSpec(
+                name="Int",
+                change_structure=lambda ty, reg: BrokenStructure(),
+            )
+        )
+        isolated = Registry([broken])
+        issues = validate_base_type("Int", isolated)
+        assert issues
+
+
+class TestPublicSamples:
+    def test_samples_cover_standard_base_types(self, registry):
+        from repro.data.change_values import oplus_value
+        from repro.lang.types import TBag, TBase, TBool, TInt, TMap, TPair
+        from repro.plugins.validation import samples_for
+
+        for ty in [
+            TInt,
+            TBool,
+            TBag(TInt),
+            TMap(TInt, TInt),
+            TPair(TInt, TInt),
+            TBase("List", (TInt,)),
+            TBase("Nat"),
+            TBase("Sum", (TInt, TInt)),
+        ]:
+            samples = samples_for(ty)
+            assert samples, ty
+            for value, change in samples:
+                # Every published sample change applies cleanly.
+                oplus_value(value, change)
+
+    def test_unknown_types_yield_none(self):
+        from repro.lang.types import TFun, TInt, TBase
+        from repro.plugins.validation import samples_for
+
+        assert samples_for(TFun(TInt, TInt)) is None
+        assert samples_for(TBase("Quaternion")) is None

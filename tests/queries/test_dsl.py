@@ -1,0 +1,132 @@
+"""Tests for the query combinators (reification to object terms)."""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.lang.infer import type_of
+from repro.lang.parser import parse_type
+from repro.lang.pretty import pretty
+from repro.queries import Query
+from repro.lang.types import TBag, TInt, TPair
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY
+
+
+def sales_query() -> Query:
+    return Query.source("sales", TPair(TInt, TInt), REGISTRY)
+
+
+def const(name):
+    return REGISTRY.constant(name)
+
+
+class TestReification:
+    def test_source_is_identity(self):
+        term = sales_query().to_term()
+        assert type_of(term) == parse_type(
+            "Bag (Pair Int Int) -> Bag (Pair Int Int)"
+        )
+
+    def test_where_reifies_to_filter(self):
+        q = sales_query().where(lambda r: const("leqInt")(10, const("snd")(r)))
+        assert "filterBag" in pretty(q.to_term())
+
+    def test_select_reifies_to_map(self):
+        q = sales_query().select(lambda r: const("fst")(r), TInt)
+        term = q.to_term()
+        assert "mapBag" in pretty(term)
+        assert type_of(term) == parse_type("Bag (Pair Int Int) -> Bag Int")
+
+    def test_flat_select_reifies_to_flat_map(self):
+        q = sales_query().flat_select(
+            lambda r: const("merge")(
+                const("singleton")(const("fst")(r)),
+                const("singleton")(const("snd")(r)),
+            ),
+            TInt,
+        )
+        assert "flatMapBag" in pretty(q.to_term())
+
+    def test_aggregations_type(self):
+        assert type_of(
+            sales_query().sum(lambda r: const("snd")(r)).to_term()
+        ) == parse_type("Bag (Pair Int Int) -> Int")
+        assert type_of(sales_query().count().to_term()) == parse_type(
+            "Bag (Pair Int Int) -> Int"
+        )
+        grouped = sales_query().group_sum(
+            key=lambda r: const("fst")(r), value=lambda r: const("snd")(r)
+        )
+        assert type_of(grouped.to_term()) == parse_type(
+            "Bag (Pair Int Int) -> Map Int Int"
+        )
+        bags = sales_query().group_bags(
+            key=lambda r: const("fst")(r),
+            value=lambda r: const("snd")(r),
+            key_type=TInt,
+            value_type=TInt,
+        )
+        assert type_of(bags.to_term()) == parse_type(
+            "Bag (Pair Int Int) -> Map Int (Bag Int)"
+        )
+
+    def test_queries_are_immutable(self):
+        base = sales_query()
+        filtered = base.where(lambda r: const("leqInt")(0, const("snd")(r)))
+        assert pretty(base.to_term()) != pretty(filtered.to_term())
+
+    def test_stage_after_aggregation_rejected(self):
+        aggregated = sales_query().count()
+        with pytest.raises(TypeError):
+            aggregated.where(lambda r: const("leqInt")(0, r))
+        with pytest.raises(TypeError):
+            aggregated.sum()
+
+    def test_reserved_source_name(self):
+        with pytest.raises(ValueError):
+            Query.source("data", TInt, REGISTRY)
+
+
+class TestEvaluation:
+    ROWS = [(1, 10), (1, 20), (2, 5), (3, 200)]
+
+    def run_query(self, query, rows=None):
+        term = query.to_term()
+        table = Bag.from_iterable(rows if rows is not None else self.ROWS)
+        return apply_value(evaluate(term), table)
+
+    def test_sum(self):
+        assert self.run_query(
+            sales_query().sum(lambda r: const("snd")(r))
+        ) == 235
+
+    def test_count(self):
+        assert self.run_query(sales_query().count()) == 4
+
+    def test_where_then_count(self):
+        q = sales_query().where(
+            lambda r: const("leqInt")(10, const("snd")(r))
+        ).count()
+        assert self.run_query(q) == 3
+
+    def test_group_sum(self):
+        result = self.run_query(
+            sales_query().group_sum(
+                key=lambda r: const("fst")(r), value=lambda r: const("snd")(r)
+            )
+        )
+        assert result[1] == 30 and result[2] == 5 and result[3] == 200
+
+    def test_select_then_sum(self):
+        q = sales_query().select(lambda r: const("snd")(r), TInt).sum()
+        assert self.run_query(q) == 235
+
+    def test_multi_stage_pipeline(self):
+        q = (
+            sales_query()
+            .where(lambda r: const("leqInt")(10, const("snd")(r)))
+            .select(lambda r: const("snd")(r), TInt)
+            .sum(lambda r: const("mul")(r, 2))
+        )
+        assert self.run_query(q) == 2 * (10 + 20 + 200)

@@ -1,0 +1,122 @@
+"""Tests for the change semantics ⟦t⟧Δ (Fig. 4h) -- the executable
+counterpart of Lemma 3.7: ⟦t⟧Δ is the derivative of ⟦t⟧."""
+
+from hypothesis import given, settings
+
+from repro.changes.semantic_algebra import semantic_nil, semantic_oplus
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.parser import parse
+from repro.semantics.change_eval import (
+    change_denote,
+    semantic_derivative_of_term,
+)
+from repro.semantics.denotation import apply_semantic, denote
+from repro.data.bag import Bag
+
+from tests.strategies import (
+    REGISTRY,
+    bags_of_ints,
+    small_ints,
+    unary_programs,
+)
+
+
+class TestChangeDenoteBasics:
+    def test_variable_looks_up_change(self):
+        assert change_denote(v.x, {"x": 1}, {"dx": 5}) == 5
+
+    def test_missing_change_raises(self):
+        import pytest
+
+        with pytest.raises(NameError):
+            change_denote(v.x, {"x": 1}, {})
+
+    def test_literal_change_is_nil(self):
+        assert change_denote(lit(7), {}, {}) == 0
+
+    def test_bag_literal_change_is_empty(self):
+        from repro.lang.terms import Lit
+        from repro.lang.types import TBag, TInt
+
+        assert change_denote(Lit(Bag.of(1), TBag(TInt)), {}, {}).is_empty()
+
+    def test_constant_uses_plugin_derivative(self):
+        merge = REGISTRY.constant("merge")
+        derivative = change_denote(merge, {}, {})
+        result = apply_semantic(
+            derivative, Bag.of(1), Bag.of(2), Bag.of(3), Bag.of(4)
+        )
+        # Derive(merge) u du v dv = merge du dv.
+        assert result == Bag.of(2, 4)
+
+    def test_let_binds_value_and_change(self):
+        add = REGISTRY.constant("add")
+        term = let("y", add(v.x, lit(1)), add(v.y, v.y))
+        change = change_denote(term, {"x": 10}, {"dx": 3})
+        # y changes by 3, y + y changes by 6.
+        assert change == 6
+
+    def test_lambda_abstracts_value_and_change(self):
+        term = lam("x")(v.x)
+        derivative = change_denote(term, {}, {})
+        assert apply_semantic(derivative, 41, 5) == 5
+
+
+class TestLemma37:
+    """⟦t⟧(ρ ⊕ dρ) = ⟦t⟧ρ ⊕ (⟦t⟧Δ ρ dρ) on generated programs."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(unary_programs())
+    def test_on_generated_programs(self, case):
+        body = case["program"].body
+        rho = {"x": case["input"]}
+        change = case["semantic_change"]
+        drho = {"dx": change}
+
+        original = denote(body, rho)
+        output_change = change_denote(body, rho, drho)
+        incremental = semantic_oplus(original, output_change)
+
+        updated_rho = {"x": semantic_oplus(case["input"], change)}
+        recomputed = denote(body, updated_rho)
+        assert incremental == recomputed
+
+    @settings(max_examples=30, deadline=None)
+    @given(unary_programs())
+    def test_nil_changes_give_nil_output(self, case):
+        body = case["program"].body
+        rho = {"x": case["input"]}
+        drho = {"dx": semantic_nil(case["input"])}
+        original = denote(body, rho)
+        output_change = change_denote(body, rho, drho)
+        assert semantic_oplus(original, output_change) == original
+
+
+class TestPaperExamples:
+    def test_grand_total_change_semantics(self):
+        term = parse(
+            r"\xs ys -> foldBag gplus id (merge xs ys)", REGISTRY
+        )
+        derivative = semantic_derivative_of_term(term)
+        xs, ys = Bag.of(1, 1), Bag.of(2, 3, 4)
+        dxs, dys = Bag.of(1).negate(), Bag.of(5)
+        change = apply_semantic(derivative, xs, dxs, ys, dys)
+        assert change == 4  # 11 -> 15
+
+    def test_app_change_semantics(self):
+        # Sec. 2.2: incrementalizing app gives λf df x dx. df x dx.
+        term = parse(r"\f x -> f x", REGISTRY)
+        derivative = semantic_derivative_of_term(term)
+        f = lambda x: x * 2
+        df = lambda a: lambda da: 2 * da + 1  # f drifts by +1 pointwise
+        assert apply_semantic(derivative, f, df, 10, 3) == 7
+
+    def test_curried_function_changes(self):
+        # grand_total xs is a closure; its change must track xs's change.
+        term = parse(r"\xs ys -> foldBag gplus id (merge xs ys)", REGISTRY)
+        derivative = semantic_derivative_of_term(term)
+        partial_change = apply_semantic(derivative, Bag.of(1), Bag.of(2))
+        # partial_change is a function change for grand_total {{1}}.
+        result = apply_semantic(partial_change, Bag.of(10), Bag.empty())
+        # Inner change: (1+2) + 10 vs 1 + 10 -> change = 2.
+        assert result == 2

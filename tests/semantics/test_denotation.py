@@ -1,0 +1,108 @@
+"""Direct tests for the denotational semantics helpers (Def. 3.3) and
+the agreement between the denotational and operational semantics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data.bag import Bag
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.parser import parse
+from repro.semantics.denotation import apply_semantic, curry_host, denote
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY, unary_programs
+
+
+class TestCurryHost:
+    def test_arity_zero(self):
+        assert curry_host(lambda: 42, 0) == 42
+
+    def test_arity_one(self):
+        assert curry_host(lambda a: a + 1, 1)(4) == 5
+
+    def test_arity_three_curries(self):
+        fn = curry_host(lambda a, b, c: a + b * c, 3)
+        assert fn(1)(2)(3) == 7
+
+    def test_partial_applications_are_reusable(self):
+        fn = curry_host(lambda a, b: (a, b), 2)
+        once = fn(1)
+        assert once(2) == (1, 2)
+        assert once(3) == (1, 3)  # no state leaks between applications
+
+
+class TestApplySemantic:
+    def test_host_callable(self):
+        assert apply_semantic(lambda a: a * 2, 21) == 42
+
+    def test_curried_host_callable(self):
+        assert apply_semantic(lambda a: lambda b: a - b, 10, 3) == 7
+
+    def test_function_value(self):
+        closure = evaluate(parse(r"\x -> add x 1", REGISTRY))
+        assert apply_semantic(closure, 41) == 42
+
+    def test_mixed_chain(self):
+        # A closure returning a closure, applied to two arguments.
+        closure = evaluate(parse(r"\x y -> mul x y", REGISTRY))
+        assert apply_semantic(closure, 6, 7) == 42
+
+    def test_non_function_raises(self):
+        with pytest.raises(TypeError):
+            apply_semantic(42, 1)
+
+
+class TestDenote:
+    def test_literals_and_variables(self):
+        assert denote(lit(5), {}) == 5
+        assert denote(v.x, {"x": 9}) == 9
+
+    def test_unbound_variable(self):
+        with pytest.raises(NameError):
+            denote(v.x, {})
+
+    def test_lambda_denotes_host_function(self):
+        fn = denote(lam("x")(v.x), {})
+        assert fn(7) == 7
+
+    def test_closure_snapshots_environment(self):
+        rho = {"y": 1}
+        fn = denote(lam("x")(v.y), rho)
+        rho["y"] = 999  # later mutation must not leak in
+        assert fn(0) == 1
+
+    def test_let(self):
+        term = let("x", lit(2), v.x)
+        assert denote(term, {}) == 2
+
+    def test_constants_use_semantic_values(self):
+        term = parse("merge", REGISTRY)
+        merge = denote(term, {})
+        assert apply_semantic(merge, Bag.of(1), Bag.of(2)) == Bag.of(1, 2)
+
+    def test_higher_order_constant(self):
+        term = parse(r"foldBag gplus (\x -> mul x x) {{1, 2, 3}}", REGISTRY)
+        assert denote(term, {}) == 14
+
+
+class TestAgreementWithOperationalSemantics:
+    """⟦t⟧ (denotational) equals the interpreter on first-order results
+    -- the two implementations of Fig. 4(i) coincide."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(unary_programs())
+    def test_generated_programs(self, case):
+        program = case["program"]
+        denotational = apply_semantic(denote(program, {}), case["input"])
+        operational = apply_value(evaluate(program), case["input"])
+        assert denotational == operational
+
+    def test_corpus(self):
+        for source in [
+            "foldBag gplus id (merge {{1, 2}} {{3}})",
+            "let x = add 1 2 in mul x x",
+            r"(\f x -> f (f x)) negateInt 5",
+            "ifThenElse (ltInt 1 2) 10 20",
+        ]:
+            term = parse(source, REGISTRY)
+            assert denote(term, {}) == evaluate(term), source

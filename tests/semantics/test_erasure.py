@@ -1,0 +1,156 @@
+"""Tests for the erasure relation (Def. 3.8) and Lemmas 3.9/3.10: the
+change semantics ⟦t⟧Δ ∅ ∅ erases to the transformed program Derive(t)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.derive.derive import derive_program
+from repro.lang.parser import parse
+from repro.lang.types import TBag, TFun, TInt, Type
+from repro.semantics.change_eval import semantic_derivative_of_term
+from repro.semantics.denotation import denote
+from repro.semantics.erasure import (
+    ErasureCheckError,
+    check_update_agreement,
+    erases_to,
+)
+from repro.semantics.eval import evaluate
+
+from tests.strategies import REGISTRY, unary_programs
+
+
+def sampler(ty: Type):
+    """Sample (value, runtime value, semantic change, runtime change)
+    quadruples for the function cases of Def. 3.8."""
+    if ty == TInt:
+        return [
+            (0, 0, 3, GroupChange(INT_ADD_GROUP, 3)),
+            (5, 5, -2, GroupChange(INT_ADD_GROUP, -2)),
+            (7, 7, 4, Replace(11)),
+        ]
+    if ty == TBag(TInt):
+        return [
+            (
+                Bag.of(1, 2),
+                Bag.of(1, 2),
+                Bag.of(3),
+                GroupChange(BAG_GROUP, Bag.of(3)),
+            ),
+            (
+                Bag.of(1),
+                Bag.of(1),
+                Bag.of(1).negate(),
+                GroupChange(BAG_GROUP, Bag.of(1).negate()),
+            ),
+            (Bag.empty(), Bag.empty(), Bag.of(9), Replace(Bag.of(9))),
+        ]
+    raise ErasureCheckError(f"no samples at {ty!r}")
+
+
+def check_term_erasure(source: str, ty: Type) -> bool:
+    term = parse(source, REGISTRY)
+    semantic_change = semantic_derivative_of_term(term)
+    runtime_change = evaluate(derive_program(term, REGISTRY))
+    base_semantic = denote(term, {})
+    base_runtime = evaluate(term)
+    return erases_to(
+        semantic_change,
+        runtime_change,
+        ty,
+        base_semantic,
+        base_runtime,
+        REGISTRY,
+        sampler,
+    )
+
+
+class TestLemma39:
+    """v ⊕ dv = v ⊕' dv' at base types."""
+
+    def test_int_agreement(self):
+        structure = REGISTRY.change_structure(TInt)
+        assert check_update_agreement(
+            structure, 5, 3, GroupChange(INT_ADD_GROUP, 3)
+        )
+        assert check_update_agreement(structure, 5, 3, Replace(8))
+        assert not check_update_agreement(structure, 5, 3, Replace(9))
+
+    def test_bag_agreement(self):
+        structure = REGISTRY.change_structure(TBag(TInt))
+        delta = Bag.of(7)
+        assert check_update_agreement(
+            structure, Bag.of(1), delta, GroupChange(BAG_GROUP, delta)
+        )
+
+
+class TestLemma310:
+    """⟦t⟧Δ ∅ ∅ erases to Derive(t) on a corpus of closed programs."""
+
+    @pytest.mark.parametrize(
+        "source,ty",
+        [
+            (r"\x -> add x 1", TFun(TInt, TInt)),
+            (r"\x -> mul x x", TFun(TInt, TInt)),
+            (r"\x -> negateInt x", TFun(TInt, TInt)),
+            (r"\xs -> foldBag gplus id xs", TFun(TBag(TInt), TInt)),
+            (
+                r"\xs -> merge xs {{1}}",
+                TFun(TBag(TInt), TBag(TInt)),
+            ),
+            (
+                r"\xs ys -> foldBag gplus id (merge xs ys)",
+                TFun(TBag(TInt), TFun(TBag(TInt), TInt)),
+            ),
+            (
+                r"\xs -> mapBag (\e -> add e 1) xs",
+                TFun(TBag(TInt), TBag(TInt)),
+            ),
+            (r"\x -> singleton x", TFun(TInt, TBag(TInt))),
+            (
+                r"\x y -> add (mul x 2) y",
+                TFun(TInt, TFun(TInt, TInt)),
+            ),
+        ],
+    )
+    def test_corpus(self, source, ty):
+        assert check_term_erasure(source, ty)
+
+    def test_erasure_fails_for_wrong_derivative(self):
+        # A deliberately wrong runtime change is *not* an erasure of ⟦t⟧Δ.
+        term = parse(r"\x -> add x 1", REGISTRY)
+        semantic_change = semantic_derivative_of_term(term)
+        # The correct derivative forwards dx; this one doubles it.
+        wrong = evaluate(parse(r"\x dx -> add' x dx x dx", REGISTRY))
+        assert not erases_to(
+            semantic_change,
+            wrong,
+            TFun(TInt, TInt),
+            denote(term, {}),
+            evaluate(term),
+            REGISTRY,
+            sampler,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(unary_programs(fuel=2))
+    def test_generated_programs(self, case):
+        program = case["program"]
+        ty = TFun(case["input_type"], case["result_type"])
+        semantic_change = semantic_derivative_of_term(program)
+        runtime_change = evaluate(derive_program(program, REGISTRY))
+        assert erases_to(
+            semantic_change,
+            runtime_change,
+            ty,
+            denote(program, {}),
+            evaluate(program),
+            REGISTRY,
+            sampler,
+        )
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ErasureCheckError):
+            check_term_erasure(r"\x -> x", TFun(TFun(TInt, TInt), TFun(TInt, TInt)))

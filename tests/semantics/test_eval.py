@@ -1,0 +1,169 @@
+"""Tests for the call-by-need evaluator (the standard semantics ⟦t⟧)."""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.lang.builders import lam, let, lit, v
+from repro.lang.parser import parse
+from repro.lang.terms import Lit
+from repro.lang.types import TBag, TInt
+from repro.semantics.env import Env
+from repro.semantics.eval import EvaluationError, apply_value, evaluate
+from repro.semantics.thunk import EvalStats
+from repro.semantics.values import Closure, Primitive
+
+
+class TestBasicEvaluation:
+    def test_literal(self):
+        assert evaluate(lit(42)) == 42
+
+    def test_variable_from_env(self):
+        assert evaluate(v.x, {"x": 7}) == 7
+
+    def test_variable_from_env_object(self):
+        assert evaluate(v.x, Env.of(x=7)) == 7
+
+    def test_unbound_variable(self):
+        with pytest.raises(NameError):
+            evaluate(v.x)
+
+    def test_lambda_evaluates_to_closure(self):
+        value = evaluate(lam("x")(v.x))
+        assert isinstance(value, Closure)
+
+    def test_application(self):
+        assert evaluate(lam("x")(v.x)(lit(3))) == 3
+
+    def test_let(self):
+        assert evaluate(let("x", 5, v.x)) == 5
+
+    def test_shadowing(self):
+        term = let("x", 1, let("x", 2, v.x))
+        assert evaluate(term) == 2
+
+    def test_closure_captures_environment(self):
+        # (let y = 10 in λx. y) applied outside the let.
+        make = let("y", 10, lam("x")(v.y))
+        closure = evaluate(make)
+        assert apply_value(closure, 99) == 10
+
+    def test_applying_non_function_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(lit(1)(lit(2)))
+
+
+class TestPrimitives:
+    def test_arithmetic(self, registry):
+        assert evaluate(parse("add 2 3", registry)) == 5
+        assert evaluate(parse("mul 4 5", registry)) == 20
+        assert evaluate(parse("sub 1 9", registry)) == -8
+        assert evaluate(parse("negateInt 6", registry)) == -6
+
+    def test_comparisons(self, registry):
+        assert evaluate(parse("eqInt 2 2", registry)) is True
+        assert evaluate(parse("ltInt 3 2", registry)) is False
+        assert evaluate(parse("leqInt 2 2", registry)) is True
+
+    def test_booleans(self, registry):
+        assert evaluate(parse("and true false", registry)) is False
+        assert evaluate(parse("or true false", registry)) is True
+        assert evaluate(parse("not true", registry)) is False
+        assert evaluate(parse("xor true true", registry)) is False
+
+    def test_if_then_else(self, registry):
+        assert evaluate(parse("ifThenElse true 1 2", registry)) == 1
+        assert evaluate(parse("ifThenElse false 1 2", registry)) == 2
+
+    def test_bags(self, registry):
+        assert evaluate(parse("merge {{1}} {{2}}", registry)) == Bag.of(1, 2)
+        assert evaluate(parse("negate {{1}}", registry)) == Bag({1: -1})
+        assert evaluate(parse("singleton 5", registry)) == Bag.of(5)
+        assert evaluate(parse("emptyBag", registry)) == Bag.empty()
+
+    def test_fold_bag(self, registry):
+        assert evaluate(parse("foldBag gplus id {{1, 2, 3}}", registry)) == 6
+
+    def test_fold_bag_with_lambda(self, registry):
+        term = parse(r"foldBag gplus (\x -> mul x x) {{1, 2, 3}}", registry)
+        assert evaluate(term) == 14
+
+    def test_map_bag(self, registry):
+        term = parse(r"mapBag (\x -> add x 1) {{1, 2}}", registry)
+        assert evaluate(term) == Bag.of(2, 3)
+
+    def test_filter_bag(self, registry):
+        term = parse(r"filterBag (\x -> ltInt 1 x) {{1, 2, 3}}", registry)
+        assert evaluate(term) == Bag.of(2, 3)
+
+    def test_flat_map_bag(self, registry):
+        term = parse(r"flatMapBag (\x -> merge (singleton x) (singleton x)) {{1}}", registry)
+        assert evaluate(term) == Bag.of(1, 1)
+
+    def test_pairs(self, registry):
+        assert evaluate(parse("fst (pair 1 2)", registry)) == 1
+        assert evaluate(parse("snd (pair 1 2)", registry)) == 2
+
+    def test_sums(self, registry):
+        term = parse(r"matchSum (inl 5) (\x -> add x 1) (\y -> 0)", registry)
+        assert evaluate(term) == 6
+        term = parse(r"matchSum (inr 5) (\x -> 0) (\y -> mul y 2)", registry)
+        assert evaluate(term) == 10
+
+    def test_maps(self, registry):
+        from repro.data.pmap import PMap
+
+        term = parse("singletonMap 1 {{7}}", registry)
+        assert evaluate(term) == PMap.singleton(1, Bag.of(7))
+        term = parse("lookupWithDefault 1 0 (singletonMap 1 5)", registry)
+        assert evaluate(term) == 5
+        term = parse("lookupWithDefault 2 0 (singletonMap 1 5)", registry)
+        assert evaluate(term) == 0
+
+    def test_prelude(self, registry):
+        assert evaluate(parse("id 9", registry)) == 9
+        assert evaluate(parse("constFn 1 2", registry)) == 1
+        assert evaluate(parse("applyFn negateInt 3", registry)) == -3
+        assert evaluate(parse("compose negateInt negateInt 8", registry)) == 8
+
+    def test_partial_application(self, registry):
+        add_two = evaluate(parse("add 2", registry))
+        assert isinstance(add_two, Primitive)
+        assert apply_value(add_two, 40) == 42
+
+    def test_higher_order_primitive_receives_closure(self, registry):
+        term = parse(r"(\f -> foldBag gplus f {{1, 2}}) (\x -> mul x 10)", registry)
+        assert evaluate(term) == 30
+
+
+class TestStrictVsLazy:
+    def test_same_results(self, registry):
+        sources = [
+            "foldBag gplus id (merge {{1, 2}} {{3}})",
+            "let x = add 1 2 in mul x x",
+            r"(\x y -> x) 1 2",
+        ]
+        for source in sources:
+            term = parse(source, registry)
+            assert evaluate(term, strict=False) == evaluate(term, strict=True)
+
+    def test_lazy_skips_unused_argument(self, registry):
+        stats = EvalStats()
+        term = parse(r"(\x y -> x) 1 (foldBag gplus id {{1, 2, 3}})", registry)
+        assert evaluate(term, stats=stats) == 1
+        assert stats.calls("foldBag") == 0
+
+    def test_strict_forces_unused_argument(self, registry):
+        stats = EvalStats()
+        term = parse(r"(\x y -> x) 1 (foldBag gplus id {{1, 2, 3}})", registry)
+        assert evaluate(term, strict=True, stats=stats) == 1
+        assert stats.calls("foldBag") == 1
+
+    def test_let_bound_work_shared(self, registry):
+        # Call-by-need: the bound fold runs once despite two uses.
+        stats = EvalStats()
+        term = parse(
+            "let total = foldBag gplus id {{1, 2}} in add total total",
+            registry,
+        )
+        assert evaluate(term, stats=stats) == 6
+        assert stats.calls("foldBag") == 1

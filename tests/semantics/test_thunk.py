@@ -1,0 +1,76 @@
+"""Tests for thunks and evaluation statistics."""
+
+from repro.semantics.thunk import EvalStats, Thunk, force
+
+
+class TestThunk:
+    def test_memoizes(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        thunk = Thunk(compute)
+        assert not thunk.is_forced
+        assert thunk.force() == 42
+        assert thunk.force() == 42
+        assert len(calls) == 1
+        assert thunk.is_forced
+
+    def test_ready(self):
+        thunk = Thunk.ready(7)
+        assert thunk.is_forced
+        assert thunk.force() == 7
+
+    def test_nested_thunks_collapse(self):
+        inner = Thunk(lambda: 5)
+        outer = Thunk(lambda: inner)
+        assert outer.force() == 5
+        assert force(outer) == 5
+
+    def test_force_on_plain_value(self):
+        assert force(3) == 3
+
+    def test_releases_closure_after_forcing(self):
+        thunk = Thunk(lambda: 1)
+        thunk.force()
+        assert thunk._compute is None
+
+    def test_repr(self):
+        thunk = Thunk(lambda: 1)
+        assert "unforced" in repr(thunk)
+        thunk.force()
+        assert "1" in repr(thunk)
+
+
+class TestEvalStats:
+    def test_counts_creation_and_forcing(self):
+        stats = EvalStats()
+        thunk = Thunk(lambda: 1, stats)
+        assert stats.thunks_created == 1
+        assert stats.thunks_forced == 0
+        thunk.force()
+        thunk.force()
+        assert stats.thunks_forced == 1
+
+    def test_primitive_counter(self):
+        stats = EvalStats()
+        stats.record_primitive("merge")
+        stats.record_primitive("merge")
+        stats.record_primitive("foldBag")
+        assert stats.calls("merge") == 2
+        assert stats.calls("foldBag") == 1
+        assert stats.calls("unknown") == 0
+
+    def test_reset(self):
+        stats = EvalStats()
+        Thunk(lambda: 1, stats).force()
+        stats.record_primitive("merge")
+        stats.reset()
+        assert stats.thunks_created == 0
+        assert stats.thunks_forced == 0
+        assert stats.calls("merge") == 0
+
+    def test_repr(self):
+        assert "EvalStats" in repr(EvalStats())

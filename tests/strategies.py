@@ -1,0 +1,301 @@
+"""Hypothesis strategies for values, changes, and well-typed terms.
+
+This module is the randomized analogue of the paper's Agda quantifiers:
+law tests quantify over change-structure elements, and the Derive
+correctness tests quantify over *generated well-typed programs* plus
+inputs and changes for them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP, map_group
+from repro.data.pmap import PMap
+from repro.lang.builders import lam
+from repro.lang.terms import App, Const, Lam, Lit, Term, Var
+from repro.lang.types import TBag, TBool, TFun, TInt, TPair, Type
+from repro.plugins.registry import Registry, standard_registry
+
+REGISTRY = standard_registry()
+
+# -- first-order values ----------------------------------------------------------
+
+small_ints = st.integers(min_value=-50, max_value=50)
+
+bags_of_ints = st.dictionaries(
+    st.integers(min_value=-5, max_value=9),
+    st.integers(min_value=-3, max_value=3).filter(lambda count: count != 0),
+    max_size=6,
+).map(Bag)
+
+maps_int_int = st.dictionaries(
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=-20, max_value=20).filter(lambda value: value != 0),
+    max_size=5,
+).map(PMap)
+
+pairs_of_ints = st.tuples(small_ints, small_ints)
+
+
+def values_of_type(ty: Type) -> st.SearchStrategy[Any]:
+    """Host values inhabiting a first-order type."""
+    if ty == TInt:
+        return small_ints
+    if ty == TBool:
+        return st.booleans()
+    if ty == TBag(TInt):
+        return bags_of_ints
+    if ty == TPair(TInt, TInt):
+        return pairs_of_ints
+    raise NotImplementedError(f"no value strategy for {ty!r}")
+
+
+# -- runtime (erased) changes ----------------------------------------------------------
+
+int_group_changes = small_ints.map(
+    lambda delta: GroupChange(INT_ADD_GROUP, delta)
+)
+int_replace_changes = small_ints.map(Replace)
+int_changes = st.one_of(int_group_changes, int_replace_changes)
+
+bag_group_changes = bags_of_ints.map(
+    lambda delta: GroupChange(BAG_GROUP, delta)
+)
+bag_replace_changes = bags_of_ints.map(Replace)
+bag_changes = st.one_of(bag_group_changes, bag_replace_changes)
+
+bool_changes = st.booleans().map(Replace)
+
+pair_int_changes = st.tuples(int_changes, int_changes)
+
+
+def runtime_changes_of_type(ty: Type) -> st.SearchStrategy[Any]:
+    """Erased changes valid for any value of a first-order type."""
+    if ty == TInt:
+        return int_changes
+    if ty == TBool:
+        return bool_changes
+    if ty == TBag(TInt):
+        return bag_changes
+    if ty == TPair(TInt, TInt):
+        return pair_int_changes
+    raise NotImplementedError(f"no change strategy for {ty!r}")
+
+
+# -- semantic changes (for the change semantics / erasure tests) ----------------------
+
+def semantic_changes_of_type(ty: Type) -> st.SearchStrategy[Any]:
+    if ty == TInt:
+        return small_ints
+    if ty == TBool:
+        return st.booleans()
+    if ty == TBag(TInt):
+        return bags_of_ints
+    if ty == TPair(TInt, TInt):
+        return st.tuples(small_ints, small_ints)
+    raise NotImplementedError(f"no semantic change strategy for {ty!r}")
+
+
+# -- well-typed term generation ------------------------------------------------------
+
+#: Ready-made typed atoms: (term, type).  Constants are drawn from the
+#: standard registry at concrete instantiations.
+def _atoms() -> List[Tuple[Term, Type]]:
+    const = REGISTRY.constant
+    int_bag = TBag(TInt)
+    int_pair = TPair(TInt, TInt)
+    return [
+        (const("add"), TFun(TInt, TFun(TInt, TInt))),
+        (const("sub"), TFun(TInt, TFun(TInt, TInt))),
+        (const("mul"), TFun(TInt, TFun(TInt, TInt))),
+        (const("negateInt"), TFun(TInt, TInt)),
+        (const("id"), TFun(TInt, TInt)),
+        (const("merge"), TFun(int_bag, TFun(int_bag, int_bag))),
+        (const("negate"), TFun(int_bag, int_bag)),
+        (const("singleton"), TFun(TInt, int_bag)),
+        (
+            App(App(const("foldBag"), const("gplus")), const("id")),
+            TFun(int_bag, TInt),
+        ),
+        (
+            App(const("mapBag"), lam("m_elem")(App(App(const("add"), Var("m_elem")), Lit(1, TInt)))),
+            TFun(int_bag, int_bag),
+        ),
+        # Comparisons: Bool-valued, Replace-changing outputs.
+        (const("ltInt"), TFun(TInt, TFun(TInt, TBool))),
+        (const("eqInt"), TFun(TInt, TFun(TInt, TBool))),
+        # Conditionals at Int and Bag Int: exercise branch flips.
+        (const("ifThenElse"), TFun(TBool, TFun(TInt, TFun(TInt, TInt)))),
+        (
+            const("ifThenElse"),
+            TFun(TBool, TFun(int_bag, TFun(int_bag, int_bag))),
+        ),
+        (const("not"), TFun(TBool, TBool)),
+        # Pairs: product changes flowing through projections.
+        (const("pair"), TFun(TInt, TFun(TInt, int_pair))),
+        (const("fst"), TFun(int_pair, TInt)),
+        (const("snd"), TFun(int_pair, TInt)),
+    ]
+
+
+_GOAL_TYPES = [TInt, TBag(TInt)]
+_LITERAL_TYPES = (TInt, TBag(TInt), TBool, TPair(TInt, TInt))
+
+
+@st.composite
+def first_order_terms(
+    draw,
+    goal: Type,
+    context: Tuple[Tuple[str, Type], ...] = (),
+    fuel: int = 3,
+) -> Term:
+    """A well-typed term of first-order type ``goal`` in ``context``."""
+    options: List[str] = []
+    variables = [name for name, ty in context if ty == goal]
+    function_variables = [
+        (name, ty)
+        for name, ty in context
+        if isinstance(ty, TFun) and ty.res == goal
+    ]
+    if variables:
+        options.extend(["var"] * 3)
+    if goal in _LITERAL_TYPES:
+        options.append("lit")
+    if fuel > 0:
+        options.extend(["app"] * 3)
+        if function_variables:
+            options.extend(["fvar_app"] * 3)
+    choice = draw(st.sampled_from(options))
+    if choice == "var":
+        return Var(draw(st.sampled_from(variables)))
+    if choice == "lit":
+        return Lit(draw(values_of_type(goal)), goal)
+    if choice == "fvar_app":
+        name, fn_type = draw(st.sampled_from(function_variables))
+        argument = draw(
+            first_order_terms(fn_type.arg, context=context, fuel=fuel - 1)
+        )
+        return App(Var(name), argument)
+    # Application: pick an atom producing ``goal`` after 1-2 arguments.
+    candidates = []
+    for atom, atom_type in _atoms():
+        argument_types: List[Type] = []
+        result = atom_type
+        while isinstance(result, TFun):
+            argument_types.append(result.arg)
+            result = result.res
+            if result == goal:
+                candidates.append((atom, tuple(argument_types)))
+    if not candidates:
+        return Lit(draw(values_of_type(goal)), goal)
+    atom, argument_types = draw(st.sampled_from(candidates))
+    term: Term = atom
+    for argument_type in argument_types:
+        argument = draw(
+            first_order_terms(argument_type, context=context, fuel=fuel - 1)
+        )
+        term = App(term, argument)
+    return term
+
+
+@st.composite
+def unary_programs(draw, fuel: int = 3):
+    """A closed program ``λx: σ. body : σ → τ`` with first-order σ, τ,
+    together with (input, runtime-change, semantic-change) strategies'
+    draws for exercising it."""
+    input_type = draw(st.sampled_from(_GOAL_TYPES))
+    result_type = draw(st.sampled_from(_GOAL_TYPES))
+    body = draw(
+        first_order_terms(
+            result_type, context=(("x", input_type),), fuel=fuel
+        )
+    )
+    program = Lam("x", body, input_type)
+    input_value = draw(values_of_type(input_type))
+    runtime_change = draw(runtime_changes_of_type(input_type))
+    semantic_change = draw(semantic_changes_of_type(input_type))
+    return {
+        "program": program,
+        "input_type": input_type,
+        "result_type": result_type,
+        "input": input_value,
+        "runtime_change": runtime_change,
+        "semantic_change": semantic_change,
+    }
+
+
+@st.composite
+def higher_order_cases(draw, fuel: int = 3):
+    """A program with a *function* parameter ``f : Int → Int`` and an int
+    parameter, plus a semantic function value, a valid function change
+    (built as ``g ⊖ f`` for a second drawn function -- valid by Def. 2.1d),
+    an int input, and an int change.  For exercising the §2.2 theory and
+    the change semantics on genuinely higher-order programs."""
+    body = draw(
+        first_order_terms(
+            TInt,
+            context=(("f", TFun(TInt, TInt)), ("x", TInt)),
+            fuel=fuel,
+        )
+    )
+    program = Lam("f", Lam("x", body, TInt), TFun(TInt, TInt))
+    slope_f = draw(st.integers(min_value=-4, max_value=4))
+    offset_f = draw(small_ints)
+    slope_g = draw(st.integers(min_value=-4, max_value=4))
+    offset_g = draw(small_ints)
+
+    def fn(value: int) -> int:
+        return slope_f * value + offset_f
+
+    def target(value: int) -> int:
+        return slope_g * value + offset_g
+
+    def fn_change(point: int):
+        # (g ⊖ f) a da = g (a + da) − f a  -- a valid change f ⇝ g.
+        def with_change(point_change: int) -> int:
+            return target(point + point_change) - fn(point)
+
+        return with_change
+
+    return {
+        "program": program,
+        "body": body,
+        "fn": fn,
+        "fn_change": fn_change,
+        "fn_updated": target,
+        "input": draw(small_ints),
+        "input_change": draw(small_ints),
+    }
+
+
+@st.composite
+def binary_programs(draw, fuel: int = 2):
+    """A closed two-argument program with inputs and changes."""
+    first_type = draw(st.sampled_from(_GOAL_TYPES))
+    second_type = draw(st.sampled_from(_GOAL_TYPES))
+    result_type = draw(st.sampled_from(_GOAL_TYPES))
+    body = draw(
+        first_order_terms(
+            result_type,
+            context=(("x", first_type), ("y", second_type)),
+            fuel=fuel,
+        )
+    )
+    program = Lam("x", Lam("y", body, second_type), first_type)
+    return {
+        "program": program,
+        "inputs": [
+            draw(values_of_type(first_type)),
+            draw(values_of_type(second_type)),
+        ],
+        "changes": [
+            draw(runtime_changes_of_type(first_type)),
+            draw(runtime_changes_of_type(second_type)),
+        ],
+        "result_type": result_type,
+    }
