@@ -7,7 +7,7 @@ grand_total' only depends on the size of dxs and dys".
 
 import pytest
 
-from benchmarks.conftest import time_best_of
+from benchmarks.conftest import record_eval_stats, time_best_of
 from repro.data.bag import Bag
 from repro.data.change_values import GroupChange
 from repro.data.group import BAG_GROUP
@@ -43,6 +43,7 @@ def test_grand_total_incremental(benchmark, registry, size):
     benchmark.extra_info["series"] = "incremental"
     benchmark.extra_info["input_size"] = size
     benchmark(program.step, dxs, dys)
+    record_eval_stats(benchmark, program)
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -51,6 +52,7 @@ def test_grand_total_recomputation(benchmark, registry, size):
     benchmark.extra_info["series"] = "recomputation"
     benchmark.extra_info["input_size"] = size
     benchmark(program.recompute)
+    record_eval_stats(benchmark, program)
 
 
 def test_grand_total_shape(benchmark, registry):

@@ -11,6 +11,7 @@ Benchmarks deliberately measure two things separately:
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, Tuple
 
@@ -19,12 +20,31 @@ import pytest
 from repro.incremental.engine import IncrementalProgram, incrementalize
 from repro.mapreduce.skeleton import grand_total_term, histogram_term
 from repro.mapreduce.workloads import add_word_change, make_corpus
+from repro.observability.export import export_metrics
 from repro.plugins.registry import Registry, standard_registry
 
 
 @pytest.fixture(scope="session")
 def registry() -> Registry:
     return standard_registry()
+
+
+def record_eval_stats(benchmark, program) -> None:
+    """Attach a program's cumulative ``EvalStats`` to the benchmark's
+    ``extra_info`` so the JSON report carries the paper-shape counters
+    (thunks forced, primitive calls) next to the timings."""
+    benchmark.extra_info["eval_stats"] = program.stats.snapshot().to_dict()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _export_metrics_on_exit():
+    """When ``REPRO_METRICS_EXPORT`` names a path, dump the global metrics
+    registry there (JSON lines) at the end of the benchmark session --
+    the CI artifact hook."""
+    yield
+    path = os.environ.get("REPRO_METRICS_EXPORT")
+    if path:
+        export_metrics(path)
 
 
 #: Input sizes for the Fig. 7 sweep (number of word occurrences).  The

@@ -3,6 +3,7 @@
     python -m repro derive "\\xs ys -> foldBag gplus id (merge xs ys)"
     python -m repro check  "\\xs -> mapBag (\\e -> add e 1) xs"
     python -m repro eval   "foldBag gplus id {{1, 2, 3}}"
+    python -m repro trace  "\\xs -> foldBag gplus id xs" --steps 5 --json
 
 Subcommands:
 
@@ -10,18 +11,22 @@ Subcommands:
   unoptimized), its type, and the derivative's type;
 * ``check``   -- type a program and print the Sec. 4.2/4.3 analysis
   reports (closed subterms, specializable spines, self-maintainability);
-* ``eval``    -- evaluate a closed term and print the value.
+* ``eval``    -- evaluate a closed term and print the value;
+* ``trace``   -- run a program incrementally over generated changes and
+  print the per-step telemetry (wall time, ⊕ count, thunk and
+  primitive-call deltas), as text or JSON lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.nil_analysis import analyze_nil_changes
 from repro.analysis.self_maintainability import analyze_self_maintainability
-from repro.derive.derive import derive_program
+from repro.derive.derive import DeriveError, derive_program
 from repro.lang.infer import InferenceError, infer_type
 from repro.lang.parser import ParseError, parse
 from repro.lang.pretty import pretty, pretty_type
@@ -29,7 +34,7 @@ from repro.lang.typecheck import TypeCheckError, check
 from repro.lang.context import Context
 from repro.optimize.pipeline import optimize
 from repro.plugins.registry import standard_registry
-from repro.semantics.eval import evaluate
+from repro.semantics.eval import EvaluationError, evaluate
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +75,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="use call-by-value evaluation",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run a program incrementally and print per-step telemetry",
+    )
+    trace_parser.add_argument("program", help="surface-syntax program")
+    trace_parser.add_argument(
+        "--steps",
+        type=int,
+        default=5,
+        help="number of incremental steps to run (default 5)",
+    )
+    trace_parser.add_argument(
+        "--size",
+        type=int,
+        default=1000,
+        help="approximate size of generated initial inputs (default 1000)",
+    )
+    trace_parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="seed for the generated inputs and change stream",
+    )
+    trace_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON record per step instead of text",
+    )
+    trace_parser.add_argument(
+        "--caching",
+        action="store_true",
+        help="run under the static-caching engine (per-binding telemetry)",
+    )
+    trace_parser.add_argument(
+        "--no-specialize",
+        action="store_true",
+        help="disable the Sec. 4.2 nil-change specializations",
+    )
+    trace_parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="run the raw derivative without β/DCE/folding",
+    )
+    trace_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the final output against recomputation (Eq. 1)",
+    )
+    trace_parser.add_argument(
+        "--export",
+        metavar="PATH",
+        help="also write step records and metrics to PATH as JSON lines",
     )
     return parser
 
@@ -118,6 +177,56 @@ def _command_eval(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace, out) -> int:
+    from repro.incremental.driver import run_trace
+    from repro.observability.export import span_record, write_jsonl
+    from repro.observability.report import format_trace
+
+    if args.steps < 0:
+        print("error: --steps must be >= 0", file=out)
+        return 1
+    registry = standard_registry()
+    term = parse(args.program, registry)
+    result = run_trace(
+        term,
+        registry,
+        steps=args.steps,
+        size=args.size,
+        seed=args.seed,
+        specialize=not args.no_specialize,
+        optimize=not args.no_optimize,
+        caching=args.caching,
+        verify=args.verify,
+    )
+    if args.json:
+        for record in result.records:
+            print(json.dumps(record, sort_keys=True, default=repr), file=out)
+    else:
+        types = " -> ".join(pretty_type(ty) for ty in result.input_types)
+        print(f"program:    {args.program}", file=out)
+        print(f"inputs:     {types}  (size~{args.size}, seed {args.seed})", file=out)
+        if result.initialize_span is not None:
+            span = result.initialize_span
+            print(
+                f"initialize: {span.duration * 1e3:.3f}ms  "
+                f"thunks forced={span.get('thunks_forced', 0)}",
+                file=out,
+            )
+        print(format_trace(result.records), file=out)
+        if args.verify:
+            print("verify:     ok (Eq. 1 holds)", file=out)
+    if args.export:
+        records = []
+        if result.initialize_span is not None:
+            records.append(span_record(result.initialize_span))
+        records.extend(result.records)
+        records.extend(result.metrics)
+        count = write_jsonl(args.export, records)
+        if not args.json:
+            print(f"exported:   {count} records to {args.export}", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
@@ -129,7 +238,18 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _command_check(args, out)
         if args.command == "eval":
             return _command_eval(args, out)
+        if args.command == "trace":
+            return _command_trace(args, out)
     except (ParseError, InferenceError, TypeCheckError) as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except (EvaluationError, DeriveError) as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except (ArithmeticError, LookupError, OSError, TypeError, ValueError) as error:
+        # Runtime failures inside primitive evaluation (e.g. a partial
+        # primitive applied outside its domain) and I/O failures (e.g. an
+        # unwritable --export path) must not escape as raw tracebacks.
         print(f"error: {error}", file=out)
         return 1
     parser.error(f"unknown command {args.command!r}")

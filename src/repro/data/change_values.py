@@ -28,6 +28,18 @@ from __future__ import annotations
 from typing import Any
 
 from repro.data.group import AbelianGroup
+from repro.observability import metrics as _metrics
+
+# Change-algebra operation counters (Alvarez-Picallo's change-action line
+# of work evaluates incrementalization by counting exactly these).  The
+# counters live in the process-global registry; each call site pays a
+# single flag read while observability is disabled.
+_STATE = _metrics.STATE
+_OPLUS_COUNTER = _metrics.GLOBAL_REGISTRY.counter("changes.oplus")
+_OMINUS_COUNTER = _metrics.GLOBAL_REGISTRY.counter("changes.ominus")
+_COMPOSE_COUNTER = _metrics.GLOBAL_REGISTRY.counter("changes.compose")
+_COMPOSE_QUEUED = _metrics.GLOBAL_REGISTRY.counter("changes.compose_queued")
+_NIL_COUNTER = _metrics.GLOBAL_REGISTRY.counter("changes.nil")
 
 
 class Change:
@@ -113,6 +125,8 @@ def oplus_value(value: Any, change: Any) -> Any:
     function changes, and tuples pointwise (the product change structure
     used by the pairs plugin).
     """
+    if _STATE.on:
+        _OPLUS_COUNTER.inc()
     if isinstance(change, Replace):
         return change.value
     if isinstance(change, GroupChange):
@@ -144,6 +158,8 @@ def ominus_values(new: Any, old: Any) -> Any:
     advantage of the group structure").  Function values use their
     ``__ominus__`` protocol, and tuples difference pointwise.
     """
+    if _STATE.on:
+        _OMINUS_COUNTER.inc()
     ominus = getattr(new, "__ominus__", None)
     if ominus is not None:
         return ominus(old)
@@ -170,6 +186,8 @@ def nil_change_for(value: Any) -> Any:
     from repro.data.bag import Bag
     from repro.data.group import BAG_GROUP, INT_ADD_GROUP
 
+    if _STATE.on:
+        _NIL_COUNTER.inc()
     nil_hook = getattr(value, "__nil_change__", None)
     if nil_hook is not None:
         return nil_hook()
@@ -203,6 +221,8 @@ def compose_changes(first: Any, second: Any) -> Any:
     * list edit scripts concatenate;
     * pair changes compose pointwise (when both components compose).
     """
+    if _STATE.on:
+        _COMPOSE_COUNTER.inc()
     if isinstance(second, Replace):
         return second
     if isinstance(first, Replace):
@@ -224,7 +244,42 @@ def compose_changes(first: Any, second: Any) -> Any:
     compose_hook = getattr(first, "compose_with", None)
     if compose_hook is not None:
         return compose_hook(second)
+    if _STATE.on:
+        _COMPOSE_QUEUED.inc()
     return None
+
+
+def change_size(change: Any) -> int:
+    """A size estimate of a change's payload, for telemetry.
+
+    This is the ``|change|`` of the paper's O(|change|) claim, measured on
+    the erased representation: the number of touched elements for group
+    deltas over sized carriers, the replaced value's size for ``Replace``,
+    the component sum for products, and 1 for scalars and opaque changes
+    (function changes, custom plugin changes without a hook).
+    """
+    from repro.data.bag import Bag
+    from repro.data.pmap import PMap
+
+    def payload_size(payload: Any) -> int:
+        if isinstance(payload, Bag):
+            return sum(abs(count) for _, count in payload.counts())
+        if isinstance(payload, PMap):
+            return sum(payload_size(value) for _, value in payload.items())
+        if isinstance(payload, (list, tuple, set, frozenset, dict)):
+            return len(payload)
+        return 1
+
+    if isinstance(change, GroupChange):
+        return payload_size(change.delta)
+    if isinstance(change, Replace):
+        return payload_size(change.value)
+    if isinstance(change, tuple):
+        return sum(change_size(component) for component in change)
+    size_hook = getattr(change, "__change_size__", None)
+    if size_hook is not None:
+        return size_hook()
+    return 1
 
 
 def is_nil_change(change: Any, base: Any = None) -> bool:

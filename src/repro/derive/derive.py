@@ -33,6 +33,7 @@ from repro.lang.traversal import (
     rename_d_variables,
     spine,
 )
+from repro.observability import metrics as _metrics
 from repro.plugins.registry import Registry
 
 
@@ -163,10 +164,21 @@ def _try_specialize(
     }
     for specialization in spec.specializations:
         if specialization.nil_positions <= nil_positions:
+            if _metrics.STATE.on:
+                # The Sec. 4.2 nil-change analysis fired: count which
+                # primitives get specialized (typically self-maintainable)
+                # derivatives instead of generic ones.
+                registry_metrics = _metrics.GLOBAL_REGISTRY
+                registry_metrics.counter("derive.specializations").inc()
+                registry_metrics.counter(
+                    f"derive.specialization.{spec.name}"
+                ).inc()
             return specialization.builder(
                 arguments,
                 lambda t: _derive(t, registry, True, closed_vars),
             )
+    if _metrics.STATE.on:
+        _metrics.GLOBAL_REGISTRY.counter("derive.generic_fallbacks").inc()
     return None
 
 
@@ -184,4 +196,20 @@ def derive_program(
         term = rename_d_variables(term)
     if annotate:
         term, _ = infer_type(term, require_ground=False)
-    return derive(term, registry, specialize)
+    if not _metrics.STATE.on:
+        return derive(term, registry, specialize)
+    import time
+
+    registry_metrics = _metrics.GLOBAL_REGISTRY
+    specialized_before = registry_metrics.counter_value("derive.specializations")
+    start = time.perf_counter()
+    derived = derive(term, registry, specialize)
+    registry_metrics.counter("derive.programs").inc()
+    registry_metrics.histogram("derive.wall_time_s").record(
+        time.perf_counter() - start
+    )
+    registry_metrics.histogram("derive.specializations_per_program").record(
+        registry_metrics.counter_value("derive.specializations")
+        - specialized_before
+    )
+    return derived

@@ -28,11 +28,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.data.change_values import oplus_value
+from repro.data.change_values import change_size, oplus_value
 from repro.derive.derive import derive, rename_d_variables
 from repro.incremental.engine import _LazyInput
 from repro.lang.infer import infer_type
 from repro.lang.terms import Lam, Lit, Term, Var
+from repro.observability import Observability, Span, get_observability
+from repro.observability import metrics as _metrics
 from repro.optimize.anf import anf_bindings, is_atomic, to_anf
 from repro.plugins.registry import Registry
 from repro.semantics.env import Env
@@ -91,6 +93,8 @@ class CachingIncrementalProgram:
         self._caches: Dict[str, _LazyInput] = {}
         self._output: Any = None
         self._steps = 0
+        #: Root span of the most recent observed step (see engine).
+        self.last_step_span: Optional[Span] = None
 
     @property
     def arity(self) -> int:
@@ -101,6 +105,27 @@ class CachingIncrementalProgram:
     def initialize(self, *inputs: Any) -> Any:
         if len(inputs) != self.arity:
             raise ValueError(f"expected {self.arity} inputs, got {len(inputs)}")
+        hub = get_observability()
+        if not hub.enabled:
+            return self._initialize(inputs)
+        stats_before = self.stats.snapshot()
+        with hub.tracer.span(
+            "caching.initialize", arity=self.arity, bindings=len(self.bindings)
+        ) as span:
+            output = self._initialize(inputs)
+            delta = self.stats.diff(stats_before)
+            span.set(
+                thunks_created=delta.thunks_created,
+                thunks_forced=delta.thunks_forced,
+                primitive_calls=delta.primitive_calls,
+            )
+        hub.metrics.counter("caching.initializations").inc()
+        hub.metrics.histogram("caching.initialize.wall_time_s").record(
+            span.duration
+        )
+        return output
+
+    def _initialize(self, inputs: Any) -> Any:
         self._inputs = [_LazyInput(value) for value in inputs]
         env = Env.empty()
         for name, lazy_input in zip(self.parameters, self._inputs):
@@ -137,6 +162,23 @@ class CachingIncrementalProgram:
             raise ValueError(
                 f"expected {self.arity} changes, got {len(changes)}"
             )
+        if _metrics.STATE.on:
+            return self._step_observed(get_observability(), changes)
+        binding_changes = self._binding_changes(changes)
+        output_change = self._atom_change(changes, binding_changes)
+        self._output = oplus_value(self._output, force(output_change))
+        # Advance caches and inputs only now: every derivative above saw
+        # pre-step values.  Unforced derivative thunks are forced here (a
+        # cache cannot skip its own update), still lazily per value.
+        for name, change in binding_changes.items():
+            self._caches[name].push(force(change))
+        for lazy_input, change in zip(self._inputs, changes):
+            lazy_input.push(change)
+        self._steps += 1
+        return self._output
+
+    def _binding_changes(self, changes: Any) -> Dict[str, Any]:
+        """Build the step environment and one lazy change per binding."""
         env = Env.empty()
         for name, lazy_input, change in zip(
             self.parameters, self._inputs, changes
@@ -156,17 +198,78 @@ class CachingIncrementalProgram:
             )
             env = env.extend(f"d{name}", change)
             binding_changes[name] = change
+        return binding_changes
 
-        output_change = self._atom_change(changes, binding_changes)
-        self._output = oplus_value(self._output, force(output_change))
-        # Advance caches and inputs only now: every derivative above saw
-        # pre-step values.  Unforced derivative thunks are forced here (a
-        # cache cannot skip its own update), still lazily per value.
-        for name, change in binding_changes.items():
-            self._caches[name].push(force(change))
-        for lazy_input, change in zip(self._inputs, changes):
-            lazy_input.push(change)
-        self._steps += 1
+    def _step_observed(self, hub: Observability, changes: Any) -> Any:
+        """``step`` with a per-step span: per-binding derivative timings
+        plus lazily-advanced vs. materialized cache counts."""
+        metrics = hub.metrics
+        stats_before = self.stats.snapshot()
+        oplus_before = metrics.counter_value("changes.oplus")
+        compose_before = metrics.counter_value("changes.compose")
+        cache_materialized_before = {
+            name: cache.materializations
+            for name, cache in self._caches.items()
+        }
+        inputs_materialized_before = sum(
+            lazy_input.materializations for lazy_input in self._inputs
+        )
+        with hub.tracer.span("caching.step", step=self._steps) as span:
+            with hub.tracer.span("derivative"):
+                binding_changes = self._binding_changes(changes)
+                output_change = force(
+                    self._atom_change(changes, binding_changes)
+                )
+            with hub.tracer.span("oplus"):
+                self._output = oplus_value(self._output, output_change)
+            for name, change in binding_changes.items():
+                # Forcing the binding's derivative is where its cost
+                # lands; one child span per binding makes it visible.
+                with hub.tracer.span("binding", binding=name) as binding_span:
+                    value = force(change)
+                    binding_span.set(change_size=change_size(value))
+                self._caches[name].push(value)
+            for lazy_input, change in zip(self._inputs, changes):
+                lazy_input.push(change)
+            self._steps += 1
+            delta = self.stats.diff(stats_before)
+            caches_materialized = sum(
+                1
+                for name, cache in self._caches.items()
+                if cache.materializations > cache_materialized_before[name]
+            )
+            span.set(
+                oplus_count=metrics.counter_value("changes.oplus")
+                - oplus_before,
+                compose_count=metrics.counter_value("changes.compose")
+                - compose_before,
+                output_change_size=change_size(output_change),
+                thunks_created=delta.thunks_created,
+                thunks_forced=delta.thunks_forced,
+                thunk_hits=delta.thunk_hits,
+                primitive_calls=delta.primitive_calls,
+                pending_depth=[
+                    lazy_input.pending_changes for lazy_input in self._inputs
+                ],
+                inputs_materialized=sum(
+                    lazy_input.materializations for lazy_input in self._inputs
+                )
+                - inputs_materialized_before,
+                caches_materialized=caches_materialized,
+                caches_lazy=len(self._caches) - caches_materialized,
+            )
+        metrics.counter("caching.steps").inc()
+        metrics.counter("caching.cache.materializations").inc(
+            span["caches_materialized"]
+        )
+        metrics.counter("caching.cache.lazy_advances").inc(span["caches_lazy"])
+        metrics.histogram("caching.step.wall_time_s").record(span.duration)
+        for child in span.children:
+            if child.name == "binding":
+                metrics.histogram(
+                    f"caching.binding.{child['binding']}.wall_time_s"
+                ).record(child.duration)
+        self.last_step_span = span
         return self._output
 
     def _atom_change(self, changes, binding_changes) -> Any:

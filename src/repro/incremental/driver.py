@@ -1,0 +1,183 @@
+"""Drive a program incrementally over generated change streams.
+
+This is the engine behind ``python -m repro trace``: given a closed
+program, it synthesizes type-appropriate initial inputs and a
+reproducible stream of small changes, runs ``initialize`` plus N
+``step``s under observability, and returns the per-step records (the
+flattened ``engine.step`` spans) ready for printing or JSON-lines
+export.
+
+Input/change synthesis mirrors the paper's workloads: bags get
+singleton insertions/removals (the Fig. 7 change shape), maps of bags
+get one word added to one document, integers drift by small deltas.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP, map_group
+from repro.data.pmap import PMap
+from repro.incremental.caching import CachingIncrementalProgram
+from repro.incremental.engine import IncrementalProgram
+from repro.lang.terms import Term
+from repro.lang.types import TBase, Type, uncurry_fun_type
+from repro.observability import Span, observing
+from repro.observability.export import metrics_records, step_record
+from repro.plugins.registry import Registry
+
+
+class WorkloadError(ValueError):
+    """No input/change generator exists for a parameter type."""
+
+
+def _is_base(ty: Type, name: str, arity: int) -> bool:
+    return isinstance(ty, TBase) and ty.name == name and len(ty.args) == arity
+
+
+def generate_input(ty: Type, size: int, rng: random.Random) -> Any:
+    """A synthetic initial value of type ``ty`` with ~``size`` elements."""
+    if _is_base(ty, "Int", 0):
+        return rng.randrange(size + 1)
+    if _is_base(ty, "Bool", 0):
+        return True
+    if _is_base(ty, "Bag", 1) and _is_base(ty.args[0], "Int", 0):
+        return Bag.from_iterable(rng.randrange(size * 2) for _ in range(size))
+    if _is_base(ty, "Pair", 2):
+        return (
+            generate_input(ty.args[0], size, rng),
+            generate_input(ty.args[1], size, rng),
+        )
+    if _is_base(ty, "Map", 2) and _is_base(ty.args[0], "Int", 0):
+        value_type = ty.args[1]
+        buckets = max(1, size // 100)
+        if _is_base(value_type, "Bag", 1):
+            return PMap(
+                {
+                    key: Bag.from_iterable(
+                        rng.randrange(1000) for _ in range(size // buckets)
+                    )
+                    for key in range(buckets)
+                }
+            )
+        if _is_base(value_type, "Int", 0):
+            return PMap(
+                {key: rng.randrange(1, size + 1) for key in range(buckets)}
+            )
+    raise WorkloadError(
+        f"cannot generate an input of type {ty!r}; "
+        "supported: Int, Bool, Bag Int, pairs, Map Int (Bag Int), Map Int Int"
+    )
+
+
+def generate_change(ty: Type, rng: random.Random) -> Any:
+    """A small (O(1)-payload) change for a value of type ``ty``."""
+    if _is_base(ty, "Int", 0):
+        return GroupChange(INT_ADD_GROUP, rng.randint(-5, 5))
+    if _is_base(ty, "Bool", 0):
+        return Replace(rng.random() < 0.5)
+    if _is_base(ty, "Bag", 1) and _is_base(ty.args[0], "Int", 0):
+        element = Bag.singleton(rng.randrange(2000))
+        if rng.random() < 0.2:
+            element = element.negate()
+        return GroupChange(BAG_GROUP, element)
+    if _is_base(ty, "Pair", 2):
+        return (
+            generate_change(ty.args[0], rng),
+            generate_change(ty.args[1], rng),
+        )
+    if _is_base(ty, "Map", 2) and _is_base(ty.args[0], "Int", 0):
+        value_type = ty.args[1]
+        key = rng.randrange(100)
+        if _is_base(value_type, "Bag", 1):
+            word = Bag.singleton(rng.randrange(1000))
+            if rng.random() < 0.2:
+                word = word.negate()
+            return GroupChange(map_group(BAG_GROUP), PMap.singleton(key, word))
+        if _is_base(value_type, "Int", 0):
+            return GroupChange(
+                map_group(INT_ADD_GROUP),
+                PMap.singleton(key, rng.randint(-5, 5)),
+            )
+    raise WorkloadError(
+        f"cannot generate a change of type {ty!r}; "
+        "supported: Int, Bool, Bag Int, pairs, Map Int (Bag Int), Map Int Int"
+    )
+
+
+@dataclass
+class TraceResult:
+    """Everything a ``trace`` invocation observed."""
+
+    program: Any
+    input_types: List[Type]
+    inputs: List[Any]
+    records: List[Dict[str, Any]]
+    initialize_span: Optional[Span] = None
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def output(self) -> Any:
+        return self.program.output
+
+
+def run_trace(
+    term: Term,
+    registry: Registry,
+    steps: int = 5,
+    size: int = 1000,
+    seed: int = 7,
+    specialize: bool = True,
+    optimize: bool = True,
+    caching: bool = False,
+    verify: bool = False,
+) -> TraceResult:
+    """Incrementalize ``term``, run it over a generated change stream
+    under observability, and collect per-step records.
+
+    ``verify=True`` additionally checks Eq. (1) after the last step
+    (which materializes the inputs -- the queues will show it).
+    """
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    rng = random.Random(seed)
+    with observing() as hub:
+        if caching:
+            program: Any = CachingIncrementalProgram(
+                term, registry, specialize=specialize
+            )
+        else:
+            program = IncrementalProgram(
+                term, registry, specialize=specialize, optimize=optimize
+            )
+        input_types = list(uncurry_fun_type(program.program_type)[0])
+        if len(input_types) < getattr(program, "arity", len(input_types)):
+            raise WorkloadError("program type is not fully curried")
+        input_types = input_types[: program.arity]
+        inputs = [generate_input(ty, size, rng) for ty in input_types]
+        program.initialize(*inputs)
+        initialize_span = hub.tracer.last(
+            "caching.initialize" if caching else "engine.initialize"
+        )
+        records: List[Dict[str, Any]] = []
+        for _ in range(steps):
+            changes = [generate_change(ty, rng) for ty in input_types]
+            program.step(*changes)
+            records.append(step_record(program.last_step_span))
+        if verify and not program.verify():
+            raise RuntimeError(
+                "verification failed: incremental output diverged from "
+                "recomputation"
+            )
+    return TraceResult(
+        program=program,
+        input_types=input_types,
+        inputs=inputs,
+        records=records,
+        initialize_span=initialize_span,
+        metrics=metrics_records(hub.metrics),
+    )

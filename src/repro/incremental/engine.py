@@ -23,11 +23,17 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
-from repro.data.change_values import oplus_value
+from repro.data.change_values import change_size, oplus_value
 from repro.derive.derive import derive_program
 from repro.lang.infer import infer_type
 from repro.lang.terms import Term
 from repro.lang.types import Type, uncurry_fun_type
+from repro.observability import Observability, Span, get_observability
+from repro.observability import metrics as _metrics
+
+#: Pre-bound enabled flag: the step fast path reads one attribute
+#: instead of calling into the observability hub.
+_STATE = _metrics.STATE
 from repro.optimize.pipeline import optimize as run_optimizer
 from repro.plugins.registry import Registry
 from repro.semantics.eval import apply_value, evaluate
@@ -41,13 +47,22 @@ class _LazyInput:
     sequences never build nested thunk chains (and never overflow the
     Python stack).  While the queue is unforced, a self-maintainable
     derivative pays nothing for input advancement beyond an append.
+
+    ``advances`` counts pushes; ``materializations`` counts the times
+    ``current()`` actually had to fold a non-empty queue -- i.e. someone
+    (a non-self-maintainable derivative, ``recompute``, a verifier)
+    demanded the up-to-date base value.  A self-maintainable fast path
+    shows ``materializations == 0`` across steps, which is the checkable
+    form of "the derivative never touched its base input".
     """
 
-    __slots__ = ("_value", "_pending")
+    __slots__ = ("_value", "_pending", "advances", "materializations")
 
     def __init__(self, value: Any):
         self._value = value
         self._pending: List[Any] = []
+        self.advances = 0
+        self.materializations = 0
 
     #: Above this accumulated-delta size, queue instead of composing:
     #: composition copies the accumulated delta, so composing into an
@@ -57,6 +72,7 @@ class _LazyInput:
     def push(self, change: Any) -> None:
         from repro.data.change_values import compose_changes
 
+        self.advances += 1
         if self._pending and _delta_size(self._pending[-1]) <= self._COMPOSE_CAP:
             composed = compose_changes(self._pending[-1], change)
             if composed is not None:
@@ -67,6 +83,7 @@ class _LazyInput:
     def current(self) -> Any:
         value = force(self._value)
         if self._pending:
+            self.materializations += 1
             for change in self._pending:
                 value = oplus_value(value, change)
             self._pending.clear()
@@ -138,6 +155,9 @@ class IncrementalProgram:
         self._inputs: Optional[List[_LazyInput]] = None
         self._output: Any = None
         self._steps = 0
+        #: The root span of the most recent observed step (None while
+        #: observability is disabled) -- the CLI and tests read it.
+        self.last_step_span: Optional[Span] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -147,6 +167,25 @@ class IncrementalProgram:
             raise ValueError(
                 f"expected {self.arity} inputs, got {len(inputs)}"
             )
+        hub = get_observability()
+        if not hub.enabled:
+            return self._initialize(inputs)
+        stats_before = self.stats.snapshot()
+        with hub.tracer.span("engine.initialize", arity=self.arity) as span:
+            output = self._initialize(inputs)
+            delta = self.stats.diff(stats_before)
+            span.set(
+                thunks_created=delta.thunks_created,
+                thunks_forced=delta.thunks_forced,
+                primitive_calls=delta.primitive_calls,
+            )
+        hub.metrics.counter("engine.initializations").inc()
+        hub.metrics.histogram("engine.initialize.wall_time_s").record(
+            span.duration
+        )
+        return output
+
+    def _initialize(self, inputs: Sequence[Any]) -> Any:
         self._inputs = [_LazyInput(value) for value in inputs]
         self._output = apply_value(
             self._program_value,
@@ -163,6 +202,18 @@ class IncrementalProgram:
             raise ValueError(
                 f"expected {self.arity} changes, got {len(changes)}"
             )
+        if _STATE.on:
+            return self._step_observed(get_observability(), changes)
+        output_change = self._apply_derivative(changes)
+        self._output = oplus_value(self._output, output_change)
+        # Advance the cached inputs lazily: if the derivative never needs
+        # base inputs, they are never materialized across steps either.
+        for lazy_input, change in zip(self._inputs, changes):
+            lazy_input.push(change)
+        self._steps += 1
+        return self._output
+
+    def _apply_derivative(self, changes: Sequence[Any]) -> Any:
         interleaved: List[Any] = []
         for lazy_input, change in zip(self._inputs, changes):
             # The derivative must see the input *before* this change; the
@@ -170,13 +221,64 @@ class IncrementalProgram:
             # apply below, before the change is queued.
             interleaved.append(Thunk(lazy_input.current, self.stats))
             interleaved.append(change)
-        output_change = apply_value(self._derivative_value, *interleaved)
-        self._output = oplus_value(self._output, output_change)
-        # Advance the cached inputs lazily: if the derivative never needs
-        # base inputs, they are never materialized across steps either.
-        for lazy_input, change in zip(self._inputs, changes):
-            lazy_input.push(change)
-        self._steps += 1
+        return apply_value(self._derivative_value, *interleaved)
+
+    def _step_observed(self, hub: Observability, changes: Sequence[Any]) -> Any:
+        """``step`` with a per-step span and per-step metric deltas.
+
+        The span reports exactly the quantities behind the O(|change|)
+        claim: derivative-apply time, ⊕ count, the output change's size,
+        thunk created/forced deltas, primitive-call deltas, and whether
+        any base input was materialized.
+        """
+        metrics = hub.metrics
+        stats_before = self.stats.snapshot()
+        oplus_before = metrics.counter_value("changes.oplus")
+        compose_before = metrics.counter_value("changes.compose")
+        materialized_before = sum(
+            lazy_input.materializations for lazy_input in self._inputs
+        )
+        with hub.tracer.span("engine.step", step=self._steps) as span:
+            with hub.tracer.span("derivative"):
+                output_change = self._apply_derivative(changes)
+            with hub.tracer.span("oplus"):
+                self._output = oplus_value(self._output, output_change)
+            for lazy_input, change in zip(self._inputs, changes):
+                lazy_input.push(change)
+            self._steps += 1
+            delta = self.stats.diff(stats_before)
+            span.set(
+                oplus_count=metrics.counter_value("changes.oplus")
+                - oplus_before,
+                compose_count=metrics.counter_value("changes.compose")
+                - compose_before,
+                output_change_size=change_size(output_change),
+                thunks_created=delta.thunks_created,
+                thunks_forced=delta.thunks_forced,
+                thunk_hits=delta.thunk_hits,
+                primitive_calls=delta.primitive_calls,
+                pending_depth=[
+                    lazy_input.pending_changes for lazy_input in self._inputs
+                ],
+                inputs_materialized=sum(
+                    lazy_input.materializations for lazy_input in self._inputs
+                )
+                - materialized_before,
+            )
+        metrics.counter("engine.steps").inc()
+        metrics.counter("engine.step.oplus").inc(span["oplus_count"])
+        metrics.counter("engine.step.thunks_forced").inc(delta.thunks_forced)
+        metrics.counter("engine.step.inputs_materialized").inc(
+            span["inputs_materialized"]
+        )
+        metrics.histogram("engine.step.wall_time_s").record(span.duration)
+        metrics.histogram("engine.step.output_change_size").record(
+            span["output_change_size"]
+        )
+        metrics.gauge("engine.pending_depth").set(
+            sum(lazy_input.pending_changes for lazy_input in self._inputs)
+        )
+        self.last_step_span = span
         return self._output
 
     # -- inspection ------------------------------------------------------------

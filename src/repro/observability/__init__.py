@@ -1,0 +1,115 @@
+"""The incrementality observatory: metrics, spans, and step traces.
+
+The paper's claim is asymptotic -- derivatives react in O(|change|) --
+and this package makes the engine *report* the quantities that claim is
+about, instead of only timing it:
+
+* :mod:`repro.observability.metrics` -- counters / gauges / histograms
+  in a process-global registry, with a zero-overhead null sink while
+  disabled;
+* :mod:`repro.observability.trace` -- nested wall-time spans recorded as
+  structured events (one root span per ``initialize``/``step``);
+* :mod:`repro.observability.report` -- human-readable renderings;
+* :mod:`repro.observability.export` -- JSON-lines export for dashboards
+  and CI artifacts.
+
+Usage::
+
+    from repro.observability import observing
+
+    with observing() as obs:
+        program.step(dxs, dys)
+        span = obs.tracer.last("engine.step")
+        span["oplus_count"], span["thunks_forced"]
+
+Collection is off by default; every instrumented hot path guards on a
+single flag read, so the disabled cost is one branch per site.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.observability import metrics as _metrics
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    enabled,
+    global_registry,
+    set_enabled,
+    sink,
+)
+from repro.observability.trace import NULL_SPAN, Span, Tracer
+
+
+class Observability:
+    """The process-global bundle of metrics registry + tracer."""
+
+    def __init__(self) -> None:
+        self.metrics = global_registry()
+        self.tracer = Tracer()
+
+    @property
+    def enabled(self) -> bool:
+        return _metrics.STATE.on
+
+    def enable(self) -> None:
+        set_enabled(True)
+
+    def disable(self) -> None:
+        set_enabled(False)
+
+    def reset(self) -> None:
+        """Drop all recorded metrics and spans (keeps the enabled flag)."""
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+_HUB = Observability()
+
+
+def get_observability() -> Observability:
+    """The process-global observability hub."""
+    return _HUB
+
+
+@contextmanager
+def observing(reset: bool = False) -> Iterator[Observability]:
+    """Enable collection for the duration of the block.
+
+    ``reset=True`` clears previously recorded metrics and spans on entry,
+    giving the block a clean slate.  The previous enabled state is
+    restored on exit (so nesting and test isolation behave).
+    """
+    hub = _HUB
+    previous = hub.enabled
+    if reset:
+        hub.reset()
+    hub.enable()
+    try:
+        yield hub
+    finally:
+        set_enabled(previous)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "Tracer",
+    "enabled",
+    "get_observability",
+    "global_registry",
+    "observing",
+    "set_enabled",
+    "sink",
+]

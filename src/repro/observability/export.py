@@ -1,0 +1,114 @@
+"""JSON-lines export of spans and metrics.
+
+One record per line, each self-describing via a ``"type"`` field:
+
+    {"type": "step", "step": 0, "wall_time_s": ..., "oplus_count": ...}
+    {"type": "span", "name": "engine.initialize", "duration_s": ...}
+    {"type": "counter", "name": "changes.oplus", "value": 42}
+    {"type": "histogram", "name": "engine.step.wall_time_s",
+     "summary": {"count": 5, "mean": ..., "min": ..., "max": ...}}
+
+The format is append-friendly (benchmarks and the CLI both emit into it)
+and trivially consumed by ``jq``, pandas, or a log shipper.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+
+from repro.observability.metrics import MetricsRegistry, global_registry
+from repro.observability.trace import Span
+
+#: Span attributes copied verbatim onto flattened step records.
+_STEP_ATTRIBUTES = (
+    "step",
+    "oplus_count",
+    "compose_count",
+    "output_change_size",
+    "thunks_created",
+    "thunks_forced",
+    "thunk_hits",
+    "primitive_calls",
+    "pending_depth",
+    "inputs_materialized",
+    "caches_lazy",
+    "caches_materialized",
+)
+
+
+def span_record(span: Span) -> Dict[str, Any]:
+    """A generic span as one JSON-friendly record."""
+    record = span.to_dict()
+    record["type"] = "span"
+    return record
+
+
+def step_record(span: Span) -> Dict[str, Any]:
+    """Flatten a per-step span into the canonical step record.
+
+    The record carries wall time, the derivative/⊕ child timings, and
+    every per-step delta the engine attached (⊕ count, thunk deltas,
+    primitive-call deltas, queue depths).
+    """
+    record: Dict[str, Any] = {"type": "step", "wall_time_s": span.duration}
+    for key in _STEP_ATTRIBUTES:
+        if key in span.attributes:
+            record[key] = span.attributes[key]
+    derivative = span.child("derivative")
+    if derivative is not None:
+        record["derivative_time_s"] = derivative.duration
+    oplus = span.child("oplus")
+    if oplus is not None:
+        record["oplus_time_s"] = oplus.duration
+    bindings = [child for child in span.children if child.name == "binding"]
+    if bindings:
+        record["bindings"] = [
+            {
+                "name": child.get("binding"),
+                "duration_s": child.duration,
+                "change_size": child.get("change_size"),
+            }
+            for child in bindings
+        ]
+    return record
+
+
+def metrics_records(
+    registry: Optional[MetricsRegistry] = None,
+) -> List[Dict[str, Any]]:
+    """Every metric in ``registry`` (default: the global one) as records."""
+    registry = registry if registry is not None else global_registry()
+    records: List[Dict[str, Any]] = []
+    for kind, name, value in registry.iter_metrics():
+        if kind == "histogram":
+            records.append({"type": kind, "name": name, "summary": value})
+        else:
+            records.append({"type": kind, "name": name, "value": value})
+    return records
+
+
+def write_jsonl(
+    destination: Union[str, TextIO],
+    records: Iterable[Dict[str, Any]],
+) -> int:
+    """Write ``records`` to a path or file object, one JSON per line.
+
+    Returns the number of records written.
+    """
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return write_jsonl(handle, records)
+    count = 0
+    for record in records:
+        destination.write(json.dumps(record, sort_keys=True, default=repr))
+        destination.write("\n")
+        count += 1
+    return count
+
+
+def export_metrics(
+    path: str, registry: Optional[MetricsRegistry] = None
+) -> int:
+    """Dump a registry's metrics to ``path`` as JSON lines."""
+    return write_jsonl(path, metrics_records(registry))

@@ -1,0 +1,124 @@
+"""Human-readable renderings of step traces and metric summaries."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.observability.metrics import MetricsRegistry, global_registry
+from repro.observability.trace import Span
+
+
+def _format_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}µs"
+
+
+def _format_calls(calls: Dict[str, int], limit: int = 4) -> str:
+    if not calls:
+        return "none"
+    ranked = sorted(calls.items(), key=lambda item: (-item[1], item[0]))
+    shown = ", ".join(f"{name}×{count}" for name, count in ranked[:limit])
+    if len(ranked) > limit:
+        shown += f", +{len(ranked) - limit} more"
+    return shown
+
+
+def format_step_record(record: Dict[str, Any]) -> str:
+    """One step record (see ``export.step_record``) as one line."""
+    parts = [f"step {record.get('step', '?')}:"]
+    parts.append(_format_seconds(record.get("wall_time_s")))
+    if "derivative_time_s" in record:
+        parts.append(f"(derivative {_format_seconds(record['derivative_time_s'])})")
+    if "oplus_count" in record:
+        parts.append(f"⊕={record['oplus_count']}")
+    if "output_change_size" in record:
+        parts.append(f"|dout|={record['output_change_size']}")
+    created = record.get("thunks_created")
+    forced = record.get("thunks_forced")
+    if created is not None or forced is not None:
+        parts.append(f"thunks {created or 0} created / {forced or 0} forced")
+    if record.get("inputs_materialized"):
+        parts.append(f"inputs materialized={record['inputs_materialized']}")
+    if "pending_depth" in record:
+        parts.append(f"pending={record['pending_depth']}")
+    if "caches_materialized" in record:
+        parts.append(
+            f"caches {record.get('caches_lazy', 0)} lazy / "
+            f"{record['caches_materialized']} materialized"
+        )
+    if "primitive_calls" in record:
+        parts.append(f"prims: {_format_calls(record['primitive_calls'])}")
+    return "  ".join(parts)
+
+
+def format_trace(records: Iterable[Dict[str, Any]]) -> str:
+    """A step-record stream as text, with an aggregate footer."""
+    lines: List[str] = []
+    total_time = 0.0
+    total_oplus = 0
+    total_forced = 0
+    count = 0
+    for record in records:
+        lines.append(format_step_record(record))
+        total_time += record.get("wall_time_s", 0.0)
+        total_oplus += record.get("oplus_count", 0)
+        total_forced += record.get("thunks_forced", 0)
+        count += 1
+    if count:
+        lines.append(
+            f"total: {count} steps in {_format_seconds(total_time)}  "
+            f"(mean {_format_seconds(total_time / count)}, "
+            f"⊕={total_oplus}, thunks forced={total_forced})"
+        )
+    else:
+        lines.append("no steps recorded")
+    return "\n".join(lines)
+
+
+def format_span(span: Span, indent: int = 0) -> str:
+    """A span tree, one line per span, indented by depth."""
+    pad = "  " * indent
+    attributes = ""
+    if span.attributes:
+        rendered = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(span.attributes.items())
+        )
+        attributes = f"  [{rendered}]"
+    lines = [f"{pad}{span.name}: {_format_seconds(span.duration)}{attributes}"]
+    for child in span.children:
+        lines.append(format_span(child, indent + 1))
+    return "\n".join(lines)
+
+
+def format_metrics(registry: Optional[MetricsRegistry] = None) -> str:
+    """All metrics in ``registry`` (default: global) as aligned text."""
+    registry = registry if registry is not None else global_registry()
+    lines: List[str] = []
+    counters = registry.counters()
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    gauges = registry.gauges()
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    histograms = registry.histograms()
+    if histograms:
+        lines.append("histograms:")
+        for name, summary in histograms.items():
+            lines.append(
+                f"  {name}  n={summary['count']} "
+                f"mean={_format_seconds(summary['mean'])} "
+                f"min={_format_seconds(summary['min'])} "
+                f"max={_format_seconds(summary['max'])}"
+            )
+    return "\n".join(lines) if lines else "no metrics recorded"

@@ -1,0 +1,136 @@
+"""Nested wall-time spans recorded as structured events.
+
+A ``Span`` is one timed region (an ``initialize``, a ``step``, one
+binding's derivative inside a step) plus free-form attributes (⊕ counts,
+thunk deltas, primitive-call deltas).  Spans nest: the tracer keeps a
+stack, so a span opened while another is active becomes its child, and
+only *root* spans are retained on the tracer -- the engine's per-step
+span owns its derivative/⊕ children.
+
+The tracer is bounded (``max_spans``): long incremental runs keep the
+most recent roots instead of growing without limit, which is what a
+production deployment needs from step-level tracing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed, attributed, possibly-nested region of execution."""
+
+    __slots__ = ("name", "attributes", "children", "start", "end")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.children: List["Span"] = []
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (to now if still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attributes[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.attributes.get(key, default)
+
+    def child(self, name: str) -> Optional["Span"]:
+        """The first child span named ``name``, if any."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def finish(self) -> None:
+        if self.end is None:
+            self.end = time.perf_counter()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-friendly; attribute values must be)."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.3f}ms" if self.end is not None else "open"
+        return f"Span({self.name!r}, {state}, {self.attributes!r})"
+
+
+class NullSpan(Span):
+    """A shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def set(self, **attributes: Any) -> "Span":
+        return self
+
+    def finish(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects finished root spans (bounded) and tracks the open stack."""
+
+    def __init__(self, max_spans: int = 4096):
+        self.spans: Deque[Span] = deque(maxlen=max_spans)
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        opened = Span(name, attributes)
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(opened)
+        try:
+            yield opened
+        finally:
+            opened.finish()
+            self._stack.pop()
+            if parent is not None:
+                parent.children.append(opened)
+            else:
+                self.spans.append(opened)
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def last(self, name: Optional[str] = None) -> Optional[Span]:
+        """The most recent finished root span (optionally by name)."""
+        if name is None:
+            return self.spans[-1] if self.spans else None
+        for span in reversed(self.spans):
+            if span.name == name:
+                return span
+        return None
+
+    def named(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._stack.clear()

@@ -1,32 +1,76 @@
-"""The optimization pipeline: iterate the passes to a fixpoint."""
+"""The optimization pipeline: iterate the passes to a fixpoint.
+
+Every pass execution is recorded as a structured :class:`PassEvent`
+(pass name, iteration, term-size delta, wall time) instead of an opaque
+log string; ``pass_log`` survives as a derived property for callers that
+want the old human-readable lines.  When observability is enabled the
+events also land in the global metrics registry (per-pass run counters,
+node-delta counters, and a pipeline wall-time histogram).
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List, Tuple
 
 from repro.lang.terms import Term
 from repro.lang.traversal import term_size
+from repro.observability import metrics as _metrics
 from repro.optimize.beta import beta_reduce
 from repro.optimize.constant_fold import constant_fold
 from repro.optimize.dce import eliminate_dead_lets
 
 
+@dataclass(frozen=True)
+class PassEvent:
+    """One execution of one pass over the term.
+
+    ``changed`` records whether the pass rewrote the term at all (size
+    alone would miss size-preserving rewrites).
+    """
+
+    iteration: int
+    pass_name: str
+    before_size: int
+    after_size: int
+    duration_s: float
+    changed: bool = False
+
+    def describe(self) -> str:
+        return f"iter {self.iteration}: {self.pass_name} ({self.after_size} nodes)"
+
+
 @dataclass
 class OptimizationResult:
-    """The optimized term plus a small audit trail."""
+    """The optimized term plus a structured audit trail."""
 
     term: Term
     iterations: int
     initial_size: int
     final_size: int
-    pass_log: List[str] = field(default_factory=list)
+    events: List[PassEvent] = field(default_factory=list)
+    duration_s: float = 0.0
 
     @property
     def size_ratio(self) -> float:
         if self.initial_size == 0:
             return 1.0
         return self.final_size / self.initial_size
+
+    @property
+    def pass_log(self) -> List[str]:
+        """The legacy human-readable log (one line per effective pass)."""
+        return [event.describe() for event in self.events if event.changed]
+
+    def pass_timings(self) -> dict:
+        """Total seconds spent per pass name."""
+        timings: dict = {}
+        for event in self.events:
+            timings[event.pass_name] = (
+                timings.get(event.pass_name, 0.0) + event.duration_s
+            )
+        return timings
 
 
 def optimize(
@@ -36,30 +80,59 @@ def optimize(
 ) -> OptimizationResult:
     """β-reduce, eliminate dead lets, and (optionally) constant-fold until
     no pass changes the term (or ``max_iterations`` is hit)."""
+    pipeline_start = time.perf_counter()
     initial_size = term_size(term)
-    log: List[str] = []
+    events: List[PassEvent] = []
+    passes: List[Tuple[str, Callable[[Term], Term]]] = [
+        ("beta", beta_reduce),
+        ("dce", eliminate_dead_lets),
+    ]
+    if fold_constants:
+        passes.append(("fold", constant_fold))
     iterations = 0
+    size = initial_size
     while iterations < max_iterations:
         iterations += 1
         previous = term
-        term = beta_reduce(term)
-        if term != previous:
-            log.append(f"iter {iterations}: beta ({term_size(term)} nodes)")
-        before_dce = term
-        term = eliminate_dead_lets(term)
-        if term != before_dce:
-            log.append(f"iter {iterations}: dce ({term_size(term)} nodes)")
-        if fold_constants:
-            before_fold = term
-            term = constant_fold(term)
-            if term != before_fold:
-                log.append(f"iter {iterations}: fold ({term_size(term)} nodes)")
+        for pass_name, run_pass in passes:
+            pass_start = time.perf_counter()
+            rewritten = run_pass(term)
+            duration = time.perf_counter() - pass_start
+            changed = rewritten != term
+            new_size = term_size(rewritten) if changed else size
+            events.append(
+                PassEvent(
+                    iteration=iterations,
+                    pass_name=pass_name,
+                    before_size=size,
+                    after_size=new_size,
+                    duration_s=duration,
+                    changed=changed,
+                )
+            )
+            term = rewritten
+            size = new_size
         if term == previous:
             break
-    return OptimizationResult(
+    result = OptimizationResult(
         term=term,
         iterations=iterations,
         initial_size=initial_size,
         final_size=term_size(term),
-        pass_log=log,
+        events=events,
+        duration_s=time.perf_counter() - pipeline_start,
     )
+    if _metrics.STATE.on:
+        registry = _metrics.GLOBAL_REGISTRY
+        registry.counter("optimize.runs").inc()
+        registry.counter("optimize.nodes_removed").inc(
+            max(0, result.initial_size - result.final_size)
+        )
+        registry.histogram("optimize.wall_time_s").record(result.duration_s)
+        for event in events:
+            if event.changed:
+                registry.counter(f"optimize.pass.{event.pass_name}").inc()
+            registry.histogram(
+                f"optimize.pass.{event.pass_name}.wall_time_s"
+            ).record(event.duration_s)
+    return result

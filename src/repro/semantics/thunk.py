@@ -5,38 +5,131 @@ self-maintainable derivatives never compute the base arguments they ignore
 (Sec. 4.3).  ``Thunk`` is that mechanism; ``EvalStats`` counts forcings and
 primitive calls so tests and benchmarks can *prove* a derivative never
 touched its base input rather than merely time it.
+
+``EvalStats`` is a thin façade over :mod:`repro.observability.metrics`:
+each instance keeps cheap local integer counters (so concurrent programs
+stay isolated and the hot path is one attribute increment), exposes
+``snapshot()``/``diff()`` so the engine can report *per-step deltas*
+rather than cumulative totals, and mirrors primitive calls into the
+process-global metrics sink whenever observability is enabled.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.observability import metrics as _metrics
 
 
-class EvalStats:
-    """Counters threaded through an evaluation."""
+class StatsSnapshot:
+    """An immutable point-in-time (or delta) view of ``EvalStats``."""
 
-    __slots__ = ("thunks_created", "thunks_forced", "primitive_calls")
+    __slots__ = ("thunks_created", "thunks_forced", "thunk_hits", "primitive_calls")
 
-    def __init__(self) -> None:
-        self.thunks_created = 0
-        self.thunks_forced = 0
-        self.primitive_calls: Dict[str, int] = {}
-
-    def record_primitive(self, name: str) -> None:
-        self.primitive_calls[name] = self.primitive_calls.get(name, 0) + 1
+    def __init__(
+        self,
+        thunks_created: int = 0,
+        thunks_forced: int = 0,
+        thunk_hits: int = 0,
+        primitive_calls: Optional[Mapping[str, int]] = None,
+    ):
+        self.thunks_created = thunks_created
+        self.thunks_forced = thunks_forced
+        self.thunk_hits = thunk_hits
+        self.primitive_calls: Dict[str, int] = dict(primitive_calls or {})
 
     def calls(self, name: str) -> int:
         return self.primitive_calls.get(name, 0)
 
+    @property
+    def total_primitive_calls(self) -> int:
+        return sum(self.primitive_calls.values())
+
+    def diff(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """The delta ``self - earlier`` (both taken from the same stats)."""
+        calls = {
+            name: count - earlier.primitive_calls.get(name, 0)
+            for name, count in self.primitive_calls.items()
+            if count != earlier.primitive_calls.get(name, 0)
+        }
+        return StatsSnapshot(
+            thunks_created=self.thunks_created - earlier.thunks_created,
+            thunks_forced=self.thunks_forced - earlier.thunks_forced,
+            thunk_hits=self.thunk_hits - earlier.thunk_hits,
+            primitive_calls=calls,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "thunks_created": self.thunks_created,
+            "thunks_forced": self.thunks_forced,
+            "thunk_hits": self.thunk_hits,
+            "primitive_calls": dict(self.primitive_calls),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatsSnapshot):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"StatsSnapshot(created={self.thunks_created}, "
+            f"forced={self.thunks_forced}, hits={self.thunk_hits}, "
+            f"calls={self.primitive_calls})"
+        )
+
+
+class EvalStats:
+    """Counters threaded through an evaluation.
+
+    ``thunks_created`` counts every tracked thunk (including pre-forced
+    ``Thunk.ready`` ones when given stats); ``thunks_forced`` counts
+    first forcings; ``thunk_hits`` counts repeat forcings of an
+    already-memoized thunk (the memoization benefit, previously
+    invisible).
+    """
+
+    __slots__ = ("thunks_created", "thunks_forced", "thunk_hits", "primitive_calls")
+
+    def __init__(self) -> None:
+        self.thunks_created = 0
+        self.thunks_forced = 0
+        self.thunk_hits = 0
+        self.primitive_calls: Dict[str, int] = {}
+
+    def record_primitive(self, name: str) -> None:
+        self.primitive_calls[name] = self.primitive_calls.get(name, 0) + 1
+        if _metrics.STATE.on:
+            _metrics.GLOBAL_REGISTRY.counter(f"primitives.{name}").inc()
+
+    def calls(self, name: str) -> int:
+        return self.primitive_calls.get(name, 0)
+
+    def snapshot(self) -> StatsSnapshot:
+        """The current cumulative totals, frozen."""
+        return StatsSnapshot(
+            thunks_created=self.thunks_created,
+            thunks_forced=self.thunks_forced,
+            thunk_hits=self.thunk_hits,
+            primitive_calls=self.primitive_calls,
+        )
+
+    def diff(self, earlier: StatsSnapshot) -> StatsSnapshot:
+        """The delta accumulated since ``earlier = stats.snapshot()``."""
+        return self.snapshot().diff(earlier)
+
     def reset(self) -> None:
         self.thunks_created = 0
         self.thunks_forced = 0
+        self.thunk_hits = 0
         self.primitive_calls.clear()
 
     def __repr__(self) -> str:
         return (
             f"EvalStats(created={self.thunks_created}, "
-            f"forced={self.thunks_forced}, calls={self.primitive_calls})"
+            f"forced={self.thunks_forced}, hits={self.thunk_hits}, "
+            f"calls={self.primitive_calls})"
         )
 
 
@@ -60,12 +153,18 @@ class Thunk:
             stats.thunks_created += 1
 
     @staticmethod
-    def ready(value: Any) -> "Thunk":
-        """A pre-forced thunk wrapping ``value``."""
+    def ready(value: Any, stats: Optional[EvalStats] = None) -> "Thunk":
+        """A pre-forced thunk wrapping ``value``.
+
+        Counts as a creation when ``stats`` is given (it used to be
+        invisible, which skewed created-vs-forced ratios).
+        """
         thunk = Thunk.__new__(Thunk)
         thunk._compute = None
         thunk._value = value
-        thunk._stats = None
+        thunk._stats = stats
+        if stats is not None:
+            stats.thunks_created += 1
         return thunk
 
     @property
@@ -81,6 +180,9 @@ class Thunk:
             # Collapse nested thunks so repeated forcing is O(1).
             while isinstance(self._value, Thunk):
                 self._value = self._value.force()
+        elif self._stats is not None:
+            # Re-forcing a memoized thunk: a hit, previously uncounted.
+            self._stats.thunk_hits += 1
         return self._value
 
     def __repr__(self) -> str:

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -95,6 +96,115 @@ class TestEval:
         code, output = run_cli("eval", "mystery")
         assert code == 1
         assert "error" in output
+
+    def test_runtime_error_reported_not_raised(self):
+        # intToNat is partial: negative arguments raise at runtime.  The
+        # CLI must report that as an error line and a non-zero exit, not
+        # as an uncaught traceback.
+        code, output = run_cli("eval", "intToNat (sub 1 5)")
+        assert code == 1
+        assert output.startswith("error:")
+        assert "negative" in output
+
+
+class TestTrace:
+    def test_json_emits_one_record_per_step(self):
+        code, output = run_cli(
+            "trace", r"\xs -> foldBag gplus id xs", "--steps", "5", "--json"
+        )
+        assert code == 0
+        lines = [line for line in output.splitlines() if line.strip()]
+        assert len(lines) == 5
+        for index, line in enumerate(lines):
+            record = json.loads(line)
+            assert record["type"] == "step"
+            assert record["step"] == index
+            assert record["wall_time_s"] > 0.0
+            assert record["oplus_count"] >= 1
+            assert record["thunks_forced"] >= 1
+            assert isinstance(record["primitive_calls"], dict)
+            assert record["primitive_calls"]  # the derivative ran something
+
+    def test_text_mode_summarizes(self):
+        code, output = run_cli(
+            "trace", r"\xs -> foldBag gplus id xs", "--steps", "3"
+        )
+        assert code == 0
+        assert "initialize:" in output
+        assert "step 0:" in output
+        assert "total: 3 steps" in output
+
+    def test_verify_flag(self):
+        code, output = run_cli(
+            "trace",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--steps",
+            "2",
+            "--size",
+            "50",
+            "--verify",
+        )
+        assert code == 0
+        assert "verify:     ok" in output
+
+    def test_caching_engine(self):
+        code, output = run_cli(
+            "trace", r"\x y -> mul x y", "--steps", "2", "--caching"
+        )
+        assert code == 0
+        assert "caches" in output
+
+    def test_export_writes_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, output = run_cli(
+            "trace",
+            r"\xs -> foldBag gplus id xs",
+            "--steps",
+            "2",
+            "--export",
+            str(path),
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        types = {record["type"] for record in records}
+        assert {"span", "step", "counter", "histogram"} <= types
+        steps = [record for record in records if record["type"] == "step"]
+        assert len(steps) == 2
+
+    def test_zero_steps(self):
+        code, output = run_cli(
+            "trace", r"\xs -> foldBag gplus id xs", "--steps", "0", "--json"
+        )
+        assert code == 0
+        assert output.strip() == ""
+
+    def test_negative_steps_rejected(self):
+        code, output = run_cli(
+            "trace", r"\xs -> foldBag gplus id xs", "--steps", "-1"
+        )
+        assert code == 1
+        assert "error" in output
+
+    def test_unsupported_input_type_reported(self):
+        code, output = run_cli("trace", r"\f -> f", "--steps", "1")
+        assert code == 1
+        assert "error:" in output
+
+    def test_seed_reproducibility(self):
+        first = run_cli(
+            "trace", r"\xs -> foldBag gplus id xs", "--json", "--seed", "3"
+        )
+        second = run_cli(
+            "trace", r"\xs -> foldBag gplus id xs", "--json", "--seed", "3"
+        )
+        extract = lambda result: [
+            json.loads(line)["oplus_count"]
+            for line in result[1].splitlines()
+            if line.strip()
+        ]
+        assert extract(first) == extract(second)
 
 
 class TestArgparse:

@@ -1,0 +1,142 @@
+"""Tests for the metrics registry and the enable/disable switch."""
+
+import pytest
+
+from repro.observability import get_observability, observing
+from repro.observability.metrics import (
+    GLOBAL_REGISTRY,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    enabled,
+    set_enabled,
+    sink,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("steps")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter_value("steps") == 5
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_unknown_counter_value_is_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+
+class TestGauge:
+    def test_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        assert registry.gauges()["depth"] == 7
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("wall")
+        for value in (1.0, 2.0, 3.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_prefix_filtering(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.steps").inc()
+        registry.counter("changes.oplus").inc(3)
+        assert registry.counters("engine.") == {"engine.steps": 1}
+        assert registry.counters() == {"engine.steps": 1, "changes.oplus": 3}
+
+    def test_snapshot_and_iter_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set("x")
+        registry.histogram("h").record(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c"] == 1
+        assert snapshot["gauges"]["g"] == "x"
+        assert snapshot["histograms"]["h"]["count"] == 1
+        kinds = {kind for kind, _, _ in registry.iter_metrics()}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_reset_preserves_identity(self):
+        # Modules pre-bind counter objects at import time; reset() must
+        # zero those same objects, not replace them.
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("c") is counter
+
+
+class TestNullRegistry:
+    def test_is_inert(self):
+        registry = NullRegistry()
+        counter = registry.counter("anything")
+        counter.inc(100)
+        assert counter.value == 0
+        registry.gauge("g").set(5)
+        registry.histogram("h").record(1.0)
+        assert registry.counters() == {}
+
+    def test_shared_singletons(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b")
+
+
+class TestSwitch:
+    def test_sink_follows_flag(self):
+        before = enabled()
+        try:
+            set_enabled(False)
+            assert sink() is NULL_REGISTRY
+            set_enabled(True)
+            assert sink() is GLOBAL_REGISTRY
+        finally:
+            set_enabled(before)
+
+    def test_observing_restores_previous_state(self):
+        before = enabled()
+        set_enabled(False)
+        try:
+            with observing() as hub:
+                assert hub.enabled
+                assert enabled()
+            assert not enabled()
+        finally:
+            set_enabled(before)
+
+    def test_observing_reset_clears_state(self):
+        with observing(reset=True) as hub:
+            hub.metrics.counter("x").inc()
+        with observing(reset=True) as hub:
+            assert hub.metrics.counter_value("x") == 0
+
+    def test_hub_enable_disable(self):
+        hub = get_observability()
+        before = hub.enabled
+        try:
+            hub.enable()
+            assert hub.enabled
+            hub.disable()
+            assert not hub.enabled
+        finally:
+            set_enabled(before)

@@ -1,0 +1,194 @@
+"""End-to-end telemetry tests: the engine's spans against ground truth.
+
+The property-based test is the observatory's own Eq. (1): for random
+well-typed programs, the per-step span must report exactly the deltas
+that ``EvalStats`` (the interpreter's own counters) measured, and the ⊕
+count must match the change-algebra counter.  The regression test pins
+the paper's flagship claim: ``grand_total``'s derivative is
+self-maintainable, so a step forces *zero* base-input materializations.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.incremental.caching import CachingIncrementalProgram
+from repro.incremental.driver import (
+    WorkloadError,
+    generate_change,
+    generate_input,
+    run_trace,
+)
+from repro.incremental.engine import IncrementalProgram
+from repro.lang.parser import parse
+from repro.lang.types import TBag, TBase, TBool, TInt, TPair
+from repro.observability import observing
+
+from tests.strategies import REGISTRY, unary_programs
+
+
+GRAND_TOTAL = r"\xs ys -> foldBag gplus id (merge xs ys)"
+
+
+class TestStepSpanAgreesWithEvalStats:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=unary_programs())
+    def test_trace_counts_match_eval_stats(self, case):
+        with observing() as hub:
+            program = IncrementalProgram(case["program"], REGISTRY)
+            program.initialize(case["input"])
+            stats_before = program.stats.snapshot()
+            oplus_before = hub.metrics.counter_value("changes.oplus")
+            program.step(case["runtime_change"])
+            delta = program.stats.diff(stats_before)
+            oplus_delta = hub.metrics.counter_value("changes.oplus") - oplus_before
+            span = program.last_step_span
+        assert span is not None
+        assert span.name == "engine.step"
+        assert span["primitive_calls"] == delta.primitive_calls
+        assert span["thunks_forced"] == delta.thunks_forced
+        assert span["thunks_created"] == delta.thunks_created
+        assert span["oplus_count"] == oplus_delta
+        assert span["oplus_count"] >= 1  # the output update itself
+
+    def test_caching_span_agrees_too(self, registry):
+        with observing() as hub:
+            program = CachingIncrementalProgram(
+                parse(r"\x y -> mul x y", registry), registry
+            )
+            program.initialize(3, 4)
+            stats_before = program.stats.snapshot()
+            program.step(_int_change(2), _int_change(-1))
+            delta = program.stats.diff(stats_before)
+            span = program.last_step_span
+        assert span.name == "caching.step"
+        assert span["primitive_calls"] == delta.primitive_calls
+        assert span["thunks_forced"] == delta.thunks_forced
+
+
+def _int_change(delta):
+    from repro.data.group import INT_ADD_GROUP
+
+    return GroupChange(INT_ADD_GROUP, delta)
+
+
+class TestSelfMaintainability:
+    def test_grand_total_steps_never_touch_base_inputs(self, registry):
+        """Sec. 4.3: foldBag's specialized derivative is self-maintainable,
+        so each step's span must report zero input materializations."""
+        with observing():
+            program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+            program.initialize(Bag.of(1, 1), Bag.of(2, 3, 4))
+            for step in range(5):
+                program.step(
+                    GroupChange(BAG_GROUP, Bag.of(step)),
+                    GroupChange(BAG_GROUP, Bag.of(step).negate()),
+                )
+                span = program.last_step_span
+                assert span["inputs_materialized"] == 0, (
+                    f"step {step} materialized a base input; the derivative "
+                    "is supposed to be self-maintainable"
+                )
+        assert program.verify()
+
+    def test_trace_records_expose_the_same_invariant(self, registry):
+        result = run_trace(
+            parse(GRAND_TOTAL, registry), registry, steps=4, size=50, verify=True
+        )
+        assert len(result.records) == 4
+        for record in result.records:
+            assert record["inputs_materialized"] == 0
+
+    def test_non_self_maintainable_program_does_materialize(self, registry):
+        """Contrast: mul's derivative reads both base inputs, so the spans
+        must show materializations once changes queue up."""
+        with observing():
+            program = IncrementalProgram(
+                parse(r"\x y -> mul x y", registry), registry
+            )
+            program.initialize(3, 4)
+            program.step(_int_change(1), _int_change(1))
+            program.step(_int_change(1), _int_change(1))
+            span = program.last_step_span
+        assert span["inputs_materialized"] > 0
+
+
+class TestDriver:
+    def test_generated_inputs_and_changes_compose(self, registry):
+        from repro.data.change_values import oplus_value
+
+        rng = random.Random(0)
+        for ty in (
+            TInt,
+            TBool,
+            TBag(TInt),
+            TPair(TInt, TBag(TInt)),
+            TBase("Map", (TInt, TBag(TInt))),
+            TBase("Map", (TInt, TInt)),
+        ):
+            value = generate_input(ty, 40, rng)
+            change = generate_change(ty, rng)
+            oplus_value(value, change)  # must not raise
+
+    def test_unsupported_type_raises_workload_error(self):
+        rng = random.Random(0)
+        with pytest.raises(WorkloadError):
+            generate_input(TBase("Mystery", ()), 10, rng)
+        with pytest.raises(WorkloadError):
+            generate_change(TBase("Mystery", ()), rng)
+
+    def test_run_trace_is_reproducible(self, registry):
+        term = parse(GRAND_TOTAL, registry)
+        first = run_trace(term, registry, steps=3, size=30, seed=11)
+        second = run_trace(term, registry, steps=3, size=30, seed=11)
+        assert first.output == second.output
+        assert [r["oplus_count"] for r in first.records] == [
+            r["oplus_count"] for r in second.records
+        ]
+
+    def test_run_trace_caching_emits_binding_records(self, registry):
+        result = run_trace(
+            parse(r"\x y -> mul x y", registry),
+            registry,
+            steps=2,
+            caching=True,
+            verify=True,
+        )
+        for record in result.records:
+            assert record["bindings"], "caching steps must carry binding timings"
+            for binding in record["bindings"]:
+                assert binding["duration_s"] >= 0.0
+
+    def test_run_trace_collects_metrics(self, registry):
+        result = run_trace(parse(GRAND_TOTAL, registry), registry, steps=2)
+        names = {record["name"] for record in result.metrics}
+        assert "engine.steps" in names
+        assert "changes.oplus" in names
+
+    def test_run_trace_rejects_negative_steps(self, registry):
+        with pytest.raises(ValueError):
+            run_trace(parse(GRAND_TOTAL, registry), registry, steps=-1)
+
+
+class TestDisabledByDefault:
+    def test_no_spans_or_step_span_without_observing(self, registry):
+        from repro.observability import get_observability
+
+        hub = get_observability()
+        assert not hub.enabled  # the suite never leaves it on
+        program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program.initialize(Bag.of(1), Bag.of(2))
+        program.step(
+            GroupChange(BAG_GROUP, Bag.of(3)),
+            GroupChange(BAG_GROUP, Bag.empty()),
+        )
+        assert program.last_step_span is None
+        assert program.output == 6

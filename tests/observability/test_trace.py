@@ -1,0 +1,189 @@
+"""Tests for spans, the tracer, and the export/report helpers."""
+
+import io
+import json
+
+from repro.observability.export import (
+    metrics_records,
+    span_record,
+    step_record,
+    write_jsonl,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.report import (
+    format_metrics,
+    format_span,
+    format_step_record,
+    format_trace,
+)
+from repro.observability.trace import NULL_SPAN, Span, Tracer
+
+
+class TestSpan:
+    def test_duration_and_finish(self):
+        span = Span("work")
+        assert span.end is None
+        span.finish()
+        assert span.end is not None
+        assert span.duration >= 0.0
+        end = span.end
+        span.finish()  # idempotent
+        assert span.end == end
+
+    def test_attributes(self):
+        span = Span("work", {"a": 1})
+        span.set(b=2)
+        assert span["a"] == 1
+        assert span.get("b") == 2
+        assert span.get("missing", "default") == "default"
+
+    def test_child_lookup(self):
+        parent = Span("parent")
+        parent.children.append(Span("first"))
+        parent.children.append(Span("second"))
+        assert parent.child("second").name == "second"
+        assert parent.child("missing") is None
+
+    def test_to_dict(self):
+        span = Span("parent", {"k": "v"})
+        span.children.append(Span("kid"))
+        span.finish()
+        record = span.to_dict()
+        assert record["name"] == "parent"
+        assert record["attributes"] == {"k": "v"}
+        assert record["children"][0]["name"] == "kid"
+
+    def test_null_span_discards_attributes(self):
+        NULL_SPAN.set(x=1)
+        assert NULL_SPAN.get("x") is None
+
+
+class TestTracer:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner"):
+                pass
+        assert len(tracer.spans) == 1
+        root = tracer.last()
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == ["inner"]
+        assert tracer.current() is None
+
+    def test_last_by_name_and_named(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b", step=0):
+            pass
+        with tracer.span("b", step=1):
+            pass
+        assert tracer.last("a").name == "a"
+        assert tracer.last("b")["step"] == 1
+        assert len(tracer.named("b")) == 2
+        assert tracer.last("zzz") is None
+
+    def test_bounded(self):
+        tracer = Tracer(max_spans=2)
+        for index in range(5):
+            with tracer.span("s", index=index):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.last()["index"] == 4
+
+    def test_stack_unwound_on_error(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.current() is None
+        assert tracer.last().name == "boom"
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert len(tracer.spans) == 0
+
+
+def _fake_step_span() -> Span:
+    span = Span("engine.step", {"step": 3})
+    span.set(
+        oplus_count=1,
+        thunks_forced=4,
+        primitive_calls={"merge'": 1},
+        pending_depth=[1, 1],
+    )
+    derivative = Span("derivative")
+    derivative.finish()
+    span.children.append(derivative)
+    span.finish()
+    return span
+
+
+class TestExport:
+    def test_step_record_flattens_span(self):
+        record = step_record(_fake_step_span())
+        assert record["type"] == "step"
+        assert record["step"] == 3
+        assert record["oplus_count"] == 1
+        assert record["thunks_forced"] == 4
+        assert record["primitive_calls"] == {"merge'": 1}
+        assert record["wall_time_s"] >= 0.0
+        assert "derivative_time_s" in record
+        assert "oplus_time_s" not in record  # no such child
+
+    def test_span_record(self):
+        record = span_record(_fake_step_span())
+        assert record["type"] == "span"
+        assert record["name"] == "engine.step"
+
+    def test_metrics_records(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").record(1.0)
+        records = {record["name"]: record for record in metrics_records(registry)}
+        assert records["c"] == {"type": "counter", "name": "c", "value": 2}
+        assert records["h"]["summary"]["count"] == 1
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        records = [{"type": "step", "step": 0}, {"type": "counter", "value": 1}]
+        assert write_jsonl(str(path), records) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == records
+
+    def test_write_jsonl_to_file_object(self):
+        buffer = io.StringIO()
+        write_jsonl(buffer, [{"a": 1}])
+        assert json.loads(buffer.getvalue()) == {"a": 1}
+
+
+class TestReport:
+    def test_format_step_record(self):
+        line = format_step_record(step_record(_fake_step_span()))
+        assert "step 3" in line
+        assert "⊕=1" in line
+
+    def test_format_trace_totals(self):
+        records = [step_record(_fake_step_span()) for _ in range(2)]
+        text = format_trace(records)
+        assert "2 steps" in text
+
+    def test_format_trace_empty(self):
+        assert format_trace([]) == "no steps recorded"
+
+    def test_format_span_tree(self):
+        text = format_span(_fake_step_span())
+        assert "engine.step" in text
+        assert "derivative" in text
+
+    def test_format_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.steps").inc()
+        text = format_metrics(registry)
+        assert "engine.steps" in text

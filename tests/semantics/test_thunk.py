@@ -1,6 +1,6 @@
 """Tests for thunks and evaluation statistics."""
 
-from repro.semantics.thunk import EvalStats, Thunk, force
+from repro.semantics.thunk import EvalStats, StatsSnapshot, Thunk, force
 
 
 class TestThunk:
@@ -72,5 +72,73 @@ class TestEvalStats:
         assert stats.thunks_forced == 0
         assert stats.calls("merge") == 0
 
+    def test_ready_records_creation(self):
+        stats = EvalStats()
+        Thunk.ready(7, stats)
+        assert stats.thunks_created == 1
+        assert stats.thunks_forced == 0
+
+    def test_ready_without_stats_records_nothing(self):
+        thunk = Thunk.ready(7)
+        assert thunk.force() == 7
+
+    def test_reforce_counts_as_hit(self):
+        stats = EvalStats()
+        thunk = Thunk(lambda: 1, stats)
+        thunk.force()
+        assert stats.thunk_hits == 0
+        thunk.force()
+        thunk.force()
+        assert stats.thunks_forced == 1
+        assert stats.thunk_hits == 2
+
+    def test_ready_force_is_a_hit(self):
+        stats = EvalStats()
+        Thunk.ready(7, stats).force()
+        assert stats.thunks_forced == 0
+        assert stats.thunk_hits == 1
+
     def test_repr(self):
         assert "EvalStats" in repr(EvalStats())
+
+
+class TestStatsSnapshot:
+    def test_diff_isolates_a_window(self):
+        stats = EvalStats()
+        Thunk(lambda: 1, stats).force()
+        stats.record_primitive("merge")
+        before = stats.snapshot()
+        Thunk(lambda: 2, stats).force()
+        stats.record_primitive("merge")
+        stats.record_primitive("foldBag")
+        delta = stats.diff(before)
+        assert delta.thunks_created == 1
+        assert delta.thunks_forced == 1
+        assert delta.calls("merge") == 1
+        assert delta.calls("foldBag") == 1
+        assert delta.total_primitive_calls == 2
+
+    def test_diff_drops_zero_entries(self):
+        stats = EvalStats()
+        stats.record_primitive("merge")
+        before = stats.snapshot()
+        stats.record_primitive("foldBag")
+        delta = stats.diff(before)
+        assert "merge" not in delta.primitive_calls
+
+    def test_snapshot_is_immutable_copy(self):
+        stats = EvalStats()
+        stats.record_primitive("merge")
+        snap = stats.snapshot()
+        stats.record_primitive("merge")
+        assert snap.calls("merge") == 1
+
+    def test_to_dict_and_eq(self):
+        stats = EvalStats()
+        Thunk(lambda: 1, stats).force()
+        snap = stats.snapshot()
+        as_dict = snap.to_dict()
+        assert as_dict["thunks_created"] == 1
+        assert as_dict["thunks_forced"] == 1
+        assert snap == stats.snapshot()
+        assert snap != StatsSnapshot()
