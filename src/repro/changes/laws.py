@@ -17,11 +17,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.errors import ReproError
 from repro.changes.function import FunctionChangeStructure
 from repro.changes.structure import ChangeStructure
 
 
-class LawViolation(AssertionError):
+class LawViolation(ReproError, AssertionError):
     """A change-structure law failed at a concrete point."""
 
 

@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.analysis.nil_analysis import analyze_nil_changes
 from repro.analysis.self_maintainability import analyze_self_maintainability
 from repro.derive.derive import DeriveError, derive_program
+from repro.errors import ReproError
 from repro.lang.infer import InferenceError, infer_type
 from repro.lang.parser import ParseError, parse
 from repro.lang.pretty import pretty, pretty_type
@@ -130,6 +131,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write step records and metrics to PATH as JSON lines",
     )
+    trace_parser.add_argument(
+        "--resilient",
+        action="store_true",
+        help=(
+            "run under the resilience layer: validate changes before each "
+            "step and fall back to recomputation on derivative failures"
+        ),
+    )
+    trace_parser.add_argument(
+        "--verify-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --resilient, check Eq. 1 every N steps "
+            "(0 disables drift detection)"
+        ),
+    )
+    trace_parser.add_argument(
+        "--on-drift",
+        choices=("raise", "heal"),
+        default="raise",
+        help=(
+            "with --resilient and --verify-every, raise on detected drift "
+            "or self-heal by adopting the recomputed output"
+        ),
+    )
+    trace_parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "inject a fault for the duration of the trace; SPEC is "
+            "raise:NAME[@K] (primitive NAME raises on its K-th call), "
+            "wrong:NAME[@K] (returns a skewed value), or "
+            "corrupt-change[@K] (the K-th step's changes are corrupted); "
+            "repeatable"
+        ),
+    )
     return parser
 
 
@@ -197,6 +238,10 @@ def _command_trace(args: argparse.Namespace, out) -> int:
         optimize=not args.no_optimize,
         caching=args.caching,
         verify=args.verify,
+        resilient=args.resilient,
+        verify_every=args.verify_every,
+        on_drift=args.on_drift,
+        faults=args.inject_fault,
     )
     if args.json:
         for record in result.records:
@@ -213,6 +258,15 @@ def _command_trace(args: argparse.Namespace, out) -> int:
                 file=out,
             )
         print(format_trace(result.records), file=out)
+        if args.resilient:
+            print(
+                "resilience: "
+                f"fallbacks={result.fallbacks} "
+                f"rejected={result.rejected_changes} "
+                f"drift={result.drift_detections} "
+                f"heals={result.heals}",
+                file=out,
+            )
         if args.verify:
             print("verify:     ok (Eq. 1 holds)", file=out)
     if args.export:
@@ -244,6 +298,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         print(f"error: {error}", file=out)
         return 1
     except (EvaluationError, DeriveError) as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except ReproError as error:
+        # Any framework-diagnosed failure (invalid change, partial
+        # derivative, observed drift, plugin contract breach) carries its
+        # own context -- step number, term, offending change.
         print(f"error: {error}", file=out)
         return 1
     except (ArithmeticError, LookupError, OSError, TypeError, ValueError) as error:

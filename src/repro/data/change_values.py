@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.data.group import AbelianGroup
+from repro.errors import InvalidChangeError
 from repro.observability import metrics as _metrics
 
 # Change-algebra operation counters (Alvarez-Picallo's change-action line
@@ -135,8 +136,9 @@ def oplus_value(value: Any, change: Any) -> Any:
         return change.apply_to(value)
     if isinstance(change, tuple) and isinstance(value, tuple):
         if len(change) != len(value):
-            raise ValueError(
-                f"pair change arity {len(change)} != value arity {len(value)}"
+            raise InvalidChangeError(
+                f"pair change arity {len(change)} != value arity {len(value)}",
+                change=change,
             )
         return tuple(
             oplus_value(component, component_change)
@@ -145,8 +147,8 @@ def oplus_value(value: Any, change: Any) -> Any:
     oplus = getattr(value, "__oplus__", None)
     if oplus is not None:
         return oplus(change)
-    raise TypeError(
-        f"cannot apply change {change!r} to value {value!r}"
+    raise InvalidChangeError(
+        f"cannot apply change {change!r} to value {value!r}", change=change
     )
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import ReproError
 from repro.lang.infer import infer_type
 from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
 from repro.lang.traversal import (
@@ -37,7 +38,7 @@ from repro.observability import metrics as _metrics
 from repro.plugins.registry import Registry
 
 
-class DeriveError(ValueError):
+class DeriveError(ReproError, ValueError):
     """Differentiation failed (hygiene violation or missing plugin data)."""
 
 

@@ -1,0 +1,162 @@
+"""The structured error taxonomy of the runtime.
+
+The correctness theorem (Eq. 1) has two side conditions the type system
+does not enforce at runtime: the change fed to a derivative must be
+*valid* for the current input, and the derivative itself must be *total*
+on its domain.  When either fails, the failure should surface as a typed
+error carrying enough context to reproduce it -- the term, the step
+number, and the offending change -- instead of escaping as a bare
+``TypeError``/``RuntimeError`` from deep inside the interpreter.
+
+The hierarchy::
+
+    ReproError
+    ├── InvalidChangeError     a change is malformed / incompatible (⊕ or
+    │                          compose would be undefined)
+    ├── DerivativeError        a derivative raised while reacting to a
+    │                          change (a partial primitive, a plugin bug)
+    ├── DriftError             incremental output diverged from
+    │                          recomputation (Eq. 1 observed to fail)
+    └── PluginContractError    a plugin violated its Sec. 3.7 contract
+                               (conformance counterexample attached)
+
+Existing layer-specific errors (``ParseError``, ``InferenceError``,
+``TypeCheckError``, ``EvaluationError``, ``DeriveError``, …) adopt
+``ReproError`` as an additional base, so ``except ReproError`` catches
+every failure the framework itself can diagnose, while legacy handlers
+catching their historical built-in bases keep working.
+
+This module is a leaf: it must not import anything from ``repro`` at
+module level (everything else imports *it*).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def _shorten(text: str, limit: int = 120) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+class ReproError(Exception):
+    """Base class of all framework-diagnosed failures.
+
+    Context is attached via keyword arguments and rendered into the
+    message, so a failure deep in a change stream is reproducible from
+    its string form alone:
+
+    * ``term``  -- the program (or subterm) being run;
+    * ``step``  -- the 0-based step number of the failing reaction;
+    * ``change``-- the offending change (or tuple of changes);
+    * ``cause`` -- the underlying exception, also chained via
+      ``raise … from``.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *args: Any,
+        term: Any = None,
+        step: Optional[int] = None,
+        change: Any = None,
+        cause: Optional[BaseException] = None,
+        **details: Any,
+    ):
+        super().__init__(message, *args)
+        self.message = message
+        self.term = term
+        self.step = step
+        self.change = change
+        self.cause = cause
+        self.details = details
+
+    def _context_suffix(self) -> str:
+        parts = []
+        if self.step is not None:
+            parts.append(f"step={self.step}")
+        if self.term is not None:
+            parts.append(f"term={_shorten(self._pretty_term())!r}")
+        if self.change is not None:
+            parts.append(f"change={_shorten(repr(self.change))}")
+        for key, value in self.details.items():
+            parts.append(f"{key}={_shorten(repr(value))}")
+        if self.cause is not None:
+            parts.append(f"cause={type(self.cause).__name__}: {self.cause}")
+        return f" [{', '.join(parts)}]" if parts else ""
+
+    def _pretty_term(self) -> str:
+        try:
+            from repro.lang.pretty import pretty
+            from repro.lang.terms import Term
+
+            if isinstance(self.term, Term):
+                return pretty(self.term)
+        except Exception:  # pragma: no cover - pretty-printing is best-effort
+            pass
+        return repr(self.term)
+
+    def __str__(self) -> str:
+        return f"{self.message}{self._context_suffix()}"
+
+
+class InvalidChangeError(ReproError, TypeError):
+    """A change is not a valid member of ``Δv`` for the value it targets.
+
+    Raised by the runtime ⊕/compose layer when a change's shape does not
+    fit the value (wrong group carrier, wrong tuple arity, alien object),
+    and by the resilience layer's pre-step validation.  Also a
+    ``TypeError`` so legacy call sites catching the historical exception
+    keep working.
+    """
+
+
+class DerivativeError(ReproError):
+    """A derivative raised while reacting to a change.
+
+    The paper assumes derivatives are total; a partial primitive or a
+    buggy plugin derivative breaks that assumption at runtime.  The
+    engine guarantees the failed step rolled back, so the program is
+    still resumable (and ``rebase`` can fall back to recomputation).
+    """
+
+
+class DriftError(ReproError):
+    """Incremental output diverged from from-scratch recomputation.
+
+    Eq. 1 failed observably: either a derivative returned a wrong (but
+    well-formed) change, or an invalid change slipped past validation.
+    ``expected``/``actual`` carry both sides of the divergence.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *args: Any,
+        expected: Any = None,
+        actual: Any = None,
+        **kwargs: Any,
+    ):
+        super().__init__(
+            message, *args, expected=expected, actual=actual, **kwargs
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class PluginContractError(ReproError):
+    """A plugin violated its Sec. 3.7 contract.
+
+    Raised when conformance checking (``repro.plugins.validation``) finds
+    Eq. (1) counterexamples or Def. 2.1 law violations; the issues ride
+    along in ``details['issues']``.
+    """
+
+
+__all__ = [
+    "DerivativeError",
+    "DriftError",
+    "InvalidChangeError",
+    "PluginContractError",
+    "ReproError",
+]

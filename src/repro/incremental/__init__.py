@@ -5,13 +5,33 @@
 * ``CachingIncrementalProgram`` -- the Sec. 5.2.2 extension: additionally
   cache every intermediate result (via ANF let-lifting) so derivatives
   that need base values read them from caches instead of recomputing.
+* ``ResilientProgram`` -- a wrapper enforcing Eq. 1's side conditions at
+  runtime: change validation, recompute fallback, drift detection.
+* ``faults`` -- fault injection for exercising the resilience layer.
 """
 
 from repro.incremental.caching import CachingIncrementalProgram
 from repro.incremental.engine import IncrementalProgram, incrementalize
+from repro.incremental.faults import (
+    ChangeCorruption,
+    FaultSpec,
+    InjectedFault,
+    corrupt_change,
+    inject_faults,
+    parse_fault_spec,
+)
+from repro.incremental.resilient import ResiliencePolicy, ResilientProgram
 
 __all__ = [
     "CachingIncrementalProgram",
+    "ChangeCorruption",
+    "FaultSpec",
     "IncrementalProgram",
+    "InjectedFault",
+    "ResiliencePolicy",
+    "ResilientProgram",
+    "corrupt_change",
     "incrementalize",
+    "inject_faults",
+    "parse_fault_spec",
 ]

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.data.change_values import change_size, oplus_value
 from repro.derive.derive import derive, rename_d_variables
+from repro.errors import DerivativeError, InvalidChangeError
 from repro.incremental.engine import _LazyInput
 from repro.lang.infer import infer_type
 from repro.lang.terms import Lam, Lit, Term, Var
@@ -156,6 +157,9 @@ class CachingIncrementalProgram:
         return force(self._evaluator.eval(atom, Env.empty()))
 
     def step(self, *changes: Any) -> Any:
+        """React to one change per input (transactional, like the base
+        engine: commit only if the derivatives, the ⊕, and every cache
+        and input advancement succeed; roll back otherwise)."""
         if self._inputs is None:
             raise RuntimeError("call initialize() before step()")
         if len(changes) != self.arity:
@@ -164,18 +168,62 @@ class CachingIncrementalProgram:
             )
         if _metrics.STATE.on:
             return self._step_observed(get_observability(), changes)
-        binding_changes = self._binding_changes(changes)
-        output_change = self._atom_change(changes, binding_changes)
-        self._output = oplus_value(self._output, force(output_change))
-        # Advance caches and inputs only now: every derivative above saw
-        # pre-step values.  Unforced derivative thunks are forced here (a
-        # cache cannot skip its own update), still lazily per value.
-        for name, change in binding_changes.items():
-            self._caches[name].push(force(change))
-        for lazy_input, change in zip(self._inputs, changes):
-            lazy_input.push(change)
+        snapshots = self._snapshot()
+        try:
+            binding_changes = self._binding_changes(changes)
+            output_change = force(self._atom_change(changes, binding_changes))
+            # Force every per-binding derivative *before* any cache is
+            # advanced, so each one sees pre-step values (a cache cannot
+            # skip its own update), still lazily per value.
+            forced = {
+                name: force(change)
+                for name, change in binding_changes.items()
+            }
+        except Exception as error:
+            self._rollback(snapshots)
+            raise DerivativeError(
+                "per-binding derivative failed",
+                term=self.term,
+                step=self._steps,
+                change=changes,
+                cause=error,
+            ) from error
+        try:
+            new_output = oplus_value(self._output, output_change)
+            # Advance caches and inputs only now: every derivative above
+            # saw pre-step values.
+            for name, value in forced.items():
+                self._caches[name].push(value)
+            for lazy_input, change in zip(self._inputs, changes):
+                lazy_input.push(change)
+        except Exception as error:
+            self._rollback(snapshots)
+            raise InvalidChangeError(
+                "change application failed",
+                term=self.term,
+                step=self._steps,
+                change=changes,
+                cause=error,
+            ) from error
+        self._output = new_output
         self._steps += 1
         return self._output
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return {
+            "inputs": [lazy_input.snapshot() for lazy_input in self._inputs],
+            "caches": {
+                name: cache.snapshot() for name, cache in self._caches.items()
+            },
+        }
+
+    def _rollback(self, snapshots: Dict[str, Any]) -> None:
+        for lazy_input, snapshot in zip(self._inputs, snapshots["inputs"]):
+            lazy_input.restore(snapshot)
+        for name, snapshot in snapshots["caches"].items():
+            self._caches[name].restore(snapshot)
+        if _metrics.STATE.on:
+            get_observability().metrics.counter("engine.rollbacks").inc()
 
     def _binding_changes(self, changes: Any) -> Dict[str, Any]:
         """Build the step environment and one lazy change per binding."""
@@ -215,22 +263,49 @@ class CachingIncrementalProgram:
             lazy_input.materializations for lazy_input in self._inputs
         )
         with hub.tracer.span("caching.step", step=self._steps) as span:
-            with hub.tracer.span("derivative"):
-                binding_changes = self._binding_changes(changes)
-                output_change = force(
-                    self._atom_change(changes, binding_changes)
-                )
-            with hub.tracer.span("oplus"):
-                self._output = oplus_value(self._output, output_change)
-            for name, change in binding_changes.items():
-                # Forcing the binding's derivative is where its cost
-                # lands; one child span per binding makes it visible.
-                with hub.tracer.span("binding", binding=name) as binding_span:
-                    value = force(change)
-                    binding_span.set(change_size=change_size(value))
-                self._caches[name].push(value)
-            for lazy_input, change in zip(self._inputs, changes):
-                lazy_input.push(change)
+            snapshots = self._snapshot()
+            try:
+                with hub.tracer.span("derivative"):
+                    binding_changes = self._binding_changes(changes)
+                    output_change = force(
+                        self._atom_change(changes, binding_changes)
+                    )
+                forced: Dict[str, Any] = {}
+                for name, change in binding_changes.items():
+                    # Forcing the binding's derivative is where its cost
+                    # lands; one child span per binding makes it visible.
+                    with hub.tracer.span(
+                        "binding", binding=name
+                    ) as binding_span:
+                        value = force(change)
+                        binding_span.set(change_size=change_size(value))
+                    forced[name] = value
+            except Exception as error:
+                self._rollback(snapshots)
+                raise DerivativeError(
+                    "per-binding derivative failed",
+                    term=self.term,
+                    step=self._steps,
+                    change=changes,
+                    cause=error,
+                ) from error
+            try:
+                with hub.tracer.span("oplus"):
+                    new_output = oplus_value(self._output, output_change)
+                for name, value in forced.items():
+                    self._caches[name].push(value)
+                for lazy_input, change in zip(self._inputs, changes):
+                    lazy_input.push(change)
+            except Exception as error:
+                self._rollback(snapshots)
+                raise InvalidChangeError(
+                    "change application failed",
+                    term=self.term,
+                    step=self._steps,
+                    change=changes,
+                    cause=error,
+                ) from error
+            self._output = new_output
             self._steps += 1
             delta = self.stats.diff(stats_before)
             caches_materialized = sum(
@@ -317,3 +392,45 @@ class CachingIncrementalProgram:
 
     def verify(self) -> bool:
         return self.recompute() == self._output
+
+    # -- recovery ----------------------------------------------------------
+
+    def rebase(self, *changes: Any) -> Any:
+        """Apply ``changes`` by ``⊕`` and re-run the base program,
+        refreshing every intermediate cache -- the fallback path when a
+        per-binding derivative is partial.  Counts as one step; atomic."""
+        if self._inputs is None:
+            raise RuntimeError("call initialize() before rebase()")
+        if len(changes) != self.arity:
+            raise ValueError(
+                f"expected {self.arity} changes, got {len(changes)}"
+            )
+        try:
+            updated = [
+                oplus_value(lazy_input.current(), change)
+                for lazy_input, change in zip(self._inputs, changes)
+            ]
+        except Exception as error:
+            raise InvalidChangeError(
+                "change application failed during rebase",
+                term=self.term,
+                step=self._steps,
+                change=changes,
+                cause=error,
+            ) from error
+        saved = (self._inputs, self._caches, self._output, self._steps)
+        try:
+            self._initialize(updated)
+            self._steps = saved[3] + 1
+        except Exception:
+            self._inputs, self._caches, self._output, self._steps = saved
+            raise
+        if _metrics.STATE.on:
+            get_observability().metrics.counter("engine.rebases").inc()
+        return self._output
+
+    def resync(self) -> Any:
+        """Overwrite the incremental output with the recomputed one (the
+        self-healing arm of drift detection)."""
+        self._output = self.recompute()
+        return self._output

@@ -22,8 +22,17 @@ from repro.data.bag import Bag
 from repro.data.change_values import GroupChange, Replace
 from repro.data.group import BAG_GROUP, INT_ADD_GROUP, map_group
 from repro.data.pmap import PMap
+from repro.errors import DriftError, ReproError
 from repro.incremental.caching import CachingIncrementalProgram
 from repro.incremental.engine import IncrementalProgram
+from repro.incremental.faults import (
+    ChangeCorruption,
+    FaultSpec,
+    corrupt_change,
+    inject_faults,
+    parse_fault_spec,
+)
+from repro.incremental.resilient import ResiliencePolicy, ResilientProgram
 from repro.lang.terms import Term
 from repro.lang.types import TBase, Type, uncurry_fun_type
 from repro.observability import Span, observing
@@ -31,7 +40,7 @@ from repro.observability.export import metrics_records, step_record
 from repro.plugins.registry import Registry
 
 
-class WorkloadError(ValueError):
+class WorkloadError(ReproError, ValueError):
     """No input/change generator exists for a parameter type."""
 
 
@@ -119,6 +128,11 @@ class TraceResult:
     records: List[Dict[str, Any]]
     initialize_span: Optional[Span] = None
     metrics: List[Dict[str, Any]] = field(default_factory=list)
+    #: Resilience counters (all zero for plain traces).
+    fallbacks: int = 0
+    rejected_changes: int = 0
+    drift_detections: int = 0
+    heals: int = 0
 
     @property
     def output(self) -> Any:
@@ -135,44 +149,98 @@ def run_trace(
     optimize: bool = True,
     caching: bool = False,
     verify: bool = False,
+    resilient: bool = False,
+    verify_every: int = 0,
+    on_drift: str = "raise",
+    faults: Any = (),
 ) -> TraceResult:
     """Incrementalize ``term``, run it over a generated change stream
     under observability, and collect per-step records.
 
-    ``verify=True`` additionally checks Eq. (1) after the last step
-    (which materializes the inputs -- the queues will show it).
+    ``verify=True`` checks Eq. (1) after *every* step and raises
+    :class:`~repro.errors.DriftError` naming the first divergent step
+    (each check materializes the input queues -- the records will show
+    it).  ``resilient=True`` wraps the engine in
+    :class:`~repro.incremental.resilient.ResilientProgram` with change
+    validation, recompute fallback, and (when ``verify_every > 0``)
+    periodic drift detection with ``on_drift`` handling.  ``faults`` is
+    a sequence of fault specs (strings in the
+    :func:`~repro.incremental.faults.parse_fault_spec` grammar, or
+    ``FaultSpec``/``ChangeCorruption`` objects) injected for the
+    duration of the stepping loop.
     """
     if steps < 0:
         raise ValueError("steps must be >= 0")
     rng = random.Random(seed)
+    fault_specs: List[FaultSpec] = []
+    corrupt_steps: set = set()
+    for fault in faults:
+        parsed = parse_fault_spec(fault) if isinstance(fault, str) else fault
+        if isinstance(parsed, ChangeCorruption):
+            corrupt_steps.add(parsed.at_step)
+        else:
+            fault_specs.append(parsed)
     with observing() as hub:
         if caching:
-            program: Any = CachingIncrementalProgram(
+            engine: Any = CachingIncrementalProgram(
                 term, registry, specialize=specialize
             )
         else:
-            program = IncrementalProgram(
+            engine = IncrementalProgram(
                 term, registry, specialize=specialize, optimize=optimize
             )
-        input_types = list(uncurry_fun_type(program.program_type)[0])
-        if len(input_types) < getattr(program, "arity", len(input_types)):
+        input_types = list(uncurry_fun_type(engine.program_type)[0])
+        if len(input_types) < getattr(engine, "arity", len(input_types)):
             raise WorkloadError("program type is not fully curried")
-        input_types = input_types[: program.arity]
+        input_types = input_types[: engine.arity]
+        if resilient:
+            program: Any = ResilientProgram(
+                engine,
+                ResiliencePolicy(verify_every=verify_every, on_drift=on_drift),
+                input_types=input_types,
+            )
+        else:
+            program = engine
         inputs = [generate_input(ty, size, rng) for ty in input_types]
         program.initialize(*inputs)
         initialize_span = hub.tracer.last(
             "caching.initialize" if caching else "engine.initialize"
         )
         records: List[Dict[str, Any]] = []
-        for _ in range(steps):
-            changes = [generate_change(ty, rng) for ty in input_types]
-            program.step(*changes)
-            records.append(step_record(program.last_step_span))
-        if verify and not program.verify():
-            raise RuntimeError(
-                "verification failed: incremental output diverged from "
-                "recomputation"
-            )
+        from contextlib import nullcontext
+
+        injection = (
+            inject_faults(registry, *fault_specs)
+            if fault_specs
+            else nullcontext()
+        )
+        with injection:
+            for index in range(steps):
+                changes = [generate_change(ty, rng) for ty in input_types]
+                if index + 1 in corrupt_steps:
+                    changes = [
+                        corrupt_change(change, rng) for change in changes
+                    ]
+                span_before = engine.last_step_span
+                program.step(*changes)
+                span_after = engine.last_step_span
+                if span_after is not None and span_after is not span_before:
+                    records.append(step_record(span_after))
+                else:
+                    # The step completed without an ``engine.step`` span:
+                    # the resilience layer fell back to recompute.
+                    records.append(
+                        {"type": "step", "step": index, "fallback": True}
+                    )
+                if verify and not program.verify():
+                    raise DriftError(
+                        "verification failed: incremental output diverged "
+                        "from recomputation",
+                        term=term,
+                        step=index,
+                        expected=program.recompute(),
+                        actual=program.output,
+                    )
     return TraceResult(
         program=program,
         input_types=input_types,
@@ -180,4 +248,8 @@ def run_trace(
         records=records,
         initialize_span=initialize_span,
         metrics=metrics_records(hub.metrics),
+        fallbacks=getattr(program, "fallbacks", 0),
+        rejected_changes=getattr(program, "rejected_changes", 0),
+        drift_detections=getattr(program, "drift_detections", 0),
+        heals=getattr(program, "heals", 0),
     )

@@ -21,10 +21,11 @@ never called during steps of the specialized ``grand_total``).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.data.change_values import change_size, oplus_value
 from repro.derive.derive import derive_program
+from repro.errors import DerivativeError, InvalidChangeError
 from repro.lang.infer import infer_type
 from repro.lang.terms import Term
 from repro.lang.types import Type, uncurry_fun_type
@@ -93,6 +94,21 @@ class _LazyInput:
     @property
     def pending_changes(self) -> int:
         return len(self._pending)
+
+    # -- transactional support ---------------------------------------------
+
+    def snapshot(self) -> Tuple[Any, List[Any], int, int]:
+        """Capture enough state to undo pushes/folds done after this point.
+
+        Values are persistent (bags, maps, tuples) and queue folding is a
+        pure optimization, so restoring the value reference plus a copy of
+        the pending queue is an exact logical rollback.
+        """
+        return (self._value, list(self._pending), self.advances, self.materializations)
+
+    def restore(self, snapshot: Tuple[Any, List[Any], int, int]) -> None:
+        self._value, pending, self.advances, self.materializations = snapshot
+        self._pending = list(pending)
 
 
 def _delta_size(change: Any) -> int:
@@ -195,7 +211,15 @@ class IncrementalProgram:
         return self._output
 
     def step(self, *changes: Any) -> Any:
-        """React to one change per input; returns the updated output."""
+        """React to one change per input; returns the updated output.
+
+        The step is *transactional*: derivative application, the output
+        ``⊕``, and input advancement either all take effect or none do.
+        On any failure the pre-step state is restored and a typed
+        :class:`~repro.errors.ReproError` carrying the step number, the
+        program term, and the offending changes is raised -- the engine
+        stays resumable.
+        """
         if self._inputs is None:
             raise RuntimeError("call initialize() before step()")
         if len(changes) != self.arity:
@@ -204,14 +228,53 @@ class IncrementalProgram:
             )
         if _STATE.on:
             return self._step_observed(get_observability(), changes)
-        output_change = self._apply_derivative(changes)
-        self._output = oplus_value(self._output, output_change)
-        # Advance the cached inputs lazily: if the derivative never needs
-        # base inputs, they are never materialized across steps either.
-        for lazy_input, change in zip(self._inputs, changes):
-            lazy_input.push(change)
+        new_output = self._transact(changes)
+        self._output = new_output
         self._steps += 1
         return self._output
+
+    def _transact(self, changes: Sequence[Any]) -> Any:
+        """Run one step's derivative/⊕/advance against shadow state.
+
+        Returns the new output; on success the input queues have been
+        advanced, on failure they are rolled back and a typed error is
+        raised.  The caller commits ``_output``/``_steps`` only on
+        success, so the program state is never mutually inconsistent.
+        """
+        snapshots = [lazy_input.snapshot() for lazy_input in self._inputs]
+        try:
+            output_change = self._apply_derivative(changes)
+        except Exception as error:
+            self._rollback(snapshots)
+            raise DerivativeError(
+                "derivative application failed",
+                term=self.term,
+                step=self._steps,
+                change=changes,
+                cause=error,
+            ) from error
+        try:
+            new_output = oplus_value(self._output, output_change)
+            # Advance the cached inputs lazily: if the derivative never
+            # needs base inputs, they are never materialized either.
+            for lazy_input, change in zip(self._inputs, changes):
+                lazy_input.push(change)
+        except Exception as error:
+            self._rollback(snapshots)
+            raise InvalidChangeError(
+                "change application failed",
+                term=self.term,
+                step=self._steps,
+                change=changes,
+                cause=error,
+            ) from error
+        return new_output
+
+    def _rollback(self, snapshots: Sequence[Any]) -> None:
+        for lazy_input, snapshot in zip(self._inputs, snapshots):
+            lazy_input.restore(snapshot)
+        if _STATE.on:
+            get_observability().metrics.counter("engine.rollbacks").inc()
 
     def _apply_derivative(self, changes: Sequence[Any]) -> Any:
         interleaved: List[Any] = []
@@ -239,12 +302,34 @@ class IncrementalProgram:
             lazy_input.materializations for lazy_input in self._inputs
         )
         with hub.tracer.span("engine.step", step=self._steps) as span:
-            with hub.tracer.span("derivative"):
-                output_change = self._apply_derivative(changes)
-            with hub.tracer.span("oplus"):
-                self._output = oplus_value(self._output, output_change)
-            for lazy_input, change in zip(self._inputs, changes):
-                lazy_input.push(change)
+            snapshots = [lazy_input.snapshot() for lazy_input in self._inputs]
+            try:
+                with hub.tracer.span("derivative"):
+                    output_change = self._apply_derivative(changes)
+            except Exception as error:
+                self._rollback(snapshots)
+                raise DerivativeError(
+                    "derivative application failed",
+                    term=self.term,
+                    step=self._steps,
+                    change=changes,
+                    cause=error,
+                ) from error
+            try:
+                with hub.tracer.span("oplus"):
+                    new_output = oplus_value(self._output, output_change)
+                for lazy_input, change in zip(self._inputs, changes):
+                    lazy_input.push(change)
+            except Exception as error:
+                self._rollback(snapshots)
+                raise InvalidChangeError(
+                    "change application failed",
+                    term=self.term,
+                    step=self._steps,
+                    change=changes,
+                    cause=error,
+                ) from error
+            self._output = new_output
             self._steps += 1
             delta = self.stats.diff(stats_before)
             span.set(
@@ -309,6 +394,52 @@ class IncrementalProgram:
     def verify(self) -> bool:
         """Check the incremental output against recomputation (Eq. 1)."""
         return self.recompute() == self._output
+
+    # -- recovery ----------------------------------------------------------
+
+    def rebase(self, *changes: Any) -> Any:
+        """Apply ``changes`` to the inputs by ``⊕`` and recompute the
+        output from scratch -- the fallback path when the derivative is
+        partial (raised) but the changes themselves are valid.
+
+        Counts as one step.  Atomic like ``step``: on failure the
+        pre-call state is fully restored.
+        """
+        if self._inputs is None:
+            raise RuntimeError("call initialize() before rebase()")
+        if len(changes) != self.arity:
+            raise ValueError(
+                f"expected {self.arity} changes, got {len(changes)}"
+            )
+        try:
+            updated = [
+                oplus_value(lazy_input.current(), change)
+                for lazy_input, change in zip(self._inputs, changes)
+            ]
+        except Exception as error:
+            raise InvalidChangeError(
+                "change application failed during rebase",
+                term=self.term,
+                step=self._steps,
+                change=changes,
+                cause=error,
+            ) from error
+        saved = (self._inputs, self._output, self._steps)
+        try:
+            self._initialize(updated)
+            self._steps = saved[2] + 1
+        except Exception:
+            self._inputs, self._output, self._steps = saved
+            raise
+        if _STATE.on:
+            get_observability().metrics.counter("engine.rebases").inc()
+        return self._output
+
+    def resync(self) -> Any:
+        """Overwrite the incremental output with the recomputed one (the
+        self-healing arm of drift detection)."""
+        self._output = self.recompute()
+        return self._output
 
 
 def incrementalize(

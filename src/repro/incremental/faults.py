@@ -1,0 +1,229 @@
+"""Fault injection for exercising the resilience layer.
+
+The resilience guarantees (transactional steps, typed errors, recompute
+fallback, drift detection) are only testable if faults can be produced
+on demand.  This module injects three kinds:
+
+* ``raise`` faults -- a primitive (or derivative primitive, e.g.
+  ``add'``) raises on its k-th call, modelling a *partial* derivative
+  (the totality side condition of Eq. 1 failing);
+* ``wrong`` faults -- a primitive returns a well-formed but *wrong*
+  value on its k-th call, modelling an incorrect derivative (the
+  validity side condition failing silently -- only drift detection can
+  catch this);
+* change corruption -- :func:`corrupt_change` mangles a change in a
+  stream into something malformed, modelling a bad change producer
+  (caught by pre-step validation or the ⊕ layer).
+
+Injection works by patching ``ConstantSpec.impl`` and invalidating the
+spec's cached runtime template; ``Const`` nodes re-resolve their runtime
+value on every body evaluation, so faults take effect even in engines
+constructed before injection.  Partial applications captured *before*
+entering the context keep the original implementation, as does the
+trivial-derivative cache -- inject into named primitives (``add``,
+``sum'``, …) for reliable delivery.
+
+Everything is restored on context exit, even when the block raises.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.plugins.registry import PluginError, Registry
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate failure raised by ``raise``-mode faults.
+
+    Intentionally *not* a :class:`~repro.errors.ReproError`: the point of
+    the harness is to verify the engine wraps arbitrary internal
+    failures into typed errors.
+    """
+
+
+@dataclass
+class FaultSpec:
+    """One primitive-level fault.
+
+    name:
+        Registry name of the primitive to sabotage (derivative
+        primitives are registered under primed names, e.g. ``add'``).
+    mode:
+        ``"raise"`` or ``"wrong"``.
+    at_call:
+        1-based call index at which the fault fires; None fires on
+        every call.
+    calls:
+        Observed call count (mutated while the injection is active).
+    """
+
+    name: str
+    mode: str = "raise"
+    at_call: Optional[int] = None
+    calls: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "wrong"):
+            raise ValueError(f"unknown fault mode: {self.mode!r}")
+        if self.at_call is not None and self.at_call < 1:
+            raise ValueError("at_call is 1-based")
+
+    def fires(self, call_index: int) -> bool:
+        return self.at_call is None or call_index == self.at_call
+
+
+@dataclass(frozen=True)
+class ChangeCorruption:
+    """Corrupt the change(s) fed to the 1-based ``at_step``-th step."""
+
+    at_step: int = 1
+
+
+def skew_value(value: Any) -> Any:
+    """A plausible-but-wrong variant of ``value`` (same shape, wrong
+    content), used by ``wrong``-mode faults.  Opaque values pass through
+    unchanged -- the fault is then absorbed, which is itself a valid
+    outcome for the property suite."""
+    from repro.data.bag import Bag
+    from repro.data.change_values import GroupChange, Replace
+    from repro.data.group import BAG_GROUP
+
+    if isinstance(value, GroupChange):
+        return GroupChange(
+            value.group, value.group.merge(value.delta, value.delta)
+        )
+    if isinstance(value, Replace):
+        return Replace(skew_value(value.value))
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, Bag):
+        return BAG_GROUP.merge(value, value)
+    if isinstance(value, tuple) and value:
+        return (skew_value(value[0]),) + value[1:]
+    return value
+
+
+class _CorruptPayload:
+    """An alien object no group or ⊕ dispatch understands."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<corrupt>"
+
+
+def corrupt_change(change: Any, rng: Any = None) -> Any:
+    """A malformed variant of ``change`` -- guaranteed *not* to be a
+    member of any ``Δv`` the original belonged to.
+
+    With an ``rng`` (anything with ``choice``), picks among the
+    corruptions applicable to the change's shape; without one, applies
+    the first.
+    """
+    from repro.data.change_values import GroupChange, Replace
+
+    options: List[Any] = []
+    if isinstance(change, GroupChange):
+        options.append(GroupChange(change.group, _CorruptPayload()))
+    if isinstance(change, tuple) and change:
+        options.append(change[:-1])  # arity mismatch
+    if isinstance(change, Replace):
+        options.append(GroupChange(_CorruptPayload(), _CorruptPayload()))
+    options.append(_CorruptPayload())
+    if rng is None:
+        return options[0]
+    return rng.choice(options)
+
+
+def parse_fault_spec(text: str) -> Union[FaultSpec, ChangeCorruption]:
+    """Parse a CLI fault spec.
+
+    Grammar::
+
+        raise:NAME[@K]      NAME raises on its K-th call (every call if
+                            no @K)
+        wrong:NAME[@K]      NAME returns a skewed value on its K-th call
+        corrupt-change[@K]  the K-th step's changes are corrupted
+                            (step 1 if no @K)
+    """
+    text = text.strip()
+    if text.startswith("corrupt-change"):
+        rest = text[len("corrupt-change") :]
+        if not rest:
+            return ChangeCorruption(1)
+        if not rest.startswith("@"):
+            raise ValueError(f"malformed fault spec: {text!r}")
+        return ChangeCorruption(int(rest[1:]))
+    mode, sep, rest = text.partition(":")
+    if not sep or mode not in ("raise", "wrong") or not rest:
+        raise ValueError(
+            f"malformed fault spec: {text!r} "
+            "(expected raise:NAME[@K], wrong:NAME[@K], or corrupt-change[@K])"
+        )
+    name, at_sep, at = rest.partition("@")
+    return FaultSpec(
+        name=name, mode=mode, at_call=int(at) if at_sep else None
+    )
+
+
+@contextmanager
+def inject_faults(
+    registry: Registry, *specs: FaultSpec
+) -> Iterator[Dict[str, FaultSpec]]:
+    """Patch the named primitives in ``registry`` to misbehave.
+
+    Yields a dict mapping primitive names to their (live) ``FaultSpec``,
+    whose ``calls`` counters record how often each primitive actually
+    ran.  All implementations and cached runtime templates are restored
+    on exit.
+    """
+    patched: List[Any] = []
+    try:
+        for fault in specs:
+            constant = registry.lookup_constant(fault.name)
+            if constant is None:
+                raise PluginError(f"cannot inject fault: unknown constant {fault.name}")
+            if constant.impl is None:
+                raise PluginError(
+                    f"cannot inject fault into ground constant {fault.name}"
+                )
+            original_impl = constant.impl
+            original_template = constant._runtime_template
+
+            def sabotaged(
+                *args: Any,
+                _impl: Any = original_impl,
+                _fault: FaultSpec = fault,
+            ) -> Any:
+                _fault.calls += 1
+                if not _fault.fires(_fault.calls):
+                    return _impl(*args)
+                if _fault.mode == "raise":
+                    raise InjectedFault(
+                        f"injected fault in {_fault.name} "
+                        f"(call {_fault.calls})"
+                    )
+                return skew_value(_impl(*args))
+
+            constant.impl = sabotaged
+            constant._runtime_template = None
+            patched.append((constant, original_impl, original_template))
+        yield {fault.name: fault for fault in specs}
+    finally:
+        for constant, original_impl, original_template in patched:
+            constant.impl = original_impl
+            constant._runtime_template = original_template
+
+
+__all__ = [
+    "ChangeCorruption",
+    "FaultSpec",
+    "InjectedFault",
+    "corrupt_change",
+    "inject_faults",
+    "parse_fault_spec",
+    "skew_value",
+]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.lang.context import Context
 from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
 from repro.lang.types import (
@@ -25,7 +26,7 @@ from repro.lang.types import (
 )
 
 
-class InferenceError(TypeError):
+class InferenceError(ReproError, TypeError):
     """A type error detected during inference."""
 
 

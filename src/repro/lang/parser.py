@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.data.bag import Bag
 from repro.lang.lexer import Token, tokenize
 from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
 from repro.lang.types import TBag, TBase, TBool, TFun, TInt, TPair, Type
 
 
-class ParseError(SyntaxError):
+class ParseError(ReproError, SyntaxError):
     """A syntax error with position information."""
 
     def __init__(self, message: str, token: Token):

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import ReproError
 from repro.lang.context import Context
 from repro.lang.infer import Unifier
 from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
 from repro.lang.types import TFun, Type, TypeVarSupply
 
 
-class TypeCheckError(TypeError):
+class TypeCheckError(ReproError, TypeError):
     """A type error detected while checking an annotated term."""
 
 

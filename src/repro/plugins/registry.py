@@ -22,13 +22,18 @@ from repro.changes.function import FunctionChangeStructure
 from repro.changes.primitive import ReplaceChangeStructure
 from repro.changes.structure import ChangeStructure
 from repro.data.change_values import Replace
+from repro.errors import ReproError
 from repro.lang.terms import Const
 from repro.lang.types import TBase, TChange, TFun, TVar, Type
 from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
 
 
-class PluginError(ValueError):
-    """A plugin composition or lookup error."""
+class PluginError(ReproError, ValueError):
+    """A plugin composition or lookup error.
+
+    Also a ``ValueError`` so historical ``except ValueError`` call sites
+    keep working.
+    """
 
 
 class Registry:

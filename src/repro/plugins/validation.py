@@ -53,6 +53,24 @@ def samples_for(ty: Type) -> Optional[List[Tuple[Any, Any]]]:
     same inputs the conformance validator uses (every change in a pair is
     valid for its value, covering both group-delta and ``Replace``
     representations).
+
+    ``Pair`` and ``Sum`` samples recurse into their type arguments, so
+    nested ground instantiations (``Pair (Bag Int) Bool``,
+    ``Sum Int (Bag Int)``, …) are sampled structurally instead of being
+    skipped.
+
+    **Remaining skip list** (types for which this returns None, leaving
+    their constants to explicit ``extra_cases``):
+
+    * function types and any type mentioning one -- ``foldBag``,
+      ``mapBag``, ``flatMapBag``, ``filterBag``, ``foldMap``,
+      ``foldMapGen``, ``mapList``, ``matchSum``, ``compose``,
+      ``applyFn`` are validated only through the engine-level Eq. (1)
+      property tests, not by ``validate_registry``;
+    * ``Change a`` arguments (the ``oplus`` primitive): change *sets*
+      are value-indexed, so context-free sampling cannot cover them;
+    * base types registered by third-party plugins without a
+      ``samples_for`` branch here.
     """
     if not isinstance(ty, TBase):
         return None
@@ -79,6 +97,24 @@ def samples_for(ty: Type) -> Optional[List[Tuple[Any, Any]]]:
             (PMap.empty(), Replace(PMap({2: 3}))),
         ]
     if ty.name == "Pair":
+        if len(ty.args) == 2:
+            left = samples_for(ty.args[0])
+            right = samples_for(ty.args[1])
+            if left is None or right is None:
+                return None
+            paired = [
+                ((left_value, right_value), (left_change, right_change))
+                for (left_value, left_change), (right_value, right_change) in zip(
+                    left, right
+                )
+            ]
+            paired.append(
+                (
+                    (left[0][0], right[0][0]),
+                    Replace((left[-1][0], right[-1][0])),
+                )
+            )
+            return paired
         return [
             (
                 (1, 2),
@@ -98,8 +134,19 @@ def samples_for(ty: Type) -> Optional[List[Tuple[Any, Any]]]:
             return [(BAG_GROUP, Replace(BAG_GROUP))]
         return [(INT_ADD_GROUP, Replace(INT_ADD_GROUP))]
     if ty.name == "Sum":
-        from repro.data.sum import Inl, InlChange, Inr
+        from repro.data.sum import Inl, InlChange, Inr, InrChange
 
+        if len(ty.args) == 2:
+            left = samples_for(ty.args[0])
+            right = samples_for(ty.args[1])
+            if left is None or right is None:
+                return None
+            return [
+                (Inl(left[0][0]), InlChange(left[0][1])),
+                (Inr(right[0][0]), InrChange(right[0][1])),
+                (Inl(left[-1][0]), Replace(Inr(right[0][0]))),
+                (Inr(right[-1][0]), Replace(Inr(right[0][0]))),
+            ]
         return [
             (Inl(1), Replace(Inr(2))),
             (Inr(3), Replace(Inr(4))),
@@ -257,6 +304,161 @@ def validate_plugin(
             continue  # derivative primitives are exercised via their sources
         issues.extend(validate_constant(spec, extra_cases.get(name)))
     return issues
+
+
+#: Sentinel distinguishing "no base value supplied" from ``None``.
+_NO_VALUE = object()
+
+
+def change_mismatch(
+    ty: Type,
+    change: Any,
+    registry: Optional[Registry] = None,
+    value: Any = _NO_VALUE,
+) -> Optional[str]:
+    """Describe why ``change`` cannot inhabit ``Δv`` for values of type
+    ``ty``, or return None when it is plausibly valid.
+
+    This is the runtime face of the conformance machinery: a *shape*
+    check (wrong group carrier, wrong tuple arity, alien objects) that
+    never forces a base value, so the resilience layer can reject
+    malformed changes before a step without defeating the engine's
+    laziness.  Pass the current base ``value`` (and a ``registry``) to
+    additionally run the semantic structure's value-dependent membership
+    test ``delta_contains`` -- exact, but it materializes the input.
+    """
+    from repro.lang.types import TFun, TVar
+
+    if isinstance(ty, TFun):
+        if isinstance(change, (GroupChange, Replace)):
+            return (
+                f"function-typed input cannot take {type(change).__name__}; "
+                "function changes are two-argument function values"
+            )
+        return None
+    if isinstance(ty, TVar) or not isinstance(ty, TBase):
+        return None
+
+    mismatch = _base_shape_mismatch(ty, change)
+    if mismatch is not None:
+        return mismatch
+
+    if value is not _NO_VALUE and registry is not None:
+        # The semantic structures speak *semantic* changes (raw group
+        # elements, raw replacement values), so unwrap the erased
+        # representation before the membership test.
+        try:
+            structure = registry.change_structure(ty)
+            if isinstance(change, Replace):
+                member = structure.contains(change.value)
+            elif isinstance(change, GroupChange):
+                member = structure.delta_contains(value, change.delta)
+            else:
+                member = True  # structural changes: shape check above
+            if not member:
+                return (
+                    f"change {change!r} is not in Δ{value!r} "
+                    f"per the {structure!r} structure"
+                )
+        except NotImplementedError:
+            pass
+    return None
+
+
+def _base_shape_mismatch(ty: TBase, change: Any) -> Optional[str]:
+    from repro.data.sum import SumValue, _SideChange, InlChange
+
+    def payload_mismatch(expected: type, label: str) -> Optional[str]:
+        if isinstance(change, Replace):
+            if not isinstance(change.value, expected):
+                return (
+                    f"Replace payload {change.value!r} is not a {label} "
+                    f"(input type {ty!r})"
+                )
+            return None
+        if isinstance(change, GroupChange):
+            if not isinstance(change.delta, expected):
+                return (
+                    f"group delta {change.delta!r} is not a {label} "
+                    f"(input type {ty!r})"
+                )
+            return None
+        return f"{change!r} is not a change for {ty!r}"
+
+    if ty.name in ("Int", "Nat"):
+        if isinstance(change, Replace):
+            return None if isinstance(change.value, int) else (
+                f"Replace payload {change.value!r} is not an integer"
+            )
+        if isinstance(change, GroupChange):
+            return None if isinstance(change.delta, int) else (
+                f"group delta {change.delta!r} is not an integer"
+            )
+        return f"{change!r} is not a change for {ty!r}"
+    if ty.name == "Bool":
+        if isinstance(change, Replace) and isinstance(change.value, bool):
+            return None
+        return f"{change!r} is not a Replace of a boolean"
+    if ty.name == "Bag":
+        return payload_mismatch(Bag, "bag")
+    if ty.name == "Map":
+        return payload_mismatch(PMap, "map")
+    if ty.name == "List":
+        if isinstance(change, ListChange):
+            return None
+        if isinstance(change, Replace) and isinstance(change.value, tuple):
+            return None
+        return f"{change!r} is not a list change"
+    if ty.name == "Pair":
+        if isinstance(change, Replace):
+            if isinstance(change.value, tuple) and (
+                not ty.args or len(change.value) == len(ty.args)
+            ):
+                return None
+            return f"Replace payload {change.value!r} is not a pair"
+        if isinstance(change, tuple):
+            if ty.args and len(change) != len(ty.args):
+                return (
+                    f"pair change arity {len(change)} != type arity "
+                    f"{len(ty.args)}"
+                )
+            if ty.args:
+                for component_type, component in zip(ty.args, change):
+                    nested = change_mismatch(component_type, component)
+                    if nested is not None:
+                        return nested
+            return None
+        return f"{change!r} is not a change for {ty!r}"
+    if ty.name == "Sum":
+        if isinstance(change, Replace):
+            return None if isinstance(change.value, SumValue) else (
+                f"Replace payload {change.value!r} is not a sum value"
+            )
+        if isinstance(change, _SideChange):
+            if len(ty.args) == 2:
+                side = ty.args[0] if isinstance(change, InlChange) else ty.args[1]
+                return change_mismatch(side, change.change)
+            return None
+        return f"{change!r} is not a change for {ty!r}"
+    return None  # unknown base types: be conservative, accept
+
+
+def require_conformant(
+    registry: Registry,
+    extra_cases: Optional[Dict[str, Sequence]] = None,
+) -> None:
+    """Validate ``registry`` and raise :class:`PluginContractError` with
+    the counterexamples attached if any primitive or base type violates
+    its contract."""
+    from repro.errors import PluginContractError
+
+    issues = validate_registry(registry, extra_cases)
+    if issues:
+        raise PluginContractError(
+            f"{len(issues)} plugin conformance violation(s): "
+            + "; ".join(repr(issue) for issue in issues[:5]),
+            issues=issues,
+        )
 
 
 def validate_registry(

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Optional, Union
 
+from repro.errors import ReproError
 from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
 from repro.semantics.env import Env
 from repro.semantics.thunk import EvalStats, Thunk, force
 from repro.semantics.values import Closure, FunctionValue
 
 
-class EvaluationError(RuntimeError):
+class EvaluationError(ReproError, RuntimeError):
     """A runtime error during evaluation (ill-formed term or plugin bug)."""
 
 

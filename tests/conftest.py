@@ -1,5 +1,7 @@
 """Shared fixtures."""
 
+import os
+
 import pytest
 
 from repro.plugins.registry import Registry, standard_registry
@@ -8,3 +10,17 @@ from repro.plugins.registry import Registry, standard_registry
 @pytest.fixture(scope="session")
 def registry() -> Registry:
     return standard_registry()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _export_metrics_on_exit():
+    """When ``REPRO_METRICS_EXPORT`` names a path, dump the global metrics
+    registry there (JSON lines) at the end of the test session -- the CI
+    fault-injection job's telemetry artifact hook (mirrors the benchmark
+    suite's fixture)."""
+    yield
+    path = os.environ.get("REPRO_METRICS_EXPORT")
+    if path:
+        from repro.observability.export import export_metrics
+
+        export_metrics(path)

@@ -47,10 +47,14 @@ class TestOplus:
         assert oplus_value((1, 2), change) == (2, 9)
 
     def test_tuple_arity_mismatch(self):
-        with pytest.raises(ValueError):
+        from repro.errors import InvalidChangeError
+
+        with pytest.raises(InvalidChangeError):
             oplus_value((1, 2), (Replace(1),))
 
     def test_unknown_change_raises(self):
+        # InvalidChangeError is also a TypeError, preserving the historical
+        # contract for callers that catch the built-in.
         with pytest.raises(TypeError):
             oplus_value(3, "not a change")
 

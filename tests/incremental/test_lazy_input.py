@@ -1,0 +1,158 @@
+"""Properties of the ``_LazyInput`` queue, including the compose cap.
+
+The queue folds pending changes with ``compose_changes`` while the
+accumulated delta stays small, and switches to plain appends once it
+exceeds ``_COMPOSE_CAP`` -- composing into an ever-growing delta would
+make pushes O(total changes so far).  Both regimes must agree with the
+naive semantics: folding the queue equals applying every change
+sequentially with ``⊕``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.incremental.engine import _LazyInput
+
+
+class _TinyCap(_LazyInput):
+    """A queue whose compose cap trips after a one-element delta."""
+
+    _COMPOSE_CAP = 1
+
+
+int_changes = st.one_of(
+    st.integers(min_value=-9, max_value=9).map(
+        lambda delta: GroupChange(INT_ADD_GROUP, delta)
+    ),
+    st.integers(min_value=-50, max_value=50).map(Replace),
+)
+
+bag_changes = st.one_of(
+    st.integers(min_value=0, max_value=9).map(
+        lambda element: GroupChange(BAG_GROUP, Bag.singleton(element))
+    ),
+    st.lists(
+        st.integers(min_value=0, max_value=9), max_size=3
+    ).map(lambda elements: Replace(Bag.from_iterable(elements))),
+)
+
+
+def naive_fold(value, changes):
+    for change in changes:
+        value = oplus_value(value, change)
+    return value
+
+
+class TestFoldEqualsNaive:
+    @settings(deadline=None)
+    @given(st.integers(min_value=-50, max_value=50), st.lists(int_changes, max_size=12))
+    def test_int_queue(self, value, changes):
+        lazy = _LazyInput(value)
+        for change in changes:
+            lazy.push(change)
+        assert lazy.current() == naive_fold(value, changes)
+
+    @settings(deadline=None)
+    @given(st.lists(bag_changes, max_size=12))
+    def test_bag_queue(self, changes):
+        value = Bag.of(1, 2, 3)
+        lazy = _LazyInput(value)
+        for change in changes:
+            lazy.push(change)
+        assert lazy.current() == naive_fold(value, changes)
+
+    @settings(deadline=None)
+    @given(st.lists(bag_changes, min_size=2, max_size=12))
+    def test_bag_queue_past_cap(self, changes):
+        """With the cap at 1 element, long mixed queues stop composing
+        (appends instead) yet still fold to the naive result."""
+        value = Bag.of(1, 2, 3)
+        lazy = _TinyCap(value)
+        for change in changes:
+            lazy.push(change)
+        assert lazy.current() == naive_fold(value, changes)
+
+    @settings(deadline=None)
+    @given(st.lists(int_changes, max_size=12), st.lists(int_changes, max_size=12))
+    def test_interleaved_folds(self, first, second):
+        """Materializing mid-stream (as a verifier would) does not change
+        the final value."""
+        value = 7
+        lazy = _LazyInput(value)
+        for change in first:
+            lazy.push(change)
+        middle = lazy.current()
+        assert middle == naive_fold(value, first)
+        for change in second:
+            lazy.push(change)
+        assert lazy.current() == naive_fold(middle, second)
+
+
+class TestComposeCap:
+    def test_pushes_append_past_cap(self):
+        """Once the accumulated delta exceeds the cap, pushes append in
+        O(1) instead of composing into (and copying) the big delta."""
+        lazy = _TinyCap(Bag.empty())
+        for element in range(10):
+            lazy.push(GroupChange(BAG_GROUP, Bag.singleton(element)))
+        # Entries stop absorbing pushes once their delta exceeds the cap,
+        # so the queue grows instead of composing everything into one
+        # ever-larger (O(n)-to-copy) delta: [e0·e1, e2·e3, …] -- each
+        # push pays at most O(cap), never O(total so far).
+        assert lazy.pending_changes == 5
+        assert lazy.current() == Bag.from_iterable(range(10))
+        assert lazy.pending_changes == 0
+
+    def test_scalar_deltas_always_compose(self):
+        """Int deltas have size 0, so arbitrarily many compose into one
+        queue slot regardless of the cap."""
+        lazy = _TinyCap(0)
+        for _ in range(100):
+            lazy.push(GroupChange(INT_ADD_GROUP, 1))
+        assert lazy.pending_changes == 1
+        assert lazy.current() == 100
+
+    def test_replace_collapses_queue_tail(self):
+        lazy = _LazyInput(5)
+        lazy.push(GroupChange(INT_ADD_GROUP, 3))
+        lazy.push(Replace(42))
+        assert lazy.pending_changes == 1
+        assert lazy.current() == 42
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_undoes_pushes(self):
+        lazy = _LazyInput(Bag.of(1))
+        lazy.push(GroupChange(BAG_GROUP, Bag.singleton(2)))
+        snapshot = lazy.snapshot()
+        lazy.push(GroupChange(BAG_GROUP, Bag.singleton(3)))
+        lazy.push(Replace(Bag.empty()))
+        lazy.restore(snapshot)
+        assert lazy.current() == Bag.of(1, 2)
+
+    def test_roundtrip_undoes_materialization(self):
+        lazy = _LazyInput(Bag.of(1))
+        snapshot = lazy.snapshot()
+        lazy.push(GroupChange(BAG_GROUP, Bag.singleton(2)))
+        assert lazy.current() == Bag.of(1, 2)  # folds the queue
+        lazy.restore(snapshot)
+        assert lazy.current() == Bag.of(1)
+        assert lazy.advances == 0
+
+    @settings(deadline=None)
+    @given(st.lists(int_changes, max_size=8), st.lists(int_changes, max_size=8))
+    def test_restore_is_exact(self, committed, aborted):
+        lazy = _LazyInput(3)
+        for change in committed:
+            lazy.push(change)
+        snapshot = lazy.snapshot()
+        for change in aborted:
+            lazy.push(change)
+        if aborted:
+            lazy.current()
+        lazy.restore(snapshot)
+        assert lazy.current() == naive_fold(3, committed)

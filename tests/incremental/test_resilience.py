@@ -1,0 +1,565 @@
+"""The resilience layer: transactional steps, typed errors, validation,
+recompute fallback, drift detection, and fault injection.
+
+Eq. 1 (``f (a ⊕ da) ≅ f a ⊕ f' a da``) has side conditions -- valid
+changes, total derivatives -- that this suite violates *on purpose*,
+asserting the runtime's contract: every injected fault either surfaces
+as a typed :class:`~repro.errors.ReproError` or is absorbed by the
+resilience layer, and after every step (failed or not) the program's
+output equals from-scratch recomputation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.bag import Bag
+from repro.data.change_values import Change, GroupChange, Replace
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.errors import (
+    DerivativeError,
+    DriftError,
+    InvalidChangeError,
+    ReproError,
+)
+from repro.incremental import (
+    CachingIncrementalProgram,
+    ChangeCorruption,
+    FaultSpec,
+    IncrementalProgram,
+    InjectedFault,
+    ResiliencePolicy,
+    ResilientProgram,
+    corrupt_change,
+    inject_faults,
+    parse_fault_spec,
+)
+from repro.incremental.driver import run_trace
+from repro.lang.parser import parse
+from repro.observability import observing
+
+GRAND_TOTAL = r"\xs ys -> foldBag gplus id (merge xs ys)"
+#: The derivative ignores ``dy`` entirely (y is dead), so a poisoned
+#: ``dy`` survives the derivative and only detonates later, in the
+#: input-advancement phase -- the partial-failure scenario.
+DEAD_SECOND_INPUT = r"\(x: Int) (y: Int) -> add x 1"
+
+
+def dbag(*elements):
+    return GroupChange(BAG_GROUP, Bag.of(*elements))
+
+
+def nil_bag():
+    return GroupChange(BAG_GROUP, Bag.empty())
+
+
+def dint(delta):
+    return GroupChange(INT_ADD_GROUP, delta)
+
+
+class BoomOnCompose(Change):
+    """Acts as a nil change but explodes when composed with a successor."""
+
+    def apply_to(self, value):
+        return value
+
+    def compose_with(self, other):
+        raise RuntimeError("boom: compose is broken")
+
+
+class TestTransactionalStep:
+    """Satellite regression: a failure after ``_apply_derivative`` (in
+    ``oplus_value`` or a ``push``) must not leave the program with an
+    updated output but stale inputs (or vice versa)."""
+
+    def test_push_failure_rolls_back_everything(self, registry):
+        program = IncrementalProgram(parse(DEAD_SECOND_INPUT, registry), registry)
+        assert program.initialize(10, 20) == 11
+        # Step 1 parks the bomb in y's queue (the derivative never
+        # inspects dy, so nothing raises yet).
+        assert program.step(dint(1), BoomOnCompose()) == 12
+        assert program.steps == 1
+        # Step 2 composes into the bomb *after* the output was ⊕-updated
+        # and x's queue was advanced -- the historical partial failure.
+        with pytest.raises(InvalidChangeError) as excinfo:
+            program.step(dint(5), dint(0))
+        assert excinfo.value.step == 1
+        assert isinstance(excinfo.value.cause, RuntimeError)
+        # Nothing committed: output, step count, and x's queue are all
+        # pre-failure, and Eq. 1 still holds.
+        assert program.output == 12
+        assert program.steps == 1
+        assert program.current_inputs()[0] == 11
+        assert program.verify()
+
+    def test_engine_resumable_after_failed_step(self, registry):
+        program = IncrementalProgram(parse(DEAD_SECOND_INPUT, registry), registry)
+        program.initialize(10, 20)
+        program.step(dint(1), BoomOnCompose())
+        with pytest.raises(InvalidChangeError):
+            program.step(dint(5), dint(0))
+        # A fresh Replace clears the poisoned queue; stepping resumes.
+        assert program.step(dint(5), Replace(99)) == 17
+        assert program.verify()
+
+    def test_derivative_failure_rolls_back(self, registry):
+        program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        assert program.initialize(Bag.of(1, 2), Bag.of(3)) == 6
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            with pytest.raises(DerivativeError) as excinfo:
+                program.step(dbag(5), nil_bag())
+        assert isinstance(excinfo.value.cause, InjectedFault)
+        assert excinfo.value.step == 0
+        assert program.output == 6
+        assert program.steps == 0
+        assert program.current_inputs()[0] == Bag.of(1, 2)
+        assert program.verify()
+        # Resumable once the fault clears.
+        assert program.step(dbag(5), nil_bag()) == 11
+
+    def test_caching_derivative_failure_rolls_back(self, registry):
+        program = CachingIncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        assert program.initialize(Bag.of(1, 2), Bag.of(3)) == 6
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            with pytest.raises(DerivativeError):
+                program.step(dbag(5), nil_bag())
+        assert program.output == 6
+        assert program.steps == 0
+        assert program.verify()
+        assert program.step(dbag(5), nil_bag()) == 11
+        assert program.verify()
+
+    def test_observed_step_rolls_back_too(self, registry):
+        """The instrumented step path has the same transactional zones."""
+        program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program.initialize(Bag.of(1), Bag.of(2))
+        with observing() as hub:
+            with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+                with pytest.raises(DerivativeError):
+                    program.step(dbag(4), nil_bag())
+            assert hub.metrics.counter_value("engine.rollbacks") == 1
+        assert program.output == 3
+        assert program.verify()
+
+    def test_typed_error_message_carries_context(self, registry):
+        program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program.initialize(Bag.of(1), Bag.of(2))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            with pytest.raises(DerivativeError) as excinfo:
+                program.step(dbag(4), nil_bag())
+        message = str(excinfo.value)
+        assert "step=0" in message
+        assert "foldBag" in message  # the term rides along
+        assert "InjectedFault" in message  # so does the cause
+
+
+class TestRebaseAndResync:
+    def test_rebase_applies_changes_and_recomputes(self, registry):
+        program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program.initialize(Bag.of(1, 2), Bag.of(3))
+        assert program.rebase(dbag(10), nil_bag()) == 16
+        assert program.steps == 1
+        assert program.verify()
+
+    def test_rebase_rejects_bad_changes_atomically(self, registry):
+        program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program.initialize(Bag.of(1, 2), Bag.of(3))
+        with pytest.raises(InvalidChangeError):
+            program.rebase("garbage", nil_bag())
+        assert program.output == 6
+        assert program.steps == 0
+
+    def test_resync_adopts_recomputation(self, registry):
+        program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program.initialize(Bag.of(1), Bag.of(2))
+        program._output = 999  # simulate drift
+        assert program.resync() == 3
+        assert program.verify()
+
+
+class TestResilientValidation:
+    def test_malformed_change_rejected_before_stepping(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with pytest.raises(InvalidChangeError) as excinfo:
+            resilient.step("garbage", nil_bag())
+        assert resilient.rejected_changes == 1
+        assert "input 0" in str(excinfo.value)
+        assert resilient.output == 3
+        assert resilient.steps == 0
+        assert resilient.verify()
+
+    def test_wrong_carrier_group_change_rejected(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with pytest.raises(InvalidChangeError):
+            resilient.step(dint(3), nil_bag())  # int delta for a Bag input
+        assert resilient.rejected_changes == 1
+
+    def test_valid_changes_pass_through(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        assert resilient.step(dbag(4), nil_bag()) == 7
+        assert resilient.rejected_changes == 0
+
+    def test_corrupted_changes_always_rejected(self, registry):
+        import random
+
+        rng = random.Random(11)
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        for _ in range(10):
+            bad = corrupt_change(dbag(rng.randrange(100)), rng)
+            with pytest.raises(ReproError):
+                resilient.step(bad, nil_bag())
+            assert resilient.output == resilient.recompute()
+        assert resilient.steps == 0
+
+    def test_counters_mirrored_into_metrics(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with observing() as hub:
+            with pytest.raises(InvalidChangeError):
+                resilient.step("garbage", nil_bag())
+            assert hub.metrics.counter_value("engine.rejected_changes") == 1
+
+
+class TestRecomputeFallback:
+    def test_fallback_absorbs_partial_derivative(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        )
+        resilient.initialize(Bag.of(1, 2), Bag.of(3))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            assert resilient.step(dbag(10), nil_bag()) == 16
+        assert resilient.fallbacks == 1
+        assert resilient.steps == 1
+        assert resilient.verify()
+
+    def test_fallback_budget_exhausts(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry),
+            ResiliencePolicy(max_fallbacks=2),
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            assert resilient.step(dbag(1), nil_bag()) == 4
+            assert resilient.step(dbag(1), nil_bag()) == 5
+            with pytest.raises(DerivativeError):
+                resilient.step(dbag(1), nil_bag())
+        assert resilient.fallbacks == 2
+        assert resilient.output == 5
+        assert resilient.verify()
+
+    def test_fallback_disabled_surfaces_error(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry),
+            ResiliencePolicy(fallback=False),
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            with pytest.raises(DerivativeError):
+                resilient.step(dbag(1), nil_bag())
+        assert resilient.fallbacks == 0
+        assert resilient.verify()
+
+    def test_fallback_works_for_caching_engine(self, registry):
+        resilient = ResilientProgram(
+            CachingIncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        )
+        resilient.initialize(Bag.of(1, 2), Bag.of(3))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            assert resilient.step(dbag(10), nil_bag()) == 16
+        assert resilient.fallbacks == 1
+        assert resilient.verify()
+
+    def test_transient_fault_only_pays_once(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with inject_faults(
+            registry, FaultSpec("foldBag'_gf", mode="raise", at_call=1)
+        ):
+            resilient.step(dbag(1), nil_bag())  # falls back
+            resilient.step(dbag(1), nil_bag())  # fast path again
+        assert resilient.fallbacks == 1
+        assert resilient.output == 5
+        assert resilient.verify()
+
+
+class TestDriftDetection:
+    def test_wrong_derivative_detected_and_raised(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry),
+            ResiliencePolicy(verify_every=1, on_drift="raise"),
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="wrong")):
+            with pytest.raises(DriftError) as excinfo:
+                resilient.step(dbag(4), nil_bag())
+        assert excinfo.value.expected == 7
+        assert excinfo.value.actual != 7
+        assert resilient.drift_detections == 1
+
+    def test_wrong_derivative_healed(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry),
+            ResiliencePolicy(verify_every=1, on_drift="heal"),
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="wrong")):
+            assert resilient.step(dbag(4), nil_bag()) == 7
+        assert resilient.drift_detections == 1
+        assert resilient.heals == 1
+        assert resilient.verify()
+
+    def test_verify_every_n_skips_intermediate_checks(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry),
+            ResiliencePolicy(verify_every=3, on_drift="heal"),
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        with inject_faults(
+            registry, FaultSpec("foldBag'_gf", mode="wrong", at_call=1)
+        ):
+            resilient.step(dbag(4), nil_bag())  # drifts, unchecked
+            resilient.step(dbag(1), nil_bag())  # still drifted, unchecked
+            resilient.step(dbag(1), nil_bag())  # check fires, heals
+        assert resilient.drift_detections == 1
+        assert resilient.heals == 1
+        assert resilient.verify()
+
+    def test_no_drift_no_detection(self, registry):
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, registry), registry),
+            ResiliencePolicy(verify_every=1),
+        )
+        resilient.initialize(Bag.of(1), Bag.of(2))
+        for _ in range(5):
+            resilient.step(dbag(1), nil_bag())
+        assert resilient.drift_detections == 0
+
+    def test_policy_validates_on_drift(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(on_drift="explode")
+        with pytest.raises(ValueError):
+            ResiliencePolicy(verify_every=-1)
+
+
+class TestFaultHarness:
+    def test_injection_restores_on_exit(self, registry):
+        spec = registry.lookup_constant("foldBag'_gf")
+        original = spec.impl
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            assert spec.impl is not original
+        assert spec.impl is original
+
+    def test_injection_restores_on_exception(self, registry):
+        spec = registry.lookup_constant("foldBag'_gf")
+        original = spec.impl
+        with pytest.raises(RuntimeError):
+            with inject_faults(registry, FaultSpec("foldBag'_gf")):
+                raise RuntimeError("escape")
+        assert spec.impl is original
+
+    def test_unknown_constant_rejected(self, registry):
+        from repro.plugins.registry import PluginError
+
+        with pytest.raises(PluginError):
+            with inject_faults(registry, FaultSpec("noSuchPrimitive")):
+                pass  # pragma: no cover
+
+    def test_call_counting_and_at_call(self, registry):
+        fault = FaultSpec("foldBag'_gf", mode="raise", at_call=2)
+        program = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program.initialize(Bag.of(1), Bag.of(2))
+        with inject_faults(registry, fault) as live:
+            program.step(dbag(1), nil_bag())  # call 1: fine
+            with pytest.raises(DerivativeError):
+                program.step(dbag(1), nil_bag())  # call 2: boom
+            program.step(dbag(1), nil_bag())  # call 3: fine
+        assert live["foldBag'_gf"].calls == 3
+        assert program.verify()
+
+    def test_parse_fault_spec_grammar(self):
+        fault = parse_fault_spec("raise:add'@2")
+        assert (fault.name, fault.mode, fault.at_call) == ("add'", "raise", 2)
+        fault = parse_fault_spec("wrong:sum")
+        assert (fault.name, fault.mode, fault.at_call) == ("sum", "wrong", None)
+        assert parse_fault_spec("corrupt-change") == ChangeCorruption(1)
+        assert parse_fault_spec("corrupt-change@3") == ChangeCorruption(3)
+        for bad in ("explode:add", "raise:", "raise", "corrupt-change@x", ""):
+            with pytest.raises(ValueError):
+                parse_fault_spec(bad)
+
+    def test_corrupt_change_is_invalid(self, registry):
+        from repro.lang.types import TBag, TInt
+        from repro.plugins.validation import change_mismatch
+
+        assert (
+            change_mismatch(TInt, corrupt_change(dint(3)), registry, value=5)
+            is not None
+        )
+        assert (
+            change_mismatch(
+                TBag(TInt), corrupt_change(dbag(1)), registry, value=Bag.of(2)
+            )
+            is not None
+        )
+
+
+class TestDriverIntegration:
+    def test_trace_resilient_absorbs_raise_fault(self, registry):
+        result = run_trace(
+            parse(GRAND_TOTAL, registry),
+            registry,
+            steps=4,
+            size=50,
+            resilient=True,
+            faults=["raise:foldBag'_gf@2"],
+        )
+        assert result.fallbacks == 1
+        assert result.program.verify()
+        assert any(record.get("fallback") for record in result.records)
+
+    def test_trace_verify_names_first_divergent_step(self, registry):
+        with pytest.raises(DriftError) as excinfo:
+            run_trace(
+                parse(GRAND_TOTAL, registry),
+                registry,
+                steps=4,
+                size=50,
+                verify=True,
+                faults=["wrong:foldBag'_gf@2"],
+            )
+        assert excinfo.value.step == 1
+
+    def test_trace_resilient_rejects_corrupted_step(self, registry):
+        with pytest.raises(InvalidChangeError):
+            run_trace(
+                parse(GRAND_TOTAL, registry),
+                registry,
+                steps=3,
+                size=50,
+                resilient=True,
+                faults=["corrupt-change@2"],
+            )
+
+    def test_trace_heals_drift(self, registry):
+        result = run_trace(
+            parse(GRAND_TOTAL, registry),
+            registry,
+            steps=4,
+            size=50,
+            resilient=True,
+            verify_every=1,
+            on_drift="heal",
+            faults=["wrong:foldBag'_gf@2"],
+        )
+        assert result.drift_detections == 1
+        assert result.heals == 1
+        assert result.program.verify()
+
+
+#: Small bag-change streams for the property suite.
+change_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20),
+        st.booleans(),
+    ).map(
+        lambda pair: GroupChange(
+            BAG_GROUP,
+            Bag.singleton(pair[0]).negate()
+            if pair[1]
+            else Bag.singleton(pair[0]),
+        )
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestFaultProperties:
+    """The headline property: under arbitrary injected faults, every step
+    either commits correctly, is absorbed by the resilience layer, or
+    raises a typed ``ReproError`` -- and the post-step output always
+    equals ``recompute()``."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stream=change_streams,
+        mode=st.sampled_from(["raise", "wrong"]),
+        at_call=st.integers(min_value=1, max_value=4),
+    )
+    def test_faults_surface_typed_or_absorbed(self, stream, mode, at_call):
+        from tests.strategies import REGISTRY
+
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, REGISTRY), REGISTRY),
+            ResiliencePolicy(verify_every=1, on_drift="heal"),
+        )
+        resilient.initialize(Bag.of(1, 2, 3), Bag.of(4))
+        with inject_faults(
+            REGISTRY, FaultSpec("foldBag'_gf", mode=mode, at_call=at_call)
+        ):
+            for change in stream:
+                try:
+                    resilient.step(change, nil_bag())
+                except ReproError:
+                    pass  # typed failure is an acceptable outcome
+                assert resilient.output == resilient.recompute()
+        assert resilient.verify()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        stream=change_streams,
+        corrupt_at=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_corrupted_streams_never_corrupt_state(
+        self, stream, corrupt_at, seed
+    ):
+        import random
+
+        from tests.strategies import REGISTRY
+
+        rng = random.Random(seed)
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, REGISTRY), REGISTRY)
+        )
+        resilient.initialize(Bag.of(1, 2), Bag.of(3))
+        for index, change in enumerate(stream):
+            if index == corrupt_at:
+                change = corrupt_change(change, rng)
+            try:
+                resilient.step(change, nil_bag())
+            except ReproError:
+                pass
+            assert resilient.output == resilient.recompute()
+        assert resilient.verify()
+
+    @settings(max_examples=10, deadline=None)
+    @given(stream=change_streams)
+    def test_unfaulted_steps_match_recomputation(self, stream):
+        from tests.strategies import REGISTRY
+
+        resilient = ResilientProgram(
+            IncrementalProgram(parse(GRAND_TOTAL, REGISTRY), REGISTRY),
+            ResiliencePolicy(verify_every=1),
+        )
+        resilient.initialize(Bag.of(5), Bag.of(6))
+        for change in stream:
+            resilient.step(change, nil_bag())
+        assert resilient.drift_detections == 0
+        assert resilient.verify()

@@ -147,6 +147,90 @@ class TestTrace:
         assert code == 0
         assert "verify:     ok" in output
 
+    def test_verify_failure_exits_1_and_names_step(self):
+        """Satellite regression: a divergence under --verify must exit 1
+        and print the first divergent step, not report success."""
+        code, output = run_cli(
+            "trace",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--steps",
+            "3",
+            "--size",
+            "50",
+            "--verify",
+            "--inject-fault",
+            "wrong:foldBag'_gf@2",
+        )
+        assert code == 1
+        assert "error:" in output
+        assert "step=1" in output
+        assert "verify:     ok" not in output
+
+    def test_resilient_absorbs_injected_fault(self):
+        code, output = run_cli(
+            "trace",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--steps",
+            "3",
+            "--size",
+            "50",
+            "--resilient",
+            "--verify",
+            "--inject-fault",
+            "raise:foldBag'_gf@2",
+        )
+        assert code == 0
+        assert "fallbacks=1" in output
+        assert "verify:     ok" in output
+
+    def test_resilient_heals_drift(self):
+        code, output = run_cli(
+            "trace",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--steps",
+            "3",
+            "--size",
+            "50",
+            "--resilient",
+            "--verify-every",
+            "1",
+            "--on-drift",
+            "heal",
+            "--verify",
+            "--inject-fault",
+            "wrong:foldBag'_gf@2",
+        )
+        assert code == 0
+        assert "drift=1 heals=1" in output
+        assert "verify:     ok" in output
+
+    def test_corrupted_change_rejected_with_context(self):
+        code, output = run_cli(
+            "trace",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--steps",
+            "3",
+            "--size",
+            "50",
+            "--resilient",
+            "--inject-fault",
+            "corrupt-change@2",
+        )
+        assert code == 1
+        assert "rejected change" in output
+
+    def test_malformed_fault_spec_reported(self):
+        code, output = run_cli(
+            "trace",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--steps",
+            "1",
+            "--inject-fault",
+            "explode:add",
+        )
+        assert code == 1
+        assert "error:" in output
+
     def test_caching_engine(self):
         code, output = run_cli(
             "trace", r"\x y -> mul x y", "--steps", "2", "--caching"
