@@ -1,0 +1,117 @@
+"""Static-analysis overhead vs the differentiation pipeline.
+
+The analyzer rides along with every ``repro derive``/``repro lint``
+invocation, so its cost must stay small next to the work it annotates.
+Two qualitative claims, asserted here:
+
+* a *cold* run of the full analysis suite (nil-change analysis,
+  self-maintainability, cost classification) costs no more than the
+  derive+optimize pipeline it annotates -- and the gap widens as
+  programs grow, because derivation roughly doubles the term and the
+  optimizer iterates to a fixpoint over it, while the memoized dataflow
+  engine visits each (subterm, env) pair once;
+* a *warm* re-query against an already-solved ``Dataflow`` instance is
+  orders of magnitude cheaper than the cold run -- the memo table makes
+  repeated queries (the linter asks several) effectively free.
+"""
+
+import pytest
+
+from benchmarks.conftest import time_best_of
+from repro.analysis.cost import classify_derivative
+from repro.analysis.framework import nilness_analysis
+from repro.analysis.nil_analysis import analyze_nil_changes
+from repro.analysis.self_maintainability import analyze_self_maintainability
+from repro.derive.derive import derive_program
+from repro.lang.infer import infer_type
+from repro.lang.parser import parse
+from repro.mapreduce.skeleton import grand_total_term, histogram_term
+from repro.optimize.pipeline import optimize
+
+
+def chained_lets_term(registry, depth: int):
+    """A synthetic ``depth``-deep chain of let-bound mapBag stages --
+    the shape where analysis cost would show up if it were super-linear."""
+    lines = ["\\xs ->"]
+    previous = "xs"
+    for index in range(depth):
+        lines.append(
+            f"  let t{index} = mapBag (\\e -> add e {index}) {previous} in"
+        )
+        previous = f"t{index}"
+    lines.append(f"  foldBag gplus id {previous}")
+    return parse("\n".join(lines), registry)
+
+
+def program_cases(registry):
+    return {
+        "grand_total": grand_total_term(registry),
+        "histogram": histogram_term(registry),
+        "chain40": chained_lets_term(registry, 40),
+    }
+
+
+def analysis_suite(annotated, derived, registry):
+    analyze_nil_changes(annotated)
+    analyze_self_maintainability(derived)
+    classify_derivative(derived)
+
+
+@pytest.mark.parametrize("name", ["grand_total", "histogram", "chain40"])
+def test_analysis_suite_timing(benchmark, registry, name):
+    annotated, _ty = infer_type(program_cases(registry)[name])
+    derived = derive_program(annotated, registry)
+    benchmark.extra_info["series"] = "analysis"
+    benchmark.extra_info["program"] = name
+    benchmark(analysis_suite, annotated, derived, registry)
+
+
+def derive_pipeline(annotated, registry):
+    return optimize(derive_program(annotated, registry)).term
+
+
+@pytest.mark.parametrize("name", ["grand_total", "histogram", "chain40"])
+def test_derive_pipeline_timing(benchmark, registry, name):
+    annotated, _ty = infer_type(program_cases(registry)[name])
+    benchmark.extra_info["series"] = "derive+optimize"
+    benchmark.extra_info["program"] = name
+    benchmark(derive_pipeline, annotated, registry)
+
+
+def test_analysis_overhead_shape(benchmark, registry):
+    rows = []
+    for name, term in program_cases(registry).items():
+        annotated, _ty = infer_type(term)
+        derived = derive_program(annotated, registry)
+        derive_time = time_best_of(
+            lambda: derive_pipeline(annotated, registry), repeats=5
+        )
+        cold_time = time_best_of(
+            lambda: analysis_suite(annotated, derived, registry), repeats=5
+        )
+        flow = nilness_analysis()
+        flow.analyze(annotated)  # solve once ...
+        warm_time = time_best_of(
+            lambda: flow.analyze(annotated), repeats=5
+        )  # ... then re-query the memo table
+        rows.append((name, derive_time, cold_time, warm_time))
+    print("\nanalysis overhead (seconds, best-of-5):")
+    for name, derive_time, cold_time, warm_time in rows:
+        print(
+            f"  {name:>12}: derive+optimize {derive_time:.6f}s, "
+            f"analyses {cold_time:.6f}s "
+            f"(ratio {cold_time / derive_time:.2f}), "
+            f"warm re-query {warm_time * 1e6:,.0f}us"
+        )
+    for name, derive_time, cold_time, warm_time in rows:
+        # Cold analysis stays within the pipeline's budget (with slack
+        # for CI noise) and the memoized re-query is near-free.
+        assert cold_time < derive_time * 1.5, name
+        assert warm_time < cold_time / 10, name
+    # On the large synthetic chain the analyzer is clearly sublinear in
+    # the derivative blow-up: well under half a derive+optimize pass.
+    chain = dict((row[0], row) for row in rows)["chain40"]
+    assert chain[2] < chain[1] * 0.5
+    annotated, _ty = infer_type(grand_total_term(registry))
+    derived = derive_program(annotated, registry)
+    benchmark(analysis_suite, annotated, derived, registry)

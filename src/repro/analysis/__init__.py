@@ -1,16 +1,48 @@
-"""Static analyses (Secs. 4.2 and 4.3).
+"""Static analyses (Secs. 4.2 and 4.3) on a shared dataflow framework.
 
+* ``framework``            -- the monotone-dataflow/fixpoint engine every
+  analysis here is an instance of (lattices, transfer functions,
+  memoized environment-aware traversal);
 * ``nil_analysis``         -- which subterms of a program are closed, hence
   receive provably-nil changes (the analysis that licenses derivative
   specializations);
 * ``self_maintainability`` -- whether a derivative term can run without
-  its base inputs (the paper's analogue of self-maintainable views).
+  its base inputs (the paper's analogue of self-maintainable views);
+* ``cost``                 -- the static cost oracle: O(1) / O(|dv|) /
+  O(n) classes for derivatives, validated against runtime telemetry;
+* ``lint``                 -- the incrementality linter (stable rule
+  codes ILC101-ILC106, severities, source positions).
 """
 
+from repro.analysis.cost import (
+    COST_CLASSES,
+    CostReport,
+    classify_derivative,
+    classify_program,
+)
+from repro.analysis.framework import (
+    AnalysisError,
+    ChainLattice,
+    Dataflow,
+    Lattice,
+    PowersetLattice,
+    TransferFunctions,
+    demand_analysis,
+    fixpoint,
+    free_variable_analysis,
+    nilness_analysis,
+)
+from repro.analysis.lint import (
+    RULES,
+    Diagnostic,
+    LintReport,
+    lint_program,
+)
 from repro.analysis.nil_analysis import (
     NilChangeReport,
     analyze_nil_changes,
     closed_subterms,
+    statically_nil,
 )
 from repro.analysis.self_maintainability import (
     SelfMaintainabilityReport,
@@ -19,10 +51,29 @@ from repro.analysis.self_maintainability import (
 )
 
 __all__ = [
+    "AnalysisError",
+    "COST_CLASSES",
+    "ChainLattice",
+    "CostReport",
+    "Dataflow",
+    "Diagnostic",
+    "Lattice",
+    "LintReport",
     "NilChangeReport",
+    "PowersetLattice",
+    "RULES",
     "SelfMaintainabilityReport",
+    "TransferFunctions",
     "analyze_nil_changes",
     "analyze_self_maintainability",
+    "classify_derivative",
+    "classify_program",
     "closed_subterms",
+    "demand_analysis",
+    "fixpoint",
+    "free_variable_analysis",
     "is_self_maintainable",
+    "lint_program",
+    "nilness_analysis",
+    "statically_nil",
 ]

@@ -1,0 +1,183 @@
+"""The static cost oracle: asymptotic cost classes for derivatives.
+
+Sec. 4.3's punchline is that derivatives fall into qualitatively
+different cost regimes.  This module assigns each derived term one of
+three classes, as a function of base-input size ``n`` and change size
+``|dv|``:
+
+* ``O(1)``    -- *self-maintainable*: no base parameter is forced and
+  every primitive on the forced path does constant work per step;
+* ``O(|dv|)`` -- *change-proportional*: work proportional to the size of
+  the incoming change (e.g. ``foldBag'_gf`` folds only over the delta
+  bag);
+* ``O(n)``    -- *recompute-equivalent*: the derivative forces base
+  inputs or contains a trivial (``Replace``-of-recomputation)
+  derivative, so a step can cost as much as running the base program.
+
+The oracle is a :class:`~repro.analysis.framework.ChainLattice` instance
+of the shared dataflow framework: primitives carry per-application cost
+annotations (``ConstantSpec.cost``), lazy argument positions of fully
+applied primitives are excluded (they stay unforced thunks on the fast
+path), and the Sec. 4.3 demand analysis upgrades the class to ``O(n)``
+whenever a base parameter is demanded.  It is *validated against runtime
+telemetry*: ``tests/analysis/test_cost_oracle.py`` checks each class
+against the EvalStats/thunk counters of the observability layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.framework import (
+    ChainLattice,
+    Dataflow,
+    TransferFunctions,
+)
+from repro.analysis.self_maintainability import (
+    SelfMaintainabilityReport,
+    analyze_self_maintainability,
+)
+from repro.lang.terms import Const, Term
+from repro.lang.traversal import subterms
+from repro.plugins.base import COST_CHANGE, COST_CONSTANT, COST_RECOMPUTE
+
+#: Total order of cost classes, cheapest first.
+COST_CLASSES: Tuple[str, ...] = (COST_CONSTANT, COST_CHANGE, COST_RECOMPUTE)
+
+_DESCRIPTIONS = {
+    COST_CONSTANT: "self-maintainable",
+    COST_CHANGE: "change-proportional",
+    COST_RECOMPUTE: "recompute-equivalent",
+}
+
+_LEVELS = {label: level for level, label in enumerate(COST_CLASSES)}
+
+_COST_LATTICE = ChainLattice(len(COST_CLASSES) - 1)
+
+
+def _spec_level(spec) -> int:
+    """Per-application cost of one primitive; unannotated primitives
+    default to O(1) (their work is accounted to the base program)."""
+    if spec.cost is not None:
+        return _LEVELS[spec.cost]
+    return 0
+
+
+class CostAnalysis(TransferFunctions[int]):
+    """Join of per-application primitive costs along the forced path.
+
+    Arguments at lazy positions of fully applied primitives contribute
+    nothing: on the group-change fast path they remain unforced thunks,
+    which is exactly the mechanism that makes specialized derivatives
+    cheap (Sec. 4.3).
+    """
+
+    lattice = _COST_LATTICE
+
+    def free_var(self, name: str) -> int:
+        return 0
+
+    def const(self, term, env):
+        return _spec_level(term.spec)
+
+    def lam(self, term, body_value, env):
+        # Pessimistic: the closure may be applied once per step.
+        return body_value
+
+    def spine(self, term, spec, argument_values, arguments, env):
+        if len(arguments) != spec.arity:
+            return None
+        cost = _spec_level(spec)
+        lazy = spec.lazy_positions
+        for index, value in enumerate(argument_values):
+            if index not in lazy:
+                cost = self.lattice.join(cost, value)
+        return cost
+
+
+def cost_analysis() -> Dataflow[int]:
+    return Dataflow(CostAnalysis())
+
+
+@dataclass
+class CostContribution:
+    """Why the oracle charged a primitive occurrence."""
+
+    constant: str
+    cost: str
+
+
+@dataclass
+class CostReport:
+    """Result of :func:`classify_derivative`."""
+
+    cost_class: str = COST_CONSTANT
+    self_maintainability: SelfMaintainabilityReport = field(
+        default_factory=SelfMaintainabilityReport
+    )
+    contributions: List[CostContribution] = field(default_factory=list)
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self.cost_class]
+
+    @property
+    def demanded_bases(self) -> List[str]:
+        return self.self_maintainability.demanded_bases
+
+    def summary(self) -> str:
+        parts = [f"{self.cost_class} ({self.description})"]
+        if self.demanded_bases:
+            parts.append(
+                "derivative demands base parameters "
+                + ", ".join(self.demanded_bases)
+            )
+        dominant = [
+            f"{item.constant}: {item.cost}"
+            for item in self.contributions
+            if _LEVELS[item.cost] == _LEVELS[self.cost_class] and _LEVELS[item.cost] > 0
+        ]
+        if dominant:
+            parts.append("dominated by " + "; ".join(sorted(set(dominant))))
+        return "; ".join(parts)
+
+
+def classify_derivative(
+    derived_term: Term, demand: Optional[Dataflow] = None
+) -> CostReport:
+    """Classify an (ideally optimized) derivative produced by ``Derive``.
+
+    The class is the join of two facts:
+
+    * the Sec. 4.3 demand analysis -- a derivative that forces a base
+      parameter is recompute-equivalent (the forced input must be
+      materialized, which costs up to O(n));
+    * primitive cost annotations joined along the forced path, which
+      separates O(1) from O(|dv|) among self-maintainable derivatives.
+    """
+    report = CostReport()
+    report.self_maintainability = analyze_self_maintainability(
+        derived_term, demand=demand
+    )
+    flow = cost_analysis()
+    level = flow.analyze(derived_term)
+    if report.demanded_bases:
+        level = _COST_LATTICE.join(level, _LEVELS[COST_RECOMPUTE])
+    report.cost_class = COST_CLASSES[level]
+    for node in subterms(derived_term):
+        if isinstance(node, Const) and _spec_level(node.spec) > 0:
+            report.contributions.append(
+                CostContribution(node.spec.name, COST_CLASSES[_spec_level(node.spec)])
+            )
+    return report
+
+
+def classify_program(term: Term, registry, specialize: bool = True) -> CostReport:
+    """Derive, optimize, and classify ``term`` in one call (the form the
+    CLI and the linter use)."""
+    from repro.derive.derive import derive_program
+    from repro.optimize.pipeline import optimize
+
+    derived = derive_program(term, registry, specialize=specialize, annotate=True)
+    return classify_derivative(optimize(derived).term)

@@ -1,0 +1,477 @@
+"""A monotone dataflow framework over object-language terms.
+
+The Sec. 4.2/4.3 analyses (nil-change detection, demand analysis for
+self-maintainability) and the static cost oracle are all instances of the
+same shape: walk the AST once, combine facts about subterms in a join
+semi-lattice, and treat binders by extending an abstract environment.
+This module provides that shape once:
+
+* :class:`Lattice` -- a bounded join semi-lattice (``bottom``/``join``/
+  ``leq``), with :class:`PowersetLattice` (sets of variable names) and
+  :class:`ChainLattice` (finite total orders, used by the cost oracle) as
+  the two instances the repo needs;
+* :class:`TransferFunctions` -- one transfer function per ``Term`` node
+  kind, plus binder hooks (what abstract value a ``λ``/``let`` binder
+  contributes to its scope) and an optional ``spine`` hook that sees fully
+  applied primitive applications the way ``Derive`` does;
+* :class:`Dataflow` -- the engine: an environment-aware traversal that
+  memoizes per-``(subterm, environment)`` results, so repeated queries
+  (e.g. ``Derive`` asking for the nilness of every specialization
+  candidate) cost amortized O(1);
+* :func:`fixpoint` -- Kleene iteration for self-referential equations.
+  The object language has no recursive binders, so every shipped analysis
+  converges in one pass, but :meth:`Dataflow.solve` routes through
+  :func:`fixpoint` so the framework is ready for recursive extensions and
+  so monotonicity violations surface as loud errors instead of silent
+  under-approximation.
+
+Environments bind variable names to abstract values.  A binding equal to
+the default for a free variable (``TransferFunctions.free_var``) is
+normalized away, which both keeps environments small and maximizes memo
+hits: a subterm analyzed under two environments that agree on its free
+variables shares one cache entry whenever the spellings agree.
+
+Memo keys include ``id(term)``; the cache therefore keeps a strong
+reference to each analyzed node so a recycled ``id`` can never alias a
+dead term's facts.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.errors import ReproError
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.traversal import spine
+
+V = TypeVar("V")
+
+
+class AnalysisError(ReproError, ValueError):
+    """A static analysis was mis-specified (non-monotone transfer, unknown
+    node, or a fixpoint that failed to converge)."""
+
+
+# ---------------------------------------------------------------------------
+# Lattices
+# ---------------------------------------------------------------------------
+
+
+class Lattice(Generic[V]):
+    """A bounded join semi-lattice: ``bottom`` plus associative,
+    commutative, idempotent ``join``."""
+
+    def bottom(self) -> V:
+        raise NotImplementedError
+
+    def join(self, left: V, right: V) -> V:
+        raise NotImplementedError
+
+    def leq(self, left: V, right: V) -> bool:
+        """The induced partial order: ``a ⊑ b  ⟺  a ⊔ b = b``."""
+        return self.join(left, right) == right
+
+    def join_all(self, values: Iterable[V]) -> V:
+        result = self.bottom()
+        for value in values:
+            result = self.join(result, value)
+        return result
+
+
+class PowersetLattice(Lattice[FrozenSet[str]]):
+    """Finite sets of variable names under union."""
+
+    def bottom(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, left: FrozenSet[str], right: FrozenSet[str]) -> FrozenSet[str]:
+        return left | right
+
+    def leq(self, left: FrozenSet[str], right: FrozenSet[str]) -> bool:
+        return left <= right
+
+
+class ChainLattice(Lattice[int]):
+    """The finite total order ``0 ⊑ 1 ⊑ … ⊑ top`` under ``max``.
+
+    The cost oracle uses ``0 = O(1) ⊑ 1 = O(|dv|) ⊑ 2 = O(n)``.
+    """
+
+    def __init__(self, top: int):
+        if top < 0:
+            raise AnalysisError("chain lattice needs a non-negative top")
+        self.top = top
+
+    def bottom(self) -> int:
+        return 0
+
+    def join(self, left: int, right: int) -> int:
+        return min(max(left, right), self.top)
+
+    def leq(self, left: int, right: int) -> bool:
+        return left <= right
+
+
+def fixpoint(
+    step: Callable[[V], V],
+    initial: V,
+    lattice: Lattice[V],
+    max_iterations: int = 64,
+) -> V:
+    """Kleene iteration: the least post-fixpoint of monotone ``step`` above
+    ``initial``.  Raises :class:`AnalysisError` if the chain has not
+    stabilized after ``max_iterations`` joins (non-monotone step or an
+    unbounded lattice)."""
+    current = initial
+    for _ in range(max_iterations):
+        updated = step(current)
+        if lattice.leq(updated, current):
+            return current
+        current = lattice.join(current, updated)
+    raise AnalysisError(
+        f"fixpoint iteration did not converge in {max_iterations} steps"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Abstract environments
+# ---------------------------------------------------------------------------
+
+
+class AbstractEnv(Generic[V]):
+    """An immutable map from variable names to abstract values.
+
+    ``key`` is hashable and canonical, so two environments binding the
+    same names to the same values share memo entries.
+    """
+
+    __slots__ = ("_bindings", "_key")
+
+    def __init__(self, bindings: Optional[Dict[str, V]] = None):
+        self._bindings: Dict[str, V] = dict(bindings or {})
+        self._key = frozenset(self._bindings.items())
+
+    def bind(self, name: str, value: V) -> "AbstractEnv[V]":
+        updated = dict(self._bindings)
+        updated[name] = value
+        return AbstractEnv(updated)
+
+    def without(self, name: str) -> "AbstractEnv[V]":
+        if name not in self._bindings:
+            return self
+        updated = dict(self._bindings)
+        del updated[name]
+        return AbstractEnv(updated)
+
+    def lookup(self, name: str) -> Optional[V]:
+        return self._bindings.get(name)
+
+    @property
+    def key(self) -> FrozenSet[Tuple[str, V]]:
+        return self._key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inside = ", ".join(
+            f"{name}↦{value!r}" for name, value in sorted(self._bindings.items())
+        )
+        return f"⟨{inside}⟩"
+
+
+# ---------------------------------------------------------------------------
+# Transfer functions
+# ---------------------------------------------------------------------------
+
+
+class TransferFunctions(Generic[V]):
+    """Per-node transfer functions of a forward analysis.
+
+    Subclasses set ``lattice`` and override the hooks they care about; the
+    defaults make an analysis that joins the values of all subterms, which
+    is the right skeleton for most syntactic facts.
+    """
+
+    lattice: Lattice[V]
+
+    # -- leaves ------------------------------------------------------------
+
+    def free_var(self, name: str) -> V:
+        """The abstract value of a variable the environment knows nothing
+        about.  Bindings equal to this default are normalized away."""
+        raise NotImplementedError
+
+    def var(self, term: Var, binding: V) -> V:
+        return binding
+
+    def const(self, term: Const, env: AbstractEnv[V]) -> V:
+        return self.lattice.bottom()
+
+    def lit(self, term: Lit, env: AbstractEnv[V]) -> V:
+        return self.lattice.bottom()
+
+    # -- binders -----------------------------------------------------------
+
+    def bind_lam(self, term: Lam, env: AbstractEnv[V]) -> V:
+        """The abstract value a λ parameter carries inside the body."""
+        return self.free_var(term.param)
+
+    def lam(self, term: Lam, body_value: V, env: AbstractEnv[V]) -> V:
+        return body_value
+
+    def bind_let(self, term: Let, bound_value: V, env: AbstractEnv[V]) -> V:
+        """The abstract value a ``let`` binder carries inside the body."""
+        return self.free_var(term.name)
+
+    def let(
+        self, term: Let, bound_value: V, body_value: V, env: AbstractEnv[V]
+    ) -> V:
+        return self.lattice.join(bound_value, body_value)
+
+    # -- applications ------------------------------------------------------
+
+    def app(self, term: App, fn_value: V, arg_value: V, env: AbstractEnv[V]) -> V:
+        return self.lattice.join(fn_value, arg_value)
+
+    def spine(
+        self,
+        term: App,
+        spec: Any,
+        argument_values: List[V],
+        arguments: List[Term],
+        env: AbstractEnv[V],
+    ) -> Optional[V]:
+        """Hook for fully applied primitive spines ``c t₁ … tₙ`` (the unit
+        at which ``Derive`` specializes and at which ``lazy_positions``
+        apply).  Return ``None`` to fall back to nested ``app``."""
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class Dataflow(Generic[V]):
+    """Environment-aware memoizing evaluator for one analysis."""
+
+    def __init__(self, transfer: TransferFunctions[V]):
+        self.transfer = transfer
+        self.lattice = transfer.lattice
+        # (id(term), env.key) -> (term, value); the term reference pins the
+        # node alive so ids cannot be recycled under us.
+        self._memo: Dict[Tuple[int, Any], Tuple[Term, V]] = {}
+        self.queries = 0
+        self.misses = 0
+
+    # -- environment helpers ----------------------------------------------
+
+    def empty_env(self) -> AbstractEnv[V]:
+        return AbstractEnv()
+
+    def _extend(self, env: AbstractEnv[V], name: str, value: V) -> AbstractEnv[V]:
+        """Bind ``name``, normalizing default bindings away (a rebinding
+        still *shadows* any outer non-default binding)."""
+        if value == self.transfer.free_var(name):
+            return env.without(name)
+        return env.bind(name, value)
+
+    def extend_lam(self, env: AbstractEnv[V], term: Lam) -> AbstractEnv[V]:
+        """The environment for ``term.body``."""
+        return self._extend(env, term.param, self.transfer.bind_lam(term, env))
+
+    def extend_let(self, env: AbstractEnv[V], term: Let) -> AbstractEnv[V]:
+        """The environment for ``term.body`` (analyzes ``term.bound``)."""
+        bound_value = self.analyze(term.bound, env)
+        return self._extend(
+            env, term.name, self.transfer.bind_let(term, bound_value, env)
+        )
+
+    # -- analysis ----------------------------------------------------------
+
+    def analyze(self, term: Term, env: Optional[AbstractEnv[V]] = None) -> V:
+        """The abstract value of ``term`` under ``env`` (memoized)."""
+        if env is None:
+            env = AbstractEnv()
+        self.queries += 1
+        key = (id(term), env.key)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit[1]
+        self.misses += 1
+        value = self._analyze(term, env)
+        self._memo[key] = (term, value)
+        return value
+
+    def solve(self, term: Term, env: Optional[AbstractEnv[V]] = None) -> V:
+        """``analyze`` iterated to a :func:`fixpoint`.
+
+        On the current (non-recursive) language one iteration suffices and
+        the fixpoint check is a monotonicity assertion; analyses written
+        against ``solve`` keep working if recursive binders are added.
+        """
+        return fixpoint(
+            lambda _previous: self.analyze(term, env),
+            self.lattice.bottom(),
+            self.lattice,
+        )
+
+    def _analyze(self, term: Term, env: AbstractEnv[V]) -> V:
+        transfer = self.transfer
+        if isinstance(term, Var):
+            binding = env.lookup(term.name)
+            if binding is None:
+                binding = transfer.free_var(term.name)
+            return transfer.var(term, binding)
+        if isinstance(term, Const):
+            return transfer.const(term, env)
+        if isinstance(term, Lit):
+            return transfer.lit(term, env)
+        if isinstance(term, Lam):
+            inner = self.extend_lam(env, term)
+            return transfer.lam(term, self.analyze(term.body, inner), env)
+        if isinstance(term, Let):
+            bound_value = self.analyze(term.bound, env)
+            inner = self._extend(
+                env, term.name, transfer.bind_let(term, bound_value, env)
+            )
+            return transfer.let(
+                term, bound_value, self.analyze(term.body, inner), env
+            )
+        if isinstance(term, App):
+            head, arguments = spine(term)
+            if isinstance(head, Const):
+                argument_values = [
+                    self.analyze(argument, env) for argument in arguments
+                ]
+                special = transfer.spine(
+                    term, head.spec, argument_values, arguments, env
+                )
+                if special is not None:
+                    return special
+            return transfer.app(
+                term,
+                self.analyze(term.fn, env),
+                self.analyze(term.arg, env),
+                env,
+            )
+        raise AnalysisError(f"unknown term node: {term!r}")
+
+
+# ---------------------------------------------------------------------------
+# The repo's stock analyses (shared by nil_analysis, self_maintainability,
+# derive, DCE, the cost oracle, and the linter)
+# ---------------------------------------------------------------------------
+
+_POWERSET = PowersetLattice()
+
+
+class FreeVariables(TransferFunctions[FrozenSet[str]]):
+    """Plain free variables, as a dataflow instance.
+
+    ``analyze(t) == traversal.free_variables(t)`` for every term; the
+    framework version is memoized and environment-aware, which is what the
+    optimizer's dead-code elimination wants when it re-queries liveness
+    after every rewrite.
+    """
+
+    lattice = _POWERSET
+
+    def free_var(self, name: str) -> FrozenSet[str]:
+        return frozenset({name})
+
+    def lam(self, term, body_value, env):
+        return body_value - {term.param}
+
+    def let(self, term, bound_value, body_value, env):
+        return bound_value | (body_value - {term.name})
+
+
+class ChangingVariables(FreeVariables):
+    """Sec. 4.2 nilness: the free variables whose changes are *not*
+    statically nil.
+
+    The value of a term is ∅ exactly when its change is provably nil
+    (every free variable is itself ``let``-bound to a statically nil
+    term; closed ⇒ nil by Thm. 2.10).  This is the compositional form of
+    the ``closed_vars`` set ``Derive`` used to thread by hand.
+    """
+
+    def bind_let(self, term, bound_value, env):
+        # A let-bound name is nil inside the body iff its bound term is.
+        if not bound_value:
+            return frozenset()
+        return frozenset({term.name})
+
+
+class DemandedVariables(TransferFunctions[FrozenSet[str]]):
+    """Sec. 4.3 demand: the free variables a call-by-need evaluation of
+    the term may force.
+
+    Lazy argument positions of fully applied primitives are skipped --
+    that is precisely what makes specialized derivatives
+    self-maintainable.  λ-bodies are treated pessimistically (the
+    function may be called).
+    """
+
+    lattice = _POWERSET
+
+    def free_var(self, name: str) -> FrozenSet[str]:
+        return frozenset({name})
+
+    def lam(self, term, body_value, env):
+        return body_value - {term.param}
+
+    def let(self, term, bound_value, body_value, env):
+        if term.name in body_value:
+            return (body_value - {term.name}) | bound_value
+        return body_value
+
+    def spine(self, term, spec, argument_values, arguments, env):
+        if len(arguments) != spec.arity:
+            return None
+        lazy = set(getattr(spec, "lazy_positions", ()) or ())
+        demanded = self.lattice.bottom()
+        for index, value in enumerate(argument_values):
+            if index not in lazy:
+                demanded = self.lattice.join(demanded, value)
+        return demanded
+
+
+def free_variable_analysis() -> Dataflow[FrozenSet[str]]:
+    return Dataflow(FreeVariables())
+
+
+def nilness_analysis() -> Dataflow[FrozenSet[str]]:
+    return Dataflow(ChangingVariables())
+
+
+def demand_analysis() -> Dataflow[FrozenSet[str]]:
+    return Dataflow(DemandedVariables())
+
+
+__all__ = [
+    "AbstractEnv",
+    "AnalysisError",
+    "ChainLattice",
+    "ChangingVariables",
+    "Dataflow",
+    "DemandedVariables",
+    "FreeVariables",
+    "Lattice",
+    "PowersetLattice",
+    "TransferFunctions",
+    "demand_analysis",
+    "fixpoint",
+    "free_variable_analysis",
+    "nilness_analysis",
+]

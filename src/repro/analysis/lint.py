@@ -1,0 +1,435 @@
+"""The incrementality linter: static diagnostics with stable rule codes.
+
+Every rule is a fact the shared dataflow framework (Sec. 4.2 nilness,
+Sec. 4.3 demand, the cost oracle) already computes; the linter packages
+those facts as actionable diagnostics with severities and source
+positions, the way a compiler front-end would:
+
+========  ========  =====================================================
+code      severity  meaning
+========  ========  =====================================================
+ILC101    warning   the derivative forces base parameters -- its fast
+                    path is not self-maintainable (Sec. 4.3)
+ILC102    warning   a Δ-binding produced by ``Derive`` for a changing
+                    ``let`` is never used: changes to that binding are
+                    silently dropped by the derivative's consumers
+ILC103    warning   a primitive has no registered derivative on a path
+                    ``Derive`` actually takes, so it falls back to the
+                    O(n) trivial derivative (recompute + ``Replace``)
+ILC104    error     a registered derivative's type schema is inconsistent
+                    with ``Δ``-interleaving the primitive's schema
+                    (Fig. 4g's typing of ``Derive(c)``)
+ILC105    info      a program input's type has only the ``Replace``
+                    change structure, so every change to it degenerates
+                    to recomputation downstream
+ILC106    warning   a primitive spine has a derivative specialization
+                    that did not fire because some required argument is
+                    not statically nil (Sec. 4.2)
+========  ========  =====================================================
+
+``lint_program`` runs ``Derive`` itself (sharing one memoized nilness
+analysis with the report, so the linter and the transformation cannot
+disagree about which specializations fire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cost import CostReport, classify_derivative
+from repro.analysis.framework import free_variable_analysis, nilness_analysis
+from repro.analysis.nil_analysis import NilChangeReport, analyze_nil_changes
+from repro.changes.primitive import ReplaceChangeStructure
+from repro.lang.infer import infer_type
+from repro.lang.pretty import pretty, pretty_type
+from repro.lang.terms import Const, Lam, Let, Pos, Term
+from repro.lang.traversal import rename_d_variables, subterms
+from repro.lang.types import TFun, Type
+from repro.optimize.pipeline import optimize
+from repro.plugins.base import ConstantSpec, derivative_schema
+from repro.plugins.registry import Registry
+
+SEVERITIES = ("info", "warning", "error")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: code -> (slug, severity) -- the stable public rule catalogue.
+RULES: Dict[str, Tuple[str, str]] = {
+    "ILC101": ("non-self-maintainable-derivative", "warning"),
+    "ILC102": ("dead-delta-binding", "warning"),
+    "ILC103": ("missing-derivative", "warning"),
+    "ILC104": ("inconsistent-derivative-schema", "error"),
+    "ILC105": ("replace-only-input", "info"),
+    "ILC106": ("specialization-missed", "warning"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    code: str
+    message: str
+    pos: Optional[Pos] = None
+    subject: str = ""
+
+    @property
+    def rule(self) -> str:
+        return RULES[self.code][0]
+
+    @property
+    def severity(self) -> str:
+        return RULES[self.code][1]
+
+    @property
+    def location(self) -> str:
+        return str(self.pos) if self.pos is not None else "-"
+
+    def render(self) -> str:
+        return f"{self.location}: {self.severity} [{self.code}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.pos.line if self.pos else None,
+            "column": self.pos.column if self.pos else None,
+            "subject": self.subject,
+        }
+
+
+@dataclass
+class LintReport:
+    """Result of :func:`lint_program`."""
+
+    program: str = ""
+    type: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    cost: Optional[CostReport] = None
+    nil_report: Optional[NilChangeReport] = None
+
+    def count_at_least(self, severity: str) -> int:
+        threshold = _SEVERITY_RANK[severity]
+        return sum(
+            1
+            for diagnostic in self.diagnostics
+            if _SEVERITY_RANK[diagnostic.severity] >= threshold
+        )
+
+    @property
+    def worst_severity(self) -> Optional[str]:
+        if not self.diagnostics:
+            return None
+        return max(
+            (diagnostic.severity for diagnostic in self.diagnostics),
+            key=_SEVERITY_RANK.__getitem__,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "type": self.type,
+            "cost_class": self.cost.cost_class if self.cost else None,
+            "cost": self.cost.summary() if self.cost else None,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": {
+                severity: sum(
+                    1 for d in self.diagnostics if d.severity == severity
+                )
+                for severity in SEVERITIES
+            },
+        }
+
+    def render_lines(self) -> List[str]:
+        lines = []
+        for diagnostic in self.diagnostics:
+            lines.append(diagnostic.render())
+        if self.cost is not None:
+            lines.append(f"cost: {self.cost.summary()}")
+        if not self.diagnostics:
+            lines.append("no findings")
+        return lines
+
+
+def _sorted(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            -_SEVERITY_RANK[d.severity],
+            d.pos.line if d.pos else 1 << 30,
+            d.pos.column if d.pos else 1 << 30,
+            d.code,
+        ),
+    )
+
+
+def lint_program(
+    term: Term, registry: Registry, specialize: bool = True
+) -> LintReport:
+    """Differentiate ``term`` and report incrementality diagnostics."""
+    # Imported here: ``repro.derive`` consults the dataflow framework, so a
+    # module-level import would close a cycle through this package's init.
+    from repro.derive.derive import derive
+
+    report = LintReport()
+    prepared = rename_d_variables(term)
+    annotated, ty = infer_type(prepared, require_ground=False)
+    report.program = pretty(annotated)
+    report.type = pretty_type(ty)
+
+    nilness = nilness_analysis()
+    report.nil_report = analyze_nil_changes(annotated, nilness=nilness)
+    raw_derivative = derive(annotated, registry, specialize, nilness=nilness)
+    optimized = optimize(raw_derivative).term
+    report.cost = classify_derivative(optimized)
+
+    diagnostics: List[Diagnostic] = []
+    diagnostics += _rule_ilc101(report.cost)
+    diagnostics += _rule_ilc102(annotated, raw_derivative, nilness)
+    diagnostics += _rule_ilc103(raw_derivative)
+    diagnostics += _rule_ilc104(annotated)
+    diagnostics += _rule_ilc105(annotated, ty, registry)
+    diagnostics += _rule_ilc106(report.nil_report, registry)
+    report.diagnostics = _sorted(diagnostics)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def _rule_ilc101(cost: CostReport) -> List[Diagnostic]:
+    demanded = cost.demanded_bases
+    if not demanded:
+        return []
+    first_pos = None
+    for name in demanded:
+        first_pos = cost.self_maintainability.position_of(name)
+        if first_pos is not None:
+            break
+    return [
+        Diagnostic(
+            code="ILC101",
+            message=(
+                "derivative forces base parameter"
+                f"{'s' if len(demanded) > 1 else ''} {', '.join(demanded)}; "
+                "its fast path is not self-maintainable (Sec. 4.3) and "
+                "steps may materialize full inputs"
+            ),
+            pos=first_pos,
+            subject=", ".join(demanded),
+        )
+    ]
+
+
+def _rule_ilc102(source: Term, raw_derivative: Term, nilness) -> List[Diagnostic]:
+    """Dead Δ-bindings: ``Derive`` emitted ``let dx = … in body`` for a
+    *changing* source binding, but ``dx`` is never consumed."""
+    source_lets: Dict[str, Tuple[Optional[Pos], bool]] = {}
+
+    def walk(term: Term, env) -> None:
+        if isinstance(term, Let):
+            is_nil = not nilness.analyze(term.bound, env)
+            source_lets.setdefault(term.name, (term.pos, is_nil))
+            walk(term.bound, env)
+            walk(term.body, nilness.extend_let(env, term))
+        elif isinstance(term, Lam):
+            walk(term.body, nilness.extend_lam(env, term))
+        elif hasattr(term, "fn"):
+            walk(term.fn, env)
+            walk(term.arg, env)
+
+    walk(source, nilness.empty_env())
+
+    liveness = free_variable_analysis()
+    findings: List[Diagnostic] = []
+    seen = set()
+    for node in subterms(raw_derivative):
+        if not (isinstance(node, Let) and node.name.startswith("d")):
+            continue
+        base_name = node.name[1:]
+        if base_name not in source_lets:
+            continue
+        if node.name in liveness.analyze(node.body):
+            continue
+        pos, is_nil = source_lets[base_name]
+        if is_nil:
+            # Expected: a nil binding's Δ is consumed statically by the
+            # specializations, not at runtime.
+            continue
+        key = (node.name, pos)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            Diagnostic(
+                code="ILC102",
+                message=(
+                    f"Δ-binding {node.name} for `let {base_name} = …` is "
+                    "never used: changes to this binding are dropped by "
+                    "the derivative (dead code, or a binding that should "
+                    "not be differentiated)"
+                ),
+                pos=pos,
+                subject=node.name,
+            )
+        )
+    return findings
+
+
+def _rule_ilc103(raw_derivative: Term) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    seen = set()
+    for node in subterms(raw_derivative):
+        if not (isinstance(node, Const) and node.spec.is_trivial_derivative):
+            continue
+        base_name = node.spec.name[:-1]
+        key = (base_name, node.pos)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            Diagnostic(
+                code="ILC103",
+                message=(
+                    f"primitive '{base_name}' has no registered derivative "
+                    "here: Derive falls back to the trivial O(n) derivative "
+                    "(recompute and Replace)"
+                ),
+                pos=node.pos,
+                subject=base_name,
+            )
+        )
+    return findings
+
+
+def _normalized_schema(schema) -> Tuple[Tuple[str, ...], Type]:
+    """Rename schema variables positionally so comparison is modulo
+    α-renaming of schema variables."""
+    from repro.lang.types import TVar, apply_substitution
+
+    renaming = {
+        name: TVar(f"s{index}") for index, name in enumerate(schema.vars)
+    }
+    return (
+        tuple(f"s{index}" for index in range(len(schema.vars))),
+        apply_substitution(renaming, schema.type),
+    )
+
+
+def _rule_ilc104(source: Term) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    seen = set()
+    for node in subterms(source):
+        if not isinstance(node, Const):
+            continue
+        spec = node.spec
+        if not isinstance(spec.derivative, ConstantSpec):
+            continue
+        if spec.name in seen:
+            continue
+        seen.add(spec.name)
+        expected = derivative_schema(spec.schema)
+        actual = spec.derivative.schema
+        if _normalized_schema(expected) == _normalized_schema(actual):
+            continue
+        findings.append(
+            Diagnostic(
+                code="ILC104",
+                message=(
+                    f"derivative '{spec.derivative.name}' of primitive "
+                    f"'{spec.name}' has schema {actual!r}, inconsistent "
+                    f"with the Δ-interleaved schema {expected!r} required "
+                    "by the typing of Derive (Fig. 4g)"
+                ),
+                pos=node.pos,
+                subject=spec.name,
+            )
+        )
+    return findings
+
+
+def _rule_ilc105(source: Term, ty: Type, registry: Registry) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    binders: List[Lam] = []
+    peeled = source
+    while isinstance(peeled, Lam):
+        binders.append(peeled)
+        peeled = peeled.body
+    walk_ty = ty
+    for index, binder in enumerate(binders):
+        if not isinstance(walk_ty, TFun):
+            break
+        input_type = walk_ty.arg
+        walk_ty = walk_ty.res
+        if isinstance(input_type, TFun):
+            continue
+        try:
+            structure = registry.change_structure(input_type)
+        except Exception:
+            continue
+        if isinstance(structure, ReplaceChangeStructure):
+            findings.append(
+                Diagnostic(
+                    code="ILC105",
+                    message=(
+                        f"input '{binder.param}' has type "
+                        f"{pretty_type(input_type)}, which only supports "
+                        "Replace changes: any change to it forces "
+                        "recomputation of everything it reaches"
+                    ),
+                    pos=binder.pos,
+                    subject=binder.param,
+                )
+            )
+    return findings
+
+
+def _rule_ilc106(
+    nil_report: NilChangeReport, registry: Registry
+) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    for fact in nil_report.spines:
+        if not fact.fully_applied or fact.specialization:
+            continue
+        # The report records only the mask; recover which positions kept
+        # the *least demanding* specialization from firing.
+        findings += _missed_specialization(fact, registry)
+    return findings
+
+
+def _missed_specialization(fact, registry: Registry) -> List[Diagnostic]:
+    spec = registry.lookup_constant(fact.constant)
+    specializations = spec.specializations if spec is not None else ()
+    if not specializations:
+        return []
+    nil_positions = {
+        index for index, nil in enumerate(fact.nil_mask) if nil
+    }
+    best = min(
+        specializations,
+        key=lambda s: len(s.nil_positions - nil_positions),
+    )
+    missing = sorted(best.nil_positions - nil_positions)
+    if not missing:
+        return []
+    positions = ", ".join(str(index) for index in missing)
+    return [
+        Diagnostic(
+            code="ILC106",
+            message=(
+                f"'{fact.constant}' has a derivative specialization "
+                f"({best.description or 'specialized'}) that did not fire: "
+                f"argument{'s' if len(missing) > 1 else ''} at position"
+                f"{'s' if len(missing) > 1 else ''} {positions} "
+                f"{'are' if len(missing) > 1 else 'is'} not statically nil "
+                "(Sec. 4.2); the generic derivative will be used"
+            ),
+            pos=fact.pos,
+            subject=fact.constant,
+        )
+    ]

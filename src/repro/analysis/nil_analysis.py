@@ -1,54 +1,40 @@
-"""The nil-change analysis of Sec. 4.2.
+"""The nil-change analysis of Sec. 4.2, as a dataflow instance.
 
 "A (conservative) static analysis can detect changes that are guaranteed
 to be nil at runtime": a closed subterm's value cannot depend on any
-changing input, so its change is nil (Thm. 2.10).  ``Derive`` uses the
-closedness facts inline; this module exposes the analysis as a standalone
-report so users can see *why* a specialization did or did not fire, and so
-benchmarks can count specialization opportunities.
+changing input, so its change is nil (Thm. 2.10).  The analysis itself is
+the :class:`~repro.analysis.framework.ChangingVariables` instance of the
+shared dataflow framework -- a term's change is statically nil exactly
+when its set of changing free variables is empty -- and this module turns
+its facts into the standalone report users see via ``repro check`` /
+``repro lint``: *why* a specialization did or did not fire, and how many
+specialization opportunities a program has.
+
+``Derive`` consults the same analysis instance (see
+``repro.derive.derive``), so the report and the transformation can never
+disagree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
-from repro.lang.terms import App, Const, Lam, Let, Term, Var
-from repro.lang.traversal import spine
+from repro.analysis.framework import (
+    AbstractEnv,
+    Dataflow,
+    free_variable_analysis,
+    nilness_analysis,
+)
+from repro.lang.terms import App, Const, Lam, Let, Pos, Term
+from repro.lang.traversal import spine, subterms
 
 
 def closed_subterms(term: Term) -> List[Term]:
-    """All subterms with no free variables (whose changes are nil)."""
-    result: List[Term] = []
-    _collect_closed(term, frozenset(), result)
-    return result
-
-
-def _free_under(term: Term, bound: FrozenSet[str]) -> FrozenSet[str]:
-    if isinstance(term, Var):
-        return frozenset() if term.name in bound else frozenset({term.name})
-    if isinstance(term, Lam):
-        return _free_under(term.body, bound | {term.param})
-    if isinstance(term, App):
-        return _free_under(term.fn, bound) | _free_under(term.arg, bound)
-    if isinstance(term, Let):
-        return _free_under(term.bound, bound) | _free_under(
-            term.body, bound | {term.name}
-        )
-    return frozenset()
-
-
-def _collect_closed(term: Term, bound: FrozenSet[str], out: List[Term]) -> None:
-    if not _free_under(term, frozenset()):
-        out.append(term)
-    if isinstance(term, Lam):
-        _collect_closed(term.body, bound | {term.param}, out)
-    elif isinstance(term, App):
-        _collect_closed(term.fn, bound, out)
-        _collect_closed(term.arg, bound, out)
-    elif isinstance(term, Let):
-        _collect_closed(term.bound, bound, out)
-        _collect_closed(term.body, bound | {term.name}, out)
+    """All subterms with no free variables (whose changes are nil),
+    in pre-order."""
+    free = free_variable_analysis()
+    return [subterm for subterm in subterms(term) if not free.analyze(subterm)]
 
 
 @dataclass
@@ -60,6 +46,7 @@ class SpineFact:
     arity: int
     nil_mask: Tuple[bool, ...]
     specialization: str = ""
+    pos: Optional[Pos] = None
 
     @property
     def fully_applied(self) -> bool:
@@ -90,41 +77,40 @@ class NilChangeReport:
         return "\n".join(lines)
 
 
-def analyze_nil_changes(term: Term) -> NilChangeReport:
+def analyze_nil_changes(
+    term: Term, nilness: Optional[Dataflow] = None
+) -> NilChangeReport:
     """Report closedness facts and specialization opportunities, using
-    the same closed-variable propagation through ``let`` as ``Derive``
-    (Sec. 4.2: the analysis "detects and propagates information about
-    closed terms")."""
-    from repro.lang.traversal import subterms
-
+    the same nilness propagation through ``let`` as ``Derive`` (Sec. 4.2:
+    the analysis "detects and propagates information about closed
+    terms").  Pass an existing ``nilness`` dataflow to share its memo."""
     report = NilChangeReport()
-    all_subterms = list(subterms(term))
-    report.total_subterms = len(all_subterms)
+    report.total_subterms = sum(1 for _ in subterms(term))
     report.closed_count = len(closed_subterms(term))
-    _collect_spines(term, report, frozenset())
+    flow = nilness if nilness is not None else nilness_analysis()
+    _collect_spines(term, report, flow, flow.empty_env())
     return report
 
 
-def _statically_nil(term: Term, closed_vars: FrozenSet[str]) -> bool:
-    return _free_under(term, frozenset()) <= closed_vars
-
-
 def _collect_spines(
-    term: Term, report: NilChangeReport, closed_vars: FrozenSet[str]
+    term: Term,
+    report: NilChangeReport,
+    nilness: Dataflow,
+    env: AbstractEnv,
 ) -> None:
     if isinstance(term, App):
         head, arguments = spine(term)
         if isinstance(head, Const):
             spec = head.spec
             nil_mask = tuple(
-                _statically_nil(argument, closed_vars)
-                for argument in arguments
+                not nilness.analyze(argument, env) for argument in arguments
             )
             fact = SpineFact(
                 constant=spec.name,
                 argument_count=len(arguments),
                 arity=spec.arity,
                 nil_mask=nil_mask,
+                pos=term.pos or head.pos,
             )
             if fact.fully_applied:
                 nil_positions = {
@@ -139,16 +125,20 @@ def _collect_spines(
                         break
             report.spines.append(fact)
             for argument in arguments:
-                _collect_spines(argument, report, closed_vars)
+                _collect_spines(argument, report, nilness, env)
             return
-        _collect_spines(term.fn, report, closed_vars)
-        _collect_spines(term.arg, report, closed_vars)
+        _collect_spines(term.fn, report, nilness, env)
+        _collect_spines(term.arg, report, nilness, env)
     elif isinstance(term, Lam):
-        _collect_spines(term.body, report, closed_vars - {term.param})
+        _collect_spines(term.body, report, nilness, nilness.extend_lam(env, term))
     elif isinstance(term, Let):
-        _collect_spines(term.bound, report, closed_vars)
-        if _statically_nil(term.bound, closed_vars):
-            inner = closed_vars | {term.name}
-        else:
-            inner = closed_vars - {term.name}
-        _collect_spines(term.body, report, inner)
+        _collect_spines(term.bound, report, nilness, env)
+        _collect_spines(term.body, report, nilness, nilness.extend_let(env, term))
+
+
+def statically_nil(
+    term: Term, nilness: Optional[Dataflow] = None, env: Optional[AbstractEnv] = None
+) -> bool:
+    """True if ``term``'s change is provably nil under ``env`` (Sec. 4.2)."""
+    flow = nilness if nilness is not None else nilness_analysis()
+    return not flow.analyze(term, env)

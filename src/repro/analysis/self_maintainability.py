@@ -1,9 +1,11 @@
-"""Self-maintainability analysis (Sec. 4.3).
+"""Self-maintainability analysis (Sec. 4.3), as a dataflow instance.
 
 "We call a derivative self-maintainable if it uses no base parameters,
 only their changes."  Under call-by-need, a base parameter is *used* only
-if some strict position forces it; this analysis computes, conservatively,
-which base parameters a derivative may force:
+if some strict position forces it; the
+:class:`~repro.analysis.framework.DemandedVariables` instance of the
+shared dataflow framework computes, conservatively, which free variables
+a term may force:
 
 * forcing a variable demands it;
 * a fully applied primitive demands only its strict arguments (arguments
@@ -24,49 +26,24 @@ when something upstream already gave up on incrementality).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Set, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
-from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
-from repro.lang.traversal import spine
+from repro.analysis.framework import Dataflow, demand_analysis
+from repro.lang.terms import Lam, Pos, Term
 
 
 def demanded_variables(term: Term) -> FrozenSet[str]:
     """The free variables ``term`` may force when evaluated (conservative,
     modulo the lazy-position optimism described in the module docstring)."""
-    return _demands(term)
+    return demand_analysis().analyze(term)
 
 
-def _demands(term: Term) -> FrozenSet[str]:
-    if isinstance(term, Var):
-        return frozenset({term.name})
-    if isinstance(term, (Const, Lit)):
-        return frozenset()
-    if isinstance(term, Lam):
-        # Pessimistic: assume the closure is eventually applied.
-        return _demands(term.body) - {term.param}
-    if isinstance(term, Let):
-        body_demands = _demands(term.body)
-        if term.name in body_demands:
-            return (body_demands - {term.name}) | _demands(term.bound)
-        return body_demands
-    if isinstance(term, App):
-        head, arguments = spine(term)
-        if isinstance(head, Const) and len(arguments) == head.spec.arity:
-            demanded: Set[str] = set()
-            for index, argument in enumerate(arguments):
-                if index not in head.spec.lazy_positions:
-                    demanded |= _demands(argument)
-            return frozenset(demanded)
-        return _demands(term.fn) | _demands(term.arg)
-    raise TypeError(f"unknown term node: {term!r}")
-
-
-def _peel_parameters(term: Term) -> Tuple[List[str], Term]:
-    parameters: List[str] = []
+def _peel_parameters(term: Term) -> Tuple[List[Lam], Term]:
+    binders: List[Lam] = []
     while isinstance(term, Lam):
-        parameters.append(term.param)
+        binders.append(term)
         term = term.body
-    return parameters, term
+    return binders, term
 
 
 @dataclass
@@ -76,10 +53,18 @@ class SelfMaintainabilityReport:
     base_parameters: List[str] = field(default_factory=list)
     change_parameters: List[str] = field(default_factory=list)
     demanded_bases: List[str] = field(default_factory=list)
+    base_positions: List[Optional[Pos]] = field(default_factory=list)
 
     @property
     def self_maintainable(self) -> bool:
         return not self.demanded_bases
+
+    def position_of(self, base_name: str) -> Optional[Pos]:
+        """Source position of a base parameter's binder, if known."""
+        for name, pos in zip(self.base_parameters, self.base_positions):
+            if name == base_name:
+                return pos
+        return None
 
     def summary(self) -> str:
         if self.self_maintainable:
@@ -93,19 +78,22 @@ class SelfMaintainabilityReport:
         )
 
 
-def analyze_self_maintainability(derived_term: Term) -> SelfMaintainabilityReport:
+def analyze_self_maintainability(
+    derived_term: Term, demand: Optional[Dataflow] = None
+) -> SelfMaintainabilityReport:
     """Analyze a derivative produced by ``Derive`` (whose parameter list
-    alternates ``x, dx, y, dy, …``)."""
-    parameters, body = _peel_parameters(derived_term)
+    alternates ``x, dx, y, dy, …``).  Pass an existing ``demand`` dataflow
+    to share its memo across analyses."""
+    binders, body = _peel_parameters(derived_term)
     report = SelfMaintainabilityReport()
-    change_names = set()
-    for index, name in enumerate(parameters):
-        if index % 2 == 1 and name.startswith("d"):
-            report.change_parameters.append(name)
-            change_names.add(name)
+    for index, binder in enumerate(binders):
+        if index % 2 == 1 and binder.param.startswith("d"):
+            report.change_parameters.append(binder.param)
         else:
-            report.base_parameters.append(name)
-    demanded = demanded_variables(body)
+            report.base_parameters.append(binder.param)
+            report.base_positions.append(binder.pos)
+    flow = demand if demand is not None else demand_analysis()
+    demanded = flow.analyze(body)
     report.demanded_bases = sorted(
         name for name in report.base_parameters if name in demanded
     )

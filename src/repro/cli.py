@@ -4,38 +4,51 @@
     python -m repro check  "\\xs -> mapBag (\\e -> add e 1) xs"
     python -m repro eval   "foldBag gplus id {{1, 2, 3}}"
     python -m repro trace  "\\xs -> foldBag gplus id xs" --steps 5 --json
+    python -m repro lint   "\\x y -> ltInt x y" --fail-on warning
 
 Subcommands:
 
 * ``derive``  -- print a program's derivative (optionally unspecialized /
   unoptimized), its type, and the derivative's type;
 * ``check``   -- type a program and print the Sec. 4.2/4.3 analysis
-  reports (closed subterms, specializable spines, self-maintainability);
+  reports (closed subterms, specializable spines, self-maintainability,
+  the static cost class);
 * ``eval``    -- evaluate a closed term and print the value;
 * ``trace``   -- run a program incrementally over generated changes and
   print the per-step telemetry (wall time, ⊕ count, thunk and
-  primitive-call deltas), as text or JSON lines.
+  primitive-call deltas), as text or JSON lines;
+* ``lint``    -- run the incrementality linter (rule codes ILC101-ILC106
+  with severities and source positions) over programs, files, or the
+  built-in MapReduce workloads; ``--fail-on`` gates the exit code.
+
+``derive``, ``check``, and ``lint`` all accept ``--format {text,json}``
+and share one output-formatting helper (``repro.cli_output``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.analysis.cost import classify_derivative
+from repro.analysis.lint import SEVERITIES, lint_program
 from repro.analysis.nil_analysis import analyze_nil_changes
 from repro.analysis.self_maintainability import analyze_self_maintainability
+from repro.cli_output import FORMATS, emit, emit_json_lines, render_kv
 from repro.derive.derive import DeriveError, derive_program
 from repro.errors import ReproError
 from repro.lang.infer import InferenceError, infer_type
 from repro.lang.parser import ParseError, parse
 from repro.lang.pretty import pretty, pretty_type
+from repro.lang.terms import Term
 from repro.lang.typecheck import TypeCheckError, check
 from repro.lang.context import Context
 from repro.optimize.pipeline import optimize
 from repro.plugins.registry import standard_registry
 from repro.semantics.eval import EvaluationError, evaluate
+
+_WORKLOADS = ("grand_total", "histogram", "wordcount")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,11 +75,68 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the raw derivative without β/DCE/folding",
     )
+    derive_parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default text)",
+    )
 
     check_parser = subparsers.add_parser(
         "check", help="type a program and run the static analyses"
     )
     check_parser.add_argument("program", help="surface-syntax program")
+    check_parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default text)",
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the incrementality linter (rules ILC101-ILC106)",
+    )
+    lint_parser.add_argument(
+        "programs",
+        nargs="*",
+        metavar="PROGRAM",
+        help="surface-syntax programs to lint",
+    )
+    lint_parser.add_argument(
+        "--file",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="lint the program in PATH (repeatable; '--' comments allowed)",
+    )
+    lint_parser.add_argument(
+        "--workload",
+        action="append",
+        default=[],
+        choices=_WORKLOADS,
+        help="lint a built-in MapReduce workload (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--no-specialize",
+        action="store_true",
+        help="lint the unspecialized derivative",
+    )
+    lint_parser.add_argument(
+        "--fail-on",
+        choices=SEVERITIES + ("never",),
+        default="error",
+        help=(
+            "exit 1 when any finding is at least this severe "
+            "(default error; 'never' always exits 0)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default text)",
+    )
 
     eval_parser = subparsers.add_parser(
         "eval", help="evaluate a closed term"
@@ -178,19 +248,35 @@ def _command_derive(args: argparse.Namespace, out) -> int:
     registry = standard_registry()
     term = parse(args.program, registry)
     annotated, ty = infer_type(term, require_ground=False)
-    print(f"program:    {pretty(annotated)}", file=out)
-    print(f"type:       {pretty_type(ty)}", file=out)
     derived = derive_program(
         annotated, registry, specialize=not args.no_specialize
     )
     if not args.no_optimize:
         derived = optimize(derived).term
-    print(f"derivative: {pretty(derived)}", file=out)
+    payload = {
+        "command": "derive",
+        "program": pretty(annotated),
+        "type": pretty_type(ty),
+        "derivative": pretty(derived),
+        "derivative_type": None,
+    }
     try:
         derived_type = check(derived, Context.empty())
-        print(f"of type:    {pretty_type(derived_type)}", file=out)
+        payload["derivative_type"] = pretty_type(derived_type)
     except TypeCheckError:
         pass  # open terms / non-base schema instantiations
+
+    def render(data: dict) -> List[str]:
+        pairs = [
+            ("program", data["program"]),
+            ("type", data["type"]),
+            ("derivative", data["derivative"]),
+        ]
+        if data["derivative_type"] is not None:
+            pairs.append(("of type", data["derivative_type"]))
+        return render_kv(pairs)
+
+    emit(out, payload, args.format, render)
     return 0
 
 
@@ -198,14 +284,119 @@ def _command_check(args: argparse.Namespace, out) -> int:
     registry = standard_registry()
     term = parse(args.program, registry)
     annotated, ty = infer_type(term, require_ground=False)
-    print(f"type: {pretty_type(ty)}", file=out)
-    print("", file=out)
-    print("nil-change analysis (Sec. 4.2):", file=out)
-    print(analyze_nil_changes(annotated).summary(), file=out)
+    nil_report = analyze_nil_changes(annotated)
     derived = optimize(derive_program(annotated, registry)).term
-    report = analyze_self_maintainability(derived)
-    print("", file=out)
-    print(f"derivative: {report.summary()}", file=out)
+    sm_report = analyze_self_maintainability(derived)
+    cost = classify_derivative(derived)
+    payload = {
+        "command": "check",
+        "program": pretty(annotated),
+        "type": pretty_type(ty),
+        "nil_analysis": {
+            "closed_subterms": nil_report.closed_count,
+            "total_subterms": nil_report.total_subterms,
+            "specializable_spines": nil_report.specializable,
+            "spines": [
+                {
+                    "constant": fact.constant,
+                    "nil_mask": list(fact.nil_mask),
+                    "fully_applied": fact.fully_applied,
+                    "specialization": fact.specialization or None,
+                    "line": fact.pos.line if fact.pos else None,
+                    "column": fact.pos.column if fact.pos else None,
+                }
+                for fact in nil_report.spines
+            ],
+            "summary": nil_report.summary(),
+        },
+        "self_maintainability": {
+            "self_maintainable": sm_report.self_maintainable,
+            "base_parameters": sm_report.base_parameters,
+            "demanded_bases": sm_report.demanded_bases,
+            "summary": sm_report.summary(),
+        },
+        "cost": {
+            "cost_class": cost.cost_class,
+            "description": cost.description,
+            "summary": cost.summary(),
+        },
+    }
+
+    def render(data: dict) -> List[str]:
+        return [
+            f"type: {data['type']}",
+            "",
+            "nil-change analysis (Sec. 4.2):",
+            data["nil_analysis"]["summary"],
+            "",
+            f"derivative: {data['self_maintainability']['summary']}",
+            f"cost: {data['cost']['summary']}",
+        ]
+
+    emit(out, payload, args.format, render)
+    return 0
+
+
+def _load_lint_targets(args: argparse.Namespace, registry) -> List[Tuple[str, Term]]:
+    """Resolve programs, files, and workloads into (label, term) pairs."""
+    targets: List[Tuple[str, Term]] = []
+    for source in args.programs:
+        targets.append((source, parse(source, registry)))
+    for path in args.file:
+        with open(path, "r", encoding="utf-8") as handle:
+            targets.append((path, parse(handle.read(), registry)))
+    if args.workload:
+        from repro.mapreduce.skeleton import (
+            grand_total_term,
+            histogram_term,
+            word_count_term,
+        )
+
+        builders = {
+            "grand_total": grand_total_term,
+            "histogram": histogram_term,
+            "wordcount": word_count_term,
+        }
+        for name in args.workload:
+            targets.append((f"workload:{name}", builders[name](registry)))
+    return targets
+
+
+def _command_lint(args: argparse.Namespace, out) -> int:
+    registry = standard_registry()
+    targets = _load_lint_targets(args, registry)
+    if not targets:
+        print("error: nothing to lint (give a PROGRAM, --file, or --workload)", file=out)
+        return 1
+    reports = []
+    for label, term in targets:
+        report = lint_program(term, registry, specialize=not args.no_specialize)
+        reports.append((label, report))
+    payload = {
+        "command": "lint",
+        "fail_on": args.fail_on,
+        "targets": [
+            {"target": label, **report.to_dict()} for label, report in reports
+        ],
+    }
+
+    def render(data: dict) -> List[str]:
+        lines: List[str] = []
+        for label, report in reports:
+            lines.append(f"{label}:")
+            lines.extend(f"  {line}" for line in report.render_lines())
+        total = sum(len(report.diagnostics) for _, report in reports)
+        lines.append(
+            f"{total} finding{'s' if total != 1 else ''} "
+            f"in {len(reports)} program{'s' if len(reports) != 1 else ''}"
+        )
+        return lines
+
+    emit(out, payload, args.format, render)
+    if args.fail_on != "never" and any(
+        report.count_at_least(args.fail_on) for _, report in reports
+    ):
+        return 1
     return 0
 
 
@@ -244,8 +435,7 @@ def _command_trace(args: argparse.Namespace, out) -> int:
         faults=args.inject_fault,
     )
     if args.json:
-        for record in result.records:
-            print(json.dumps(record, sort_keys=True, default=repr), file=out)
+        emit_json_lines(out, result.records)
     else:
         types = " -> ".join(pretty_type(ty) for ty in result.input_types)
         print(f"program:    {args.program}", file=out)
@@ -294,6 +484,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _command_eval(args, out)
         if args.command == "trace":
             return _command_trace(args, out)
+        if args.command == "lint":
+            return _command_lint(args, out)
     except (ParseError, InferenceError, TypeCheckError) as error:
         print(f"error: {error}", file=out)
         return 1

@@ -1,0 +1,62 @@
+"""Shared output formatting for the CLI subcommands.
+
+Every subcommand builds one JSON-serializable payload and declares a text
+renderer for it; :func:`emit` picks the representation from ``--format``.
+This keeps ``repro derive``/``check``/``lint`` byte-identical in text
+mode while guaranteeing their JSON mode always reflects the same data
+(the payload is the single source of truth for both).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable, List
+
+FORMATS = ("text", "json")
+
+
+def to_jsonable(value: Any) -> Any:
+    """Best-effort conversion for payload leaves (reports, positions…)."""
+    if hasattr(value, "to_dict"):
+        return to_jsonable(value.to_dict())
+    if isinstance(value, dict):
+        return {key: to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def emit(
+    out,
+    payload: dict,
+    fmt: str,
+    render_text: Callable[[dict], Iterable[str]],
+) -> None:
+    """Print ``payload`` to ``out`` as pretty JSON or via ``render_text``."""
+    if fmt == "json":
+        print(
+            json.dumps(to_jsonable(payload), indent=2, sort_keys=True),
+            file=out,
+        )
+        return
+    for line in render_text(payload):
+        print(line, file=out)
+
+
+def emit_json_lines(out, records: Iterable[Any]) -> int:
+    """One compact JSON object per line (the trace/telemetry format)."""
+    count = 0
+    for record in records:
+        print(json.dumps(record, sort_keys=True, default=repr), file=out)
+        count += 1
+    return count
+
+
+def render_kv(pairs: List[tuple]) -> List[str]:
+    """Aligned ``key: value`` lines, the house style of ``repro derive``."""
+    lines = []
+    for key, value in pairs:
+        lines.append(f"{key + ':':<12}{value}")
+    return lines

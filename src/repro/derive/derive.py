@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis.framework import AbstractEnv, Dataflow, nilness_analysis
 from repro.errors import ReproError
 from repro.lang.infer import infer_type
 from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
@@ -46,6 +47,7 @@ def derive(
     term: Term,
     registry: Registry,
     specialize: bool = True,
+    nilness: Optional[Dataflow] = None,
 ) -> Term:
     """Differentiate ``term`` (Fig. 4g).
 
@@ -55,9 +57,14 @@ def derive(
     ``specialize`` enables the Sec. 4.2 nil-change specializations; with
     it off, every primitive uses its generic derivative (the ablation
     benchmarks compare the two).
+
+    The Sec. 4.2 analysis itself is the shared dataflow framework's
+    nilness instance; pass ``nilness`` to share one memoized analysis
+    between ``Derive`` and other consumers (the linter does).
     """
     _check_hygiene(term)
-    return _derive(term, registry, specialize, frozenset())
+    flow = nilness if nilness is not None else nilness_analysis()
+    return _derive(term, registry, specialize, flow, flow.empty_env())
 
 
 def _check_hygiene(term: Term) -> None:
@@ -78,50 +85,59 @@ def _derive(
     term: Term,
     registry: Registry,
     specialize: bool,
-    closed_vars: frozenset,
+    nilness: Dataflow,
+    env: AbstractEnv,
 ) -> Term:
-    """``closed_vars`` propagates the Sec. 4.2 analysis: variables bound
-    (by ``let``) to closed terms are themselves statically nil."""
+    """``env`` carries the Sec. 4.2 analysis facts: variables bound (by
+    ``let``) to statically nil terms are themselves statically nil.
+    Source positions ride along onto the nodes ``Derive`` introduces, so
+    diagnostics about derivatives can point back at the program."""
     if isinstance(term, Var):
-        return Var(f"d{term.name}")
+        return Var(f"d{term.name}", pos=term.pos)
     if isinstance(term, Lam):
         change_param_type = (
             registry.change_type(term.param_type)
             if term.param_type is not None
             else None
         )
-        inner_closed = closed_vars - {term.param}
+        inner = nilness.extend_lam(env, term)
         return Lam(
             term.param,
             Lam(
                 f"d{term.param}",
-                _derive(term.body, registry, specialize, inner_closed),
+                _derive(term.body, registry, specialize, nilness, inner),
                 change_param_type,
+                pos=term.pos,
             ),
             term.param_type,
+            pos=term.pos,
         )
     if isinstance(term, App):
         if specialize:
-            specialized = _try_specialize(term, registry, closed_vars)
+            specialized = _try_specialize(term, registry, nilness, env)
             if specialized is not None:
                 return specialized
         return App(
-            App(_derive(term.fn, registry, specialize, closed_vars), term.arg),
-            _derive(term.arg, registry, specialize, closed_vars),
+            App(
+                _derive(term.fn, registry, specialize, nilness, env),
+                term.arg,
+                pos=term.pos,
+            ),
+            _derive(term.arg, registry, specialize, nilness, env),
+            pos=term.pos,
         )
     if isinstance(term, Let):
-        if _statically_nil(term.bound, closed_vars):
-            inner_closed = closed_vars | {term.name}
-        else:
-            inner_closed = closed_vars - {term.name}
+        inner = nilness.extend_let(env, term)
         return Let(
             term.name,
             term.bound,
             Let(
                 f"d{term.name}",
-                _derive(term.bound, registry, specialize, closed_vars),
-                _derive(term.body, registry, specialize, inner_closed),
+                _derive(term.bound, registry, specialize, nilness, env),
+                _derive(term.body, registry, specialize, nilness, inner),
+                pos=term.pos,
             ),
+            pos=term.pos,
         )
     if isinstance(term, Const):
         spec = term.spec
@@ -131,24 +147,23 @@ def _derive(
             return Lit(
                 registry.nil_change_literal(spec.value, spec.schema.type),
                 registry.change_type(spec.schema.type),
+                pos=term.pos,
             )
-        return spec.derivative_term()
+        derived = spec.derivative_term()
+        if isinstance(derived, Const) and term.pos is not None:
+            return Const(derived.spec, pos=term.pos)
+        return derived
     if isinstance(term, Lit):
         return Lit(
             registry.nil_change_literal(term.value, term.type),
             registry.change_type(term.type),
+            pos=term.pos,
         )
     raise DeriveError(f"unknown term node: {term!r}")
 
 
-def _statically_nil(term: Term, closed_vars: frozenset) -> bool:
-    """True if ``term``'s change is provably nil: every free variable is
-    itself bound to a closed term (closed ⇒ nil change, Thm. 2.10)."""
-    return free_variables(term) <= closed_vars
-
-
 def _try_specialize(
-    term: App, registry: Registry, closed_vars: frozenset
+    term: App, registry: Registry, nilness: Dataflow, env: AbstractEnv
 ) -> Optional[Term]:
     """Apply the most specific matching derivative specialization at this
     application spine, if any (Sec. 4.2)."""
@@ -161,7 +176,7 @@ def _try_specialize(
     nil_positions = {
         index
         for index, argument in enumerate(arguments)
-        if _statically_nil(argument, closed_vars)
+        if not nilness.analyze(argument, env)
     }
     for specialization in spec.specializations:
         if specialization.nil_positions <= nil_positions:
@@ -176,7 +191,7 @@ def _try_specialize(
                 ).inc()
             return specialization.builder(
                 arguments,
-                lambda t: _derive(t, registry, True, closed_vars),
+                lambda t: _derive(t, registry, True, nilness, env),
             )
     if _metrics.STATE.on:
         _metrics.GLOBAL_REGISTRY.counter("derive.generic_fallbacks").inc()

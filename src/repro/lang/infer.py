@@ -137,14 +137,24 @@ class _Inferencer:
             param_type = self.unifier.zonk(param_type)
             inner = dict(env)
             inner[term.param] = param_type
-            return Lam(term.param, self.annotate(term.body, inner), param_type)
+            return Lam(
+                term.param,
+                self.annotate(term.body, inner),
+                param_type,
+                pos=term.pos,
+            )
         if isinstance(term, App):
-            return App(self.annotate(term.fn, env), self.annotate(term.arg, env))
+            return App(
+                self.annotate(term.fn, env),
+                self.annotate(term.arg, env),
+                pos=term.pos,
+            )
         if isinstance(term, Let):
             return Let(
                 term.name,
                 self.annotate(term.bound, env),
                 self.annotate(term.body, env),
+                pos=term.pos,
             )
         raise InferenceError(f"unknown term node: {term!r}")
 

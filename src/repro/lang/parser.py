@@ -13,7 +13,7 @@ from typing import List, Optional
 from repro.errors import ReproError
 from repro.data.bag import Bag
 from repro.lang.lexer import Token, tokenize
-from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.lang.terms import App, Const, Lam, Let, Lit, Pos, Term, Var
 from repro.lang.types import TBag, TBase, TBool, TFun, TInt, TPair, Type
 
 
@@ -26,6 +26,10 @@ class ParseError(ReproError, SyntaxError):
 
 
 _ATOM_STARTERS = {"IDENT", "INT", "LPAREN", "LBAG"}
+
+
+def _pos(token: Token) -> Pos:
+    return Pos(token.line, token.column)
 
 
 class Parser:
@@ -72,26 +76,26 @@ class Parser:
             binders.append(self._parse_binder())
         self._expect("ARROW")
         body = self.parse_term()
-        for name, annotation in reversed(binders):
-            body = Lam(name, body, annotation)
+        for name, annotation, position in reversed(binders):
+            body = Lam(name, body, annotation, pos=position)
         return body
 
     def _parse_binder(self):
         token = self._peek()
         if token.kind == "IDENT":
             self._advance()
-            return token.text, None
+            return token.text, None, _pos(token)
         if token.kind == "LPAREN":
             self._advance()
-            name = self._expect("IDENT").text
+            name_token = self._expect("IDENT")
             self._expect("COLON")
             annotation = self.parse_type()
             self._expect("RPAREN")
-            return name, annotation
+            return name_token.text, annotation, _pos(name_token)
         raise ParseError("expected a λ binder", token)
 
     def _parse_let(self) -> Term:
-        self._expect("KEYWORD", "let")
+        keyword = self._expect("KEYWORD", "let")
         name = self._expect("IDENT").text
         self._expect("EQUALS")
         bound = self.parse_term()
@@ -99,16 +103,19 @@ class Parser:
             raise ParseError("expected 'in'", self._peek())
         self._advance()
         body = self.parse_term()
-        return Let(name, bound, body)
+        return Let(name, bound, body, pos=_pos(keyword))
 
     def _parse_application(self) -> Term:
+        start = self._peek()
         term = self._parse_atom()
         while True:
             token = self._peek()
             if token.kind in _ATOM_STARTERS or (
                 token.kind == "KEYWORD" and token.text in ("true", "false")
             ):
-                term = App(term, self._parse_atom())
+                # Applications carry the position of the spine's head, so
+                # diagnostics about `f a b` point at `f`.
+                term = App(term, self._parse_atom(), pos=_pos(start))
             else:
                 return term
 
@@ -116,13 +123,13 @@ class Parser:
         token = self._peek()
         if token.kind == "IDENT":
             self._advance()
-            return self._resolve(token.text)
+            return self._resolve(token.text, token)
         if token.kind == "INT":
             self._advance()
-            return Lit(int(token.text), TInt)
+            return Lit(int(token.text), TInt, pos=_pos(token))
         if token.kind == "KEYWORD" and token.text in ("true", "false"):
             self._advance()
-            return Lit(token.text == "true", TBool)
+            return Lit(token.text == "true", TBool, pos=_pos(token))
         if token.kind == "LBAG":
             return self._parse_bag()
         if token.kind == "LPAREN":
@@ -142,23 +149,30 @@ class Parser:
         otherwise sugar for ``pair a b``."""
         if isinstance(first, Lit) and isinstance(second, Lit):
             return Lit(
-                (first.value, second.value), TPair(first.type, second.type)
+                (first.value, second.value),
+                TPair(first.type, second.type),
+                pos=_pos(token),
             )
         if self._registry is not None:
             spec = self._registry.lookup_constant("pair")
             if spec is not None:
-                return App(App(Const(spec), first), second)
-        return App(App(Var("pair"), first), second)
+                head: Term = Const(spec, pos=_pos(token))
+                return App(App(head, first, pos=_pos(token)), second, pos=_pos(token))
+        return App(
+            App(Var("pair", pos=_pos(token)), first, pos=_pos(token)),
+            second,
+            pos=_pos(token),
+        )
 
-    def _resolve(self, name: str) -> Term:
+    def _resolve(self, name: str, token: Token) -> Term:
         if self._registry is not None:
             spec = self._registry.lookup_constant(name)
             if spec is not None:
-                return Const(spec)
-        return Var(name)
+                return Const(spec, pos=_pos(token))
+        return Var(name, pos=_pos(token))
 
     def _parse_bag(self) -> Term:
-        self._expect("LBAG")
+        start = self._expect("LBAG")
         counts = {}
         if self._peek().kind != "RBAG":
             while True:
@@ -184,7 +198,7 @@ class Parser:
                     continue
                 break
         self._expect("RBAG")
-        return Lit(Bag(counts), TBag(TInt))
+        return Lit(Bag(counts), TBag(TInt), pos=_pos(start))
 
     # -- types ----------------------------------------------------------------
 

@@ -14,13 +14,29 @@ Terms are immutable and compare structurally (by bound-variable *name*;
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.lang.types import Type
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.plugins.base import ConstantSpec
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A 1-based source position (line, column) from the lexer.
+
+    Positions are metadata: they are excluded from term equality/hashing so
+    that structurally identical terms stay interchangeable regardless of
+    where (or whether) they were parsed.
+    """
+
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
 
 
 class Term:
@@ -54,6 +70,7 @@ class Var(Term):
     """A variable reference."""
 
     name: str
+    pos: Optional[Pos] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return self.name
@@ -67,6 +84,7 @@ class Lam(Term):
     param: str
     body: Term
     param_type: Optional[Type] = None
+    pos: Optional[Pos] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         if self.param_type is not None:
@@ -80,6 +98,7 @@ class App(Term):
 
     fn: Term
     arg: Term
+    pos: Optional[Pos] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"({self.fn!r} {self.arg!r})"
@@ -92,6 +111,7 @@ class Let(Term):
     name: str
     bound: Term
     body: Term
+    pos: Optional[Pos] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"(let {self.name} = {self.bound!r} in {self.body!r})"
@@ -105,10 +125,11 @@ class Const(Term):
     instances.
     """
 
-    __slots__ = ("spec",)
+    __slots__ = ("spec", "pos")
 
-    def __init__(self, spec: "ConstantSpec"):
+    def __init__(self, spec: "ConstantSpec", pos: Optional[Pos] = None):
         self.spec = spec
+        self.pos = pos
 
     @property
     def name(self) -> str:
@@ -135,11 +156,12 @@ class Const(Term):
 class Lit(Term):
     """A ground host value embedded as a literal of the given type."""
 
-    __slots__ = ("value", "type")
+    __slots__ = ("value", "type", "pos")
 
-    def __init__(self, value: Any, type: Type):
+    def __init__(self, value: Any, type: Type, pos: Optional[Pos] = None):
         self.value = value
         self.type = type
+        self.pos = pos
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Lit):

@@ -71,6 +71,7 @@ def _substitute(
         return App(
             _substitute(term.fn, name, replacement, replacement_free),
             _substitute(term.arg, name, replacement, replacement_free),
+            pos=term.pos,
         )
     if isinstance(term, Lam):
         if term.param == name:
@@ -92,16 +93,18 @@ def _substitute(
                 new_param,
                 _substitute(renamed, name, replacement, replacement_free),
                 term.param_type,
+                pos=term.pos,
             )
         return Lam(
             term.param,
             _substitute(term.body, name, replacement, replacement_free),
             term.param_type,
+            pos=term.pos,
         )
     if isinstance(term, Let):
         new_bound = _substitute(term.bound, name, replacement, replacement_free)
         if term.name == name:
-            return Let(term.name, new_bound, term.body)
+            return Let(term.name, new_bound, term.body, pos=term.pos)
         if term.name in replacement_free:
             avoid = (
                 replacement_free
@@ -116,11 +119,13 @@ def _substitute(
                 new_name,
                 new_bound,
                 _substitute(renamed, name, replacement, replacement_free),
+                pos=term.pos,
             )
         return Let(
             term.name,
             new_bound,
             _substitute(term.body, name, replacement, replacement_free),
+            pos=term.pos,
         )
     raise TypeError(f"unknown term node: {term!r}")
 
@@ -205,11 +210,11 @@ def unspine(head: Term, arguments: List[Term]) -> Term:
 def map_subterms(term: Term, fn: Callable[[Term], Term]) -> Term:
     """Rebuild ``term`` with ``fn`` applied to each immediate subterm."""
     if isinstance(term, Lam):
-        return Lam(term.param, fn(term.body), term.param_type)
+        return Lam(term.param, fn(term.body), term.param_type, pos=term.pos)
     if isinstance(term, App):
-        return App(fn(term.fn), fn(term.arg))
+        return App(fn(term.fn), fn(term.arg), pos=term.pos)
     if isinstance(term, Let):
-        return Let(term.name, fn(term.bound), fn(term.body))
+        return Let(term.name, fn(term.bound), fn(term.body), pos=term.pos)
     return term
 
 
@@ -238,21 +243,29 @@ def rename_d_variables(term: Term) -> Term:
 
 def _rename_d(term: Term, renaming: Dict[str, str], avoid: Set[str]) -> Term:
     if isinstance(term, Var):
-        return Var(renaming.get(term.name, term.name))
+        return Var(renaming.get(term.name, term.name), pos=term.pos)
     if isinstance(term, (Const, Lit)):
         return term
     if isinstance(term, App):
         return App(
             _rename_d(term.fn, renaming, avoid),
             _rename_d(term.arg, renaming, avoid),
+            pos=term.pos,
         )
     if isinstance(term, Lam):
         new_param, inner = _rename_binder(term.param, renaming, avoid)
-        return Lam(new_param, _rename_d(term.body, inner, avoid), term.param_type)
+        return Lam(
+            new_param,
+            _rename_d(term.body, inner, avoid),
+            term.param_type,
+            pos=term.pos,
+        )
     if isinstance(term, Let):
         new_bound = _rename_d(term.bound, renaming, avoid)
         new_name, inner = _rename_binder(term.name, renaming, avoid)
-        return Let(new_name, new_bound, _rename_d(term.body, inner, avoid))
+        return Let(
+            new_name, new_bound, _rename_d(term.body, inner, avoid), pos=term.pos
+        )
     raise TypeError(f"unknown term node: {term!r}")
 
 

@@ -63,13 +63,13 @@ def beta_reduce(term: Term) -> Term:
     if isinstance(term, (Var, Const, Lit)):
         return term
     if isinstance(term, Lam):
-        return Lam(term.param, beta_reduce(term.body), term.param_type)
+        return Lam(term.param, beta_reduce(term.body), term.param_type, pos=term.pos)
     if isinstance(term, Let):
         bound = beta_reduce(term.bound)
         body = beta_reduce(term.body)
         if _should_inline(body, term.name, bound):
             return substitute(body, term.name, bound)
-        return Let(term.name, bound, body)
+        return Let(term.name, bound, body, pos=term.pos)
     if isinstance(term, App):
         fn = beta_reduce(term.fn)
         argument = beta_reduce(term.arg)
@@ -78,6 +78,6 @@ def beta_reduce(term: Term) -> Term:
         if isinstance(fn, Lam):
             # Preserve sharing without duplicating work: turn the redex
             # into a let, which call-by-need evaluates once.
-            return Let(fn.param, argument, fn.body)
-        return App(fn, argument)
+            return Let(fn.param, argument, fn.body, pos=fn.pos or term.pos)
+        return App(fn, argument, pos=term.pos)
     raise TypeError(f"unknown term node: {term!r}")

@@ -59,13 +59,16 @@ def constant_fold(term: Term) -> Term:
     if isinstance(term, (Var, Const, Lit)):
         return term
     if isinstance(term, Lam):
-        return Lam(term.param, constant_fold(term.body), term.param_type)
+        return Lam(term.param, constant_fold(term.body), term.param_type, pos=term.pos)
     if isinstance(term, Let):
         return Let(
-            term.name, constant_fold(term.bound), constant_fold(term.body)
+            term.name,
+            constant_fold(term.bound),
+            constant_fold(term.body),
+            pos=term.pos,
         )
     if isinstance(term, App):
-        folded = App(constant_fold(term.fn), constant_fold(term.arg))
+        folded = App(constant_fold(term.fn), constant_fold(term.arg), pos=term.pos)
         literal = _try_fold_spine(folded)
         return literal if literal is not None else folded
     raise TypeError(f"unknown term node: {term!r}")

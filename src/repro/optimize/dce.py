@@ -3,27 +3,47 @@
 Safe unconditionally in a pure, total language.  (The paper points at
 Appel-style shrinking reductions [7] as the standard technique; with
 ``Let`` as the only sharing form, dead-let removal is the whole story.)
+
+Liveness comes from the shared dataflow framework's free-variable
+analysis: each rewritten body is queried against one memoized
+:class:`~repro.analysis.framework.Dataflow` instance, so nested lets cost
+one analysis of each distinct subterm instead of a fresh occurrence count
+per binding.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.analysis.framework import Dataflow, free_variable_analysis
 from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
-from repro.optimize.beta import count_occurrences
 
 
-def eliminate_dead_lets(term: Term) -> Term:
-    """Remove ``let x = s in t`` when ``x`` is unused in ``t``."""
+def eliminate_dead_lets(term: Term, liveness: Optional[Dataflow] = None) -> Term:
+    """Remove ``let x = s in t`` when ``x`` is not free in ``t``."""
+    flow = liveness if liveness is not None else free_variable_analysis()
+    return _eliminate(term, flow)
+
+
+def _eliminate(term: Term, liveness: Dataflow) -> Term:
     if isinstance(term, (Var, Const, Lit)):
         return term
     if isinstance(term, Lam):
-        return Lam(term.param, eliminate_dead_lets(term.body), term.param_type)
+        return Lam(
+            term.param,
+            _eliminate(term.body, liveness),
+            term.param_type,
+            pos=term.pos,
+        )
     if isinstance(term, App):
         return App(
-            eliminate_dead_lets(term.fn), eliminate_dead_lets(term.arg)
+            _eliminate(term.fn, liveness),
+            _eliminate(term.arg, liveness),
+            pos=term.pos,
         )
     if isinstance(term, Let):
-        body = eliminate_dead_lets(term.body)
-        if count_occurrences(body, term.name) == 0:
+        body = _eliminate(term.body, liveness)
+        if term.name not in liveness.analyze(body):
             return body
-        return Let(term.name, eliminate_dead_lets(term.bound), body)
+        return Let(term.name, _eliminate(term.bound, liveness), body, pos=term.pos)
     raise TypeError(f"unknown term node: {term!r}")

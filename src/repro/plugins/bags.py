@@ -39,6 +39,8 @@ from repro.lang.types import (
     fun_type,
 )
 from repro.plugins.base import (
+    COST_CHANGE,
+    COST_CONSTANT,
     BaseTypeSpec,
     ConstantSpec,
     Plugin,
@@ -128,6 +130,7 @@ def plugin() -> Plugin:
 
     singleton_derivative = result.add_constant(ConstantSpec(
         name="singleton'",
+        cost=COST_CONSTANT,
         schema=Schema(("a",), fun_type(a, TChange(a), TChange(bag_a))),
         arity=2,
         impl=singleton_derivative_impl,
@@ -160,6 +163,7 @@ def plugin() -> Plugin:
 
     merge_derivative = result.add_constant(ConstantSpec(
         name="merge'",
+        cost=COST_CHANGE,
         schema=Schema(
             ("a",),
             fun_type(bag_a, TChange(bag_a), bag_a, TChange(bag_a), TChange(bag_a)),
@@ -189,6 +193,7 @@ def plugin() -> Plugin:
 
     negate_derivative = result.add_constant(ConstantSpec(
         name="negate'",
+        cost=COST_CHANGE,
         schema=Schema(
             ("a",), fun_type(bag_a, TChange(bag_a), TChange(bag_a))
         ),
@@ -235,6 +240,7 @@ def plugin() -> Plugin:
 
     fold_bag_nil = ConstantSpec(
         name="foldBag'_gf",
+        cost=COST_CHANGE,
         schema=Schema(
             ("a", "b"),
             fun_type(
@@ -290,6 +296,7 @@ def plugin() -> Plugin:
 
     map_bag_nil = ConstantSpec(
         name="mapBag'_f",
+        cost=COST_CHANGE,
         schema=Schema(
             ("a", "b"),
             fun_type(fun_type(a, b), bag_a, TChange(bag_a), TChange(bag_b)),
@@ -335,6 +342,7 @@ def plugin() -> Plugin:
 
     flat_map_bag_nil = ConstantSpec(
         name="flatMapBag'_f",
+        cost=COST_CHANGE,
         schema=Schema(
             ("a", "b"),
             fun_type(
@@ -384,6 +392,7 @@ def plugin() -> Plugin:
 
     filter_bag_nil = ConstantSpec(
         name="filterBag'_p",
+        cost=COST_CHANGE,
         schema=Schema(
             ("a",),
             fun_type(fun_type(a, TBool), bag_a, TChange(bag_a), TChange(bag_a)),

@@ -32,6 +32,17 @@ from repro.semantics.thunk import force
 from repro.semantics.values import Primitive
 
 
+# Cost classes of the static cost oracle (see ``repro.analysis.cost``):
+# how much work one application of a (derivative) primitive does on the
+# group-change fast path, as a function of base-input size n and change
+# size |dv|.
+COST_CONSTANT = "O(1)"
+COST_CHANGE = "O(|dv|)"
+COST_RECOMPUTE = "O(n)"
+
+_COST_CLASSES = (COST_CONSTANT, COST_CHANGE, COST_RECOMPUTE)
+
+
 @dataclass(frozen=True)
 class Specialization:
     """A derivative specialization triggered by statically-nil arguments.
@@ -80,6 +91,13 @@ class ConstantSpec:
     specializations:
         Static nil-change specializations (Sec. 4.2), tried most-specific
         first by ``Derive``.
+    cost:
+        Optional cost-class annotation for the static cost oracle: one of
+        ``COST_CONSTANT``/``COST_CHANGE``/``COST_RECOMPUTE``, describing
+        one application of this primitive on the group-change fast path.
+        Meaningful on *derivative* primitives; unannotated primitives
+        default to ``O(1)`` in the oracle (base work is accounted to the
+        base program, not the derivative).
     """
 
     def __init__(
@@ -94,9 +112,15 @@ class ConstantSpec:
         semantic_impl: Optional[Callable[..., Any]] = None,
         semantic_derivative: Optional[Callable[[], Any]] = None,
         specializations: Sequence[Specialization] = (),
+        cost: Optional[str] = None,
     ):
         if arity > 0 and impl is None:
             raise ValueError(f"constant {name} with arity {arity} needs an impl")
+        if cost is not None and cost not in _COST_CLASSES:
+            raise ValueError(
+                f"constant {name}: cost must be one of {_COST_CLASSES}, "
+                f"got {cost!r}"
+            )
         self.name = name
         self.schema = schema
         self.arity = arity
@@ -112,6 +136,8 @@ class ConstantSpec:
                 key=lambda spec: -len(spec.nil_positions),
             )
         )
+        self.cost = cost
+        self.is_trivial_derivative = False
         self._runtime_template: Optional[Primitive] = None
 
     # -- runtime ----------------------------------------------------------------
@@ -241,7 +267,9 @@ def trivial_derivative_spec(spec: ConstantSpec) -> ConstantSpec:
         schema=derivative_schema(spec.schema),
         arity=2 * spec.arity,
         impl=impl,
+        cost=COST_RECOMPUTE,
     )
+    derived.is_trivial_derivative = True
     _TRIVIAL_DERIVATIVE_CACHE[spec.name] = derived
     return derived
 

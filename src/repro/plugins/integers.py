@@ -22,7 +22,7 @@ from repro.changes.group import INT_CHANGES
 from repro.data.change_values import GroupChange, Replace, oplus_value
 from repro.data.group import INT_ADD_GROUP
 from repro.lang.types import Schema, TBool, TChange, TGroup, TInt, fun_type
-from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.plugins.base import BaseTypeSpec, COST_CONSTANT, ConstantSpec, Plugin
 from repro.semantics.denotation import curry_host
 from repro.semantics.thunk import force
 
@@ -57,6 +57,7 @@ def _linear_int_derivative(name: str, combine) -> ConstantSpec:
         arity=4,
         impl=impl,
         lazy_positions=(0, 2),
+        cost=COST_CONSTANT,
     )
 
 
@@ -132,6 +133,7 @@ def plugin() -> Plugin:
 
     mul_d = result.add_constant(ConstantSpec(
         name="mul'",
+        cost=COST_CONSTANT,
         schema=Schema.mono(fun_type(TInt, _DINT, TInt, _DINT, _DINT)),
         arity=4,
         impl=mul_derivative_impl,
@@ -157,6 +159,7 @@ def plugin() -> Plugin:
 
     negate_d = result.add_constant(ConstantSpec(
         name="negateInt'",
+        cost=COST_CONSTANT,
         schema=Schema.mono(fun_type(TInt, _DINT, _DINT)),
         arity=2,
         impl=negate_derivative_impl,

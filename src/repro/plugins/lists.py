@@ -25,6 +25,8 @@ from repro.data.list_changes import Delete, Insert, ListChange, Update
 from repro.lang.terms import Const, Term
 from repro.lang.types import Schema, TBag, TBase, TChange, TInt, TVar, fun_type
 from repro.plugins.base import (
+    COST_CHANGE,
+    COST_CONSTANT,
     BaseTypeSpec,
     ConstantSpec,
     Plugin,
@@ -92,6 +94,7 @@ def plugin() -> Plugin:
     cons_derivative = result.add_constant(
         ConstantSpec(
             name="consList'",
+            cost=COST_CONSTANT,
             schema=Schema(
                 ("a",),
                 fun_type(a, TChange(a), list_a, TChange(list_a), TChange(list_a)),
@@ -128,6 +131,7 @@ def plugin() -> Plugin:
     append_derivative = result.add_constant(
         ConstantSpec(
             name="appendList'",
+            cost=COST_CONSTANT,
             schema=Schema(
                 ("a",),
                 fun_type(
@@ -161,6 +165,7 @@ def plugin() -> Plugin:
     length_derivative = result.add_constant(
         ConstantSpec(
             name="lengthList'",
+            cost=COST_CONSTANT,
             schema=Schema(
                 ("a",), fun_type(list_a, TChange(list_a), TChange(TInt))
             ),
@@ -203,6 +208,7 @@ def plugin() -> Plugin:
     sum_derivative = result.add_constant(
         ConstantSpec(
             name="sumList'",
+            cost=COST_CHANGE,
             schema=Schema.mono(
                 fun_type(TList(TInt), TChange(TList(TInt)), TChange(TInt))
             ),
@@ -249,6 +255,7 @@ def plugin() -> Plugin:
     list_to_bag_derivative = result.add_constant(
         ConstantSpec(
             name="listToBag'",
+            cost=COST_CHANGE,
             schema=Schema(
                 ("a",), fun_type(list_a, TChange(list_a), TChange(TBag(a)))
             ),
@@ -298,6 +305,7 @@ def plugin() -> Plugin:
     map_list_nil = result.add_constant(
         ConstantSpec(
             name="mapList'_f",
+            cost=COST_CHANGE,
             schema=Schema(
                 ("a", "b"),
                 fun_type(

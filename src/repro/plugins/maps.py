@@ -25,6 +25,8 @@ from repro.data.pmap import PMap
 from repro.lang.terms import Const, Term
 from repro.lang.types import Schema, TChange, TGroup, TMap, TVar, fun_type
 from repro.plugins.base import (
+    COST_CHANGE,
+    COST_CONSTANT,
     BaseTypeSpec,
     ConstantSpec,
     Plugin,
@@ -114,6 +116,7 @@ def plugin() -> Plugin:
 
     singleton_map_derivative = result.add_constant(ConstantSpec(
         name="singletonMap'",
+        cost=COST_CONSTANT,
         schema=Schema(
             ("k", "a"),
             fun_type(k, TChange(k), a, TChange(a), TChange(map_ka)),
@@ -171,6 +174,7 @@ def plugin() -> Plugin:
 
     fold_map_nil = ConstantSpec(
         name="foldMap'_gf",
+        cost=COST_CHANGE,
         schema=Schema(
             ("k", "a", "b"),
             fun_type(

@@ -22,7 +22,7 @@ from repro.changes.primitive import NAT_CHANGES
 from repro.data.change_values import GroupChange, Replace, oplus_value
 from repro.data.group import INT_ADD_GROUP
 from repro.lang.types import Schema, TBase, TChange, TInt, fun_type
-from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.plugins.base import BaseTypeSpec, COST_CONSTANT, ConstantSpec, Plugin
 from repro.semantics.denotation import curry_host
 from repro.semantics.thunk import force
 
@@ -70,6 +70,7 @@ def plugin() -> Plugin:
     add_nat_derivative = result.add_constant(
         ConstantSpec(
             name="addNat'",
+            cost=COST_CONSTANT,
             schema=Schema.mono(fun_type(TNat, _DNAT, TNat, _DNAT, _DNAT)),
             arity=4,
             impl=add_nat_derivative_impl,

@@ -15,7 +15,7 @@ from repro.changes.product import ProductChangeStructure
 from repro.data.change_values import GroupChange, Replace, oplus_value
 from repro.data.group import pair_group
 from repro.lang.types import Schema, TChange, TGroup, TPair, TVar, fun_type
-from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.plugins.base import BaseTypeSpec, COST_CONSTANT, ConstantSpec, Plugin
 from repro.semantics.denotation import curry_host
 from repro.semantics.thunk import force
 
@@ -92,6 +92,7 @@ def plugin() -> Plugin:
 
     pair_derivative = result.add_constant(ConstantSpec(
         name="pair'",
+        cost=COST_CONSTANT,
         schema=Schema(
             ("a", "b"),
             fun_type(a, TChange(a), b, TChange(b), TChange(pair_type)),
@@ -115,6 +116,7 @@ def plugin() -> Plugin:
 
     fst_derivative = result.add_constant(ConstantSpec(
         name="fst'",
+        cost=COST_CONSTANT,
         schema=Schema(
             ("a", "b"), fun_type(pair_type, TChange(pair_type), TChange(a))
         ),
@@ -135,6 +137,7 @@ def plugin() -> Plugin:
 
     snd_derivative = result.add_constant(ConstantSpec(
         name="snd'",
+        cost=COST_CONSTANT,
         schema=Schema(
             ("a", "b"), fun_type(pair_type, TChange(pair_type), TChange(b))
         ),

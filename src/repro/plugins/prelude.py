@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.lang.types import Schema, TChange, TVar, fun_type
-from repro.plugins.base import ConstantSpec, Plugin
+from repro.plugins.base import COST_CONSTANT, ConstantSpec, Plugin
 from repro.semantics.denotation import apply_semantic, curry_host
 from repro.semantics.thunk import force
 
@@ -29,6 +29,7 @@ def plugin() -> Plugin:
 
     id_derivative = result.add_constant(ConstantSpec(
         name="id'",
+        cost=COST_CONSTANT,
         schema=Schema(("a",), fun_type(a, TChange(a), TChange(a))),
         arity=2,
         impl=lambda value, change: force(change),

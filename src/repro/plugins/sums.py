@@ -20,7 +20,7 @@ from repro.changes.primitive import ReplaceChangeStructure
 from repro.data.change_values import Replace, oplus_value
 from repro.data.sum import Inl, InlChange, Inr, InrChange
 from repro.lang.types import Schema, TChange, TSum, TVar, fun_type
-from repro.plugins.base import BaseTypeSpec, ConstantSpec, Plugin
+from repro.plugins.base import BaseTypeSpec, COST_CONSTANT, ConstantSpec, Plugin
 from repro.semantics.denotation import apply_semantic
 from repro.semantics.eval import apply_value
 from repro.semantics.thunk import force
@@ -55,6 +55,7 @@ def plugin() -> Plugin:
     inl_derivative = result.add_constant(
         ConstantSpec(
             name="inl'",
+            cost=COST_CONSTANT,
             schema=Schema(
                 ("a", "b"), fun_type(a, TChange(a), TChange(sum_type))
             ),
@@ -76,6 +77,7 @@ def plugin() -> Plugin:
     inr_derivative = result.add_constant(
         ConstantSpec(
             name="inr'",
+            cost=COST_CONSTANT,
             schema=Schema(
                 ("a", "b"), fun_type(b, TChange(b), TChange(sum_type))
             ),

@@ -1,0 +1,205 @@
+"""The static cost oracle validated against runtime telemetry.
+
+Acceptance test for the O(1)/O(|dv|)/O(n) classes: each static class
+makes a checkable *runtime* claim about the incremental engine's
+counters (EvalStats primitive-call deltas, thunk forcings, and
+``_LazyInput.materializations``):
+
+* ``O(1)``    -- per-step work is a constant; no base input is ever
+  materialized;
+* ``O(|dv|)`` -- per-step primitive calls are flat as the *base input*
+  grows but scale with the *change* size; no base input is ever
+  materialized;
+* ``O(n)``    -- a step materializes base inputs and/or its primitive
+  calls scale with the base-input size.
+
+The classes come from ``classify_program`` (static, before any input
+exists); the telemetry comes from actually stepping the engine.
+"""
+
+import pytest
+
+from repro.analysis.cost import COST_CLASSES, classify_program
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.incremental.engine import incrementalize
+from repro.lang.parser import parse
+from repro.mapreduce.skeleton import grand_total_term, histogram_term
+from repro.mapreduce.workloads import add_document_change, make_corpus
+
+from tests.strategies import REGISTRY
+
+
+def int_bag(size: int) -> Bag:
+    return Bag({element: 1 for element in range(size)})
+
+
+def bag_change(size: int) -> GroupChange:
+    return GroupChange(BAG_GROUP, Bag({-element - 1: 1 for element in range(size)}))
+
+
+def step_telemetry(program, *changes):
+    """(primitive-call delta, thunks-forced delta, inputs materialized)
+    for one steady-state engine step.
+
+    A warm-up step runs first: ``_LazyInput.materializations`` counts
+    folds of a *non-empty* pending-change queue, and the queue only
+    becomes non-empty after the first step has pushed its changes.
+    """
+    program.step(*changes)  # warm-up: populate the pending queues
+    materialized_before = sum(
+        lazy_input.materializations for lazy_input in program._inputs
+    )
+    before = program.stats.snapshot()
+    program.step(*changes)
+    delta = program.stats.diff(before)
+    materialized = (
+        sum(lazy_input.materializations for lazy_input in program._inputs)
+        - materialized_before
+    )
+    return delta.total_primitive_calls, delta.thunks_forced, materialized
+
+
+class TestChangeProportional:
+    """O(|dv|): grand_total and histogram, the paper's Sec. 4.4 pair."""
+
+    def test_grand_total_static_class(self):
+        report = classify_program(grand_total_term(REGISTRY), REGISTRY)
+        assert report.cost_class == "O(|dv|)"
+        assert not report.demanded_bases
+
+    def test_histogram_static_class(self):
+        report = classify_program(histogram_term(REGISTRY), REGISTRY)
+        assert report.cost_class == "O(|dv|)"
+
+    def test_grand_total_step_work_flat_in_base_size(self):
+        calls_by_size = {}
+        for size in (100, 400):
+            program = incrementalize(grand_total_term(REGISTRY), REGISTRY)
+            program.initialize(int_bag(size), int_bag(size))
+            calls, _forced, materialized = step_telemetry(
+                program, bag_change(3), bag_change(3)
+            )
+            assert materialized == 0  # never touches the base bags
+            calls_by_size[size] = calls
+        assert calls_by_size[100] == calls_by_size[400]
+
+    def test_grand_total_step_work_scales_with_change_size(self):
+        def calls_for_change(size: int) -> int:
+            program = incrementalize(grand_total_term(REGISTRY), REGISTRY)
+            program.initialize(int_bag(200), int_bag(200))
+            calls, _forced, _materialized = step_telemetry(
+                program, bag_change(size), bag_change(0)
+            )
+            return calls
+
+        assert calls_for_change(40) > calls_for_change(2)
+
+    def test_histogram_step_work_flat_in_corpus_size(self):
+        calls_by_size = {}
+        for total_words in (400, 1600):
+            corpus = make_corpus(total_words, vocabulary_size=30, seed=5)
+            program = incrementalize(histogram_term(REGISTRY), REGISTRY)
+            program.initialize(corpus.documents)
+            calls, _forced, materialized = step_telemetry(
+                program, add_document_change(99_999, Bag.of(1, 2, 3))
+            )
+            assert materialized == 0
+            calls_by_size[total_words] = calls
+        assert calls_by_size[400] == calls_by_size[1600]
+
+
+class TestSelfMaintainable:
+    """O(1): scalar arithmetic with registered linear derivatives."""
+
+    def test_add_static_class(self):
+        report = classify_program(parse("\\x y -> add x y", REGISTRY), REGISTRY)
+        assert report.cost_class == "O(1)"
+
+    def test_add_step_work_is_constant(self):
+        telemetries = []
+        for base in (1, 1_000_000):
+            program = incrementalize(parse("\\x y -> add x y", REGISTRY), REGISTRY)
+            program.initialize(base, base)
+            change = GroupChange(INT_ADD_GROUP, 5)
+            telemetries.append(step_telemetry(program, change, change))
+        first, second = telemetries
+        assert first == second
+        assert first[2] == 0  # no base input materialized
+
+
+class TestRecomputeEquivalent:
+    """O(n): demanded base parameters and trivial derivatives."""
+
+    def test_mul_static_class(self):
+        report = classify_program(parse("\\x y -> mul x y", REGISTRY), REGISTRY)
+        assert report.cost_class == "O(n)"
+        assert report.demanded_bases == ["x", "y"]
+
+    def test_mul_step_materializes_base_inputs(self):
+        program = incrementalize(parse("\\x y -> mul x y", REGISTRY), REGISTRY)
+        program.initialize(6, 7)
+        change = GroupChange(INT_ADD_GROUP, 1)
+        _calls, _forced, materialized = step_telemetry(program, change, change)
+        assert materialized > 0
+
+    def test_unspecialized_grand_total_static_class(self):
+        report = classify_program(
+            grand_total_term(REGISTRY), REGISTRY, specialize=False
+        )
+        assert report.cost_class == "O(n)"
+
+    def test_unspecialized_grand_total_step_work_scales_with_base(self):
+        calls_by_size = {}
+        for size in (100, 400):
+            program = incrementalize(
+                grand_total_term(REGISTRY), REGISTRY, specialize=False
+            )
+            program.initialize(int_bag(size), int_bag(size))
+            telemetry = step_telemetry(program, bag_change(3), bag_change(3))
+            calls_by_size[size] = telemetry[0]
+            materialized = telemetry[2]
+        # The trivial foldBag' recomputes over the full (updated) bags.
+        assert calls_by_size[400] > calls_by_size[100]
+        assert materialized > 0
+
+
+class TestGrandTotalHistogramAgreement:
+    """The headline acceptance check: for the two Sec. 4.4 workloads the
+    static class and a class *measured* from telemetry coincide."""
+
+    @staticmethod
+    def _measured_class(builder, specialize: bool) -> str:
+        sizes = (100, 400)
+        calls = {}
+        materialized_any = False
+        for size in sizes:
+            if builder is histogram_term:
+                inputs = (make_corpus(size * 4, vocabulary_size=20, seed=2).documents,)
+                changes = (add_document_change(99_999, Bag.of(1, 2)),)
+            else:
+                inputs = (int_bag(size), int_bag(size))
+                changes = (bag_change(3), bag_change(3))
+            program = incrementalize(
+                builder(REGISTRY), REGISTRY, specialize=specialize
+            )
+            program.initialize(*inputs)
+            step_calls, _forced, step_materialized = step_telemetry(
+                program, *changes
+            )
+            calls[size] = step_calls
+            materialized_any = materialized_any or step_materialized > 0
+        if materialized_any or calls[sizes[1]] > calls[sizes[0]]:
+            return "O(n)"
+        return "O(|dv|)"  # flat in n; these workloads fold their deltas
+
+    @pytest.mark.parametrize("builder", [grand_total_term, histogram_term])
+    @pytest.mark.parametrize("specialize", [True, False])
+    def test_static_class_matches_measured_class(self, builder, specialize):
+        static = classify_program(
+            builder(REGISTRY), REGISTRY, specialize=specialize
+        ).cost_class
+        measured = self._measured_class(builder, specialize)
+        assert static == measured
+        assert static in COST_CLASSES

@@ -1,0 +1,163 @@
+"""The incrementality linter: rule firing, stable codes, positions,
+severity gating, and cleanliness of the shipped workloads."""
+
+import pytest
+
+from repro.analysis.lint import RULES, SEVERITIES, Diagnostic, lint_program
+from repro.lang.parser import parse
+from repro.lang.terms import App, Const, Lam, Pos, Var
+from repro.lang.types import Schema, TFun, TInt
+from repro.mapreduce.skeleton import (
+    grand_total_term,
+    histogram_term,
+    word_count_term,
+)
+from repro.plugins.base import ConstantSpec
+
+from tests.strategies import REGISTRY
+
+
+def lint(source: str):
+    return lint_program(parse(source, REGISTRY), REGISTRY)
+
+
+def codes(report):
+    return [diagnostic.code for diagnostic in report.diagnostics]
+
+
+class TestRuleCatalogue:
+    def test_codes_and_severities_are_stable(self):
+        # Public contract: tools key off these; changing one is a break.
+        assert RULES == {
+            "ILC101": ("non-self-maintainable-derivative", "warning"),
+            "ILC102": ("dead-delta-binding", "warning"),
+            "ILC103": ("missing-derivative", "warning"),
+            "ILC104": ("inconsistent-derivative-schema", "error"),
+            "ILC105": ("replace-only-input", "info"),
+            "ILC106": ("specialization-missed", "warning"),
+        }
+        assert SEVERITIES == ("info", "warning", "error")
+
+    def test_diagnostic_rendering_and_json(self):
+        diagnostic = Diagnostic(
+            code="ILC103", message="msg", pos=Pos(3, 7), subject="f"
+        )
+        assert diagnostic.render() == "3:7: warning [ILC103] msg"
+        record = diagnostic.to_dict()
+        assert record["line"] == 3 and record["column"] == 7
+        assert record["rule"] == "missing-derivative"
+        positionless = Diagnostic(code="ILC101", message="m")
+        assert positionless.render().startswith("-: warning")
+
+
+class TestSeededViolations:
+    def test_missing_derivative_with_position(self):
+        report = lint("\\x y -> ltInt x y")
+        missing = [d for d in report.diagnostics if d.code == "ILC103"]
+        assert len(missing) == 1
+        assert missing[0].subject == "ltInt"
+        assert missing[0].pos == Pos(1, 9)
+        assert "trivial O(n) derivative" in missing[0].message
+
+    def test_derivative_forcing_base_params(self):
+        report = lint("\\x y -> mul x y")
+        forcing = [d for d in report.diagnostics if d.code == "ILC101"]
+        assert len(forcing) == 1
+        assert forcing[0].subject == "x, y"
+        assert forcing[0].pos == Pos(1, 2)  # the binder of x
+        assert report.cost.cost_class == "O(n)"
+
+    def test_dead_delta_binding(self):
+        report = lint("\\x -> let t = mul x x in add x 1")
+        dead = [d for d in report.diagnostics if d.code == "ILC102"]
+        assert len(dead) == 1
+        assert dead[0].subject == "dt"
+        assert dead[0].pos == Pos(1, 7)  # the source let
+
+    def test_nil_bound_let_is_not_flagged_dead(self):
+        # The binding is statically nil: its Δ is consumed by the
+        # specializations at derive time, so a dead dt is expected.
+        report = lint("\\xs -> let f = \\e -> add e 1 in mapBag f xs")
+        assert "ILC102" not in codes(report)
+
+    def test_replace_only_input_is_info(self):
+        report = lint("\\b -> ifThenElse b 1 2")
+        replace_only = [d for d in report.diagnostics if d.code == "ILC105"]
+        assert len(replace_only) == 1
+        assert replace_only[0].severity == "info"
+        assert replace_only[0].subject == "b"
+
+    def test_missed_specialization(self):
+        report = lint("\\f xs -> mapBag f xs")
+        missed = [d for d in report.diagnostics if d.code == "ILC106"]
+        assert len(missed) == 1
+        assert missed[0].subject == "mapBag"
+        assert "did not fire" in missed[0].message
+
+    def test_inconsistent_derivative_schema_is_error(self):
+        inc_schema = Schema((), TFun(TInt, TInt))
+        bad_derivative = ConstantSpec(
+            "badinc'", inc_schema, arity=1, impl=lambda value: value
+        )
+        bad = ConstantSpec(
+            "badinc",
+            inc_schema,
+            arity=1,
+            impl=lambda value: value + 1,
+            derivative=bad_derivative,
+        )
+        term = Lam("x", App(Const(bad), Var("x")), TInt)
+        report = lint_program(term, REGISTRY)
+        inconsistent = [d for d in report.diagnostics if d.code == "ILC104"]
+        assert len(inconsistent) == 1
+        assert inconsistent[0].severity == "error"
+        assert report.worst_severity == "error"
+        assert report.count_at_least("error") == 1
+
+
+class TestReportSemantics:
+    def test_diagnostics_sorted_by_severity_then_position(self):
+        report = lint("\\b -> ifThenElse b 1 2")
+        ranks = [SEVERITIES.index(d.severity) for d in report.diagnostics]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_count_at_least_thresholds(self):
+        report = lint("\\x y -> ltInt x y")  # two warnings
+        assert report.count_at_least("info") == 2
+        assert report.count_at_least("warning") == 2
+        assert report.count_at_least("error") == 0
+        assert report.worst_severity == "warning"
+
+    def test_to_dict_shape(self):
+        record = lint("\\x y -> ltInt x y").to_dict()
+        assert set(record) >= {
+            "program",
+            "type",
+            "cost_class",
+            "diagnostics",
+            "counts",
+        }
+        assert record["counts"]["warning"] == 2
+        assert record["cost_class"] == "O(n)"
+
+    def test_clean_program_has_no_findings(self):
+        report = lint("\\xs ys -> foldBag gplus id (merge xs ys)")
+        assert report.diagnostics == []
+        assert report.cost.cost_class == "O(|dv|)"
+
+
+class TestShippedWorkloadsAreClean:
+    @pytest.mark.parametrize(
+        "builder", [grand_total_term, histogram_term, word_count_term]
+    )
+    def test_workload_lints_clean(self, builder):
+        report = lint_program(builder(REGISTRY), REGISTRY)
+        assert report.diagnostics == []
+        assert report.cost.cost_class == "O(|dv|)"
+
+    def test_unspecialized_workload_is_flagged(self):
+        report = lint_program(
+            grand_total_term(REGISTRY), REGISTRY, specialize=False
+        )
+        assert "ILC103" in codes(report)
+        assert report.cost.cost_class == "O(n)"

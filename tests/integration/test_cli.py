@@ -2,10 +2,17 @@
 
 import io
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
+
+EXAMPLE_PROGRAMS = sorted(
+    (Path(__file__).resolve().parents[2] / "examples" / "programs").glob(
+        "*.repro"
+    )
+)
 
 
 def run_cli(*argv):
@@ -289,6 +296,163 @@ class TestTrace:
             if line.strip()
         ]
         assert extract(first) == extract(second)
+
+
+class TestJsonFormats:
+    def test_derive_json_payload(self):
+        code, output = run_cli(
+            "derive",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--format",
+            "json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["command"] == "derive"
+        assert "foldBag'_gf" in payload["derivative"]
+        assert payload["type"] == "Bag Int -> Bag Int -> Int"
+        assert payload["derivative_type"].endswith("Change Int")
+
+    def test_derive_text_and_json_carry_same_data(self):
+        source = r"\x -> add x 1"
+        _code, text = run_cli("derive", source)
+        _code, as_json = run_cli("derive", source, "--format", "json")
+        payload = json.loads(as_json)
+        for key, label in [
+            ("program", "program:"),
+            ("type", "type:"),
+            ("derivative", "derivative:"),
+        ]:
+            line = next(
+                line for line in text.splitlines() if line.startswith(label)
+            )
+            assert line.split(":", 1)[1].strip() == payload[key]
+
+    def test_check_json_payload(self):
+        code, output = run_cli(
+            "check", r"\xs -> mapBag (\e -> add e 1) xs", "--format", "json"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["self_maintainability"]["self_maintainable"] is True
+        assert payload["cost"]["cost_class"] == "O(|dv|)"
+        spines = payload["nil_analysis"]["spines"]
+        assert any(fact["specialization"] for fact in spines)
+        assert all("line" in fact for fact in spines)
+
+    def test_check_text_includes_cost_line(self):
+        code, output = run_cli("check", r"\x y -> mul x y")
+        assert code == 0
+        assert "NOT self-maintainable" in output
+        assert "cost: O(n) (recompute-equivalent)" in output
+
+
+class TestLint:
+    def test_flags_seeded_violations_with_codes_and_positions(self):
+        code, output = run_cli(
+            "lint", r"\x y -> ltInt x y", "--fail-on", "warning"
+        )
+        assert code == 1
+        assert "warning [ILC101]" in output
+        assert "1:9: warning [ILC103]" in output
+        assert "'ltInt' has no registered derivative" in output
+
+    def test_dead_delta_binding_flagged(self):
+        code, output = run_cli(
+            "lint", r"\x -> let t = mul x x in add x 1", "--fail-on", "never"
+        )
+        assert code == 0
+        assert "1:7: warning [ILC102]" in output
+
+    def test_default_fail_on_error_passes_warnings(self):
+        code, output = run_cli("lint", r"\x y -> ltInt x y")
+        assert code == 0  # warnings alone don't gate by default
+        assert "[ILC103]" in output
+
+    def test_clean_program_exits_zero(self):
+        code, output = run_cli(
+            "lint",
+            r"\xs ys -> foldBag gplus id (merge xs ys)",
+            "--fail-on",
+            "info",
+        )
+        assert code == 0
+        assert "no findings" in output
+        assert "0 findings in 1 program" in output
+
+    def test_workloads_lint_clean(self):
+        code, output = run_cli(
+            "lint",
+            "--workload",
+            "grand_total",
+            "--workload",
+            "histogram",
+            "--workload",
+            "wordcount",
+            "--fail-on",
+            "info",
+        )
+        assert code == 0
+        assert "0 findings in 3 programs" in output
+
+    def test_json_report(self):
+        code, output = run_cli(
+            "lint",
+            r"\x y -> ltInt x y",
+            "--format",
+            "json",
+            "--fail-on",
+            "never",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["command"] == "lint"
+        target = payload["targets"][0]
+        assert target["counts"]["warning"] == 2
+        codes = {entry["code"] for entry in target["diagnostics"]}
+        assert codes == {"ILC101", "ILC103"}
+        assert all(
+            entry["line"] is not None for entry in target["diagnostics"]
+        )
+
+    def test_no_specialize_downgrades_workload(self):
+        code, output = run_cli(
+            "lint", "--workload", "grand_total", "--no-specialize"
+        )
+        assert code == 0
+        assert "[ILC103]" in output
+
+    def test_nothing_to_lint_is_an_error(self):
+        code, output = run_cli("lint")
+        assert code == 1
+        assert "error:" in output
+
+    def test_missing_file_reported(self):
+        code, output = run_cli("lint", "--file", "no/such/file.repro")
+        assert code == 1
+        assert "error:" in output
+
+    def test_parse_error_reported(self):
+        code, output = run_cli("lint", r"\x -> (")
+        assert code == 1
+        assert "error:" in output
+
+
+class TestShippedExamplePrograms:
+    def test_examples_exist(self):
+        assert EXAMPLE_PROGRAMS  # the repo ships lintable examples
+
+    def test_all_examples_lint_clean(self):
+        # Acceptance: `repro lint` exits 0 across everything we ship,
+        # at the strictest gate.
+        argv = ["lint", "--fail-on", "info"]
+        for path in EXAMPLE_PROGRAMS:
+            argv += ["--file", str(path)]
+        for workload in ("grand_total", "histogram", "wordcount"):
+            argv += ["--workload", workload]
+        code, output = run_cli(*argv)
+        assert code == 0
+        assert f"in {len(EXAMPLE_PROGRAMS) + 3} programs" in output
 
 
 class TestArgparse:

@@ -1,0 +1,104 @@
+"""Source positions: lexer -> parser -> Term nodes -> transformations.
+
+Positions are metadata only: they ride along on every node the parser
+builds and every rewrite preserves them where a rewrite keeps the node,
+but they never participate in structural equality or hashing (the
+optimizer's fixpoint check compares rewritten terms by value).
+"""
+
+from repro.derive.derive import derive_program
+from repro.lang.infer import infer_type
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.terms import App, Lam, Lit, Pos, Var
+from repro.lang.traversal import rename_d_variables, substitute, subterms
+from repro.lang.types import TInt
+from repro.optimize.pipeline import optimize
+
+from tests.strategies import REGISTRY
+
+
+class TestPos:
+    def test_repr_is_line_colon_column(self):
+        assert str(Pos(3, 14)) == "3:14"
+
+    def test_positions_do_not_affect_equality_or_hash(self):
+        plain = Var("x")
+        placed = Var("x", pos=Pos(1, 5))
+        assert plain == placed
+        assert hash(plain) == hash(placed)
+        assert Lam("x", Var("x"), TInt, pos=Pos(1, 1)) == Lam(
+            "x", Var("x"), TInt
+        )
+        assert Lit(1, TInt, pos=Pos(2, 2)) == Lit(1, TInt)
+
+    def test_positions_do_not_affect_pretty(self):
+        source = "\\x -> add x 1"
+        assert pretty(parse(source, REGISTRY)) == "\\x -> add x 1"
+
+
+class TestParserAttachesPositions:
+    def test_lambda_binder_and_spine_positions(self):
+        term = parse("\\x -> add x 1", REGISTRY)
+        assert term.pos == Pos(1, 2)  # the binder
+        application = term.body
+        assert application.pos == Pos(1, 7)  # the spine head `add`
+        assert application.fn.fn.pos == Pos(1, 7)
+        assert application.fn.arg.pos == Pos(1, 11)  # x
+        assert application.arg.pos == Pos(1, 13)  # 1
+
+    def test_multiline_let_positions(self):
+        term = parse("let t =\n  add 1 2\nin mul t t", REGISTRY)
+        assert term.pos == Pos(1, 1)
+        assert term.bound.pos == Pos(2, 3)
+        assert term.body.pos == Pos(3, 4)
+
+    def test_every_parsed_node_is_positioned(self):
+        term = parse(
+            "\\xs -> let f = \\e -> add e 1 in mapBag f xs", REGISTRY
+        )
+        assert all(node.pos is not None for node in subterms(term))
+
+
+class TestTransformationsPreservePositions:
+    SOURCE = "\\x -> let t = mul x x in add t 1"
+
+    def positions(self, term):
+        return {
+            (type(node).__name__, repr(node.pos))
+            for node in subterms(term)
+            if node.pos is not None
+        }
+
+    def test_substitute_keeps_positions(self):
+        term = parse(self.SOURCE, REGISTRY)
+        replaced = substitute(term.body, "x", Lit(7, TInt))
+        assert replaced.pos == term.body.pos
+        assert replaced.bound.pos == term.body.bound.pos
+
+    def test_rename_d_variables_keeps_positions(self):
+        term = parse(self.SOURCE, REGISTRY)
+        assert self.positions(rename_d_variables(term)) == self.positions(term)
+
+    def test_infer_annotation_keeps_positions(self):
+        term = parse(self.SOURCE, REGISTRY)
+        annotated, _ty = infer_type(term)
+        assert annotated.pos == term.pos
+        assert annotated.body.pos == term.body.pos
+
+    def test_derive_stamps_source_positions(self):
+        annotated, _ty = infer_type(parse("\\x y -> mul x y", REGISTRY))
+        derived = derive_program(annotated, REGISTRY)
+        # The derivative's binders inherit the source binders' positions
+        # (each dx binder carries its x binder's position).
+        assert derived.pos == annotated.pos
+        positioned = [n for n in subterms(derived) if n.pos is not None]
+        assert positioned
+
+    def test_optimizer_keeps_positions_on_surviving_nodes(self):
+        annotated, _ty = infer_type(parse("\\x y -> mul x y", REGISTRY))
+        derived = derive_program(annotated, REGISTRY)
+        optimized = optimize(derived).term
+        assert optimized.pos == derived.pos
+        assert isinstance(optimized, Lam)
+        assert optimized.body.pos is not None
