@@ -16,7 +16,12 @@ Subcommands:
 * ``eval``    -- evaluate a closed term and print the value;
 * ``trace``   -- run a program incrementally over generated changes and
   print the per-step telemetry (wall time, ⊕ count, thunk and
-  primitive-call deltas), as text or JSON lines;
+  primitive-call deltas), as text or JSON lines; ``--journal DIR``
+  additionally write-ahead-logs every step (checkpointing per
+  ``--snapshot-every``) so a killed run can be resumed;
+* ``recover`` -- rebuild a journaled trace's state after a crash from
+  the newest valid snapshot plus journal-suffix replay, and print the
+  recovery report;
 * ``lint``    -- run the incrementality linter (rule codes ILC101-ILC106
   with severities and source positions) over programs, files, or the
   built-in MapReduce workloads; ``--fail-on`` gates the exit code.
@@ -241,6 +246,78 @@ def build_parser() -> argparse.ArgumentParser:
             "repeatable"
         ),
     )
+    trace_parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        help=(
+            "write-ahead journal every step (and checkpoint per "
+            "--snapshot-every) into DIR, so a killed trace can be "
+            "resumed with 'repro recover DIR'"
+        ),
+    )
+    trace_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --journal, checkpoint the full state every N committed "
+            "steps (0 = only the initial snapshot)"
+        ),
+    )
+    trace_parser.add_argument(
+        "--fsync",
+        choices=("always", "never"),
+        default="always",
+        help=(
+            "with --journal, fsync policy for journal appends "
+            "(default always; 'never' only flushes)"
+        ),
+    )
+    trace_parser.add_argument(
+        "--step-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "sleep this long after each step (crash-test aid: widens the "
+            "window for killing the process mid-run)"
+        ),
+    )
+
+    recover_parser = subparsers.add_parser(
+        "recover",
+        help="rebuild a journaled trace's state after a crash",
+    )
+    recover_parser.add_argument(
+        "directory", help="journal/snapshot directory from 'trace --journal'"
+    )
+    recover_parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip checking the recovered output against recomputation",
+    )
+    recover_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the recovery report as JSON",
+    )
+    recover_parser.add_argument(
+        "--inject-storage-fault",
+        action="append",
+        default=[],
+        metavar="KIND",
+        choices=("torn-write", "bit-flip", "missing-snapshot", "stale-manifest"),
+        help=(
+            "sabotage the durable state before recovering (torn-write, "
+            "bit-flip, missing-snapshot, stale-manifest); repeatable"
+        ),
+    )
+    recover_parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="also write the recovery report to PATH as JSON",
+    )
     return parser
 
 
@@ -433,6 +510,10 @@ def _command_trace(args: argparse.Namespace, out) -> int:
         verify_every=args.verify_every,
         on_drift=args.on_drift,
         faults=args.inject_fault,
+        journal_dir=args.journal,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
+        step_delay=args.step_delay,
     )
     if args.json:
         emit_json_lines(out, result.records)
@@ -459,6 +540,8 @@ def _command_trace(args: argparse.Namespace, out) -> int:
             )
         if args.verify:
             print("verify:     ok (Eq. 1 holds)", file=out)
+        if result.journal_dir is not None:
+            print(f"journal:    {result.journal_dir}", file=out)
     if args.export:
         records = []
         if result.initialize_span is not None:
@@ -468,6 +551,62 @@ def _command_trace(args: argparse.Namespace, out) -> int:
         count = write_jsonl(args.export, records)
         if not args.json:
             print(f"exported:   {count} records to {args.export}", file=out)
+    return 0
+
+
+def _command_recover(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.incremental.faults import inject_storage_fault
+    from repro.observability import observing
+    from repro.persistence import recover
+
+    for kind in args.inject_storage_fault:
+        description = inject_storage_fault(args.directory, kind)
+        if not args.json:
+            print(f"injected:   {kind} ({description})", file=out)
+    with observing():
+        result = recover(args.directory, verify=not args.no_verify)
+        result.program.close()
+    report = result.report
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True), file=out)
+        return 0
+    print(f"recovered:  {args.directory}", file=out)
+    print(f"program:    {report.program}", file=out)
+    print(
+        f"state:      step {report.steps} "
+        f"(snapshot@{report.snapshot_used if report.snapshot_used is not None else 'init'}, "
+        f"replayed {report.replayed_steps} step"
+        f"{'s' if report.replayed_steps != 1 else ''})",
+        file=out,
+    )
+    if report.skipped_aborts:
+        print(f"skipped:    {report.skipped_aborts} aborted step(s)", file=out)
+    if report.dropped_tail_step:
+        print("dropped:    uncommitted write-ahead journal tail", file=out)
+    if report.torn_bytes:
+        print(f"truncated:  {report.torn_bytes} torn journal byte(s)", file=out)
+    for attempt in report.attempts:
+        if not attempt.get("ok"):
+            print(
+                f"fallback:   rung {attempt.get('rung')} rejected "
+                f"({attempt.get('reason')})",
+                file=out,
+            )
+    if report.verified is not None:
+        print(
+            "verify:     ok (recovered output matches recomputation)"
+            if report.verified
+            else "verify:     FAILED",
+            file=out,
+        )
+    if args.report:
+        print(f"report:     {args.report}", file=out)
     return 0
 
 
@@ -484,6 +623,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _command_eval(args, out)
         if args.command == "trace":
             return _command_trace(args, out)
+        if args.command == "recover":
+            return _command_recover(args, out)
         if args.command == "lint":
             return _command_lint(args, out)
     except (ParseError, InferenceError, TypeCheckError) as error:

@@ -153,10 +153,51 @@ class PluginContractError(ReproError):
     """
 
 
+class PersistenceError(ReproError):
+    """Base class of durable-state failures (``repro.persistence``).
+
+    The subtree mirrors the storage stack::
+
+        PersistenceError
+        ├── CodecError     a serialized value/change is malformed, has a
+        │                  bad checksum, or names an unknown group
+        ├── JournalError   the write-ahead change log cannot be written
+        │                  or is structurally invalid beyond tail repair
+        ├── SnapshotError  a checkpoint file or the manifest is corrupt
+        └── RecoveryError  no snapshot/journal combination reaches a
+                           verifiable state (every ladder rung failed)
+    """
+
+
+class CodecError(PersistenceError, ValueError):
+    """A serialized payload cannot be decoded (or a value cannot be
+    canonically encoded).  Also a ``ValueError`` so generic CLI handlers
+    keep working."""
+
+
+class JournalError(PersistenceError, OSError):
+    """The write-ahead journal is unusable (beyond torn-tail repair)."""
+
+
+class SnapshotError(PersistenceError):
+    """A checkpoint or its manifest failed validation."""
+
+
+class RecoveryError(PersistenceError):
+    """Crash recovery exhausted its ladder without reaching a state that
+    passes replay and verification.  ``details['attempts']`` carries the
+    per-rung failure reasons."""
+
+
 __all__ = [
+    "CodecError",
     "DerivativeError",
     "DriftError",
     "InvalidChangeError",
+    "JournalError",
+    "PersistenceError",
     "PluginContractError",
+    "RecoveryError",
     "ReproError",
+    "SnapshotError",
 ]

@@ -13,11 +13,14 @@
 from repro.incremental.caching import CachingIncrementalProgram
 from repro.incremental.engine import IncrementalProgram, incrementalize
 from repro.incremental.faults import (
+    STORAGE_FAULT_KINDS,
     ChangeCorruption,
     FaultSpec,
     InjectedFault,
+    StorageFault,
     corrupt_change,
     inject_faults,
+    inject_storage_fault,
     parse_fault_spec,
 )
 from repro.incremental.resilient import ResiliencePolicy, ResilientProgram
@@ -30,8 +33,11 @@ __all__ = [
     "InjectedFault",
     "ResiliencePolicy",
     "ResilientProgram",
+    "STORAGE_FAULT_KINDS",
+    "StorageFault",
     "corrupt_change",
     "incrementalize",
     "inject_faults",
+    "inject_storage_fault",
     "parse_fault_spec",
 ]

@@ -434,3 +434,14 @@ class CachingIncrementalProgram:
         self-healing arm of drift detection)."""
         self._output = self.recompute()
         return self._output
+
+    def fast_forward(self, steps: int) -> None:
+        """Adopt ``steps`` as the number of already-absorbed steps (see
+        :meth:`IncrementalProgram.fast_forward`; recovery re-initializes
+        from checkpointed inputs, which also rebuilds every intermediate
+        cache, then fast-forwards the counter)."""
+        if self._inputs is None:
+            raise RuntimeError("call initialize() before fast_forward()")
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        self._steps = steps

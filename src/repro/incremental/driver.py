@@ -133,6 +133,8 @@ class TraceResult:
     rejected_changes: int = 0
     drift_detections: int = 0
     heals: int = 0
+    #: Durability directory (None when the trace was not journaled).
+    journal_dir: Optional[str] = None
 
     @property
     def output(self) -> Any:
@@ -153,6 +155,10 @@ def run_trace(
     verify_every: int = 0,
     on_drift: str = "raise",
     faults: Any = (),
+    journal_dir: Optional[str] = None,
+    snapshot_every: int = 0,
+    fsync: str = "always",
+    step_delay: float = 0.0,
 ) -> TraceResult:
     """Incrementalize ``term``, run it over a generated change stream
     under observability, and collect per-step records.
@@ -168,6 +174,16 @@ def run_trace(
     :func:`~repro.incremental.faults.parse_fault_spec` grammar, or
     ``FaultSpec``/``ChangeCorruption`` objects) injected for the
     duration of the stepping loop.
+
+    ``journal_dir`` turns on durability: every step is written ahead to
+    an append-only change journal there, with a checkpoint every
+    ``snapshot_every`` committed steps (``fsync`` selects the journal's
+    sync policy), so a killed trace can be resumed with
+    :func:`repro.persistence.recovery.recover`.  The journal is fully
+    deterministic in ``seed``: two traces of the same program with the
+    same seed/size/steps produce byte-identical journals.  ``step_delay``
+    sleeps that many seconds after each step -- a crash-test aid that
+    widens the window for killing the process mid-run.
     """
     if steps < 0:
         raise ValueError("steps must be >= 0")
@@ -201,8 +217,20 @@ def run_trace(
             )
         else:
             program = engine
+        runner: Any = program
+        if journal_dir is not None:
+            from repro.persistence import DurabilityPolicy, DurableProgram
+
+            runner = DurableProgram(
+                program,
+                journal_dir,
+                DurabilityPolicy(
+                    journal_fsync=fsync, snapshot_every=snapshot_every
+                ),
+                meta={"seed": seed, "size": size, "steps": steps},
+            )
         inputs = [generate_input(ty, size, rng) for ty in input_types]
-        program.initialize(*inputs)
+        runner.initialize(*inputs)
         initialize_span = hub.tracer.last(
             "caching.initialize" if caching else "engine.initialize"
         )
@@ -222,7 +250,7 @@ def run_trace(
                         corrupt_change(change, rng) for change in changes
                     ]
                 span_before = engine.last_step_span
-                program.step(*changes)
+                runner.step(*changes)
                 span_after = engine.last_step_span
                 if span_after is not None and span_after is not span_before:
                     records.append(step_record(span_after))
@@ -241,6 +269,12 @@ def run_trace(
                         expected=program.recompute(),
                         actual=program.output,
                     )
+                if step_delay > 0:
+                    import time
+
+                    time.sleep(step_delay)
+        if runner is not program:
+            runner.close()
     return TraceResult(
         program=program,
         input_types=input_types,
@@ -252,4 +286,5 @@ def run_trace(
         rejected_changes=getattr(program, "rejected_changes", 0),
         drift_detections=getattr(program, "drift_detections", 0),
         heals=getattr(program, "heals", 0),
+        journal_dir=journal_dir,
     )

@@ -441,6 +441,21 @@ class IncrementalProgram:
         self._output = self.recompute()
         return self._output
 
+    def fast_forward(self, steps: int) -> None:
+        """Adopt ``steps`` as the number of already-absorbed steps.
+
+        Crash recovery restores a checkpoint by re-initializing from the
+        checkpointed inputs; the restored state *is* the result of that
+        many steps, and journal replay needs the counter to agree so a
+        suffix record's step number can be cross-checked before it is
+        applied.
+        """
+        if self._inputs is None:
+            raise RuntimeError("call initialize() before fast_forward()")
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        self._steps = steps
+
 
 def incrementalize(
     term: Term,

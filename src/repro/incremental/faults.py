@@ -2,7 +2,7 @@
 
 The resilience guarantees (transactional steps, typed errors, recompute
 fallback, drift detection) are only testable if faults can be produced
-on demand.  This module injects three kinds:
+on demand.  This module injects four kinds:
 
 * ``raise`` faults -- a primitive (or derivative primitive, e.g.
   ``add'``) raises on its k-th call, modelling a *partial* derivative
@@ -13,7 +13,11 @@ on demand.  This module injects three kinds:
   catch this);
 * change corruption -- :func:`corrupt_change` mangles a change in a
   stream into something malformed, modelling a bad change producer
-  (caught by pre-step validation or the ⊕ layer).
+  (caught by pre-step validation or the ⊕ layer);
+* storage faults -- :func:`inject_storage_fault` sabotages a durability
+  directory (torn journal writes, bit flips, vanished snapshots, stale
+  manifests), modelling the failure modes crash recovery must detect
+  and survive.
 
 Injection works by patching ``ConstantSpec.impl`` and invalidating the
 spec's cached runtime template; ``Const`` nodes re-resolve their runtime
@@ -80,6 +84,29 @@ class ChangeCorruption:
     """Corrupt the change(s) fed to the 1-based ``at_step``-th step."""
 
     at_step: int = 1
+
+
+#: Storage-fault kinds understood by :func:`inject_storage_fault`.
+STORAGE_FAULT_KINDS = (
+    "torn-write",
+    "bit-flip",
+    "missing-snapshot",
+    "stale-manifest",
+)
+
+
+@dataclass(frozen=True)
+class StorageFault:
+    """One durable-state fault, applied to a journal/snapshot directory."""
+
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown storage fault {self.kind!r} "
+                f"(expected one of {STORAGE_FAULT_KINDS})"
+            )
 
 
 def skew_value(value: Any) -> Any:
@@ -169,6 +196,87 @@ def parse_fault_spec(text: str) -> Union[FaultSpec, ChangeCorruption]:
     )
 
 
+def inject_storage_fault(directory: str, kind: str, rng: Any = None) -> str:
+    """Sabotage the durable state in ``directory`` the way real storage
+    does; returns a description of what was done.
+
+    * ``torn-write``       -- the journal loses part of its final record
+      (a crash mid-``write``);
+    * ``bit-flip``         -- one bit flips inside the final journal
+      record's payload (media corruption; the record's CRC must catch it);
+    * ``missing-snapshot`` -- the newest checkpoint file vanishes while
+      the manifest still advertises it (lost file, interrupted copy);
+    * ``stale-manifest``   -- the manifest's newest entry points at an
+      older journal offset than the snapshot was actually taken at (a
+      manifest restored from an older backup than its snapshots).
+
+    Every kind must be *detected* by recovery -- surfacing as truncated
+    journal bytes, a failed ladder rung, or a ``RecoveryError`` -- and
+    recovery must still succeed (possibly from an older snapshot)
+    whenever any intact restore point remains.
+    """
+    import json as _json
+    import os
+
+    StorageFault(kind)  # validate
+    journal_file = os.path.join(directory, "journal.jsonl")
+    manifest_file = os.path.join(directory, "manifest.json")
+
+    if kind in ("torn-write", "bit-flip"):
+        with open(journal_file, "rb") as handle:
+            data = handle.read()
+        if not data.endswith(b"\n") or data.count(b"\n") < 1:
+            raise ValueError(f"journal {journal_file!r} has no complete record")
+        # Locate the final record (after the second-to-last newline).
+        cut = data.rfind(b"\n", 0, len(data) - 1) + 1
+        last = data[cut:]
+        if kind == "torn-write":
+            torn = len(last) // 2 + 1
+            with open(journal_file, "r+b") as handle:
+                handle.truncate(len(data) - torn)
+            return f"tore {torn} bytes off the journal's final record"
+        # bit-flip: corrupt a byte somewhere in the step-record region
+        # (never the init record -- media corruption there is simply
+        # unrecoverable, which is not the interesting case), losing the
+        # journal suffix from the flipped record on.
+        first_end = data.find(b"\n") + 1
+        if first_end >= len(data):
+            raise ValueError(f"journal {journal_file!r} has no step records")
+        span = len(data) - first_end
+        position = first_end + (
+            rng.randrange(span) if rng is not None else span // 2
+        )
+        position = min(position, len(data) - 1)
+        flipped = bytes([data[position] ^ 0x01])
+        with open(journal_file, "r+b") as handle:
+            handle.seek(position)
+            handle.write(flipped)
+        return f"flipped one bit at journal offset {position}"
+
+    with open(manifest_file, "r", encoding="ascii") as handle:
+        manifest = _json.load(handle)
+    snapshots = manifest.get("snapshots", [])
+    if not snapshots:
+        raise ValueError(f"manifest {manifest_file!r} lists no snapshots")
+    newest = snapshots[-1]
+    if kind == "missing-snapshot":
+        target = os.path.join(directory, newest["file"])
+        os.unlink(target)
+        return f"deleted snapshot {newest['file']} (manifest still lists it)"
+    # stale-manifest: point the newest entry at an older journal offset.
+    stale_offset = (
+        snapshots[-2]["journal_offset"] if len(snapshots) > 1 else 0
+    )
+    newest["journal_offset"] = stale_offset
+    with open(manifest_file, "w", encoding="ascii") as handle:
+        _json.dump(manifest, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return (
+        f"rewound manifest entry {newest['file']} to journal offset "
+        f"{stale_offset}"
+    )
+
+
 @contextmanager
 def inject_faults(
     registry: Registry, *specs: FaultSpec
@@ -222,8 +330,11 @@ __all__ = [
     "ChangeCorruption",
     "FaultSpec",
     "InjectedFault",
+    "STORAGE_FAULT_KINDS",
+    "StorageFault",
     "corrupt_change",
     "inject_faults",
+    "inject_storage_fault",
     "parse_fault_spec",
     "skew_value",
 ]

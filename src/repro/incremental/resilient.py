@@ -230,5 +230,8 @@ class ResilientProgram:
     def resync(self) -> Any:
         return self.program.resync()
 
+    def fast_forward(self, steps: int) -> None:
+        self.program.fast_forward(steps)
+
 
 __all__ = ["ResiliencePolicy", "ResilientProgram"]

@@ -1,0 +1,60 @@
+"""Durable incremental state.
+
+The paper's premise is that a program's state evolves as a sequence of
+first-class changes applied with ``⊕`` -- which is exactly a replayable
+log.  This package makes that observation operational:
+
+* ``codec``    -- canonical, versioned, checksummed serialization of
+  base values, Δ-values, and the groups they mention (function values
+  and function changes are explicitly rejected -- they have no faithful
+  erased representation on disk);
+* ``journal``  -- an append-only write-ahead change log with per-record
+  CRCs and length-prefix framing, tolerant of torn tails;
+* ``snapshot`` -- atomically-written periodic checkpoints plus a
+  manifest linking each checkpoint to its journal offset;
+* ``durable``  -- ``DurableProgram``/``DurabilityPolicy``, the wiring
+  that journals every step and checkpoints every N around an engine;
+* ``recovery`` -- ``recover(dir)``: newest valid snapshot + journal
+  suffix replay through the transactional ``step``, falling back down
+  the snapshot ladder on corruption, verified against recomputation.
+
+The key invariant (Alvarez-Picallo & Ong's change-action view): replaying
+a monoid-composed change log from a checkpoint reaches exactly the state
+of the live run, so a crash can never be distinguished from a pause by a
+downstream consumer.
+"""
+
+from repro.persistence.codec import (
+    CODEC_VERSION,
+    canonical_json,
+    checksum,
+    decode_value,
+    encode_value,
+)
+from repro.persistence.durable import DurabilityPolicy, DurableProgram
+from repro.persistence.journal import Journal, JournalRecord, read_journal
+from repro.persistence.recovery import RecoveryReport, RecoveryResult, recover
+from repro.persistence.snapshot import (
+    load_manifest,
+    load_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "DurabilityPolicy",
+    "DurableProgram",
+    "Journal",
+    "JournalRecord",
+    "RecoveryReport",
+    "RecoveryResult",
+    "canonical_json",
+    "checksum",
+    "decode_value",
+    "encode_value",
+    "load_manifest",
+    "load_snapshot",
+    "read_journal",
+    "recover",
+    "write_snapshot",
+]

@@ -1,0 +1,363 @@
+"""Canonical, versioned, checksummed serialization of values and changes.
+
+Everything the engine needs to persist -- base values, Δ-values, and the
+abelian groups a ``GroupChange`` mentions -- is first-order data: ints,
+bools, floats, strings, tuples (pairs and lists), bags, maps, and tagged
+sums.  Each is encoded as a small tagged JSON object, recursively, so a
+journal record or snapshot is plain JSON lines a human (or ``jq``) can
+read.
+
+Two properties matter more than compactness:
+
+* **Canonicity.**  ``encode`` of equal values produces byte-identical
+  JSON: bag and map entries are sorted by the canonical rendering of
+  their encoded keys (Python dict order and hash randomization never
+  leak into the bytes), floats use JSON's shortest-repr form, and
+  object keys are sorted.  This is what makes seeded runs produce
+  byte-identical journals and lets tests compare files, not parses.
+* **Honesty.**  Function values and function changes have *no* faithful
+  erased representation (a closure's environment may capture anything,
+  and Sec. 2 function changes are themselves functions), so they are
+  rejected with :class:`~repro.errors.PluginContractError` instead of
+  being pickled approximately.  Unknown groups and malformed payloads
+  raise :class:`~repro.errors.CodecError` at *encode* time where
+  possible, so a journal never contains records that cannot be decoded.
+
+The checksummed envelope (``wrap``/``unwrap``) adds a format version and
+a CRC-32 over the canonical body; snapshots use it wholesale and the
+journal applies the same CRC per record.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import zlib
+from typing import Any, Callable, Dict, List
+
+from repro.data.bag import Bag
+from repro.data.change_values import Change, GroupChange, Replace
+from repro.data.group import (
+    BAG_GROUP,
+    FLOAT_ADD_GROUP,
+    INT_ADD_GROUP,
+    INT_MUL_GROUP,
+    AbelianGroup,
+    map_group,
+    pair_group,
+)
+from repro.data.list_changes import Delete, Insert, ListChange, Update
+from repro.data.pmap import PMap
+from repro.data.sum import Inl, InlChange, Inr, InrChange
+from repro.errors import CodecError, PluginContractError
+
+#: Bumped whenever the wire format changes incompatibly.  Decoders reject
+#: envelopes from other versions loudly instead of guessing.
+CODEC_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """The one true JSON rendering: sorted keys, no whitespace, ASCII."""
+    try:
+        return json.dumps(
+            payload,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"payload is not JSON-canonicalizable: {error}") from error
+
+
+def checksum(text: str) -> str:
+    """CRC-32 of the UTF-8 bytes, as 8 lowercase hex digits."""
+    return f"{zlib.crc32(text.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+# -- groups -----------------------------------------------------------------
+
+#: Decoders for the closed set of persistable groups.  A group is encoded
+#: by name plus its structural arguments, so ``map_group(BAG_GROUP)``
+#: round-trips to the *same logical group* (groups compare structurally).
+_GROUP_DECODERS: Dict[str, Callable[[List[AbelianGroup]], AbelianGroup]] = {
+    "IntAdd": lambda args: INT_ADD_GROUP,
+    "RatMul": lambda args: INT_MUL_GROUP,
+    "FloatAdd": lambda args: FLOAT_ADD_GROUP,
+    "BagGroup": lambda args: BAG_GROUP,
+    "MapGroup": lambda args: map_group(*args),
+    "PairGroup": lambda args: pair_group(*args),
+}
+
+_GROUP_ARITY = {
+    "IntAdd": 0,
+    "RatMul": 0,
+    "FloatAdd": 0,
+    "BagGroup": 0,
+    "MapGroup": 1,
+    "PairGroup": 2,
+}
+
+
+def encode_group(group: AbelianGroup) -> Dict[str, Any]:
+    if not isinstance(group, AbelianGroup):
+        raise CodecError(f"not a group: {group!r}")
+    if group.name not in _GROUP_DECODERS:
+        raise CodecError(
+            f"group {group.name!r} is not persistable: only the standard "
+            "groups (IntAdd, RatMul, FloatAdd, BagGroup, MapGroup, "
+            "PairGroup) have durable representations"
+        )
+    if len(group.args) != _GROUP_ARITY[group.name]:
+        raise CodecError(
+            f"group {group.name!r} has {len(group.args)} argument(s), "
+            f"expected {_GROUP_ARITY[group.name]}"
+        )
+    return {
+        "t": "group",
+        "name": group.name,
+        "args": [encode_group(argument) for argument in group.args],
+    }
+
+
+def decode_group(obj: Any) -> AbelianGroup:
+    if not isinstance(obj, dict) or obj.get("t") != "group":
+        raise CodecError(f"not an encoded group: {obj!r}")
+    name = obj.get("name")
+    decoder = _GROUP_DECODERS.get(name)
+    if decoder is None:
+        raise CodecError(f"unknown group name {name!r}")
+    args = obj.get("args", [])
+    if not isinstance(args, list) or len(args) != _GROUP_ARITY[name]:
+        raise CodecError(f"group {name!r}: malformed arguments {args!r}")
+    return decoder([decode_group(argument) for argument in args])
+
+
+# -- values and changes -----------------------------------------------------
+
+
+def _reject_function(value: Any, role: str) -> None:
+    raise PluginContractError(
+        f"cannot serialize {role}: {type(value).__name__} is (or contains) "
+        "a function value, and closures/function changes have no faithful "
+        "durable representation (journal only first-order state)",
+        value=value,
+    )
+
+
+def _sorted_entries(pairs: List[List[Any]]) -> List[List[Any]]:
+    """Sort encoded ``[key, payload]`` pairs by the canonical rendering of
+    the encoded key -- the determinism backbone for bags and maps."""
+    return sorted(pairs, key=lambda pair: canonical_json(pair[0]))
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a base value or an (erased) change as tagged JSON data.
+
+    Values and changes share one recursive encoding: a change *is* a
+    first-class value here (Sec. 2's whole point), and product changes
+    are literally tuples of component changes.
+    """
+    # bool before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": value}
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise CodecError(f"non-finite float is not persistable: {value!r}")
+        return {"t": "float", "v": value}
+    if isinstance(value, str):
+        return {"t": "str", "v": value}
+    if value is None:
+        return {"t": "unit"}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, Bag):
+        return {
+            "t": "bag",
+            "v": _sorted_entries(
+                [[encode_value(element), count] for element, count in value.counts()]
+            ),
+        }
+    if isinstance(value, PMap):
+        return {
+            "t": "map",
+            "v": _sorted_entries(
+                [[encode_value(key), encode_value(item)] for key, item in value.items()]
+            ),
+        }
+    if isinstance(value, Inl):
+        return {"t": "inl", "v": encode_value(value.value)}
+    if isinstance(value, Inr):
+        return {"t": "inr", "v": encode_value(value.value)}
+    if isinstance(value, AbelianGroup):
+        return encode_group(value)
+    if isinstance(value, Replace):
+        return {"t": "replace", "v": encode_value(value.value)}
+    if isinstance(value, GroupChange):
+        return {
+            "t": "gchange",
+            "group": encode_group(value.group),
+            "delta": encode_value(value.delta),
+        }
+    if isinstance(value, InlChange):
+        return {"t": "inlchange", "v": encode_value(value.change)}
+    if isinstance(value, InrChange):
+        return {"t": "inrchange", "v": encode_value(value.change)}
+    if isinstance(value, ListChange):
+        edits = []
+        for edit in value.edits:
+            if isinstance(edit, Insert):
+                edits.append({"e": "ins", "i": edit.index, "v": encode_value(edit.value)})
+            elif isinstance(edit, Delete):
+                edits.append({"e": "del", "i": edit.index})
+            elif isinstance(edit, Update):
+                edits.append({"e": "upd", "i": edit.index, "c": encode_value(edit.change)})
+            else:
+                raise CodecError(f"unknown list edit: {edit!r}")
+        return {"t": "listchange", "edits": edits}
+    if callable(value):
+        # Closures, primitives, host functions, updated functions,
+        # function *changes* (which at runtime are two-argument
+        # functions) -- all land here.
+        _reject_function(value, "a function value or function change")
+    if isinstance(value, Change):
+        raise CodecError(
+            f"change type {type(value).__name__} has no durable encoding "
+            "(plugins must register first-order change representations "
+            "to participate in journaling)"
+        )
+    raise CodecError(f"value of type {type(value).__name__} is not persistable: {value!r}")
+
+
+def decode_value(obj: Any) -> Any:
+    """Inverse of :func:`encode_value`; raises ``CodecError`` on any
+    malformed payload (never returns garbage)."""
+    if not isinstance(obj, dict):
+        raise CodecError(f"not an encoded value: {obj!r}")
+    tag = obj.get("t")
+    try:
+        if tag == "bool":
+            return bool(obj["v"])
+        if tag == "int":
+            payload = obj["v"]
+            if isinstance(payload, bool) or not isinstance(payload, int):
+                raise CodecError(f"malformed int payload: {payload!r}")
+            return payload
+        if tag == "float":
+            payload = obj["v"]
+            if not isinstance(payload, (int, float)) or isinstance(payload, bool):
+                raise CodecError(f"malformed float payload: {payload!r}")
+            return float(payload)
+        if tag == "str":
+            payload = obj["v"]
+            if not isinstance(payload, str):
+                raise CodecError(f"malformed str payload: {payload!r}")
+            return payload
+        if tag == "unit":
+            return None
+        if tag == "tuple":
+            return tuple(decode_value(item) for item in obj["v"])
+        if tag == "bag":
+            counts: Dict[Any, int] = {}
+            for entry in obj["v"]:
+                element_obj, count = entry
+                if isinstance(count, bool) or not isinstance(count, int):
+                    raise CodecError(f"malformed bag multiplicity: {count!r}")
+                counts[decode_value(element_obj)] = count
+            return Bag(counts)
+        if tag == "map":
+            entries: Dict[Any, Any] = {}
+            for entry in obj["v"]:
+                key_obj, value_obj = entry
+                entries[decode_value(key_obj)] = decode_value(value_obj)
+            return PMap(entries)
+        if tag == "inl":
+            return Inl(decode_value(obj["v"]))
+        if tag == "inr":
+            return Inr(decode_value(obj["v"]))
+        if tag == "group":
+            return decode_group(obj)
+        if tag == "replace":
+            return Replace(decode_value(obj["v"]))
+        if tag == "gchange":
+            return GroupChange(decode_group(obj["group"]), decode_value(obj["delta"]))
+        if tag == "inlchange":
+            return InlChange(decode_value(obj["v"]))
+        if tag == "inrchange":
+            return InrChange(decode_value(obj["v"]))
+        if tag == "listchange":
+            edits = []
+            for edit in obj["edits"]:
+                kind = edit.get("e")
+                if kind == "ins":
+                    edits.append(Insert(int(edit["i"]), decode_value(edit["v"])))
+                elif kind == "del":
+                    edits.append(Delete(int(edit["i"])))
+                elif kind == "upd":
+                    edits.append(Update(int(edit["i"]), decode_value(edit["c"])))
+                else:
+                    raise CodecError(f"unknown list edit tag: {kind!r}")
+            return ListChange(*edits)
+    except CodecError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise CodecError(f"malformed payload for tag {tag!r}: {error}") from error
+    raise CodecError(f"unknown value tag {tag!r}")
+
+
+# -- checksummed envelope ---------------------------------------------------
+
+
+def wrap(body: Any) -> str:
+    """Wrap an already-encoded body in the versioned, checksummed
+    envelope and render it canonically.
+
+    The CRC covers the canonical rendering of the body alone, so any bit
+    flip inside the body (or a stale version field) is detected before a
+    single byte of the body is interpreted.
+    """
+    rendered = canonical_json(body)
+    return canonical_json(
+        {"version": CODEC_VERSION, "crc": checksum(rendered), "body": body}
+    )
+
+
+def unwrap(text: str) -> Any:
+    """Validate an envelope produced by :func:`wrap`; returns the body."""
+    try:
+        envelope = json.loads(text)
+    except ValueError as error:
+        raise CodecError(f"envelope is not valid JSON: {error}") from error
+    if not isinstance(envelope, dict):
+        raise CodecError(f"envelope is not an object: {envelope!r}")
+    version = envelope.get("version")
+    if version != CODEC_VERSION:
+        raise CodecError(
+            f"unsupported codec version {version!r} (this build reads "
+            f"version {CODEC_VERSION})"
+        )
+    if "body" not in envelope or "crc" not in envelope:
+        raise CodecError("envelope is missing 'body' or 'crc'")
+    body = envelope["body"]
+    expected = checksum(canonical_json(body))
+    if envelope["crc"] != expected:
+        raise CodecError(
+            f"envelope checksum mismatch: recorded {envelope['crc']!r}, "
+            f"computed {expected!r}"
+        )
+    return body
+
+
+__all__ = [
+    "CODEC_VERSION",
+    "canonical_json",
+    "checksum",
+    "decode_group",
+    "decode_value",
+    "encode_group",
+    "encode_value",
+    "unwrap",
+    "wrap",
+]

@@ -1,0 +1,231 @@
+"""The append-only write-ahead change log.
+
+One record per line, framed for torn-tail tolerance::
+
+    00000042 9a1bc3ff {"type":"step","step":0,"changes":[...]}\\n
+    ^^^^^^^^ ^^^^^^^^
+    length   CRC-32 of the payload bytes (8 hex digits each)
+
+The payload is the codec's canonical JSON (ASCII, so character count ==
+byte count).  A reader walks records sequentially and stops at the first
+record that fails *any* check -- short header, non-hex prefix, payload
+shorter than declared, missing newline, CRC mismatch, or invalid JSON --
+and reports the prefix before it as the valid extent.  A crash mid-write
+(torn tail) therefore costs at most the record being written, never the
+log; a bit flip mid-log costs the suffix from the flipped record on,
+which recovery compensates for with checkpoints.
+
+``fsync`` policy: ``"always"`` fsyncs after every append (a step is
+durable the moment ``step`` returns -- survives power loss), ``"never"``
+only flushes to the OS (survives process death, not the machine).  Both
+flush, so another process -- a monitor, the kill-test harness -- always
+sees complete records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import JournalError
+from repro.observability import metrics as _metrics
+from repro.persistence.codec import canonical_json
+
+_STATE = _metrics.STATE
+_APPENDS = _metrics.GLOBAL_REGISTRY.counter("persistence.journal.appends")
+_BYTES = _metrics.GLOBAL_REGISTRY.counter("persistence.journal.bytes_written")
+_FSYNCS = _metrics.GLOBAL_REGISTRY.counter("persistence.journal.fsyncs")
+_TRUNCATED_BYTES = _metrics.GLOBAL_REGISTRY.counter(
+    "persistence.journal.truncated_bytes"
+)
+
+#: ``LLLLLLLL CCCCCCCC `` -- two 8-hex-digit fields and two spaces.
+_HEADER_LEN = 18
+
+FSYNC_POLICIES = ("always", "never")
+
+JOURNAL_FILE = "journal.jsonl"
+
+
+def journal_path(directory: str) -> str:
+    return os.path.join(directory, JOURNAL_FILE)
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded record plus its byte extent in the file."""
+
+    payload: Dict[str, Any]
+    start: int
+    end: int
+
+
+@dataclass
+class JournalScan:
+    """The result of walking a journal file."""
+
+    records: List[JournalRecord]
+    #: Byte offset of the end of the last valid record (the safe
+    #: truncation point).
+    valid_offset: int
+    #: Bytes past ``valid_offset`` (0 for a clean log).
+    invalid_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        return self.invalid_bytes > 0
+
+
+def _frame(payload: Dict[str, Any]) -> bytes:
+    body = canonical_json(payload).encode("ascii")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%08x %08x " % (len(body), crc) + body + b"\n"
+
+
+def read_journal(path: str) -> JournalScan:
+    """Walk ``path``, returning every valid record and the torn extent.
+
+    Never raises on corruption -- corruption is *data* to the recovery
+    ladder.  Raises ``JournalError`` only when the file itself cannot be
+    read.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise JournalError(f"cannot read journal {path!r}: {error}") from error
+    records: List[JournalRecord] = []
+    position = 0
+    total = len(data)
+    while position < total:
+        header = data[position : position + _HEADER_LEN]
+        if len(header) < _HEADER_LEN or header[8:9] != b" " or header[17:18] != b" ":
+            break
+        try:
+            length = int(header[0:8], 16)
+            crc = int(header[9:17], 16)
+        except ValueError:
+            break
+        body_start = position + _HEADER_LEN
+        body = data[body_start : body_start + length]
+        if len(body) < length:
+            break
+        if data[body_start + length : body_start + length + 1] != b"\n":
+            break
+        if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+            break
+        try:
+            payload = json.loads(body.decode("ascii"))
+        except (UnicodeDecodeError, ValueError):
+            break
+        if not isinstance(payload, dict):
+            break
+        end = body_start + length + 1
+        records.append(JournalRecord(payload=payload, start=position, end=end))
+        position = end
+    return JournalScan(
+        records=records, valid_offset=position, invalid_bytes=total - position
+    )
+
+
+class Journal:
+    """An open, append-only journal handle."""
+
+    def __init__(self, path: str, fsync: str = "always", _truncate: bool = False):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.path = path
+        self.fsync = fsync
+        mode = "wb" if _truncate else "ab"
+        try:
+            self._handle = open(path, mode)
+        except OSError as error:
+            raise JournalError(f"cannot open journal {path!r}: {error}") from error
+        self._offset = self._handle.tell()
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, fsync: str = "always") -> "Journal":
+        """Start a fresh journal, discarding any existing file."""
+        return cls(path, fsync=fsync, _truncate=True)
+
+    @classmethod
+    def open(cls, path: str, fsync: str = "always") -> Tuple["Journal", JournalScan]:
+        """Open an existing journal for append, repairing a torn tail.
+
+        The file is truncated to the last valid record boundary first, so
+        a crash mid-write never poisons subsequent appends.
+        """
+        scan = read_journal(path)
+        if scan.torn:
+            if _STATE.on:
+                _TRUNCATED_BYTES.inc(scan.invalid_bytes)
+            with open(path, "r+b") as handle:
+                handle.truncate(scan.valid_offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        journal = cls(path, fsync=fsync)
+        return journal, scan
+
+    # -- appending ---------------------------------------------------------
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the journal's end (the next record's start)."""
+        return self._offset
+
+    def append(self, payload: Dict[str, Any]) -> Tuple[int, int]:
+        """Durably append one record; returns its ``(start, end)`` extent."""
+        frame = _frame(payload)
+        start = self._offset
+        try:
+            self._handle.write(frame)
+            self._handle.flush()
+            if self.fsync == "always":
+                os.fsync(self._handle.fileno())
+                if _STATE.on:
+                    _FSYNCS.inc()
+        except OSError as error:
+            raise JournalError(
+                f"journal append failed at offset {start}: {error}"
+            ) from error
+        self._offset = start + len(frame)
+        if _STATE.on:
+            _APPENDS.inc()
+            _BYTES.inc(len(frame))
+        return start, self._offset
+
+    def sync(self) -> None:
+        """Force bytes to stable storage regardless of policy."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        if _STATE.on:
+            _FSYNCS.inc()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "JOURNAL_FILE",
+    "Journal",
+    "JournalRecord",
+    "JournalScan",
+    "journal_path",
+    "read_journal",
+]

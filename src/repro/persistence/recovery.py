@@ -1,0 +1,402 @@
+"""Crash recovery: newest valid snapshot + journal suffix replay.
+
+``recover(dir)`` walks a ladder of candidate restore points, newest
+first, and returns the first one that survives restore, replay, and
+verification:
+
+1. **each manifest snapshot, newest → oldest** -- validate its envelope
+   CRC and manifest cross-checks, rebuild the engine, re-initialize from
+   the checkpointed inputs (which also rebuilds the caching engine's
+   intermediate caches), confirm the recomputed output matches the
+   checkpointed one, fast-forward the step counter, and replay the
+   journal records past the snapshot's offset through the resilient,
+   transactional ``step``;
+2. **the journal's init record** -- the rung of last resort: replay the
+   *entire* change log from the base inputs.
+
+Any failure on a rung -- a corrupt snapshot, a stale manifest offset, a
+step-number mismatch, a change the engine rejects mid-suffix, an output
+that fails verification -- drops to the next rung and is recorded in the
+report.  Corruption is therefore always *detected* (it shows up as a
+failed rung, truncated journal bytes, or a ``RecoveryError``); it is
+never silently absorbed into state.
+
+The one deliberate leniency: if the **final** journal record fails to
+apply, the crash is taken to have happened mid-step (the record was
+written ahead of an engine step that never committed) and the record is
+dropped like a torn tail, because a write-ahead log cannot distinguish
+the two.  A failing record *before* other valid records admits no such
+reading and fails the rung.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import RecoveryError, ReproError
+from repro.incremental.caching import CachingIncrementalProgram
+from repro.incremental.engine import IncrementalProgram
+from repro.incremental.resilient import ResiliencePolicy, ResilientProgram
+from repro.lang.parser import parse
+from repro.lang.types import uncurry_fun_type
+from repro.observability import metrics as _metrics
+from repro.persistence.codec import CODEC_VERSION, decode_value
+from repro.persistence.durable import DurabilityPolicy, DurableProgram
+from repro.persistence.journal import (
+    Journal,
+    JournalRecord,
+    JournalScan,
+    journal_path,
+    read_journal,
+)
+from repro.persistence.snapshot import (
+    SnapshotEntry,
+    load_manifest,
+    load_snapshot,
+)
+
+_STATE = _metrics.STATE
+_ATTEMPTS = _metrics.GLOBAL_REGISTRY.counter("persistence.recovery.attempts")
+_REPLAYED = _metrics.GLOBAL_REGISTRY.counter(
+    "persistence.recovery.replayed_steps"
+)
+_FALLBACKS = _metrics.GLOBAL_REGISTRY.counter(
+    "persistence.recovery.fallbacks"
+)
+_FAILURES = _metrics.GLOBAL_REGISTRY.counter("persistence.recovery.failures")
+
+
+@dataclass
+class RecoveryReport:
+    """Everything a recovery observed, for operators and CI artifacts."""
+
+    directory: str
+    program: str
+    steps: int = 0
+    snapshot_used: Optional[str] = None  # file name, or None = init rung
+    replayed_steps: int = 0
+    skipped_aborts: int = 0
+    dropped_tail_step: bool = False
+    journal_records: int = 0
+    torn_bytes: int = 0
+    verified: Optional[bool] = None
+    #: Per-rung outcomes: ``{"rung": ..., "ok": bool, "reason": ...}``.
+    attempts: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "recovery",
+            "directory": self.directory,
+            "program": self.program,
+            "steps": self.steps,
+            "snapshot_used": self.snapshot_used,
+            "replayed_steps": self.replayed_steps,
+            "skipped_aborts": self.skipped_aborts,
+            "dropped_tail_step": self.dropped_tail_step,
+            "journal_records": self.journal_records,
+            "torn_bytes": self.torn_bytes,
+            "verified": self.verified,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class RecoveryResult:
+    """A recovered, re-attached program plus the recovery report."""
+
+    program: DurableProgram
+    report: RecoveryReport
+
+    @property
+    def output(self) -> Any:
+        return self.program.output
+
+
+class _RungFailure(Exception):
+    """Internal: this ladder rung cannot produce a valid state."""
+
+
+def _build_program(
+    init: Dict[str, Any], registry: Any, resilience: Optional[ResiliencePolicy]
+) -> ResilientProgram:
+    """Rebuild the engine named by the init record, resiliently wrapped
+    (replay must go through validated, transactional steps)."""
+    source = init.get("program")
+    if not isinstance(source, str):
+        raise RecoveryError("init record carries no program source")
+    options = init.get("options", {})
+    term = parse(source, registry)
+    if options.get("caching"):
+        engine: Any = CachingIncrementalProgram(term, registry)
+    else:
+        engine = IncrementalProgram(
+            term, registry, strict=bool(options.get("strict", False))
+        )
+    input_types = list(uncurry_fun_type(engine.program_type)[0])[: engine.arity]
+    return ResilientProgram(
+        engine, resilience or ResiliencePolicy(), input_types=input_types
+    )
+
+
+def _aborted_starts(records: List[JournalRecord]) -> Set[int]:
+    """Start offsets of step records whose effect never committed (the
+    immediately following record is a matching abort marker)."""
+    aborted: Set[int] = set()
+    for record, successor in zip(records, records[1:]):
+        if (
+            record.payload.get("type") == "step"
+            and successor.payload.get("type") == "abort"
+            and successor.payload.get("step") == record.payload.get("step")
+        ):
+            aborted.add(record.start)
+    return aborted
+
+
+def _replay_suffix(
+    program: ResilientProgram,
+    records: List[JournalRecord],
+    start_offset: int,
+    aborted: Set[int],
+) -> Tuple[int, int, bool, Optional[int]]:
+    """Apply every committed step record at offset >= ``start_offset``.
+
+    Returns ``(applied, skipped, dropped_tail, last_applied_end)``.
+    Raises ``_RungFailure`` on anything that contradicts the snapshot
+    the replay started from.
+    """
+    applied = 0
+    skipped = 0
+    last_applied_end: Optional[int] = None
+    final_start = records[-1].start if records else None
+    for record in records:
+        if record.start < start_offset:
+            continue
+        kind = record.payload.get("type")
+        if kind == "abort":
+            continue
+        if kind == "init":
+            raise _RungFailure(
+                f"unexpected init record at offset {record.start} inside "
+                "the replay suffix (manifest offset is stale)"
+            )
+        if kind != "step":
+            raise _RungFailure(
+                f"unknown journal record type {kind!r} at offset {record.start}"
+            )
+        if record.start in aborted:
+            skipped += 1
+            continue
+        recorded_step = record.payload.get("step")
+        if recorded_step != program.steps:
+            raise _RungFailure(
+                f"journal record at offset {record.start} is step "
+                f"{recorded_step!r} but the restored state is at step "
+                f"{program.steps} (snapshot and journal disagree)"
+            )
+        try:
+            changes = [
+                decode_value(change) for change in record.payload["changes"]
+            ]
+            program.step(*changes)
+        except Exception as error:
+            if record.start == final_start:
+                # Write-ahead tail: the record was journaled but the
+                # engine step never committed before the crash.
+                return applied, skipped, True, last_applied_end
+            raise _RungFailure(
+                f"replay of step {recorded_step!r} at offset "
+                f"{record.start} failed: {error}"
+            ) from error
+        applied += 1
+        last_applied_end = record.end
+    return applied, skipped, False, last_applied_end
+
+
+def recover(
+    directory: str,
+    registry: Any = None,
+    policy: Optional[DurabilityPolicy] = None,
+    resilience: Optional[ResiliencePolicy] = None,
+    verify: Optional[bool] = None,
+) -> RecoveryResult:
+    """Recover a :class:`DurableProgram` from ``directory``.
+
+    Raises :class:`~repro.errors.RecoveryError` when every ladder rung
+    fails; the error's ``details['attempts']`` lists each rung's reason.
+    """
+    if registry is None:
+        from repro.plugins.registry import standard_registry
+
+        registry = standard_registry()
+    policy = policy or DurabilityPolicy()
+    if verify is None:
+        verify = policy.verify_on_recover
+    if _STATE.on:
+        _ATTEMPTS.inc()
+
+    path = journal_path(directory)
+    if not os.path.exists(path):
+        if _STATE.on:
+            _FAILURES.inc()
+        raise RecoveryError(f"no journal at {path!r}")
+    scan: JournalScan = read_journal(path)
+    records = scan.records
+    if not records or records[0].payload.get("type") != "init":
+        if _STATE.on:
+            _FAILURES.inc()
+        raise RecoveryError(
+            f"journal {path!r} has no valid init record "
+            f"({len(records)} valid records, {scan.invalid_bytes} torn bytes)"
+        )
+    init = records[0].payload
+    if init.get("codec") != CODEC_VERSION:
+        if _STATE.on:
+            _FAILURES.inc()
+        raise RecoveryError(
+            f"journal was written by codec version {init.get('codec')!r}; "
+            f"this build reads version {CODEC_VERSION}"
+        )
+
+    report = RecoveryReport(
+        directory=directory,
+        program=str(init.get("program")),
+        journal_records=len(records),
+        torn_bytes=scan.invalid_bytes,
+    )
+    aborted = _aborted_starts(records)
+
+    # Ladder rungs: manifest snapshots newest-first, then the init record.
+    rungs: List[Tuple[str, Optional[SnapshotEntry]]] = []
+    try:
+        for entry in reversed(load_manifest(directory)):
+            rungs.append((entry.file, entry))
+    except ReproError as error:
+        report.attempts.append(
+            {"rung": "manifest", "ok": False, "reason": str(error)}
+        )
+    rungs.append(("init", None))
+
+    for rung_name, entry in rungs:
+        try:
+            program = _build_program(init, registry, resilience)
+            if entry is not None:
+                body = load_snapshot(directory, entry)
+                inputs = [decode_value(item) for item in body["inputs"]]
+                expected_output = decode_value(body["output"])
+                program.initialize(*inputs)
+                if program.output != expected_output:
+                    raise _RungFailure(
+                        "recomputation from the checkpointed inputs does "
+                        "not reproduce the checkpointed output (corrupt "
+                        "snapshot, or the live run had drifted)"
+                    )
+                _check_caches(program, body)
+                program.fast_forward(int(body["step"]))
+                start_offset = entry.journal_offset
+            else:
+                inputs = [decode_value(item) for item in init["inputs"]]
+                expected_output = decode_value(init["output"])
+                program.initialize(*inputs)
+                if program.output != expected_output:
+                    raise _RungFailure(
+                        "the base run does not reproduce the journaled "
+                        "initial output (corrupt init record or changed "
+                        "primitives)"
+                    )
+                start_offset = records[0].end
+            applied, skipped, dropped_tail, last_end = _replay_suffix(
+                program, records, start_offset, aborted
+            )
+            if verify and not program.verify():
+                raise _RungFailure(
+                    "recovered output diverged from recomputation "
+                    "(Eq. 1 fails on the replayed state)"
+                )
+        except (_RungFailure, ReproError, KeyError, TypeError, ValueError) as error:
+            report.attempts.append(
+                {"rung": rung_name, "ok": False, "reason": str(error)}
+            )
+            if _STATE.on:
+                _FALLBACKS.inc()
+            continue
+        report.attempts.append({"rung": rung_name, "ok": True, "reason": None})
+        report.snapshot_used = entry.file if entry is not None else None
+        report.steps = program.steps
+        report.replayed_steps = applied
+        report.skipped_aborts = skipped
+        report.dropped_tail_step = dropped_tail
+        report.verified = True if verify else None
+        if _STATE.on:
+            _REPLAYED.inc(applied)
+        durable = _reattach(
+            program, directory, policy, init, records, dropped_tail, last_end
+        )
+        return RecoveryResult(program=durable, report=report)
+
+    if _STATE.on:
+        _FAILURES.inc()
+    raise RecoveryError(
+        f"recovery exhausted every rung for {directory!r}",
+        attempts=[attempt["reason"] for attempt in report.attempts],
+    )
+
+
+def _check_caches(program: ResilientProgram, body: Dict[str, Any]) -> None:
+    """Cross-validate checkpointed intermediate caches against the ones
+    rebuilt by re-initialization (caching engine only)."""
+    caches = body.get("caches")
+    if not caches:
+        return
+    engine = program.program
+    reader = getattr(engine, "cached_value", None)
+    if reader is None:
+        return
+    from repro.semantics.thunk import force
+
+    for name, encoded in caches.items():
+        try:
+            rebuilt = force(reader(name))
+        except KeyError:
+            raise _RungFailure(
+                f"checkpoint names intermediate cache {name!r} the rebuilt "
+                "program does not have (program or ANF drift)"
+            )
+        if rebuilt != decode_value(encoded):
+            raise _RungFailure(
+                f"checkpointed intermediate cache {name!r} does not match "
+                "the value rebuilt from the checkpointed inputs"
+            )
+
+
+def _reattach(
+    program: ResilientProgram,
+    directory: str,
+    policy: DurabilityPolicy,
+    init: Dict[str, Any],
+    records: List[JournalRecord],
+    dropped_tail: bool,
+    last_applied_end: Optional[int],
+) -> DurableProgram:
+    """Reopen the journal for append (repairing the torn tail) and, when
+    the final record was dropped as an uncommitted write-ahead entry,
+    truncate it away too so the on-disk log matches the adopted state."""
+    path = journal_path(directory)
+    if dropped_tail and records:
+        with open(path, "r+b") as handle:
+            handle.truncate(records[-1].start)
+            handle.flush()
+            os.fsync(handle.fileno())
+    journal, _ = Journal.open(path, fsync=policy.journal_fsync)
+    return DurableProgram._attach(
+        program,
+        directory,
+        policy,
+        str(init.get("program")),
+        journal,
+        meta=init.get("meta"),
+    )
+
+
+__all__ = ["RecoveryReport", "RecoveryResult", "recover"]

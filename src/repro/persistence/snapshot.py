@@ -1,0 +1,246 @@
+"""Checkpointed snapshots with an atomic manifest.
+
+A snapshot captures the engine's committed state at a step boundary:
+the (materialized) current inputs, the incremental output, the step
+counter, and -- crucially -- the journal offset of the last record whose
+effect the snapshot includes.  Recovery restores the newest loadable
+snapshot and replays only the journal suffix past that offset.
+
+Atomicity discipline (the classic temp-file + rename dance):
+
+1. the snapshot body is wrapped in the codec's checksummed envelope and
+   written to ``<name>.tmp``, flushed, and fsynced;
+2. ``os.replace`` renames it into place (atomic on POSIX);
+3. the directory fd is fsynced so the rename itself is durable;
+4. only then is the manifest rewritten (same dance) to mention it.
+
+A crash between (2) and (4) leaves an orphan snapshot file the manifest
+does not mention -- harmless.  A crash during (1) leaves a ``.tmp`` no
+reader ever looks at.  The manifest is therefore always a consistent
+(if possibly slightly stale) index, and every file it names is either
+fully written or detectably corrupt via its envelope CRC.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import SnapshotError
+from repro.observability import metrics as _metrics
+from repro.persistence.codec import (
+    CODEC_VERSION,
+    canonical_json,
+    checksum,
+    unwrap,
+    wrap,
+)
+
+_STATE = _metrics.STATE
+_WRITES = _metrics.GLOBAL_REGISTRY.counter("persistence.snapshot.writes")
+_BYTES = _metrics.GLOBAL_REGISTRY.counter("persistence.snapshot.bytes_written")
+_PRUNED = _metrics.GLOBAL_REGISTRY.counter("persistence.snapshot.pruned")
+_LOAD_FAILURES = _metrics.GLOBAL_REGISTRY.counter(
+    "persistence.snapshot.load_failures"
+)
+
+MANIFEST_FILE = "manifest.json"
+
+
+def manifest_path(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_FILE)
+
+
+@dataclass(frozen=True)
+class SnapshotEntry:
+    """One manifest row: a snapshot file and where it sits in the log."""
+
+    file: str
+    step: int
+    journal_offset: int
+    crc: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "step": self.step,
+            "journal_offset": self.journal_offset,
+            "crc": self.crc,
+        }
+
+
+def _atomic_write(directory: str, name: str, text: str) -> str:
+    """Write ``text`` to ``directory/name`` via temp file + rename, with
+    file and directory fsyncs so the result survives power loss."""
+    path = os.path.join(directory, name)
+    temp_path = path + ".tmp"
+    try:
+        with open(temp_path, "w", encoding="ascii") as handle:
+            handle.write(text)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+        directory_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+    except OSError as error:
+        raise SnapshotError(
+            f"cannot write snapshot file {path!r}: {error}"
+        ) from error
+    return path
+
+
+def write_snapshot(
+    directory: str,
+    state: Dict[str, Any],
+    *,
+    step: int,
+    journal_offset: int,
+    keep: int = 0,
+) -> SnapshotEntry:
+    """Atomically persist ``state`` (already codec-encoded) and index it.
+
+    ``state`` is the snapshot body; ``step``/``journal_offset`` are
+    stamped into it and into the manifest entry.  With ``keep > 0``, old
+    snapshots beyond the newest ``keep`` are pruned from disk and from
+    the manifest (the recovery ladder needs at least two rungs to be
+    interesting, so ``keep`` below 2 is promoted to 2).
+    """
+    body = dict(state)
+    body["step"] = step
+    body["journal_offset"] = journal_offset
+    text = wrap(body)
+    name = f"snapshot-{step:08d}.json"
+    _atomic_write(directory, name, text)
+    if _STATE.on:
+        _WRITES.inc()
+        _BYTES.inc(len(text) + 1)
+    entry = SnapshotEntry(
+        file=name,
+        step=step,
+        journal_offset=journal_offset,
+        crc=checksum(text),
+    )
+    entries = [e for e in load_manifest(directory) if e.file != name]
+    entries.append(entry)
+    entries.sort(key=lambda e: (e.step, e.file))
+    if keep:
+        keep = max(keep, 2)
+        for stale in entries[:-keep]:
+            try:
+                os.unlink(os.path.join(directory, stale.file))
+            except OSError:
+                pass
+            if _STATE.on:
+                _PRUNED.inc()
+        entries = entries[-keep:]
+    _write_manifest(directory, entries)
+    return entry
+
+
+def _write_manifest(directory: str, entries: List[SnapshotEntry]) -> None:
+    body = {
+        "version": CODEC_VERSION,
+        "snapshots": [entry.to_dict() for entry in entries],
+    }
+    _atomic_write(directory, MANIFEST_FILE, canonical_json(body))
+
+
+def load_manifest(directory: str) -> List[SnapshotEntry]:
+    """The manifest's entries, oldest first; ``[]`` when absent.
+
+    A structurally-unreadable manifest raises ``SnapshotError`` -- the
+    recovery ladder treats that as "no snapshots" and falls through to
+    full journal replay, but callers who expected snapshots get a loud
+    signal.
+    """
+    path = manifest_path(directory)
+    if not os.path.exists(path):
+        return []
+    import json
+
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            data = json.load(handle)
+        entries = [
+            SnapshotEntry(
+                file=str(row["file"]),
+                step=int(row["step"]),
+                journal_offset=int(row["journal_offset"]),
+                crc=str(row["crc"]),
+            )
+            for row in data["snapshots"]
+        ]
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        raise SnapshotError(
+            f"manifest {path!r} is unreadable: {error}"
+        ) from error
+    entries.sort(key=lambda entry: (entry.step, entry.file))
+    return entries
+
+
+def load_snapshot(directory: str, entry: SnapshotEntry) -> Dict[str, Any]:
+    """Load and validate one snapshot; raises ``SnapshotError`` on any
+    corruption (missing file, manifest/file checksum disagreement,
+    envelope CRC or version failure, field drift)."""
+    path = os.path.join(directory, entry.file)
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            text = handle.read().rstrip("\n")
+    except OSError as error:
+        if _STATE.on:
+            _LOAD_FAILURES.inc()
+        raise SnapshotError(
+            f"snapshot {entry.file!r} is unreadable: {error}"
+        ) from error
+    try:
+        if checksum(text) != entry.crc:
+            raise SnapshotError(
+                f"snapshot {entry.file!r} does not match its manifest "
+                f"checksum (recorded {entry.crc!r}, computed {checksum(text)!r})"
+            )
+        body = unwrap(text)
+        if not isinstance(body, dict):
+            raise SnapshotError(f"snapshot {entry.file!r} body is not an object")
+        if body.get("step") != entry.step:
+            raise SnapshotError(
+                f"snapshot {entry.file!r} step {body.get('step')!r} "
+                f"disagrees with manifest step {entry.step}"
+            )
+        if body.get("journal_offset") != entry.journal_offset:
+            # A stale manifest (e.g. restored from an older backup than
+            # the snapshot, or tampered) would otherwise make recovery
+            # replay from the wrong log position; the snapshot body
+            # carries its own offset under the CRC, so the lie is caught
+            # here instead of as silent double-application.
+            raise SnapshotError(
+                f"stale manifest: snapshot {entry.file!r} was taken at "
+                f"journal offset {body.get('journal_offset')!r} but the "
+                f"manifest claims {entry.journal_offset}"
+            )
+    except SnapshotError:
+        if _STATE.on:
+            _LOAD_FAILURES.inc()
+        raise
+    except Exception as error:  # CodecError from unwrap
+        if _STATE.on:
+            _LOAD_FAILURES.inc()
+        raise SnapshotError(
+            f"snapshot {entry.file!r} failed validation: {error}",
+            cause=error,
+        ) from error
+    return body
+
+
+__all__ = [
+    "MANIFEST_FILE",
+    "SnapshotEntry",
+    "load_manifest",
+    "load_snapshot",
+    "manifest_path",
+    "write_snapshot",
+]

@@ -563,3 +563,111 @@ class TestFaultProperties:
             resilient.step(change, nil_bag())
         assert resilient.drift_detections == 0
         assert resilient.verify()
+
+
+class TestKillMidRun:
+    """The end-to-end crash story: a journaled ``repro trace`` process is
+    SIGKILLed between steps, and ``recover`` rebuilds exactly the state a
+    continuous run reaches at the recovered step count."""
+
+    STEPS = 60
+    SIZE = 30
+    SEED = 13
+
+    def _spawn_trace(self, directory):
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "trace",
+                GRAND_TOTAL,
+                "--steps",
+                str(self.STEPS),
+                "--size",
+                str(self.SIZE),
+                "--seed",
+                str(self.SEED),
+                "--journal",
+                str(directory),
+                "--snapshot-every",
+                "2",
+                "--fsync",
+                "never",
+                "--step-delay",
+                "0.05",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def test_sigkill_between_steps_recovers_to_continuous_state(
+        self, registry, tmp_path
+    ):
+        import os
+        import signal
+        import time
+
+        from repro.persistence import recover
+        from repro.persistence.journal import journal_path, read_journal
+
+        directory = tmp_path / "durable"
+        process = self._spawn_trace(directory)
+        path = journal_path(str(directory))
+        try:
+            # Wait for a few committed steps, then kill without warning.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    pytest.fail(
+                        "trace exited before it could be killed "
+                        f"(rc={process.returncode})"
+                    )
+                if os.path.exists(path):
+                    steps_seen = sum(
+                        1
+                        for record in read_journal(path).records
+                        if record.payload.get("type") == "step"
+                    )
+                    if steps_seen >= 4:
+                        break
+                time.sleep(0.02)
+            else:
+                pytest.fail("journal never reached 4 step records")
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+
+        result = recover(str(directory), registry=registry)
+        try:
+            recovered_steps = result.report.steps
+            assert 1 <= recovered_steps < self.STEPS
+            assert result.report.verified is True
+            # A continuous run reaches the same state at that step count:
+            # the change stream is a pure function of the seed.
+            continuous = run_trace(
+                parse(GRAND_TOTAL, registry),
+                registry,
+                steps=recovered_steps,
+                size=self.SIZE,
+                seed=self.SEED,
+            )
+            assert result.program.output == continuous.output
+            assert list(result.program.current_inputs()) == list(
+                continuous.program.current_inputs()
+            )
+        finally:
+            result.program.close()

@@ -1,0 +1,339 @@
+"""The persistence codec: canonical round-trips and honest rejections.
+
+Two laws, quantified over every change structure the strategies module
+knows:
+
+* ``decode(encode(v)) == v`` -- the codec is a faithful injection on
+  first-order values and erased changes;
+* ``a ⊕ decode(encode(da)) == a ⊕ da`` -- a journaled change replays to
+  the same state the live change produced (the property recovery
+  actually relies on).
+
+Plus the honesty half: function values and function changes are
+*rejected* (``PluginContractError``), never approximated, and every
+malformed payload raises ``CodecError`` instead of decoding to garbage.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import (
+    BAG_GROUP,
+    FLOAT_ADD_GROUP,
+    INT_ADD_GROUP,
+    INT_MUL_GROUP,
+    map_group,
+    pair_group,
+)
+from repro.data.list_changes import Delete, Insert, ListChange, Update
+from repro.data.pmap import PMap
+from repro.data.sum import Inl, InlChange, Inr, InrChange
+from repro.errors import CodecError, PluginContractError
+from repro.persistence.codec import (
+    CODEC_VERSION,
+    canonical_json,
+    checksum,
+    decode_value,
+    encode_value,
+    unwrap,
+    wrap,
+)
+from repro.semantics.values import HostFunction
+from tests.strategies import (
+    bag_changes,
+    bags_of_ints,
+    int_changes,
+    maps_int_int,
+    small_ints,
+)
+
+# -- strategies over everything the codec must carry ------------------------
+
+map_bag_values = st.dictionaries(
+    st.integers(min_value=0, max_value=6), bags_of_ints, max_size=4
+).map(PMap)
+
+map_int_changes = maps_int_int.map(
+    lambda delta: GroupChange(map_group(INT_ADD_GROUP), delta)
+)
+map_bag_changes = map_bag_values.map(
+    lambda delta: GroupChange(map_group(BAG_GROUP), delta)
+)
+
+sum_values = st.one_of(small_ints.map(Inl), bags_of_ints.map(Inr))
+sum_changes = st.one_of(
+    int_changes.map(InlChange),
+    bag_changes.map(InrChange),
+    sum_values.map(Replace),
+)
+
+list_edits = st.one_of(
+    st.tuples(st.integers(min_value=0, max_value=5), small_ints).map(
+        lambda pair: Insert(*pair)
+    ),
+    st.integers(min_value=0, max_value=5).map(Delete),
+    st.tuples(st.integers(min_value=0, max_value=5), int_changes).map(
+        lambda pair: Update(*pair)
+    ),
+)
+list_changes = st.lists(list_edits, max_size=4).map(
+    lambda edits: ListChange(*edits)
+)
+
+base_values = st.one_of(
+    small_ints,
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+    st.none(),
+    bags_of_ints,
+    maps_int_int,
+    map_bag_values,
+    sum_values,
+    st.tuples(small_ints, bags_of_ints),
+)
+
+all_changes = st.one_of(
+    int_changes,
+    bag_changes,
+    map_int_changes,
+    map_bag_changes,
+    sum_changes,
+    list_changes,
+    st.tuples(int_changes, bag_changes),
+)
+
+GROUPS = [
+    INT_ADD_GROUP,
+    INT_MUL_GROUP,
+    FLOAT_ADD_GROUP,
+    BAG_GROUP,
+    map_group(BAG_GROUP),
+    map_group(INT_ADD_GROUP),
+    pair_group(INT_ADD_GROUP, BAG_GROUP),
+    map_group(pair_group(INT_ADD_GROUP, INT_ADD_GROUP)),
+]
+
+
+# -- round-trips ------------------------------------------------------------
+
+
+@settings(max_examples=150)
+@given(base_values)
+def test_base_values_round_trip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@settings(max_examples=150)
+@given(all_changes)
+def test_changes_round_trip(change):
+    decoded = decode_value(encode_value(change))
+    assert decoded == change
+    assert type(decoded) is type(change) or isinstance(change, tuple)
+
+
+@pytest.mark.parametrize("group", GROUPS, ids=str)
+def test_groups_round_trip_to_equal_groups(group):
+    decoded = decode_value(encode_value(group))
+    assert decoded == group
+    # Structural equality means the decoded group interoperates with the
+    # live one: merging an element from each side works.
+    assert decoded.merge(decoded.zero, group.zero) == group.zero
+
+
+@settings(max_examples=100)
+@given(bags_of_ints, bag_changes)
+def test_replayed_bag_change_reaches_live_state(value, change):
+    replayed = decode_value(encode_value(change))
+    assert oplus_value(value, replayed) == oplus_value(value, change)
+
+
+@settings(max_examples=100)
+@given(small_ints, int_changes)
+def test_replayed_int_change_reaches_live_state(value, change):
+    replayed = decode_value(encode_value(change))
+    assert oplus_value(value, replayed) == oplus_value(value, change)
+
+
+@settings(max_examples=100)
+@given(map_bag_values, map_bag_changes)
+def test_replayed_map_change_reaches_live_state(value, change):
+    replayed = decode_value(encode_value(change))
+    assert oplus_value(value, replayed) == oplus_value(value, change)
+
+
+@settings(max_examples=100)
+@given(
+    st.tuples(small_ints, bags_of_ints),
+    st.tuples(int_changes, bag_changes),
+)
+def test_replayed_tuple_change_reaches_live_state(value, change):
+    replayed = decode_value(encode_value(change))
+    assert oplus_value(value, replayed) == oplus_value(value, change)
+
+
+@settings(max_examples=80)
+@given(st.lists(small_ints, min_size=6, max_size=8).map(tuple), list_changes)
+def test_replayed_list_change_reaches_live_state(value, change):
+    replayed = decode_value(encode_value(change))
+    try:
+        live = change.apply_to(value)
+    except IndexError:
+        # An out-of-range script fails identically after the round-trip
+        # -- replay must not turn a rejected edit into an applied one.
+        with pytest.raises(IndexError):
+            replayed.apply_to(value)
+        return
+    assert live == replayed.apply_to(value)
+
+
+# -- canonicity -------------------------------------------------------------
+
+
+def test_bag_encoding_is_insertion_order_independent():
+    forward = Bag.from_iterable([3, 1, 2, 1])
+    backward = Bag.from_iterable([1, 2, 1, 3])
+    assert canonical_json(encode_value(forward)) == canonical_json(
+        encode_value(backward)
+    )
+
+
+def test_map_encoding_is_insertion_order_independent():
+    one = PMap({2: Bag.of(5), 7: Bag.of(1)})
+    other = PMap({7: Bag.of(1), 2: Bag.of(5)})
+    assert canonical_json(encode_value(one)) == canonical_json(
+        encode_value(other)
+    )
+
+
+@settings(max_examples=60)
+@given(base_values)
+def test_encoding_is_deterministic(value):
+    assert canonical_json(encode_value(value)) == canonical_json(
+        encode_value(value)
+    )
+
+
+# -- function rejection -----------------------------------------------------
+
+
+def _an_actual_closure():
+    captured = [1, 2, 3]
+    return lambda x: x + len(captured)
+
+
+@pytest.mark.parametrize(
+    "function_like",
+    [
+        len,
+        _an_actual_closure(),
+        HostFunction(lambda v: v, "test"),
+    ],
+    ids=["builtin", "closure", "host-function"],
+)
+def test_function_values_are_rejected(function_like):
+    with pytest.raises(PluginContractError):
+        encode_value(function_like)
+
+
+def test_function_inside_structure_is_rejected():
+    with pytest.raises(PluginContractError):
+        encode_value((1, _an_actual_closure()))
+    with pytest.raises(PluginContractError):
+        encode_value(Replace(_an_actual_closure()))
+
+
+def test_function_change_is_rejected():
+    # Runtime function changes are two-argument callables (Sec. 2).
+    with pytest.raises(PluginContractError):
+        encode_value(lambda a, da: da)
+
+
+# -- malformation -----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not a dict",
+        {"t": "no-such-tag"},
+        {"t": "int", "v": "seven"},
+        {"t": "int", "v": True},
+        {"t": "str", "v": 3},
+        {"t": "bag", "v": [[{"t": "int", "v": 1}, "two"]]},
+        {"t": "gchange", "group": {"t": "group", "name": "Nope", "args": []}, "delta": {"t": "int", "v": 1}},
+        {"t": "group", "name": "MapGroup", "args": []},
+        {"t": "listchange", "edits": [{"e": "squash", "i": 0}]},
+        {"t": "tuple"},
+    ],
+)
+def test_malformed_payloads_raise_codec_error(payload):
+    with pytest.raises(CodecError):
+        decode_value(payload)
+
+
+def test_unknown_change_type_raises_codec_error():
+    class Opaque:
+        pass
+
+    with pytest.raises(CodecError):
+        encode_value(Opaque())
+
+
+def test_non_finite_floats_are_rejected():
+    with pytest.raises(CodecError):
+        encode_value(float("nan"))
+    with pytest.raises(CodecError):
+        encode_value(float("inf"))
+
+
+def test_custom_groups_are_not_persistable():
+    from repro.data.group import AbelianGroup
+
+    bespoke = AbelianGroup(
+        name="Bespoke",
+        zero=0,
+        merge=lambda a, b: a + b,
+        inverse=lambda a: -a,
+    )
+    with pytest.raises(CodecError):
+        encode_value(GroupChange(bespoke, 1))
+
+
+# -- envelope ---------------------------------------------------------------
+
+
+def test_envelope_round_trip():
+    body = {"inputs": [encode_value(Bag.of(1, 2))], "step": 4}
+    assert unwrap(wrap(body)) == json.loads(canonical_json(body))
+
+
+def test_envelope_detects_bit_flip():
+    text = wrap({"step": 9})
+    corrupt = text.replace("9", "8", 1)
+    with pytest.raises(CodecError):
+        unwrap(corrupt)
+
+
+def test_envelope_rejects_other_versions():
+    envelope = json.loads(wrap({"step": 1}))
+    envelope["version"] = CODEC_VERSION + 1
+    with pytest.raises(CodecError):
+        unwrap(json.dumps(envelope))
+
+
+def test_envelope_rejects_missing_fields():
+    with pytest.raises(CodecError):
+        unwrap(json.dumps({"version": CODEC_VERSION, "body": {}}))
+    with pytest.raises(CodecError):
+        unwrap("not json {{{")
+
+
+def test_checksum_is_stable():
+    assert checksum("hello") == checksum("hello")
+    assert checksum("hello") != checksum("hellp")

@@ -1,0 +1,132 @@
+"""The write-ahead journal: framing, torn tails, CRC, fsync policy."""
+
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.persistence.journal import (
+    Journal,
+    journal_path,
+    read_journal,
+)
+
+
+def _fresh(tmp_path, fsync="never"):
+    return Journal.create(str(tmp_path / "journal.jsonl"), fsync=fsync)
+
+
+def test_append_and_read_round_trip(tmp_path):
+    journal = _fresh(tmp_path)
+    payloads = [{"type": "init", "n": 0}, {"type": "step", "n": 1}]
+    extents = [journal.append(payload) for payload in payloads]
+    journal.close()
+    scan = read_journal(journal.path)
+    assert [record.payload for record in scan.records] == payloads
+    assert [(record.start, record.end) for record in scan.records] == extents
+    assert not scan.torn
+    assert scan.valid_offset == os.path.getsize(journal.path)
+
+
+def test_offset_tracks_file_end(tmp_path):
+    journal = _fresh(tmp_path)
+    assert journal.offset == 0
+    _, end = journal.append({"type": "init"})
+    assert journal.offset == end == os.path.getsize(journal.path)
+    journal.close()
+
+
+def test_torn_tail_is_tolerated_and_repaired(tmp_path):
+    journal = _fresh(tmp_path)
+    journal.append({"type": "init"})
+    start, end = journal.append({"type": "step", "step": 0, "data": "x" * 40})
+    journal.close()
+    # Crash mid-write: half the final record is missing.
+    with open(journal.path, "r+b") as handle:
+        handle.truncate(start + (end - start) // 2)
+    scan = read_journal(journal.path)
+    assert len(scan.records) == 1
+    assert scan.torn
+    assert scan.valid_offset == start
+    # Reopening repairs the tail so appends continue from a clean log.
+    reopened, reopened_scan = Journal.open(journal.path)
+    assert reopened_scan.torn
+    assert os.path.getsize(journal.path) == start
+    reopened.append({"type": "step", "step": 0})
+    reopened.close()
+    final = read_journal(journal.path)
+    assert not final.torn
+    assert [record.payload["type"] for record in final.records] == [
+        "init",
+        "step",
+    ]
+
+
+def test_crc_mismatch_stops_the_scan(tmp_path):
+    journal = _fresh(tmp_path)
+    journal.append({"type": "init"})
+    start, _ = journal.append({"type": "step", "step": 0})
+    journal.append({"type": "step", "step": 1})
+    journal.close()
+    with open(journal.path, "r+b") as handle:
+        handle.seek(start + 20)  # inside the middle record's payload
+        byte = handle.read(1)
+        handle.seek(start + 20)
+        handle.write(bytes([byte[0] ^ 0x01]))
+    scan = read_journal(journal.path)
+    # The flip invalidates the middle record AND everything after it:
+    # a reader must never resynchronize past corruption.
+    assert [record.payload["type"] for record in scan.records] == ["init"]
+    assert scan.torn
+    assert scan.valid_offset == start
+
+
+def test_garbage_header_stops_the_scan(tmp_path):
+    journal = _fresh(tmp_path)
+    journal.append({"type": "init"})
+    journal.close()
+    with open(journal.path, "ab") as handle:
+        handle.write(b"zzzz not a header\n")
+    scan = read_journal(journal.path)
+    assert len(scan.records) == 1
+    assert scan.torn
+
+
+def test_empty_and_missing_journals(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    with pytest.raises(JournalError):
+        read_journal(path)
+    open(path, "wb").close()
+    scan = read_journal(path)
+    assert scan.records == [] and not scan.torn
+
+
+def test_create_discards_existing_content(tmp_path):
+    journal = _fresh(tmp_path)
+    journal.append({"type": "init"})
+    journal.close()
+    fresh = Journal.create(journal.path)
+    fresh.append({"type": "init", "generation": 2})
+    fresh.close()
+    scan = read_journal(journal.path)
+    assert len(scan.records) == 1
+    assert scan.records[0].payload["generation"] == 2
+
+
+def test_fsync_policy_validation(tmp_path):
+    with pytest.raises(ValueError):
+        Journal.create(str(tmp_path / "journal.jsonl"), fsync="sometimes")
+
+
+def test_fsync_always_appends_are_complete_records(tmp_path):
+    journal = _fresh(tmp_path, fsync="always")
+    journal.append({"type": "init"})
+    journal.append({"type": "step", "step": 0})
+    # Without closing: another process must already see whole records.
+    scan = read_journal(journal.path)
+    assert len(scan.records) == 2 and not scan.torn
+    journal.close()
+
+
+def test_journal_path_helper(tmp_path):
+    assert journal_path(str(tmp_path)) == str(tmp_path / "journal.jsonl")

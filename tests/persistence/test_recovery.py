@@ -1,0 +1,325 @@
+"""Crash recovery: the acceptance matrix.
+
+For every MapReduce workload the driver knows, a journaled run must be
+reproducible from its durable state alone -- newest snapshot plus
+journal-suffix replay equals the live engine's output exactly -- and
+recovery must survive every injected storage fault, falling back to an
+older restore point when the newest is damaged.  Corruption is always
+*detected* (truncated bytes, a failed ladder rung, or a loud
+``RecoveryError``), never silently absorbed.
+"""
+
+import hashlib
+import os
+import shutil
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.errors import InvalidChangeError, PluginContractError, RecoveryError
+from repro.incremental.driver import run_trace
+from repro.incremental.engine import IncrementalProgram
+from repro.incremental.faults import STORAGE_FAULT_KINDS, inject_storage_fault
+from repro.incremental.resilient import ResilientProgram
+from repro.lang.parser import parse
+from repro.mapreduce.skeleton import (
+    grand_total_term,
+    histogram_term,
+    word_count_term,
+)
+from repro.observability import observing
+from repro.observability.export import metrics_records
+from repro.persistence import (
+    DurabilityPolicy,
+    DurableProgram,
+    Journal,
+    read_journal,
+    recover,
+)
+from repro.persistence.codec import encode_value
+from repro.persistence.journal import journal_path
+from repro.persistence.snapshot import manifest_path
+
+GRAND_TOTAL = r"\xs ys -> foldBag gplus id (merge xs ys)"
+
+WORKLOADS = {
+    "grand_total": grand_total_term,
+    "histogram": histogram_term,
+    "wordcount": word_count_term,
+}
+
+SIZE = 30
+SEED = 13
+
+
+def _journaled_run(term, registry, directory, steps=6, caching=False, **kwargs):
+    kwargs.setdefault("snapshot_every", 2)
+    kwargs.setdefault("fsync", "never")
+    return run_trace(
+        term,
+        registry,
+        steps=steps,
+        size=SIZE,
+        seed=SEED,
+        caching=caching,
+        journal_dir=str(directory),
+        **kwargs,
+    )
+
+
+def _live_output(term, registry, steps, caching=False):
+    """The output a fresh seeded run reaches after ``steps`` steps (the
+    change stream is a deterministic function of the seed, so a shorter
+    run is a prefix of a longer one)."""
+    return run_trace(
+        term, registry, steps=steps, size=SIZE, seed=SEED, caching=caching
+    ).output
+
+
+# -- the core acceptance property -------------------------------------------
+
+
+@pytest.mark.parametrize("caching", [False, True], ids=["plain", "caching"])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_recovery_reproduces_live_output(name, caching, registry, tmp_path):
+    term = WORKLOADS[name](registry)
+    live = _journaled_run(term, registry, tmp_path, caching=caching)
+    result = recover(str(tmp_path), registry=registry)
+    try:
+        assert result.program.output == live.output
+        assert result.report.steps == 6
+        assert result.report.verified is True
+        assert all(attempt["ok"] for attempt in result.report.attempts)
+    finally:
+        result.program.close()
+
+
+@pytest.mark.parametrize("kind", STORAGE_FAULT_KINDS)
+def test_recovery_survives_each_storage_fault(kind, registry, tmp_path):
+    term = parse(GRAND_TOTAL, registry)
+    _journaled_run(term, registry, tmp_path)
+    description = inject_storage_fault(str(tmp_path), kind)
+    assert description
+    result = recover(str(tmp_path), registry=registry)
+    try:
+        report = result.report
+        # Detected: the fault left a visible trace -- torn bytes or a
+        # rejected ladder rung -- never a silent absorption.
+        assert report.torn_bytes > 0 or any(
+            not attempt["ok"] for attempt in report.attempts
+        )
+        # Recovered: some committed prefix of the run was restored, and
+        # it matches what the live engine computed at that step exactly.
+        assert report.verified is True
+        assert 0 <= report.steps <= 6
+        assert result.program.output == _live_output(
+            term, registry, report.steps
+        )
+    finally:
+        result.program.close()
+
+
+def test_missing_snapshot_falls_back_to_older_snapshot(registry, tmp_path):
+    term = parse(GRAND_TOTAL, registry)
+    live = _journaled_run(term, registry, tmp_path)
+    inject_storage_fault(str(tmp_path), "missing-snapshot")
+    result = recover(str(tmp_path), registry=registry)
+    try:
+        report = result.report
+        assert report.attempts[0]["ok"] is False
+        assert report.snapshot_used is not None  # an *older* snapshot
+        assert report.replayed_steps > 0  # suffix came from the journal
+        assert report.steps == 6
+        assert result.program.output == live.output
+    finally:
+        result.program.close()
+
+
+def test_recovered_program_continues_journaling(registry, tmp_path):
+    term = parse(GRAND_TOTAL, registry)
+    _journaled_run(term, registry, tmp_path)
+    before = os.path.getsize(journal_path(str(tmp_path)))
+    result = recover(str(tmp_path), registry=registry)
+    result.program.step(
+        GroupChange(BAG_GROUP, Bag.of(5)), GroupChange(BAG_GROUP, Bag.empty())
+    )
+    result.program.close()
+    assert result.program.steps == 7
+    assert os.path.getsize(journal_path(str(tmp_path))) > before
+    # The continued journal recovers too, to the continued state.
+    resumed = recover(str(tmp_path), registry=registry)
+    try:
+        assert resumed.report.steps == 7
+        assert resumed.program.output == result.program.output
+    finally:
+        resumed.program.close()
+
+
+# -- write-ahead semantics ---------------------------------------------------
+
+
+def _durable_grand_total(registry, directory, resilient=True):
+    engine = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+    program = ResilientProgram(engine) if resilient else engine
+    durable = DurableProgram(
+        program, str(directory), DurabilityPolicy(journal_fsync="never")
+    )
+    durable.initialize(Bag.of(1, 2, 3), Bag.of(4))
+    return durable
+
+
+def test_aborted_steps_are_marked_and_skipped_on_replay(registry, tmp_path):
+    durable = _durable_grand_total(registry, tmp_path)
+    durable.step(GroupChange(BAG_GROUP, Bag.of(7)), GroupChange(BAG_GROUP, Bag.empty()))
+    with pytest.raises(InvalidChangeError):
+        # Encodable but ill-typed: journaled, then rejected by validation
+        # -- the journal must carry an abort marker for it.
+        durable.step(
+            GroupChange(INT_ADD_GROUP, 1), GroupChange(BAG_GROUP, Bag.empty())
+        )
+    durable.step(GroupChange(BAG_GROUP, Bag.of(9)), GroupChange(BAG_GROUP, Bag.empty()))
+    live_output = durable.output
+    durable.close()
+    kinds = [
+        record.payload["type"]
+        for record in read_journal(journal_path(str(tmp_path))).records
+    ]
+    assert kinds == ["init", "step", "step", "abort", "step"]
+    result = recover(str(tmp_path), registry=registry)
+    try:
+        assert result.report.skipped_aborts == 1
+        assert result.report.steps == 2
+        assert result.program.output == live_output
+    finally:
+        result.program.close()
+
+
+def test_unencodable_change_fails_before_any_state_changes(registry, tmp_path):
+    durable = _durable_grand_total(registry, tmp_path)
+    offset_before = durable.journal.offset
+    with pytest.raises(PluginContractError):
+        durable.step(lambda a, da: da, GroupChange(BAG_GROUP, Bag.empty()))
+    assert durable.journal.offset == offset_before  # nothing journaled
+    assert durable.steps == 0  # nothing stepped
+    durable.close()
+
+
+def test_uncommitted_wal_tail_is_dropped_and_truncated(registry, tmp_path):
+    durable = _durable_grand_total(registry, tmp_path)
+    durable.step(GroupChange(BAG_GROUP, Bag.of(7)), GroupChange(BAG_GROUP, Bag.empty()))
+    live_output = durable.output
+    durable.close()
+    # Crash between the write-ahead append and the engine commit: the
+    # journal's final record describes a step that never happened (an
+    # ill-typed change the engine would have rejected -- but the crash
+    # beat the abort marker to the disk).
+    journal, _ = Journal.open(journal_path(str(tmp_path)), fsync="never")
+    journal.append(
+        {
+            "type": "step",
+            "step": 1,
+            "changes": [
+                encode_value(GroupChange(INT_ADD_GROUP, 1)),
+                encode_value(GroupChange(BAG_GROUP, Bag.empty())),
+            ],
+        }
+    )
+    journal.close()
+    size_with_tail = os.path.getsize(journal_path(str(tmp_path)))
+    result = recover(str(tmp_path), registry=registry)
+    try:
+        assert result.report.dropped_tail_step is True
+        assert result.report.steps == 1
+        assert result.program.output == live_output
+    finally:
+        result.program.close()
+    assert os.path.getsize(journal_path(str(tmp_path))) < size_with_tail
+
+
+# -- corruption is loud ------------------------------------------------------
+
+
+def test_missing_directory_raises(registry, tmp_path):
+    with pytest.raises(RecoveryError):
+        recover(str(tmp_path / "nowhere"), registry=registry)
+
+
+def test_corrupt_init_record_raises(registry, tmp_path):
+    term = parse(GRAND_TOTAL, registry)
+    _journaled_run(term, registry, tmp_path)
+    path = journal_path(str(tmp_path))
+    with open(path, "r+b") as handle:
+        handle.seek(25)  # inside the init record's payload
+        byte = handle.read(1)
+        handle.seek(25)
+        handle.write(bytes([byte[0] ^ 0x01]))
+    with pytest.raises(RecoveryError, match="init record"):
+        recover(str(tmp_path), registry=registry)
+
+
+def test_exhausted_ladder_raises_with_attempts(registry, tmp_path):
+    term = parse(GRAND_TOTAL, registry)
+    _journaled_run(term, registry, tmp_path, steps=3)
+    path = journal_path(str(tmp_path))
+    records = read_journal(path).records
+    # Rebuild the journal with a *non-final* step record that cannot be
+    # decoded (a valid frame around a bogus change), then remove every
+    # snapshot: all rungs -- manifest and init -- must fail, loudly.
+    rebuilt = Journal.create(path, fsync="never")
+    rebuilt.append(records[0].payload)
+    rebuilt.append({"type": "step", "step": 0, "changes": [{"t": "bogus"}, {"t": "bogus"}]})
+    rebuilt.append(records[2].payload)
+    rebuilt.close()
+    os.unlink(manifest_path(str(tmp_path)))
+    for name in os.listdir(str(tmp_path)):
+        if name.startswith("snapshot-"):
+            os.unlink(os.path.join(str(tmp_path), name))
+    with pytest.raises(RecoveryError, match="exhausted"):
+        recover(str(tmp_path), registry=registry)
+
+
+# -- determinism (seeded journals are comparable byte-for-byte) --------------
+
+
+def test_seeded_runs_produce_byte_identical_journals(registry, tmp_path):
+    term = parse(GRAND_TOTAL, registry)
+    digests = []
+    for name in ("one", "two"):
+        directory = tmp_path / name
+        _journaled_run(term, registry, directory)
+        with open(journal_path(str(directory)), "rb") as handle:
+            digests.append(hashlib.sha256(handle.read()).hexdigest())
+    assert digests[0] == digests[1]
+
+
+def test_different_seeds_produce_different_journals(registry, tmp_path):
+    term = parse(GRAND_TOTAL, registry)
+    run_trace(
+        term, registry, steps=4, size=SIZE, seed=1,
+        journal_dir=str(tmp_path / "a"), fsync="never",
+    )
+    run_trace(
+        term, registry, steps=4, size=SIZE, seed=2,
+        journal_dir=str(tmp_path / "b"), fsync="never",
+    )
+    with open(journal_path(str(tmp_path / "a")), "rb") as one:
+        with open(journal_path(str(tmp_path / "b")), "rb") as two:
+            assert one.read() != two.read()
+
+
+# -- telemetry ---------------------------------------------------------------
+
+
+def test_journal_and_recovery_metrics_are_emitted(registry, tmp_path):
+    term = parse(GRAND_TOTAL, registry)
+    with observing(reset=True) as hub:
+        _journaled_run(term, registry, tmp_path)
+        result = recover(str(tmp_path), registry=registry)
+        result.program.close()
+        names = {record["name"] for record in metrics_records(hub.metrics)}
+    assert "persistence.journal.appends" in names
+    assert "persistence.journal.steps_journaled" in names
+    assert "persistence.snapshot.writes" in names
+    assert "persistence.recovery.attempts" in names

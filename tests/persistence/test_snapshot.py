@@ -1,0 +1,151 @@
+"""Snapshots: atomic writes, manifest consistency, validation, pruning."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.persistence.codec import encode_value
+from repro.persistence.snapshot import (
+    SnapshotEntry,
+    load_manifest,
+    load_snapshot,
+    manifest_path,
+    write_snapshot,
+)
+
+
+def _state(step):
+    return {
+        "inputs": [encode_value(step)],
+        "output": encode_value(step * 10),
+    }
+
+
+def test_write_and_load_round_trip(tmp_path):
+    directory = str(tmp_path)
+    entry = write_snapshot(directory, _state(3), step=3, journal_offset=120)
+    assert entry.file == "snapshot-00000003.json"
+    body = load_snapshot(directory, entry)
+    assert body["step"] == 3
+    assert body["journal_offset"] == 120
+    assert body["inputs"] == [encode_value(3)]
+    manifest = load_manifest(directory)
+    assert manifest == [entry]
+
+
+def test_manifest_sorted_and_appended(tmp_path):
+    directory = str(tmp_path)
+    write_snapshot(directory, _state(4), step=4, journal_offset=200)
+    write_snapshot(directory, _state(2), step=2, journal_offset=100)
+    assert [entry.step for entry in load_manifest(directory)] == [2, 4]
+
+
+def test_missing_manifest_is_empty(tmp_path):
+    assert load_manifest(str(tmp_path)) == []
+
+
+def test_unreadable_manifest_raises(tmp_path):
+    directory = str(tmp_path)
+    with open(manifest_path(directory), "w") as handle:
+        handle.write("{broken json")
+    with pytest.raises(SnapshotError):
+        load_manifest(directory)
+
+
+def test_no_tmp_files_survive(tmp_path):
+    directory = str(tmp_path)
+    write_snapshot(directory, _state(1), step=1, journal_offset=50)
+    assert not [name for name in os.listdir(directory) if name.endswith(".tmp")]
+
+
+def test_pruning_keeps_newest_and_at_least_two(tmp_path):
+    directory = str(tmp_path)
+    for step in range(5):
+        write_snapshot(
+            directory, _state(step), step=step, journal_offset=step * 10, keep=1
+        )
+    entries = load_manifest(directory)
+    # keep below 2 is promoted to 2: the ladder needs a fallback rung.
+    assert [entry.step for entry in entries] == [3, 4]
+    on_disk = sorted(
+        name for name in os.listdir(directory) if name.startswith("snapshot-")
+    )
+    assert on_disk == ["snapshot-00000003.json", "snapshot-00000004.json"]
+
+
+def test_missing_file_raises(tmp_path):
+    directory = str(tmp_path)
+    entry = write_snapshot(directory, _state(1), step=1, journal_offset=10)
+    os.unlink(os.path.join(directory, entry.file))
+    with pytest.raises(SnapshotError):
+        load_snapshot(directory, entry)
+
+
+def test_bit_flip_in_snapshot_is_detected(tmp_path):
+    directory = str(tmp_path)
+    entry = write_snapshot(directory, _state(1), step=1, journal_offset=10)
+    path = os.path.join(directory, entry.file)
+    with open(path, "r+b") as handle:
+        handle.seek(40)
+        byte = handle.read(1)
+        handle.seek(40)
+        handle.write(bytes([byte[0] ^ 0x01]))
+    with pytest.raises(SnapshotError):
+        load_snapshot(directory, entry)
+
+
+def test_manifest_checksum_mismatch_is_detected(tmp_path):
+    directory = str(tmp_path)
+    entry = write_snapshot(directory, _state(1), step=1, journal_offset=10)
+    lying = SnapshotEntry(
+        file=entry.file,
+        step=entry.step,
+        journal_offset=entry.journal_offset,
+        crc="00000000",
+    )
+    with pytest.raises(SnapshotError):
+        load_snapshot(directory, lying)
+
+
+def test_stale_manifest_offset_is_detected(tmp_path):
+    directory = str(tmp_path)
+    entry = write_snapshot(directory, _state(1), step=1, journal_offset=500)
+    stale = SnapshotEntry(
+        file=entry.file, step=entry.step, journal_offset=100, crc=entry.crc
+    )
+    # The body carries its own offset under the CRC, so a manifest that
+    # lies about the replay position is caught before replay starts.
+    with pytest.raises(SnapshotError, match="stale manifest"):
+        load_snapshot(directory, stale)
+
+
+def test_manifest_step_disagreement_is_detected(tmp_path):
+    directory = str(tmp_path)
+    entry = write_snapshot(directory, _state(1), step=1, journal_offset=10)
+    wrong_step = SnapshotEntry(
+        file=entry.file, step=9, journal_offset=entry.journal_offset, crc=entry.crc
+    )
+    with pytest.raises(SnapshotError):
+        load_snapshot(directory, wrong_step)
+
+
+def test_rewriting_a_snapshot_replaces_its_manifest_row(tmp_path):
+    directory = str(tmp_path)
+    write_snapshot(directory, _state(1), step=1, journal_offset=10)
+    entry = write_snapshot(directory, _state(1), step=1, journal_offset=30)
+    manifest = load_manifest(directory)
+    assert len(manifest) == 1
+    assert manifest[0].journal_offset == 30
+    assert load_snapshot(directory, entry)["journal_offset"] == 30
+
+
+def test_manifest_is_plain_json(tmp_path):
+    directory = str(tmp_path)
+    write_snapshot(directory, _state(1), step=1, journal_offset=10)
+    with open(manifest_path(directory), "r") as handle:
+        data = json.load(handle)
+    assert {"file", "step", "journal_offset", "crc"} <= set(
+        data["snapshots"][0]
+    )
