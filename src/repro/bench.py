@@ -1,0 +1,283 @@
+"""``repro bench`` -- the Fig. 7 sweep across execution backends.
+
+Runs the paper's two headline workloads (the Sec. 1 ``grand_total`` and
+the Sec. 4.5 wordcount ``histogram``) over a size sweep, under each
+execution mode:
+
+* ``interpreted``        -- the environment-passing AST interpreter;
+* ``compiled``           -- the staged closure compiler (the default
+  engine backend);
+* ``compiled+coalesce``  -- the compiled backend fed bursty change
+  streams through :meth:`step_batch`, which composes each burst into a
+  single change before invoking the derivative.
+
+For every (workload, size, mode) cell it reports per-reaction latency
+(mean and p99 over a warm change stream), from-scratch recomputation
+time, and the incremental-vs-recompute speedup.  The JSON report
+(``BENCH_fig7.json`` by default) is the artifact the docs and the CI
+``bench-smoke`` gate read; see ``docs/performance.md`` for the schema.
+
+Usage::
+
+    python -m repro bench --quick --output BENCH_fig7.json
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.incremental.engine import IncrementalProgram
+from repro.mapreduce.skeleton import grand_total_term, histogram_term
+from repro.mapreduce.workloads import add_word_change, make_corpus
+from repro.plugins.registry import Registry, standard_registry
+
+#: Size sweeps (number of elements / word occurrences).  ``--quick``
+#: keeps the endpoints only, which is enough for the smoke gate's
+#: backend-ratio check while staying in CI's time budget.
+FULL_SIZES = (1_000, 4_000, 16_000, 64_000)
+QUICK_SIZES = (1_000, 16_000)
+
+MODES = ("interpreted", "compiled", "compiled+coalesce")
+
+#: Changes per burst in the coalesced mode.  Each burst is one
+#: ``step_batch`` call; the per-reaction latency it reports is the burst
+#: wall time divided by the burst size, directly comparable to the
+#: per-change modes.
+BURST = 8
+
+
+def _histogram_workload(
+    registry: Registry, size: int
+) -> Tuple[Any, Tuple[Any, ...], List[Tuple[Any, ...]]]:
+    corpus = make_corpus(size, vocabulary_size=1_000, seed=42)
+    stream = [
+        (add_word_change(step % 10, 7 + step % 13),) for step in range(64)
+    ]
+    return histogram_term(registry), (corpus.documents,), stream
+
+
+def _grand_total_workload(
+    registry: Registry, size: int
+) -> Tuple[Any, Tuple[Any, ...], List[Tuple[Any, ...]]]:
+    xs = Bag.from_iterable(range(size))
+    ys = Bag.from_iterable(range(size, 2 * size))
+    stream = [
+        (
+            GroupChange(BAG_GROUP, Bag.of(step % 7)),
+            GroupChange(BAG_GROUP, Bag.of(size + step % 5).negate()),
+        )
+        for step in range(64)
+    ]
+    return grand_total_term(registry), (xs, ys), stream
+
+
+WORKLOADS: Dict[
+    str, Callable[[Registry, int], Tuple[Any, Tuple[Any, ...], List[Tuple[Any, ...]]]]
+] = {
+    "histogram": _histogram_workload,
+    "grand_total": _grand_total_workload,
+}
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _measure_cell(
+    registry: Registry, workload: str, size: int, mode: str
+) -> Dict[str, Any]:
+    term, inputs, stream = WORKLOADS[workload](registry, size)
+    backend = "interpreted" if mode == "interpreted" else "compiled"
+    program = IncrementalProgram(term, registry, backend=backend)
+    program.initialize(*inputs)
+
+    # Warm-up: a few reactions so allocator/caches settle before timing.
+    for row in stream[:4]:
+        program.step(*row)
+
+    samples: List[float] = []
+    if mode == "compiled+coalesce":
+        for start in range(0, len(stream), BURST):
+            burst = stream[start : start + BURST]
+            began = time.perf_counter()
+            program.step_batch(burst, coalesce=True)
+            elapsed = time.perf_counter() - began
+            samples.extend([elapsed / len(burst)] * len(burst))
+    else:
+        for row in stream:
+            began = time.perf_counter()
+            program.step(*row)
+            samples.append(time.perf_counter() - began)
+
+    recompute = min(
+        (lambda t0: (program.recompute(), time.perf_counter() - t0)[1])(
+            time.perf_counter()
+        )
+        for _ in range(3)
+    )
+    mean = statistics.fmean(samples)
+    return {
+        "workload": workload,
+        "n": size,
+        "backend": mode,
+        "steps": len(samples),
+        "step_mean_s": mean,
+        "step_p99_s": _percentile(samples, 0.99),
+        "recompute_s": recompute,
+        "speedup_vs_recompute": recompute / mean if mean else None,
+        "coalesced_changes": getattr(program, "coalesced_changes", 0),
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    workloads: Sequence[str] = tuple(WORKLOADS),
+    registry: Registry | None = None,
+) -> Dict[str, Any]:
+    """Run the sweep and return the report dict (also what gets written
+    as ``BENCH_fig7.json``)."""
+    registry = registry if registry is not None else standard_registry()
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    rows = [
+        _measure_cell(registry, workload, size, mode)
+        for workload in workloads
+        for size in sizes
+        for mode in MODES
+    ]
+    return {
+        "figure": "fig7",
+        "sizes": list(sizes),
+        "modes": list(MODES),
+        "burst": BURST,
+        "rows": rows,
+        "summary": summarize(rows),
+    }
+
+
+def summarize(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The three headline ratios the acceptance gate cares about, taken
+    at the largest benchmarked size of each workload."""
+    def cell(workload: str, mode: str) -> Dict[str, Any]:
+        matching = [
+            row
+            for row in rows
+            if row["workload"] == workload and row["backend"] == mode
+        ]
+        return max(matching, key=lambda row: row["n"])
+
+    summary: Dict[str, Any] = {}
+    for workload in sorted({row["workload"] for row in rows}):
+        interpreted = cell(workload, "interpreted")
+        compiled = cell(workload, "compiled")
+        coalesced = cell(workload, "compiled+coalesce")
+        summary[workload] = {
+            "n": compiled["n"],
+            "compiled_speedup_vs_interpreted": (
+                interpreted["step_mean_s"] / compiled["step_mean_s"]
+            ),
+            "coalesce_speedup_vs_per_change": (
+                compiled["step_mean_s"] / coalesced["step_mean_s"]
+            ),
+            "incremental_speedup_vs_recompute": (
+                compiled["speedup_vs_recompute"]
+            ),
+        }
+    return summary
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point (also reachable as ``repro bench``)."""
+    import argparse
+    import sys
+
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Fig. 7 sweep across execution backends",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="endpoint sizes only (the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=sorted(WORKLOADS),
+        default=None,
+        help="restrict to one workload (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_fig7.json",
+        metavar="PATH",
+        help="where to write the JSON report (default BENCH_fig7.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "fail (exit 1) unless compiled is at least RATIO times faster "
+            "than interpreted per step on the histogram workload"
+        ),
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(
+        quick=args.quick,
+        workloads=tuple(args.workload) if args.workload else tuple(WORKLOADS),
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"{'workload':>12} {'n':>7} {'backend':>18} "
+          f"{'step mean':>11} {'p99':>9} {'recompute':>10} {'speedup':>8}",
+          file=out)
+    for row in report["rows"]:
+        print(
+            f"{row['workload']:>12} {row['n']:>7} {row['backend']:>18} "
+            f"{row['step_mean_s'] * 1e6:>9.1f}us "
+            f"{row['step_p99_s'] * 1e6:>7.1f}us "
+            f"{row['recompute_s'] * 1e3:>8.2f}ms "
+            f"{row['speedup_vs_recompute']:>7.0f}x",
+            file=out,
+        )
+    for workload, stats in report["summary"].items():
+        print(
+            f"{workload}: compiled {stats['compiled_speedup_vs_interpreted']:.2f}x "
+            f"vs interpreted, coalesce {stats['coalesce_speedup_vs_per_change']:.2f}x "
+            f"vs per-change, incremental {stats['incremental_speedup_vs_recompute']:.0f}x "
+            f"vs recompute (n={stats['n']})",
+            file=out,
+        )
+    print(f"report: {args.output}", file=out)
+
+    if args.min_speedup is not None:
+        achieved = report["summary"].get("histogram", {}).get(
+            "compiled_speedup_vs_interpreted"
+        )
+        if achieved is None or achieved < args.min_speedup:
+            print(
+                f"error: compiled/interpreted speedup "
+                f"{achieved if achieved is not None else 'n/a'} "
+                f"< required {args.min_speedup}",
+                file=out,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -275,6 +275,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     trace_parser.add_argument(
+        "--backend",
+        choices=("compiled", "interpreted"),
+        default="compiled",
+        help=(
+            "term execution backend: 'compiled' stages the program into "
+            "Python closures once, 'interpreted' walks the AST each step "
+            "(default compiled)"
+        ),
+    )
+    trace_parser.add_argument(
         "--step-delay",
         type=float,
         default=0.0,
@@ -282,6 +292,39 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "sleep this long after each step (crash-test aid: widens the "
             "window for killing the process mid-run)"
+        ),
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the Fig. 7 backend sweep and write a JSON report",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="endpoint sizes only (the CI smoke configuration)",
+    )
+    bench_parser.add_argument(
+        "--workload",
+        action="append",
+        choices=("grand_total", "histogram"),
+        default=None,
+        help="restrict to one workload (repeatable; default: all)",
+    )
+    bench_parser.add_argument(
+        "--output",
+        default="BENCH_fig7.json",
+        metavar="PATH",
+        help="where to write the JSON report (default BENCH_fig7.json)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "fail unless compiled beats interpreted per step by at least "
+            "RATIO on the histogram workload"
         ),
     )
 
@@ -514,6 +557,7 @@ def _command_trace(args: argparse.Namespace, out) -> int:
         snapshot_every=args.snapshot_every,
         fsync=args.fsync,
         step_delay=args.step_delay,
+        backend=args.backend,
     )
     if args.json:
         emit_json_lines(out, result.records)
@@ -610,6 +654,20 @@ def _command_recover(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace, out) -> int:
+    from repro.bench import main as bench_main
+
+    argv: List[str] = []
+    if args.quick:
+        argv.append("--quick")
+    for workload in args.workload or ():
+        argv.extend(["--workload", workload])
+    argv.extend(["--output", args.output])
+    if args.min_speedup is not None:
+        argv.extend(["--min-speedup", str(args.min_speedup)])
+    return bench_main(argv, out)
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
@@ -625,6 +683,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _command_trace(args, out)
         if args.command == "recover":
             return _command_recover(args, out)
+        if args.command == "bench":
+            return _command_bench(args, out)
         if args.command == "lint":
             return _command_lint(args, out)
     except (ParseError, InferenceError, TypeCheckError) as error:

@@ -1,0 +1,17 @@
+"""Staged closure-compiler backend for the incremental hot path."""
+
+from repro.compile.compiler import (
+    CompileError,
+    CompiledClosure,
+    StagedProgram,
+    compile_term,
+    compile_value,
+)
+
+__all__ = [
+    "CompileError",
+    "CompiledClosure",
+    "StagedProgram",
+    "compile_term",
+    "compile_value",
+]

@@ -1,0 +1,482 @@
+"""Staged compilation of object-language terms to Python closures.
+
+The tree-walking :class:`~repro.semantics.eval.Evaluator` re-dispatches
+on the AST for every node, every time a term is evaluated -- fine for a
+reference semantics, wasteful for the incremental hot path where the
+*same* derivative term runs once per change step (the paper's Scala EDSL
+sidesteps this because host-language compilation stages the object
+program for free).  This module performs that staging explicitly, in two
+phases:
+
+1. **compile** (:func:`compile_term`): one pass over the term translates
+   each node into a *builder*.  Variables are resolved to absolute slots
+   in a tuple-shaped runtime environment (innermost binder wins, i.e.
+   de-Bruijn-style shadowing), so the compiled code never touches names,
+   dict-based :class:`~repro.semantics.env.Env` frames, or the AST.
+2. **instantiate** (:meth:`StagedProgram.instantiate`): binds an
+   :class:`~repro.semantics.thunk.EvalStats` sink and materializes the
+   tree of plain ``env -> value`` Python closures.
+
+Semantics are *identical* to the interpreter -- same call-by-need
+thunking in the same places (so the §4.3 self-maintainability argument
+survives compilation), same error behaviour, and bit-for-bit identical
+``EvalStats`` accounting, which `tests/compile/test_agreement.py`
+enforces differentially.  Two deliberate consequences:
+
+* Applications force the function *before* creating the argument thunk,
+  exactly like ``Evaluator.eval``, so thunk-creation counts line up even
+  on error paths.
+* ``Const`` nodes re-check their spec's cached runtime template on every
+  evaluation (one attribute load + identity check on the fast path).
+  This keeps :mod:`repro.incremental.faults` working unchanged: fault
+  injection swaps ``ConstantSpec.impl`` and nulls ``_runtime_template``
+  in place, and compiled code picks the sabotaged primitive up on its
+  next call just as the interpreter does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
+from repro.semantics.thunk import EvalStats, Thunk, force
+from repro.semantics.values import FunctionValue, Primitive
+
+__all__ = [
+    "CompileError",
+    "CompiledClosure",
+    "StagedProgram",
+    "compile_term",
+    "compile_value",
+]
+
+# A runtime environment is a plain tuple of values/thunks; slot i holds
+# the value of the i-th enclosing binder (outermost first).
+Code = Callable[[Tuple[Any, ...]], Any]
+Builder = Callable[[Optional[EvalStats]], Code]
+
+
+class CompileError(ReproError, ValueError):
+    """A term cannot be staged (unknown node kind)."""
+
+
+class CompiledClosure(FunctionValue):
+    """The compiled analogue of :class:`~repro.semantics.values.Closure`:
+    a staged body plus the captured environment tuple."""
+
+    __slots__ = ("code", "env")
+
+    def __init__(self, code: Code, env: Tuple[Any, ...]):
+        self.code = code
+        self.env = env
+
+    def apply(self, argument: Any) -> Any:
+        return self.code(self.env + (argument,))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<compiled closure/{len(self.env)}>"
+
+
+def _eval_error(fn: Any) -> Exception:
+    # Deferred import: semantics.eval imports values/thunk only, but
+    # keep the compiler importable without pulling the evaluator at
+    # module import time.
+    from repro.semantics.eval import EvaluationError
+
+    return EvaluationError(f"cannot apply non-function value: {fn!r}")
+
+
+def _compile(term: Term, scope: Tuple[str, ...], strict: bool) -> Builder:
+    if isinstance(term, Var):
+        name = term.name
+        for index in range(len(scope) - 1, -1, -1):
+            if scope[index] == name:
+                def build_var(stats: Optional[EvalStats], _i: int = index) -> Code:
+                    def run(env: Tuple[Any, ...]) -> Any:
+                        return env[_i]
+
+                    return run
+
+                return build_var
+
+        # Unbound: defer the failure to run time, like Env.lookup does.
+        def build_unbound(stats: Optional[EvalStats], _n: str = name) -> Code:
+            def run(env: Tuple[Any, ...]) -> Any:
+                raise NameError(f"unbound variable at runtime: {_n}")
+
+            return run
+
+        return build_unbound
+
+    if isinstance(term, Lit):
+        value = term.value
+
+        def build_lit(stats: Optional[EvalStats]) -> Code:
+            def run(env: Tuple[Any, ...]) -> Any:
+                return value
+
+            return run
+
+        return build_lit
+
+    if isinstance(term, Const):
+        spec = term.spec
+        if spec.arity == 0:
+            # Ground constants are immutable values; bind them now.
+            def build_ground(stats: Optional[EvalStats]) -> Code:
+                value = spec.runtime_value(stats)
+
+                def run(env: Tuple[Any, ...]) -> Any:
+                    return value
+
+                return run
+
+            return build_ground
+
+        def build_const(stats: Optional[EvalStats]) -> Code:
+            # cell = [template the bound primitive was derived from,
+            #         stats-bound primitive].  Re-validated per call so
+            # in-place fault injection (which nulls _runtime_template)
+            # reaches compiled code exactly like interpreted code.
+            cell: list = [None, None]
+
+            def run(env: Tuple[Any, ...]) -> Any:
+                template = spec._runtime_template
+                if template is None or template is not cell[0]:
+                    cell[1] = spec.runtime_value(stats)
+                    cell[0] = spec._runtime_template
+                return cell[1]
+
+            return run
+
+        return build_const
+
+    if isinstance(term, Lam):
+        body_build = _compile(term.body, scope + (term.param,), strict)
+
+        def build_lam(stats: Optional[EvalStats]) -> Code:
+            body = body_build(stats)
+
+            def run(env: Tuple[Any, ...]) -> Any:
+                return CompiledClosure(body, env)
+
+            return run
+
+        return build_lam
+
+    if isinstance(term, App):
+        spine_head, spine_args = _unroll_spine(term)
+        if isinstance(spine_head, Const) and spine_head.spec.arity > 0:
+            return _compile_spine(spine_head.spec, spine_args, scope, strict)
+
+        fn_build = _compile(term.fn, scope, strict)
+        arg_build = _compile(term.arg, scope, strict)
+
+        if strict:
+
+            def build_app_strict(stats: Optional[EvalStats]) -> Code:
+                fn_code = fn_build(stats)
+                arg_code = arg_build(stats)
+
+                def run(env: Tuple[Any, ...]) -> Any:
+                    fn = fn_code(env)
+                    while isinstance(fn, Thunk):
+                        fn = fn.force()
+                    argument = arg_code(env)
+                    while isinstance(argument, Thunk):
+                        argument = argument.force()
+                    if isinstance(fn, FunctionValue):
+                        return fn.apply(argument)
+                    raise _eval_error(fn)
+
+                return run
+
+            return build_app_strict
+
+        def build_app(stats: Optional[EvalStats]) -> Code:
+            fn_code = fn_build(stats)
+            arg_code = arg_build(stats)
+
+            def run(env: Tuple[Any, ...]) -> Any:
+                fn = fn_code(env)
+                while isinstance(fn, Thunk):
+                    fn = fn.force()
+                # Thunk created after forcing fn -- the interpreter's
+                # order, so stats agree even when fn is not a function.
+                argument = Thunk(lambda: arg_code(env), stats)
+                if isinstance(fn, FunctionValue):
+                    return fn.apply(argument)
+                raise _eval_error(fn)
+
+            return run
+
+        return build_app
+
+    if isinstance(term, Let):
+        bound_build = _compile(term.bound, scope, strict)
+        body_build = _compile(term.body, scope + (term.name,), strict)
+
+        if strict:
+
+            def build_let_strict(stats: Optional[EvalStats]) -> Code:
+                bound_code = bound_build(stats)
+                body_code = body_build(stats)
+
+                def run(env: Tuple[Any, ...]) -> Any:
+                    bound = bound_code(env)
+                    while isinstance(bound, Thunk):
+                        bound = bound.force()
+                    return body_code(env + (bound,))
+
+                return run
+
+            return build_let_strict
+
+        def build_let(stats: Optional[EvalStats]) -> Code:
+            bound_code = bound_build(stats)
+            body_code = body_build(stats)
+
+            def run(env: Tuple[Any, ...]) -> Any:
+                return body_code(env + (Thunk(lambda: bound_code(env), stats),))
+
+            return run
+
+        return build_let
+
+    raise CompileError(f"cannot compile unknown term node: {term!r}")
+
+
+def _unroll_spine(term: Term) -> Tuple[Term, Tuple[Term, ...]]:
+    """``((h a1) a2) ... am`` -> ``(h, (a1, ..., am))``."""
+    args: list = []
+    while isinstance(term, App):
+        args.append(term.arg)
+        term = term.fn
+    args.reverse()
+    return term, tuple(args)
+
+
+def _compile_spine(
+    spec: Any, arg_terms: Tuple[Term, ...], scope: Tuple[str, ...], strict: bool
+) -> Builder:
+    """Fuse a ``Const``-headed application spine.
+
+    The interpreter threads each argument through a chain of partial
+    ``Primitive`` values; a fused spine skips the intermediate curry
+    objects and calls ``impl`` directly once all ``arity`` arguments are
+    in hand.  Thunk creation, forcing order (non-lazy positions forced
+    left-to-right *after* ``record_primitive``), and over/under-
+    application behaviour replicate ``Primitive.apply`` exactly, so
+    ``EvalStats`` stay bit-identical.  The primitive is re-resolved
+    through the spec's ``_runtime_template`` identity check per call, so
+    in-place fault injection still lands.
+    """
+    arity = spec.arity
+    lazy_positions = spec.lazy_positions
+    count = len(arg_terms)
+    arg_builders = [_compile(arg, scope, strict) for arg in arg_terms]
+    # Per head-position force plan for a full call: True => force.
+    force_plan = tuple(
+        index not in lazy_positions for index in range(min(arity, count))
+    )
+
+    def build(stats: Optional[EvalStats]) -> Code:
+        arg_codes = [builder(stats) for builder in arg_builders]
+        head_codes = arg_codes[:arity]
+        extra_codes = arg_codes[arity:]
+        cell: list = [None, None]
+
+        def resolve() -> Any:
+            template = spec._runtime_template
+            if template is None or template is not cell[0]:
+                cell[1] = spec.runtime_value(stats)
+                cell[0] = spec._runtime_template
+            return cell[1]
+
+        if count < arity:
+            # Partial application: one Primitive instead of a curry
+            # chain (the intermediates are unobservable).
+            if strict:
+
+                def run_partial_strict(env: Tuple[Any, ...]) -> Any:
+                    prim = resolve()
+                    args = []
+                    for code in arg_codes:
+                        value = code(env)
+                        while isinstance(value, Thunk):
+                            value = value.force()
+                        args.append(value)
+                    return Primitive(
+                        prim.name,
+                        prim.arity,
+                        prim.impl,
+                        prim.lazy_positions,
+                        tuple(args),
+                        prim.stats,
+                    )
+
+                return run_partial_strict
+
+            def run_partial(env: Tuple[Any, ...]) -> Any:
+                prim = resolve()
+                args = tuple(
+                    Thunk(lambda _c=code: _c(env), stats) for code in arg_codes
+                )
+                return Primitive(
+                    prim.name,
+                    prim.arity,
+                    prim.impl,
+                    prim.lazy_positions,
+                    args,
+                    prim.stats,
+                )
+
+            return run_partial
+
+        if strict:
+
+            def run_full_strict(env: Tuple[Any, ...]) -> Any:
+                prim = resolve()
+                prepared = []
+                for code in head_codes:
+                    value = code(env)
+                    while isinstance(value, Thunk):
+                        value = value.force()
+                    prepared.append(value)
+                prim_stats = prim.stats
+                if prim_stats is not None:
+                    prim_stats.record_primitive(prim.name)
+                result = prim.impl(*prepared)
+                for code in extra_codes:
+                    while isinstance(result, Thunk):
+                        result = result.force()
+                    value = code(env)
+                    while isinstance(value, Thunk):
+                        value = value.force()
+                    if isinstance(result, FunctionValue):
+                        result = result.apply(value)
+                    else:
+                        raise _eval_error(result)
+                return result
+
+            return run_full_strict
+
+        # Lazy full application.  The interpreter wraps every argument
+        # in a Thunk, then ``Primitive.apply`` immediately forces the
+        # non-lazy ones -- those wrapper thunks are unobservable (the
+        # impl sees a forced value, the wrapper is dropped), so the
+        # compiled code elides the objects and performs the *same*
+        # EvalStats increments (one creation + one forcing per elided
+        # wrapper) directly.  Only ``lazy_positions`` get real thunks:
+        # their forcing (or not) is the §4.3 self-maintainability
+        # signal.  ``eager_plan`` pairs each head code with whether its
+        # wrapper can be elided.
+        eager_plan = tuple(zip(head_codes, force_plan))
+        eager_count = sum(force_plan)
+
+        def run_full(env: Tuple[Any, ...]) -> Any:
+            prim = resolve()
+            prim_stats = prim.stats
+            if prim_stats is not None:
+                prim_stats.thunks_created += eager_count
+                prim_stats.record_primitive(prim.name)
+                prim_stats.thunks_forced += eager_count
+            prepared = []
+            for code, eager in eager_plan:
+                if eager:
+                    value = code(env)
+                    while isinstance(value, Thunk):
+                        value = value.force()
+                    prepared.append(value)
+                else:
+                    prepared.append(Thunk(lambda _c=code: _c(env), stats))
+            result = prim.impl(*prepared)
+            for code in extra_codes:
+                while isinstance(result, Thunk):
+                    result = result.force()
+                argument = Thunk(lambda _c=code: _c(env), stats)
+                if isinstance(result, FunctionValue):
+                    result = result.apply(argument)
+                else:
+                    raise _eval_error(result)
+            return result
+
+        return run_full
+
+    return build
+
+
+class StagedProgram:
+    """A term compiled once, instantiable many times.
+
+    ``free_names`` declares the environment frame the caller will supply
+    (outermost first); the compiled entry point takes one positional
+    value per free name.  Closed terms take no frame.
+    """
+
+    __slots__ = ("term", "free_names", "strict", "_builder")
+
+    def __init__(
+        self,
+        term: Term,
+        free_names: Tuple[str, ...],
+        strict: bool,
+        builder: Builder,
+    ):
+        self.term = term
+        self.free_names = free_names
+        self.strict = strict
+        self._builder = builder
+
+    def instantiate(
+        self, stats: Optional[EvalStats] = None
+    ) -> Callable[..., Any]:
+        """Materialize the closure tree against a stats sink.
+
+        Returns a callable taking one value (or thunk) per declared free
+        name and returning the evaluation result (unforced, like
+        ``Evaluator.eval``)."""
+        code = self._builder(stats)
+        expected = len(self.free_names)
+        names = self.free_names
+
+        if expected == 0:
+
+            def entry0() -> Any:
+                return code(())
+
+            return entry0
+
+        def entry(*frame: Any) -> Any:
+            if len(frame) != expected:
+                raise TypeError(
+                    f"compiled program expects {expected} frame value(s) "
+                    f"({', '.join(names)}), got {len(frame)}"
+                )
+            return code(frame)
+
+        return entry
+
+
+def compile_term(
+    term: Term,
+    free_names: Sequence[str] = (),
+    strict: bool = False,
+) -> StagedProgram:
+    """Stage ``term`` (phase 1).  ``free_names`` are the variables the
+    caller promises to supply at instantiation time, outermost first;
+    any *other* free variable compiles to a runtime ``NameError``,
+    matching the interpreter's late failure."""
+    names = tuple(free_names)
+    return StagedProgram(term, names, strict, _compile(term, names, strict))
+
+
+def compile_value(
+    term: Term,
+    strict: bool = False,
+    stats: Optional[EvalStats] = None,
+) -> Any:
+    """Compile a closed term and evaluate it to a (forced) value -- the
+    compiled counterpart of :func:`repro.semantics.eval.evaluate`."""
+    return force(compile_term(term, (), strict).instantiate(stats)())

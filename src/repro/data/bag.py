@@ -200,12 +200,10 @@ class Bag:
         """
         result = group.zero
         for element, count in self._counts.items():
-            image = fn(element)
-            if count < 0:
-                image = group.inverse(image)
-                count = -count
-            for _ in range(count):
-                result = group.merge(result, image)
+            # scale() handles signs and uses the group's fast path (or
+            # O(log count) doubling), so high multiplicities don't cost
+            # one merge per occurrence.
+            result = group.merge(result, group.scale(fn(element), count))
         return result
 
     # -- object protocol -----------------------------------------------------

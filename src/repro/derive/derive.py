@@ -32,6 +32,7 @@ from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
 from repro.lang.traversal import (
     bound_variables,
     free_variables,
+    intern_term,
     rename_d_variables,
     spine,
 )
@@ -212,14 +213,18 @@ def derive_program(
         term = rename_d_variables(term)
     if annotate:
         term, _ = infer_type(term, require_ground=False)
+    # Hash-cons so repeated derivations of equal programs hit the
+    # id-keyed memo tables (nilness facts, optimizer caches) instead of
+    # re-analyzing structurally identical subtrees.
+    term = intern_term(term)
     if not _metrics.STATE.on:
-        return derive(term, registry, specialize)
+        return intern_term(derive(term, registry, specialize))
     import time
 
     registry_metrics = _metrics.GLOBAL_REGISTRY
     specialized_before = registry_metrics.counter_value("derive.specializations")
     start = time.perf_counter()
-    derived = derive(term, registry, specialize)
+    derived = intern_term(derive(term, registry, specialize))
     registry_metrics.counter("derive.programs").inc()
     registry_metrics.histogram("derive.wall_time_s").record(
         time.perf_counter() - start

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.compile import compile_term, compile_value
 from repro.data.change_values import change_size, oplus_value
 from repro.derive.derive import derive, rename_d_variables
 from repro.errors import DerivativeError, InvalidChangeError
-from repro.incremental.engine import _LazyInput
+from repro.incremental.engine import BACKENDS, _BatchSteppingMixin, _LazyInput
 from repro.lang.infer import infer_type
 from repro.lang.terms import Lam, Lit, Term, Var
+from repro.lang.traversal import free_variables
 from repro.observability import Observability, Span, get_observability
 from repro.observability import metrics as _metrics
 from repro.optimize.anf import anf_bindings, is_atomic, to_anf
@@ -43,7 +45,25 @@ from repro.semantics.eval import Evaluator
 from repro.semantics.thunk import EvalStats, Thunk, force
 
 
-class CachingIncrementalProgram:
+def _stage_open(term: Term, stats: EvalStats) -> Tuple[Tuple[str, ...], Any]:
+    """Compile an open term against its sorted free-variable frame and
+    instantiate it once against ``stats``."""
+    free = tuple(sorted(free_variables(term)))
+    return free, compile_term(term, free).instantiate(stats)
+
+
+def _frame(free: Tuple[str, ...], values: Dict[str, Any]) -> Tuple[Any, ...]:
+    """Assemble a compiled frame from the live name environment; missing
+    names fail like ``Env.lookup`` does."""
+    try:
+        return tuple(values[name] for name in free)
+    except KeyError as error:
+        raise NameError(
+            f"unbound variable at runtime: {error.args[0]}"
+        ) from None
+
+
+class CachingIncrementalProgram(_BatchSteppingMixin):
     """Incremental execution with per-intermediate caches."""
 
     def __init__(
@@ -52,8 +72,14 @@ class CachingIncrementalProgram:
         registry: Registry,
         specialize: bool = True,
         infer: bool = True,
+        backend: str = "compiled",
     ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (expected one of {BACKENDS})"
+            )
         self.registry = registry
+        self.backend = backend
         self.stats = EvalStats()
         self._evaluator = Evaluator(strict=False, stats=self.stats)
 
@@ -90,10 +116,30 @@ class CachingIncrementalProgram:
             for name, bound in bindings
         ]
 
+        if backend == "compiled":
+            # Stage every binding RHS and per-binding derivative once.
+            # Each open term is compiled against its own free-variable
+            # frame; step()/initialize() supply the frame values from
+            # the live parameter/cache/change environment.
+            self._compiled_bindings = [
+                (name,) + _stage_open(bound, self.stats)
+                for name, bound in self.bindings
+            ]
+            self._compiled_derivatives = [
+                (name,) + _stage_open(derivative, self.stats)
+                for name, derivative in self.binding_derivatives
+            ]
+        else:
+            self._compiled_bindings = None
+            self._compiled_derivatives = None
+        self._recompute_value: Any = None
+
         self._inputs: Optional[List[_LazyInput]] = None
         self._caches: Dict[str, _LazyInput] = {}
         self._output: Any = None
         self._steps = 0
+        #: Change rows absorbed into composed steps by ``step_batch``.
+        self.coalesced_changes = 0
         #: Root span of the most recent observed step (see engine).
         self.last_step_span: Optional[Span] = None
 
@@ -128,20 +174,35 @@ class CachingIncrementalProgram:
 
     def _initialize(self, inputs: Any) -> Any:
         self._inputs = [_LazyInput(value) for value in inputs]
-        env = Env.empty()
-        for name, lazy_input in zip(self.parameters, self._inputs):
-            env = env.extend(name, Thunk(lazy_input.current, self.stats))
         self._caches = {}
-        for name, bound in self.bindings:
-            snapshot = env
-            cache = _LazyInput(
-                Thunk(
-                    lambda t=bound, e=snapshot: self._evaluator.eval(t, e),
-                    self.stats,
+        if self.backend == "compiled":
+            values: Dict[str, Any] = {}
+            for name, lazy_input in zip(self.parameters, self._inputs):
+                values[name] = Thunk(lazy_input.current, self.stats)
+            for name, free, entry in self._compiled_bindings:
+                # Capture the frame now: it references thunks for the
+                # parameters and earlier caches, all of which stay valid
+                # for the lifetime of this initialization.
+                frame = _frame(free, values)
+                cache = _LazyInput(
+                    Thunk(lambda e=entry, f=frame: e(*f), self.stats)
                 )
-            )
-            self._caches[name] = cache
-            env = env.extend(name, Thunk(cache.current, self.stats))
+                self._caches[name] = cache
+                values[name] = Thunk(cache.current, self.stats)
+        else:
+            env = Env.empty()
+            for name, lazy_input in zip(self.parameters, self._inputs):
+                env = env.extend(name, Thunk(lazy_input.current, self.stats))
+            for name, bound in self.bindings:
+                snapshot = env
+                cache = _LazyInput(
+                    Thunk(
+                        lambda t=bound, e=snapshot: self._evaluator.eval(t, e),
+                        self.stats,
+                    )
+                )
+                self._caches[name] = cache
+                env = env.extend(name, Thunk(cache.current, self.stats))
         self._output = self._resolve_atom(self.result_atom)
         self._steps = 0
         return self._output
@@ -227,6 +288,23 @@ class CachingIncrementalProgram:
 
     def _binding_changes(self, changes: Any) -> Dict[str, Any]:
         """Build the step environment and one lazy change per binding."""
+        if self.backend == "compiled":
+            values: Dict[str, Any] = {}
+            for name, lazy_input, change in zip(
+                self.parameters, self._inputs, changes
+            ):
+                values[name] = Thunk(lazy_input.current, self.stats)
+                values[f"d{name}"] = change
+            binding_changes: Dict[str, Any] = {}
+            for name, free, entry in self._compiled_derivatives:
+                cache = self._caches[name]
+                values[name] = Thunk(cache.current, self.stats)
+                frame = _frame(free, values)
+                change = Thunk(lambda e=entry, f=frame: e(*f), self.stats)
+                values[f"d{name}"] = change
+                binding_changes[name] = change
+            return binding_changes
+
         env = Env.empty()
         for name, lazy_input, change in zip(
             self.parameters, self._inputs, changes
@@ -234,7 +312,7 @@ class CachingIncrementalProgram:
             env = env.extend(name, Thunk(lazy_input.current, self.stats))
             env = env.extend(f"d{name}", change)
 
-        binding_changes: Dict[str, Any] = {}
+        binding_changes = {}
         for (name, _), (_, derivative) in zip(
             self.bindings, self.binding_derivatives
         ):
@@ -387,7 +465,12 @@ class CachingIncrementalProgram:
 
         if self._inputs is None:
             raise RuntimeError("program not initialized")
-        program = evaluate(self.term)
+        if self.backend == "compiled":
+            if self._recompute_value is None:
+                self._recompute_value = compile_value(self.term)
+            program = self._recompute_value
+        else:
+            program = evaluate(self.term)
         return apply_value(program, *self.current_inputs())
 
     def verify(self) -> bool:

@@ -159,6 +159,7 @@ def run_trace(
     snapshot_every: int = 0,
     fsync: str = "always",
     step_delay: float = 0.0,
+    backend: str = "compiled",
 ) -> TraceResult:
     """Incrementalize ``term``, run it over a generated change stream
     under observability, and collect per-step records.
@@ -184,6 +185,10 @@ def run_trace(
     same seed/size/steps produce byte-identical journals.  ``step_delay``
     sleeps that many seconds after each step -- a crash-test aid that
     widens the window for killing the process mid-run.
+
+    ``backend`` selects term execution: ``"compiled"`` (default) stages
+    the program into Python closures once, ``"interpreted"`` walks the
+    AST on every evaluation.
     """
     if steps < 0:
         raise ValueError("steps must be >= 0")
@@ -199,11 +204,15 @@ def run_trace(
     with observing() as hub:
         if caching:
             engine: Any = CachingIncrementalProgram(
-                term, registry, specialize=specialize
+                term, registry, specialize=specialize, backend=backend
             )
         else:
             engine = IncrementalProgram(
-                term, registry, specialize=specialize, optimize=optimize
+                term,
+                registry,
+                specialize=specialize,
+                optimize=optimize,
+                backend=backend,
             )
         input_types = list(uncurry_fun_type(engine.program_type)[0])
         if len(input_types) < getattr(engine, "arity", len(input_types)):

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.data.change_values import change_size, oplus_value
+from repro.compile import compile_value
+from repro.data.change_values import change_size, compose_changes, oplus_value
 from repro.derive.derive import derive_program
 from repro.errors import DerivativeError, InvalidChangeError
 from repro.lang.infer import infer_type
@@ -42,28 +43,44 @@ from repro.semantics.thunk import EvalStats, Thunk, force
 
 
 class _LazyInput:
-    """A cached input advanced lazily by a queue of pending changes.
+    """A cached input advanced lazily by a log of pending changes.
 
-    ``current()`` folds the queue iteratively, so arbitrarily long change
+    ``current()`` folds the log iteratively, so arbitrarily long change
     sequences never build nested thunk chains (and never overflow the
-    Python stack).  While the queue is unforced, a self-maintainable
+    Python stack).  While the log is unfolded, a self-maintainable
     derivative pays nothing for input advancement beyond an append.
 
+    The folded prefix is *cached*: ``_value`` always reflects the first
+    ``_folded`` log entries, so repeated ``current()`` calls between
+    steps (recompute baselines, verifiers, drift detectors) fold each
+    change exactly once instead of re-applying the whole queue.
+
     ``advances`` counts pushes; ``materializations`` counts the times
-    ``current()`` actually had to fold a non-empty queue -- i.e. someone
+    ``current()`` actually had to fold unapplied changes -- i.e. someone
     (a non-self-maintainable derivative, ``recompute``, a verifier)
     demanded the up-to-date base value.  A self-maintainable fast path
     shows ``materializations == 0`` across steps, which is the checkable
-    form of "the derivative never touched its base input".
+    form of "the derivative never touched its base input".  ``folds``
+    counts individual changes applied by folding; it must never exceed
+    ``advances`` (each pushed change is folded at most once).
     """
 
-    __slots__ = ("_value", "_pending", "advances", "materializations")
+    __slots__ = (
+        "_value",
+        "_changes",
+        "_folded",
+        "advances",
+        "materializations",
+        "folds",
+    )
 
     def __init__(self, value: Any):
         self._value = value
-        self._pending: List[Any] = []
+        self._changes: List[Any] = []
+        self._folded = 0
         self.advances = 0
         self.materializations = 0
+        self.folds = 0
 
     #: Above this accumulated-delta size, queue instead of composing:
     #: composition copies the accumulated delta, so composing into an
@@ -71,44 +88,69 @@ class _LazyInput:
     _COMPOSE_CAP = 4096
 
     def push(self, change: Any) -> None:
-        from repro.data.change_values import compose_changes
-
         self.advances += 1
-        if self._pending and _delta_size(self._pending[-1]) <= self._COMPOSE_CAP:
-            composed = compose_changes(self._pending[-1], change)
+        changes = self._changes
+        # Only an *unfolded* tail entry may absorb the new change:
+        # folded entries are already reflected in ``_value``.
+        if (
+            len(changes) > self._folded
+            and _delta_size(changes[-1]) <= self._COMPOSE_CAP
+        ):
+            composed = compose_changes(changes[-1], change)
             if composed is not None:
-                self._pending[-1] = composed
+                changes[-1] = composed
                 return
-        self._pending.append(change)
+        changes.append(change)
 
     def current(self) -> Any:
         value = force(self._value)
-        if self._pending:
+        changes = self._changes
+        folded = self._folded
+        if len(changes) > folded:
             self.materializations += 1
-            for change in self._pending:
-                value = oplus_value(value, change)
-            self._pending.clear()
+            for index in range(folded, len(changes)):
+                value = oplus_value(value, changes[index])
+            self.folds += len(changes) - folded
+            self._folded = len(changes)
             self._value = value
         return value
 
     @property
     def pending_changes(self) -> int:
-        return len(self._pending)
+        """Log entries not yet folded into the cached value."""
+        return len(self._changes) - self._folded
 
     # -- transactional support ---------------------------------------------
 
-    def snapshot(self) -> Tuple[Any, List[Any], int, int]:
+    def snapshot(self) -> Tuple[Any, int, Any, int, int]:
         """Capture enough state to undo pushes/folds done after this point.
 
-        Values are persistent (bags, maps, tuples) and queue folding is a
-        pure optimization, so restoring the value reference plus a copy of
-        the pending queue is an exact logical rollback.
+        Values are persistent (bags, maps, tuples) and folding is a pure
+        optimization, so the snapshot is O(1): the cached value
+        reference, the log length, the (immutable) tail entry -- a later
+        ``push`` may replace the tail slot with a composed change -- and
+        the counters.  The already-folded prefix is compacted away first
+        so the log length alone pins the unfolded suffix.
         """
-        return (self._value, list(self._pending), self.advances, self.materializations)
+        if self._folded:
+            del self._changes[: self._folded]
+            self._folded = 0
+        changes = self._changes
+        return (
+            self._value,
+            len(changes),
+            changes[-1] if changes else None,
+            self.advances,
+            self.materializations,
+        )
 
-    def restore(self, snapshot: Tuple[Any, List[Any], int, int]) -> None:
-        self._value, pending, self.advances, self.materializations = snapshot
-        self._pending = list(pending)
+    def restore(self, snapshot: Tuple[Any, int, Any, int, int]) -> None:
+        value, length, tail, self.advances, self.materializations = snapshot
+        self._value = value
+        del self._changes[length:]
+        if length:
+            self._changes[length - 1] = tail
+        self._folded = 0
 
 
 def _delta_size(change: Any) -> int:
@@ -125,7 +167,78 @@ def _delta_size(change: Any) -> int:
     return 0
 
 
-class IncrementalProgram:
+#: Recognized evaluation backends: ``compiled`` stages terms into plain
+#: Python closures once (see :mod:`repro.compile`), ``interpreted`` keeps
+#: the reference tree-walking evaluator.  Semantics and EvalStats are
+#: identical; only the constant factor differs.
+BACKENDS = ("compiled", "interpreted")
+
+
+def compose_change_rows(rows: Sequence[Sequence[Any]]) -> Optional[List[Any]]:
+    """Fold a burst of change rows into one composed change per input.
+
+    Returns None as soon as any pairwise composition is unsupported, in
+    which case the caller must fall back to per-row stepping.
+    """
+    composed = list(rows[0])
+    for row in rows[1:]:
+        for index, change in enumerate(row):
+            merged = compose_changes(composed[index], change)
+            if merged is None:
+                return None
+            composed[index] = merged
+    return composed
+
+
+class _BatchSteppingMixin:
+    """``step_batch`` shared by both engines (change-batch fusion)."""
+
+    def step_batch(
+        self, batch: Sequence[Sequence[Any]], coalesce: bool = True
+    ) -> Any:
+        """React to a burst of change rows (one row = one change per
+        input); returns the updated output.
+
+        With ``coalesce`` (the default) the rows are first folded into a
+        single composed change per input via the change-composition
+        monoid, and the derivative runs *once* instead of ``len(batch)``
+        times -- exact for group/bag/map changes, where
+        ``df a (da₁ ∘ da₂)`` and ``df a da₁`` followed by
+        ``df (a ⊕ da₁) da₂`` update the output identically (see
+        ``docs/performance.md``).  A coalesced burst counts as one
+        ``step``; rows it absorbed are tallied in ``coalesced_changes``
+        and the ``engine.coalesced_changes`` metric.  When any pairwise
+        composition is unsupported the whole batch falls back to
+        per-row stepping (still transactional per row).
+        """
+        if self._inputs is None:
+            raise RuntimeError("call initialize() before step_batch()")
+        rows = [tuple(row) for row in batch]
+        for row in rows:
+            if len(row) != self.arity:
+                raise ValueError(
+                    f"expected {self.arity} changes per row, got {len(row)}"
+                )
+        if not rows:
+            return self._output
+        if coalesce and len(rows) > 1:
+            composed = compose_change_rows(rows)
+            if composed is not None:
+                output = self.step(*composed)
+                absorbed = len(rows) - 1
+                self.coalesced_changes += absorbed
+                if _STATE.on:
+                    get_observability().metrics.counter(
+                        "engine.coalesced_changes"
+                    ).inc(absorbed)
+                return output
+        output = self._output
+        for row in rows:
+            output = self.step(*row)
+        return output
+
+
+class IncrementalProgram(_BatchSteppingMixin):
     """A closed curried program plus its statically-derived derivative."""
 
     def __init__(
@@ -137,9 +250,15 @@ class IncrementalProgram:
         strict: bool = False,
         arity: Optional[int] = None,
         infer: bool = True,
+        backend: str = "compiled",
     ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (expected one of {BACKENDS})"
+            )
         self.registry = registry
         self.strict = strict
+        self.backend = backend
         self.stats = EvalStats()
 
         if infer:
@@ -163,14 +282,28 @@ class IncrementalProgram:
             self.optimization = None
         self.derived_term = derived
 
-        self._program_value = evaluate(self.term, strict=strict, stats=self.stats)
-        self._derivative_value = evaluate(
-            self.derived_term, strict=strict, stats=self.stats
-        )
+        if backend == "compiled":
+            # Stage base program and derivative once; step() never
+            # touches the AST again.
+            self._program_value = compile_value(
+                self.term, strict=strict, stats=self.stats
+            )
+            self._derivative_value = compile_value(
+                self.derived_term, strict=strict, stats=self.stats
+            )
+        else:
+            self._program_value = evaluate(
+                self.term, strict=strict, stats=self.stats
+            )
+            self._derivative_value = evaluate(
+                self.derived_term, strict=strict, stats=self.stats
+            )
 
         self._inputs: Optional[List[_LazyInput]] = None
         self._output: Any = None
         self._steps = 0
+        #: Change rows absorbed into composed steps by ``step_batch``.
+        self.coalesced_changes = 0
         #: The root span of the most recent observed step (None while
         #: observability is disabled) -- the CLI and tests read it.
         self.last_step_span: Optional[Span] = None

@@ -125,7 +125,9 @@ class Const(Term):
     instances.
     """
 
-    __slots__ = ("spec", "pos")
+    # __weakref__ lets the hash-consing table in ``traversal`` hold
+    # canonical nodes without pinning them in memory.
+    __slots__ = ("spec", "pos", "__weakref__")
 
     def __init__(self, spec: "ConstantSpec", pos: Optional[Pos] = None):
         self.spec = spec
@@ -156,7 +158,7 @@ class Const(Term):
 class Lit(Term):
     """A ground host value embedded as a literal of the given type."""
 
-    __slots__ = ("value", "type", "pos")
+    __slots__ = ("value", "type", "pos", "__weakref__")
 
     def __init__(self, value: Any, type: Type, pos: Optional[Pos] = None):
         self.value = value

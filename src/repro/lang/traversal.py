@@ -281,3 +281,90 @@ def _rename_binder(
     inner = dict(renaming)
     inner[name] = new_name
     return new_name, inner
+
+
+# -- hash-consing -------------------------------------------------------------
+
+#: Weak table of canonical term nodes, keyed by full structural identity
+#: (node kind, child *identities*, annotations, and source position).
+#: Children appear by ``id``: they are interned first, so their identity
+#: is their canonical representative, and any table entry that mentions a
+#: child also holds it alive through the parent node (weak values die
+#: bottom-up, so a live key never refers to a collected child).
+_INTERN_TABLE: "weakref.WeakValueDictionary" = None  # type: ignore[assignment]
+
+
+def intern_term(term: Term) -> Term:
+    """Hash-cons ``term``: return a canonical node for each distinct
+    subterm, so structurally equal trees share identity.
+
+    Identity matters because the expensive passes memoize by ``id`` --
+    ``analysis.framework.Dataflow`` keys its fact cache on
+    ``(id(term), env)``, and the optimizer/deriver revisit shared
+    subtrees -- so interning turns repeated derive/optimize/analyze
+    passes over equal programs into O(1) cache hits.
+
+    The canonical key includes the source position and, for constants,
+    the spec identity: nodes that merely *compare* equal but carry
+    different diagnostics (or resolve through different registries) are
+    kept distinct so lint positions and fault injection stay exact.
+    Literals with unhashable payloads are returned as-is.
+    """
+    return _intern(term, {})
+
+
+def _intern(term: Term, seen: Dict[int, Term]) -> Term:
+    global _INTERN_TABLE
+    if _INTERN_TABLE is None:
+        import weakref
+
+        _INTERN_TABLE = weakref.WeakValueDictionary()
+
+    cached = seen.get(id(term))
+    if cached is not None:
+        return cached
+
+    candidate = term
+    if isinstance(term, Var):
+        key = ("V", term.name, term.pos)
+    elif isinstance(term, Lam):
+        body = _intern(term.body, seen)
+        key = ("L", term.param, id(body), term.param_type, term.pos)
+        if body is not term.body:
+            candidate = Lam(term.param, body, term.param_type, pos=term.pos)
+    elif isinstance(term, App):
+        fn = _intern(term.fn, seen)
+        arg = _intern(term.arg, seen)
+        key = ("A", id(fn), id(arg), term.pos)
+        if fn is not term.fn or arg is not term.arg:
+            candidate = App(fn, arg, pos=term.pos)
+    elif isinstance(term, Let):
+        bound = _intern(term.bound, seen)
+        body = _intern(term.body, seen)
+        key = ("T", term.name, id(bound), id(body), term.pos)
+        if bound is not term.bound or body is not term.body:
+            candidate = Let(term.name, bound, body, pos=term.pos)
+    elif isinstance(term, Const):
+        key = ("C", term.spec.name, id(term.spec), term.pos)
+    elif isinstance(term, Lit):
+        key = ("I", type(term.value), term.value, term.type, term.pos)
+    else:  # unknown extension node: leave it alone
+        seen[id(term)] = term
+        return term
+
+    try:
+        canonical = _INTERN_TABLE.get(key)
+        if canonical is None:
+            _INTERN_TABLE[key] = candidate
+            canonical = candidate
+    except TypeError:
+        # Unhashable key component (e.g. a Lit wrapping a mutable host
+        # value, or an unhashable type annotation): skip interning.
+        canonical = candidate
+    seen[id(term)] = canonical
+    return canonical
+
+
+def intern_table_size() -> int:
+    """Number of live canonical nodes (diagnostic, used by tests)."""
+    return 0 if _INTERN_TABLE is None else len(_INTERN_TABLE)

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Tuple
 
 from repro.lang.terms import Term
-from repro.lang.traversal import term_size
+from repro.lang.traversal import intern_term, term_size
 from repro.observability import metrics as _metrics
 from repro.optimize.beta import beta_reduce
 from repro.optimize.constant_fold import constant_fold
@@ -81,6 +81,10 @@ def optimize(
     """β-reduce, eliminate dead lets, and (optionally) constant-fold until
     no pass changes the term (or ``max_iterations`` is hit)."""
     pipeline_start = time.perf_counter()
+    # Hash-cons up front: shared subtrees make the fixpoint's structural
+    # equality checks cheap and let id-keyed analysis caches hit across
+    # repeated optimizations of equal programs.
+    term = intern_term(term)
     initial_size = term_size(term)
     events: List[PassEvent] = []
     passes: List[Tuple[str, Callable[[Term], Term]]] = [
@@ -115,7 +119,7 @@ def optimize(
         if term == previous:
             break
     result = OptimizationResult(
-        term=term,
+        term=intern_term(term),
         iterations=iterations,
         initial_size=initial_size,
         final_size=term_size(term),

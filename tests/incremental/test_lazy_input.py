@@ -156,3 +156,42 @@ class TestSnapshotRestore:
             lazy.current()
         lazy.restore(snapshot)
         assert lazy.current() == naive_fold(3, committed)
+
+
+class TestFoldedPrefixCache:
+    """``current()`` remembers the already-folded prefix: repeated reads
+    of an unchanged queue re-apply *zero* changes (previously every read
+    re-folded the whole queue from the base value)."""
+
+    def test_repeated_current_folds_nothing_new(self):
+        lazy = _TinyCap(Bag.of(1))  # tiny cap => pushes append, not compose
+        for element in range(2, 7):
+            lazy.push(GroupChange(BAG_GROUP, Bag.singleton(element)))
+        expected = Bag.of(1, 2, 3, 4, 5, 6)
+
+        assert lazy.current() == expected
+        folds_after_first = lazy.folds
+        assert folds_after_first > 0
+
+        from repro.observability import observing
+
+        with observing() as hub:
+            before = hub.metrics.counter("changes.oplus").value
+            for _ in range(10):
+                assert lazy.current() == expected
+            assert hub.metrics.counter("changes.oplus").value == before
+        assert lazy.folds == folds_after_first
+
+    def test_new_pushes_fold_only_the_suffix(self):
+        lazy = _TinyCap(Bag.of(1))
+        lazy.push(GroupChange(BAG_GROUP, Bag.singleton(2)))
+        lazy.push(GroupChange(BAG_GROUP, Bag.from_iterable([3, 3])))
+        assert lazy.current() == Bag.from_iterable([1, 2, 3, 3])
+        folded = lazy.folds
+        assert folded > 0
+
+        # A fresh push past the cap appends one queue entry; the next
+        # read folds exactly that entry, not the whole history again.
+        lazy.push(GroupChange(BAG_GROUP, Bag.singleton(4)))
+        assert lazy.current() == Bag.from_iterable([1, 2, 3, 3, 4])
+        assert lazy.folds == folded + 1

@@ -1,0 +1,66 @@
+"""Hash-consing (``intern_term``): structurally equal trees share
+identity, so the id-keyed memo tables in analysis/derive/optimize turn
+repeated passes over equal programs into cache hits.
+"""
+
+from repro.analysis.framework import nilness_analysis
+from repro.lang.parser import parse
+from repro.lang.terms import App, Lam, Lit, Pos, Var
+from repro.lang.traversal import intern_term
+from repro.lang.types import TInt
+from repro.plugins.registry import standard_registry
+
+REGISTRY = standard_registry()
+SOURCE = r"\xs -> foldBag gplus (\e -> add e e) (merge xs xs)"
+
+
+def test_equal_terms_intern_to_the_same_object():
+    first = intern_term(parse(SOURCE, REGISTRY))
+    second = intern_term(parse(SOURCE, REGISTRY))
+    assert first is second
+
+
+def test_shared_subtrees_within_one_term():
+    # f x applied twice: position-free equal subtrees collapse to one
+    # node.  (Parsed occurrences keep distinct positions, hence distinct
+    # nodes -- diagnostics must not merge.)
+    fx = App(Var("f"), Var("x"))
+    term = intern_term(Lam("x", App(App(Var("g"), fx), App(Var("f"), Var("x"))), TInt))
+    body = term.body
+    assert body.arg is body.fn.arg
+
+
+def test_interning_preserves_structure_and_positions():
+    term = parse(SOURCE, REGISTRY)
+    interned = intern_term(term)
+    assert interned == term
+
+    # Same name at *different* positions stays distinct: diagnostics
+    # keep pointing at the right occurrence.
+    here = Var("x", pos=Pos(1, 1))
+    there = Var("x", pos=Pos(2, 5))
+    assert intern_term(here) is not intern_term(there)
+    assert intern_term(here).pos == Pos(1, 1)
+
+
+def test_unhashable_literal_passes_through():
+    # A Lit wrapping a mutable host value cannot be a table key; the
+    # term must survive interning unchanged rather than blow up.
+    term = Lam("x", App(Var("f"), Lit([1, 2], TInt)), TInt)
+    interned = intern_term(term)
+    assert interned == term
+
+
+def test_interning_turns_repeat_analysis_into_cache_hits():
+    analysis = nilness_analysis()
+    program = intern_term(parse(SOURCE, REGISTRY))
+    analysis.solve(program)
+    queries, misses = analysis.queries, analysis.misses
+    assert misses > 0
+
+    # The same program parsed again interns to identical nodes: a second
+    # solve costs zero new misses.
+    again = intern_term(parse(SOURCE, REGISTRY))
+    analysis.solve(again)
+    assert analysis.queries > queries
+    assert analysis.misses == misses
