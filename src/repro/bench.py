@@ -1,4 +1,4 @@
-"""``repro bench`` -- the Fig. 7 sweep across execution backends.
+"""``repro bench`` -- the Fig. 7 sweep, traffic cells, and the SLO gate.
 
 Runs the paper's two headline workloads (the Sec. 1 ``grand_total`` and
 the Sec. 4.5 wordcount ``histogram``) over a size sweep, under each
@@ -13,21 +13,35 @@ execution mode:
 
 For every (workload, size, mode) cell it reports per-reaction latency
 (mean and p99 over a warm change stream), from-scratch recomputation
-time, and the incremental-vs-recompute speedup.  The JSON report
-(``BENCH_fig7.json`` by default) is the artifact the docs and the CI
-``bench-smoke`` gate read; see ``docs/performance.md`` for the schema.
+time, and the incremental-vs-recompute speedup.
+
+On top of the sweep, ``--profile NAME`` adds *traffic cells*: the named
+adversarial traffic profiles (:mod:`repro.traffic`) run against both
+backends, reporting p50/p99/p999 latency and changes/sec.  ``--sla``
+turns the traffic cells into a gate -- the measured cells are checked
+against the declarative budgets in ``slo.json`` *and* against the
+committed trend history ``BENCH_trend.jsonl`` (regression = p99 beyond
+a factor of the cell's trend median), the run is appended to the trend
+when it passes, and any violation exits non-zero.
+
+The JSON report (``BENCH_fig7.json`` by default) is the artifact the
+docs and the CI ``bench-smoke``/``slo-gate`` jobs read; every payload
+is stamped with the wall-clock timestamp and git SHA so trend entries
+stay attributable.  See ``docs/performance.md`` for the schema.
 
 Usage::
 
     python -m repro bench --quick --output BENCH_fig7.json
+    python -m repro bench --quick --sla --profile uniform --profile zipf-burst
 """
 
 from __future__ import annotations
 
 import json
 import statistics
+import subprocess
 import time
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.data.bag import Bag
 from repro.data.change_values import GroupChange
@@ -137,29 +151,117 @@ def _measure_cell(
     }
 
 
+def git_sha() -> str:
+    """The current commit's SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def run_stamp() -> Dict[str, Any]:
+    """Attribution fields stamped onto every bench payload and trend
+    entry: wall-clock timestamps plus the git SHA."""
+    now = time.time()
+    return {
+        "unix_time": now,
+        "generated_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)
+        ),
+        "git_sha": git_sha(),
+    }
+
+
+#: Traffic-cell backends: the coalesced mode is a property of how the
+#: traffic arrives (bursts through ``step_batch``), not a third backend.
+TRAFFIC_BACKENDS = ("interpreted", "compiled")
+
+
+def run_traffic_cells(
+    registry: Registry,
+    workloads: Sequence[str],
+    profiles: Sequence[str],
+    size: int = 1_000,
+    steps: int = 48,
+    seed: int = 7,
+    backends: Sequence[str] = TRAFFIC_BACKENDS,
+) -> List[Dict[str, Any]]:
+    """One :func:`~repro.traffic.harness.measure_profile` row per
+    (workload, backend, profile)."""
+    from repro.traffic.harness import measure_profile
+
+    return [
+        measure_profile(
+            registry,
+            workload=workload,
+            size=size,
+            backend=backend,
+            profile=profile,
+            steps=steps,
+            seed=seed,
+        )
+        for workload in workloads
+        for backend in backends
+        for profile in profiles
+    ]
+
+
 def run_bench(
     quick: bool = False,
     workloads: Sequence[str] = tuple(WORKLOADS),
     registry: Registry | None = None,
+    profiles: Sequence[str] = (),
+    traffic_size: int = 1_000,
+    traffic_steps: int = 48,
+    sweep: bool = True,
 ) -> Dict[str, Any]:
-    """Run the sweep and return the report dict (also what gets written
-    as ``BENCH_fig7.json``)."""
+    """Run the sweep (and any traffic cells) and return the report dict
+    (also what gets written as ``BENCH_fig7.json``)."""
     registry = registry if registry is not None else standard_registry()
     sizes = QUICK_SIZES if quick else FULL_SIZES
-    rows = [
-        _measure_cell(registry, workload, size, mode)
-        for workload in workloads
-        for size in sizes
-        for mode in MODES
-    ]
-    return {
+    rows = (
+        [
+            _measure_cell(registry, workload, size, mode)
+            for workload in workloads
+            for size in sizes
+            for mode in MODES
+        ]
+        if sweep
+        else []
+    )
+    report = {
         "figure": "fig7",
-        "sizes": list(sizes),
+        **run_stamp(),
+        "quick": quick,
+        "sizes": list(sizes) if sweep else [],
         "modes": list(MODES),
         "burst": BURST,
         "rows": rows,
-        "summary": summarize(rows),
+        "summary": summarize(rows) if rows else {},
     }
+    if profiles:
+        report["traffic"] = {
+            "profiles": list(profiles),
+            "size": traffic_size,
+            "steps": traffic_steps,
+            "backends": list(TRAFFIC_BACKENDS),
+            "rows": run_traffic_cells(
+                registry,
+                workloads,
+                profiles,
+                size=traffic_size,
+                steps=traffic_steps,
+            ),
+        }
+    return report
 
 
 def summarize(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
@@ -231,33 +333,112 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             "than interpreted per step on the histogram workload"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "add traffic cells for this profile (repeatable; see "
+            "repro.traffic.profiles; implied ['uniform', 'zipf-burst'] "
+            "under --sla)"
+        ),
+    )
+    parser.add_argument(
+        "--sla",
+        action="store_true",
+        help=(
+            "gate the traffic cells against slo.json budgets and the "
+            "trend history; exit 1 on any violation or regression"
+        ),
+    )
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help="SLO budget file (default slo.json)",
+    )
+    parser.add_argument(
+        "--trend",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only trend history for regression checks "
+            "(default BENCH_trend.jsonl; passing runs are appended)"
+        ),
+    )
+    parser.add_argument(
+        "--traffic-only",
+        action="store_true",
+        help="skip the Fig. 7 mode sweep and measure only traffic cells",
+    )
+    parser.add_argument(
+        "--traffic-size",
+        type=int,
+        default=1_000,
+        metavar="N",
+        help="input size for traffic cells (default 1000)",
+    )
+    parser.add_argument(
+        "--traffic-steps",
+        type=int,
+        default=48,
+        metavar="N",
+        help="timed steps per traffic cell (default 48)",
+    )
     args = parser.parse_args(argv)
+    profiles = tuple(args.profile) if args.profile else ()
+    if args.sla and not profiles:
+        profiles = ("uniform", "zipf-burst")
+    if args.traffic_only and not profiles:
+        parser.error("--traffic-only requires at least one --profile")
     report = run_bench(
         quick=args.quick,
         workloads=tuple(args.workload) if args.workload else tuple(WORKLOADS),
+        profiles=profiles,
+        traffic_size=args.traffic_size,
+        traffic_steps=args.traffic_steps,
+        sweep=not args.traffic_only,
     )
+
+    slo_exit = 0
+    if args.sla:
+        slo_exit = _gate_sla(report, args, out)
+
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
 
-    print(f"{'workload':>12} {'n':>7} {'backend':>18} "
-          f"{'step mean':>11} {'p99':>9} {'recompute':>10} {'speedup':>8}",
-          file=out)
-    for row in report["rows"]:
-        print(
-            f"{row['workload']:>12} {row['n']:>7} {row['backend']:>18} "
-            f"{row['step_mean_s'] * 1e6:>9.1f}us "
-            f"{row['step_p99_s'] * 1e6:>7.1f}us "
-            f"{row['recompute_s'] * 1e3:>8.2f}ms "
-            f"{row['speedup_vs_recompute']:>7.0f}x",
-            file=out,
-        )
+    if report["rows"]:
+        print(f"{'workload':>12} {'n':>7} {'backend':>18} "
+              f"{'step mean':>11} {'p99':>9} {'recompute':>10} {'speedup':>8}",
+              file=out)
+        for row in report["rows"]:
+            print(
+                f"{row['workload']:>12} {row['n']:>7} {row['backend']:>18} "
+                f"{row['step_mean_s'] * 1e6:>9.1f}us "
+                f"{row['step_p99_s'] * 1e6:>7.1f}us "
+                f"{row['recompute_s'] * 1e3:>8.2f}ms "
+                f"{row['speedup_vs_recompute']:>7.0f}x",
+                file=out,
+            )
     for workload, stats in report["summary"].items():
         print(
             f"{workload}: compiled {stats['compiled_speedup_vs_interpreted']:.2f}x "
             f"vs interpreted, coalesce {stats['coalesce_speedup_vs_per_change']:.2f}x "
             f"vs per-change, incremental {stats['incremental_speedup_vs_recompute']:.0f}x "
             f"vs recompute (n={stats['n']})",
+            file=out,
+        )
+    for row in report.get("traffic", {}).get("rows", ()):
+        latency = row["latency_ms"]
+        throughput = row["changes_per_s"]
+        print(
+            f"{row['workload']:>12} {row['n']:>7} {row['backend']:>12} "
+            f"{row['profile']:<12} "
+            f"p50={latency['p50']:.3f}ms p99={latency['p99']:.3f}ms "
+            f"p999={latency['p999']:.3f}ms "
+            f"{throughput:,.0f} changes/s",
             file=out,
         )
     print(f"report: {args.output}", file=out)
@@ -274,7 +455,76 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 file=out,
             )
             return 1
-    return 0
+    return slo_exit
+
+
+def _gate_sla(report: Dict[str, Any], args: Any, out: Any) -> int:
+    """Evaluate the traffic cells against budgets + trend; mutate the
+    report with the verdicts; append passing runs to the trend.  Returns
+    the exit code contribution (1 on violation)."""
+    from repro.observability.slo import (
+        DEFAULT_SLO_PATH,
+        DEFAULT_TREND_PATH,
+        append_trend_entry,
+        evaluate_slo,
+        load_slo,
+        load_trend,
+    )
+
+    slo_path = args.slo if args.slo is not None else DEFAULT_SLO_PATH
+    trend_path = args.trend if args.trend is not None else DEFAULT_TREND_PATH
+    policy = load_slo(slo_path)
+    trend = load_trend(trend_path)
+    traffic_rows = report.get("traffic", {}).get("rows", [])
+    slo_report = evaluate_slo(policy, traffic_rows, trend)
+    report["slo"] = {
+        "policy_path": slo_path,
+        "trend_path": trend_path,
+        "trend_entries": len(trend),
+        **slo_report,
+    }
+    for verdict in slo_report["verdicts"]:
+        measured = verdict["measured"]
+        marker = {"ok": "ok ", "violated": "FAIL", "unbudgeted": "??? "}[
+            verdict["status"]
+        ]
+        print(
+            f"slo {marker} {verdict['cell']:<42} "
+            f"p99={_fmt_ms(measured['p99_ms'])} "
+            f"p999={_fmt_ms(measured['p999_ms'])} "
+            f"{_fmt_tp(measured['changes_per_s'])}",
+            file=out,
+        )
+        for reason in verdict["reasons"]:
+            print(f"         {reason}", file=out)
+    if slo_report["ok"]:
+        entry_meta = {
+            "unix_time": report["unix_time"],
+            "generated_at": report["generated_at"],
+            "git_sha": report["git_sha"],
+            "quick": report["quick"],
+        }
+        append_trend_entry(trend_path, traffic_rows, entry_meta)
+        print(
+            f"slo: all {len(slo_report['verdicts'])} cells ok; "
+            f"trend entry appended to {trend_path}",
+            file=out,
+        )
+        return 0
+    print(
+        f"error: {slo_report['violations']} SLO violation(s); "
+        f"trend NOT appended",
+        file=out,
+    )
+    return 1
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return f"{value:.3f}ms" if value is not None else "-"
+
+
+def _fmt_tp(value: Optional[float]) -> str:
+    return f"{value:,.0f} changes/s" if value is not None else "-"
 
 
 if __name__ == "__main__":  # pragma: no cover

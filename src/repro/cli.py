@@ -177,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the generated inputs and change stream",
     )
     trace_parser.add_argument(
+        "--profile",
+        metavar="NAME",
+        default=None,
+        help=(
+            "drive the run with a named traffic profile (zipf, "
+            "zipf-burst, hot-churn, read-heavy, write-storm, "
+            "fault-storm, ...) instead of the uniform stream; bursts "
+            "arrive as coalescible batches"
+        ),
+    )
+    trace_parser.add_argument(
         "--json",
         action="store_true",
         help="emit one JSON record per step instead of text",
@@ -297,7 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = subparsers.add_parser(
         "bench",
-        help="run the Fig. 7 backend sweep and write a JSON report",
+        help=(
+            "run the Fig. 7 backend sweep (and optional traffic/SLO "
+            "cells) and write a JSON report"
+        ),
     )
     bench_parser.add_argument(
         "--quick",
@@ -326,6 +340,124 @@ def build_parser() -> argparse.ArgumentParser:
             "fail unless compiled beats interpreted per step by at least "
             "RATIO on the histogram workload"
         ),
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "measure traffic cells for this named traffic profile "
+            "(repeatable; implied uniform+zipf-burst under --sla)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--sla",
+        action="store_true",
+        help=(
+            "gate the traffic cells against slo.json budgets and the "
+            "BENCH_trend.jsonl history; exit 1 on violation or regression"
+        ),
+    )
+    bench_parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help="SLO budget file (default slo.json)",
+    )
+    bench_parser.add_argument(
+        "--trend",
+        default=None,
+        metavar="PATH",
+        help="trend history file (default BENCH_trend.jsonl)",
+    )
+    bench_parser.add_argument(
+        "--traffic-only",
+        action="store_true",
+        help="skip the Fig. 7 sweep; measure only traffic cells",
+    )
+    bench_parser.add_argument(
+        "--traffic-size",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="input size for traffic cells (default 1000)",
+    )
+    bench_parser.add_argument(
+        "--traffic-steps",
+        type=int,
+        default=48,
+        metavar="N",
+        help="timed steps per traffic cell (default 48)",
+    )
+
+    dashboard_parser = subparsers.add_parser(
+        "dashboard",
+        help=(
+            "measure traffic profiles across backends and render the "
+            "live telemetry dashboard (SLO verdicts, latency sparklines, "
+            "per-metric drill-down)"
+        ),
+    )
+    dashboard_parser.add_argument(
+        "--profile",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "traffic profile to measure (repeatable; default uniform, "
+            "zipf-burst, hot-churn)"
+        ),
+    )
+    dashboard_parser.add_argument(
+        "--backend",
+        action="append",
+        choices=("compiled", "interpreted"),
+        default=None,
+        help="backend to measure (repeatable; default both)",
+    )
+    dashboard_parser.add_argument(
+        "--workload",
+        action="append",
+        choices=("grand_total", "histogram"),
+        default=None,
+        help="workload to measure (repeatable; default histogram)",
+    )
+    dashboard_parser.add_argument(
+        "--size",
+        type=int,
+        default=1000,
+        help="input size for the measured runs (default 1000)",
+    )
+    dashboard_parser.add_argument(
+        "--steps",
+        type=int,
+        default=48,
+        help="timed steps per cell (default 48)",
+    )
+    dashboard_parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="traffic stream seed (default 7)",
+    )
+    dashboard_parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help="SLO budget file for the verdict column (default slo.json)",
+    )
+    dashboard_parser.add_argument(
+        "--trend",
+        default=None,
+        metavar="PATH",
+        help="trend history feeding the regression column (default BENCH_trend.jsonl)",
+    )
+    dashboard_parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default text)",
     )
 
     recover_parser = subparsers.add_parser(
@@ -545,6 +677,7 @@ def _command_trace(args: argparse.Namespace, out) -> int:
         steps=args.steps,
         size=args.size,
         seed=args.seed,
+        profile=args.profile,
         specialize=not args.no_specialize,
         optimize=not args.no_optimize,
         caching=args.caching,
@@ -665,7 +798,36 @@ def _command_bench(args: argparse.Namespace, out) -> int:
     argv.extend(["--output", args.output])
     if args.min_speedup is not None:
         argv.extend(["--min-speedup", str(args.min_speedup)])
+    for profile in args.profile or ():
+        argv.extend(["--profile", profile])
+    if args.sla:
+        argv.append("--sla")
+    if args.slo is not None:
+        argv.extend(["--slo", args.slo])
+    if args.trend is not None:
+        argv.extend(["--trend", args.trend])
+    if args.traffic_only:
+        argv.append("--traffic-only")
+    argv.extend(["--traffic-size", str(args.traffic_size)])
+    argv.extend(["--traffic-steps", str(args.traffic_steps)])
     return bench_main(argv, out)
+
+
+def _command_dashboard(args: argparse.Namespace, out) -> int:
+    from repro.observability.dashboard import build_dashboard, render_dashboard
+
+    payload = build_dashboard(
+        profiles=tuple(args.profile) if args.profile else None,
+        backends=tuple(args.backend) if args.backend else None,
+        workloads=tuple(args.workload) if args.workload else None,
+        size=args.size,
+        steps=args.steps,
+        seed=args.seed,
+        slo_path=args.slo,
+        trend_path=args.trend,
+    )
+    emit(out, payload, args.format, lambda data: [render_dashboard(data)])
+    return 0
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -685,6 +847,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _command_recover(args, out)
         if args.command == "bench":
             return _command_bench(args, out)
+        if args.command == "dashboard":
+            return _command_dashboard(args, out)
         if args.command == "lint":
             return _command_lint(args, out)
     except (ParseError, InferenceError, TypeCheckError) as error:

@@ -135,6 +135,10 @@ class TraceResult:
     heals: int = 0
     #: Durability directory (None when the trace was not journaled).
     journal_dir: Optional[str] = None
+    #: Traffic profile name (None for the stock uniform stream).
+    profile: Optional[str] = None
+    #: Output reads issued by the traffic profile (0 without a profile).
+    reads: int = 0
 
     @property
     def output(self) -> Any:
@@ -160,6 +164,7 @@ def run_trace(
     fsync: str = "always",
     step_delay: float = 0.0,
     backend: str = "compiled",
+    profile: Any = None,
 ) -> TraceResult:
     """Incrementalize ``term``, run it over a generated change stream
     under observability, and collect per-step records.
@@ -189,6 +194,13 @@ def run_trace(
     ``backend`` selects term execution: ``"compiled"`` (default) stages
     the program into Python closures once, ``"interpreted"`` walks the
     AST on every evaluation.
+
+    ``profile`` (a name from :data:`repro.traffic.PROFILES` or a
+    :class:`~repro.traffic.TrafficProfile`) replaces the stock uniform
+    change stream with a traffic model: Zipf-skewed keys, burst/lull
+    arrivals, read mixes, and fault storms.  Multi-row bursts go through
+    ``step_batch`` (change coalescing) on a bare engine; corrupt storm
+    rows are allowed to be rejected and show up as ``rejected`` records.
     """
     if steps < 0:
         raise ValueError("steps must be >= 0")
@@ -238,6 +250,11 @@ def run_trace(
                 ),
                 meta={"seed": seed, "size": size, "steps": steps},
             )
+        profile_obj = None
+        if profile is not None:
+            from repro.traffic import get_profile
+
+            profile_obj = get_profile(profile)
         inputs = [generate_input(ty, size, rng) for ty in input_types]
         runner.initialize(*inputs)
         initialize_span = hub.tracer.last(
@@ -251,37 +268,121 @@ def run_trace(
             if fault_specs
             else nullcontext()
         )
-        with injection:
-            for index in range(steps):
-                changes = [generate_change(ty, rng) for ty in input_types]
-                if index + 1 in corrupt_steps:
-                    changes = [
-                        corrupt_change(change, rng) for change in changes
-                    ]
-                span_before = engine.last_step_span
-                runner.step(*changes)
-                span_after = engine.last_step_span
-                if span_after is not None and span_after is not span_before:
-                    records.append(step_record(span_after))
-                else:
-                    # The step completed without an ``engine.step`` span:
-                    # the resilience layer fell back to recompute.
-                    records.append(
-                        {"type": "step", "step": index, "fallback": True}
-                    )
-                if verify and not program.verify():
-                    raise DriftError(
-                        "verification failed: incremental output diverged "
-                        "from recomputation",
-                        term=term,
-                        step=index,
-                        expected=program.recompute(),
-                        actual=program.output,
-                    )
-                if step_delay > 0:
-                    import time
+        reads = 0
 
-                    time.sleep(step_delay)
+        def _verify_step(index: int) -> None:
+            if verify and not program.verify():
+                raise DriftError(
+                    "verification failed: incremental output diverged "
+                    "from recomputation",
+                    term=term,
+                    step=index,
+                    expected=program.recompute(),
+                    actual=program.output,
+                )
+
+        def _sleep_step() -> None:
+            if step_delay > 0:
+                import time
+
+                time.sleep(step_delay)
+
+        with injection:
+            if profile_obj is None:
+                for index in range(steps):
+                    changes = [generate_change(ty, rng) for ty in input_types]
+                    if index + 1 in corrupt_steps:
+                        changes = [
+                            corrupt_change(change, rng) for change in changes
+                        ]
+                    span_before = engine.last_step_span
+                    runner.step(*changes)
+                    span_after = engine.last_step_span
+                    if span_after is not None and span_after is not span_before:
+                        records.append(step_record(span_after))
+                    else:
+                        # The step completed without an ``engine.step`` span:
+                        # the resilience layer fell back to recompute.
+                        records.append(
+                            {"type": "step", "step": index, "fallback": True}
+                        )
+                    _verify_step(index)
+                    _sleep_step()
+            else:
+                from contextlib import ExitStack
+
+                storm_specs = [
+                    spec
+                    for spec in profile_obj.storm_faults()
+                    if not isinstance(spec, ChangeCorruption)
+                ]
+                with ExitStack() as storm_stack:
+                    storm_armed = False
+                    for event in profile_obj.events(
+                        input_types, steps, seed=seed
+                    ):
+                        # Arm the storm's primitive faults for exactly the
+                        # storm window, disarm outside it.
+                        if storm_specs:
+                            if event.storm and not storm_armed:
+                                storm_stack.enter_context(
+                                    inject_faults(registry, *storm_specs)
+                                )
+                                storm_armed = True
+                            elif not event.storm and storm_armed:
+                                storm_stack.close()
+                                storm_armed = False
+                        rows = list(event.rows)
+                        if event.step + 1 in corrupt_steps:
+                            rows = [
+                                tuple(corrupt_change(c, rng) for c in row)
+                                for row in rows
+                            ]
+                        span_before = engine.last_step_span
+                        batched = (
+                            len(rows) > 1
+                            and runner is engine
+                            and hasattr(engine, "step_batch")
+                            and not event.corrupt
+                        )
+                        try:
+                            if batched:
+                                engine.step_batch(rows, coalesce=True)
+                            else:
+                                for row in rows:
+                                    runner.step(*row)
+                        except ReproError:
+                            # Corrupt/storm traffic is *meant* to be
+                            # rejected; anything else is a real failure.
+                            if not (event.corrupt or event.storm):
+                                raise
+                            records.append(
+                                {
+                                    "type": "step",
+                                    "step": event.step,
+                                    "rejected": True,
+                                }
+                            )
+                        else:
+                            span_after = engine.last_step_span
+                            if (
+                                span_after is not None
+                                and span_after is not span_before
+                            ):
+                                records.append(step_record(span_after))
+                            else:
+                                records.append(
+                                    {
+                                        "type": "step",
+                                        "step": event.step,
+                                        "fallback": True,
+                                    }
+                                )
+                        for _ in range(event.reads):
+                            _ = runner.output
+                        reads += event.reads
+                        _verify_step(event.step)
+                        _sleep_step()
         if runner is not program:
             runner.close()
     return TraceResult(
@@ -296,4 +397,6 @@ def run_trace(
         drift_detections=getattr(program, "drift_detections", 0),
         heals=getattr(program, "heals", 0),
         journal_dir=journal_dir,
+        profile=profile_obj.name if profile_obj is not None else None,
+        reads=reads,
     )

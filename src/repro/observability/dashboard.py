@@ -1,0 +1,257 @@
+"""The live telemetry dashboard behind ``repro dashboard``.
+
+One :func:`build_dashboard` call measures a grid of traffic cells
+(workload × backend × profile) with
+:func:`repro.traffic.harness.measure_profile`, attaches SLO verdicts
+from the checked-in budgets plus the trend history, and returns a
+JSON-ready payload.  :func:`render_dashboard` turns that payload into
+the text view: a top line with the overall SLO verdict, one table row
+per cell (p50/p99/p999, changes/sec, verdict, a unicode sparkline of
+recent per-event latencies), then a per-cell drill-down with the
+derivative/⊕ phase split and any budget reasons.
+
+The same payload serves ``--format json`` verbatim, so CI can archive
+the dashboard as an artifact and diff it across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.observability.slo import (
+    DEFAULT_SLO_PATH,
+    DEFAULT_TREND_PATH,
+    SloError,
+    evaluate_slo,
+    load_slo,
+    load_trend,
+)
+
+#: The default measurement grid: three traffic shapes x both backends.
+DEFAULT_PROFILES = ("uniform", "zipf-burst", "hot-churn")
+DEFAULT_BACKENDS = ("compiled", "interpreted")
+DEFAULT_WORKLOADS = ("histogram",)
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """A unicode block sparkline of ``values``, downsampled to ``width``.
+
+    Scaling is min..max over the window, so the sparkline shows *shape*
+    (bursts, storms, warm-up decay), not absolute level -- the table
+    columns next to it carry the numbers.
+    """
+    points = [float(v) for v in values if v is not None]
+    if not points:
+        return ""
+    if len(points) > width:
+        # Bucket-max downsampling: tail spikes must survive.
+        bucketed = []
+        for index in range(width):
+            lo = index * len(points) // width
+            hi = max(lo + 1, (index + 1) * len(points) // width)
+            bucketed.append(max(points[lo:hi]))
+        points = bucketed
+    low, high = min(points), max(points)
+    span = high - low
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(points)
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[min(top, int((value - low) / span * top))]
+        for value in points
+    )
+
+
+def build_dashboard(
+    profiles: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    size: int = 1_000,
+    steps: int = 48,
+    seed: int = 7,
+    slo_path: Optional[str] = None,
+    trend_path: Optional[str] = None,
+    registry: Any = None,
+) -> Dict[str, Any]:
+    """Measure the cell grid and assemble the dashboard payload."""
+    from repro.bench import run_stamp
+    from repro.plugins.registry import standard_registry
+    from repro.traffic.harness import measure_profile
+
+    profiles = tuple(profiles) if profiles else DEFAULT_PROFILES
+    backends = tuple(backends) if backends else DEFAULT_BACKENDS
+    workloads = tuple(workloads) if workloads else DEFAULT_WORKLOADS
+    registry = registry if registry is not None else standard_registry()
+    cells: List[Dict[str, Any]] = []
+    for workload in workloads:
+        for backend in backends:
+            for profile in profiles:
+                cells.append(
+                    measure_profile(
+                        registry,
+                        workload=workload,
+                        size=size,
+                        backend=backend,
+                        profile=profile,
+                        steps=steps,
+                        seed=seed,
+                    )
+                )
+    slo_report: Optional[Dict[str, Any]] = None
+    slo_error: Optional[str] = None
+    resolved_slo = slo_path if slo_path is not None else DEFAULT_SLO_PATH
+    resolved_trend = trend_path if trend_path is not None else DEFAULT_TREND_PATH
+    trend = load_trend(resolved_trend)
+    try:
+        policy = load_slo(resolved_slo)
+    except SloError as error:
+        # A missing budget file demotes the dashboard to measurements
+        # only; it must not turn a monitoring view into a crash.
+        slo_error = str(error)
+    else:
+        slo_report = evaluate_slo(policy, cells, trend)
+    return {
+        "kind": "dashboard",
+        **run_stamp(),
+        "size": size,
+        "steps": steps,
+        "seed": seed,
+        "workloads": list(workloads),
+        "backends": list(backends),
+        "profiles": list(profiles),
+        "slo_path": resolved_slo,
+        "trend_path": resolved_trend,
+        "trend_runs": len(trend),
+        "cells": cells,
+        "slo": slo_report,
+        "slo_error": slo_error,
+    }
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}ms"
+    return f"{value:.2f}ms"
+
+
+def _fmt_tp(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:,.0f}"
+
+
+_STATUS_MARK = {"ok": "ok", "violated": "FAIL", "unbudgeted": "??"}
+
+
+def render_dashboard(data: Dict[str, Any]) -> str:
+    """The text view of a :func:`build_dashboard` payload."""
+    lines: List[str] = []
+    cells = data.get("cells", [])
+    slo = data.get("slo")
+    lines.append(
+        f"repro dashboard -- {len(cells)} cells, "
+        f"size={data.get('size')}, steps={data.get('steps')}, "
+        f"seed={data.get('seed')}  ({data.get('generated_at', '?')}, "
+        f"git {data.get('git_sha', 'unknown')[:12]})"
+    )
+    if slo is not None:
+        verdict = "PASS" if slo["ok"] else "FAIL"
+        lines.append(
+            f"SLO {verdict}: {slo['violations']} violated, "
+            f"{slo['unbudgeted']} unbudgeted "
+            f"(budgets {data.get('slo_path')}, "
+            f"trend {data.get('trend_runs', 0)} prior runs)"
+        )
+    elif data.get("slo_error"):
+        lines.append(f"SLO skipped: {data['slo_error']}")
+    lines.append("")
+    verdict_by_cell: Dict[str, Dict[str, Any]] = {}
+    if slo is not None:
+        verdict_by_cell = {v["cell"]: v for v in slo["verdicts"]}
+    name_width = max(
+        [len(_cell_name(cell)) for cell in cells] + [len("cell")]
+    )
+    header = (
+        f"{'cell':<{name_width}}  {'p50':>8} {'p99':>8} {'p999':>8} "
+        f"{'chg/s':>8}  {'slo':<4}  latency"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in cells:
+        name = _cell_name(cell)
+        latency = cell.get("latency_ms") or {}
+        verdict = verdict_by_cell.get(name)
+        mark = _STATUS_MARK.get(verdict["status"], "?") if verdict else "-"
+        lines.append(
+            f"{name:<{name_width}}  "
+            f"{_fmt_ms(latency.get('p50')):>8} "
+            f"{_fmt_ms(latency.get('p99')):>8} "
+            f"{_fmt_ms(latency.get('p999')):>8} "
+            f"{_fmt_tp(cell.get('changes_per_s')):>8}  "
+            f"{mark:<4}  "
+            f"{sparkline(cell.get('latency_history_ms', ()))}"
+        )
+    for cell in cells:
+        name = _cell_name(cell)
+        lines.append("")
+        lines.append(name)
+        phases = cell.get("phases_ms") or {}
+        phase_bits = []
+        for phase_name in ("derivative", "oplus"):
+            phase = phases.get(phase_name) or {}
+            if phase.get("count"):
+                phase_bits.append(
+                    f"{phase_name} p50={_fmt_ms(phase.get('p50_ms'))} "
+                    f"p99={_fmt_ms(phase.get('p99_ms'))} "
+                    f"(n={phase['count']})"
+                )
+        if phase_bits:
+            lines.append("  phases: " + " | ".join(phase_bits))
+        lines.append(
+            f"  changes={cell.get('changes')} reads={cell.get('reads')} "
+            f"rejected={cell.get('rejected_changes')} "
+            f"coalesced={cell.get('coalesced_changes')} "
+            f"wall={cell.get('wall_s', 0):.3f}s"
+        )
+        verdict = verdict_by_cell.get(name)
+        if verdict is None:
+            continue
+        budget = verdict.get("budget")
+        if budget is not None:
+            limits = []
+            if budget.get("p99_ms") is not None:
+                limits.append(f"p99<={budget['p99_ms']}ms")
+            if budget.get("p999_ms") is not None:
+                limits.append(f"p999<={budget['p999_ms']}ms")
+            if budget.get("min_changes_per_s") is not None:
+                limits.append(f"chg/s>={budget['min_changes_per_s']}")
+            lines.append(
+                f"  slo [{verdict['status']}]: " + " ".join(limits)
+            )
+        else:
+            lines.append("  slo: no matching budget")
+        if verdict.get("trend_baseline_p99_ms") is not None:
+            lines.append(
+                "  trend baseline p99: "
+                f"{_fmt_ms(verdict['trend_baseline_p99_ms'])}"
+                + (" (REGRESSED)" if verdict.get("regressed") else "")
+            )
+        for reason in verdict.get("reasons", ()):
+            lines.append(f"    ! {reason}")
+    return "\n".join(lines)
+
+
+def _cell_name(cell: Dict[str, Any]) -> str:
+    return f"{cell['workload']}/{cell['backend']}/{cell['profile']}"
+
+
+__all__ = [
+    "DEFAULT_BACKENDS",
+    "DEFAULT_PROFILES",
+    "DEFAULT_WORKLOADS",
+    "build_dashboard",
+    "render_dashboard",
+    "sparkline",
+]

@@ -107,6 +107,19 @@ def write_jsonl(
     return count
 
 
+def read_jsonl(source: Union[str, TextIO]) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines stream back into records (blank lines skipped).
+
+    The inverse of :func:`write_jsonl` for everything it writes from
+    plain data; values serialized via the ``repr`` fallback come back as
+    strings.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_jsonl(handle)
+    return [json.loads(line) for line in source if line.strip()]
+
+
 def export_metrics(
     path: str, registry: Optional[MetricsRegistry] = None
 ) -> int:

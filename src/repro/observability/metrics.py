@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.observability.quantiles import DEFAULT_QUANTILES, QuantileSketch
+
 
 class Counter:
     """A monotonically-increasing (per reset) integer metric."""
@@ -61,14 +63,16 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary of observed values (count/total/min/max).
+    """A streaming summary of observed values, percentiles included.
 
-    Percentile sketches are deliberately out of scope: the per-step span
-    records exact values, and the histogram exists for cheap aggregate
-    reporting (mean step time, worst step time).
+    Aggregates (count/total/min/max) are exact; percentiles come from a
+    :class:`~repro.observability.quantiles.QuantileSketch` -- exact for
+    short streams, P²-estimated (O(1) memory) once the stream outgrows
+    the sketch's buffer.  The tracked quantiles (p50/p90/p99/p999) are
+    what the SLO layer and the dashboard read.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "sketch")
 
     def __init__(self, name: str):
         self.name = name
@@ -76,6 +80,7 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.sketch = QuantileSketch(DEFAULT_QUANTILES)
 
     def record(self, value: float) -> None:
         self.count += 1
@@ -84,25 +89,33 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.sketch.record(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of the recorded values (None while empty)."""
+        return self.sketch.quantile(q)
 
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
+        self.sketch.reset()
 
     def summary(self) -> Dict[str, Any]:
-        return {
+        summary: Dict[str, Any] = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
         }
+        summary.update(self.sketch.summary())
+        return summary
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.6g})"

@@ -1,0 +1,219 @@
+"""Streaming quantile estimation for latency telemetry.
+
+The SLO layer asks questions about *tails* -- "does p99 step latency
+stay under budget?" -- and tails are exactly what count/total/min/max
+summaries cannot answer.  This module provides the percentile engine:
+
+* :class:`P2Quantile` -- the P² algorithm (Jain & Chlamtac, CACM 1985):
+  a single-quantile estimator holding five markers, O(1) memory and
+  O(1) per observation, no buckets to pre-size;
+* :class:`QuantileSketch` -- a fixed set of tracked quantiles that is
+  *exact* while the sample count is small (all samples kept and sorted
+  on demand) and switches to the P² markers once the stream outgrows
+  the exact buffer.  Small runs -- tests, ``--quick`` benches, short
+  traces -- therefore report true percentiles, while unbounded
+  production streams stay O(1) per quantile.
+
+Estimates are deterministic functions of the observation sequence (no
+randomized sampling), which keeps seeded traffic runs byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: The quantiles every latency sketch tracks by default.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99, 0.999)
+
+#: Summary-key spelling for a quantile: 0.5 -> "p50", 0.999 -> "p999".
+def quantile_key(q: float) -> str:
+    """The conventional percentile label: 0.5 → p50, 0.999 → p999."""
+    digits = f"{q:.10f}".split(".")[1].rstrip("0") or "0"
+    # Percentiles are two digits by convention (p50, p90); only finer
+    # quantiles grow a third digit (p999, p9999).
+    if len(digits) == 1:
+        digits += "0"
+    return f"p{digits}"
+
+
+def exact_quantile(ordered: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of an already-sorted sample, by linear
+    interpolation between closest ranks (the numpy default)."""
+    if not ordered:
+        raise ValueError("no samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class P2Quantile:
+    """One quantile, estimated with the P² five-marker algorithm.
+
+    Exact until five observations have arrived; after that the markers
+    track the quantile with piecewise-parabolic height adjustment.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rates = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        # 1. Find the cell the observation falls into and bump the
+        #    marker positions above it.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._rates[index]
+        # 2. Nudge the three interior markers toward their desired
+        #    positions, adjusting heights parabolically.
+        for index in range(1, 4):
+            drift = self._desired[index] - positions[index]
+            if (drift >= 1.0 and positions[index + 1] - positions[index] > 1.0) or (
+                drift <= -1.0 and positions[index - 1] - positions[index] < -1.0
+            ):
+                direction = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(index, direction)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, direction)
+                positions[index] += direction
+
+    def _parabolic(self, index: int, direction: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        below = positions[index] - positions[index - 1]
+        above = positions[index + 1] - positions[index]
+        span = positions[index + 1] - positions[index - 1]
+        return heights[index] + direction / span * (
+            (below + direction)
+            * (heights[index + 1] - heights[index])
+            / above
+            + (above - direction)
+            * (heights[index] - heights[index - 1])
+            / below
+        )
+
+    def _linear(self, index: int, direction: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        step = int(direction)
+        return heights[index] + direction * (
+            heights[index + step] - heights[index]
+        ) / (positions[index + step] - positions[index])
+
+    def value(self) -> Optional[float]:
+        """The current estimate (exact below five observations)."""
+        if self.count == 0:
+            return None
+        if self.count <= 5:
+            return exact_quantile(self._heights, self.q)
+        return self._heights[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"P2Quantile(q={self.q}, n={self.count}, est={self.value()})"
+
+
+class QuantileSketch:
+    """A fixed family of quantiles over one value stream.
+
+    Every observation feeds both an exact buffer (up to ``exact_limit``
+    samples) and one :class:`P2Quantile` per tracked quantile.  While
+    the stream fits the buffer, *any* quantile is answered exactly;
+    beyond it, the tracked quantiles answer from their P² markers and
+    the buffer is dropped.
+    """
+
+    __slots__ = ("quantiles", "count", "_estimators", "_exact", "_exact_limit")
+
+    def __init__(
+        self,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        exact_limit: int = 512,
+    ):
+        self.quantiles: Tuple[float, ...] = tuple(quantiles)
+        self.count = 0
+        self._estimators = {q: P2Quantile(q) for q in self.quantiles}
+        self._exact: Optional[List[float]] = []
+        self._exact_limit = exact_limit
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        for estimator in self._estimators.values():
+            estimator.record(value)
+        if self._exact is not None:
+            self._exact.append(value)
+            if len(self._exact) > self._exact_limit:
+                self._exact = None  # outgrown: markers take over
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile estimate; None while empty.
+
+        Exact whenever the stream still fits the exact buffer (any
+        ``q``); otherwise answered by the tracked P² estimator --
+        untracked quantiles then raise ``KeyError``.
+        """
+        if self.count == 0:
+            return None
+        if self._exact is not None:
+            return exact_quantile(sorted(self._exact), q)
+        return self._estimators[q].value()
+
+    @property
+    def is_exact(self) -> bool:
+        return self._exact is not None
+
+    def summary(self) -> Dict[str, Any]:
+        """``{"p50": ..., "p90": ..., ...}`` for the tracked quantiles."""
+        return {
+            quantile_key(q): self.quantile(q) for q in self.quantiles
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self._estimators = {q: P2Quantile(q) for q in self.quantiles}
+        self._exact = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantileSketch(n={self.count}, "
+            f"{'exact' if self.is_exact else 'p2'}, {self.summary()})"
+        )
+
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "P2Quantile",
+    "QuantileSketch",
+    "exact_quantile",
+    "quantile_key",
+]

@@ -115,10 +115,14 @@ def format_metrics(registry: Optional[MetricsRegistry] = None) -> str:
     if histograms:
         lines.append("histograms:")
         for name, summary in histograms.items():
-            lines.append(
-                f"  {name}  n={summary['count']} "
-                f"mean={_format_seconds(summary['mean'])} "
-                f"min={_format_seconds(summary['min'])} "
-                f"max={_format_seconds(summary['max'])}"
-            )
+            parts = [
+                f"  {name}  n={summary['count']}",
+                f"mean={_format_seconds(summary['mean'])}",
+                f"min={_format_seconds(summary['min'])}",
+                f"max={_format_seconds(summary['max'])}",
+            ]
+            for key in ("p50", "p90", "p99", "p999"):
+                if summary.get(key) is not None:
+                    parts.append(f"{key}={_format_seconds(summary[key])}")
+            lines.append(" ".join(parts))
     return "\n".join(lines) if lines else "no metrics recorded"

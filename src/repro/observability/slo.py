@@ -1,0 +1,322 @@
+"""Declarative latency budgets and the SLO verdict engine.
+
+``slo.json`` (checked in at the repo root) declares, per
+(workload, backend, traffic profile) cell, what the build must hold:
+a p99 (optionally p999) per-step latency ceiling and a changes/sec
+floor.  This module loads those budgets, matches them against measured
+traffic cells (:func:`repro.traffic.harness.measure_profile` rows), and
+renders verdicts -- plus a *regression* check against the committed
+trend history (``BENCH_trend.jsonl``), so a build can fail CI by
+getting slower even while still inside its absolute budget.
+
+Budget matching supports ``"*"`` wildcards per field; the most specific
+budget wins (exact fields beat wildcards, ties broken by declaration
+order).  A cell with no matching budget gets an ``"unbudgeted"``
+verdict -- visible, never failing.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+#: Default location of the budget file, relative to the repo root.
+DEFAULT_SLO_PATH = "slo.json"
+
+#: Default location of the append-only trend history.
+DEFAULT_TREND_PATH = "BENCH_trend.jsonl"
+
+
+class SloError(ReproError, ValueError):
+    """The budget file is malformed or unreadable."""
+
+
+@dataclass(frozen=True)
+class LatencyBudget:
+    """One declared budget cell (``"*"`` matches any value)."""
+
+    workload: str = "*"
+    backend: str = "*"
+    profile: str = "*"
+    p99_ms: Optional[float] = None
+    p999_ms: Optional[float] = None
+    min_changes_per_s: Optional[float] = None
+
+    def matches(self, workload: str, backend: str, profile: str) -> bool:
+        return (
+            self.workload in ("*", workload)
+            and self.backend in ("*", backend)
+            and self.profile in ("*", profile)
+        )
+
+    @property
+    def specificity(self) -> int:
+        return sum(
+            1 for fieldvalue in (self.workload, self.backend, self.profile)
+            if fieldvalue != "*"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "backend": self.backend,
+            "profile": self.profile,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+            "min_changes_per_s": self.min_changes_per_s,
+        }
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """When does "slower than history" become a failure?
+
+    A cell regresses when its p99 exceeds ``factor`` times the median
+    p99 of the same cell across the trend history, provided at least
+    ``min_history`` prior entries exist (fewer and the check abstains
+    -- young trend files never fail).
+    """
+
+    factor: float = 3.0
+    min_history: int = 3
+
+
+@dataclass
+class SloPolicy:
+    """The parsed budget file."""
+
+    budgets: List[LatencyBudget] = field(default_factory=list)
+    regression: RegressionPolicy = field(default_factory=RegressionPolicy)
+    version: int = 1
+
+    def budget_for(
+        self, workload: str, backend: str, profile: str
+    ) -> Optional[LatencyBudget]:
+        """The most specific matching budget (None when unbudgeted)."""
+        best: Optional[LatencyBudget] = None
+        for budget in self.budgets:
+            if not budget.matches(workload, backend, profile):
+                continue
+            if best is None or budget.specificity > best.specificity:
+                best = budget
+        return best
+
+
+def load_slo(path: str = DEFAULT_SLO_PATH) -> SloPolicy:
+    """Parse ``slo.json`` into an :class:`SloPolicy`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except OSError as error:
+        raise SloError(f"cannot read SLO budget file {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise SloError(f"malformed SLO budget file {path!r}: {error}") from error
+    if not isinstance(raw, dict) or not isinstance(raw.get("budgets"), list):
+        raise SloError(
+            f"SLO budget file {path!r} must be an object with a 'budgets' list"
+        )
+    budgets = []
+    for index, entry in enumerate(raw["budgets"]):
+        if not isinstance(entry, dict):
+            raise SloError(f"budget #{index} in {path!r} is not an object")
+        unknown = set(entry) - {
+            "workload", "backend", "profile",
+            "p99_ms", "p999_ms", "min_changes_per_s",
+        }
+        if unknown:
+            raise SloError(
+                f"budget #{index} in {path!r} has unknown fields: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        budgets.append(LatencyBudget(**entry))
+    regression_raw = raw.get("regression", {})
+    regression = RegressionPolicy(
+        factor=float(regression_raw.get("factor", 3.0)),
+        min_history=int(regression_raw.get("min_history", 3)),
+    )
+    return SloPolicy(
+        budgets=budgets,
+        regression=regression,
+        version=int(raw.get("version", 1)),
+    )
+
+
+# -- verdicts ------------------------------------------------------------------
+
+def _cell_key(row: Dict[str, Any]) -> str:
+    return f"{row['workload']}/{row['backend']}/{row['profile']}"
+
+
+def evaluate_cell(
+    policy: SloPolicy,
+    row: Dict[str, Any],
+    history: Sequence[Dict[str, Any]] = (),
+) -> Dict[str, Any]:
+    """The verdict for one measured traffic cell.
+
+    ``row`` is a :func:`~repro.traffic.harness.measure_profile` row;
+    ``history`` is prior trend *cells* for the same
+    workload/backend/profile (each with at least ``p99_ms``).  Status is
+    ``"ok"``, ``"violated"``, or ``"unbudgeted"``; every breached limit
+    contributes a human-readable reason.
+    """
+    budget = policy.budget_for(row["workload"], row["backend"], row["profile"])
+    latency = row.get("latency_ms") or {}
+    p99 = latency.get("p99")
+    p999 = latency.get("p999")
+    throughput = row.get("changes_per_s")
+    reasons: List[str] = []
+    if budget is not None:
+        if budget.p99_ms is not None and (p99 is None or p99 > budget.p99_ms):
+            reasons.append(
+                f"p99 {p99 if p99 is None else format(p99, '.3f')}ms "
+                f"exceeds budget {budget.p99_ms}ms"
+            )
+        if budget.p999_ms is not None and (
+            p999 is None or p999 > budget.p999_ms
+        ):
+            reasons.append(
+                f"p999 {p999 if p999 is None else format(p999, '.3f')}ms "
+                f"exceeds budget {budget.p999_ms}ms"
+            )
+        if budget.min_changes_per_s is not None and (
+            throughput is None or throughput < budget.min_changes_per_s
+        ):
+            reasons.append(
+                f"throughput "
+                f"{throughput if throughput is None else format(throughput, '.0f')}"
+                f" changes/s below floor {budget.min_changes_per_s}"
+            )
+    regressed = False
+    baseline_p99: Optional[float] = None
+    prior = [
+        entry["p99_ms"]
+        for entry in history
+        if entry.get("p99_ms") is not None
+    ]
+    if p99 is not None and len(prior) >= policy.regression.min_history:
+        baseline_p99 = statistics.median(prior)
+        if baseline_p99 > 0 and p99 > policy.regression.factor * baseline_p99:
+            regressed = True
+            reasons.append(
+                f"p99 {p99:.3f}ms regressed beyond "
+                f"{policy.regression.factor}x the trend median "
+                f"{baseline_p99:.3f}ms"
+            )
+    if budget is None and not regressed:
+        status = "unbudgeted" if not reasons else "violated"
+    else:
+        status = "ok" if not reasons else "violated"
+    return {
+        "cell": _cell_key(row),
+        "workload": row["workload"],
+        "backend": row["backend"],
+        "profile": row["profile"],
+        "status": status,
+        "reasons": reasons,
+        "budget": budget.to_dict() if budget is not None else None,
+        "measured": {
+            "p50_ms": latency.get("p50"),
+            "p99_ms": p99,
+            "p999_ms": p999,
+            "changes_per_s": throughput,
+        },
+        "trend_baseline_p99_ms": baseline_p99,
+        "regressed": regressed,
+    }
+
+
+def evaluate_slo(
+    policy: SloPolicy,
+    rows: Sequence[Dict[str, Any]],
+    trend: Sequence[Dict[str, Any]] = (),
+) -> Dict[str, Any]:
+    """Verdicts for a batch of measured cells.
+
+    ``trend`` is the parsed ``BENCH_trend.jsonl`` (one entry per prior
+    run, each carrying a ``cells`` list); each measured row is compared
+    against its own cell's history.  The report's ``ok`` is the single
+    boolean the CI gate reads.
+    """
+    history_by_cell: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in trend:
+        for cell in entry.get("cells", ()):
+            key = f"{cell.get('workload')}/{cell.get('backend')}/{cell.get('profile')}"
+            history_by_cell.setdefault(key, []).append(cell)
+    verdicts = [
+        evaluate_cell(policy, row, history_by_cell.get(_cell_key(row), ()))
+        for row in rows
+    ]
+    violations = [v for v in verdicts if v["status"] == "violated"]
+    return {
+        "ok": not violations,
+        "verdicts": verdicts,
+        "violations": len(violations),
+        "unbudgeted": sum(1 for v in verdicts if v["status"] == "unbudgeted"),
+        "regression": {
+            "factor": policy.regression.factor,
+            "min_history": policy.regression.min_history,
+        },
+    }
+
+
+# -- trend history -------------------------------------------------------------
+
+def trend_cell(row: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact per-cell record a trend entry stores."""
+    latency = row.get("latency_ms") or {}
+    return {
+        "workload": row["workload"],
+        "backend": row["backend"],
+        "profile": row["profile"],
+        "n": row.get("n"),
+        "steps": row.get("steps"),
+        "p50_ms": latency.get("p50"),
+        "p99_ms": latency.get("p99"),
+        "p999_ms": latency.get("p999"),
+        "changes_per_s": row.get("changes_per_s"),
+    }
+
+
+def load_trend(path: str = DEFAULT_TREND_PATH) -> List[Dict[str, Any]]:
+    """The parsed trend history ([] when the file does not exist yet)."""
+    from repro.observability.export import read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except FileNotFoundError:
+        return []
+
+
+def append_trend_entry(
+    path: str,
+    rows: Sequence[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Append one run's cells to the trend history; returns the entry."""
+    entry: Dict[str, Any] = dict(meta or {})
+    entry["cells"] = [trend_cell(row) for row in rows]
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True))
+        handle.write("\n")
+    return entry
+
+
+__all__ = [
+    "DEFAULT_SLO_PATH",
+    "DEFAULT_TREND_PATH",
+    "LatencyBudget",
+    "RegressionPolicy",
+    "SloError",
+    "SloPolicy",
+    "append_trend_entry",
+    "evaluate_cell",
+    "evaluate_slo",
+    "load_slo",
+    "load_trend",
+    "trend_cell",
+]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -40,6 +41,12 @@ _BYTES = _metrics.GLOBAL_REGISTRY.counter("persistence.journal.bytes_written")
 _FSYNCS = _metrics.GLOBAL_REGISTRY.counter("persistence.journal.fsyncs")
 _TRUNCATED_BYTES = _metrics.GLOBAL_REGISTRY.counter(
     "persistence.journal.truncated_bytes"
+)
+#: Wall time of one durable append (write + flush + fsync under the
+#: "always" policy) -- the journal-fsync phase of a durable step's
+#: latency breakdown.
+_APPEND_WALL = _metrics.GLOBAL_REGISTRY.histogram(
+    "persistence.journal.append_wall_time_s"
 )
 
 #: ``LLLLLLLL CCCCCCCC `` -- two 8-hex-digit fields and two spaces.
@@ -184,6 +191,7 @@ class Journal:
         """Durably append one record; returns its ``(start, end)`` extent."""
         frame = _frame(payload)
         start = self._offset
+        began = time.perf_counter() if _STATE.on else 0.0
         try:
             self._handle.write(frame)
             self._handle.flush()
@@ -199,6 +207,7 @@ class Journal:
         if _STATE.on:
             _APPENDS.inc()
             _BYTES.inc(len(frame))
+            _APPEND_WALL.record(time.perf_counter() - began)
         return start, self._offset
 
     def sync(self) -> None:

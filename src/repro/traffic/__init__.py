@@ -1,0 +1,52 @@
+"""Traffic models: adversarial, seeded change streams for the harness.
+
+The driver's uniform workload answers "is the derivative fast?"; this
+package answers "does it *stay* fast when traffic misbehaves?".  It
+composes seeded generators -- Zipf-skewed key popularity, burst/lull
+duty cycles, hot-key churn, read/write mixes, fault storms -- into
+named :class:`~repro.traffic.models.TrafficProfile`\\ s consumable by
+``repro trace --profile``, the ``repro bench`` SLO gate, and
+``repro dashboard``:
+
+* :mod:`repro.traffic.models`   -- the composable axes and the event
+  stream compiler (deterministic in the seed);
+* :mod:`repro.traffic.profiles` -- the named profile registry;
+* :mod:`repro.traffic.harness`  -- the measurement core: one profile ×
+  workload × backend run, reporting latency quantiles, changes/sec,
+  and per-phase breakdowns.
+"""
+
+from repro.traffic.harness import TRAFFIC_WORKLOADS, measure_profile
+from repro.traffic.models import (
+    BurstLull,
+    FaultStorm,
+    HotKeyChurn,
+    Steady,
+    TrafficError,
+    TrafficEvent,
+    TrafficProfile,
+    UniformKeys,
+    ZipfKeys,
+    change_for_type,
+    stream_signature,
+)
+from repro.traffic.profiles import PROFILES, get_profile, profile_names
+
+__all__ = [
+    "BurstLull",
+    "FaultStorm",
+    "HotKeyChurn",
+    "PROFILES",
+    "Steady",
+    "TRAFFIC_WORKLOADS",
+    "TrafficError",
+    "TrafficEvent",
+    "TrafficProfile",
+    "UniformKeys",
+    "ZipfKeys",
+    "change_for_type",
+    "get_profile",
+    "measure_profile",
+    "profile_names",
+    "stream_signature",
+]

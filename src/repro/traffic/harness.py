@@ -1,0 +1,183 @@
+"""Run a traffic profile against a workload and measure the tail.
+
+This is the measurement core shared by ``repro bench`` (the SLO gate's
+traffic cells) and ``repro dashboard``: one
+:func:`measure_profile` call = one (workload × backend × profile) cell,
+reporting per-step latency quantiles (p50/p90/p99/p999), changes/sec
+throughput, and the per-phase breakdown (derivative vs ⊕ vs journal
+append+fsync) the capacity question decomposes into.
+
+Latency is wall time per *event* -- a burst delivered through
+``step_batch`` counts each absorbed change toward throughput but is one
+latency sample, matching how a serving layer would experience it.  Under
+a fault storm the engine runs behind
+:class:`~repro.incremental.resilient.ResilientProgram`; rejected rows
+still cost (and are timed as) a step -- hostile traffic is load too.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.data.bag import Bag
+from repro.errors import ReproError
+from repro.incremental.engine import IncrementalProgram
+from repro.incremental.resilient import ResiliencePolicy, ResilientProgram
+from repro.lang.types import uncurry_fun_type
+from repro.mapreduce.skeleton import grand_total_term, histogram_term
+from repro.mapreduce.workloads import make_corpus
+from repro.observability import observing
+from repro.observability.quantiles import QuantileSketch
+from repro.plugins.registry import Registry
+from repro.traffic.models import TrafficError, TrafficProfile
+from repro.traffic.profiles import get_profile
+
+
+def _histogram_inputs(registry: Registry, size: int) -> Tuple[Any, Tuple[Any, ...]]:
+    corpus = make_corpus(size, vocabulary_size=1_000, seed=42)
+    return histogram_term(registry), (corpus.documents,)
+
+
+def _grand_total_inputs(registry: Registry, size: int) -> Tuple[Any, Tuple[Any, ...]]:
+    xs = Bag.from_iterable(range(size))
+    ys = Bag.from_iterable(range(size, 2 * size))
+    return grand_total_term(registry), (xs, ys)
+
+
+#: Workloads traffic cells know how to build: name -> (term, inputs).
+TRAFFIC_WORKLOADS: Dict[
+    str, Callable[[Registry, int], Tuple[Any, Tuple[Any, ...]]]
+] = {
+    "histogram": _histogram_inputs,
+    "grand_total": _grand_total_inputs,
+}
+
+
+def _phase_summary(sketch: QuantileSketch, count: int, total: float) -> Dict[str, Any]:
+    def ms(value: Optional[float]) -> Optional[float]:
+        return value * 1e3 if value is not None else None
+
+    return {
+        "count": count,
+        "mean_ms": ms(total / count) if count else None,
+        "p50_ms": ms(sketch.quantile(0.5)),
+        "p99_ms": ms(sketch.quantile(0.99)),
+    }
+
+
+def measure_profile(
+    registry: Registry,
+    workload: str = "histogram",
+    size: int = 1_000,
+    backend: str = "compiled",
+    profile: Any = "uniform",
+    steps: int = 48,
+    seed: int = 7,
+    warmup: int = 4,
+) -> Dict[str, Any]:
+    """One traffic cell: run ``profile`` traffic over ``workload`` on
+    ``backend`` and return the latency/throughput measurement row."""
+    if workload not in TRAFFIC_WORKLOADS:
+        raise TrafficError(
+            f"unknown traffic workload {workload!r} "
+            f"(available: {', '.join(sorted(TRAFFIC_WORKLOADS))})"
+        )
+    resolved: TrafficProfile = get_profile(profile)
+    term, inputs = TRAFFIC_WORKLOADS[workload](registry, size)
+    with observing():
+        engine = IncrementalProgram(term, registry, backend=backend)
+        input_types = list(uncurry_fun_type(engine.program_type)[0])[
+            : engine.arity
+        ]
+        hostile = resolved.storm is not None
+        runner: Any = (
+            ResilientProgram(engine, ResiliencePolicy(), input_types=input_types)
+            if hostile
+            else engine
+        )
+        events = list(resolved.events(input_types, steps + warmup, seed))
+        runner.initialize(*inputs)
+
+        latency = QuantileSketch()
+        derivative_sketch = QuantileSketch()
+        oplus_sketch = QuantileSketch()
+        derivative_total = oplus_total = 0.0
+        derivative_count = oplus_count = 0
+        latencies_s: List[float] = []
+        changes = reads = rejected = 0
+        wall = 0.0
+
+        for index, event in enumerate(events):
+            timed = index >= warmup
+            began = time.perf_counter()
+            if hostile or len(event.rows) == 1:
+                for row in event.rows:
+                    try:
+                        runner.step(*row)
+                    except ReproError:
+                        if not hostile:
+                            raise
+                        rejected += 1
+            elif event.rows:
+                engine.step_batch(event.rows, coalesce=True)
+            for _ in range(event.reads):
+                _ = runner.output
+            elapsed = time.perf_counter() - began
+            if not timed:
+                continue
+            span = engine.last_step_span
+            if span is not None:
+                for child in span.children:
+                    if child.name == "derivative":
+                        derivative_sketch.record(child.duration)
+                        derivative_total += child.duration
+                        derivative_count += 1
+                    elif child.name == "oplus":
+                        oplus_sketch.record(child.duration)
+                        oplus_total += child.duration
+                        oplus_count += 1
+            latency.record(elapsed)
+            latencies_s.append(elapsed)
+            wall += elapsed
+            changes += event.writes
+            reads += event.reads
+
+    def ms(value: Optional[float]) -> Optional[float]:
+        return value * 1e3 if value is not None else None
+
+    phases: Dict[str, Any] = {
+        "derivative": _phase_summary(
+            derivative_sketch, derivative_count, derivative_total
+        ),
+        "oplus": _phase_summary(oplus_sketch, oplus_count, oplus_total),
+    }
+    return {
+        "workload": workload,
+        "backend": backend,
+        "profile": resolved.name,
+        "n": size,
+        "seed": seed,
+        "steps": len(latencies_s),
+        "changes": changes,
+        "reads": reads,
+        "rejected_changes": rejected,
+        "coalesced_changes": engine.coalesced_changes,
+        "wall_s": wall,
+        "changes_per_s": changes / wall if wall > 0 else None,
+        "latency_ms": {
+            "mean": ms(wall / len(latencies_s)) if latencies_s else None,
+            "max": ms(max(latencies_s)) if latencies_s else None,
+            "p50": ms(latency.quantile(0.5)),
+            "p90": ms(latency.quantile(0.9)),
+            "p99": ms(latency.quantile(0.99)),
+            "p999": ms(latency.quantile(0.999)),
+        },
+        "phases_ms": phases,
+        #: The most recent per-event latencies (ms), oldest first --
+        #: the dashboard's sparkline feed.
+        "latency_history_ms": [value * 1e3 for value in latencies_s[-64:]],
+    }
+
+
+__all__ = ["TRAFFIC_WORKLOADS", "measure_profile"]

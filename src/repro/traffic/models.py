@@ -1,0 +1,351 @@
+"""Composable, seeded traffic models for adversarial change streams.
+
+The driver's stock workload is *uniform*: one small change per step,
+keys drawn evenly.  Production traffic is none of those things -- key
+popularity is Zipf-skewed, arrivals come in bursts, the hot set churns,
+reads interleave with writes, and sometimes a dependency melts down and
+the stream turns hostile.  This module models each of those axes as a
+small, frozen, seeded component:
+
+* **key models** -- which key (document id, map key, bag element) a
+  change touches: :class:`UniformKeys`, :class:`ZipfKeys`,
+  :class:`HotKeyChurn`;
+* **arrival models** -- how many change rows land per step:
+  :class:`Steady`, :class:`BurstLull` (bursts exercise
+  ``step_batch``'s change-batch fusion, which is exactly what the
+  change-composition algebra of Alvarez-Picallo's change actions
+  stresses);
+* **fault storms** -- a step window during which changes are corrupted
+  and/or primitives sabotaged, reusing
+  :mod:`repro.incremental.faults`;
+* :class:`TrafficProfile` -- the composition, compiled by
+  :meth:`TrafficProfile.events` into a reproducible
+  :class:`TrafficEvent` stream for a program's inferred input types.
+
+Determinism is a hard contract: ``events(...)`` consumes a single
+``random.Random(seed)`` in a fixed order, so the same (profile,
+input types, steps, seed) always yields a byte-identical stream --
+:func:`stream_signature` is the canonical fingerprint tests pin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP, map_group
+from repro.data.pmap import PMap
+from repro.errors import ReproError
+from repro.incremental.faults import corrupt_change
+from repro.lang.types import TBase, Type
+
+
+class TrafficError(ReproError, ValueError):
+    """A traffic model cannot serve the requested type or parameters."""
+
+
+# -- key models ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UniformKeys:
+    """Every key in the space equally likely."""
+
+    def key(self, rng: random.Random, space: int, step: int) -> int:
+        return rng.randrange(space)
+
+
+@dataclass(frozen=True)
+class ZipfKeys:
+    """Zipf-ish key popularity: rank drawn as ``space ** u`` so low
+    ranks dominate (the same shape `mapreduce.workloads` uses for its
+    vocabulary).  ``skew`` > 1 sharpens the head, < 1 flattens it."""
+
+    skew: float = 1.0
+
+    def key(self, rng: random.Random, space: int, step: int) -> int:
+        u = rng.random() ** self.skew
+        rank = int(space ** u) - 1
+        return min(max(rank, 0), space - 1)
+
+
+@dataclass(frozen=True)
+class HotKeyChurn:
+    """A small hot set absorbs most traffic, and the set *rotates*.
+
+    Every ``churn_every`` steps the hot set is re-drawn (seeded by the
+    epoch number, so the rotation schedule is deterministic and
+    stateless).  Rotation is the adversarial part: derivatives that
+    cache per-key state see their working set invalidated on every
+    epoch boundary.
+    """
+
+    hot_count: int = 3
+    hot_fraction: float = 0.9
+    churn_every: int = 16
+
+    def _hot_set(self, space: int, step: int) -> List[int]:
+        epoch = step // self.churn_every
+        # Derived integer seed: epoch-stable, space- and width-sensitive.
+        picker = random.Random(space * 1_000_003 + epoch * 101 + self.hot_count)
+        return [picker.randrange(space) for _ in range(self.hot_count)]
+
+    def key(self, rng: random.Random, space: int, step: int) -> int:
+        if rng.random() < self.hot_fraction:
+            return rng.choice(self._hot_set(space, step))
+        return rng.randrange(space)
+
+
+# -- arrival models ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Steady:
+    """The same number of change rows every step."""
+
+    rows_per_step: int = 1
+
+    def rows_at(self, step: int) -> int:
+        return self.rows_per_step
+
+
+@dataclass(frozen=True)
+class BurstLull:
+    """A duty cycle: ``burst_steps`` steps of ``burst_rows`` rows each,
+    then ``lull_steps`` steps of ``lull_rows``.  Bursts are delivered as
+    one batch per step, so engines get to coalesce them."""
+
+    burst_steps: int = 4
+    lull_steps: int = 8
+    burst_rows: int = 8
+    lull_rows: int = 1
+
+    def rows_at(self, step: int) -> int:
+        phase = step % (self.burst_steps + self.lull_steps)
+        return self.burst_rows if phase < self.burst_steps else self.lull_rows
+
+
+# -- fault storms --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultStorm:
+    """A hostile window: steps in ``[start, start + length)`` have each
+    change row corrupted with probability ``corrupt_ratio``, and the
+    listed primitive fault specs (the ``raise:NAME``/``wrong:NAME``
+    grammar of :func:`repro.incremental.faults.parse_fault_spec`) are
+    active for the window's duration."""
+
+    start: int = 0
+    length: int = 4
+    corrupt_ratio: float = 0.5
+    primitive_faults: Tuple[str, ...] = ()
+
+    def active_at(self, step: int) -> bool:
+        return self.start <= step < self.start + self.length
+
+
+# -- typed change synthesis ----------------------------------------------------
+
+def _is_base(ty: Type, name: str, arity: int) -> bool:
+    return isinstance(ty, TBase) and ty.name == name and len(ty.args) == arity
+
+
+def change_for_type(
+    ty: Type,
+    rng: random.Random,
+    keys: Any,
+    step: int,
+    key_space: int,
+    value_space: int,
+    removal_ratio: float,
+) -> Any:
+    """One O(1)-payload change for type ``ty`` with the key (and, for
+    bags, the element value) drawn from the key model -- the
+    popularity skew lands wherever the type has a notion of key."""
+    if _is_base(ty, "Int", 0):
+        return GroupChange(INT_ADD_GROUP, rng.randint(-5, 5))
+    if _is_base(ty, "Bool", 0):
+        return Replace(rng.random() < 0.5)
+    if _is_base(ty, "Bag", 1) and _is_base(ty.args[0], "Int", 0):
+        element = Bag.singleton(keys.key(rng, value_space, step))
+        if rng.random() < removal_ratio:
+            element = element.negate()
+        return GroupChange(BAG_GROUP, element)
+    if _is_base(ty, "Pair", 2):
+        return (
+            change_for_type(
+                ty.args[0], rng, keys, step, key_space, value_space,
+                removal_ratio,
+            ),
+            change_for_type(
+                ty.args[1], rng, keys, step, key_space, value_space,
+                removal_ratio,
+            ),
+        )
+    if _is_base(ty, "Map", 2) and _is_base(ty.args[0], "Int", 0):
+        value_type = ty.args[1]
+        key = keys.key(rng, key_space, step)
+        if _is_base(value_type, "Bag", 1):
+            word = Bag.singleton(rng.randrange(value_space))
+            if rng.random() < removal_ratio:
+                word = word.negate()
+            return GroupChange(map_group(BAG_GROUP), PMap.singleton(key, word))
+        if _is_base(value_type, "Int", 0):
+            return GroupChange(
+                map_group(INT_ADD_GROUP),
+                PMap.singleton(key, rng.randint(-5, 5)),
+            )
+    raise TrafficError(
+        f"cannot generate traffic for type {ty!r}; "
+        "supported: Int, Bool, Bag Int, pairs, Map Int (Bag Int), Map Int Int"
+    )
+
+
+# -- the composed profile ------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One step's worth of traffic.
+
+    ``rows`` is the step's burst -- each row is one change per program
+    input, deliverable as ``step_batch(rows)`` (or row-by-row ``step``
+    calls).  ``reads`` is how many read operations (output queries)
+    accompany the burst.  ``corrupt`` marks storm-mangled rows, and
+    ``storm`` flags whether a fault storm is active this step.
+    """
+
+    step: int
+    rows: Tuple[Tuple[Any, ...], ...]
+    reads: int = 0
+    corrupt: bool = False
+    storm: bool = False
+
+    @property
+    def writes(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """A named composition of traffic axes, compiled to an event stream."""
+
+    name: str
+    keys: Any = field(default_factory=UniformKeys)
+    arrival: Any = field(default_factory=Steady)
+    #: Fraction of operations that are writes; the rest become ``reads``
+    #: on the same event (1.0 = write-only, the stock driver shape).
+    write_ratio: float = 1.0
+    #: Probability a bag/map-of-bags change is a removal.
+    removal_ratio: float = 0.2
+    key_space: int = 100
+    value_space: int = 1000
+    storm: Optional[FaultStorm] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.write_ratio <= 1.0:
+            raise TrafficError(
+                f"write_ratio must be in (0, 1], got {self.write_ratio}"
+            )
+        if not 0.0 <= self.removal_ratio <= 1.0:
+            raise TrafficError(
+                f"removal_ratio must be in [0, 1], got {self.removal_ratio}"
+            )
+
+    def events(
+        self,
+        input_types: Sequence[Type],
+        steps: int,
+        seed: int = 7,
+    ) -> Iterator[TrafficEvent]:
+        """The reproducible event stream for a program with these input
+        types: same (profile, types, steps, seed) ⇒ identical events."""
+        rng = random.Random(seed)
+        for step in range(steps):
+            row_count = self.arrival.rows_at(step)
+            rows: List[Tuple[Any, ...]] = []
+            for _ in range(row_count):
+                rows.append(
+                    tuple(
+                        change_for_type(
+                            ty,
+                            rng,
+                            self.keys,
+                            step,
+                            self.key_space,
+                            self.value_space,
+                            self.removal_ratio,
+                        )
+                        for ty in input_types
+                    )
+                )
+            # Reads ride along in proportion to the write/read mix:
+            # write_ratio 0.25 means 3 reads accompany every write.
+            reads = 0
+            if self.write_ratio < 1.0:
+                per_write = (1.0 - self.write_ratio) / self.write_ratio
+                exact = per_write * row_count
+                reads = int(exact)
+                if rng.random() < exact - reads:
+                    reads += 1
+            storm_active = self.storm is not None and self.storm.active_at(step)
+            corrupt = False
+            if storm_active and self.storm.corrupt_ratio > 0:
+                mangled: List[Tuple[Any, ...]] = []
+                for row in rows:
+                    if rng.random() < self.storm.corrupt_ratio:
+                        corrupt = True
+                        mangled.append(
+                            tuple(corrupt_change(change, rng) for change in row)
+                        )
+                    else:
+                        mangled.append(row)
+                rows = mangled
+            yield TrafficEvent(
+                step=step,
+                rows=tuple(rows),
+                reads=reads,
+                corrupt=corrupt,
+                storm=storm_active,
+            )
+
+    def storm_faults(self) -> Tuple[str, ...]:
+        """The primitive fault specs a runner must arm during storm steps."""
+        return self.storm.primitive_faults if self.storm else ()
+
+
+def stream_signature(
+    profile: TrafficProfile,
+    input_types: Sequence[Type],
+    steps: int,
+    seed: int = 7,
+) -> str:
+    """A canonical fingerprint of the full event stream.
+
+    Built from ``repr`` of every event component; byte-identical across
+    runs and processes for the same inputs, so determinism tests can
+    compare signatures instead of materialized change objects.
+    """
+    parts: List[str] = []
+    for event in profile.events(input_types, steps, seed):
+        parts.append(
+            f"{event.step}|{event.reads}|{int(event.corrupt)}|"
+            f"{int(event.storm)}|{event.rows!r}"
+        )
+    return "\n".join(parts)
+
+
+__all__ = [
+    "BurstLull",
+    "FaultStorm",
+    "HotKeyChurn",
+    "Steady",
+    "TrafficError",
+    "TrafficEvent",
+    "TrafficProfile",
+    "UniformKeys",
+    "ZipfKeys",
+    "change_for_type",
+    "stream_signature",
+]

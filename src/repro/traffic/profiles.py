@@ -1,0 +1,112 @@
+"""The named traffic profiles the CLI, bench, and dashboard consume.
+
+Each profile is one answer to "what does production look like today?":
+
+* ``uniform``     -- the stock driver shape: one uniformly-keyed change
+  per step (the Fig. 7 workload's change stream);
+* ``zipf``        -- steady arrivals, Zipf-skewed key popularity (a few
+  hot documents take most writes);
+* ``zipf-burst``  -- Zipf keys under a burst/lull duty cycle; bursts
+  arrive as batches so change-batch fusion gets exercised;
+* ``hot-churn``   -- a rotating hot set: 90% of writes hit 3 keys, and
+  the 3 keys change every 16 steps;
+* ``read-heavy``  -- 3 reads per write over Zipf keys (a serving-layer
+  mix: output queries dominate);
+* ``write-storm`` -- heavy steady write load (4 rows/step) with more
+  removals, uniform keys;
+* ``fault-storm`` -- uniform traffic that turns hostile for a window:
+  half the rows corrupted during steps 8-15 (run it under
+  ``--resilient`` -- rejecting the garbage *is* the behaviour under
+  test).
+
+Profiles are looked up by name (:func:`get_profile`) everywhere a CLI
+flag or a bench cell names one, so adding an entry here lights it up in
+``repro trace --profile``, ``repro bench``, and ``repro dashboard`` at
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.traffic.models import (
+    BurstLull,
+    FaultStorm,
+    HotKeyChurn,
+    Steady,
+    TrafficError,
+    TrafficProfile,
+    UniformKeys,
+    ZipfKeys,
+)
+
+PROFILES: Dict[str, TrafficProfile] = {
+    profile.name: profile
+    for profile in (
+        TrafficProfile(
+            name="uniform",
+            keys=UniformKeys(),
+            arrival=Steady(1),
+            description="one uniformly-keyed change per step (driver default)",
+        ),
+        TrafficProfile(
+            name="zipf",
+            keys=ZipfKeys(skew=1.2),
+            arrival=Steady(1),
+            description="steady arrivals, Zipf-skewed key popularity",
+        ),
+        TrafficProfile(
+            name="zipf-burst",
+            keys=ZipfKeys(skew=1.2),
+            arrival=BurstLull(burst_steps=4, lull_steps=8, burst_rows=8),
+            description="Zipf keys under a burst/lull duty cycle",
+        ),
+        TrafficProfile(
+            name="hot-churn",
+            keys=HotKeyChurn(hot_count=3, hot_fraction=0.9, churn_every=16),
+            arrival=Steady(2),
+            description="90% of writes hit a 3-key hot set that rotates",
+        ),
+        TrafficProfile(
+            name="read-heavy",
+            keys=ZipfKeys(skew=1.2),
+            arrival=Steady(1),
+            write_ratio=0.25,
+            description="3 reads per write over Zipf keys",
+        ),
+        TrafficProfile(
+            name="write-storm",
+            keys=UniformKeys(),
+            arrival=Steady(4),
+            removal_ratio=0.4,
+            description="heavy steady write load with frequent removals",
+        ),
+        TrafficProfile(
+            name="fault-storm",
+            keys=UniformKeys(),
+            arrival=Steady(1),
+            storm=FaultStorm(start=8, length=8, corrupt_ratio=0.5),
+            description="half the rows corrupted during steps 8-15",
+        ),
+    )
+}
+
+
+def profile_names() -> List[str]:
+    return sorted(PROFILES)
+
+
+def get_profile(profile: Union[str, TrafficProfile]) -> TrafficProfile:
+    """Resolve a profile by name (pass-through for profile objects)."""
+    if isinstance(profile, TrafficProfile):
+        return profile
+    resolved = PROFILES.get(profile)
+    if resolved is None:
+        raise TrafficError(
+            f"unknown traffic profile {profile!r} "
+            f"(available: {', '.join(profile_names())})"
+        )
+    return resolved
+
+
+__all__ = ["PROFILES", "get_profile", "profile_names"]

@@ -459,3 +459,138 @@ class TestArgparse:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTrafficProfiles:
+    def test_trace_with_profile(self):
+        code, output = run_cli(
+            "trace",
+            r"\xs -> foldBag gplus id xs",
+            "--steps", "8", "--size", "100",
+            "--profile", "zipf-burst", "--verify",
+        )
+        assert code == 0
+        assert "verify:" in output and "ok" in output
+
+    def test_trace_burst_profile_batches(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, output = run_cli(
+            "trace",
+            r"\xs -> foldBag gplus id xs",
+            "--steps", "6", "--size", "100",
+            "--profile", "zipf-burst", "--json",
+            "--export", str(path),
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in output.splitlines() if line.strip()
+        ]
+        # One record per event: bursts are absorbed into single steps...
+        assert len(records) == 6
+        exported = [
+            json.loads(line)
+            for line in path.read_text().splitlines() if line.strip()
+        ]
+        # ...and the absorbed rows show up as coalesced changes.
+        coalesced = next(
+            record for record in exported
+            if record["type"] == "counter"
+            and record["name"] == "engine.coalesced_changes"
+        )
+        assert coalesced["value"] > 0
+
+    def test_trace_fault_storm_resilient_survives(self):
+        code, output = run_cli(
+            "trace",
+            r"\xs -> foldBag gplus id xs",
+            "--steps", "20", "--size", "100",
+            "--profile", "fault-storm", "--resilient",
+        )
+        assert code == 0
+        assert "rejected=" in output
+
+    def test_trace_unknown_profile_reported(self):
+        code, output = run_cli(
+            "trace", r"\xs -> foldBag gplus id xs", "--profile", "nope"
+        )
+        assert code == 1
+        assert "unknown traffic profile" in output
+
+
+class TestDashboardCli:
+    def test_json_payload_covers_grid(self):
+        code, output = run_cli(
+            "dashboard", "--size", "150", "--steps", "6", "--format", "json"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        cells = payload["cells"]
+        assert len(cells) == 6  # 3 default profiles x 2 backends
+        for cell in cells:
+            for key in ("p50", "p99", "p999"):
+                assert cell["latency_ms"][key] is not None
+            assert cell["changes_per_s"] > 0
+        assert payload["slo"] is not None
+
+    def test_text_view_renders(self):
+        code, output = run_cli(
+            "dashboard",
+            "--size", "150", "--steps", "6",
+            "--profile", "uniform", "--backend", "compiled",
+        )
+        assert code == 0
+        assert "repro dashboard" in output
+        assert "histogram/compiled/uniform" in output
+
+
+class TestBenchSlaCli:
+    def test_sla_violation_exits_nonzero(self, tmp_path):
+        slo = tmp_path / "slo.json"
+        slo.write_text(json.dumps({
+            "version": 1,
+            "budgets": [{
+                "workload": "*", "backend": "*", "profile": "*",
+                "p99_ms": 0.000001,
+            }],
+        }))
+        code, output = run_cli(
+            "bench", "--sla", "--traffic-only",
+            "--profile", "uniform",
+            "--traffic-size", "100", "--traffic-steps", "4",
+            "--slo", str(slo),
+            "--trend", str(tmp_path / "trend.jsonl"),
+            "--output", str(tmp_path / "bench.json"),
+        )
+        assert code != 0
+        assert "SLO violation" in output
+        assert not (tmp_path / "trend.jsonl").exists()
+
+    def test_sla_pass_appends_trend(self, tmp_path):
+        slo = tmp_path / "slo.json"
+        slo.write_text(json.dumps({
+            "version": 1,
+            "budgets": [{
+                "workload": "*", "backend": "*", "profile": "*",
+                "p99_ms": 10000.0,
+            }],
+        }))
+        trend = tmp_path / "trend.jsonl"
+        code, output = run_cli(
+            "bench", "--sla", "--traffic-only",
+            "--profile", "uniform",
+            "--traffic-size", "100", "--traffic-steps", "4",
+            "--slo", str(slo), "--trend", str(trend),
+            "--output", str(tmp_path / "bench.json"),
+        )
+        assert code == 0
+        assert "trend entry appended" in output
+        entries = [
+            json.loads(line)
+            for line in trend.read_text().splitlines() if line.strip()
+        ]
+        assert len(entries) == 1
+        assert "git_sha" in entries[0]
+        assert entries[0]["cells"]
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["traffic"]["rows"]
+        assert "generated_at" in payload and "git_sha" in payload

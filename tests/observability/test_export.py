@@ -1,0 +1,86 @@
+"""JSON-lines round-trip tests: write_jsonl ∘ read_jsonl = identity."""
+
+import io
+
+from repro.observability.export import (
+    export_metrics,
+    metrics_records,
+    read_jsonl,
+    span_record,
+    step_record,
+    write_jsonl,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("changes.oplus").inc(42)
+    registry.gauge("engine.pending_depth").set(3)
+    histogram = registry.histogram("engine.step.wall_time_s")
+    for value in range(1, 20):
+        histogram.record(value / 1000.0)
+    return registry
+
+
+class TestRoundTrip:
+    def test_every_metric_kind(self):
+        records = metrics_records(_populated_registry())
+        kinds = {record["type"] for record in records}
+        assert kinds == {"counter", "gauge", "histogram"}
+        buffer = io.StringIO()
+        assert write_jsonl(buffer, records) == len(records)
+        buffer.seek(0)
+        assert read_jsonl(buffer) == records
+
+    def test_histogram_summary_round_trips_quantiles(self):
+        records = metrics_records(_populated_registry())
+        histogram = next(r for r in records if r["type"] == "histogram")
+        for key in ("p50", "p90", "p99", "p999"):
+            assert key in histogram["summary"]
+        buffer = io.StringIO()
+        write_jsonl(buffer, [histogram])
+        buffer.seek(0)
+        (parsed,) = read_jsonl(buffer)
+        assert parsed["summary"] == histogram["summary"]
+
+    def test_span_and_step_records(self):
+        tracer = Tracer()
+        with tracer.span("engine.step") as span:
+            span.set(step=1, oplus_count=2)
+            with tracer.span("derivative"):
+                pass
+            with tracer.span("oplus"):
+                pass
+        records = [span_record(span), step_record(span)]
+        buffer = io.StringIO()
+        write_jsonl(buffer, records)
+        buffer.seek(0)
+        parsed = read_jsonl(buffer)
+        assert parsed[0]["type"] == "span"
+        assert parsed[1]["type"] == "step"
+        assert parsed[1]["oplus_count"] == 2
+        assert "derivative_time_s" in parsed[1]
+
+    def test_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        records = metrics_records(_populated_registry())
+        write_jsonl(path, records)
+        assert read_jsonl(path) == records
+
+    def test_export_metrics_helper(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        count = export_metrics(path, registry)
+        assert count == 1
+        (record,) = read_jsonl(path)
+        assert record == {"type": "counter", "name": "c", "value": 1}
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO('{"a": 1}\n\n{"b": 2}\n   \n')
+        assert read_jsonl(buffer) == [{"a": 1}, {"b": 2}]
+
+    def test_empty_stream(self):
+        assert read_jsonl(io.StringIO("")) == []

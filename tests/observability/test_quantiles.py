@@ -1,0 +1,144 @@
+"""Tests for the streaming quantile engine (P² + exact hybrid)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.quantiles import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    QuantileSketch,
+    exact_quantile,
+    quantile_key,
+)
+from repro.observability.report import format_metrics
+
+
+class TestExactQuantile:
+    def test_median_of_odd_list(self):
+        assert exact_quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_interpolates(self):
+        assert exact_quantile([0.0, 1.0], 0.5) == pytest.approx(0.5)
+
+    def test_extremes(self):
+        ordered = [float(x) for x in range(10)]
+        assert exact_quantile(ordered, 0.0) == 0.0
+        assert exact_quantile(ordered, 1.0) == 9.0
+
+
+class TestQuantileKey:
+    def test_keys(self):
+        assert quantile_key(0.5) == "p50"
+        assert quantile_key(0.9) == "p90"
+        assert quantile_key(0.99) == "p99"
+        assert quantile_key(0.999) == "p999"
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        estimator = P2Quantile(0.5)
+        for value in (3.0, 1.0, 2.0):
+            estimator.record(value)
+        assert estimator.value() == 2.0
+
+    def test_empty(self):
+        assert P2Quantile(0.5).value() is None
+
+    def test_converges_on_uniform(self):
+        rng = random.Random(11)
+        estimator = P2Quantile(0.9)
+        data = [rng.random() for _ in range(20_000)]
+        for value in data:
+            estimator.record(value)
+        exact = exact_quantile(sorted(data), 0.9)
+        assert estimator.value() == pytest.approx(exact, rel=0.05)
+
+
+class TestQuantileSketch:
+    def test_exact_under_limit(self):
+        rng = random.Random(3)
+        sketch = QuantileSketch()
+        data = [rng.expovariate(1.0) for _ in range(200)]
+        for value in data:
+            sketch.record(value)
+        assert sketch.is_exact
+        ordered = sorted(data)
+        for q in DEFAULT_QUANTILES:
+            assert sketch.quantile(q) == pytest.approx(
+                exact_quantile(ordered, q)
+            )
+
+    def test_switches_to_sketch_above_limit(self):
+        rng = random.Random(5)
+        sketch = QuantileSketch(exact_limit=64)
+        data = [rng.lognormvariate(0.0, 1.0) for _ in range(5_000)]
+        for value in data:
+            sketch.record(value)
+        assert not sketch.is_exact
+        ordered = sorted(data)
+        # P² keeps the body tight; the extreme tail is approximate.
+        assert sketch.quantile(0.5) == pytest.approx(
+            exact_quantile(ordered, 0.5), rel=0.05
+        )
+        assert sketch.quantile(0.99) == pytest.approx(
+            exact_quantile(ordered, 0.99), rel=0.25
+        )
+
+    def test_summary_keys(self):
+        sketch = QuantileSketch()
+        for value in range(100):
+            sketch.record(float(value))
+        summary = sketch.summary()
+        assert set(summary) == {"p50", "p90", "p99", "p999"}
+        assert summary["p50"] == pytest.approx(49.5)
+
+    def test_empty_summary_is_none(self):
+        summary = QuantileSketch().summary()
+        assert all(value is None for value in summary.values())
+
+    def test_reset(self):
+        sketch = QuantileSketch()
+        sketch.record(1.0)
+        sketch.reset()
+        assert sketch.quantile(0.5) is None
+
+
+class TestHistogramQuantiles:
+    def test_summary_carries_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("step.wall_time_s")
+        for value in range(1, 101):
+            histogram.record(value / 1000.0)
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(0.0505, rel=0.02)
+        assert summary["p99"] == pytest.approx(0.09999, rel=0.02)
+        assert summary["p999"] is not None
+
+    def test_quantile_method(self):
+        histogram = Histogram("h")
+        data = [float(x) for x in range(1, 50)]
+        for value in data:
+            histogram.record(value)
+        assert histogram.quantile(0.5) == pytest.approx(
+            statistics.median(data)
+        )
+
+    def test_reset_clears_sketch(self):
+        histogram = Histogram("h")
+        histogram.record(1.0)
+        histogram.reset()
+        assert histogram.quantile(0.5) is None
+
+    def test_report_shows_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("engine.step.wall_time_s")
+        for value in range(100):
+            histogram.record(value / 1000.0)
+        text = format_metrics(registry)
+        assert "p50=" in text
+        assert "p99=" in text
+        assert "p999=" in text

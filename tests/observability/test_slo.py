@@ -1,0 +1,228 @@
+"""Tests for the SLO budget engine: matching, verdicts, trend history."""
+
+import json
+
+import pytest
+
+from repro.observability.slo import (
+    LatencyBudget,
+    RegressionPolicy,
+    SloError,
+    SloPolicy,
+    append_trend_entry,
+    evaluate_cell,
+    evaluate_slo,
+    load_slo,
+    load_trend,
+    trend_cell,
+)
+
+
+def _row(p50=1.0, p99=2.0, p999=3.0, changes_per_s=1000.0, **overrides):
+    row = {
+        "workload": "histogram",
+        "backend": "compiled",
+        "profile": "uniform",
+        "n": 1000,
+        "steps": 48,
+        "changes_per_s": changes_per_s,
+        "latency_ms": {"p50": p50, "p99": p99, "p999": p999},
+    }
+    row.update(overrides)
+    return row
+
+
+class TestBudgetMatching:
+    def test_wildcards_match_anything(self):
+        budget = LatencyBudget()
+        assert budget.matches("x", "y", "z")
+        assert budget.specificity == 0
+
+    def test_most_specific_wins(self):
+        policy = SloPolicy(
+            budgets=[
+                LatencyBudget(p99_ms=100.0),
+                LatencyBudget(workload="histogram", p99_ms=50.0),
+                LatencyBudget(
+                    workload="histogram", backend="compiled", p99_ms=25.0
+                ),
+            ]
+        )
+        chosen = policy.budget_for("histogram", "compiled", "uniform")
+        assert chosen is not None and chosen.p99_ms == 25.0
+        fallback = policy.budget_for("grand_total", "compiled", "uniform")
+        assert fallback is not None and fallback.p99_ms == 100.0
+
+    def test_profile_specific_budget(self):
+        policy = SloPolicy(
+            budgets=[
+                LatencyBudget(workload="histogram", p99_ms=50.0),
+                LatencyBudget(profile="fault-storm", p99_ms=250.0),
+            ]
+        )
+        storm = policy.budget_for("histogram", "compiled", "fault-storm")
+        # Tie on specificity: declaration order breaks it (first wins).
+        assert storm is not None and storm.p99_ms == 50.0
+
+    def test_no_match_is_none(self):
+        policy = SloPolicy(budgets=[LatencyBudget(workload="histogram")])
+        assert policy.budget_for("other", "compiled", "uniform") is None
+
+
+class TestVerdicts:
+    def test_ok_inside_budget(self):
+        policy = SloPolicy(budgets=[LatencyBudget(p99_ms=10.0)])
+        verdict = evaluate_cell(policy, _row(p99=2.0))
+        assert verdict["status"] == "ok"
+        assert verdict["reasons"] == []
+
+    def test_p99_violation(self):
+        policy = SloPolicy(budgets=[LatencyBudget(p99_ms=1.0)])
+        verdict = evaluate_cell(policy, _row(p99=2.0))
+        assert verdict["status"] == "violated"
+        assert any("p99" in reason for reason in verdict["reasons"])
+
+    def test_throughput_floor_violation(self):
+        policy = SloPolicy(budgets=[LatencyBudget(min_changes_per_s=5000.0)])
+        verdict = evaluate_cell(policy, _row(changes_per_s=100.0))
+        assert verdict["status"] == "violated"
+        assert any("throughput" in reason for reason in verdict["reasons"])
+
+    def test_missing_measurement_violates(self):
+        policy = SloPolicy(budgets=[LatencyBudget(p999_ms=1.0)])
+        verdict = evaluate_cell(policy, _row(p999=None))
+        assert verdict["status"] == "violated"
+
+    def test_unbudgeted_cell(self):
+        policy = SloPolicy(budgets=[])
+        verdict = evaluate_cell(policy, _row())
+        assert verdict["status"] == "unbudgeted"
+
+    def test_evaluate_slo_ok_flag(self):
+        policy = SloPolicy(budgets=[LatencyBudget(p99_ms=10.0)])
+        report = evaluate_slo(policy, [_row(p99=2.0), _row(p99=20.0)])
+        assert not report["ok"]
+        assert report["violations"] == 1
+
+
+class TestRegression:
+    def _history(self, p99s):
+        return [{"workload": "histogram", "backend": "compiled",
+                 "profile": "uniform", "p99_ms": value} for value in p99s]
+
+    def test_regression_fires_with_enough_history(self):
+        policy = SloPolicy(
+            budgets=[LatencyBudget(p99_ms=1000.0)],
+            regression=RegressionPolicy(factor=3.0, min_history=3),
+        )
+        verdict = evaluate_cell(
+            policy, _row(p99=10.0), self._history([1.0, 1.0, 1.0])
+        )
+        assert verdict["regressed"]
+        assert verdict["status"] == "violated"
+        assert verdict["trend_baseline_p99_ms"] == pytest.approx(1.0)
+
+    def test_young_history_abstains(self):
+        policy = SloPolicy(
+            budgets=[LatencyBudget(p99_ms=1000.0)],
+            regression=RegressionPolicy(factor=3.0, min_history=3),
+        )
+        verdict = evaluate_cell(
+            policy, _row(p99=10.0), self._history([1.0, 1.0])
+        )
+        assert not verdict["regressed"]
+        assert verdict["status"] == "ok"
+
+    def test_within_factor_is_ok(self):
+        policy = SloPolicy(
+            budgets=[LatencyBudget(p99_ms=1000.0)],
+            regression=RegressionPolicy(factor=3.0, min_history=3),
+        )
+        verdict = evaluate_cell(
+            policy, _row(p99=2.5), self._history([1.0, 1.0, 1.0])
+        )
+        assert not verdict["regressed"]
+
+    def test_evaluate_slo_routes_history_per_cell(self):
+        policy = SloPolicy(
+            budgets=[LatencyBudget(p99_ms=1000.0)],
+            regression=RegressionPolicy(factor=3.0, min_history=3),
+        )
+        trend = [{"cells": self._history([1.0])} for _ in range(3)]
+        report = evaluate_slo(policy, [_row(p99=10.0)], trend)
+        assert not report["ok"]
+        other = evaluate_slo(
+            policy, [_row(p99=10.0, profile="zipf")], trend
+        )
+        # Different cell, no history of its own: no regression verdict.
+        assert other["ok"]
+
+
+class TestLoadSlo:
+    def test_parses_budget_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "regression": {"factor": 2.0, "min_history": 5},
+                    "budgets": [
+                        {"workload": "histogram", "p99_ms": 50.0},
+                    ],
+                }
+            )
+        )
+        policy = load_slo(str(path))
+        assert policy.regression.factor == 2.0
+        assert policy.budgets[0].workload == "histogram"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SloError):
+            load_slo(str(tmp_path / "nope.json"))
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{not json")
+        with pytest.raises(SloError):
+            load_slo(str(path))
+
+    def test_unknown_field_raises(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"budgets": [{"p99_millis": 5}]}))
+        with pytest.raises(SloError, match="unknown fields"):
+            load_slo(str(path))
+
+    def test_checked_in_budget_file_parses(self):
+        # The repo-root slo.json the CI gate reads must stay loadable.
+        policy = load_slo()
+        assert policy.budgets
+
+    def test_budgets_must_be_list(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"budgets": {"p99_ms": 1}}))
+        with pytest.raises(SloError):
+            load_slo(str(path))
+
+
+class TestTrendHistory:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "trend.jsonl")
+        entry = append_trend_entry(
+            path, [_row()], meta={"git_sha": "abc", "unix_time": 1.0}
+        )
+        append_trend_entry(path, [_row(p99=4.0)])
+        trend = load_trend(path)
+        assert len(trend) == 2
+        assert trend[0]["git_sha"] == "abc"
+        assert trend[0]["cells"] == entry["cells"]
+        assert trend[1]["cells"][0]["p99_ms"] == 4.0
+
+    def test_load_missing_trend_is_empty(self, tmp_path):
+        assert load_trend(str(tmp_path / "none.jsonl")) == []
+
+    def test_trend_cell_is_compact(self):
+        cell = trend_cell(_row())
+        assert set(cell) == {
+            "workload", "backend", "profile", "n", "steps",
+            "p50_ms", "p99_ms", "p999_ms", "changes_per_s",
+        }

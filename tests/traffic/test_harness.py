@@ -1,0 +1,55 @@
+"""Tests for the traffic measurement core (one cell per run)."""
+
+import pytest
+
+from repro.plugins.registry import standard_registry
+from repro.traffic import TrafficError, measure_profile
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+class TestMeasureProfile:
+    def test_row_shape(self, registry):
+        row = measure_profile(
+            registry, workload="grand_total", size=200,
+            backend="compiled", profile="uniform", steps=8,
+        )
+        assert row["workload"] == "grand_total"
+        assert row["backend"] == "compiled"
+        assert row["profile"] == "uniform"
+        assert row["steps"] == 8
+        assert row["changes"] == 8
+        for key in ("p50", "p90", "p99", "p999"):
+            assert row["latency_ms"][key] is not None
+        assert row["changes_per_s"] > 0
+        assert len(row["latency_history_ms"]) == 8
+
+    def test_burst_profile_coalesces(self, registry):
+        row = measure_profile(
+            registry, workload="grand_total", size=200,
+            backend="compiled", profile="zipf-burst", steps=12,
+        )
+        assert row["changes"] > row["steps"]
+        assert row["coalesced_changes"] > 0
+
+    def test_fault_storm_rejects_but_survives(self, registry):
+        row = measure_profile(
+            registry, workload="grand_total", size=200,
+            backend="compiled", profile="fault-storm", steps=24,
+        )
+        assert row["rejected_changes"] > 0
+        assert row["latency_ms"]["p99"] is not None
+
+    def test_read_heavy_profile_counts_reads(self, registry):
+        row = measure_profile(
+            registry, workload="grand_total", size=200,
+            backend="compiled", profile="read-heavy", steps=16,
+        )
+        assert row["reads"] > 0
+
+    def test_unknown_workload_raises(self, registry):
+        with pytest.raises(TrafficError, match="unknown traffic workload"):
+            measure_profile(registry, workload="nope")

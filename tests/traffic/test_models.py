@@ -1,0 +1,213 @@
+"""Tests for the traffic model components and profile composition."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.lang.types import TBag, TBase, TBool, TInt, TMap, TPair
+from repro.traffic import (
+    PROFILES,
+    BurstLull,
+    FaultStorm,
+    HotKeyChurn,
+    Steady,
+    TrafficError,
+    TrafficProfile,
+    UniformKeys,
+    ZipfKeys,
+    change_for_type,
+    get_profile,
+    profile_names,
+)
+
+TFun = None  # (unused) keep imports honest
+
+
+class TestKeyModels:
+    def test_uniform_covers_space(self):
+        rng = random.Random(1)
+        keys = UniformKeys()
+        drawn = {keys.key(rng, 10, 0) for _ in range(500)}
+        assert drawn == set(range(10))
+
+    def test_zipf_skews_to_low_ranks(self):
+        rng = random.Random(2)
+        keys = ZipfKeys(skew=1.2)
+        counts = Counter(keys.key(rng, 100, 0) for _ in range(5_000))
+        head = sum(counts[k] for k in range(10))
+        # Uniform would put ~10% in the first ten keys; Zipf piles on.
+        assert head / 5_000 > 0.4
+
+    def test_zipf_stays_in_range(self):
+        rng = random.Random(3)
+        keys = ZipfKeys(skew=2.0)
+        assert all(0 <= keys.key(rng, 7, 0) < 7 for _ in range(1_000))
+
+    def test_hot_churn_concentrates_on_hot_set(self):
+        rng = random.Random(4)
+        keys = HotKeyChurn(hot_count=3, hot_fraction=0.9, churn_every=16)
+        hot = set(keys._hot_set(1_000, 0))
+        assert len(hot) <= 3
+        draws = [keys.key(rng, 1_000, 0) for _ in range(1_000)]
+        in_hot = sum(1 for key in draws if key in hot)
+        assert in_hot / len(draws) > 0.75
+
+    def test_hot_set_rotates_across_epochs(self):
+        keys = HotKeyChurn(hot_count=3, churn_every=16)
+        first = keys._hot_set(1_000, 0)
+        assert keys._hot_set(1_000, 15) == first
+        assert keys._hot_set(1_000, 16) != first
+
+
+class TestArrivalModels:
+    def test_steady(self):
+        assert [Steady(2).rows_at(s) for s in range(4)] == [2, 2, 2, 2]
+
+    def test_burst_lull_duty_cycle(self):
+        arrival = BurstLull(
+            burst_steps=2, lull_steps=3, burst_rows=8, lull_rows=1
+        )
+        rows = [arrival.rows_at(s) for s in range(10)]
+        assert rows == [8, 8, 1, 1, 1, 8, 8, 1, 1, 1]
+
+
+class TestFaultStorm:
+    def test_window(self):
+        storm = FaultStorm(start=4, length=3)
+        assert not storm.active_at(3)
+        assert storm.active_at(4)
+        assert storm.active_at(6)
+        assert not storm.active_at(7)
+
+
+class TestChangeForType:
+    def _change(self, ty, seed=5, removal_ratio=0.2):
+        rng = random.Random(seed)
+        return change_for_type(
+            ty, rng, UniformKeys(), 0, 100, 1000, removal_ratio
+        )
+
+    def test_int(self):
+        change = self._change(TInt)
+        assert isinstance(change, GroupChange)
+        assert isinstance(change.delta, int)
+
+    def test_bool(self):
+        assert isinstance(self._change(TBool), Replace)
+
+    def test_bag(self):
+        change = self._change(TBag(TInt))
+        assert isinstance(change, GroupChange)
+        assert isinstance(change.delta, Bag)
+
+    def test_bag_removal_ratio_one_always_negates(self):
+        change = self._change(TBag(TInt), removal_ratio=1.0)
+        assert sum(count for _, count in change.delta.counts()) < 0
+
+    def test_pair_recurses(self):
+        change = self._change(TPair(TInt, TBool))
+        assert isinstance(change, tuple) and len(change) == 2
+
+    def test_map_of_bags(self):
+        change = self._change(TMap(TInt, TBag(TInt)))
+        assert isinstance(change, GroupChange)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TrafficError, match="cannot generate traffic"):
+            self._change(TBase("Fun", (TInt, TInt)))
+
+
+class TestTrafficProfile:
+    def test_write_ratio_validation(self):
+        with pytest.raises(TrafficError, match="write_ratio"):
+            TrafficProfile(name="bad", write_ratio=0.0)
+        with pytest.raises(TrafficError, match="write_ratio"):
+            TrafficProfile(name="bad", write_ratio=1.5)
+
+    def test_removal_ratio_validation(self):
+        with pytest.raises(TrafficError, match="removal_ratio"):
+            TrafficProfile(name="bad", removal_ratio=-0.1)
+
+    def test_write_only_profile_has_no_reads(self):
+        profile = TrafficProfile(name="w", write_ratio=1.0)
+        events = list(profile.events([TBag(TInt)], 20, seed=1))
+        assert all(event.reads == 0 for event in events)
+
+    def test_read_heavy_profile_mixes_reads(self):
+        profile = TrafficProfile(name="r", write_ratio=0.25)
+        events = list(profile.events([TBag(TInt)], 40, seed=1))
+        reads = sum(event.reads for event in events)
+        writes = sum(event.writes for event in events)
+        # 0.25 write ratio => ~3 reads per write.
+        assert reads / writes == pytest.approx(3.0, rel=0.2)
+
+    def test_burst_events_carry_batches(self):
+        profile = TrafficProfile(
+            name="b", arrival=BurstLull(burst_steps=1, lull_steps=1,
+                                        burst_rows=5, lull_rows=1),
+        )
+        events = list(profile.events([TBag(TInt)], 4, seed=1))
+        assert [event.writes for event in events] == [5, 1, 5, 1]
+        assert all(len(row) == 1 for event in events for row in event.rows)
+
+    def test_row_width_matches_input_arity(self):
+        profile = TrafficProfile(name="w2")
+        events = list(profile.events([TBag(TInt), TInt], 3, seed=1))
+        assert all(len(row) == 2 for event in events for row in event.rows)
+
+    def test_storm_marks_and_corrupts_events(self):
+        profile = TrafficProfile(
+            name="s",
+            storm=FaultStorm(start=2, length=4, corrupt_ratio=1.0),
+        )
+        events = list(profile.events([TBag(TInt)], 8, seed=3))
+        assert [event.storm for event in events] == (
+            [False, False, True, True, True, True, False, False]
+        )
+        assert all(event.corrupt for event in events[2:6])
+        assert not any(event.corrupt for event in events[:2] + events[6:])
+
+    def test_storm_faults_surface_primitive_specs(self):
+        profile = TrafficProfile(
+            name="s",
+            storm=FaultStorm(primitive_faults=("raise:id",)),
+        )
+        assert profile.storm_faults() == ("raise:id",)
+        assert TrafficProfile(name="calm").storm_faults() == ()
+
+
+class TestProfileRegistry:
+    def test_named_profiles_exist(self):
+        names = profile_names()
+        for expected in (
+            "uniform", "zipf", "zipf-burst", "hot-churn",
+            "read-heavy", "write-storm", "fault-storm",
+        ):
+            assert expected in names
+
+    def test_get_profile_by_name(self):
+        profile = get_profile("zipf-burst")
+        assert profile.name == "zipf-burst"
+        assert isinstance(profile.arrival, BurstLull)
+
+    def test_get_profile_passthrough(self):
+        custom = TrafficProfile(name="mine")
+        assert get_profile(custom) is custom
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(TrafficError, match="unknown traffic profile"):
+            get_profile("nope")
+
+    def test_fault_storm_profile_is_hostile(self):
+        assert PROFILES["fault-storm"].storm is not None
+
+    def test_every_named_profile_generates_events(self):
+        for name in profile_names():
+            events = list(
+                get_profile(name).events([TBag(TInt)], 12, seed=2)
+            )
+            assert len(events) == 12
+            assert sum(event.writes for event in events) > 0
