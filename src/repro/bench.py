@@ -193,12 +193,16 @@ def run_traffic_cells(
     steps: int = 48,
     seed: int = 7,
     backends: Sequence[str] = TRAFFIC_BACKENDS,
+    variants: Sequence[str] = (),
 ) -> List[Dict[str, Any]]:
     """One :func:`~repro.traffic.harness.measure_profile` row per
-    (workload, backend, profile)."""
+    (workload, backend, profile), plus one compiled-backend row per
+    requested stack ``variant`` (``caching`` / ``durable``, see
+    :data:`repro.observability.dashboard.VARIANT_KWARGS`)."""
+    from repro.observability.dashboard import VARIANT_KWARGS
     from repro.traffic.harness import measure_profile
 
-    return [
+    rows = [
         measure_profile(
             registry,
             workload=workload,
@@ -212,6 +216,22 @@ def run_traffic_cells(
         for backend in backends
         for profile in profiles
     ]
+    rows.extend(
+        measure_profile(
+            registry,
+            workload=workload,
+            size=size,
+            backend="compiled",
+            profile=profile,
+            steps=steps,
+            seed=seed,
+            **VARIANT_KWARGS[variant],
+        )
+        for workload in workloads
+        for variant in variants
+        for profile in profiles
+    )
+    return rows
 
 
 def run_bench(
@@ -222,6 +242,7 @@ def run_bench(
     traffic_size: int = 1_000,
     traffic_steps: int = 48,
     sweep: bool = True,
+    traffic_variants: Sequence[str] = (),
 ) -> Dict[str, Any]:
     """Run the sweep (and any traffic cells) and return the report dict
     (also what gets written as ``BENCH_fig7.json``)."""
@@ -253,12 +274,14 @@ def run_bench(
             "size": traffic_size,
             "steps": traffic_steps,
             "backends": list(TRAFFIC_BACKENDS),
+            "variants": list(traffic_variants),
             "rows": run_traffic_cells(
                 registry,
                 workloads,
                 profiles,
                 size=traffic_size,
                 steps=traffic_steps,
+                variants=traffic_variants,
             ),
         }
     return report
@@ -386,6 +409,18 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         metavar="N",
         help="timed steps per traffic cell (default 48)",
     )
+    parser.add_argument(
+        "--traffic-variant",
+        action="append",
+        choices=("caching", "durable"),
+        default=None,
+        metavar="NAME",
+        help=(
+            "also measure this stack variant on the compiled backend "
+            "(repeatable): 'caching' = self-adjusting engine, "
+            "'durable' = journaled steps with a journal phase"
+        ),
+    )
     args = parser.parse_args(argv)
     profiles = tuple(args.profile) if args.profile else ()
     if args.sla and not profiles:
@@ -399,6 +434,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         traffic_size=args.traffic_size,
         traffic_steps=args.traffic_steps,
         sweep=not args.traffic_only,
+        traffic_variants=tuple(args.traffic_variant or ()),
     )
 
     slo_exit = 0

@@ -33,6 +33,7 @@ and share one output-formatting helper (``repro.cli_output``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Tuple
 
@@ -390,6 +391,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="timed steps per traffic cell (default 48)",
     )
+    bench_parser.add_argument(
+        "--traffic-variant",
+        action="append",
+        choices=("caching", "durable"),
+        default=None,
+        metavar="NAME",
+        help=(
+            "also measure this stack variant on the compiled backend "
+            "(repeatable: caching, durable)"
+        ),
+    )
 
     dashboard_parser = subparsers.add_parser(
         "dashboard",
@@ -422,6 +434,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("grand_total", "histogram"),
         default=None,
         help="workload to measure (repeatable; default histogram)",
+    )
+    dashboard_parser.add_argument(
+        "--variant",
+        action="append",
+        choices=("caching", "durable", "none"),
+        default=None,
+        help=(
+            "stack variant rows to add on the compiled backend "
+            "(repeatable; default caching and durable; 'none' disables)"
+        ),
     )
     dashboard_parser.add_argument(
         "--size",
@@ -492,6 +514,107 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         metavar="PATH",
         help="also write the recovery report to PATH as JSON",
+    )
+
+    soak_parser = subparsers.add_parser(
+        "soak",
+        help=(
+            "drive fault-storm + hot-churn traffic through the full "
+            "durable+resilient+caching stack under a supervisor, with "
+            "SIGKILL crash/recover cycles, and gate on the outcome"
+        ),
+    )
+    soak_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="the bounded CI smoke configuration (~1 minute)",
+    )
+    soak_parser.add_argument(
+        "--minutes",
+        type=float,
+        default=None,
+        metavar="M",
+        help="run waves until M minutes have elapsed (overrides --waves)",
+    )
+    soak_parser.add_argument(
+        "--waves",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of traffic waves (default 4; --quick implies 3)",
+    )
+    soak_parser.add_argument(
+        "--wave-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="events per profile per wave (default 24; --quick implies 12)",
+    )
+    soak_parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="input size (default 400; --quick implies 200)",
+    )
+    soak_parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="traffic stream seed (default 7)",
+    )
+    soak_parser.add_argument(
+        "--crash-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="SIGKILL crash/recover cycles to interleave (default 1)",
+    )
+    soak_parser.add_argument(
+        "--transitions",
+        default="SOAK_transitions.jsonl",
+        metavar="PATH",
+        help=(
+            "where to write the breaker/degradation transition log "
+            "(default SOAK_transitions.jsonl)"
+        ),
+    )
+    soak_parser.add_argument(
+        "--report",
+        default="SOAK_report.json",
+        metavar="PATH",
+        help="where to write the soak report (default SOAK_report.json)",
+    )
+    soak_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full soak report as JSON instead of the summary",
+    )
+
+    health_parser = subparsers.add_parser(
+        "health",
+        help=(
+            "assemble a default supervised stack, run probe traffic, and "
+            "report health/readiness (exit 0 iff ready)"
+        ),
+    )
+    health_parser.add_argument(
+        "--size",
+        type=int,
+        default=200,
+        help="input size for the probe program (default 200)",
+    )
+    health_parser.add_argument(
+        "--probes",
+        type=int,
+        default=8,
+        metavar="N",
+        help="probe changes to push through the stack (default 8)",
+    )
+    health_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the health payload as JSON",
     )
     return parser
 
@@ -810,12 +933,17 @@ def _command_bench(args: argparse.Namespace, out) -> int:
         argv.append("--traffic-only")
     argv.extend(["--traffic-size", str(args.traffic_size)])
     argv.extend(["--traffic-steps", str(args.traffic_steps)])
+    for variant in args.traffic_variant or ():
+        argv.extend(["--traffic-variant", variant])
     return bench_main(argv, out)
 
 
 def _command_dashboard(args: argparse.Namespace, out) -> int:
     from repro.observability.dashboard import build_dashboard, render_dashboard
 
+    variants: Optional[tuple] = None
+    if args.variant:
+        variants = tuple(v for v in args.variant if v != "none")
     payload = build_dashboard(
         profiles=tuple(args.profile) if args.profile else None,
         backends=tuple(args.backend) if args.backend else None,
@@ -825,9 +953,148 @@ def _command_dashboard(args: argparse.Namespace, out) -> int:
         seed=args.seed,
         slo_path=args.slo,
         trend_path=args.trend,
+        variants=variants,
     )
     emit(out, payload, args.format, lambda data: [render_dashboard(data)])
     return 0
+
+
+def _command_soak(args: argparse.Namespace, out) -> int:
+    from repro.runtime.soak import SoakConfig, run_soak
+
+    if args.quick:
+        config = SoakConfig(
+            minutes=args.minutes,
+            waves=args.waves if args.waves is not None else 3,
+            wave_steps=args.wave_steps if args.wave_steps is not None else 12,
+            size=args.size if args.size is not None else 200,
+            seed=args.seed,
+            crash_cycles=(
+                args.crash_cycles if args.crash_cycles is not None else 1
+            ),
+        )
+    else:
+        config = SoakConfig(
+            minutes=args.minutes,
+            waves=args.waves if args.waves is not None else 4,
+            wave_steps=args.wave_steps if args.wave_steps is not None else 24,
+            size=args.size if args.size is not None else 400,
+            seed=args.seed,
+            crash_cycles=(
+                args.crash_cycles if args.crash_cycles is not None else 1
+            ),
+        )
+    report = run_soak(
+        config,
+        transitions_path=args.transitions,
+        report_path=args.report,
+    )
+    if args.json:
+        json.dump(report, out, indent=2)
+        out.write("\n")
+        return 0 if report["ok"] else 1
+    verdict = "PASS" if report["ok"] else "FAIL"
+    outcomes = report["outcomes"]
+    print(
+        f"soak {verdict}: {report['config']['waves']} waves, "
+        f"{report['pushed']} changes pushed "
+        f"({report['wall_s']:.1f}s wall)",
+        file=out,
+    )
+    print(
+        "outcomes:   "
+        + " ".join(f"{key}={outcomes[key]}" for key in sorted(outcomes)),
+        file=out,
+    )
+    print(
+        f"accounting: {report['accounted']}/{report['pushed']} accounted, "
+        f"{len(report['unhandled'])} unhandled exceptions",
+        file=out,
+    )
+    breakers = report["breakers"]
+    for name in sorted(breakers):
+        snap = breakers[name]
+        print(
+            f"breaker:    {name} state={snap['state']} "
+            f"transitions={snap['transitions']}",
+            file=out,
+        )
+    for crash in report["crash_cycles"]:
+        print(
+            f"crash:      killed={crash['killed']} "
+            f"recovered={crash['recovered']} "
+            f"steps={crash.get('recovered_steps')} "
+            f"verified={crash.get('verified')}",
+            file=out,
+        )
+    memory = report["memory"]
+    if memory.get("growth_bytes") is not None:
+        print(
+            f"memory:     {memory['first_bytes']:,}B -> "
+            f"{memory['last_bytes']:,}B "
+            f"(growth {memory['growth_bytes']:,}B, "
+            f"peak {memory['peak_bytes']:,}B)",
+            file=out,
+        )
+    if report.get("slo") is not None:
+        slo_ok = "ok" if report["slo"]["ok"] else "VIOLATED"
+        print(f"slo:        {slo_ok}", file=out)
+    for line in report["unhandled"][:5]:
+        print(f"unhandled:  {line}", file=out)
+    print(f"transitions: {args.transitions}", file=out)
+    print(f"report:      {args.report}", file=out)
+    return 0 if report["ok"] else 1
+
+
+def _command_health(args: argparse.Namespace, out) -> int:
+    import tempfile
+
+    from repro.runtime.soak import SoakConfig, _build_supervised, _input_types
+    from repro.observability import observing
+    from repro.traffic.profiles import get_profile
+
+    with observing(reset=True):
+        with tempfile.TemporaryDirectory(prefix="repro-health-") as state_dir:
+            config = SoakConfig(size=args.size)
+            supervised = _build_supervised(config, state_dir)
+            try:
+                profile = get_profile("uniform")
+                events = list(
+                    profile.events(
+                        _input_types(supervised), args.probes, config.seed
+                    )
+                )
+                for event in events:
+                    for row in event.rows:
+                        supervised.submit(*row)
+                    supervised.drain()
+                payload = supervised.health()
+            finally:
+                supervised.close()
+    if args.json:
+        json.dump(payload, out, indent=2)
+        out.write("\n")
+        return 0 if payload["ready"] else 1
+    print(
+        f"health: {payload['status']} "
+        f"(ready={'yes' if payload['ready'] else 'no'}, "
+        f"steps={payload['steps']})",
+        file=out,
+    )
+    outcomes = payload["outcomes"]
+    print(
+        "outcomes: "
+        + " ".join(f"{key}={outcomes[key]}" for key in sorted(outcomes)),
+        file=out,
+    )
+    for name in sorted(payload["breakers"]):
+        snap = payload["breakers"][name]
+        print(f"breaker: {name} state={snap['state']}", file=out)
+    print("stack: " + " > ".join(payload["stack"]["layers"]), file=out)
+    for name, message in sorted(payload.get("last_errors", {}).items()):
+        if message is not None:
+            print(f"last error [{name}]: {message}", file=out)
+    return 0 if payload["ready"] else 1
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -849,6 +1116,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _command_bench(args, out)
         if args.command == "dashboard":
             return _command_dashboard(args, out)
+        if args.command == "soak":
+            return _command_soak(args, out)
+        if args.command == "health":
+            return _command_health(args, out)
         if args.command == "lint":
             return _command_lint(args, out)
     except (ParseError, InferenceError, TypeCheckError) as error:

@@ -183,7 +183,14 @@ def compose_change_rows(rows: Sequence[Sequence[Any]]) -> Optional[List[Any]]:
     composed = list(rows[0])
     for row in rows[1:]:
         for index, change in enumerate(row):
-            merged = compose_changes(composed[index], change)
+            try:
+                merged = compose_changes(composed[index], change)
+            except Exception:
+                # A composition that *raises* (e.g. a corrupt payload
+                # meeting an eager group merge) is as unsupported as one
+                # that returns None -- per-row stepping will attribute
+                # the failure to the offending row transactionally.
+                return None
             if merged is None:
                 return None
             composed[index] = merged

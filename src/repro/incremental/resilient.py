@@ -1,237 +1,21 @@
-"""A resilience layer around the incremental engines.
+"""Backwards-compatible home of the resilience wrapper.
 
-The correctness theorem (Eq. 1) holds under two side conditions the
-runtime cannot take for granted: the incoming change must be *valid* for
-the current input (``da ∈ Δa``), and the derivative must be *total* on
-the changes it is fed.  ``ResilientProgram`` wraps an engine
-(:class:`~repro.incremental.engine.IncrementalProgram` or
-:class:`~repro.incremental.caching.CachingIncrementalProgram`) and
-enforces both conditions operationally:
-
-* **Change validation** -- before a step runs, each per-input change is
-  checked against the input's type using the plugin conformance
-  machinery (:func:`repro.plugins.validation.change_mismatch`).  A
-  malformed change is rejected with :class:`~repro.errors.InvalidChangeError`
-  *before* it can touch engine state.
-* **Recompute fallback** -- when the derivative raises (it was assumed
-  total but is not), the engine has already rolled the step back; the
-  wrapper falls back to ``rebase`` -- apply the changes by ``⊕`` and
-  recompute from scratch -- within a configurable budget.  The paper's
-  own observation that ``Replace``-style derivatives degenerate to
-  recomputation makes this fallback always-correct.
-* **Drift detection** -- every ``verify_every`` steps the incremental
-  output is compared against from-scratch recomputation (Eq. 1 checked
-  *at runtime*).  Divergence either raises
-  :class:`~repro.errors.DriftError` with both sides attached, or
-  self-heals by adopting the recomputed output (``on_drift="heal"``).
-
-The wrapper keeps counters (``fallbacks``, ``rejected_changes``,
-``drift_detections``, ``heals``) as plain attributes, and mirrors them
-into the observability registry (``engine.fallbacks`` etc.) when
-telemetry is enabled.
+The implementation moved to :mod:`repro.runtime.resilience` when the
+wrapper zoo was collapsed into the composable middleware stack
+(``repro.runtime``).  ``ResilientProgram`` is now a thin alias of
+:class:`~repro.runtime.resilience.ResilienceLayer` kept so existing
+imports, journal init records, and the recovery ladder keep working;
+new code should assemble stacks via
+:func:`repro.runtime.stack.build_stack` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
-
-from repro.errors import DerivativeError, DriftError, InvalidChangeError
-from repro.lang.types import Type, uncurry_fun_type
-from repro.observability import get_observability
-from repro.observability import metrics as _metrics
-
-_STATE = _metrics.STATE
+from repro.runtime.resilience import ResilienceLayer, ResiliencePolicy
 
 
-@dataclass
-class ResiliencePolicy:
-    """Tunable knobs of the resilience layer.
-
-    validate_changes:
-        Shape-check every per-input change against the input's type
-        before stepping (cheap; does not force lazy inputs).
-    deep_validate:
-        Additionally check membership in ``Δv`` for the *current* input
-        value (e.g. a negative delta on a ``Nat`` holding 2).  This
-        forces the lazy inputs each step, trading self-maintainability
-        for stronger guarantees -- off by default.
-    fallback:
-        On :class:`~repro.errors.DerivativeError`, fall back to
-        ``rebase`` (apply changes by ``⊕``, recompute from scratch).
-    max_fallbacks:
-        Budget of fallbacks before a :class:`DerivativeError` is allowed
-        to escape (None = unlimited).  A small budget turns a persistent
-        derivative bug into a loud failure instead of silently paying
-        from-scratch cost forever.
-    verify_every:
-        Check Eq. 1 (incremental output == recomputation) every N
-        successful steps; 0 disables drift detection.
-    on_drift:
-        ``"raise"`` -- raise :class:`~repro.errors.DriftError`;
-        ``"heal"`` -- adopt the recomputed output and continue.
-    """
-
-    validate_changes: bool = True
-    deep_validate: bool = False
-    fallback: bool = True
-    max_fallbacks: Optional[int] = None
-    verify_every: int = 0
-    on_drift: str = "raise"
-
-    def __post_init__(self) -> None:
-        if self.on_drift not in ("raise", "heal"):
-            raise ValueError(
-                f"on_drift must be 'raise' or 'heal', got {self.on_drift!r}"
-            )
-        if self.verify_every < 0:
-            raise ValueError("verify_every must be >= 0")
-
-
-class ResilientProgram:
-    """An engine wrapper enforcing Eq. 1's side conditions at runtime."""
-
-    def __init__(
-        self,
-        program: Any,
-        policy: Optional[ResiliencePolicy] = None,
-        input_types: Optional[Sequence[Type]] = None,
-    ):
-        self.program = program
-        self.policy = policy or ResiliencePolicy()
-        self.registry = program.registry
-        self.input_types: Optional[List[Type]] = (
-            list(input_types) if input_types is not None else self._inferred_input_types()
-        )
-        #: Resilience counters (always maintained; mirrored into the
-        #: observability registry when telemetry is on).
-        self.fallbacks = 0
-        self.rejected_changes = 0
-        self.drift_detections = 0
-        self.heals = 0
-        self._steps_since_verify = 0
-
-    def _inferred_input_types(self) -> Optional[List[Type]]:
-        program_type = getattr(self.program, "program_type", None)
-        if program_type is None:
-            return None
-        arguments, _ = uncurry_fun_type(program_type)
-        return list(arguments[: self.program.arity])
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def initialize(self, *inputs: Any) -> Any:
-        return self.program.initialize(*inputs)
-
-    def step(self, *changes: Any) -> Any:
-        """A validated, fallback-protected, drift-checked step."""
-        if self.policy.validate_changes:
-            self._validate(changes)
-        try:
-            output = self.program.step(*changes)
-        except DerivativeError:
-            if not self._may_fall_back():
-                raise
-            self.fallbacks += 1
-            if _STATE.on:
-                get_observability().metrics.counter("engine.fallbacks").inc()
-            output = self.program.rebase(*changes)
-        output = self._maybe_check_drift(output)
-        return output
-
-    # -- change validation -------------------------------------------------
-
-    def _validate(self, changes: Sequence[Any]) -> None:
-        from repro.plugins.validation import change_mismatch
-
-        if self.input_types is None:
-            return
-        deep = self.policy.deep_validate
-        values = self.program.current_inputs() if deep else None
-        for index, (ty, change) in enumerate(zip(self.input_types, changes)):
-            if deep:
-                problem = change_mismatch(
-                    ty, change, self.registry, value=values[index]
-                )
-            else:
-                problem = change_mismatch(ty, change, self.registry)
-            if problem is not None:
-                self.rejected_changes += 1
-                if _STATE.on:
-                    get_observability().metrics.counter(
-                        "engine.rejected_changes"
-                    ).inc()
-                raise InvalidChangeError(
-                    f"rejected change for input {index}: {problem}",
-                    term=getattr(self.program, "term", None),
-                    step=self.program.steps,
-                    change=change,
-                    input_index=index,
-                )
-
-    # -- fallback ----------------------------------------------------------
-
-    def _may_fall_back(self) -> bool:
-        if not self.policy.fallback:
-            return False
-        budget = self.policy.max_fallbacks
-        return budget is None or self.fallbacks < budget
-
-    # -- drift detection ---------------------------------------------------
-
-    def _maybe_check_drift(self, output: Any) -> Any:
-        if not self.policy.verify_every:
-            return output
-        self._steps_since_verify += 1
-        if self._steps_since_verify < self.policy.verify_every:
-            return output
-        self._steps_since_verify = 0
-        expected = self.program.recompute()
-        if expected == output:
-            return output
-        self.drift_detections += 1
-        if _STATE.on:
-            get_observability().metrics.counter("engine.drift_detected").inc()
-        if self.policy.on_drift == "heal":
-            self.heals += 1
-            if _STATE.on:
-                get_observability().metrics.counter("engine.heals").inc()
-            return self.program.resync()
-        raise DriftError(
-            "incremental output diverged from recomputation",
-            term=getattr(self.program, "term", None),
-            step=self.program.steps - 1,
-            expected=expected,
-            actual=output,
-        )
-
-    # -- delegation --------------------------------------------------------
-
-    @property
-    def output(self) -> Any:
-        return self.program.output
-
-    @property
-    def steps(self) -> int:
-        return self.program.steps
-
-    def current_inputs(self) -> Sequence[Any]:
-        return self.program.current_inputs()
-
-    def recompute(self) -> Any:
-        return self.program.recompute()
-
-    def verify(self) -> bool:
-        return self.program.verify()
-
-    def rebase(self, *changes: Any) -> Any:
-        return self.program.rebase(*changes)
-
-    def resync(self) -> Any:
-        return self.program.resync()
-
-    def fast_forward(self, steps: int) -> None:
-        self.program.fast_forward(steps)
+class ResilientProgram(ResilienceLayer):
+    """Alias of :class:`~repro.runtime.resilience.ResilienceLayer`."""
 
 
 __all__ = ["ResiliencePolicy", "ResilientProgram"]

@@ -32,6 +32,20 @@ DEFAULT_PROFILES = ("uniform", "zipf-burst", "hot-churn")
 DEFAULT_BACKENDS = ("compiled", "interpreted")
 DEFAULT_WORKLOADS = ("histogram",)
 
+#: Stack variants measured on top of the compiled backend, as extra grid
+#: rows: ``caching`` swaps in the self-adjusting engine
+#: (cell backend ``compiled+caching``), ``durable`` journals every step
+#: (cell backend ``compiled+durable``, with a ``journal`` phase in the
+#: drill-down).  Keys are CLI ``--variant`` values.
+VARIANT_KWARGS: Dict[str, Dict[str, Any]] = {
+    "caching": {"engine": "caching"},
+    "durable": {"durable": "never"},
+}
+DEFAULT_VARIANTS = ("caching", "durable")
+
+#: Drill-down phase order; ``journal`` only appears for durable cells.
+PHASE_NAMES = ("derivative", "oplus", "journal")
+
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 
@@ -74,8 +88,14 @@ def build_dashboard(
     slo_path: Optional[str] = None,
     trend_path: Optional[str] = None,
     registry: Any = None,
+    variants: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
-    """Measure the cell grid and assemble the dashboard payload."""
+    """Measure the cell grid and assemble the dashboard payload.
+
+    ``variants`` selects the extra stack rows measured on the compiled
+    backend (default :data:`DEFAULT_VARIANTS`); pass an empty sequence
+    to measure the bare backends only.
+    """
     from repro.bench import run_stamp
     from repro.plugins.registry import standard_registry
     from repro.traffic.harness import measure_profile
@@ -83,6 +103,13 @@ def build_dashboard(
     profiles = tuple(profiles) if profiles else DEFAULT_PROFILES
     backends = tuple(backends) if backends else DEFAULT_BACKENDS
     workloads = tuple(workloads) if workloads else DEFAULT_WORKLOADS
+    variants = tuple(variants) if variants is not None else DEFAULT_VARIANTS
+    for variant in variants:
+        if variant not in VARIANT_KWARGS:
+            raise ValueError(
+                f"unknown dashboard variant {variant!r} "
+                f"(available: {', '.join(sorted(VARIANT_KWARGS))})"
+            )
     registry = registry if registry is not None else standard_registry()
     cells: List[Dict[str, Any]] = []
     for workload in workloads:
@@ -97,6 +124,22 @@ def build_dashboard(
                         profile=profile,
                         steps=steps,
                         seed=seed,
+                    )
+                )
+        # Variant rows ride on the compiled backend: the stack layers are
+        # backend-agnostic, so one backend's worth of rows covers them.
+        for variant in variants:
+            for profile in profiles:
+                cells.append(
+                    measure_profile(
+                        registry,
+                        workload=workload,
+                        size=size,
+                        backend="compiled",
+                        profile=profile,
+                        steps=steps,
+                        seed=seed,
+                        **VARIANT_KWARGS[variant],
                     )
                 )
     slo_report: Optional[Dict[str, Any]] = None
@@ -121,6 +164,7 @@ def build_dashboard(
         "workloads": list(workloads),
         "backends": list(backends),
         "profiles": list(profiles),
+        "variants": list(variants),
         "slo_path": resolved_slo,
         "trend_path": resolved_trend,
         "trend_runs": len(trend),
@@ -199,7 +243,7 @@ def render_dashboard(data: Dict[str, Any]) -> str:
         lines.append(name)
         phases = cell.get("phases_ms") or {}
         phase_bits = []
-        for phase_name in ("derivative", "oplus"):
+        for phase_name in PHASE_NAMES:
             phase = phases.get(phase_name) or {}
             if phase.get("count"):
                 phase_bits.append(
@@ -250,7 +294,10 @@ def _cell_name(cell: Dict[str, Any]) -> str:
 __all__ = [
     "DEFAULT_BACKENDS",
     "DEFAULT_PROFILES",
+    "DEFAULT_VARIANTS",
     "DEFAULT_WORKLOADS",
+    "PHASE_NAMES",
+    "VARIANT_KWARGS",
     "build_dashboard",
     "render_dashboard",
     "sparkline",

@@ -24,6 +24,8 @@ of the live run, so a crash can never be distinguished from a pause by a
 downstream consumer.
 """
 
+from typing import Any
+
 from repro.persistence.codec import (
     CODEC_VERSION,
     canonical_json,
@@ -31,14 +33,36 @@ from repro.persistence.codec import (
     decode_value,
     encode_value,
 )
-from repro.persistence.durable import DurabilityPolicy, DurableProgram
 from repro.persistence.journal import Journal, JournalRecord, read_journal
-from repro.persistence.recovery import RecoveryReport, RecoveryResult, recover
 from repro.persistence.snapshot import (
     load_manifest,
     load_snapshot,
     write_snapshot,
 )
+
+# The wrapper and recovery exports are lazy (PEP 562): ``durable`` is a
+# shim over ``repro.runtime.durability``, which itself imports this
+# package's codec/journal/snapshot -- eager re-export here would close
+# an import cycle through the partially-initialized runtime layer.
+_LAZY = {
+    "DurabilityPolicy": ("repro.persistence.durable", "DurabilityPolicy"),
+    "DurableProgram": ("repro.persistence.durable", "DurableProgram"),
+    "RecoveryReport": ("repro.persistence.recovery", "RecoveryReport"),
+    "RecoveryResult": ("repro.persistence.recovery", "RecoveryResult"),
+    "recover": ("repro.persistence.recovery", "recover"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    return getattr(import_module(module_name), attr)
 
 __all__ = [
     "CODEC_VERSION",

@@ -1,257 +1,22 @@
-"""Durability wiring: journal every step, checkpoint every N.
+"""Backwards-compatible home of the durability wrapper.
 
-``DurableProgram`` wraps an engine (or its resilient wrapper) the same
-way :class:`~repro.incremental.resilient.ResilientProgram` wraps one:
-it delegates the semantics and adds an orthogonal guarantee.  Here the
-guarantee is write-ahead durability:
-
-* ``initialize`` starts a fresh journal with an ``init`` record carrying
-  the program source, engine options, the encoded initial inputs, and
-  the base output -- everything recovery needs to rebuild the run from
-  nothing -- then writes checkpoint 0;
-* ``step`` appends the encoded changes to the journal *before* touching
-  the engine (write-ahead: a crash after the append replays the step, a
-  crash during it tears the tail and loses only that step); a step the
-  engine rejects gets an ``abort`` marker so replay skips it;
-* every ``snapshot_every`` committed steps a checkpoint is written
-  atomically and old ones are pruned down to ``keep_snapshots``.
-
-Because changes are encoded before the journal is touched, a change the
-codec cannot represent (e.g. a function change) fails the step *before*
-any state -- durable or in-memory -- is modified.
+The implementation moved to :mod:`repro.runtime.durability` when the
+wrapper zoo was collapsed into the composable middleware stack
+(``repro.runtime``).  ``DurableProgram`` is now a thin alias of
+:class:`~repro.runtime.durability.DurabilityLayer` kept so existing
+imports, journal init records, and the recovery ladder keep working;
+new code should assemble stacks via
+:func:`repro.runtime.stack.build_stack` instead.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
-
-from repro.lang.pretty import pretty
-from repro.observability import metrics as _metrics
-from repro.persistence.codec import CODEC_VERSION, encode_value
-from repro.persistence.journal import Journal, journal_path
-from repro.persistence.snapshot import write_snapshot
-
-_STATE = _metrics.STATE
-_STEPS_JOURNALED = _metrics.GLOBAL_REGISTRY.counter(
-    "persistence.journal.steps_journaled"
-)
-_ABORTS = _metrics.GLOBAL_REGISTRY.counter("persistence.journal.aborts")
+from repro.runtime.durability import DurabilityLayer, DurabilityPolicy
+from repro.runtime.middleware import engine_of as _engine_of  # noqa: F401
 
 
-@dataclass
-class DurabilityPolicy:
-    """Tunable knobs of the durability layer.
-
-    journal_fsync:
-        ``"always"`` -- fsync after every journal append (each committed
-        step survives power loss); ``"never"`` -- flush without fsync
-        (each step survives process death only).
-    snapshot_every:
-        Write a checkpoint every N committed steps (0 = only the initial
-        checkpoint; recovery then replays the whole journal).
-    keep_snapshots:
-        Prune checkpoints beyond the newest K (minimum 2 once pruning is
-        on -- the recovery ladder needs a previous rung to fall back to).
-    verify_on_recover:
-        After recovery, check the recovered output against from-scratch
-        recomputation (Eq. 1 applied to the replayed state) before
-        declaring success.
-    """
-
-    journal_fsync: str = "always"
-    snapshot_every: int = 0
-    keep_snapshots: int = 3
-    verify_on_recover: bool = True
-
-    def __post_init__(self) -> None:
-        if self.journal_fsync not in ("always", "never"):
-            raise ValueError(
-                f"journal_fsync must be 'always' or 'never', "
-                f"got {self.journal_fsync!r}"
-            )
-        if self.snapshot_every < 0:
-            raise ValueError("snapshot_every must be >= 0")
-        if self.keep_snapshots < 0:
-            raise ValueError("keep_snapshots must be >= 0")
-
-
-def _engine_of(program: Any) -> Any:
-    """The underlying engine of a possibly-wrapped program."""
-    return getattr(program, "program", program)
-
-
-class DurableProgram:
-    """A write-ahead-journaled, checkpointed program wrapper."""
-
-    def __init__(
-        self,
-        program: Any,
-        directory: str,
-        policy: Optional[DurabilityPolicy] = None,
-        source: Optional[str] = None,
-        meta: Optional[Dict[str, Any]] = None,
-    ):
-        self.program = program
-        self.directory = directory
-        self.policy = policy or DurabilityPolicy()
-        engine = _engine_of(program)
-        self.source = source if source is not None else pretty(engine.term)
-        self.meta = dict(meta) if meta else {}
-        self.journal: Optional[Journal] = None
-
-    # -- recovery re-attachment -------------------------------------------
-
-    @classmethod
-    def _attach(
-        cls,
-        program: Any,
-        directory: str,
-        policy: DurabilityPolicy,
-        source: str,
-        journal: Journal,
-        meta: Optional[Dict[str, Any]] = None,
-    ) -> "DurableProgram":
-        """Wrap an already-recovered program around its existing journal
-        (no init record is written; appends continue at the repaired
-        tail)."""
-        durable = cls.__new__(cls)
-        durable.program = program
-        durable.directory = directory
-        durable.policy = policy
-        durable.source = source
-        durable.meta = dict(meta) if meta else {}
-        durable.journal = journal
-        return durable
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def initialize(self, *inputs: Any) -> Any:
-        os.makedirs(self.directory, exist_ok=True)
-        encoded_inputs = [encode_value(value) for value in inputs]
-        output = self.program.initialize(*inputs)
-        engine = _engine_of(self.program)
-        self.journal = Journal.create(
-            journal_path(self.directory), fsync=self.policy.journal_fsync
-        )
-        record: Dict[str, Any] = {
-            "type": "init",
-            "codec": CODEC_VERSION,
-            "program": self.source,
-            "options": {
-                "caching": type(engine).__name__ == "CachingIncrementalProgram",
-                "resilient": self.program is not engine,
-                "strict": bool(getattr(engine, "strict", False)),
-                "arity": engine.arity,
-            },
-            "inputs": encoded_inputs,
-            "output": encode_value(output),
-        }
-        if self.meta:
-            record["meta"] = self.meta
-        self.journal.append(record)
-        self.snapshot()
-        return output
-
-    def step(self, *changes: Any) -> Any:
-        """A journaled step: write-ahead append, then the transactional
-        engine step, then (periodically) a checkpoint."""
-        if self.journal is None:
-            raise RuntimeError("call initialize() before step()")
-        step_index = self.program.steps
-        record = {
-            "type": "step",
-            "step": step_index,
-            "changes": [encode_value(change) for change in changes],
-        }
-        self.journal.append(record)
-        if _STATE.on:
-            _STEPS_JOURNALED.inc()
-        try:
-            output = self.program.step(*changes)
-        except Exception:
-            # The engine rolled the step back; mark the journal record
-            # dead so replay skips it rather than re-raising mid-recovery.
-            self.journal.append({"type": "abort", "step": step_index})
-            if _STATE.on:
-                _ABORTS.inc()
-            raise
-        every = self.policy.snapshot_every
-        if every and self.program.steps % every == 0:
-            self.snapshot()
-        return output
-
-    def snapshot(self) -> None:
-        """Checkpoint the committed state at the current step boundary."""
-        if self.journal is None:
-            raise RuntimeError("call initialize() before snapshot()")
-        state: Dict[str, Any] = {
-            "inputs": [
-                encode_value(value) for value in self.program.current_inputs()
-            ],
-            "output": encode_value(self.program.output),
-        }
-        caches = self._encodable_caches()
-        if caches is not None:
-            state["caches"] = caches
-        write_snapshot(
-            self.directory,
-            state,
-            step=self.program.steps,
-            journal_offset=self.journal.offset,
-            keep=self.policy.keep_snapshots,
-        )
-
-    def _encodable_caches(self) -> Optional[Dict[str, Any]]:
-        """First-order intermediate caches of the caching engine, for
-        recovery-time cross-validation.  Function-valued caches (partial
-        applications named by ANF) are skipped -- they are rebuilt, not
-        restored."""
-        engine = _engine_of(self.program)
-        names = getattr(engine, "cache_names", None)
-        if names is None:
-            return None
-        encoded: Dict[str, Any] = {}
-        for name in names():
-            try:
-                encoded[name] = encode_value(engine.cached_value(name))
-            except Exception:
-                continue
-        return encoded
-
-    def close(self) -> None:
-        if self.journal is not None:
-            self.journal.close()
-
-    def __enter__(self) -> "DurableProgram":
-        return self
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.close()
-
-    # -- delegation --------------------------------------------------------
-
-    @property
-    def output(self) -> Any:
-        return self.program.output
-
-    @property
-    def steps(self) -> int:
-        return self.program.steps
-
-    def current_inputs(self) -> Sequence[Any]:
-        return self.program.current_inputs()
-
-    def recompute(self) -> Any:
-        return self.program.recompute()
-
-    def verify(self) -> bool:
-        return self.program.verify()
-
-    @property
-    def registry(self) -> Any:
-        return self.program.registry
+class DurableProgram(DurabilityLayer):
+    """Alias of :class:`~repro.runtime.durability.DurabilityLayer`."""
 
 
 __all__ = ["DurabilityPolicy", "DurableProgram"]

@@ -1,0 +1,98 @@
+"""The composable engine runtime: middleware stacks and supervision.
+
+This package collapses the historical wrapper zoo (``ResilientProgram``,
+``DurableProgram``, ad-hoc metrics instrumentation) into one
+:class:`~repro.runtime.middleware.Middleware` contract with a canonical
+stacking order, a declarative assembler
+(:func:`~repro.runtime.stack.build_stack`), and a supervised control
+loop (:class:`~repro.runtime.supervisor.SupervisedRuntime`) that serves
+every change through an explicit degradation ladder guarded by circuit
+breakers.  The chaos soak harness (:mod:`repro.runtime.soak`) proves
+the full stack under fault storms and SIGKILL cycles.
+
+Durability- and soak-related names are exported lazily (PEP 562):
+importing :mod:`repro.runtime` must not drag in the persistence package
+(whose recovery module imports back through the engine wrappers).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.breaker import BreakerPolicy, CircuitBreaker
+from repro.runtime.middleware import (
+    Middleware,
+    StackError,
+    engine_of,
+    iter_layers,
+)
+from repro.runtime.resilience import ResilienceLayer, ResiliencePolicy
+from repro.runtime.stack import (
+    LAYER_REGISTRY,
+    LayerSpec,
+    assemble_stack,
+    build_stack,
+    describe_stack,
+    stack_names,
+    validate_spec,
+)
+from repro.runtime.supervisor import (
+    INCREMENTAL,
+    RECOMPUTE,
+    REJECTED,
+    SHED,
+    STALE,
+    SupervisedRuntime,
+    SupervisorPolicy,
+)
+from repro.runtime.telemetry import MetricsLayer
+
+_LAZY = {
+    "DurabilityLayer": ("repro.runtime.durability", "DurabilityLayer"),
+    "DurabilityPolicy": ("repro.runtime.durability", "DurabilityPolicy"),
+    "SoakConfig": ("repro.runtime.soak", "SoakConfig"),
+    "run_soak": ("repro.runtime.soak", "run_soak"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    return getattr(import_module(module_name), attr)
+
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "INCREMENTAL",
+    "RECOMPUTE",
+    "REJECTED",
+    "SHED",
+    "STALE",
+    "DurabilityLayer",
+    "DurabilityPolicy",
+    "LAYER_REGISTRY",
+    "LayerSpec",
+    "MetricsLayer",
+    "Middleware",
+    "ResilienceLayer",
+    "ResiliencePolicy",
+    "SoakConfig",
+    "StackError",
+    "SupervisedRuntime",
+    "SupervisorPolicy",
+    "assemble_stack",
+    "build_stack",
+    "describe_stack",
+    "engine_of",
+    "iter_layers",
+    "run_soak",
+    "stack_names",
+    "validate_spec",
+]

@@ -1,0 +1,136 @@
+"""A deterministic circuit breaker for the derivative and recompute paths.
+
+The classic three-state machine, driven by *operation counts* rather
+than wall-clock time so tests (and seeded soaks) are perfectly
+reproducible:
+
+* **closed** -- operations flow; ``failure_threshold`` *consecutive*
+  failures trip the breaker;
+* **open** -- operations are refused (``allow()`` is False); each
+  refusal burns one unit of ``cooldown``, after which the breaker moves
+  to half-open;
+* **half-open** -- a limited number of probe operations are admitted;
+  ``probe_successes`` consecutive probe successes close the breaker,
+  any probe failure re-opens it (with a fresh cooldown).
+
+Every transition is recorded as a JSON-ready dict in
+:attr:`CircuitBreaker.transitions` -- the soak harness's transition log
+and the dashboard's breaker drill-down both read it verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class BreakerPolicy:
+    """Tunable knobs of a circuit breaker.
+
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    cooldown:
+        Refused operations to sit out while open before probing.
+    probe_successes:
+        Consecutive half-open successes required to close again.
+    """
+
+    failure_threshold: int = 3
+    cooldown: int = 8
+    probe_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+
+
+@dataclass
+class CircuitBreaker:
+    """One breaker instance (e.g. around the derivative path)."""
+
+    name: str = "derivative"
+    policy: BreakerPolicy = field(default_factory=BreakerPolicy)
+    state: str = CLOSED
+    operations: int = 0
+    failures: int = 0
+    successes: int = 0
+    transitions: List[Dict[str, Any]] = field(default_factory=list)
+    _consecutive_failures: int = 0
+    _cooldown_remaining: int = 0
+    _probe_streak: int = 0
+
+    def _move(self, to: str, reason: str) -> None:
+        self.transitions.append(
+            {
+                "breaker": self.name,
+                "from": self.state,
+                "to": to,
+                "reason": reason,
+                "op": self.operations,
+            }
+        )
+        self.state = to
+
+    # -- the protocol ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the guarded operation run now?  Burns cooldown while open."""
+        self.operations += 1
+        if self.state == OPEN:
+            self._cooldown_remaining -= 1
+            if self._cooldown_remaining <= 0:
+                self._probe_streak = 0
+                self._move(HALF_OPEN, "cooldown elapsed")
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self._consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self._probe_streak += 1
+            if self._probe_streak >= self.policy.probe_successes:
+                self._move(CLOSED, "probe succeeded")
+
+    def record_failure(self, reason: str = "error") -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN:
+            self._cooldown_remaining = self.policy.cooldown
+            self._move(OPEN, f"probe failed: {reason}")
+            return
+        self._consecutive_failures += 1
+        if (
+            self.state == CLOSED
+            and self._consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._cooldown_remaining = self.policy.cooldown
+            self._move(OPEN, f"{self._consecutive_failures} consecutive: {reason}")
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self.state == CLOSED
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "operations": self.operations,
+            "failures": self.failures,
+            "successes": self.successes,
+            "transitions": len(self.transitions),
+        }
+
+
+__all__ = ["BreakerPolicy", "CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]

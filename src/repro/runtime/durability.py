@@ -1,0 +1,282 @@
+"""The durability middleware layer: journal every step, checkpoint every N.
+
+:class:`DurabilityLayer` wraps an engine (or a deeper stack slice) and
+adds write-ahead durability as an orthogonal guarantee:
+
+* ``initialize`` starts a fresh journal with an ``init`` record carrying
+  the program source, engine options, the encoded initial inputs, and
+  the base output -- everything recovery needs to rebuild the run from
+  nothing -- then writes checkpoint 0;
+* ``step`` appends the encoded changes to the journal *before* touching
+  the inner program (write-ahead: a crash after the append replays the
+  step, a crash during it tears the tail and loses only that step); a
+  step the inner stack rejects gets an ``abort`` marker so replay skips
+  it;
+* every ``snapshot_every`` committed steps a checkpoint is written
+  atomically and old ones are pruned down to ``keep_snapshots``.
+
+Because changes are encoded before the journal is touched, a change the
+codec cannot represent (e.g. a function change) fails the step *before*
+any state -- durable or in-memory -- is modified.
+
+As a middleware, the layer inherits the coalescing ``step_batch``: a
+burst whose changes compose is journaled as *one* composed step (one
+append + fsync per burst), which is the same replay state by the
+monoid law ``a ⊕ (da₁ ∘ da₂) = (a ⊕ da₁) ⊕ da₂``.
+
+``repro.persistence.durable.DurableProgram`` is a thin alias kept for
+old imports; the recovery ladder re-attaches through it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.lang.pretty import pretty
+from repro.observability import metrics as _metrics
+from repro.persistence.codec import CODEC_VERSION, encode_value
+from repro.persistence.journal import Journal, journal_path
+from repro.persistence.snapshot import write_snapshot
+from repro.runtime.middleware import Middleware, engine_of, iter_layers
+
+_STATE = _metrics.STATE
+_STEPS_JOURNALED = _metrics.GLOBAL_REGISTRY.counter(
+    "persistence.journal.steps_journaled"
+)
+_ABORTS = _metrics.GLOBAL_REGISTRY.counter("persistence.journal.aborts")
+
+
+@dataclass
+class DurabilityPolicy:
+    """Tunable knobs of the durability layer.
+
+    journal_fsync:
+        ``"always"`` -- fsync after every journal append (each committed
+        step survives power loss); ``"never"`` -- flush without fsync
+        (each step survives process death only).
+    snapshot_every:
+        Write a checkpoint every N committed steps (0 = only the initial
+        checkpoint; recovery then replays the whole journal).
+    keep_snapshots:
+        Prune checkpoints beyond the newest K (minimum 2 once pruning is
+        on -- the recovery ladder needs a previous rung to fall back to).
+    verify_on_recover:
+        After recovery, check the recovered output against from-scratch
+        recomputation (Eq. 1 applied to the replayed state) before
+        declaring success.
+    """
+
+    journal_fsync: str = "always"
+    snapshot_every: int = 0
+    keep_snapshots: int = 3
+    verify_on_recover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.journal_fsync not in ("always", "never"):
+            raise ValueError(
+                f"journal_fsync must be 'always' or 'never', "
+                f"got {self.journal_fsync!r}"
+            )
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
+        if self.keep_snapshots < 0:
+            raise ValueError("keep_snapshots must be >= 0")
+
+
+class DurabilityLayer(Middleware):
+    """A write-ahead-journaled, checkpointed middleware layer."""
+
+    layer_name = "durable"
+    rank = 30
+
+    def __init__(
+        self,
+        program: Any,
+        directory: str,
+        policy: Optional[DurabilityPolicy] = None,
+        source: Optional[str] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(program)
+        self.directory = directory
+        self.policy = policy or DurabilityPolicy()
+        engine = engine_of(program)
+        self.source = source if source is not None else pretty(engine.term)
+        self.meta = dict(meta) if meta else {}
+        self.journal: Optional[Journal] = None
+
+    # -- recovery re-attachment -------------------------------------------
+
+    @classmethod
+    def _attach(
+        cls,
+        program: Any,
+        directory: str,
+        policy: DurabilityPolicy,
+        source: str,
+        journal: Journal,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "DurabilityLayer":
+        """Wrap an already-recovered program around its existing journal
+        (no init record is written; appends continue at the repaired
+        tail)."""
+        durable = cls.__new__(cls)
+        durable.inner = program
+        durable.directory = directory
+        durable.policy = policy
+        durable.source = source
+        durable.meta = dict(meta) if meta else {}
+        durable.journal = journal
+        return durable
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, *inputs: Any) -> Any:
+        os.makedirs(self.directory, exist_ok=True)
+        encoded_inputs = [encode_value(value) for value in inputs]
+        output = self.inner.initialize(*inputs)
+        engine = engine_of(self.inner)
+        self.journal = Journal.create(
+            journal_path(self.directory), fsync=self.policy.journal_fsync
+        )
+        record: Dict[str, Any] = {
+            "type": "init",
+            "codec": CODEC_VERSION,
+            "program": self.source,
+            "options": {
+                "caching": type(engine).__name__ == "CachingIncrementalProgram",
+                "resilient": any(
+                    getattr(layer, "layer_name", None) == "resilient"
+                    for layer in iter_layers(self.inner)
+                ),
+                "strict": bool(getattr(engine, "strict", False)),
+                "arity": engine.arity,
+            },
+            "inputs": encoded_inputs,
+            "output": encode_value(output),
+        }
+        if self.meta:
+            record["meta"] = self.meta
+        self.journal.append(record)
+        self.snapshot()
+        return output
+
+    def step(self, *changes: Any) -> Any:
+        """A journaled step: write-ahead append, then the transactional
+        inner step, then (periodically) a checkpoint."""
+        if self.journal is None:
+            raise RuntimeError("call initialize() before step()")
+        step_index = self.inner.steps
+        record = {
+            "type": "step",
+            "step": step_index,
+            "changes": [encode_value(change) for change in changes],
+        }
+        self.journal.append(record)
+        if _STATE.on:
+            _STEPS_JOURNALED.inc()
+        try:
+            output = self.inner.step(*changes)
+        except Exception:
+            # The engine rolled the step back; mark the journal record
+            # dead so replay skips it rather than re-raising mid-recovery.
+            self.journal.append({"type": "abort", "step": step_index})
+            if _STATE.on:
+                _ABORTS.inc()
+            raise
+        every = self.policy.snapshot_every
+        if every and self.inner.steps % every == 0:
+            self.snapshot()
+        return output
+
+    def rebase(self, *changes: Any) -> Any:
+        """A journaled recompute-fallback: ``rebase`` mutates the inputs
+        (⊕) exactly like ``step`` does, so it must be written ahead too
+        -- otherwise a supervisor's degradation ladder would apply
+        changes the journal never saw and recovery would silently lose
+        them.  The record replays as an ordinary step: by Eq. 1 the
+        derivative path (healthy at replay time) reaches the same state
+        ⊕-plus-recompute did live."""
+        if self.journal is None:
+            raise RuntimeError("call initialize() before rebase()")
+        step_index = self.inner.steps
+        record = {
+            "type": "step",
+            "step": step_index,
+            "via": "rebase",
+            "changes": [encode_value(change) for change in changes],
+        }
+        self.journal.append(record)
+        if _STATE.on:
+            _STEPS_JOURNALED.inc()
+        try:
+            output = self.inner.rebase(*changes)
+        except Exception:
+            self.journal.append({"type": "abort", "step": step_index})
+            if _STATE.on:
+                _ABORTS.inc()
+            raise
+        every = self.policy.snapshot_every
+        if every and self.inner.steps % every == 0:
+            self.snapshot()
+        return output
+
+    def snapshot(self) -> None:
+        """Checkpoint the committed state at the current step boundary."""
+        if self.journal is None:
+            raise RuntimeError("call initialize() before snapshot()")
+        state: Dict[str, Any] = {
+            "inputs": [
+                encode_value(value) for value in self.inner.current_inputs()
+            ],
+            "output": encode_value(self.inner.output),
+        }
+        caches = self._encodable_caches()
+        if caches is not None:
+            state["caches"] = caches
+        write_snapshot(
+            self.directory,
+            state,
+            step=self.inner.steps,
+            journal_offset=self.journal.offset,
+            keep=self.policy.keep_snapshots,
+        )
+
+    def _encodable_caches(self) -> Optional[Dict[str, Any]]:
+        """First-order intermediate caches of the caching engine, for
+        recovery-time cross-validation.  Function-valued caches (partial
+        applications named by ANF) are skipped -- they are rebuilt, not
+        restored."""
+        engine = engine_of(self.inner)
+        names = getattr(engine, "cache_names", None)
+        if names is None:
+            return None
+        encoded: Dict[str, Any] = {}
+        for name in names():
+            try:
+                encoded[name] = encode_value(engine.cached_value(name))
+            except Exception:
+                continue
+        return encoded
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+        super().close()
+
+    # -- snapshot-state ----------------------------------------------------
+
+    def layer_state(self) -> Any:
+        return {
+            "directory": self.directory,
+            "journal_offset": (
+                self.journal.offset if self.journal is not None else None
+            ),
+            "fsync": self.policy.journal_fsync,
+            "snapshot_every": self.policy.snapshot_every,
+        }
+
+
+__all__ = ["DurabilityLayer", "DurabilityPolicy"]

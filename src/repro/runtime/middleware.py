@@ -1,0 +1,224 @@
+"""The engine-middleware protocol: one wrapper contract, many layers.
+
+Historically the repo grew four ad-hoc engine wrappers -- caching (an
+engine variant), ``ResilientProgram``, ``DurableProgram``, and the
+observability instrumentation baked into each -- and none of them knew
+about the others.  Stacking them worked only in the one nesting order
+``run_trace`` happened to use, and every wrapper re-implemented the
+same delegation boilerplate.
+
+:class:`Middleware` is the single contract they all share now.  A layer
+wraps an ``inner`` program (an engine or another layer) and may
+interpose on the lifecycle hooks:
+
+``initialize(*inputs)``
+    runs once, before any step;
+``step(*changes)``
+    one transactional change application;
+``step_batch(rows, coalesce=True)``
+    a burst of rows.  The default implementation preserves the
+    change-batch fusion of ``f a ⊕ df a (da₁ ∘ da₂)``: a layer that
+    interposes on ``step`` gets the burst composed *first* (when the
+    change algebra supports it) and then routed through its own
+    ``step`` -- so validation, journaling, and fallback all see the
+    coalesced change exactly once.  A layer that does not interpose on
+    ``step`` delegates the whole batch untouched;
+``recompute() / rebase(*changes) / resync() / verify()``
+    the from-scratch escape hatches (always correct, per the paper's
+    erasure theorem -- a derivative may degenerate to recomputation);
+``snapshot_state()``
+    a JSON-ready description of the layer's own observable state
+    (counters, policy), recursing into ``inner`` -- the health probe
+    and ``describe_stack`` feed.
+
+Everything else (``output``, ``steps``, ``arity``, ``registry``, ...)
+delegates transparently, so a stack of N layers quacks exactly like the
+bare engine at its bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class StackError(ReproError, ValueError):
+    """A middleware stack specification is invalid."""
+
+
+def engine_of(program: Any) -> Any:
+    """The bare engine at the bottom of a (possibly multi-layer) stack.
+
+    Walks ``inner``/``program`` links until neither exists.  Replaces
+    the old one-level ``_engine_of`` in ``persistence.durable``, which
+    silently returned an intermediate layer for stacks deeper than two.
+    """
+    seen = set()
+    current = program
+    while id(current) not in seen:
+        seen.add(id(current))
+        nxt = getattr(current, "inner", None)
+        if nxt is None:
+            nxt = getattr(current, "program", None)
+        if nxt is None or nxt is current:
+            break
+        current = nxt
+    return current
+
+
+def iter_layers(program: Any) -> Iterator[Any]:
+    """All layers outermost-first, ending with the bare engine."""
+    seen = set()
+    current = program
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        yield current
+        nxt = getattr(current, "inner", None)
+        if nxt is None:
+            nxt = getattr(current, "program", None)
+        if nxt is current:
+            break
+        current = nxt
+
+
+class Middleware:
+    """Base class for stackable engine layers (transparent delegation)."""
+
+    #: Registry key; subclasses override (``"metrics"``, ``"durable"``, ...).
+    layer_name: str = "middleware"
+    #: Canonical stack position -- outermost layers have a higher rank.
+    #: ``validate_spec`` enforces strictly decreasing ranks outermost→in.
+    rank: int = 0
+
+    def __init__(self, inner: Any):
+        self.inner = inner
+
+    # -- historical aliases --------------------------------------------------
+
+    @property
+    def program(self) -> Any:
+        """The wrapped program (pre-stack wrappers called it ``.program``)."""
+        return self.inner
+
+    @property
+    def engine(self) -> Any:
+        """The bare engine at the bottom of the stack."""
+        return engine_of(self.inner)
+
+    # -- lifecycle hooks -----------------------------------------------------
+
+    def initialize(self, *inputs: Any) -> Any:
+        return self.inner.initialize(*inputs)
+
+    def step(self, *changes: Any) -> Any:
+        return self.inner.step(*changes)
+
+    def step_batch(
+        self, batch: Sequence[Sequence[Any]], coalesce: bool = True
+    ) -> Any:
+        rows: List[Tuple[Any, ...]] = [tuple(row) for row in batch]
+        if not rows:
+            return self.output
+        interposes = type(self).step is not Middleware.step
+        if not interposes and hasattr(self.inner, "step_batch"):
+            return self.inner.step_batch(rows, coalesce=coalesce)
+        if interposes and coalesce and len(rows) > 1:
+            # Coalesce *above* this layer's step so its interposition
+            # (journal append, validation, fallback) happens once per
+            # burst -- the same fusion the engines do internally.
+            from repro.incremental.engine import compose_change_rows
+
+            composed = compose_change_rows(rows)
+            if composed is not None:
+                return self.step(*composed)
+        output = self.output
+        for row in rows:
+            output = self.step(*row)
+        return output
+
+    def recompute(self) -> Any:
+        return self.inner.recompute()
+
+    def rebase(self, *changes: Any) -> Any:
+        return self.inner.rebase(*changes)
+
+    def resync(self) -> Any:
+        return self.inner.resync()
+
+    def verify(self) -> bool:
+        return self.inner.verify()
+
+    def fast_forward(self, steps: int) -> None:
+        self.inner.fast_forward(steps)
+
+    def current_inputs(self) -> Sequence[Any]:
+        return self.inner.current_inputs()
+
+    # -- snapshot-state hook -------------------------------------------------
+
+    def layer_state(self) -> Any:
+        """This layer's own observable state (override in subclasses)."""
+        return {}
+
+    def snapshot_state(self) -> Any:
+        """JSON-ready state of the whole stack, outermost-first."""
+        state = {"layer": self.layer_name}
+        own = self.layer_state()
+        if own:
+            state.update(own)
+        inner_snapshot = getattr(self.inner, "snapshot_state", None)
+        if inner_snapshot is not None:
+            state["inner"] = inner_snapshot()
+        else:
+            state["inner"] = {
+                "layer": "engine",
+                "kind": type(self.inner).__name__,
+                "steps": getattr(self.inner, "steps", None),
+                "backend": getattr(self.inner, "backend", None),
+            }
+        return state
+
+    # -- transparent delegation ----------------------------------------------
+
+    @property
+    def output(self) -> Any:
+        return self.inner.output
+
+    @property
+    def steps(self) -> int:
+        return self.inner.steps
+
+    @property
+    def arity(self) -> int:
+        return self.inner.arity
+
+    @property
+    def registry(self) -> Any:
+        return self.inner.registry
+
+    @property
+    def program_type(self) -> Any:
+        return getattr(self.inner, "program_type", None)
+
+    @property
+    def term(self) -> Any:
+        return getattr(self.inner, "term", None)
+
+    @property
+    def last_step_span(self) -> Optional[Any]:
+        return getattr(self.engine, "last_step_span", None)
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Middleware":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+__all__ = ["Middleware", "StackError", "engine_of", "iter_layers"]

@@ -1,0 +1,246 @@
+"""The resilience middleware layer: Eq. 1's side conditions at runtime.
+
+The correctness theorem (Eq. 1) holds under two side conditions the
+runtime cannot take for granted: the incoming change must be *valid*
+for the current input (``da ∈ Δa``), and the derivative must be *total*
+on the changes it is fed.  :class:`ResilienceLayer` enforces both
+operationally:
+
+* **Change validation** -- before a step runs, each per-input change is
+  checked against the input's type using the plugin conformance
+  machinery (:func:`repro.plugins.validation.change_mismatch`).  A
+  malformed change is rejected with :class:`~repro.errors.InvalidChangeError`
+  *before* it can touch engine state.
+* **Recompute fallback** -- when the derivative raises (it was assumed
+  total but is not), the engine has already rolled the step back; the
+  layer falls back to ``rebase`` -- apply the changes by ``⊕`` and
+  recompute from scratch -- within a configurable budget.  The paper's
+  own observation that ``Replace``-style derivatives degenerate to
+  recomputation makes this fallback always-correct.  The triggering
+  :class:`~repro.errors.DerivativeError` is **not swallowed**: it is
+  kept as :attr:`ResilienceLayer.last_fallback_error` and attached as
+  the ``cause`` attribute of the emitted ``resilience.fallback`` span,
+  so post-mortems can see *why* the expensive path ran.
+* **Drift detection** -- every ``verify_every`` steps the incremental
+  output is compared against from-scratch recomputation (Eq. 1 checked
+  *at runtime*).  Divergence either raises
+  :class:`~repro.errors.DriftError` with both sides attached, or
+  self-heals by adopting the recomputed output (``on_drift="heal"``).
+
+The layer keeps counters (``fallbacks``, ``rejected_changes``,
+``drift_detections``, ``heals``) as plain attributes and mirrors them
+into the observability registry (``engine.fallbacks`` etc.) when
+telemetry is enabled.  ``repro.incremental.resilient.ResilientProgram``
+is a thin alias kept for old imports and journal init records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import DerivativeError, DriftError, InvalidChangeError
+from repro.lang.types import Type, uncurry_fun_type
+from repro.observability import get_observability
+from repro.observability import metrics as _metrics
+from repro.runtime.middleware import Middleware
+
+_STATE = _metrics.STATE
+
+
+@dataclass
+class ResiliencePolicy:
+    """Tunable knobs of the resilience layer.
+
+    validate_changes:
+        Shape-check every per-input change against the input's type
+        before stepping (cheap; does not force lazy inputs).
+    deep_validate:
+        Additionally check membership in ``Δv`` for the *current* input
+        value (e.g. a negative delta on a ``Nat`` holding 2).  This
+        forces the lazy inputs each step, trading self-maintainability
+        for stronger guarantees -- off by default.
+    fallback:
+        On :class:`~repro.errors.DerivativeError`, fall back to
+        ``rebase`` (apply changes by ``⊕``, recompute from scratch).
+    max_fallbacks:
+        Budget of fallbacks before a :class:`DerivativeError` is allowed
+        to escape (None = unlimited).  A small budget turns a persistent
+        derivative bug into a loud failure instead of silently paying
+        from-scratch cost forever.
+    verify_every:
+        Check Eq. 1 (incremental output == recomputation) every N
+        successful steps; 0 disables drift detection.
+    on_drift:
+        ``"raise"`` -- raise :class:`~repro.errors.DriftError`;
+        ``"heal"`` -- adopt the recomputed output and continue.
+    """
+
+    validate_changes: bool = True
+    deep_validate: bool = False
+    fallback: bool = True
+    max_fallbacks: Optional[int] = None
+    verify_every: int = 0
+    on_drift: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_drift not in ("raise", "heal"):
+            raise ValueError(
+                f"on_drift must be 'raise' or 'heal', got {self.on_drift!r}"
+            )
+        if self.verify_every < 0:
+            raise ValueError("verify_every must be >= 0")
+
+
+class ResilienceLayer(Middleware):
+    """A middleware layer enforcing Eq. 1's side conditions at runtime."""
+
+    layer_name = "resilient"
+    rank = 20
+
+    def __init__(
+        self,
+        program: Any,
+        policy: Optional[ResiliencePolicy] = None,
+        input_types: Optional[Sequence[Type]] = None,
+    ):
+        super().__init__(program)
+        self.policy = policy or ResiliencePolicy()
+        self.input_types: Optional[List[Type]] = (
+            list(input_types)
+            if input_types is not None
+            else self._inferred_input_types()
+        )
+        #: Resilience counters (always maintained; mirrored into the
+        #: observability registry when telemetry is on).
+        self.fallbacks = 0
+        self.rejected_changes = 0
+        self.drift_detections = 0
+        self.heals = 0
+        #: The most recent DerivativeError that triggered a fallback --
+        #: preserved (with its own ``cause`` chain) instead of swallowed.
+        self.last_fallback_error: Optional[DerivativeError] = None
+        self._steps_since_verify = 0
+
+    def _inferred_input_types(self) -> Optional[List[Type]]:
+        program_type = getattr(self.inner, "program_type", None)
+        if program_type is None:
+            return None
+        arguments, _ = uncurry_fun_type(program_type)
+        return list(arguments[: self.inner.arity])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def step(self, *changes: Any) -> Any:
+        """A validated, fallback-protected, drift-checked step."""
+        if self.policy.validate_changes:
+            self._validate(changes)
+        try:
+            output = self.inner.step(*changes)
+        except DerivativeError as error:
+            if not self._may_fall_back():
+                raise
+            output = self._fall_back(error, changes)
+        output = self._maybe_check_drift(output)
+        return output
+
+    def _fall_back(self, error: DerivativeError, changes: Sequence[Any]) -> Any:
+        self.fallbacks += 1
+        self.last_fallback_error = error
+        if not _STATE.on:
+            return self.inner.rebase(*changes)
+        hub = get_observability()
+        hub.metrics.counter("engine.fallbacks").inc()
+        root = error.cause if error.cause is not None else error
+        # The span wraps the rebase so its duration *is* the recompute
+        # cost, and its attributes carry the triggering error chain.
+        with hub.tracer.span(
+            "resilience.fallback",
+            step=self.inner.steps,
+            error=type(error).__name__,
+            cause=f"{type(root).__name__}: {root}",
+        ):
+            return self.inner.rebase(*changes)
+
+    # -- change validation -------------------------------------------------
+
+    def _validate(self, changes: Sequence[Any]) -> None:
+        from repro.plugins.validation import change_mismatch
+
+        if self.input_types is None:
+            return
+        deep = self.policy.deep_validate
+        values = self.inner.current_inputs() if deep else None
+        for index, (ty, change) in enumerate(zip(self.input_types, changes)):
+            if deep:
+                problem = change_mismatch(
+                    ty, change, self.registry, value=values[index]
+                )
+            else:
+                problem = change_mismatch(ty, change, self.registry)
+            if problem is not None:
+                self.rejected_changes += 1
+                if _STATE.on:
+                    get_observability().metrics.counter(
+                        "engine.rejected_changes"
+                    ).inc()
+                raise InvalidChangeError(
+                    f"rejected change for input {index}: {problem}",
+                    term=getattr(self.inner, "term", None),
+                    step=self.inner.steps,
+                    change=change,
+                    input_index=index,
+                )
+
+    # -- fallback ----------------------------------------------------------
+
+    def _may_fall_back(self) -> bool:
+        if not self.policy.fallback:
+            return False
+        budget = self.policy.max_fallbacks
+        return budget is None or self.fallbacks < budget
+
+    # -- drift detection ---------------------------------------------------
+
+    def _maybe_check_drift(self, output: Any) -> Any:
+        if not self.policy.verify_every:
+            return output
+        self._steps_since_verify += 1
+        if self._steps_since_verify < self.policy.verify_every:
+            return output
+        self._steps_since_verify = 0
+        expected = self.inner.recompute()
+        if expected == output:
+            return output
+        self.drift_detections += 1
+        if _STATE.on:
+            get_observability().metrics.counter("engine.drift_detected").inc()
+        if self.policy.on_drift == "heal":
+            self.heals += 1
+            if _STATE.on:
+                get_observability().metrics.counter("engine.heals").inc()
+            return self.inner.resync()
+        raise DriftError(
+            "incremental output diverged from recomputation",
+            term=getattr(self.inner, "term", None),
+            step=self.inner.steps - 1,
+            expected=expected,
+            actual=output,
+        )
+
+    # -- snapshot-state ----------------------------------------------------
+
+    def layer_state(self) -> Any:
+        last = self.last_fallback_error
+        return {
+            "fallbacks": self.fallbacks,
+            "rejected_changes": self.rejected_changes,
+            "drift_detections": self.drift_detections,
+            "heals": self.heals,
+            "last_fallback_cause": (
+                f"{type(last).__name__}: {last}" if last is not None else None
+            ),
+        }
+
+
+__all__ = ["ResilienceLayer", "ResiliencePolicy"]

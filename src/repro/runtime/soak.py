@@ -1,0 +1,550 @@
+"""The chaos soak harness behind ``repro soak``.
+
+One :func:`run_soak` call drives the *full* stack -- supervised runtime
+over metrics + durable + resilient layers over the caching engine, a
+composition that was impossible before the middleware refactor --
+through alternating waves of hot-key-churn and fault-storm traffic,
+interleaving SIGKILL crash/recover cycles of a journaled subprocess,
+while tracking:
+
+* **outcome accounting** -- every pushed row must land in exactly one
+  supervisor outcome (incremental / recompute / rejected / stale /
+  shed); the zero-unhandled-exceptions gate is literally ``pushed ==
+  sum(outcomes)`` plus an empty ``unhandled`` list;
+* **breaker/degradation transitions** -- both breakers' transition logs,
+  written out as a JSON-lines artifact for CI;
+* **memory growth** -- ``tracemalloc`` samples per wave, first→last
+  growth and peak;
+* **crash recovery** -- each cycle SIGKILLs a journaled ``repro trace``
+  subprocess mid-run and runs the recovery ladder over the remains,
+  requiring a verified report;
+* **SLO feed** -- the soak's latency quantiles are shaped like a traffic
+  cell (backend ``supervised``, profile ``soak``) and pushed through
+  the same :func:`repro.observability.slo.evaluate_slo` gate as the
+  bench cells.
+
+Storm waves arm the profile's primitive faults
+(:func:`repro.incremental.faults.inject_faults`) for exactly the storm
+window and corrupt a fraction of rows, so the ladder's every rung gets
+exercised: coalesced bursts while healthy, rejections for corrupt rows,
+breaker-tripped recompute during storms, and half-open climbs back
+after each storm passes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.incremental.faults import inject_faults, parse_fault_spec
+from repro.lang.types import uncurry_fun_type
+from repro.observability import observing
+from repro.observability.quantiles import QuantileSketch
+from repro.runtime.breaker import BreakerPolicy
+from repro.runtime.durability import DurabilityPolicy
+from repro.runtime.stack import assemble_stack
+from repro.runtime.supervisor import SupervisedRuntime, SupervisorPolicy
+from repro.traffic.models import FaultStorm, HotKeyChurn, Steady, TrafficProfile
+
+#: The program the crash-cycle subprocess runs (small and journal-friendly).
+_CRASH_PROGRAM = r"\xs ys -> foldBag gplus id (merge xs ys)"
+
+
+@dataclass
+class SoakConfig:
+    """Knobs of one soak run.
+
+    ``minutes`` bounds the run by wall clock (None = run exactly
+    ``waves`` waves).  ``--quick`` maps to the small values used by the
+    CI smoke job (a couple of waves, one crash cycle, ~a minute).
+    """
+
+    minutes: Optional[float] = None
+    waves: int = 4
+    wave_steps: int = 24
+    size: int = 400
+    seed: int = 7
+    workload: str = "histogram"
+    engine: str = "caching"
+    backend: str = "compiled"
+    crash_cycles: int = 1
+    fsync: str = "never"
+    snapshot_every: int = 8
+    directory: Optional[str] = None
+    storm_corrupt_ratio: float = 0.4
+    storm_faults: tuple = ("raise:foldBag'_gf",)
+    deadline_s: Optional[float] = None
+    slo_path: Optional[str] = None
+
+
+def _soak_profiles(config: SoakConfig) -> List[TrafficProfile]:
+    """The two alternating wave shapes: hot churn, then a fault storm."""
+    churn = TrafficProfile(
+        name="soak-churn",
+        keys=HotKeyChurn(hot_count=3, hot_fraction=0.9, churn_every=8),
+        arrival=Steady(rows_per_step=2),
+        removal_ratio=0.2,
+        description="hot-key churn between storms",
+    )
+    storm = TrafficProfile(
+        name="soak-storm",
+        keys=HotKeyChurn(hot_count=2, hot_fraction=0.8, churn_every=8),
+        arrival=Steady(rows_per_step=2),
+        removal_ratio=0.2,
+        storm=FaultStorm(
+            start=2,
+            length=max(4, config.wave_steps // 3),
+            corrupt_ratio=config.storm_corrupt_ratio,
+            primitive_faults=tuple(config.storm_faults),
+        ),
+        description="corrupting fault storm with sabotaged derivative",
+    )
+    return [churn, storm]
+
+
+def _build_supervised(config: SoakConfig, state_dir: str) -> SupervisedRuntime:
+    from repro.plugins.registry import standard_registry
+    from repro.traffic.harness import TRAFFIC_WORKLOADS
+
+    registry = standard_registry()
+    term, inputs = TRAFFIC_WORKLOADS[config.workload](registry, config.size)
+    stack = assemble_stack(
+        term,
+        registry,
+        [
+            "metrics",
+            (
+                "durable",
+                {
+                    "directory": state_dir,
+                    "policy": DurabilityPolicy(
+                        journal_fsync=config.fsync,
+                        snapshot_every=config.snapshot_every,
+                    ),
+                },
+            ),
+            # Validation rejects corrupt rows at this layer; fallback is
+            # off so derivative faults surface to the supervisor, whose
+            # breaker + ladder own the recompute decision.
+            ("resilient", {"policy": _no_fallback_policy()}),
+        ],
+        engine=config.engine,
+        backend=config.backend,
+    )
+    supervised = SupervisedRuntime(
+        stack,
+        SupervisorPolicy(
+            deadline_s=config.deadline_s,
+            retries=1,
+            derivative_breaker=BreakerPolicy(failure_threshold=3, cooldown=6),
+            recompute_breaker=BreakerPolicy(failure_threshold=2, cooldown=4),
+            seed=config.seed,
+        ),
+    )
+    supervised.initialize(*inputs)
+    return supervised
+
+
+def _no_fallback_policy() -> Any:
+    from repro.runtime.resilience import ResiliencePolicy
+
+    return ResiliencePolicy(validate_changes=True, fallback=False)
+
+
+def _input_types(supervised: SupervisedRuntime) -> List[Any]:
+    engine = supervised.engine
+    return list(uncurry_fun_type(engine.program_type)[0])[: engine.arity]
+
+
+def crash_cycle(
+    directory: str, steps: int = 40, seed: int = 13, timeout_s: float = 30.0
+) -> Dict[str, Any]:
+    """One SIGKILL crash/recover cycle: spawn a journaled ``repro trace``
+    subprocess, kill it after a few committed steps, run the recovery
+    ladder, and report what came back."""
+    import repro
+    from repro.persistence.journal import journal_path, read_journal
+    from repro.persistence.recovery import recover
+    from repro.plugins.registry import standard_registry
+
+    src_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "trace",
+            _CRASH_PROGRAM,
+            "--steps",
+            str(steps),
+            "--size",
+            "30",
+            "--seed",
+            str(seed),
+            "--journal",
+            directory,
+            "--snapshot-every",
+            "2",
+            "--fsync",
+            "never",
+            "--step-delay",
+            "0.05",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    path = journal_path(directory)
+    report: Dict[str, Any] = {"killed": False, "recovered": False}
+    try:
+        deadline = time.monotonic() + timeout_s
+        steps_seen = 0
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                report["error"] = (
+                    f"trace exited early (rc={process.returncode})"
+                )
+                return report
+            if os.path.exists(path):
+                steps_seen = sum(
+                    1
+                    for record in read_journal(path).records
+                    if record.payload.get("type") == "step"
+                )
+                if steps_seen >= 4:
+                    break
+            time.sleep(0.02)
+        else:
+            report["error"] = "journal never reached 4 step records"
+            return report
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=10)
+        report["killed"] = True
+        report["steps_at_kill"] = steps_seen
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup
+            process.kill()
+            process.wait()
+    result = recover(directory, registry=standard_registry())
+    try:
+        report["recovered"] = True
+        report["recovered_steps"] = result.report.steps
+        report["verified"] = bool(result.report.verified)
+        report["rung"] = getattr(result.report, "rung", None)
+    finally:
+        result.program.close()
+    return report
+
+
+def run_soak(
+    config: Optional[SoakConfig] = None,
+    transitions_path: Optional[str] = None,
+    report_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the chaos soak; returns the JSON-ready report (``ok`` verdict
+    included) and optionally writes the transition log + report files."""
+    from repro.bench import run_stamp
+    from repro.observability.slo import (
+        DEFAULT_SLO_PATH,
+        SloError,
+        evaluate_slo,
+        load_slo,
+    )
+
+    config = config or SoakConfig()
+    began = time.monotonic()
+    deadline = (
+        began + config.minutes * 60.0 if config.minutes is not None else None
+    )
+    profiles = _soak_profiles(config)
+    tracemalloc.start()
+    unhandled: List[str] = []
+    waves: List[Dict[str, Any]] = []
+    crash_reports: List[Dict[str, Any]] = []
+    memory_samples: List[Dict[str, int]] = []
+    latency = QuantileSketch()
+    latencies_s: List[float] = []
+    pushed = 0
+    reads = 0
+    wall = 0.0
+
+    state_root = config.directory or tempfile.mkdtemp(prefix="repro-soak-")
+    state_dir = os.path.join(state_root, "state")
+    with observing(reset=True):
+        supervised = _build_supervised(config, state_dir)
+        input_types = _input_types(supervised)
+        crash_at = _crash_schedule(config)
+        wave_index = 0
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if deadline is None and wave_index >= config.waves:
+                break
+            profile = profiles[wave_index % len(profiles)]
+            wave = _run_wave(
+                supervised,
+                profile,
+                input_types,
+                config,
+                seed=config.seed + wave_index,
+                latency=latency,
+                latencies_s=latencies_s,
+                unhandled=unhandled,
+            )
+            pushed += wave["pushed"]
+            reads += wave["reads"]
+            wall += wave["wall_s"]
+            waves.append(wave)
+            current, peak = tracemalloc.get_traced_memory()
+            memory_samples.append({"wave": wave_index, "current": current, "peak": peak})
+            if wave_index in crash_at:
+                crash_dir = os.path.join(state_root, f"crash-{wave_index}")
+                try:
+                    crash_reports.append(crash_cycle(crash_dir))
+                except Exception as error:  # pragma: no cover - harness guard
+                    crash_reports.append(
+                        {"recovered": False, "error": f"{type(error).__name__}: {error}"}
+                    )
+            wave_index += 1
+        # Drain any admitted-but-unserved rows before accounting.
+        supervised.drain()
+        health = supervised.health()
+        verified = _final_verify(supervised, unhandled)
+        supervised.close()
+    tracemalloc.stop()
+
+    outcomes = health["outcomes"]
+    accounted = sum(outcomes.values())
+    memory = _memory_report(memory_samples)
+    transitions = supervised.transitions
+    slo_row = _slo_row(config, pushed, reads, wall, latency, latencies_s)
+    slo_report: Optional[Dict[str, Any]] = None
+    slo_error: Optional[str] = None
+    try:
+        policy = load_slo(config.slo_path or DEFAULT_SLO_PATH)
+    except SloError as error:
+        slo_error = str(error)
+    else:
+        slo_report = evaluate_slo(policy, [slo_row], trend=[])
+    crashes_ok = all(
+        report.get("recovered") and report.get("verified", True)
+        for report in crash_reports
+    )
+    ok = (
+        not unhandled
+        and accounted == pushed
+        and crashes_ok
+        and verified
+        and (slo_report is None or slo_report["ok"])
+    )
+    report = {
+        "kind": "soak",
+        **run_stamp(),
+        "config": {
+            "minutes": config.minutes,
+            "waves": len(waves),
+            "wave_steps": config.wave_steps,
+            "size": config.size,
+            "seed": config.seed,
+            "workload": config.workload,
+            "engine": config.engine,
+            "backend": config.backend,
+            "fsync": config.fsync,
+            "crash_cycles": config.crash_cycles,
+        },
+        "wall_s": time.monotonic() - began,
+        "pushed": pushed,
+        "accounted": accounted,
+        "reads": reads,
+        "outcomes": outcomes,
+        "unhandled": unhandled,
+        "verified": verified,
+        "health": health,
+        "breakers": {
+            "derivative": supervised.derivative_breaker.snapshot(),
+            "recompute": supervised.recompute_breaker.snapshot(),
+        },
+        "transitions": transitions,
+        "memory": memory,
+        "crash_cycles": crash_reports,
+        "cell": slo_row,
+        "slo": slo_report,
+        "slo_error": slo_error,
+        "ok": ok,
+    }
+    if transitions_path:
+        with open(transitions_path, "w", encoding="utf-8") as handle:
+            for transition in transitions:
+                handle.write(json.dumps(transition) + "\n")
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, default=str)
+    return report
+
+
+def _crash_schedule(config: SoakConfig) -> set:
+    """Which wave indices are followed by a crash/recover cycle: spread
+    evenly across the configured wave count."""
+    if config.crash_cycles <= 0:
+        return set()
+    total = max(config.waves, 1)
+    cycles = min(config.crash_cycles, total)
+    return {
+        (index + 1) * total // (cycles + 1) for index in range(cycles)
+    }
+
+
+def _run_wave(
+    supervised: SupervisedRuntime,
+    profile: TrafficProfile,
+    input_types: List[Any],
+    config: SoakConfig,
+    seed: int,
+    latency: QuantileSketch,
+    latencies_s: List[float],
+    unhandled: List[str],
+) -> Dict[str, Any]:
+    """One wave: feed the profile's events through submit/drain, arming
+    primitive faults for exactly the storm windows."""
+    from repro.plugins.registry import standard_registry
+
+    registry = supervised.engine.registry or standard_registry()
+    faults = [parse_fault_spec(spec) for spec in profile.storm_faults()]
+    pushed = reads = 0
+    wall = 0.0
+    outcome_totals: Dict[str, int] = {}
+    events = list(profile.events(input_types, config.wave_steps, seed))
+    for event in events:
+        began = time.perf_counter()
+        try:
+            armed = event.storm and faults
+            if armed:
+                with inject_faults(registry, *faults):
+                    outcomes = _serve_event(supervised, event)
+            else:
+                outcomes = _serve_event(supervised, event)
+            for outcome in outcomes:
+                outcome_totals[outcome] = outcome_totals.get(outcome, 0) + 1
+            for _ in range(event.reads):
+                _ = supervised.output
+        except Exception as error:
+            # The whole point of the ladder is that this never happens.
+            unhandled.append(
+                f"wave={profile.name} step={event.step} "
+                f"{type(error).__name__}: {error}"
+            )
+        elapsed = time.perf_counter() - began
+        latency.record(elapsed)
+        latencies_s.append(elapsed)
+        wall += elapsed
+        pushed += len(event.rows)
+        reads += event.reads
+    return {
+        "profile": profile.name,
+        "steps": len(events),
+        "pushed": pushed,
+        "reads": reads,
+        "outcomes": outcome_totals,
+        "wall_s": wall,
+        "storm": profile.storm is not None,
+    }
+
+
+def _serve_event(supervised: SupervisedRuntime, event: Any) -> List[str]:
+    """Admission-control path: submit each row, then drain the queue.
+    Refused rows are already counted as shed by the supervisor."""
+    outcomes: List[str] = []
+    for row in event.rows:
+        if not supervised.submit(*row):
+            outcomes.append("shed")
+    outcomes.extend(supervised.drain())
+    return outcomes
+
+
+def _final_verify(supervised: SupervisedRuntime, unhandled: List[str]) -> bool:
+    """After the last wave (faults cleared), the stack must be healthy
+    enough to verify Eq. 1 -- unless it is still legitimately stale."""
+    if not supervised.ready():
+        return True  # stale-serving is an *accounted* state, not a failure
+    try:
+        return bool(supervised.verify())
+    except Exception as error:  # pragma: no cover - verification guard
+        unhandled.append(f"final-verify {type(error).__name__}: {error}")
+        return False
+
+
+def _memory_report(samples: List[Dict[str, int]]) -> Dict[str, Any]:
+    if not samples:
+        return {"samples": 0}
+    first = samples[0]["current"]
+    last = samples[-1]["current"]
+    return {
+        "samples": len(samples),
+        "first_bytes": first,
+        "last_bytes": last,
+        "growth_bytes": last - first,
+        "peak_bytes": max(sample["peak"] for sample in samples),
+        "per_wave": samples,
+    }
+
+
+def _slo_row(
+    config: SoakConfig,
+    pushed: int,
+    reads: int,
+    wall: float,
+    latency: QuantileSketch,
+    latencies_s: List[float],
+) -> Dict[str, Any]:
+    """The soak shaped as a traffic cell so the stock SLO gate applies."""
+    from repro.observability import get_observability
+
+    def ms(value: Optional[float]) -> Optional[float]:
+        return value * 1e3 if value is not None else None
+
+    journal = get_observability().metrics.histogram(
+        "persistence.journal.append_wall_time_s"
+    )
+    phases: Dict[str, Any] = {}
+    if journal.count:
+        phases["journal"] = {
+            "count": journal.count,
+            "mean_ms": ms(journal.mean),
+            "p50_ms": ms(journal.quantile(0.5)),
+            "p99_ms": ms(journal.quantile(0.99)),
+        }
+    return {
+        "workload": config.workload,
+        "backend": "supervised",
+        "profile": "soak",
+        "n": config.size,
+        "seed": config.seed,
+        "steps": len(latencies_s),
+        "changes": pushed,
+        "reads": reads,
+        "wall_s": wall,
+        "changes_per_s": pushed / wall if wall > 0 else None,
+        "latency_ms": {
+            "mean": ms(wall / len(latencies_s)) if latencies_s else None,
+            "max": ms(max(latencies_s)) if latencies_s else None,
+            "p50": ms(latency.quantile(0.5)),
+            "p90": ms(latency.quantile(0.9)),
+            "p99": ms(latency.quantile(0.99)),
+            "p999": ms(latency.quantile(0.999)),
+        },
+        "phases_ms": phases,
+        "latency_history_ms": [value * 1e3 for value in latencies_s[-64:]],
+    }
+
+
+__all__ = ["SoakConfig", "crash_cycle", "run_soak"]

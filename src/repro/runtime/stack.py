@@ -1,0 +1,207 @@
+"""Declarative middleware-stack assembly with ordering validation.
+
+A serving layer assembles per-tenant pipelines from data, not code:
+
+    program = build_stack(engine, ["metrics", "durable", "resilient"],
+                          durable={"directory": "/var/lib/views/t1"})
+
+A spec is a sequence of layers **outermost-first**; each entry is a
+layer name, a ``(name, options)`` pair, a ``{"layer": name, ...opts}``
+dict, or a :class:`LayerSpec`.  :func:`validate_spec` normalizes the
+spec and enforces the stacking discipline:
+
+* every layer name must be registered (``metrics``, ``durable``,
+  ``resilient``);
+* no layer may appear twice;
+* layers must be listed in canonical order -- strictly decreasing
+  :attr:`~repro.runtime.middleware.Middleware.rank`:
+
+  ==========  ====  =====================================================
+  layer       rank  why it sits there
+  ==========  ====  =====================================================
+  metrics       40  boundary timing must see the full stack cost
+  durable       30  the WAL must record rejected steps as aborts, so it
+                    sits *above* validation/fallback
+  resilient     20  validation must run before the engine mutates state
+  engine         0  the bottom (``IncrementalProgram`` or
+                    ``CachingIncrementalProgram`` -- caching is an
+                    engine variant, composable with every layer)
+  ==========  ====  =====================================================
+
+Any *subset* of the canonical order is accepted (``["metrics",
+"resilient"]``, ``["durable"]``, ...); any permutation that inverts a
+rank is rejected with :class:`~repro.runtime.middleware.StackError`
+explaining the required order.  The property test in
+``tests/runtime/test_stack_property.py`` pins the contract that every
+*accepted* order is semantically transparent: step-for-step identical
+outputs to the bare engine under no faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.middleware import StackError, iter_layers
+
+#: layer name -> (module, class) -- resolved lazily so importing the
+#: stack assembler does not drag in persistence (and its recovery
+#: machinery) until a durable layer is actually requested.
+LAYER_REGISTRY: Dict[str, Tuple[str, str]] = {
+    "metrics": ("repro.runtime.telemetry", "MetricsLayer"),
+    "durable": ("repro.runtime.durability", "DurabilityLayer"),
+    "resilient": ("repro.runtime.resilience", "ResilienceLayer"),
+}
+
+SpecEntry = Union[str, Tuple[str, Dict[str, Any]], Dict[str, Any], "LayerSpec"]
+
+
+@dataclass
+class LayerSpec:
+    """One normalized layer of a stack spec."""
+
+    name: str
+    options: Dict[str, Any] = field(default_factory=dict)
+
+
+def layer_class(name: str) -> type:
+    """Resolve a registered layer name to its middleware class."""
+    try:
+        module_name, attr = LAYER_REGISTRY[name]
+    except KeyError:
+        raise StackError(
+            f"unknown middleware layer {name!r} "
+            f"(available: {', '.join(sorted(LAYER_REGISTRY))})"
+        ) from None
+    return getattr(import_module(module_name), attr)
+
+
+def _normalize_entry(entry: SpecEntry) -> LayerSpec:
+    if isinstance(entry, LayerSpec):
+        return LayerSpec(entry.name, dict(entry.options))
+    if isinstance(entry, str):
+        return LayerSpec(entry)
+    if isinstance(entry, dict):
+        options = dict(entry)
+        name = options.pop("layer", None)
+        if not isinstance(name, str):
+            raise StackError(
+                f"dict spec entries need a 'layer' name, got {entry!r}"
+            )
+        return LayerSpec(name, options)
+    if isinstance(entry, (tuple, list)) and len(entry) == 2:
+        name, options = entry
+        if isinstance(name, str) and isinstance(options, dict):
+            return LayerSpec(name, dict(options))
+    raise StackError(
+        f"cannot interpret spec entry {entry!r}; expected a layer name, "
+        "a (name, options) pair, or a {'layer': name, ...} dict"
+    )
+
+
+def validate_spec(spec: Sequence[SpecEntry]) -> List[LayerSpec]:
+    """Normalize ``spec`` (outermost-first) and enforce the stacking
+    discipline; returns the normalized layer list or raises
+    :class:`StackError`."""
+    layers = [_normalize_entry(entry) for entry in spec]
+    seen: Dict[str, int] = {}
+    for layer in layers:
+        if layer.name in seen:
+            raise StackError(f"layer {layer.name!r} appears twice in the stack")
+        seen[layer.name] = layer_class(layer.name).rank
+    for outer, inner in zip(layers, layers[1:]):
+        if seen[outer.name] <= seen[inner.name]:
+            canonical = sorted(seen, key=lambda name: -seen[name])
+            raise StackError(
+                f"layer {outer.name!r} (rank {seen[outer.name]}) cannot wrap "
+                f"{inner.name!r} (rank {seen[inner.name]}); canonical "
+                f"outermost-first order here is {canonical}"
+            )
+    return layers
+
+
+def build_stack(
+    engine: Any,
+    spec: Sequence[SpecEntry],
+    **default_options: Dict[str, Any],
+) -> Any:
+    """Assemble a validated middleware stack around ``engine``.
+
+    ``spec`` lists layers outermost-first.  Per-layer options come from
+    the spec entries themselves, with ``**default_options`` supplying a
+    fallback dict per layer name (``build_stack(e, ["durable"],
+    durable={"directory": d})``).
+    """
+    layers = validate_spec(spec)
+    program = engine
+    for layer in reversed(layers):
+        options = dict(default_options.get(layer.name) or {})
+        options.update(layer.options)
+        cls = layer_class(layer.name)
+        try:
+            program = cls(program, **options)
+        except TypeError as error:
+            raise StackError(
+                f"cannot construct layer {layer.name!r} "
+                f"with options {sorted(options)}: {error}"
+            ) from error
+    return program
+
+
+def stack_names(program: Any) -> List[str]:
+    """Layer names outermost-first, ending with the engine class name."""
+    names: List[str] = []
+    for layer in iter_layers(program):
+        name = getattr(layer, "layer_name", None)
+        names.append(name if name is not None else type(layer).__name__)
+    return names
+
+
+def describe_stack(program: Any) -> Dict[str, Any]:
+    """A JSON-ready description of an assembled stack."""
+    snapshot = getattr(program, "snapshot_state", None)
+    return {
+        "layers": stack_names(program),
+        "state": snapshot() if snapshot is not None else None,
+    }
+
+
+def assemble_stack(
+    term: Any,
+    registry: Any,
+    spec: Sequence[SpecEntry],
+    engine: str = "incremental",
+    backend: Optional[str] = None,
+    **default_options: Dict[str, Any],
+) -> Any:
+    """Build an engine *and* its stack from data: the declarative
+    entrypoint a view server uses per tenant."""
+    from repro.incremental.caching import CachingIncrementalProgram
+    from repro.incremental.engine import IncrementalProgram
+
+    engines = {
+        "incremental": IncrementalProgram,
+        "caching": CachingIncrementalProgram,
+    }
+    if engine not in engines:
+        raise StackError(
+            f"unknown engine {engine!r} (available: {', '.join(sorted(engines))})"
+        )
+    kwargs: Dict[str, Any] = {}
+    if backend is not None:
+        kwargs["backend"] = backend
+    base = engines[engine](term, registry, **kwargs)
+    return build_stack(base, spec, **default_options)
+
+
+__all__ = [
+    "LAYER_REGISTRY",
+    "LayerSpec",
+    "assemble_stack",
+    "build_stack",
+    "describe_stack",
+    "layer_class",
+    "stack_names",
+    "validate_spec",
+]

@@ -1,0 +1,505 @@
+"""The supervised runtime: a degradation ladder over a middleware stack.
+
+The paper guarantees ``f (a ⊕ da) = f a ⊕ df a da`` *when the side
+conditions hold*; :class:`SupervisedRuntime` is the control loop for
+when they intermittently do not.  It owns a middleware stack (or bare
+engine) and serves every submitted change through an explicit ladder:
+
+1. **coalesced batch** -- the whole burst through ``step_batch`` with
+   change-batch fusion (the fast path);
+2. **per-row transactional** -- each row through ``step`` with bounded
+   retries + exponential backoff + seeded jitter for transient
+   derivative faults;
+3. **full recompute** -- ``rebase`` the row (⊕ then recompute), always
+   correct by the erasure theorem;
+4. **stale-serve** -- when even recompute fails, the row is parked on a
+   bounded stale backlog, the previous output keeps being served, and a
+   staleness counter ticks until the recompute path heals.
+
+Two deterministic circuit breakers decide which rung is reachable: the
+*derivative* breaker trips after consecutive incremental failures (or
+per-step deadline misses) and routes traffic straight to recompute; the
+*recompute* breaker trips when even that fails and flips the runtime to
+stale-serve.  Both climb back via half-open probes; when the recompute
+breaker closes, the stale backlog is replayed in order before new work.
+
+Admission control is a bounded pending queue: ``submit`` refuses work
+beyond ``max_pending`` and counts the shed rows -- backpressure is a
+number, not an exception storm.  Outcome accounting is total: every row
+ever submitted lands in exactly one of ``applied_incremental``,
+``applied_recompute``, ``rejected`` (invalid change), ``stale_served``,
+or ``shed`` -- the soak harness's zero-unhandled-exceptions gate sums
+these against the rows it pushed.
+
+``health()`` / ``ready()`` expose the whole picture (breaker states,
+counters, staleness) as the ``repro health`` probe payload.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    CodecError,
+    DerivativeError,
+    InvalidChangeError,
+    ReproError,
+)
+
+#: Errors that indict the *change*, not the serving path: a malformed
+#: change (validation or ⊕ refused it) or one the codec cannot even
+#: represent.  These reject-with-count instead of tripping breakers.
+_CHANGE_FAULTS = (InvalidChangeError, CodecError)
+from repro.observability import get_observability
+from repro.observability import metrics as _metrics
+from repro.runtime.breaker import BreakerPolicy, CircuitBreaker
+from repro.runtime.middleware import engine_of
+from repro.runtime.stack import describe_stack
+
+_STATE = _metrics.STATE
+
+#: Outcome labels, in ladder order.
+INCREMENTAL = "incremental"
+RECOMPUTE = "recompute"
+REJECTED = "rejected"
+STALE = "stale"
+SHED = "shed"
+
+
+@dataclass
+class SupervisorPolicy:
+    """Tunable knobs of the supervised runtime.
+
+    deadline_s:
+        Soft per-step deadline; an incremental step that exceeds it
+        counts as a derivative-path failure for the breaker (the step's
+        result is still used -- the deadline shapes future routing, it
+        does not abort work already done).  None disables.
+    retries:
+        Extra attempts per row on a transient
+        :class:`~repro.errors.DerivativeError` before descending a rung.
+    backoff_base_s / backoff_factor / backoff_jitter / max_backoff_s:
+        Exponential backoff between retries: ``base * factor**attempt``,
+        multiplied by ``1 ± jitter`` (seeded), capped at ``max_backoff_s``.
+        The default base of 0 keeps tests and soaks fast while still
+        exercising the retry loop.
+    derivative_breaker / recompute_breaker:
+        Policies of the two circuit breakers.
+    max_pending:
+        Admission-control bound on the pending queue (``submit``).
+    max_stale_backlog:
+        Bound on rows parked while stale-serving; overflow is shed.
+    seed:
+        Seeds the jitter RNG -- supervised runs are reproducible.
+    """
+
+    deadline_s: Optional[float] = None
+    retries: int = 1
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    max_backoff_s: float = 1.0
+    derivative_breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    recompute_breaker: BreakerPolicy = field(
+        default_factory=lambda: BreakerPolicy(failure_threshold=2, cooldown=4)
+    )
+    max_pending: int = 1024
+    max_stale_backlog: int = 4096
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.max_stale_backlog < 0:
+            raise ValueError("max_stale_backlog must be >= 0")
+
+
+class SupervisedRuntime:
+    """The degradation-ladder control loop over a middleware stack."""
+
+    def __init__(self, program: Any, policy: Optional[SupervisorPolicy] = None):
+        self.program = program
+        self.policy = policy or SupervisorPolicy()
+        self.derivative_breaker = CircuitBreaker(
+            "derivative", self.policy.derivative_breaker
+        )
+        self.recompute_breaker = CircuitBreaker(
+            "recompute", self.policy.recompute_breaker
+        )
+        self._rng = random.Random(self.policy.seed)
+        self._pending: Deque[Tuple[Any, ...]] = deque()
+        self._stale_backlog: Deque[Tuple[Any, ...]] = deque()
+        self._initialized = False
+        #: Outcome counters -- every submitted row lands in exactly one.
+        self.applied_incremental = 0
+        self.applied_recompute = 0
+        self.rejected_changes = 0
+        self.stale_served = 0
+        self.shed = 0
+        #: Supporting counters.
+        self.retries = 0
+        self.deadline_misses = 0
+        self.coalesced_rows = 0
+        self.staleness = 0
+        #: The most recent error per ladder rung (post-mortem context).
+        self.last_errors: Dict[str, Optional[str]] = {
+            "incremental": None,
+            "recompute": None,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, *inputs: Any) -> Any:
+        output = self.program.initialize(*inputs)
+        self._initialized = True
+        return output
+
+    @property
+    def output(self) -> Any:
+        return self.program.output
+
+    @property
+    def steps(self) -> int:
+        return self.program.steps
+
+    @property
+    def engine(self) -> Any:
+        return engine_of(self.program)
+
+    def close(self) -> None:
+        close = getattr(self.program, "close", None)
+        if close is not None:
+            close()
+
+    # -- admission control -------------------------------------------------
+
+    def submit(self, *changes: Any) -> bool:
+        """Enqueue one change row; False (and a shed count) when full."""
+        if len(self._pending) >= self.policy.max_pending:
+            self.shed += 1
+            if _STATE.on:
+                get_observability().metrics.counter("supervisor.shed").inc()
+            return False
+        self._pending.append(tuple(changes))
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def drain(self) -> List[str]:
+        """Serve everything admitted so far; returns per-row outcomes."""
+        rows = list(self._pending)
+        self._pending.clear()
+        return self.apply_rows(rows)
+
+    # -- the public step API (program-shaped) ------------------------------
+
+    def step(self, *changes: Any) -> Any:
+        self.apply_rows([tuple(changes)])
+        return self.program.output
+
+    def step_batch(
+        self, batch: Sequence[Sequence[Any]], coalesce: bool = True
+    ) -> Any:
+        self.apply_rows([tuple(row) for row in batch], coalesce=coalesce)
+        return self.program.output
+
+    # -- the ladder --------------------------------------------------------
+
+    def apply_rows(
+        self, rows: Sequence[Tuple[Any, ...]], coalesce: bool = True
+    ) -> List[str]:
+        """Serve ``rows`` through the degradation ladder.
+
+        Never raises for change-induced failures: every row's fate is an
+        outcome label (``incremental``/``recompute``/``rejected``/
+        ``stale``/``shed``), and the matching counter is bumped.
+        """
+        if not self._initialized:
+            raise RuntimeError("call initialize() before applying changes")
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return []
+        # Heal check first: a closed recompute breaker with a backlog
+        # means we just climbed back -- replay before new work.
+        if self._stale_backlog and self._recompute_allowed():
+            self._replay_backlog()
+        if self._stale_backlog:
+            # Still stale: park the new rows behind the backlog (order
+            # preserved), bounded by the backlog budget.
+            return [self._serve_stale(row) for row in rows]
+        outcomes: List[str] = []
+        # Rung 1: the coalesced batch, only while the derivative path
+        # is trusted and the whole burst is storm-free enough to try.
+        if coalesce and len(rows) > 1 and self.derivative_breaker.closed:
+            served = self._try_batch(rows)
+            if served == len(rows):
+                self.coalesced_rows += len(rows)
+                return [INCREMENTAL] * len(rows)
+            # A poisoned batch may have committed a prefix of rows (the
+            # engine's per-row fallback is transactional *per step*, not
+            # per burst): count those exactly once and re-route only the
+            # remainder, or rows would be applied twice.
+            outcomes.extend([INCREMENTAL] * served)
+            rows = rows[served:]
+        for row in rows:
+            outcomes.append(self._apply_row(row))
+        return outcomes
+
+    def _try_batch(self, rows: List[Tuple[Any, ...]]) -> int:
+        """Serve the burst through ``step_batch``; returns how many
+        leading rows actually committed (all of them on success)."""
+        began = time.perf_counter()
+        steps_before = self.program.steps
+        try:
+            self.program.step_batch(rows, coalesce=True)
+        except Exception:
+            # The batch is poisoned somewhere; fall to per-row, which
+            # attributes the failure (and any breaker signal) to the
+            # specific offending row.  An exception means the coalesced
+            # single-step path did not commit, so any step-count delta
+            # is exactly the number of leading rows the per-row fallback
+            # committed before failing.
+            committed = self.program.steps - steps_before
+            if committed:
+                self.applied_incremental += committed
+                self.derivative_breaker.record_success()
+            return committed
+        self._note_deadline(began)
+        self.applied_incremental += len(rows)
+        self.derivative_breaker.record_success()
+        return len(rows)
+
+    def _apply_row(self, row: Tuple[Any, ...]) -> str:
+        # Rung 2: per-row transactional step with retries.
+        if self.derivative_breaker.allow():
+            attempts = 1 + self.policy.retries
+            for attempt in range(attempts):
+                began = time.perf_counter()
+                try:
+                    self.program.step(*row)
+                except _CHANGE_FAULTS:
+                    # A malformed change is the *change's* fault, not the
+                    # derivative path's: reject, no breaker signal.
+                    self.rejected_changes += 1
+                    if _STATE.on:
+                        get_observability().metrics.counter(
+                            "supervisor.rejected"
+                        ).inc()
+                    return REJECTED
+                except DerivativeError as error:
+                    self.last_errors["incremental"] = (
+                        f"{type(error).__name__}: {error}"
+                    )
+                    if attempt + 1 < attempts:
+                        self.retries += 1
+                        self._backoff(attempt)
+                        continue
+                    self.derivative_breaker.record_failure(
+                        type(error).__name__
+                    )
+                    break
+                except Exception as error:
+                    # Engine steps are transactional even for raw
+                    # exceptions, so anything else is still just a
+                    # derivative-path failure to route around -- the
+                    # supervisor's no-throw contract holds regardless of
+                    # how the path broke.
+                    self.last_errors["incremental"] = (
+                        f"{type(error).__name__}: {error}"
+                    )
+                    self.derivative_breaker.record_failure(
+                        type(error).__name__
+                    )
+                    break
+                else:
+                    if self._note_deadline(began):
+                        # Deadline miss: result kept, breaker informed.
+                        self.derivative_breaker.record_failure("deadline")
+                    else:
+                        self.derivative_breaker.record_success()
+                    self.applied_incremental += 1
+                    return INCREMENTAL
+        # Rung 3: full recompute via rebase.
+        if self._recompute_allowed():
+            try:
+                self.program.rebase(*row)
+            except _CHANGE_FAULTS:
+                # ⊕ itself refused the change: the *change* is bad, not
+                # the recompute path -- reject without breaker signal.
+                self.rejected_changes += 1
+                if _STATE.on:
+                    get_observability().metrics.counter(
+                        "supervisor.rejected"
+                    ).inc()
+                return REJECTED
+            except Exception as error:
+                # ``rebase`` rolls back on any exception, so a raw
+                # failure (e.g. a sabotaged base primitive blowing up
+                # mid-recomputation) degrades to stale-serve instead of
+                # escaping the ladder.
+                self.last_errors["recompute"] = (
+                    f"{type(error).__name__}: {error}"
+                )
+                self.recompute_breaker.record_failure(type(error).__name__)
+            else:
+                self.recompute_breaker.record_success()
+                self.applied_recompute += 1
+                if _STATE.on:
+                    get_observability().metrics.counter(
+                        "supervisor.recompute"
+                    ).inc()
+                return RECOMPUTE
+        # Rung 4: stale-serve.
+        return self._serve_stale(row)
+
+    def _recompute_allowed(self) -> bool:
+        return self.recompute_breaker.allow()
+
+    def _serve_stale(self, row: Tuple[Any, ...]) -> str:
+        if len(self._stale_backlog) >= self.policy.max_stale_backlog:
+            self.shed += 1
+            if _STATE.on:
+                get_observability().metrics.counter("supervisor.shed").inc()
+            return SHED
+        self._stale_backlog.append(row)
+        self.stale_served += 1
+        self.staleness = len(self._stale_backlog)
+        if _STATE.on:
+            metrics = get_observability().metrics
+            metrics.counter("supervisor.stale_served").inc()
+            metrics.gauge("supervisor.staleness").set(self.staleness)
+        return STALE
+
+    def _replay_backlog(self) -> None:
+        """Climb back: replay parked rows in order through the ladder's
+        recompute rung (the derivative path re-earns trust separately)."""
+        while self._stale_backlog:
+            row = self._stale_backlog[0]
+            try:
+                self.program.rebase(*row)
+            except _CHANGE_FAULTS as error:
+                # The parked row itself is malformed (it was admitted
+                # while the recompute path was down, so rung 3 never got
+                # to vet it): drop it rather than let one poison row
+                # wedge the backlog in permanent staleness.  It stays
+                # accounted as stale-served -- that was its outcome.
+                self.last_errors["recompute"] = (
+                    f"{type(error).__name__}: {error}"
+                )
+                self._stale_backlog.popleft()
+                continue
+            except Exception as error:
+                self.last_errors["recompute"] = (
+                    f"{type(error).__name__}: {error}"
+                )
+                self.recompute_breaker.record_failure(type(error).__name__)
+                break
+            self._stale_backlog.popleft()
+            self.recompute_breaker.record_success()
+            # The row was stale-served at admission time; replay repairs
+            # state but does not re-count the row as a second outcome.
+        self.staleness = len(self._stale_backlog)
+        if _STATE.on:
+            get_observability().metrics.gauge("supervisor.staleness").set(
+                self.staleness
+            )
+
+    def _note_deadline(self, began: float) -> bool:
+        deadline = self.policy.deadline_s
+        if deadline is None:
+            return False
+        if time.perf_counter() - began <= deadline:
+            return False
+        self.deadline_misses += 1
+        if _STATE.on:
+            get_observability().metrics.counter(
+                "supervisor.deadline_misses"
+            ).inc()
+        return True
+
+    def _backoff(self, attempt: int) -> None:
+        base = self.policy.backoff_base_s
+        if base <= 0:
+            return
+        delay = min(
+            base * (self.policy.backoff_factor ** attempt),
+            self.policy.max_backoff_s,
+        )
+        jitter = self.policy.backoff_jitter
+        if jitter:
+            delay *= 1.0 + jitter * (2.0 * self._rng.random() - 1.0)
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- health / readiness ------------------------------------------------
+
+    @property
+    def transitions(self) -> List[Dict[str, Any]]:
+        """Both breakers' transition logs, merged in operation order."""
+        merged = (
+            self.derivative_breaker.transitions
+            + self.recompute_breaker.transitions
+        )
+        return sorted(merged, key=lambda t: t["op"])
+
+    def outcome_counts(self) -> Dict[str, int]:
+        return {
+            INCREMENTAL: self.applied_incremental,
+            RECOMPUTE: self.applied_recompute,
+            REJECTED: self.rejected_changes,
+            STALE: self.stale_served,
+            SHED: self.shed,
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """The JSON payload behind ``repro health``."""
+        if not self.derivative_breaker.closed:
+            status = "degraded"
+        else:
+            status = "ok"
+        if self._stale_backlog or not self.recompute_breaker.closed:
+            status = "stale"
+        return {
+            "status": status,
+            "ready": self.ready(),
+            "initialized": self._initialized,
+            "steps": self.program.steps if self._initialized else 0,
+            "pending": len(self._pending),
+            "staleness": len(self._stale_backlog),
+            "deadline_misses": self.deadline_misses,
+            "retries": self.retries,
+            "coalesced_rows": self.coalesced_rows,
+            "outcomes": self.outcome_counts(),
+            "breakers": {
+                "derivative": self.derivative_breaker.snapshot(),
+                "recompute": self.recompute_breaker.snapshot(),
+            },
+            "last_errors": dict(self.last_errors),
+            "stack": describe_stack(self.program),
+        }
+
+    def ready(self) -> bool:
+        """Readiness: initialized and not stuck serving stale output."""
+        return self._initialized and not self._stale_backlog
+
+    def verify(self) -> bool:
+        return self.program.verify()
+
+
+__all__ = [
+    "INCREMENTAL",
+    "RECOMPUTE",
+    "REJECTED",
+    "SHED",
+    "STALE",
+    "SupervisedRuntime",
+    "SupervisorPolicy",
+]

@@ -7,27 +7,40 @@ reporting per-step latency quantiles (p50/p90/p99/p999), changes/sec
 throughput, and the per-phase breakdown (derivative vs ⊕ vs journal
 append+fsync) the capacity question decomposes into.
 
+Cells are assembled on the middleware stack
+(:func:`repro.runtime.stack.build_stack`), so one function covers every
+variant the dashboard shows:
+
+* ``engine="caching"`` measures
+  :class:`~repro.incremental.caching.CachingIncrementalProgram` instead
+  of the plain engine (cell backend ``compiled+caching``);
+* ``durable="always"``/``"never"`` adds a
+  :class:`~repro.runtime.durability.DurabilityLayer` journaling every
+  step into a temporary directory, and the journal append+fsync
+  histogram becomes the cell's ``journal`` phase (cell backend
+  ``compiled+durable``);
+* hostile profiles (any with a fault storm) run behind a
+  :class:`~repro.runtime.resilience.ResilienceLayer`; rejected rows
+  still cost (and are timed as) a step -- hostile traffic is load too.
+
 Latency is wall time per *event* -- a burst delivered through
 ``step_batch`` counts each absorbed change toward throughput but is one
-latency sample, matching how a serving layer would experience it.  Under
-a fault storm the engine runs behind
-:class:`~repro.incremental.resilient.ResilientProgram`; rejected rows
-still cost (and are timed as) a step -- hostile traffic is load too.
+latency sample, matching how a serving layer would experience it.
 """
 
 from __future__ import annotations
 
+import contextlib
+import tempfile
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.data.bag import Bag
 from repro.errors import ReproError
-from repro.incremental.engine import IncrementalProgram
-from repro.incremental.resilient import ResiliencePolicy, ResilientProgram
 from repro.lang.types import uncurry_fun_type
 from repro.mapreduce.skeleton import grand_total_term, histogram_term
 from repro.mapreduce.workloads import make_corpus
-from repro.observability import observing
+from repro.observability import get_observability, observing
 from repro.observability.quantiles import QuantileSketch
 from repro.plugins.registry import Registry
 from repro.traffic.models import TrafficError, TrafficProfile
@@ -53,6 +66,10 @@ TRAFFIC_WORKLOADS: Dict[
     "grand_total": _grand_total_inputs,
 }
 
+#: Engine variants a cell can measure (the label lands in the cell's
+#: backend string: ``compiled+caching``).
+TRAFFIC_ENGINES = ("incremental", "caching")
+
 
 def _phase_summary(sketch: QuantileSketch, count: int, total: float) -> Dict[str, Any]:
     def ms(value: Optional[float]) -> Optional[float]:
@@ -66,6 +83,17 @@ def _phase_summary(sketch: QuantileSketch, count: int, total: float) -> Dict[str
     }
 
 
+def _cell_backend(backend: str, engine: str, durable: Optional[str]) -> str:
+    """The cell's backend label: variants are suffixes so SLO budget
+    cells (``workload/backend/profile``) stay one flat namespace."""
+    label = backend
+    if engine == "caching":
+        label += "+caching"
+    if durable:
+        label += "+durable"
+    return label
+
+
 def measure_profile(
     registry: Registry,
     workload: str = "histogram",
@@ -75,27 +103,63 @@ def measure_profile(
     steps: int = 48,
     seed: int = 7,
     warmup: int = 4,
+    engine: str = "incremental",
+    durable: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One traffic cell: run ``profile`` traffic over ``workload`` on
-    ``backend`` and return the latency/throughput measurement row."""
+    ``backend`` (optionally the caching engine, optionally journaled
+    with fsync policy ``durable``) and return the measurement row."""
+    from repro.runtime.stack import assemble_stack
+
     if workload not in TRAFFIC_WORKLOADS:
         raise TrafficError(
             f"unknown traffic workload {workload!r} "
             f"(available: {', '.join(sorted(TRAFFIC_WORKLOADS))})"
         )
+    if engine not in TRAFFIC_ENGINES:
+        raise TrafficError(
+            f"unknown traffic engine {engine!r} "
+            f"(available: {', '.join(TRAFFIC_ENGINES)})"
+        )
+    if durable is not None and durable not in ("always", "never"):
+        raise TrafficError(
+            f"durable must be 'always', 'never', or None, got {durable!r}"
+        )
     resolved: TrafficProfile = get_profile(profile)
     term, inputs = TRAFFIC_WORKLOADS[workload](registry, size)
-    with observing():
-        engine = IncrementalProgram(term, registry, backend=backend)
-        input_types = list(uncurry_fun_type(engine.program_type)[0])[
-            : engine.arity
-        ]
-        hostile = resolved.storm is not None
-        runner: Any = (
-            ResilientProgram(engine, ResiliencePolicy(), input_types=input_types)
-            if hostile
-            else engine
+    hostile = resolved.storm is not None
+    # Each cell measures its own metrics window: reset=True gives the
+    # journal phase (read from the global histogram) a clean slate.
+    with contextlib.ExitStack() as resources:
+        resources.enter_context(observing(reset=True))
+        spec: List[Any] = []
+        if durable:
+            from repro.runtime.durability import DurabilityPolicy
+
+            state_dir = resources.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-traffic-")
+            )
+            spec.append(
+                (
+                    "durable",
+                    {
+                        "directory": state_dir,
+                        "policy": DurabilityPolicy(journal_fsync=durable),
+                    },
+                )
+            )
+        if hostile:
+            spec.append("resilient")
+        runner = assemble_stack(
+            term, registry, spec, engine=engine, backend=backend
         )
+        resources.callback(getattr(runner, "close", lambda: None))
+        base = runner
+        while getattr(base, "inner", None) is not None:
+            base = base.inner
+        input_types = list(uncurry_fun_type(base.program_type)[0])[
+            : base.arity
+        ]
         events = list(resolved.events(input_types, steps + warmup, seed))
         runner.initialize(*inputs)
 
@@ -120,13 +184,13 @@ def measure_profile(
                             raise
                         rejected += 1
             elif event.rows:
-                engine.step_batch(event.rows, coalesce=True)
+                runner.step_batch(event.rows, coalesce=True)
             for _ in range(event.reads):
                 _ = runner.output
             elapsed = time.perf_counter() - began
             if not timed:
                 continue
-            span = engine.last_step_span
+            span = base.last_step_span
             if span is not None:
                 for child in span.children:
                     if child.name == "derivative":
@@ -143,18 +207,34 @@ def measure_profile(
             changes += event.writes
             reads += event.reads
 
+        phases: Dict[str, Any] = {
+            "derivative": _phase_summary(
+                derivative_sketch, derivative_count, derivative_total
+            ),
+            "oplus": _phase_summary(oplus_sketch, oplus_count, oplus_total),
+        }
+        if durable:
+            # The journal layer's own histogram (append+fsync wall time)
+            # is the cell's third phase -- the fsync cost the dashboard's
+            # drill-down decomposes durable-cell latency into.
+            append_hist = get_observability().metrics.histogram(
+                "persistence.journal.append_wall_time_s"
+            )
+            if append_hist.count:
+                phases["journal"] = {
+                    "count": append_hist.count,
+                    "mean_ms": append_hist.mean * 1e3,
+                    "p50_ms": _maybe_ms(append_hist.quantile(0.5)),
+                    "p99_ms": _maybe_ms(append_hist.quantile(0.99)),
+                }
+        coalesced = getattr(base, "coalesced_changes", 0)
+
     def ms(value: Optional[float]) -> Optional[float]:
         return value * 1e3 if value is not None else None
 
-    phases: Dict[str, Any] = {
-        "derivative": _phase_summary(
-            derivative_sketch, derivative_count, derivative_total
-        ),
-        "oplus": _phase_summary(oplus_sketch, oplus_count, oplus_total),
-    }
     return {
         "workload": workload,
-        "backend": backend,
+        "backend": _cell_backend(backend, engine, durable),
         "profile": resolved.name,
         "n": size,
         "seed": seed,
@@ -162,7 +242,7 @@ def measure_profile(
         "changes": changes,
         "reads": reads,
         "rejected_changes": rejected,
-        "coalesced_changes": engine.coalesced_changes,
+        "coalesced_changes": coalesced,
         "wall_s": wall,
         "changes_per_s": changes / wall if wall > 0 else None,
         "latency_ms": {
@@ -180,4 +260,12 @@ def measure_profile(
     }
 
 
-__all__ = ["TRAFFIC_WORKLOADS", "measure_profile"]
+def _maybe_ms(value: Optional[float]) -> Optional[float]:
+    return value * 1e3 if value is not None else None
+
+
+__all__ = [
+    "TRAFFIC_ENGINES",
+    "TRAFFIC_WORKLOADS",
+    "measure_profile",
+]

@@ -525,12 +525,31 @@ class TestDashboardCli:
         assert code == 0
         payload = json.loads(output)
         cells = payload["cells"]
-        assert len(cells) == 6  # 3 default profiles x 2 backends
+        # 3 default profiles x (2 backends + 2 default stack variants)
+        assert len(cells) == 12
+        backends = {cell["backend"] for cell in cells}
+        assert backends == {
+            "compiled",
+            "interpreted",
+            "compiled+caching",
+            "compiled+durable",
+        }
         for cell in cells:
             for key in ("p50", "p99", "p999"):
                 assert cell["latency_ms"][key] is not None
             assert cell["changes_per_s"] > 0
         assert payload["slo"] is not None
+
+    def test_variant_none_restores_bare_grid(self):
+        code, output = run_cli(
+            "dashboard",
+            "--size", "150", "--steps", "6",
+            "--variant", "none", "--format", "json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["variants"] == []
+        assert len(payload["cells"]) == 6  # 3 default profiles x 2 backends
 
     def test_text_view_renders(self):
         code, output = run_cli(

@@ -12,6 +12,8 @@ import pytest
 from repro.observability.dashboard import (
     DEFAULT_BACKENDS,
     DEFAULT_PROFILES,
+    DEFAULT_VARIANTS,
+    VARIANT_KWARGS,
     build_dashboard,
     render_dashboard,
     sparkline,
@@ -30,6 +32,7 @@ def payload():
         size=200,
         steps=8,
         seed=7,
+        variants=(),
     )
 
 
@@ -89,6 +92,61 @@ class TestBuildDashboard:
     def test_defaults_satisfy_acceptance_grid(self):
         assert len(DEFAULT_PROFILES) >= 3
         assert set(DEFAULT_BACKENDS) == {"compiled", "interpreted"}
+
+
+class TestDashboardVariants:
+    """Stack-variant cells (caching engine, journaled durability) ride
+    alongside the plain backend grid."""
+
+    @pytest.fixture(scope="class")
+    def variant_payload(self):
+        return build_dashboard(
+            profiles=("uniform",),
+            backends=("compiled",),
+            workloads=("histogram",),
+            size=150,
+            steps=6,
+            seed=11,
+        )
+
+    def test_default_grid_includes_variant_cells(self, variant_payload):
+        assert variant_payload["variants"] == list(DEFAULT_VARIANTS)
+        backends = {cell["backend"] for cell in variant_payload["cells"]}
+        assert {"compiled", "compiled+caching", "compiled+durable"} <= backends
+        assert len(variant_payload["cells"]) == 1 + len(DEFAULT_VARIANTS)
+
+    def test_variant_cells_have_slo_verdicts(self, variant_payload):
+        verdicts = variant_payload["slo"]["verdicts"]
+        assert len(verdicts) == len(variant_payload["cells"])
+        by_backend = {v["backend"]: v for v in verdicts}
+        assert by_backend["compiled+caching"]["status"] in ("ok", "violated")
+        assert by_backend["compiled+durable"]["status"] in ("ok", "violated")
+
+    def test_durable_cell_drills_down_to_journal_phase(self, variant_payload):
+        durable = next(
+            cell
+            for cell in variant_payload["cells"]
+            if cell["backend"] == "compiled+durable"
+        )
+        journal = durable["phases_ms"]["journal"]
+        assert journal["count"] >= 6
+        assert journal["p99_ms"] is not None
+        text = render_dashboard(variant_payload)
+        assert "histogram/compiled+durable/uniform" in text
+        assert "journal" in text
+
+    def test_variant_kwargs_cover_default_variants(self):
+        assert set(VARIANT_KWARGS) >= set(DEFAULT_VARIANTS)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown dashboard variant"):
+            build_dashboard(
+                profiles=("uniform",),
+                backends=("compiled",),
+                size=100,
+                steps=4,
+                variants=("bogus",),
+            )
 
 
 class TestRenderDashboard:

@@ -1,0 +1,131 @@
+"""The circuit breaker state machine, driven deterministically.
+
+The breaker is operation-count-driven (no wall clock), so every
+transition here is exact: N consecutive failures trip it, ``cooldown``
+refused ``allow()`` calls move it to half-open, and ``probe_successes``
+consecutive probe wins close it again.
+"""
+
+import pytest
+
+from repro.runtime.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+def make(failure_threshold=3, cooldown=4, probe_successes=2):
+    return CircuitBreaker(
+        "test",
+        BreakerPolicy(
+            failure_threshold=failure_threshold,
+            cooldown=cooldown,
+            probe_successes=probe_successes,
+        ),
+    )
+
+
+class TestPolicyValidation:
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+
+    def test_rejects_zero_cooldown(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown=0)
+
+    def test_rejects_nonpositive_probe_successes(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(probe_successes=0)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self):
+        breaker = make()
+        assert breaker.state == CLOSED
+        assert breaker.closed
+        assert breaker.allow()
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = make(failure_threshold=3)
+        breaker.record_failure("boom")
+        breaker.record_failure("boom")
+        assert breaker.state == CLOSED
+        breaker.record_failure("boom")
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker = make(failure_threshold=2)
+        breaker.record_failure("boom")
+        breaker.record_success()
+        breaker.record_failure("boom")
+        assert breaker.state == CLOSED
+
+    def test_trip_is_logged_with_reason(self):
+        breaker = make(failure_threshold=1)
+        breaker.record_failure("DerivativeError")
+        (transition,) = breaker.transitions
+        assert transition["from"] == CLOSED
+        assert transition["to"] == OPEN
+        assert "DerivativeError" in transition["reason"]
+
+
+class TestFullCycle:
+    """The canonical closed -> open -> half-open -> closed round trip."""
+
+    def test_cooldown_then_half_open_probe_then_closed(self):
+        breaker = make(failure_threshold=2, cooldown=3, probe_successes=2)
+        breaker.record_failure("a")
+        breaker.record_failure("b")
+        assert breaker.state == OPEN
+        # Cooldown is burned by refused allow() calls...
+        assert not breaker.allow()
+        assert not breaker.allow()
+        # ...and the call that exhausts it is the half-open probe.
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        states = [t["to"] for t in breaker.transitions]
+        assert states == [OPEN, HALF_OPEN, CLOSED]
+
+    def test_probe_failure_reopens(self):
+        breaker = make(failure_threshold=1, cooldown=2, probe_successes=1)
+        breaker.record_failure("first")
+        assert not breaker.allow()
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure("probe lost")
+        assert breaker.state == OPEN
+        # The cooldown restarts from scratch.
+        assert not breaker.allow()
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_min_cooldown_probes_on_first_refusal(self):
+        breaker = make(failure_threshold=1, cooldown=1, probe_successes=1)
+        breaker.record_failure("x")
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestSnapshot:
+    def test_snapshot_counts(self):
+        breaker = make(failure_threshold=1)
+        breaker.allow()
+        breaker.record_success()
+        breaker.record_failure("y")
+        snap = breaker.snapshot()
+        assert snap["name"] == "test"
+        assert snap["state"] == OPEN
+        assert snap["failures"] == 1
+        assert snap["successes"] == 1
+        assert snap["transitions"] == 1

@@ -1,0 +1,101 @@
+"""The chaos soak harness, in its smallest configuration.
+
+The CI smoke job runs the full ``repro soak --quick`` (with a SIGKILL
+crash cycle); these tests keep the tier-1 suite fast by running a tiny
+soak in-process with crash cycles disabled, asserting the report's
+contract: total outcome accounting, zero unhandled exceptions, breaker
+activity during storms, and a verified final state.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.soak import SoakConfig, run_soak
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    root = tmp_path_factory.mktemp("soak")
+    return run_soak(
+        SoakConfig(
+            waves=2,
+            wave_steps=8,
+            size=80,
+            crash_cycles=0,
+            directory=str(root),
+        ),
+        transitions_path=str(root / "transitions.jsonl"),
+        report_path=str(root / "report.json"),
+    ), root
+
+
+class TestSoakReport:
+    def test_soak_passes(self, report):
+        data, _ = report
+        assert data["ok"] is True
+        assert data["unhandled"] == []
+        assert data["verified"] is True
+
+    def test_every_pushed_change_is_accounted(self, report):
+        data, _ = report
+        assert data["pushed"] > 0
+        assert data["accounted"] == data["pushed"]
+        outcomes = data["outcomes"]
+        assert set(outcomes) == {
+            "incremental",
+            "recompute",
+            "rejected",
+            "stale",
+            "shed",
+        }
+        # The storm wave must actually exercise the ladder: something
+        # other than the happy path happened.
+        assert (
+            outcomes["recompute"] + outcomes["rejected"] + outcomes["stale"]
+            > 0
+        )
+
+    def test_storm_trips_the_derivative_breaker(self, report):
+        data, _ = report
+        transitions = data["transitions"]
+        assert any(
+            t["breaker"] == "derivative" and t["to"] == "open"
+            for t in transitions
+        )
+        ops = [t["op"] for t in transitions]
+        assert ops == sorted(ops)
+
+    def test_memory_and_latency_tracked(self, report):
+        data, _ = report
+        assert data["memory"]["samples"] == 2
+        assert data["memory"]["growth_bytes"] is not None
+        assert data["cell"]["backend"] == "supervised"
+        assert data["cell"]["profile"] == "soak"
+        assert data["cell"]["latency_ms"]["p99"] is not None
+
+    def test_journal_phase_present(self, report):
+        """The durable layer journaled the soak: its append+fsync
+        histogram feeds the cell's journal phase."""
+        data, _ = report
+        assert data["cell"]["phases_ms"].get("journal", {}).get("count", 0) > 0
+
+    def test_artifacts_written(self, report):
+        data, root = report
+        lines = (root / "transitions.jsonl").read_text().splitlines()
+        assert len(lines) == len(data["transitions"])
+        if lines:
+            parsed = json.loads(lines[0])
+            assert {"breaker", "from", "to", "reason", "op"} <= set(parsed)
+        written = json.loads((root / "report.json").read_text())
+        assert written["ok"] is True
+        assert written["pushed"] == data["pushed"]
+
+    def test_stack_is_the_full_ladder(self, report):
+        data, _ = report
+        assert data["health"]["stack"]["layers"] == [
+            "metrics",
+            "durable",
+            "resilient",
+            "CachingIncrementalProgram",
+        ]

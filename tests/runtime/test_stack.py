@@ -1,0 +1,210 @@
+"""Stack assembly: spec validation, layer ordering, shims, and the
+error-context propagation the resilience layer owes post-mortems."""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.errors import DerivativeError
+from repro.incremental import FaultSpec, inject_faults
+from repro.incremental.caching import CachingIncrementalProgram
+from repro.incremental.engine import IncrementalProgram
+from repro.incremental.resilient import ResilientProgram
+from repro.lang.parser import parse
+from repro.observability import get_observability, observing
+from repro.persistence.durable import DurableProgram
+from repro.runtime import (
+    Middleware,
+    ResilienceLayer,
+    StackError,
+    assemble_stack,
+    build_stack,
+    engine_of,
+    stack_names,
+    validate_spec,
+)
+from repro.runtime.durability import DurabilityLayer
+
+GRAND_TOTAL = r"\xs ys -> foldBag gplus id (merge xs ys)"
+
+
+def dbag(*elements):
+    return GroupChange(BAG_GROUP, Bag.of(*elements))
+
+
+def nil_bag():
+    return GroupChange(BAG_GROUP, Bag.empty())
+
+
+class TestValidateSpec:
+    def test_accepts_canonical_order(self):
+        layers = validate_spec(["metrics", "durable", "resilient"])
+        assert [layer.name for layer in layers] == [
+            "metrics",
+            "durable",
+            "resilient",
+        ]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ["metrics"],
+            ["durable"],
+            ["resilient"],
+            ["metrics", "resilient"],
+            ["metrics", "durable"],
+            ["durable", "resilient"],
+        ],
+    )
+    def test_accepts_any_subset_of_the_canonical_order(self, spec):
+        assert [layer.name for layer in validate_spec(spec)] == spec
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ["resilient", "metrics"],
+            ["resilient", "durable"],
+            ["durable", "metrics"],
+            ["resilient", "durable", "metrics"],
+        ],
+    )
+    def test_rejects_inverted_order(self, spec):
+        with pytest.raises(StackError, match="cannot wrap"):
+            validate_spec(spec)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(StackError, match="appears twice"):
+            validate_spec(["metrics", "metrics"])
+
+    def test_rejects_unknown_layer(self):
+        with pytest.raises(StackError, match="unknown middleware layer"):
+            validate_spec(["metrics", "cache2"])
+
+    def test_rejects_malformed_entry(self):
+        with pytest.raises(StackError, match="cannot interpret"):
+            validate_spec([42])
+
+    def test_dict_and_tuple_entries_normalize(self):
+        layers = validate_spec(
+            [{"layer": "durable", "directory": "/tmp/x"}, ("resilient", {})]
+        )
+        assert layers[0].name == "durable"
+        assert layers[0].options == {"directory": "/tmp/x"}
+        assert layers[1].name == "resilient"
+
+    def test_error_names_canonical_order(self):
+        with pytest.raises(StackError, match="outermost-first"):
+            validate_spec(["resilient", "metrics"])
+
+
+class TestBuildStack:
+    def test_full_stack_names(self, registry, tmp_path):
+        program = assemble_stack(
+            parse(GRAND_TOTAL, registry),
+            registry,
+            ["metrics", "durable", "resilient"],
+            durable={"directory": str(tmp_path)},
+        )
+        assert stack_names(program) == [
+            "metrics",
+            "durable",
+            "resilient",
+            "IncrementalProgram",
+        ]
+        assert isinstance(engine_of(program), IncrementalProgram)
+        program.initialize(Bag.of(1, 2), Bag.of(3))
+        assert program.output == 6
+        assert program.step(dbag(5), nil_bag()) == 11
+        program.close()
+
+    def test_caching_engine_composes(self, registry):
+        program = assemble_stack(
+            parse(GRAND_TOTAL, registry),
+            registry,
+            ["resilient"],
+            engine="caching",
+        )
+        assert isinstance(engine_of(program), CachingIncrementalProgram)
+        program.initialize(Bag.of(1), Bag.of(2))
+        assert program.step(dbag(4), nil_bag()) == 7
+
+    def test_bad_option_is_a_stack_error(self, registry):
+        engine = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        with pytest.raises(StackError, match="cannot construct"):
+            build_stack(engine, [("resilient", {"bogus_option": 1})])
+
+    def test_unknown_engine_rejected(self, registry):
+        with pytest.raises(StackError, match="unknown engine"):
+            assemble_stack(
+                parse(GRAND_TOTAL, registry), registry, [], engine="gpu"
+            )
+
+
+class TestMigrationShims:
+    """The old wrapper classes are thin aliases of the middleware layers."""
+
+    def test_resilient_program_is_the_resilience_layer(self):
+        assert issubclass(ResilientProgram, ResilienceLayer)
+        assert issubclass(ResilientProgram, Middleware)
+        assert ResilientProgram.layer_name == "resilient"
+
+    def test_durable_program_is_the_durability_layer(self):
+        assert issubclass(DurableProgram, DurabilityLayer)
+        assert issubclass(DurableProgram, Middleware)
+        assert DurableProgram.layer_name == "durable"
+
+    def test_shim_instances_are_middleware(self, registry):
+        engine = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program = ResilientProgram(engine)
+        assert isinstance(program, Middleware)
+        assert engine_of(program) is engine
+
+
+class TestFallbackCausePropagation:
+    """Satellite: when the resilience layer falls back to recompute, the
+    triggering error survives as ``cause`` on the emitted span (and as
+    ``last_fallback_error``) instead of being swallowed."""
+
+    def test_last_fallback_error_preserved(self, registry):
+        engine = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program = ResilienceLayer(engine)
+        program.initialize(Bag.of(1, 2), Bag.of(3))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            assert program.step(dbag(5), nil_bag()) == 11
+        assert program.fallbacks == 1
+        error = program.last_fallback_error
+        assert isinstance(error, DerivativeError)
+        assert error.cause is not None
+        state = program.layer_state()
+        assert "InjectedFault" in str(state["last_fallback_cause"]) or (
+            "DerivativeError" in str(state["last_fallback_cause"])
+        )
+
+    def test_fallback_span_carries_cause(self, registry):
+        engine = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program = ResilienceLayer(engine)
+        program.initialize(Bag.of(1, 2), Bag.of(3))
+        with observing(reset=True) as hub:
+            with inject_faults(
+                registry, FaultSpec("foldBag'_gf", mode="raise")
+            ):
+                program.step(dbag(5), nil_bag())
+            span = hub.tracer.last("resilience.fallback")
+            assert span is not None
+            assert span.attributes["error"] == "DerivativeError"
+            assert "InjectedFault" in span.attributes["cause"]
+            assert hub.metrics.counter("engine.fallbacks").value == 1
+        # The output is still correct after the fallback (erasure
+        # theorem: recompute is always a valid implementation).
+        assert program.output == 11
+        assert program.verify()
+
+    def test_metric_not_emitted_when_observability_off(self, registry):
+        engine = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        program = ResilienceLayer(engine)
+        program.initialize(Bag.of(1, 2), Bag.of(3))
+        with inject_faults(registry, FaultSpec("foldBag'_gf", mode="raise")):
+            program.step(dbag(5), nil_bag())
+        # Still recorded on the layer even with telemetry off.
+        assert program.last_fallback_error is not None

@@ -1,0 +1,127 @@
+"""The stacking-transparency property.
+
+The contract behind :func:`repro.runtime.stack.validate_spec`: **every**
+stacking order the validator accepts is semantically invisible.  Under
+no faults, a stacked program and the bare engine produce step-for-step
+identical outputs for the same change stream -- middleware adds
+durability, validation, and telemetry, never semantics.  (That is the
+runtime shadow of the paper's Eq. 1: the layers only re-route *how* an
+output is produced -- derivative, recompute, replay -- never *what* it
+is.)
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.incremental.engine import IncrementalProgram
+from repro.lang.parser import parse
+from repro.runtime import StackError, assemble_stack, build_stack, validate_spec
+
+GRAND_TOTAL = r"\xs ys -> foldBag gplus id (merge xs ys)"
+
+LAYER_NAMES = ("metrics", "durable", "resilient")
+
+#: Every ordered arrangement of every subset of the known layers.
+ALL_ARRANGEMENTS = [
+    list(arrangement)
+    for r in range(len(LAYER_NAMES) + 1)
+    for arrangement in itertools.permutations(LAYER_NAMES, r)
+]
+
+ACCEPTED = []
+REJECTED = []
+for arrangement in ALL_ARRANGEMENTS:
+    try:
+        validate_spec(arrangement)
+    except StackError:
+        REJECTED.append(arrangement)
+    else:
+        ACCEPTED.append(arrangement)
+
+
+def dbag(*elements):
+    return GroupChange(BAG_GROUP, Bag.of(*elements))
+
+
+def test_validator_partition_is_exactly_the_subset_rule():
+    # Accepted = subsequences of the canonical order; rejected = every
+    # arrangement with at least one rank inversion.
+    assert ACCEPTED == [
+        arrangement
+        for arrangement in ALL_ARRANGEMENTS
+        if arrangement == sorted(arrangement, key=LAYER_NAMES.index)
+    ]
+    assert len(ACCEPTED) + len(REJECTED) == len(ALL_ARRANGEMENTS)
+    assert len(ACCEPTED) == 8  # 2^3 subsets, one order each
+
+
+element = st.integers(min_value=-3, max_value=3)
+change_row = st.tuples(
+    st.lists(element, max_size=2).map(lambda xs: dbag(*xs)),
+    st.lists(element, max_size=2).map(lambda ys: dbag(*ys)),
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(rows=st.lists(change_row, min_size=1, max_size=4))
+@pytest.mark.parametrize("spec", [s for s in ACCEPTED if s])
+def test_accepted_stacks_are_step_for_step_transparent(
+    registry, tmp_path_factory, spec, rows
+):
+    term = parse(GRAND_TOTAL, registry)
+    bare = IncrementalProgram(term, registry)
+    bare.initialize(Bag.of(1, 2), Bag.of(3))
+
+    options = {}
+    if "durable" in spec:
+        options["durable"] = {
+            "directory": str(tmp_path_factory.mktemp("stack"))
+        }
+    stacked = assemble_stack(term, registry, spec, **options)
+    stacked.initialize(Bag.of(1, 2), Bag.of(3))
+    try:
+        for row in rows:
+            expected = bare.step(*row)
+            actual = stacked.step(*row)
+            assert actual == expected
+        assert stacked.steps == bare.steps
+        assert stacked.output == bare.output
+        assert stacked.verify()
+    finally:
+        close = getattr(stacked, "close", None)
+        if close is not None:
+            close()
+
+
+@pytest.mark.parametrize("spec", REJECTED)
+def test_rejected_orders_never_build(registry, spec):
+    term = parse(GRAND_TOTAL, registry)
+    engine = IncrementalProgram(term, registry)
+    with pytest.raises(StackError):
+        build_stack(engine, spec)
+
+
+def test_batch_path_transparent_too(registry):
+    """The coalescing ``step_batch`` path through a full stack matches
+    the bare engine's batch path."""
+    term = parse(GRAND_TOTAL, registry)
+    bare = IncrementalProgram(term, registry)
+    bare.initialize(Bag.of(1, 2), Bag.of(3))
+    stacked = assemble_stack(term, registry, ["metrics", "resilient"])
+    stacked.initialize(Bag.of(1, 2), Bag.of(3))
+    batch = [(dbag(1), dbag(2)), (dbag(-1), dbag(0)), (dbag(4), dbag(4))]
+    assert stacked.step_batch(batch, coalesce=True) == bare.step_batch(
+        batch, coalesce=True
+    )
+    assert stacked.output == bare.output
+    assert stacked.verify()

@@ -1,0 +1,286 @@
+"""The supervised degradation ladder, rung by rung.
+
+Each test sabotages a specific path (derivative, recompute, both) and
+asserts the supervisor's contract: no change-induced exception escapes,
+every row lands in exactly one outcome, breakers trip and heal
+deterministically, and the served output stays correct whenever any
+rung can still compute it.
+"""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.incremental import FaultSpec, inject_faults
+from repro.incremental.engine import IncrementalProgram
+from repro.incremental.faults import corrupt_change
+from repro.lang.parser import parse
+from repro.runtime import (
+    INCREMENTAL,
+    RECOMPUTE,
+    REJECTED,
+    SHED,
+    STALE,
+    BreakerPolicy,
+    ResilienceLayer,
+    ResiliencePolicy,
+    SupervisedRuntime,
+    SupervisorPolicy,
+    build_stack,
+)
+
+GRAND_TOTAL = r"\xs ys -> foldBag gplus id (merge xs ys)"
+
+DERIVATIVE_FAULT = FaultSpec("foldBag'_gf", mode="raise")
+BASE_FAULT = FaultSpec("foldBag", mode="raise")
+
+
+def dbag(*elements):
+    return GroupChange(BAG_GROUP, Bag.of(*elements))
+
+
+def nil_bag():
+    return GroupChange(BAG_GROUP, Bag.empty())
+
+
+def build(registry, resilient=True, **policy_kwargs):
+    engine = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+    program = (
+        build_stack(
+            engine,
+            [
+                (
+                    "resilient",
+                    {
+                        "policy": ResiliencePolicy(
+                            validate_changes=True, fallback=False
+                        )
+                    },
+                )
+            ],
+        )
+        if resilient
+        else engine
+    )
+    policy_kwargs.setdefault(
+        "derivative_breaker", BreakerPolicy(failure_threshold=2, cooldown=3)
+    )
+    policy_kwargs.setdefault(
+        "recompute_breaker", BreakerPolicy(failure_threshold=2, cooldown=2)
+    )
+    supervised = SupervisedRuntime(program, SupervisorPolicy(**policy_kwargs))
+    supervised.initialize(Bag.of(1, 2), Bag.of(3))
+    return supervised
+
+
+class TestHealthyPath:
+    def test_rows_apply_incrementally(self, registry):
+        supervised = build(registry)
+        outcomes = supervised.apply_rows(
+            [(dbag(5), nil_bag()), (dbag(1), dbag(2))]
+        )
+        assert outcomes == [INCREMENTAL, INCREMENTAL]
+        assert supervised.output == 6 + 5 + 1 + 2
+        assert supervised.coalesced_rows == 2  # the batch rung took both
+        assert supervised.health()["status"] == "ok"
+        assert supervised.ready()
+
+    def test_program_shaped_step_api(self, registry):
+        supervised = build(registry)
+        assert supervised.step(dbag(4), nil_bag()) == 10
+        assert supervised.step_batch([(dbag(1), nil_bag())]) == 11
+        assert supervised.steps == 2
+
+    def test_requires_initialize(self, registry):
+        engine = IncrementalProgram(parse(GRAND_TOTAL, registry), registry)
+        supervised = SupervisedRuntime(engine)
+        with pytest.raises(RuntimeError, match="initialize"):
+            supervised.apply_rows([(dbag(1), nil_bag())])
+
+
+class TestAdmissionControl:
+    def test_submit_sheds_beyond_max_pending(self, registry):
+        supervised = build(registry, max_pending=2)
+        assert supervised.submit(dbag(1), nil_bag())
+        assert supervised.submit(dbag(2), nil_bag())
+        assert not supervised.submit(dbag(3), nil_bag())
+        assert supervised.shed == 1
+        outcomes = supervised.drain()
+        assert outcomes == [INCREMENTAL, INCREMENTAL]
+        assert supervised.pending == 0
+        counts = supervised.outcome_counts()
+        assert counts[SHED] == 1
+        assert counts[INCREMENTAL] == 2
+
+
+class TestDerivativeFaults:
+    def test_retry_recovers_a_transient_fault(self, registry):
+        supervised = build(registry, retries=1)
+        with inject_faults(
+            registry, FaultSpec("foldBag'_gf", mode="raise", at_call=1)
+        ):
+            outcomes = supervised.apply_rows([(dbag(5), nil_bag())])
+        assert outcomes == [INCREMENTAL]
+        assert supervised.retries == 1
+        assert supervised.output == 11
+        assert supervised.derivative_breaker.closed
+
+    def test_persistent_fault_degrades_to_recompute(self, registry):
+        supervised = build(registry, retries=0)
+        with inject_faults(registry, DERIVATIVE_FAULT):
+            outcomes = supervised.apply_rows(
+                [(dbag(5), nil_bag()), (dbag(1), nil_bag()), (dbag(2), nil_bag())]
+            )
+        # Every row still lands (recompute is always correct), and after
+        # two consecutive failures the breaker is open.
+        assert outcomes == [RECOMPUTE, RECOMPUTE, RECOMPUTE]
+        assert supervised.output == 6 + 5 + 1 + 2
+        assert not supervised.derivative_breaker.closed
+        assert supervised.health()["status"] == "degraded"
+        assert supervised.ready()  # degraded still serves fresh output
+        assert supervised.last_errors["incremental"] is not None
+
+    def test_breaker_heals_and_incremental_resumes(self, registry):
+        supervised = build(registry, retries=0)
+        with inject_faults(registry, DERIVATIVE_FAULT):
+            supervised.apply_rows([(dbag(5), nil_bag())] * 3)
+        assert not supervised.derivative_breaker.closed
+        # Fault cleared: cooldown (3) is burned by routed-around rows,
+        # then the half-open probe succeeds and the path re-closes.
+        healed = supervised.apply_rows([(dbag(1), nil_bag())] * 4)
+        assert healed[-1] == INCREMENTAL
+        assert supervised.derivative_breaker.closed
+        states = [t["to"] for t in supervised.derivative_breaker.transitions]
+        assert states == ["open", "half_open", "closed"]
+        assert supervised.verify()
+
+    def test_batch_rung_skipped_while_breaker_open(self, registry):
+        supervised = build(registry, retries=0)
+        with inject_faults(registry, DERIVATIVE_FAULT):
+            supervised.apply_rows([(dbag(5), nil_bag())] * 2)
+        assert not supervised.derivative_breaker.closed
+        before = supervised.coalesced_rows
+        with inject_faults(registry, DERIVATIVE_FAULT):
+            supervised.apply_rows([(dbag(1), nil_bag()), (dbag(2), nil_bag())])
+        assert supervised.coalesced_rows == before
+
+
+class TestRejectedChanges:
+    def test_malformed_change_rejects_without_breaker_signal(self, registry):
+        supervised = build(registry)
+        bad = corrupt_change(dbag(1))
+        outcomes = supervised.apply_rows([(bad, nil_bag())])
+        assert outcomes == [REJECTED]
+        assert supervised.rejected_changes == 1
+        # The change's fault, not the path's: both breakers stay closed.
+        assert supervised.derivative_breaker.closed
+        assert supervised.recompute_breaker.closed
+        assert supervised.health()["status"] == "ok"
+
+    def test_good_rows_in_the_same_batch_still_apply(self, registry):
+        supervised = build(registry)
+        bad = corrupt_change(dbag(1))
+        outcomes = supervised.apply_rows(
+            [(dbag(5), nil_bag()), (bad, nil_bag()), (dbag(1), nil_bag())]
+        )
+        assert sorted(outcomes) == [INCREMENTAL, INCREMENTAL, REJECTED]
+        assert supervised.output == 12
+        assert supervised.verify()
+
+
+class TestStaleServe:
+    def test_total_outage_parks_rows_and_serves_stale(self, registry):
+        supervised = build(registry, retries=0)
+        baseline = supervised.output
+        with inject_faults(registry, DERIVATIVE_FAULT, BASE_FAULT):
+            outcomes = supervised.apply_rows([(dbag(5), nil_bag())] * 4)
+        assert STALE in outcomes
+        assert supervised.output == baseline  # previous output served
+        assert supervised.staleness > 0
+        assert not supervised.ready()
+        assert supervised.health()["status"] == "stale"
+
+    def test_backlog_replays_in_order_when_recompute_heals(self, registry):
+        supervised = build(registry, retries=0)
+        with inject_faults(registry, DERIVATIVE_FAULT, BASE_FAULT):
+            supervised.apply_rows([(dbag(5), nil_bag())] * 4)
+        parked = supervised.staleness
+        assert parked > 0
+        # Fault cleared: keep pushing until the recompute breaker's
+        # cooldown elapses, the backlog replays, and freshness returns.
+        healed = False
+        for _ in range(8):
+            outcomes = supervised.apply_rows([(dbag(1), nil_bag())])
+            if outcomes[0] in (INCREMENTAL, RECOMPUTE):
+                healed = True
+                break
+        assert healed
+        assert supervised.staleness == 0
+        assert supervised.ready()
+        # Every parked row was applied: the repaired state matches
+        # from-scratch recomputation over all accepted changes.
+        assert supervised.verify()
+        assert supervised.health()["status"] in ("ok", "degraded")
+
+    def test_poison_row_cannot_wedge_the_backlog(self, registry):
+        """A malformed row parked during an outage must not block the
+        climb back to freshness once recompute heals."""
+        supervised = build(registry, retries=0)
+        with inject_faults(registry, DERIVATIVE_FAULT, BASE_FAULT):
+            supervised.apply_rows(
+                [(dbag(5), nil_bag())] * 3
+                + [(corrupt_change(dbag(1)), nil_bag())]
+            )
+        assert supervised.staleness > 0
+        for _ in range(8):
+            outcomes = supervised.apply_rows([(dbag(1), nil_bag())])
+            if outcomes[0] in (INCREMENTAL, RECOMPUTE):
+                break
+        assert supervised.staleness == 0
+        assert supervised.ready()
+        assert supervised.verify()
+
+    def test_stale_backlog_bound_sheds_overflow(self, registry):
+        supervised = build(registry, retries=0, max_stale_backlog=2)
+        with inject_faults(registry, DERIVATIVE_FAULT, BASE_FAULT):
+            outcomes = supervised.apply_rows([(dbag(5), nil_bag())] * 5)
+        assert outcomes.count(SHED) > 0
+        assert supervised.staleness <= 2
+
+
+class TestAccounting:
+    def test_every_row_lands_in_exactly_one_outcome(self, registry):
+        supervised = build(registry, retries=0)
+        pushed = 0
+        with inject_faults(registry, DERIVATIVE_FAULT):
+            rows = [(dbag(1), nil_bag())] * 3
+            pushed += len(rows)
+            supervised.apply_rows(rows)
+        rows = [(dbag(2), nil_bag()), (corrupt_change(dbag(1)), nil_bag())]
+        pushed += len(rows)
+        supervised.apply_rows(rows)
+        assert sum(supervised.outcome_counts().values()) == pushed
+
+    def test_transitions_are_merged_and_ordered(self, registry):
+        supervised = build(registry, retries=0)
+        with inject_faults(registry, DERIVATIVE_FAULT, BASE_FAULT):
+            supervised.apply_rows([(dbag(5), nil_bag())] * 4)
+        transitions = supervised.transitions
+        assert transitions
+        ops = [t["op"] for t in transitions]
+        assert ops == sorted(ops)
+        assert {t["breaker"] for t in transitions} <= {
+            "derivative",
+            "recompute",
+        }
+
+
+class TestDeadline:
+    def test_deadline_miss_keeps_result_but_signals_breaker(self, registry):
+        supervised = build(registry, deadline_s=1e-12, retries=0)
+        outcomes = supervised.apply_rows([(dbag(5), nil_bag())])
+        assert outcomes == [INCREMENTAL]  # result kept
+        assert supervised.output == 11
+        assert supervised.deadline_misses == 1
+        assert supervised.derivative_breaker.failures == 1

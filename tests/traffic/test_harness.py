@@ -53,3 +53,58 @@ class TestMeasureProfile:
     def test_unknown_workload_raises(self, registry):
         with pytest.raises(TrafficError, match="unknown traffic workload"):
             measure_profile(registry, workload="nope")
+
+
+class TestStackVariants:
+    """Satellites: caching-engine and journaled traffic cells."""
+
+    def test_caching_engine_cell(self, registry):
+        row = measure_profile(
+            registry, workload="grand_total", size=200,
+            backend="compiled", profile="uniform", steps=8,
+            engine="caching",
+        )
+        assert row["backend"] == "compiled+caching"
+        assert row["changes"] == 8
+        assert row["latency_ms"]["p99"] is not None
+
+    def test_caching_cell_survives_fault_storm(self, registry):
+        row = measure_profile(
+            registry, workload="grand_total", size=200,
+            backend="compiled", profile="fault-storm", steps=16,
+            engine="caching",
+        )
+        assert row["backend"] == "compiled+caching"
+        assert row["rejected_changes"] > 0
+
+    def test_durable_cell_reports_journal_phase(self, registry):
+        row = measure_profile(
+            registry, workload="grand_total", size=200,
+            backend="compiled", profile="uniform", steps=8,
+            durable="never",
+        )
+        assert row["backend"] == "compiled+durable"
+        journal = row["phases_ms"].get("journal")
+        assert journal is not None
+        # One write-ahead append per step (plus the init record).
+        assert journal["count"] >= 8
+        assert journal["p99_ms"] is not None
+        # The non-durable phases are still decomposed alongside it.
+        assert row["phases_ms"]["derivative"]["count"] == 8
+
+    def test_variants_compose(self, registry):
+        row = measure_profile(
+            registry, workload="grand_total", size=200,
+            backend="compiled", profile="uniform", steps=6,
+            engine="caching", durable="never",
+        )
+        assert row["backend"] == "compiled+caching+durable"
+        assert "journal" in row["phases_ms"]
+
+    def test_unknown_engine_raises(self, registry):
+        with pytest.raises(TrafficError, match="unknown traffic engine"):
+            measure_profile(registry, engine="gpu")
+
+    def test_bad_durable_policy_raises(self, registry):
+        with pytest.raises(TrafficError, match="durable must be"):
+            measure_profile(registry, durable="sometimes")
