@@ -5,21 +5,24 @@ invocation, so its cost must stay small next to the work it annotates.
 Two qualitative claims, asserted here:
 
 * a *cold* run of the full analysis suite (nil-change analysis,
-  self-maintainability, cost classification) costs no more than the
-  derive+optimize pipeline it annotates -- and the gap widens as
-  programs grow, because derivation roughly doubles the term and the
-  optimizer iterates to a fixpoint over it, while the memoized dataflow
-  engine visits each (subterm, env) pair once;
+  self-maintainability -- escape pass included -- and cost
+  classification) costs no more than the derive+optimize pipeline it
+  annotates -- and the gap widens as programs grow, because derivation
+  roughly doubles the term and the optimizer iterates to a fixpoint over
+  it, while the memoized dataflow engine visits each (subterm, env) pair
+  once;
 * a *warm* re-query against an already-solved ``Dataflow`` instance is
   orders of magnitude cheaper than the cold run -- the memo table makes
-  repeated queries (the linter asks several) effectively free.
+  repeated queries (the linter asks several) effectively free.  The
+  escape analysis is one more instance of the same framework, so its
+  warm re-query rides the same memo table at the same near-zero cost.
 """
 
 import pytest
 
 from benchmarks.conftest import time_best_of
 from repro.analysis.cost import classify_derivative
-from repro.analysis.framework import nilness_analysis
+from repro.analysis.framework import escape_analysis, nilness_analysis
 from repro.analysis.nil_analysis import analyze_nil_changes
 from repro.analysis.self_maintainability import analyze_self_maintainability
 from repro.derive.derive import derive_program
@@ -53,8 +56,11 @@ def program_cases(registry):
 
 def analysis_suite(annotated, derived, registry):
     analyze_nil_changes(annotated)
+    # Runs the escape pass internally (escaped_bases) on top of the
+    # escape-aware demand analysis.
     analyze_self_maintainability(derived)
     classify_derivative(derived)
+    escape_analysis().analyze(derived)
 
 
 @pytest.mark.parametrize("name", ["grand_total", "histogram", "chain40"])
@@ -94,20 +100,29 @@ def test_analysis_overhead_shape(benchmark, registry):
         warm_time = time_best_of(
             lambda: flow.analyze(annotated), repeats=5
         )  # ... then re-query the memo table
-        rows.append((name, derive_time, cold_time, warm_time))
+        escape_flow = escape_analysis()
+        escape_flow.analyze(derived)
+        warm_escape_time = time_best_of(
+            lambda: escape_flow.analyze(derived), repeats=5
+        )
+        rows.append((name, derive_time, cold_time, warm_time, warm_escape_time))
     print("\nanalysis overhead (seconds, best-of-5):")
-    for name, derive_time, cold_time, warm_time in rows:
+    for name, derive_time, cold_time, warm_time, warm_escape_time in rows:
         print(
             f"  {name:>12}: derive+optimize {derive_time:.6f}s, "
             f"analyses {cold_time:.6f}s "
             f"(ratio {cold_time / derive_time:.2f}), "
-            f"warm re-query {warm_time * 1e6:,.0f}us"
+            f"warm re-query {warm_time * 1e6:,.0f}us, "
+            f"warm escape re-query {warm_escape_time * 1e6:,.0f}us"
         )
-    for name, derive_time, cold_time, warm_time in rows:
-        # Cold analysis stays within the pipeline's budget (with slack
-        # for CI noise) and the memoized re-query is near-free.
+    for name, derive_time, cold_time, warm_time, warm_escape_time in rows:
+        # Cold analysis (escape pass included) stays within the
+        # pipeline's budget (with slack for CI noise) and the memoized
+        # re-queries are near-free -- the escape pass must not change
+        # the warm-memo story.
         assert cold_time < derive_time * 1.5, name
         assert warm_time < cold_time / 10, name
+        assert warm_escape_time < cold_time / 10, name
     # On the large synthetic chain the analyzer is clearly sublinear in
     # the derivative blow-up: well under half a derive+optimize pass.
     chain = dict((row[0], row) for row in rows)["chain40"]

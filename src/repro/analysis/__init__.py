@@ -7,13 +7,22 @@
   receive provably-nil changes (the analysis that licenses derivative
   specializations);
 * ``self_maintainability`` -- whether a derivative term can run without
-  its base inputs (the paper's analogue of self-maintainable views);
+  its base inputs (the paper's analogue of self-maintainable views),
+  escape-aware: a base thunk that escapes into the result counts as
+  demanded;
 * ``cost``                 -- the static cost oracle: O(1) / O(|dv|) /
   O(n) classes for derivatives, validated against runtime telemetry;
 * ``lint``                 -- the incrementality linter (stable rule
-  codes ILC101-ILC106, severities, source positions).
+  codes ILC101-ILC109, severities, source positions);
+* ``crossval``             -- the static<->dynamic soundness gate: fuzzes
+  programs and fails if a self-maintainability verdict ever
+  under-approximates measured base-input forcings.
 """
 
+from repro.analysis.crossval import (
+    CrossValReport,
+    cross_validate,
+)
 from repro.analysis.cost import (
     COST_CLASSES,
     CostReport,
@@ -28,6 +37,8 @@ from repro.analysis.framework import (
     PowersetLattice,
     TransferFunctions,
     demand_analysis,
+    escape_analysis,
+    escaping_lazy_positions,
     fixpoint,
     free_variable_analysis,
     nilness_analysis,
@@ -55,6 +66,7 @@ __all__ = [
     "COST_CLASSES",
     "ChainLattice",
     "CostReport",
+    "CrossValReport",
     "Dataflow",
     "Diagnostic",
     "Lattice",
@@ -69,7 +81,10 @@ __all__ = [
     "classify_derivative",
     "classify_program",
     "closed_subterms",
+    "cross_validate",
     "demand_analysis",
+    "escape_analysis",
+    "escaping_lazy_positions",
     "fixpoint",
     "free_variable_analysis",
     "is_self_maintainable",

@@ -33,6 +33,8 @@ from repro.analysis.framework import (
     ChainLattice,
     Dataflow,
     TransferFunctions,
+    demand_analysis,
+    escaping_lazy_positions,
 )
 from repro.analysis.self_maintainability import (
     SelfMaintainabilityReport,
@@ -67,13 +69,20 @@ def _spec_level(spec) -> int:
 class CostAnalysis(TransferFunctions[int]):
     """Join of per-application primitive costs along the forced path.
 
-    Arguments at lazy positions of fully applied primitives contribute
-    nothing: on the group-change fast path they remain unforced thunks,
-    which is exactly the mechanism that makes specialized derivatives
-    cheap (Sec. 4.3).
+    Arguments at *non-escaping* lazy positions of fully applied
+    primitives contribute nothing: on the group-change fast path they
+    remain unforced thunks, which is exactly the mechanism that makes
+    specialized derivatives cheap (Sec. 4.3).  An escaping lazy argument
+    (per the spec's audited ``escaping_positions``) does contribute --
+    its thunk is forced downstream, so its work lands on the step after
+    all.  ``escape_aware=False`` restores the historical, optimistic
+    rule; the linter diffs the two modes for ILC109.
     """
 
     lattice = _COST_LATTICE
+
+    def __init__(self, escape_aware: bool = True):
+        self.escape_aware = escape_aware
 
     def free_var(self, name: str) -> int:
         return 0
@@ -89,15 +98,17 @@ class CostAnalysis(TransferFunctions[int]):
         if len(arguments) != spec.arity:
             return None
         cost = _spec_level(spec)
-        lazy = spec.lazy_positions
+        lazy = set(spec.lazy_positions)
+        if self.escape_aware:
+            lazy -= escaping_lazy_positions(spec, arguments)
         for index, value in enumerate(argument_values):
             if index not in lazy:
                 cost = self.lattice.join(cost, value)
         return cost
 
 
-def cost_analysis() -> Dataflow[int]:
-    return Dataflow(CostAnalysis())
+def cost_analysis(escape_aware: bool = True) -> Dataflow[int]:
+    return Dataflow(CostAnalysis(escape_aware=escape_aware))
 
 
 @dataclass
@@ -117,6 +128,10 @@ class CostReport:
         default_factory=SelfMaintainabilityReport
     )
     contributions: List[CostContribution] = field(default_factory=list)
+    #: Which demand/cost rule produced this report (escape-aware is the
+    #: sound default; the linter also runs the escape-blind mode to
+    #: attribute ILC107/ILC109 downgrades to escape facts).
+    escape_aware: bool = True
 
     @property
     def description(self) -> str:
@@ -144,7 +159,9 @@ class CostReport:
 
 
 def classify_derivative(
-    derived_term: Term, demand: Optional[Dataflow] = None
+    derived_term: Term,
+    demand: Optional[Dataflow] = None,
+    escape_aware: bool = True,
 ) -> CostReport:
     """Classify an (ideally optimized) derivative produced by ``Derive``.
 
@@ -153,14 +170,18 @@ def classify_derivative(
     * the Sec. 4.3 demand analysis -- a derivative that forces a base
       parameter is recompute-equivalent (the forced input must be
       materialized, which costs up to O(n));
-    * primitive cost annotations joined along the forced path, which
-      separates O(1) from O(|dv|) among self-maintainable derivatives.
+    * primitive cost annotations joined along the forced path (which
+      includes escaping lazy arguments), separating O(1) from O(|dv|)
+      among self-maintainable derivatives.
     """
     report = CostReport()
+    report.escape_aware = escape_aware
+    if demand is None:
+        demand = demand_analysis(escape_aware=escape_aware)
     report.self_maintainability = analyze_self_maintainability(
         derived_term, demand=demand
     )
-    flow = cost_analysis()
+    flow = cost_analysis(escape_aware=escape_aware)
     level = flow.analyze(derived_term)
     if report.demanded_bases:
         level = _COST_LATTICE.join(level, _LEVELS[COST_RECOMPUTE])

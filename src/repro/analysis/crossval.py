@@ -1,0 +1,506 @@
+"""Static<->dynamic cross-validation of the demand analysis.
+
+The self-maintainability verdict (Sec. 4.3) is a *soundness claim about
+runtime behavior*: if the analysis says a derivative is
+self-maintainable, then applying the derivative on the group-change fast
+path must force **zero** base-input thunks.  This module is the gate
+that holds the analyzer to that claim.  It fuzzes well-typed unary
+programs (a seeded, dependency-free mirror of the Hypothesis strategies
+in ``tests/strategies.py``), differentiates each one, and measures the
+actual base-input forcings with sentinel thunks and
+:class:`~repro.semantics.thunk.EvalStats` -- under nil *and* non-nil
+group changes, under both execution backends (the AST interpreter and
+the staged compiler), for first *and* second derivatives.  Any program
+where the analyzer predicts self-maintainability but a base sentinel
+fires is an **under-approximation** (the analysis claimed less demand
+than reality) and fails the run.
+
+Scope boundary, by design: the generator feeds only ``GroupChange``
+values at change positions.  ``Replace`` changes are the documented
+give-up path -- derivatives recompute on them, which forces base inputs
+regardless of any static verdict (the analysis is Replace-optimistic;
+see ``self_maintainability``'s module docstring).  Second derivatives
+receive the canonical nil change at Δ²-positions (``nil_change_for``,
+which at Δ-type is the nil ``Replace`` of the current change value).
+
+Over-approximations (analysis says "not self-maintainable" but no
+forcing was observed) are *not* failures -- the analysis is
+conservative -- but they are counted and reported, so precision
+regressions are visible.
+
+The CLI front-end is ``repro verify-analysis``; CI runs it over >=200
+programs as the ``analysis-soundness`` job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.analysis.self_maintainability import (
+    _classify_binders,
+    _peel_parameters,
+    analyze_self_maintainability,
+)
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, nil_change_for, oplus_value
+from repro.data.group import BAG_GROUP, INT_ADD_GROUP
+from repro.errors import ReproError
+from repro.lang.infer import infer_type
+from repro.lang.pretty import pretty
+from repro.lang.terms import App, Lam, Lit, Term, Var
+from repro.lang.types import TBag, TBool, TFun, TInt, TPair, Type
+from repro.optimize.pipeline import optimize
+from repro.semantics.eval import apply_value, evaluate
+from repro.semantics.thunk import EvalStats, Thunk, force
+
+BACKENDS = ("interpreted", "compiled")
+
+_GOAL_TYPES: Tuple[Type, ...] = (TInt, TBag(TInt))
+_LITERAL_TYPES: Tuple[Type, ...] = (TInt, TBag(TInt), TBool, TPair(TInt, TInt))
+
+
+# ---------------------------------------------------------------------------
+# Seeded program generation (mirror of tests/strategies.py, stdlib-only)
+# ---------------------------------------------------------------------------
+
+
+def _atoms(registry) -> List[Tuple[Term, Type]]:
+    from repro.lang.builders import lam
+
+    const = registry.constant
+    int_bag = TBag(TInt)
+    int_pair = TPair(TInt, TInt)
+    return [
+        (const("add"), TFun(TInt, TFun(TInt, TInt))),
+        (const("sub"), TFun(TInt, TFun(TInt, TInt))),
+        (const("mul"), TFun(TInt, TFun(TInt, TInt))),
+        (const("negateInt"), TFun(TInt, TInt)),
+        (const("id"), TFun(TInt, TInt)),
+        (const("merge"), TFun(int_bag, TFun(int_bag, int_bag))),
+        (const("negate"), TFun(int_bag, int_bag)),
+        (const("singleton"), TFun(TInt, int_bag)),
+        (
+            App(App(const("foldBag"), const("gplus")), const("id")),
+            TFun(int_bag, TInt),
+        ),
+        (
+            App(
+                const("mapBag"),
+                lam("m_elem")(
+                    App(App(const("add"), Var("m_elem")), Lit(1, TInt))
+                ),
+            ),
+            TFun(int_bag, int_bag),
+        ),
+        (const("ltInt"), TFun(TInt, TFun(TInt, TBool))),
+        (const("eqInt"), TFun(TInt, TFun(TInt, TBool))),
+        (const("ifThenElse"), TFun(TBool, TFun(TInt, TFun(TInt, TInt)))),
+        (
+            const("ifThenElse"),
+            TFun(TBool, TFun(int_bag, TFun(int_bag, int_bag))),
+        ),
+        (const("not"), TFun(TBool, TBool)),
+        (const("pair"), TFun(TInt, TFun(TInt, int_pair))),
+        (const("fst"), TFun(int_pair, TInt)),
+        (const("snd"), TFun(int_pair, TInt)),
+    ]
+
+
+def _random_bag(rng: random.Random, max_size: int = 6) -> Bag:
+    counts = {}
+    for _ in range(rng.randint(0, max_size)):
+        element = rng.randint(-5, 9)
+        count = rng.choice([-3, -2, -1, 1, 2, 3])
+        counts[element] = count
+    return Bag(counts)
+
+
+def _random_value(rng: random.Random, ty: Type) -> Any:
+    if ty == TInt:
+        return rng.randint(-50, 50)
+    if ty == TBool:
+        return rng.random() < 0.5
+    if ty == TBag(TInt):
+        return _random_bag(rng)
+    if ty == TPair(TInt, TInt):
+        return (rng.randint(-50, 50), rng.randint(-50, 50))
+    raise NotImplementedError(f"no value generator for {ty!r}")
+
+
+def _group_changes(rng: random.Random, ty: Type) -> List[GroupChange]:
+    """One nil and one (usually) non-nil group change for an input type."""
+    if ty == TInt:
+        return [
+            GroupChange(INT_ADD_GROUP, 0),
+            GroupChange(INT_ADD_GROUP, rng.choice([-7, -1, 1, 3, 11])),
+        ]
+    if ty == TBag(TInt):
+        delta = _random_bag(rng)
+        if not delta.counts():
+            delta = Bag({rng.randint(-5, 9): 1})
+        return [
+            GroupChange(BAG_GROUP, Bag.empty()),
+            GroupChange(BAG_GROUP, delta),
+        ]
+    raise NotImplementedError(f"no change generator for {ty!r}")
+
+
+def _random_term(
+    rng: random.Random,
+    goal: Type,
+    context: Tuple[Tuple[str, Type], ...],
+    fuel: int,
+    atoms: List[Tuple[Term, Type]],
+) -> Term:
+    options: List[str] = []
+    variables = [name for name, ty in context if ty == goal]
+    if variables:
+        options.extend(["var"] * 3)
+    if goal in _LITERAL_TYPES:
+        options.append("lit")
+    if fuel > 0:
+        options.extend(["app"] * 3)
+    choice = rng.choice(options)
+    if choice == "var":
+        return Var(rng.choice(variables))
+    if choice == "lit":
+        return Lit(_random_value(rng, goal), goal)
+    candidates = []
+    for atom, atom_type in atoms:
+        argument_types: List[Type] = []
+        result = atom_type
+        while isinstance(result, TFun):
+            argument_types.append(result.arg)
+            result = result.res
+            if result == goal:
+                candidates.append((atom, tuple(argument_types)))
+    if not candidates:
+        return Lit(_random_value(rng, goal), goal)
+    atom, argument_types = rng.choice(candidates)
+    term: Term = atom
+    for argument_type in argument_types:
+        term = App(
+            term, _random_term(rng, argument_type, context, fuel - 1, atoms)
+        )
+    return term
+
+
+def generate_program(
+    rng: random.Random, registry, fuel: int = 3
+) -> Tuple[Lam, Type]:
+    """A closed, well-typed ``λx: σ. body`` with first-order σ and body
+    type drawn from the goal types, plus σ itself."""
+    atoms = _atoms(registry)
+    input_type = rng.choice(_GOAL_TYPES)
+    result_type = rng.choice(_GOAL_TYPES)
+    body = _random_term(
+        rng, result_type, (("x", input_type),), fuel, atoms
+    )
+    return Lam("x", body, input_type), input_type
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Violation:
+    """One under-approximation: predicted self-maintainable, yet a base
+    sentinel fired."""
+
+    program: str
+    order: int  # 1 = first derivative, 2 = second derivative
+    backend: str
+    change: str
+    forced: List[str] = field(default_factory=list)
+    thunks_forced: int = 0
+
+    def render(self) -> str:
+        return (
+            f"[order={self.order} backend={self.backend}] {self.program}\n"
+            f"    change {self.change}: forced base parameter"
+            f"{'s' if len(self.forced) > 1 else ''} "
+            f"{', '.join(self.forced)} ({self.thunks_forced} thunk"
+            f"{'s' if self.thunks_forced != 1 else ''} forced)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "order": self.order,
+            "backend": self.backend,
+            "change": self.change,
+            "forced": self.forced,
+            "thunks_forced": self.thunks_forced,
+        }
+
+
+@dataclass
+class CrossValReport:
+    """Result of :func:`cross_validate`."""
+
+    programs: int = 0
+    seed: int = 0
+    checked_first: int = 0
+    checked_second: int = 0
+    predicted_sm_first: int = 0
+    predicted_sm_second: int = 0
+    over_approximations: int = 0
+    skipped: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "SOUND" if self.ok else "UNSOUND"
+        return (
+            f"analysis-soundness: {verdict} over {self.programs} programs "
+            f"(seed {self.seed}): first derivatives "
+            f"{self.predicted_sm_first}/{self.checked_first} predicted "
+            f"self-maintainable, second derivatives "
+            f"{self.predicted_sm_second}/{self.checked_second}; "
+            f"{len(self.violations)} under-approximation"
+            f"{'s' if len(self.violations) != 1 else ''}, "
+            f"{self.over_approximations} conservative over-approximations, "
+            f"{self.skipped} skipped"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "programs": self.programs,
+            "seed": self.seed,
+            "checked_first": self.checked_first,
+            "checked_second": self.checked_second,
+            "predicted_sm_first": self.predicted_sm_first,
+            "predicted_sm_second": self.predicted_sm_second,
+            "over_approximations": self.over_approximations,
+            "skipped": self.skipped,
+            "violations": [violation.to_dict() for violation in self.violations],
+            "summary": self.summary(),
+        }
+
+
+def _derivative_value(derived: Term, backend: str) -> Any:
+    if backend == "compiled":
+        from repro.compile.compiler import compile_value
+
+        return compile_value(derived)
+    return evaluate(derived)
+
+
+def measured_base_forcings(
+    derived: Term,
+    arguments: Sequence[Tuple[Any, bool]],
+    backend: str,
+    completion: Optional[Any] = None,
+) -> Tuple[List[str], int]:
+    """Apply a derivative and report which base sentinels fired.
+
+    ``arguments`` pairs each (curried) argument value with an
+    ``is_base`` flag; base arguments are wrapped in sentinel thunks
+    whose payload records the forcing.  ``completion`` is an optional
+    base-output value: when given, the step is completed the way the
+    incremental engine would (``base_output ⊕ output_change``), so
+    demand transmitted through the output change is measured too.
+    Returns (names of forced base binders, total sentinel forcings).
+    """
+    binders, _body = _peel_parameters(derived)
+    stats = EvalStats()
+    forced: List[str] = []
+    call_arguments: List[Any] = []
+    for (value, is_base), binder in zip(arguments, binders):
+        if is_base:
+            name = binder.param
+
+            def payload(value=value, name=name):
+                forced.append(name)
+                return value
+
+            call_arguments.append(Thunk(payload, stats))
+        else:
+            call_arguments.append(value)
+    derivative_value = _derivative_value(derived, backend)
+    output_change = apply_value(derivative_value, *call_arguments)
+    result = force(output_change)
+    if completion is not None:
+        try:
+            oplus_value(completion, result)
+        except (ReproError, TypeError, ValueError):
+            # Δ²-outputs need not be ⊕-compatible with a Δ-output value;
+            # forcing the change itself is the demand-relevant part.
+            pass
+    return sorted(set(forced)), stats.thunks_forced
+
+
+def _check_first_derivative(
+    report: CrossValReport,
+    source: Term,
+    derived: Term,
+    input_type: Type,
+    input_value: Any,
+    rng: random.Random,
+    program_text: str,
+) -> None:
+    sm = analyze_self_maintainability(derived)
+    report.checked_first += 1
+    base_output = force(
+        apply_value(evaluate(source), Thunk(lambda: input_value))
+    )
+    changes = _group_changes(rng, input_type)
+    any_forced = False
+    for change in changes:
+        for backend in BACKENDS:
+            forced, count = measured_base_forcings(
+                derived,
+                [(input_value, True), (change, False)],
+                backend,
+                completion=base_output,
+            )
+            if forced:
+                any_forced = True
+            if forced and sm.self_maintainable:
+                report.violations.append(
+                    Violation(
+                        program=program_text,
+                        order=1,
+                        backend=backend,
+                        change=repr(change),
+                        forced=forced,
+                        thunks_forced=count,
+                    )
+                )
+    if sm.self_maintainable:
+        report.predicted_sm_first += 1
+    elif not any_forced:
+        report.over_approximations += 1
+
+
+def _check_second_derivative(
+    report: CrossValReport,
+    derived: Term,
+    input_type: Type,
+    input_value: Any,
+    rng: random.Random,
+    program_text: str,
+) -> None:
+    from repro.derive.derive import derive_program
+
+    second = optimize(derive_program(derived, _registry())).term
+    binders, _body = _peel_parameters(second)
+    if len(binders) != 4:
+        report.skipped += 1
+        return
+    sm = analyze_self_maintainability(second)
+    report.checked_second += 1
+    if sm.self_maintainable:
+        report.predicted_sm_second += 1
+    else:
+        return
+    roles = _classify_binders(binders)
+    changes = _group_changes(rng, input_type)
+    for x_change in changes:
+        for dy_value in changes:
+            # Δ²-positions get the canonical nil change (the analysis
+            # models the fast path; Replace-driven recomputation is the
+            # documented give-up path, not an under-approximation).
+            ddy = nil_change_for(dy_value)
+            arguments = []
+            values = [input_value, x_change, dy_value, ddy]
+            for value, role in zip(values, roles):
+                arguments.append((value, role == "base"))
+            for backend in BACKENDS:
+                forced, count = measured_base_forcings(
+                    second, arguments, backend
+                )
+                if forced:
+                    report.violations.append(
+                        Violation(
+                            program=program_text,
+                            order=2,
+                            backend=backend,
+                            change=f"dx={x_change!r}, dy={dy_value!r}",
+                            forced=forced,
+                            thunks_forced=count,
+                        )
+                    )
+
+
+_REGISTRY = None
+
+
+def _registry():
+    global _REGISTRY
+    if _REGISTRY is None:
+        from repro.plugins.registry import standard_registry
+
+        _REGISTRY = standard_registry()
+    return _REGISTRY
+
+
+def cross_validate(
+    programs: int = 200,
+    seed: int = 0,
+    fuel: int = 3,
+    second_derivatives: bool = True,
+    registry=None,
+) -> CrossValReport:
+    """Fuzz ``programs`` well-typed programs and fail on any analyzer
+    under-approximation (predicted self-maintainable, measured base
+    forcing).  Deterministic for a given (programs, seed, fuel)."""
+    from repro.derive.derive import derive_program
+
+    if registry is None:
+        registry = _registry()
+    rng = random.Random(seed)
+    report = CrossValReport(programs=programs, seed=seed)
+    for _ in range(programs):
+        program, input_type = generate_program(rng, registry, fuel=fuel)
+        try:
+            annotated, _ty = infer_type(program)
+        except Exception:
+            report.skipped += 1
+            continue
+        program_text = pretty(annotated)
+        input_value = _random_value(rng, input_type)
+        try:
+            derived = optimize(derive_program(annotated, registry)).term
+            _check_first_derivative(
+                report,
+                annotated,
+                derived,
+                input_type,
+                input_value,
+                rng,
+                program_text,
+            )
+            if second_derivatives:
+                _check_second_derivative(
+                    report,
+                    derived,
+                    input_type,
+                    input_value,
+                    rng,
+                    program_text,
+                )
+        except ReproError:
+            # A program the toolchain itself rejects (e.g. a derivative
+            # outside a plugin's domain) is a finding for other suites,
+            # not a soundness sample.
+            report.skipped += 1
+    return report
+
+
+__all__ = [
+    "BACKENDS",
+    "CrossValReport",
+    "Violation",
+    "cross_validate",
+    "generate_program",
+    "measured_base_forcings",
+]

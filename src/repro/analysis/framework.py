@@ -53,7 +53,7 @@ from typing import (
 
 from repro.errors import ReproError
 from repro.lang.terms import App, Const, Lam, Let, Lit, Term, Var
-from repro.lang.traversal import spine
+from repro.lang.traversal import free_variables, spine
 
 V = TypeVar("V")
 
@@ -413,14 +413,105 @@ class ChangingVariables(FreeVariables):
         return frozenset({term.name})
 
 
+def statically_nil_change_term(argument: Term) -> bool:
+    """True when a spine argument is *provably* a nil change at analysis
+    time: a literal whose value is a detectably-nil runtime change (e.g.
+    the ``GroupChange g 0`` literals ``Derive`` emits for closed terms).
+    Everything else -- variables, computed changes, ``Replace`` literals
+    (nil only relative to a base) -- is conservatively non-nil."""
+    from repro.data.change_values import is_nil_change
+
+    return isinstance(argument, Lit) and is_nil_change(argument.value)
+
+
+def escaping_lazy_positions(spec: Any, arguments: List[Term]) -> FrozenSet[int]:
+    """The lazy positions of ``spec`` whose thunk may escape into (or be
+    forced on the way to) the result *for this particular spine*.
+
+    Starts from the spec's escape signature -- every lazy position when
+    the signature is undeclared (the conservative default) -- and drops
+    positions whose ``escape_guards`` guard argument is a statically-nil
+    change literal (e.g. ``singleton'`` never forces its lazy element
+    when the element change is provably nil)."""
+    escaping = getattr(spec, "escaping_positions", None)
+    if escaping is None:
+        escaping = frozenset(getattr(spec, "lazy_positions", ()) or ())
+    guards = getattr(spec, "escape_guards", None) or {}
+    live = set()
+    for position in escaping:
+        guard = guards.get(position)
+        if (
+            guard is not None
+            and guard < len(arguments)
+            and statically_nil_change_term(arguments[guard])
+        ):
+            continue
+        live.add(position)
+    return frozenset(live)
+
+
 class DemandedVariables(TransferFunctions[FrozenSet[str]]):
     """Sec. 4.3 demand: the free variables a call-by-need evaluation of
-    the term may force.
+    the term -- *and any downstream consumption of its result* -- may
+    force.
 
     Lazy argument positions of fully applied primitives are skipped --
     that is precisely what makes specialized derivatives
-    self-maintainable.  λ-bodies are treated pessimistically (the
-    function may be called).
+    self-maintainable.  But a lazy position that *escapes* (its thunk can
+    flow into or be forced on the way to the result, per the spec's
+    audited ``escaping_positions``) is conditionally demanded: the
+    engine's ⊕ forces the output change, which forces the escaped thunk,
+    which demands the argument.  This closes the ROADMAP escaping-thunk
+    blind spot (``\\x -> id (mul x x)``).  λ-bodies are treated
+    pessimistically (the function may be called).
+
+    ``escape_aware=False`` restores the historical escape-blind rule;
+    the linter diffs the two modes to pinpoint ILC107 escapes.
+    """
+
+    lattice = _POWERSET
+
+    def __init__(self, escape_aware: bool = True):
+        self.escape_aware = escape_aware
+
+    def free_var(self, name: str) -> FrozenSet[str]:
+        return frozenset({name})
+
+    def lam(self, term, body_value, env):
+        return body_value - {term.param}
+
+    def let(self, term, bound_value, body_value, env):
+        if term.name in body_value:
+            return (body_value - {term.name}) | bound_value
+        return body_value
+
+    def spine(self, term, spec, argument_values, arguments, env):
+        if len(arguments) != spec.arity:
+            return None
+        lazy = set(getattr(spec, "lazy_positions", ()) or ())
+        if self.escape_aware:
+            # Escaping lazy thunks get forced downstream: treat their
+            # argument's demand as the spine's demand after all.
+            lazy -= escaping_lazy_positions(spec, arguments)
+        demanded = self.lattice.bottom()
+        for index, value in enumerate(argument_values):
+            if index not in lazy:
+                demanded = self.lattice.join(demanded, value)
+        return demanded
+
+
+class EscapedVariables(TransferFunctions[FrozenSet[str]]):
+    """Which variables' thunks can flow into (or be forced on the way to)
+    a term's *result* -- the interprocedural escape facts behind the
+    escape-aware demand rule, exposed as their own instance for
+    diagnostics (`repro check`, ILC107 messages).
+
+    A strict spine argument's escapes flow through into the result; a
+    lazy argument contributes only when its position escapes per the
+    spec's signature, and then conservatively contributes its free
+    variables (forcing the escaped thunk may demand anything it closes
+    over).  Audited non-escaping lazy positions are dropped -- their
+    thunks provably stay unforced on the modeled fast path.
     """
 
     lattice = _POWERSET
@@ -439,12 +530,20 @@ class DemandedVariables(TransferFunctions[FrozenSet[str]]):
     def spine(self, term, spec, argument_values, arguments, env):
         if len(arguments) != spec.arity:
             return None
-        lazy = set(getattr(spec, "lazy_positions", ()) or ())
-        demanded = self.lattice.bottom()
-        for index, value in enumerate(argument_values):
-            if index not in lazy:
-                demanded = self.lattice.join(demanded, value)
-        return demanded
+        lazy = frozenset(getattr(spec, "lazy_positions", ()) or ())
+        live = escaping_lazy_positions(spec, arguments)
+        escaped = self.lattice.bottom()
+        for index, (value, argument) in enumerate(
+            zip(argument_values, arguments)
+        ):
+            if index in lazy:
+                if index in live:
+                    escaped = self.lattice.join(
+                        escaped, value | free_variables(argument)
+                    )
+            else:
+                escaped = self.lattice.join(escaped, value)
+        return escaped
 
 
 def free_variable_analysis() -> Dataflow[FrozenSet[str]]:
@@ -455,8 +554,12 @@ def nilness_analysis() -> Dataflow[FrozenSet[str]]:
     return Dataflow(ChangingVariables())
 
 
-def demand_analysis() -> Dataflow[FrozenSet[str]]:
-    return Dataflow(DemandedVariables())
+def demand_analysis(escape_aware: bool = True) -> Dataflow[FrozenSet[str]]:
+    return Dataflow(DemandedVariables(escape_aware=escape_aware))
+
+
+def escape_analysis() -> Dataflow[FrozenSet[str]]:
+    return Dataflow(EscapedVariables())
 
 
 __all__ = [
@@ -466,12 +569,16 @@ __all__ = [
     "ChangingVariables",
     "Dataflow",
     "DemandedVariables",
+    "EscapedVariables",
     "FreeVariables",
     "Lattice",
     "PowersetLattice",
     "TransferFunctions",
     "demand_analysis",
+    "escape_analysis",
+    "escaping_lazy_positions",
     "fixpoint",
     "free_variable_analysis",
     "nilness_analysis",
+    "statically_nil_change_term",
 ]

@@ -25,6 +25,18 @@ ILC105    info      a program input's type has only the ``Replace``
 ILC106    warning   a primitive spine has a derivative specialization
                     that did not fire because some required argument is
                     not statically nil (Sec. 4.2)
+ILC107    warning   a base parameter's thunk escapes through a lazy
+                    primitive position into the derivative's result; the
+                    escape-blind analysis would have called the
+                    derivative self-maintainable, but forcing the output
+                    change forces the base input after all (Sec. 4.3)
+ILC108    warning   a primitive derivative on this program's path has
+                    lazy positions but no audited escape signature; the
+                    analysis conservatively assumes every lazy argument
+                    escapes
+ILC109    info      escape facts downgraded the derivative's cost class
+                    relative to the escape-blind oracle (the fast path
+                    pays for work hidden inside escaping thunks)
 ========  ========  =====================================================
 
 ``lint_program`` runs ``Derive`` itself (sharing one memoized nilness
@@ -37,7 +49,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.cost import CostReport, classify_derivative
+from repro.analysis.cost import COST_CLASSES, CostReport, classify_derivative
 from repro.analysis.framework import free_variable_analysis, nilness_analysis
 from repro.analysis.nil_analysis import NilChangeReport, analyze_nil_changes
 from repro.changes.primitive import ReplaceChangeStructure
@@ -62,6 +74,9 @@ RULES: Dict[str, Tuple[str, str]] = {
     "ILC104": ("inconsistent-derivative-schema", "error"),
     "ILC105": ("replace-only-input", "info"),
     "ILC106": ("specialization-missed", "warning"),
+    "ILC107": ("escaping-lazy-argument", "warning"),
+    "ILC108": ("undeclared-escape-signature", "warning"),
+    "ILC109": ("escape-cost-downgrade", "info"),
 }
 
 
@@ -185,6 +200,9 @@ def lint_program(
     raw_derivative = derive(annotated, registry, specialize, nilness=nilness)
     optimized = optimize(raw_derivative).term
     report.cost = classify_derivative(optimized)
+    # The escape-blind oracle is the pre-escape-analysis rule; diffing
+    # the two attributes ILC107/ILC109 findings to escape facts alone.
+    escape_blind = classify_derivative(optimized, escape_aware=False)
 
     diagnostics: List[Diagnostic] = []
     diagnostics += _rule_ilc101(report.cost)
@@ -193,6 +211,9 @@ def lint_program(
     diagnostics += _rule_ilc104(annotated)
     diagnostics += _rule_ilc105(annotated, ty, registry)
     diagnostics += _rule_ilc106(report.nil_report, registry)
+    diagnostics += _rule_ilc107(report.cost, escape_blind)
+    diagnostics += _rule_ilc108(optimized)
+    diagnostics += _rule_ilc109(report.cost, escape_blind)
     report.diagnostics = _sorted(diagnostics)
     return report
 
@@ -431,5 +452,102 @@ def _missed_specialization(fact, registry: Registry) -> List[Diagnostic]:
             ),
             pos=fact.pos,
             subject=fact.constant,
+        )
+    ]
+
+
+def _rule_ilc107(
+    cost: CostReport, escape_blind: CostReport
+) -> List[Diagnostic]:
+    """Self-maintainability lost *specifically* to escape facts: the
+    escape-blind demand analysis judged the derivative self-maintainable,
+    but some base parameter's thunk escapes into the result and the
+    engine's ⊕ forces it downstream."""
+    if not escape_blind.self_maintainability.self_maintainable:
+        return []
+    if cost.self_maintainability.self_maintainable:
+        return []
+    sm = cost.self_maintainability
+    culprits = sorted(set(sm.demanded_bases) & set(sm.escaped_bases)) or list(
+        sm.demanded_bases
+    )
+    first_pos = None
+    for name in culprits:
+        first_pos = sm.position_of(name)
+        if first_pos is not None:
+            break
+    return [
+        Diagnostic(
+            code="ILC107",
+            message=(
+                "base parameter"
+                f"{'s' if len(culprits) > 1 else ''} {', '.join(culprits)} "
+                f"escape{'' if len(culprits) > 1 else 's'} "
+                "through a lazy primitive position into the "
+                "derivative's result: forcing the output change forces "
+                "the base input, so the derivative is not "
+                "self-maintainable despite a quiet spine (Sec. 4.3)"
+            ),
+            pos=first_pos,
+            subject=", ".join(culprits),
+        )
+    ]
+
+
+def _rule_ilc108(optimized: Term) -> List[Diagnostic]:
+    """Primitives on the derivative's path whose specs have lazy
+    positions but no audited ``escaping_positions`` declaration: the
+    analysis then assumes every lazy argument escapes, which is sound
+    but maximally pessimistic."""
+    findings: List[Diagnostic] = []
+    seen = set()
+    for node in subterms(optimized):
+        if not isinstance(node, Const):
+            continue
+        spec = node.spec
+        if not spec.lazy_positions:
+            continue
+        if getattr(spec, "escape_declared", False):
+            continue
+        key = (spec.name, node.pos)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            Diagnostic(
+                code="ILC108",
+                message=(
+                    f"primitive '{spec.name}' has lazy positions "
+                    f"{sorted(spec.lazy_positions)} but no audited escape "
+                    "signature: the demand analysis conservatively treats "
+                    "every lazy argument as escaping (declare "
+                    "escaping_positions on its ConstantSpec)"
+                ),
+                pos=node.pos,
+                subject=spec.name,
+            )
+        )
+    return findings
+
+
+def _rule_ilc109(
+    cost: CostReport, escape_blind: CostReport
+) -> List[Diagnostic]:
+    """Cost class downgraded by escape facts alone."""
+    aware = COST_CLASSES.index(cost.cost_class)
+    blind = COST_CLASSES.index(escape_blind.cost_class)
+    if aware <= blind:
+        return []
+    return [
+        Diagnostic(
+            code="ILC109",
+            message=(
+                f"escape facts downgrade the cost class from "
+                f"{escape_blind.cost_class} to {cost.cost_class}: work "
+                "hidden inside escaping lazy arguments lands on the "
+                "incremental step when the output change is forced"
+            ),
+            pos=None,
+            subject=cost.cost_class,
         )
     ]

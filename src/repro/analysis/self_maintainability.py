@@ -2,25 +2,32 @@
 
 "We call a derivative self-maintainable if it uses no base parameters,
 only their changes."  Under call-by-need, a base parameter is *used* only
-if some strict position forces it; the
+if some strict position forces it -- or if its thunk *escapes* into the
+derivative's result and is forced downstream (the engine's ⊕ forces the
+output change).  The
 :class:`~repro.analysis.framework.DemandedVariables` instance of the
 shared dataflow framework computes, conservatively, which free variables
 a term may force:
 
 * forcing a variable demands it;
-* a fully applied primitive demands only its strict arguments (arguments
-  at plugin-declared lazy positions stay unforced thunks on the fast
-  path);
+* a fully applied primitive demands its strict arguments *and* its
+  escaping lazy arguments (per the spec's audited
+  ``escaping_positions``); audited non-escaping lazy positions stay
+  unforced thunks on the fast path;
 * λ-bodies are analyzed pessimistically (a primitive may apply the
   closure);
 * ``let`` demands its binding only if the body demands the bound name.
 
 ``is_self_maintainable`` applies this to a derived program: peel the
 ``λx dx y dy …`` prefix and check that no *base* parameter is demanded.
-The analysis is optimistic about change representations: it reports the
-group-change fast path, matching the paper's usage (derivatives fall back
-to recomputation on ``Replace`` changes, which by construction only occur
-when something upstream already gave up on incrementality).
+Binders are classified by the ``role`` metadata ``Derive`` stamps on
+them ("base"/"change"), with a structural fallback for terms built by
+hand, so shadowed or renamed parameters cannot be misclassified by their
+spelling.  The analysis is optimistic about change representations: it
+reports the group-change fast path, matching the paper's usage
+(derivatives fall back to recomputation on ``Replace`` changes, which by
+construction only occur when something upstream already gave up on
+incrementality).
 """
 
 from __future__ import annotations
@@ -28,14 +35,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Tuple
 
-from repro.analysis.framework import Dataflow, demand_analysis
+from repro.analysis.framework import Dataflow, demand_analysis, escape_analysis
 from repro.lang.terms import Lam, Pos, Term
 
 
 def demanded_variables(term: Term) -> FrozenSet[str]:
     """The free variables ``term`` may force when evaluated (conservative,
-    modulo the lazy-position optimism described in the module docstring)."""
+    modulo the Replace-optimism described in the module docstring)."""
     return demand_analysis().analyze(term)
+
+
+def escaped_variables(term: Term) -> FrozenSet[str]:
+    """The variables whose thunks may flow into ``term``'s result (and be
+    forced by whatever consumes it) -- the escape facts behind the
+    demand rule, exposed for diagnostics."""
+    return escape_analysis().analyze(term)
 
 
 def _peel_parameters(term: Term) -> Tuple[List[Lam], Term]:
@@ -46,6 +60,35 @@ def _peel_parameters(term: Term) -> Tuple[List[Lam], Term]:
     return binders, term
 
 
+def _classify_binders(binders: List[Lam]) -> List[str]:
+    """One role ("base"/"change") per binder.
+
+    Derive-stamped ``role`` metadata wins.  For unstamped binders (terms
+    built by hand or through role-erasing transformations) fall back to
+    the structural convention of ``Derive``'s output: binders alternate
+    base/change, and a change binder is named ``d<base>`` after the
+    binder it pairs with.  A binder that breaks the alternation is
+    conservatively classified as a base parameter -- misclassifying a
+    change as a base can only make the verdict *more* conservative,
+    never unsoundly optimistic.
+    """
+    roles: List[str] = []
+    for index, binder in enumerate(binders):
+        if binder.role in ("base", "change"):
+            roles.append(binder.role)
+            continue
+        previous = binders[index - 1] if index else None
+        if (
+            previous is not None
+            and roles[-1] == "base"
+            and binder.param == f"d{previous.param}"
+        ):
+            roles.append("change")
+        else:
+            roles.append("base")
+    return roles
+
+
 @dataclass
 class SelfMaintainabilityReport:
     """Result of ``analyze_self_maintainability``."""
@@ -54,6 +97,7 @@ class SelfMaintainabilityReport:
     change_parameters: List[str] = field(default_factory=list)
     demanded_bases: List[str] = field(default_factory=list)
     base_positions: List[Optional[Pos]] = field(default_factory=list)
+    escaped_bases: List[str] = field(default_factory=list)
 
     @property
     def self_maintainable(self) -> bool:
@@ -82,12 +126,12 @@ def analyze_self_maintainability(
     derived_term: Term, demand: Optional[Dataflow] = None
 ) -> SelfMaintainabilityReport:
     """Analyze a derivative produced by ``Derive`` (whose parameter list
-    alternates ``x, dx, y, dy, …``).  Pass an existing ``demand`` dataflow
-    to share its memo across analyses."""
+    alternates ``x, dx, y, dy, …``, each binder role-stamped).  Pass an
+    existing ``demand`` dataflow to share its memo across analyses."""
     binders, body = _peel_parameters(derived_term)
     report = SelfMaintainabilityReport()
-    for index, binder in enumerate(binders):
-        if index % 2 == 1 and binder.param.startswith("d"):
+    for binder, role in zip(binders, _classify_binders(binders)):
+        if role == "change":
             report.change_parameters.append(binder.param)
         else:
             report.base_parameters.append(binder.param)
@@ -96,6 +140,10 @@ def analyze_self_maintainability(
     demanded = flow.analyze(body)
     report.demanded_bases = sorted(
         name for name in report.base_parameters if name in demanded
+    )
+    escaped = escape_analysis().analyze(body)
+    report.escaped_bases = sorted(
+        name for name in report.base_parameters if name in escaped
     )
     return report
 

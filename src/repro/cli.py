@@ -22,9 +22,14 @@ Subcommands:
 * ``recover`` -- rebuild a journaled trace's state after a crash from
   the newest valid snapshot plus journal-suffix replay, and print the
   recovery report;
-* ``lint``    -- run the incrementality linter (rule codes ILC101-ILC106
+* ``lint``    -- run the incrementality linter (rule codes ILC101-ILC109
   with severities and source positions) over programs, files, or the
-  built-in MapReduce workloads; ``--fail-on`` gates the exit code.
+  built-in MapReduce workloads; ``--fail-on`` gates the exit code;
+* ``verify-analysis`` -- the static<->dynamic soundness gate: fuzz
+  well-typed programs, differentiate them (first and second
+  derivatives), and fail if a self-maintainability verdict ever
+  under-approximates the measured base-input forcings on either
+  execution backend.
 
 ``derive``, ``check``, and ``lint`` all accept ``--format {text,json}``
 and share one output-formatting helper (``repro.cli_output``).
@@ -138,6 +143,44 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     lint_parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default text)",
+    )
+
+    verify_parser = subparsers.add_parser(
+        "verify-analysis",
+        help=(
+            "cross-validate self-maintainability verdicts against "
+            "measured base-input forcings on fuzzed programs"
+        ),
+    )
+    verify_parser.add_argument(
+        "--programs",
+        type=int,
+        default=200,
+        metavar="N",
+        help="number of fuzzed programs to check (default 200)",
+    )
+    verify_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="generator seed (default 0; runs are deterministic per seed)",
+    )
+    verify_parser.add_argument(
+        "--fuel",
+        type=int,
+        default=3,
+        help="term-generation depth budget (default 3)",
+    )
+    verify_parser.add_argument(
+        "--no-second-derivatives",
+        action="store_true",
+        help="check first derivatives only",
+    )
+    verify_parser.add_argument(
         "--format",
         choices=FORMATS,
         default="text",
@@ -775,6 +818,26 @@ def _command_lint(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_verify_analysis(args: argparse.Namespace, out) -> int:
+    from repro.analysis.crossval import cross_validate
+
+    report = cross_validate(
+        programs=args.programs,
+        seed=args.seed,
+        fuel=args.fuel,
+        second_derivatives=not args.no_second_derivatives,
+    )
+    payload = {"command": "verify-analysis", **report.to_dict()}
+
+    def render(data: dict) -> List[str]:
+        lines = [data["summary"]]
+        lines.extend(violation.render() for violation in report.violations)
+        return lines
+
+    emit(out, payload, args.format, render)
+    return 0 if report.ok else 1
+
+
 def _command_eval(args: argparse.Namespace, out) -> int:
     registry = standard_registry()
     term = parse(args.term, registry)
@@ -1122,6 +1185,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _command_health(args, out)
         if args.command == "lint":
             return _command_lint(args, out)
+        if args.command == "verify-analysis":
+            return _command_verify_analysis(args, out)
     except (ParseError, InferenceError, TypeCheckError) as error:
         print(f"error: {error}", file=out)
         return 1

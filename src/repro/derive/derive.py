@@ -102,6 +102,10 @@ def _derive(
             else None
         )
         inner = nilness.extend_lam(env, term)
+        # Binder roles are Derive metadata: downstream analyses classify
+        # base vs. change parameters from these stamps instead of
+        # guessing from the ``d`` spelling (which shadowing or renaming
+        # could fake).
         return Lam(
             term.param,
             Lam(
@@ -109,9 +113,11 @@ def _derive(
                 _derive(term.body, registry, specialize, nilness, inner),
                 change_param_type,
                 pos=term.pos,
+                role="change",
             ),
             term.param_type,
             pos=term.pos,
+            role="base",
         )
     if isinstance(term, App):
         if specialize:

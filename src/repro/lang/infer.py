@@ -142,6 +142,7 @@ class _Inferencer:
                 self.annotate(term.body, inner),
                 param_type,
                 pos=term.pos,
+                role=term.role,
             )
         if isinstance(term, App):
             return App(

@@ -79,12 +79,20 @@ class Var(Term):
 @dataclass(frozen=True)
 class Lam(Term):
     """λ-abstraction; the parameter annotation is optional (inference
-    fills it in)."""
+    fills it in).
+
+    ``role`` is Derive-stamped metadata: ``"base"`` on a binder that
+    carries a base input of a derivative, ``"change"`` on the paired
+    change binder (``x``/``dx`` in ``λx dx. …``).  Like ``pos`` it is
+    excluded from equality/hashing; analyses use it to classify
+    derivative parameters without guessing from spellings.
+    """
 
     param: str
     body: Term
     param_type: Optional[Type] = None
     pos: Optional[Pos] = field(default=None, compare=False, repr=False)
+    role: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         if self.param_type is not None:

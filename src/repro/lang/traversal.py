@@ -94,12 +94,14 @@ def _substitute(
                 _substitute(renamed, name, replacement, replacement_free),
                 term.param_type,
                 pos=term.pos,
+                role=term.role,
             )
         return Lam(
             term.param,
             _substitute(term.body, name, replacement, replacement_free),
             term.param_type,
             pos=term.pos,
+            role=term.role,
         )
     if isinstance(term, Let):
         new_bound = _substitute(term.bound, name, replacement, replacement_free)
@@ -210,7 +212,10 @@ def unspine(head: Term, arguments: List[Term]) -> Term:
 def map_subterms(term: Term, fn: Callable[[Term], Term]) -> Term:
     """Rebuild ``term`` with ``fn`` applied to each immediate subterm."""
     if isinstance(term, Lam):
-        return Lam(term.param, fn(term.body), term.param_type, pos=term.pos)
+        return Lam(
+            term.param, fn(term.body), term.param_type, pos=term.pos,
+            role=term.role,
+        )
     if isinstance(term, App):
         return App(fn(term.fn), fn(term.arg), pos=term.pos)
     if isinstance(term, Let):
@@ -259,6 +264,7 @@ def _rename_d(term: Term, renaming: Dict[str, str], avoid: Set[str]) -> Term:
             _rename_d(term.body, inner, avoid),
             term.param_type,
             pos=term.pos,
+            role=term.role,
         )
     if isinstance(term, Let):
         new_bound = _rename_d(term.bound, renaming, avoid)
@@ -329,9 +335,11 @@ def _intern(term: Term, seen: Dict[int, Term]) -> Term:
         key = ("V", term.name, term.pos)
     elif isinstance(term, Lam):
         body = _intern(term.body, seen)
-        key = ("L", term.param, id(body), term.param_type, term.pos)
+        key = ("L", term.param, id(body), term.param_type, term.pos, term.role)
         if body is not term.body:
-            candidate = Lam(term.param, body, term.param_type, pos=term.pos)
+            candidate = Lam(
+                term.param, body, term.param_type, pos=term.pos, role=term.role
+            )
     elif isinstance(term, App):
         fn = _intern(term.fn, seen)
         arg = _intern(term.arg, seen)

@@ -68,7 +68,7 @@ def _anf_term(
     if isinstance(term, Lam):
         # λ-bodies get their own binding scope: we must not hoist work
         # out of the abstraction.
-        return Lam(term.param, to_anf(term.body), term.param_type)
+        return Lam(term.param, to_anf(term.body), term.param_type, role=term.role)
     if isinstance(term, Let):
         bound = _anf_named(term.bound, supply, bindings)
         bindings.append((term.name, bound))

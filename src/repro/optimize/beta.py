@@ -63,7 +63,10 @@ def beta_reduce(term: Term) -> Term:
     if isinstance(term, (Var, Const, Lit)):
         return term
     if isinstance(term, Lam):
-        return Lam(term.param, beta_reduce(term.body), term.param_type, pos=term.pos)
+        return Lam(
+            term.param, beta_reduce(term.body), term.param_type,
+            pos=term.pos, role=term.role,
+        )
     if isinstance(term, Let):
         bound = beta_reduce(term.bound)
         body = beta_reduce(term.body)

@@ -59,7 +59,10 @@ def constant_fold(term: Term) -> Term:
     if isinstance(term, (Var, Const, Lit)):
         return term
     if isinstance(term, Lam):
-        return Lam(term.param, constant_fold(term.body), term.param_type, pos=term.pos)
+        return Lam(
+            term.param, constant_fold(term.body), term.param_type,
+            pos=term.pos, role=term.role,
+        )
     if isinstance(term, Let):
         return Let(
             term.name,

@@ -34,6 +34,7 @@ def _eliminate(term: Term, liveness: Dataflow) -> Term:
             _eliminate(term.body, liveness),
             term.param_type,
             pos=term.pos,
+            role=term.role,
         )
     if isinstance(term, App):
         return App(

@@ -135,6 +135,10 @@ def plugin() -> Plugin:
         arity=2,
         impl=singleton_derivative_impl,
         lazy_positions=(0,),
+        # Audited: the lazy element is forced exactly when the element
+        # change (position 1) is non-nil, so its escape is guarded on it.
+        escaping_positions=(0,),
+        escape_guards={0: 1},
     ))
     result.add_constant(
         ConstantSpec(
@@ -171,6 +175,8 @@ def plugin() -> Plugin:
         arity=4,
         impl=merge_derivative_impl,
         lazy_positions=(0, 2),
+        # Audited: bases are forced only on the Replace-fallback path.
+        escaping_positions=(),
     ))
     result.add_constant(
         ConstantSpec(
@@ -200,6 +206,8 @@ def plugin() -> Plugin:
         arity=2,
         impl=negate_derivative_impl,
         lazy_positions=(0,),
+        # Audited: the base is forced only on the Replace fallback.
+        escaping_positions=(),
     ))
     result.add_constant(
         ConstantSpec(
@@ -254,6 +262,9 @@ def plugin() -> Plugin:
         arity=4,
         impl=fold_bag_nil_impl,
         lazy_positions=(2,),
+        # Audited: the base bag is forced only on the Replace fallback --
+        # the Sec. 4.4 self-maintainability payoff depends on this.
+        escaping_positions=(),
     )
     result.add_constant(fold_bag_nil)
 
@@ -304,6 +315,8 @@ def plugin() -> Plugin:
         arity=3,
         impl=map_bag_nil_impl,
         lazy_positions=(1,),
+        # Audited: the base bag is forced only on the Replace fallback.
+        escaping_positions=(),
     )
     result.add_constant(map_bag_nil)
 
@@ -352,6 +365,8 @@ def plugin() -> Plugin:
         arity=3,
         impl=flat_map_bag_nil_impl,
         lazy_positions=(1,),
+        # Audited: the base bag is forced only on the Replace fallback.
+        escaping_positions=(),
     )
     result.add_constant(flat_map_bag_nil)
 
@@ -400,6 +415,8 @@ def plugin() -> Plugin:
         arity=3,
         impl=filter_bag_nil_impl,
         lazy_positions=(1,),
+        # Audited: the base bag is forced only on the Replace fallback.
+        escaping_positions=(),
     )
     result.add_constant(filter_bag_nil)
 

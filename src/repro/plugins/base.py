@@ -98,6 +98,23 @@ class ConstantSpec:
         Meaningful on *derivative* primitives; unannotated primitives
         default to ``O(1)`` in the oracle (base work is accounted to the
         base program, not the derivative).
+    escaping_positions:
+        Lazy positions whose thunk may *escape* into (or be forced on the
+        way to) this primitive's result on the group-change fast path.
+        The demand analysis treats an escaping lazy argument as demanded:
+        whatever it closes over can be forced downstream, e.g. by the
+        engine's ⊕ on the output change.  ``None`` (the default) means
+        the signature is undeclared and *every* lazy position is assumed
+        to escape -- the conservative sound default; audited plugins pass
+        an explicit tuple (possibly empty) to opt out positions that are
+        only forced on the Replace-fallback path, which the analysis
+        deliberately does not model (Replace-optimism, Sec. 4.3).
+    escape_guards:
+        Mapping from an escaping position to a *guard* position: the
+        escaping position's thunk only escapes when the argument at the
+        guard position is not a statically-nil change.  Models primitives
+        like ``singleton'`` that force their lazy base element exactly
+        when the accompanying change is non-nil.
     """
 
     def __init__(
@@ -113,6 +130,8 @@ class ConstantSpec:
         semantic_derivative: Optional[Callable[[], Any]] = None,
         specializations: Sequence[Specialization] = (),
         cost: Optional[str] = None,
+        escaping_positions: Optional[Sequence[int]] = None,
+        escape_guards: Optional[Dict[int, int]] = None,
     ):
         if arity > 0 and impl is None:
             raise ValueError(f"constant {name} with arity {arity} needs an impl")
@@ -127,6 +146,31 @@ class ConstantSpec:
         self.impl = impl
         self.value = value
         self.lazy_positions = frozenset(lazy_positions)
+        self.escape_declared = escaping_positions is not None
+        if escaping_positions is None:
+            # Undeclared: conservatively, every lazy thunk may escape.
+            self.escaping_positions = frozenset(self.lazy_positions)
+        else:
+            self.escaping_positions = frozenset(escaping_positions)
+            stray = self.escaping_positions - self.lazy_positions
+            if stray:
+                raise ValueError(
+                    f"constant {name}: escaping_positions {sorted(stray)} "
+                    "are not lazy positions (strict arguments are always "
+                    "demanded; only lazy positions need escape facts)"
+                )
+        self.escape_guards = dict(escape_guards or {})
+        for position, guard in self.escape_guards.items():
+            if position not in self.escaping_positions:
+                raise ValueError(
+                    f"constant {name}: escape guard on position {position} "
+                    "which is not an escaping position"
+                )
+            if not (0 <= guard < arity) or guard == position:
+                raise ValueError(
+                    f"constant {name}: escape guard position {guard} "
+                    f"for position {position} is out of range"
+                )
         self.derivative = derivative
         self.semantic_impl = semantic_impl
         self.semantic_derivative = semantic_derivative

@@ -91,6 +91,14 @@ def plugin() -> Plugin:
         arity=6,
         impl=_ite_derivative_impl,
         lazy_positions=(2, 3, 4, 5),
+        # Audited: on the stable-condition path the *taken* branch's
+        # change (3 or 5) is forced and returned, so branch changes
+        # always escape; the branch *values* (2 and 4) are forced only
+        # when the condition change (position 1) flips the condition, so
+        # they are guarded on it being statically nil.  This replaces the
+        # old blanket "modulo branch-forcing ifThenElse" caveat.
+        escaping_positions=(2, 3, 4, 5),
+        escape_guards={2: 1, 4: 1},
     ))
 
     def ite_impl(condition: Any, then_value: Any, else_value: Any) -> Any:
@@ -103,6 +111,9 @@ def plugin() -> Plugin:
             arity=3,
             impl=ite_impl,
             lazy_positions=(1, 2),
+            # Audited: the taken branch is always forced, and which one
+            # is taken is not statically known -- both escape.
+            escaping_positions=(1, 2),
             derivative=ite_derivative,
         )
     )

@@ -57,6 +57,9 @@ def _linear_int_derivative(name: str, combine) -> ConstantSpec:
         arity=4,
         impl=impl,
         lazy_positions=(0, 2),
+        # Audited: the lazy bases are forced only on the Replace-fallback
+        # path (non-additive deltas), which the analysis does not model.
+        escaping_positions=(),
         cost=COST_CONSTANT,
     )
 
@@ -164,6 +167,8 @@ def plugin() -> Plugin:
         arity=2,
         impl=negate_derivative_impl,
         lazy_positions=(0,),
+        # Audited: the base is forced only on the Replace fallback.
+        escaping_positions=(),
     ))
     result.add_constant(
         ConstantSpec(

@@ -102,6 +102,8 @@ def plugin() -> Plugin:
             arity=4,
             impl=cons_derivative_impl,
             lazy_positions=(0, 2),
+            # Audited: bases are forced only on the Replace fallback.
+            escaping_positions=(),
         )
     )
     result.add_constant(
@@ -142,6 +144,9 @@ def plugin() -> Plugin:
             arity=4,
             impl=append_derivative_impl,
             lazy_positions=(2,),
+            # Audited: the right list is forced only on the Replace
+            # fallback (the edit-script path needs just the left length).
+            escaping_positions=(),
         )
     )
     result.add_constant(
@@ -172,6 +177,8 @@ def plugin() -> Plugin:
             arity=2,
             impl=length_derivative_impl,
             lazy_positions=(0,),
+            # Audited: the base is forced only on the Replace fallback.
+            escaping_positions=(),
         )
     )
     result.add_constant(
@@ -215,6 +222,10 @@ def plugin() -> Plugin:
             arity=2,
             impl=sum_derivative_impl,
             lazy_positions=(0,),
+            # Audited: the edit-script path materializes the base list
+            # (``list(force(l))``) unconditionally, so the lazy base
+            # escapes even on nil edit scripts.
+            escaping_positions=(0,),
         )
     )
     result.add_constant(
@@ -262,6 +273,8 @@ def plugin() -> Plugin:
             arity=2,
             impl=list_to_bag_derivative_impl,
             lazy_positions=(0,),
+            # Audited: materializes the base list on every path.
+            escaping_positions=(0,),
         )
     )
     result.add_constant(
@@ -315,6 +328,8 @@ def plugin() -> Plugin:
             arity=3,
             impl=map_list_nil_impl,
             lazy_positions=(1,),
+            # Audited: materializes the base list on every path.
+            escaping_positions=(1,),
         )
     )
 

@@ -124,6 +124,11 @@ def plugin() -> Plugin:
         arity=4,
         impl=singleton_map_derivative_impl,
         lazy_positions=(2,),
+        # Audited: the lazy base value is forced only when the key change
+        # (position 1) is non-nil (or on the exotic-change fallback), so
+        # its escape is guarded on a statically-nil key change.
+        escaping_positions=(2,),
+        escape_guards={2: 1},
     ))
     result.add_constant(
         ConstantSpec(
@@ -189,6 +194,8 @@ def plugin() -> Plugin:
         arity=5,
         impl=fold_map_nil_impl,
         lazy_positions=(3,),
+        # Audited: the base map is forced only on the Replace fallback.
+        escaping_positions=(),
     )
     result.add_constant(fold_map_nil)
 

@@ -75,6 +75,8 @@ def plugin() -> Plugin:
             arity=4,
             impl=add_nat_derivative_impl,
             lazy_positions=(0, 2),
+            # Audited: bases are forced only on the Replace fallback.
+            escaping_positions=(),
         )
     )
     result.add_constant(
@@ -125,6 +127,8 @@ def plugin() -> Plugin:
             arity=2,
             impl=nat_to_int_derivative_impl,
             lazy_positions=(0,),
+            # Audited: the base is never forced on any path.
+            escaping_positions=(),
         )
     )
     result.add_constant(

@@ -100,6 +100,8 @@ def plugin() -> Plugin:
         arity=4,
         impl=lambda x, dx, y, dy: (force(dx), force(dy)),
         lazy_positions=(0, 2),
+        # Audited: base components are never forced on any path.
+        escaping_positions=(),
     ))
     result.add_constant(
         ConstantSpec(
@@ -123,6 +125,10 @@ def plugin() -> Plugin:
         arity=2,
         impl=lambda p, dp: _project_change(dp, p, 0),
         lazy_positions=(0,),
+        # Audited: the base pair is forced only on the unknown-group-shape
+        # fallback in ``_project_change`` -- outside the modeled fast
+        # path (product changes are tuples or 2-component groups).
+        escaping_positions=(),
     ))
     result.add_constant(
         ConstantSpec(
@@ -144,6 +150,8 @@ def plugin() -> Plugin:
         arity=2,
         impl=lambda p, dp: _project_change(dp, p, 1),
         lazy_positions=(0,),
+        # Audited: same fallback-only forcing as fst'.
+        escaping_positions=(),
     ))
     result.add_constant(
         ConstantSpec(

@@ -34,6 +34,11 @@ def plugin() -> Plugin:
         arity=2,
         impl=lambda value, change: force(change),
         lazy_positions=(0, 1),
+        # Audited: id' *returns* (the forced value of) its change thunk,
+        # so position 1 escapes into the result -- this is the ROADMAP
+        # counterexample's root cause.  The base value at position 0 is
+        # never forced on any path.
+        escaping_positions=(1,),
     ))
     result.add_constant(
         ConstantSpec(

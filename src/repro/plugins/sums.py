@@ -62,6 +62,8 @@ def plugin() -> Plugin:
             arity=2,
             impl=lambda value, change: InlChange(force(change)),
             lazy_positions=(0,),
+            # Audited: the base payload is never forced on any path.
+            escaping_positions=(),
         )
     )
     result.add_constant(
@@ -84,6 +86,8 @@ def plugin() -> Plugin:
             arity=2,
             impl=lambda value, change: InrChange(force(change)),
             lazy_positions=(0,),
+            # Audited: the base payload is never forced on any path.
+            escaping_positions=(),
         )
     )
     result.add_constant(
@@ -153,6 +157,9 @@ def plugin() -> Plugin:
             arity=6,
             impl=match_derivative_impl,
             lazy_positions=(2, 4),
+            # Audited: branch base functions are forced only on the
+            # side-switch/Replace fallback.
+            escaping_positions=(),
         )
     )
     result.add_constant(

@@ -1,0 +1,163 @@
+"""The escaping-thunk counterexample, pinned.
+
+``\\x -> id (mul x x)`` was the blind spot of the escape-blind demand
+analysis: ``id``'s derivative receives the change to ``mul x x`` at a
+*lazy* position, so the old analysis saw no strict demand on ``x`` and
+judged the derivative self-maintainable -- but ``id'`` is
+``λ value dvalue. force dvalue``, and that thunk closes over ``x``.  The
+moment the engine forces the output change (its ⊕ always does), ``x`` is
+forced after all.
+
+This suite pins the fix from every side:
+
+* the escape-aware analysis judges the derivative NOT self-maintainable
+  and names ``x`` as both demanded and escaped;
+* the measured base forcings agree, on the AST interpreter *and* the
+  compiled backend (first derivative, nil and non-nil group changes);
+* the escape-blind mode still mispredicts (so the regression cannot
+  silently become vacuous), and the cross-validation harness detects
+  that misprediction as an under-approximation;
+* the linter reports the root cause as ILC107/ILC109.
+"""
+
+from repro.analysis.crossval import measured_base_forcings
+from repro.analysis.framework import demand_analysis
+from repro.analysis.lint import lint_program
+from repro.analysis.self_maintainability import (
+    analyze_self_maintainability,
+    is_self_maintainable,
+)
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import INT_ADD_GROUP
+from repro.derive.derive import derive_program
+from repro.lang.infer import infer_type
+from repro.lang.parser import parse
+from repro.optimize.pipeline import optimize
+from repro.semantics.eval import apply_value, evaluate
+from repro.semantics.thunk import force
+
+from tests.strategies import REGISTRY
+
+SOURCE = r"\x -> id (mul x x)"
+
+NIL = GroupChange(INT_ADD_GROUP, 0)
+NON_NIL = GroupChange(INT_ADD_GROUP, 5)
+
+
+def _derivative():
+    annotated, _ty = infer_type(parse(SOURCE, REGISTRY))
+    return annotated, optimize(derive_program(annotated, REGISTRY)).term
+
+
+class TestStaticVerdict:
+    def test_not_self_maintainable(self):
+        _annotated, derived = _derivative()
+        report = analyze_self_maintainability(derived)
+        assert not report.self_maintainable
+        assert report.demanded_bases == ["x"]
+        assert report.escaped_bases == ["x"]
+
+    def test_escape_blind_mode_still_mispredicts(self):
+        # The escape-blind analysis must keep calling this derivative
+        # self-maintainable: if it stops, the regression below no longer
+        # distinguishes the two modes and should be rethought.
+        _annotated, derived = _derivative()
+        blind = analyze_self_maintainability(
+            derived, demand=demand_analysis(escape_aware=False)
+        )
+        assert blind.self_maintainable
+        assert not is_self_maintainable(derived)
+
+
+class TestMeasuredForcingsAgree:
+    def test_base_forced_on_both_backends(self):
+        annotated, derived = _derivative()
+        input_value = 6
+        base_output = force(
+            apply_value(evaluate(annotated), input_value)
+        )
+        for change in (NIL, NON_NIL):
+            for backend in ("interpreted", "compiled"):
+                forced, count = measured_base_forcings(
+                    derived,
+                    [(input_value, True), (change, False)],
+                    backend,
+                    completion=base_output,
+                )
+                # The verdict "not self-maintainable" is exact here: the
+                # escaped thunk is forced on every change, nil included.
+                assert forced == ["x"], (backend, change)
+                assert count >= 1
+
+    def test_harness_detects_the_blind_under_approximation(self):
+        # Feed the harness the escape-blind verdict by hand: it must
+        # measure forcings that contradict "self-maintainable".  This is
+        # the negative control proving the soundness gate is not vacuous.
+        _annotated, derived = _derivative()
+        blind = analyze_self_maintainability(
+            derived, demand=demand_analysis(escape_aware=False)
+        )
+        assert blind.self_maintainable  # the (wrong) prediction
+        forced, _count = measured_base_forcings(
+            derived, [(6, True), (NIL, False)], "compiled"
+        )
+        assert forced  # ... contradicted by measurement
+
+
+class TestLinterNamesTheRootCause:
+    def test_ilc107_and_ilc109_fire(self):
+        report = lint_program(parse(SOURCE, REGISTRY), REGISTRY)
+        codes = {diagnostic.code for diagnostic in report.diagnostics}
+        assert "ILC107" in codes
+        assert "ILC109" in codes
+        escape = next(
+            d for d in report.diagnostics if d.code == "ILC107"
+        )
+        assert escape.subject == "x"
+
+    def test_quiet_siblings_stay_clean(self):
+        # Neighbours that do not route a base thunk through an escaping
+        # lazy position must not regress into ILC107.
+        for source in (r"\x -> add x x", r"\xs -> negate xs"):
+            report = lint_program(parse(source, REGISTRY), REGISTRY)
+            codes = {diagnostic.code for diagnostic in report.diagnostics}
+            assert "ILC107" not in codes, source
+
+
+class TestBagCounterpart:
+    def test_escape_does_not_imply_demand(self):
+        # Precision pin: the same shape one type over stays
+        # self-maintainable.  ``id``'s derivative receives the change of
+        # ``foldBag gplus id xs`` at its escaping lazy position, but that
+        # change is the *self-maintainable* ``foldBag'`` spine -- forcing
+        # the escaped thunk demands only ``dxs``.  The escape-aware rule
+        # joins the escaping argument's own demand, not its free
+        # variables, so ``xs`` is escaped-but-not-demanded.
+        annotated, _ty = infer_type(
+            parse(r"\xs -> id (foldBag gplus id xs)", REGISTRY)
+        )
+        derived = optimize(derive_program(annotated, REGISTRY)).term
+        report = analyze_self_maintainability(derived)
+        assert report.self_maintainable
+        assert report.demanded_bases == []
+        assert report.escaped_bases == ["xs"]
+        # And the verdict is honest at runtime: zero base forcings on
+        # both backends, nil and non-nil bag changes.
+        from repro.data.group import BAG_GROUP
+
+        input_value = Bag({1: 2, 3: 1})
+        base_output = force(apply_value(evaluate(annotated), input_value))
+        for change in (
+            GroupChange(BAG_GROUP, Bag.empty()),
+            GroupChange(BAG_GROUP, Bag({7: 1})),
+        ):
+            for backend in ("interpreted", "compiled"):
+                forced, count = measured_base_forcings(
+                    derived,
+                    [(input_value, True), (change, False)],
+                    backend,
+                    completion=base_output,
+                )
+                assert forced == [], (backend, change)
+                assert count == 0

@@ -35,6 +35,9 @@ class TestRuleCatalogue:
             "ILC104": ("inconsistent-derivative-schema", "error"),
             "ILC105": ("replace-only-input", "info"),
             "ILC106": ("specialization-missed", "warning"),
+            "ILC107": ("escaping-lazy-argument", "warning"),
+            "ILC108": ("undeclared-escape-signature", "warning"),
+            "ILC109": ("escape-cost-downgrade", "info"),
         }
         assert SEVERITIES == ("info", "warning", "error")
 

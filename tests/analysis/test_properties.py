@@ -4,8 +4,11 @@ Two claims, quantified over generated well-typed programs:
 
 * if the Sec. 4.3 analysis says a derivative is self-maintainable, then
   applying that derivative (on the group-change fast path) forces *zero*
-  base-input thunks -- checked both with a sentinel thunk payload and
-  with EvalStats snapshots;
+  base-input thunks -- checked with sentinel thunk payloads and
+  EvalStats snapshots, on both execution backends, under nil *and*
+  non-nil group changes, with **no program-shape exclusions** (the
+  escape-aware analysis closed the old branch-forcing blind spot, so
+  the former ``ifThenElse`` carve-out is gone);
 * if the Sec. 4.2 analysis says a subterm is closed (its change is
   statically nil), then the subterm's derivative actually evaluates to a
   runtime nil change: ``v ⊕ ⟦Derive t⟧ == v``.
@@ -13,6 +16,7 @@ Two claims, quantified over generated well-typed programs:
 
 from hypothesis import assume, given, settings
 
+from repro.analysis.crossval import BACKENDS, measured_base_forcings
 from repro.analysis.nil_analysis import closed_subterms
 from repro.analysis.self_maintainability import is_self_maintainable
 from repro.data.bag import Bag
@@ -25,19 +29,9 @@ from repro.lang.parser import parse
 from repro.lang.types import TFun, is_ground
 from repro.optimize.pipeline import optimize
 from repro.semantics.eval import apply_value, evaluate
-from repro.semantics.thunk import EvalStats, Thunk, force
+from repro.semantics.thunk import Thunk, force
 
 from tests.strategies import REGISTRY, unary_programs
-
-
-def _mentions_branching(term) -> bool:
-    from repro.lang.terms import Const
-    from repro.lang.traversal import subterms
-
-    return any(
-        isinstance(node, Const) and node.spec.name.startswith("ifThenElse")
-        for node in subterms(term)
-    )
 
 
 def nil_group_change(input_type):
@@ -52,43 +46,35 @@ class TestSelfMaintainabilityIsSound:
     @settings(max_examples=60, deadline=None)
     @given(case=unary_programs())
     def test_self_maintainable_derivative_never_forces_base(self, case):
-        # The analysis describes the group-change fast path (it is
-        # optimistic about Replace changes, and plugin lazy positions may
-        # be *conditionally* lazy, like singleton' forcing its element
-        # only on a non-nil element change), so quantify over the fast
-        # path's common case: nil group changes.  This still separates
-        # self-maintainable derivatives from ones like mul', which force
-        # their base parameters unconditionally.
+        # The analysis describes the group-change fast path (Replace is
+        # the documented give-up path: derivatives recompute on it, so
+        # it is excluded here, as in ``repro.analysis.crossval``).
+        # Within that path there are NO exclusions: every generated
+        # program shape -- branching included -- and both nil and
+        # non-nil group changes must uphold the verdict, on the AST
+        # interpreter and the compiled backend alike.
         annotated, _ty = infer_type(case["program"])
         derived = optimize(derive_program(annotated, REGISTRY)).term
         assume(is_self_maintainable(derived))
-        # ifThenElse's branch positions are declared lazy, but the
-        # primitive always forces the *taken* branch -- the one documented
-        # blind spot of the lazy-position optimism.  Every other shipped
-        # lazy position stays an unforced thunk on the nil-change path.
-        assume(not _mentions_branching(derived))
 
-        stats = EvalStats()
-        forced = []
-
-        def payload():
-            forced.append(case["input"])
-            return case["input"]
-
-        base_thunk = Thunk(payload, stats)
-        derivative_value = evaluate(derived)
-        output_change = apply_value(
-            derivative_value, base_thunk, nil_group_change(case["input_type"])
-        )
+        changes = [nil_group_change(case["input_type"])]
+        if isinstance(case["runtime_change"], GroupChange):
+            changes.append(case["runtime_change"])
         # Complete the step the way the engine would: the output change
         # must be usable without ever touching the base input.
-        base_output = apply_value(
-            evaluate(annotated), Thunk(lambda: case["input"])
+        base_output = force(
+            apply_value(evaluate(annotated), Thunk(lambda: case["input"]))
         )
-        oplus_value(force(base_output), force(output_change))
-
-        assert forced == []
-        assert stats.thunks_forced == 0
+        for change in changes:
+            for backend in BACKENDS:
+                forced, thunks_forced = measured_base_forcings(
+                    derived,
+                    [(case["input"], True), (change, False)],
+                    backend,
+                    completion=base_output,
+                )
+                assert forced == [], (backend, change)
+                assert thunks_forced == 0
 
     def test_non_self_maintainable_counterexample_forces_base(self):
         # Sanity for the property above: mul' forces its base parameters
