@@ -413,15 +413,28 @@ class ChangingVariables(FreeVariables):
         return frozenset({term.name})
 
 
-def statically_nil_change_term(argument: Term) -> bool:
+def statically_nil_change_term(
+    argument: Term, base: Optional[Term] = None
+) -> bool:
     """True when a spine argument is *provably* a nil change at analysis
     time: a literal whose value is a detectably-nil runtime change (e.g.
     the ``GroupChange g 0`` literals ``Derive`` emits for closed terms).
+
+    With ``base`` given, also accepts change literals that are nil only
+    *relative to* a base -- a ``Replace v`` against a literal base ``v``
+    (e.g. the ``Replace True`` condition change ``Derive`` emits for a
+    statically-``True`` condition: the condition provably cannot flip).
     Everything else -- variables, computed changes, ``Replace`` literals
-    (nil only relative to a base) -- is conservatively non-nil."""
+    without a base companion -- is conservatively non-nil."""
     from repro.data.change_values import is_nil_change
 
-    return isinstance(argument, Lit) and is_nil_change(argument.value)
+    if not isinstance(argument, Lit):
+        return False
+    if is_nil_change(argument.value):
+        return True
+    if base is not None and isinstance(base, Lit):
+        return is_nil_change(argument.value, base=base.value)
+    return False
 
 
 def escaping_lazy_positions(spec: Any, arguments: List[Term]) -> FrozenSet[int]:
@@ -432,7 +445,10 @@ def escaping_lazy_positions(spec: Any, arguments: List[Term]) -> FrozenSet[int]:
     the signature is undeclared (the conservative default) -- and drops
     positions whose ``escape_guards`` guard argument is a statically-nil
     change literal (e.g. ``singleton'`` never forces its lazy element
-    when the element change is provably nil)."""
+    when the element change is provably nil).  A ``(guard, base)`` guard
+    additionally discharges on changes that are nil relative to the base
+    argument's literal (``ifThenElse'`` with a statically-stable Bool
+    condition never forces the untaken branch's value)."""
     escaping = getattr(spec, "escaping_positions", None)
     if escaping is None:
         escaping = frozenset(getattr(spec, "lazy_positions", ()) or ())
@@ -440,12 +456,20 @@ def escaping_lazy_positions(spec: Any, arguments: List[Term]) -> FrozenSet[int]:
     live = set()
     for position in escaping:
         guard = guards.get(position)
-        if (
-            guard is not None
-            and guard < len(arguments)
-            and statically_nil_change_term(arguments[guard])
-        ):
-            continue
+        if guard is not None:
+            guard_position, base_position = (
+                guard if isinstance(guard, tuple) else (guard, None)
+            )
+            if guard_position < len(arguments) and statically_nil_change_term(
+                arguments[guard_position],
+                base=(
+                    arguments[base_position]
+                    if base_position is not None
+                    and base_position < len(arguments)
+                    else None
+                ),
+            ):
+                continue
         live.add(position)
     return frozenset(live)
 

@@ -38,6 +38,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import random
 import statistics
 import subprocess
 import time
@@ -47,8 +48,17 @@ from repro.data.bag import Bag
 from repro.data.change_values import GroupChange
 from repro.data.group import BAG_GROUP
 from repro.incremental.engine import IncrementalProgram
-from repro.mapreduce.skeleton import grand_total_term, histogram_term
-from repro.mapreduce.workloads import add_word_change, make_corpus
+from repro.mapreduce.skeleton import (
+    grand_total_term,
+    histogram_term,
+    word_count_term,
+)
+from repro.mapreduce.workloads import (
+    ChangeScript,
+    add_word_change,
+    make_corpus,
+    remove_word_change,
+)
 from repro.plugins.registry import Registry, standard_registry
 
 #: Size sweeps (number of elements / word occurrences).  ``--quick``
@@ -91,11 +101,33 @@ def _grand_total_workload(
     return grand_total_term(registry), (xs, ys), stream
 
 
+def wordcount_vocabulary(size: int) -> int:
+    """The wide vocabulary the wordcount cells run with: ~size/4 distinct
+    words, so the histogram (and hence the per-step ⊕ against it) keeps
+    growing with the corpus instead of saturating at 1000 words.  This
+    is the regime the shard sweep exercises -- per-step cost is
+    dominated by the output-map copy, which partitioning divides by N."""
+    return max(64, size // 4)
+
+
+def _wordcount_workload(
+    registry: Registry, size: int
+) -> Tuple[Any, Tuple[Any, ...], List[Tuple[Any, ...]]]:
+    corpus = make_corpus(
+        size, vocabulary_size=wordcount_vocabulary(size), seed=11
+    )
+    stream = [
+        (change,) for change in ChangeScript(corpus, length=64, seed=7)
+    ]
+    return word_count_term(registry), (corpus.documents,), stream
+
+
 WORKLOADS: Dict[
     str, Callable[[Registry, int], Tuple[Any, Tuple[Any, ...], List[Tuple[Any, ...]]]]
 ] = {
     "histogram": _histogram_workload,
     "grand_total": _grand_total_workload,
+    "wordcount": _wordcount_workload,
 }
 
 
@@ -318,6 +350,188 @@ def summarize(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     return summary
 
 
+# -- shard-scaling sweep -------------------------------------------------------
+#
+# ``foldBag f`` is a group homomorphism (Sec. 4.4), so the histogram can
+# be partitioned by *word*: each shard folds (and incrementally
+# maintains) only the slice of the histogram for the words it owns, and
+# the full view is the ⊕-merge of the partials.  The sweep measures how
+# per-reaction latency scales with the shard count.  The win is
+# algorithmic, not concurrency: applying a derivative's delta ⊕-copies
+# the owning shard's partial output (~|histogram|/N entries) instead of
+# the whole histogram, so it holds even on a single core.
+
+#: (elements, vocabulary) grid.  The vocabulary grows with the corpus so
+#: the output map -- whose ⊕-copy dominates the per-step cost at these
+#: sizes -- keeps growing too instead of saturating.
+SHARD_SWEEP_SIZES: Tuple[Tuple[int, int], ...] = (
+    (64_000, 32_768),
+    (1_000_000, 131_072),
+    (4_000_000, 262_144),
+)
+SHARD_SWEEP_QUICK_SIZES: Tuple[Tuple[int, int], ...] = ((64_000, 32_768),)
+
+SHARD_COUNTS = (1, 2, 4, 8)
+SHARD_QUICK_COUNTS = (1, 2)
+
+_SHARD_PHASES = ("partition", "compute", "dispatch", "merge")
+
+
+def _shard_change_stream(
+    corpus: Any, count: int, seed: int
+) -> List[Tuple[Any, ...]]:
+    """A reproducible stream of single-word changes, uniform over the
+    vocabulary so every shard's slice of the histogram sees traffic."""
+    rng = random.Random(seed)
+    rows: List[Tuple[Any, ...]] = []
+    for _ in range(count):
+        document = rng.randrange(corpus.document_count)
+        word = rng.randrange(corpus.vocabulary_size)
+        if rng.random() < 0.8:
+            rows.append((add_word_change(document, word),))
+        else:
+            rows.append((remove_word_change(document, word),))
+    return rows
+
+
+def _phase_breakdown(metrics: Any) -> Dict[str, Any]:
+    breakdown: Dict[str, Any] = {}
+    for phase in _SHARD_PHASES:
+        histogram = metrics.histogram(f"parallel.phase.{phase}_wall_time_s")
+        if histogram.count:
+            breakdown[phase] = {
+                "count": histogram.count,
+                "mean_ms": histogram.mean * 1e3,
+                "p99_ms": (
+                    histogram.quantile(0.99) * 1e3
+                    if histogram.quantile(0.99) is not None
+                    else None
+                ),
+            }
+    return breakdown
+
+
+def _shard_cell(
+    registry: Registry,
+    term: Any,
+    corpus: Any,
+    shards: int,
+    stream: Sequence[Tuple[Any, ...]],
+    warmup: int,
+    expected: Any,
+) -> Tuple[Dict[str, Any], Any]:
+    """One (size, shard-count) cell: initialize, run the change stream,
+    and read the merged view once; per-phase wall time comes from the
+    ``parallel.phase.*`` histograms (initialize and steps reported
+    separately)."""
+    from repro.observability import get_observability, observing
+    from repro.parallel.sharded import ShardedIncrementalProgram
+
+    program = ShardedIncrementalProgram(term, registry, shards, seed=0)
+    with observing(reset=True):
+        began = time.perf_counter()
+        program.initialize(corpus.documents)
+        initialize_s = time.perf_counter() - began
+        initialize_phases = _phase_breakdown(get_observability().metrics)
+    with observing(reset=True):
+        for row in stream[:warmup]:
+            program.step(*row)
+        samples: List[float] = []
+        for row in stream[warmup:]:
+            began = time.perf_counter()
+            program.step(*row)
+            samples.append(time.perf_counter() - began)
+        began = time.perf_counter()
+        output = program.output
+        merge_s = time.perf_counter() - began
+        step_phases = _phase_breakdown(get_observability().metrics)
+        routed = program.routed_changes
+    program.close()
+    mean = statistics.fmean(samples)
+    row = {
+        "workload": "histogram",
+        "n": corpus.total_words,
+        "vocabulary": corpus.vocabulary_size,
+        "shards": shards,
+        "steps": len(samples),
+        "routed_changes": routed,
+        "initialize_s": initialize_s,
+        "initialize_phases_ms": initialize_phases,
+        "step_mean_s": mean,
+        "step_p99_s": _percentile(samples, 0.99),
+        "merge_s": merge_s,
+        "output_size": len(output),
+        "step_phases_ms": step_phases,
+        "agrees_with_single_shard": (
+            None if expected is None else output == expected
+        ),
+    }
+    return row, output
+
+
+def summarize_shards(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-size speedup ladders (1-shard step mean / N-shard step mean),
+    the number the acceptance gate reads."""
+    summary: Dict[str, Any] = {}
+    for n in sorted({row["n"] for row in rows}):
+        cells = {
+            row["shards"]: row for row in rows if row["n"] == n
+        }
+        base = cells.get(1)
+        if base is None:
+            continue
+        summary[str(n)] = {
+            "vocabulary": base["vocabulary"],
+            "step_mean_s_1_shard": base["step_mean_s"],
+            "speedup_vs_1": {
+                str(shards): base["step_mean_s"] / cell["step_mean_s"]
+                for shards, cell in sorted(cells.items())
+            },
+            "all_agree": all(
+                cell["agrees_with_single_shard"] is not False
+                for cell in cells.values()
+            ),
+        }
+    return summary
+
+
+def run_shard_sweep(
+    registry: Registry | None = None,
+    sizes: Sequence[Tuple[int, int]] = SHARD_SWEEP_SIZES,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    steps: int = 32,
+    warmup: int = 4,
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """The full sweep: for each (elements, vocabulary) size, one cell
+    per shard count, all fed the identical change stream, each checked
+    for exact agreement with the single-shard cell's merged output."""
+    from repro.mapreduce.skeleton import histogram_term
+
+    registry = registry if registry is not None else standard_registry()
+    term = histogram_term(registry)
+    rows: List[Dict[str, Any]] = []
+    for n, vocabulary in sizes:
+        corpus = make_corpus(n, vocabulary_size=vocabulary, seed=42)
+        stream = _shard_change_stream(corpus, steps + warmup, seed=seed)
+        expected: Any = None
+        for shards in shard_counts:
+            row, output = _shard_cell(
+                registry, term, corpus, shards, stream, warmup, expected
+            )
+            if expected is None:
+                expected = output
+            rows.append(row)
+    return {
+        "sizes": [list(pair) for pair in sizes],
+        "shard_counts": list(shard_counts),
+        "steps": steps,
+        "executor": "inprocess",
+        "rows": rows,
+        "summary": summarize_shards(rows),
+    }
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point (also reachable as ``repro bench``)."""
     import argparse
@@ -421,6 +635,33 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             "'durable' = journaled steps with a journal phase"
         ),
     )
+    parser.add_argument(
+        "--shard-sweep",
+        action="store_true",
+        help=(
+            "also run the shard-scaling sweep (histogram partitioned by "
+            "word across 1/2/4/8 shards; --quick keeps 1/2 shards at the "
+            "smallest size)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-steps",
+        type=int,
+        default=32,
+        metavar="N",
+        help="timed steps per shard-sweep cell (default 32)",
+    )
+    parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "with --shard-sweep, fail unless the largest swept shard "
+            "count beats 1 shard per step by at least RATIO at the "
+            "largest swept size"
+        ),
+    )
     args = parser.parse_args(argv)
     profiles = tuple(args.profile) if args.profile else ()
     if args.sla and not profiles:
@@ -436,6 +677,14 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         sweep=not args.traffic_only,
         traffic_variants=tuple(args.traffic_variant or ()),
     )
+    if args.shard_sweep:
+        report["shards"] = run_shard_sweep(
+            sizes=(
+                SHARD_SWEEP_QUICK_SIZES if args.quick else SHARD_SWEEP_SIZES
+            ),
+            shard_counts=SHARD_QUICK_COUNTS if args.quick else SHARD_COUNTS,
+            steps=args.shard_steps,
+        )
 
     slo_exit = 0
     if args.sla:
@@ -477,7 +726,61 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             f"{throughput:,.0f} changes/s",
             file=out,
         )
+    shard_report = report.get("shards")
+    if shard_report:
+        print(
+            f"{'shard sweep':>12} {'n':>9} {'vocab':>8} {'shards':>6} "
+            f"{'init':>8} {'step mean':>11} {'p99':>9} {'merge':>8} "
+            f"{'agree':>5}",
+            file=out,
+        )
+        for row in shard_report["rows"]:
+            agrees = row["agrees_with_single_shard"]
+            print(
+                f"{'':>12} {row['n']:>9} {row['vocabulary']:>8} "
+                f"{row['shards']:>6} {row['initialize_s']:>7.2f}s "
+                f"{row['step_mean_s'] * 1e6:>9.1f}us "
+                f"{row['step_p99_s'] * 1e6:>7.1f}us "
+                f"{row['merge_s'] * 1e3:>6.1f}ms "
+                f"{'ref' if agrees is None else ('yes' if agrees else 'NO'):>5}",
+                file=out,
+            )
+        for n, stats in shard_report["summary"].items():
+            ladder = " ".join(
+                f"{shards}x{speedup:.2f}"
+                for shards, speedup in stats["speedup_vs_1"].items()
+            )
+            print(
+                f"shards@{n}: speedup vs 1 shard [{ladder}] "
+                f"(vocab {stats['vocabulary']}, "
+                f"agree={'yes' if stats['all_agree'] else 'NO'})",
+                file=out,
+            )
     print(f"report: {args.output}", file=out)
+
+    if args.min_shard_speedup is not None:
+        if not shard_report:
+            print(
+                "error: --min-shard-speedup requires --shard-sweep",
+                file=out,
+            )
+            return 1
+        largest = max(shard_report["summary"], key=int)
+        stats = shard_report["summary"][largest]
+        if not stats["all_agree"]:
+            print(
+                f"error: sharded outputs disagree at n={largest}", file=out
+            )
+            return 1
+        top = max(stats["speedup_vs_1"], key=int)
+        achieved = stats["speedup_vs_1"][top]
+        if achieved < args.min_shard_speedup:
+            print(
+                f"error: {top}-shard speedup {achieved:.2f} at n={largest} "
+                f"< required {args.min_shard_speedup}",
+                file=out,
+            )
+            return 1
 
     if args.min_speedup is not None:
         achieved = report["summary"].get("histogram", {}).get(

@@ -349,6 +349,29 @@ def build_parser() -> argparse.ArgumentParser:
             "window for killing the process mid-run)"
         ),
     )
+    trace_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "partition the inputs N ways and route each change to the "
+            "shard owning the affected elements; the output is the "
+            "⊕-merge of the per-shard partials (with --journal the "
+            "journal is partitioned per shard under a shards.json "
+            "consistent-cut manifest)"
+        ),
+    )
+    trace_parser.add_argument(
+        "--shard-executor",
+        choices=("inprocess", "process"),
+        default="inprocess",
+        help=(
+            "with --shards, run shard engines in this process or in "
+            "worker processes over the persistence codec (default "
+            "inprocess; 'process' does not compose with --journal)"
+        ),
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -365,7 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--workload",
         action="append",
-        choices=("grand_total", "histogram"),
+        choices=_WORKLOADS,
         default=None,
         help="restrict to one workload (repeatable; default: all)",
     )
@@ -445,6 +468,31 @@ def build_parser() -> argparse.ArgumentParser:
             "(repeatable: caching, durable)"
         ),
     )
+    bench_parser.add_argument(
+        "--shard-sweep",
+        action="store_true",
+        help=(
+            "also run the shard-scaling sweep (histogram partitioned "
+            "by word across 1/2/4/8 shards)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--shard-steps",
+        type=int,
+        default=32,
+        metavar="N",
+        help="timed steps per shard-sweep cell (default 32)",
+    )
+    bench_parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "with --shard-sweep, fail unless the largest shard count "
+            "beats 1 shard per step by at least RATIO"
+        ),
+    )
 
     dashboard_parser = subparsers.add_parser(
         "dashboard",
@@ -474,7 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard_parser.add_argument(
         "--workload",
         action="append",
-        choices=("grand_total", "histogram"),
+        choices=_WORKLOADS,
         default=None,
         help="workload to measure (repeatable; default histogram)",
     )
@@ -877,6 +925,8 @@ def _command_trace(args: argparse.Namespace, out) -> int:
         fsync=args.fsync,
         step_delay=args.step_delay,
         backend=args.backend,
+        shards=args.shards,
+        shard_executor=args.shard_executor,
     )
     if args.json:
         emit_json_lines(out, result.records)
@@ -884,6 +934,13 @@ def _command_trace(args: argparse.Namespace, out) -> int:
         types = " -> ".join(pretty_type(ty) for ty in result.input_types)
         print(f"program:    {args.program}", file=out)
         print(f"inputs:     {types}  (size~{args.size}, seed {args.seed})", file=out)
+        if args.shards is not None:
+            print(
+                f"shards:     {args.shards} ({args.shard_executor}), "
+                f"routed {getattr(result.program, 'routed_changes', 0)} "
+                "change(s)",
+                file=out,
+            )
         if result.initialize_span is not None:
             span = result.initialize_span
             print(
@@ -919,15 +976,24 @@ def _command_trace(args: argparse.Namespace, out) -> int:
 
 def _command_recover(args: argparse.Namespace, out) -> int:
     import json
+    import os
 
     from repro.incremental.faults import inject_storage_fault
     from repro.observability import observing
     from repro.persistence import recover
 
+    sharded = os.path.exists(os.path.join(args.directory, "shards.json"))
+    fault_target = (
+        os.path.join(args.directory, "journal-0")
+        if sharded
+        else args.directory
+    )
     for kind in args.inject_storage_fault:
-        description = inject_storage_fault(args.directory, kind)
+        description = inject_storage_fault(fault_target, kind)
         if not args.json:
             print(f"injected:   {kind} ({description})", file=out)
+    if sharded:
+        return _recover_sharded(args, out)
     with observing():
         result = recover(args.directory, verify=not args.no_verify)
         result.program.close()
@@ -973,6 +1039,57 @@ def _command_recover(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _recover_sharded(args: argparse.Namespace, out) -> int:
+    """``repro recover`` on a ``shards.json`` directory: reassemble the
+    consistent cut across the per-shard journals."""
+    import json
+
+    from repro.observability import observing
+    from repro.parallel.recovery import recover_sharded
+
+    with observing():
+        result = recover_sharded(args.directory, verify=not args.no_verify)
+        verified = None if args.no_verify else result.program.verify()
+        result.program.close()
+    report = result.report
+    payload = report.to_dict()
+    payload["verified"] = verified
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, sort_keys=True), file=out)
+        return 0 if verified is not False else 1
+    print(f"recovered:  {args.directory} (sharded)", file=out)
+    print(
+        f"shards:     {report.shards} (partitioner seed {report.seed})",
+        file=out,
+    )
+    print(
+        f"state:      step {report.global_steps} "
+        f"(cut {report.cut}, replayed "
+        f"{sum(r.replayed_steps for r in report.shard_reports)} step(s))",
+        file=out,
+    )
+    if report.trimmed_steps:
+        print(
+            f"trimmed:    {report.trimmed_steps} unacknowledged step(s) "
+            "beyond the manifest cut",
+            file=out,
+        )
+    if verified is not None:
+        print(
+            "verify:     ok (recovered output matches recomputation)"
+            if verified
+            else "verify:     FAILED",
+            file=out,
+        )
+    if args.report:
+        print(f"report:     {args.report}", file=out)
+    return 0 if verified is not False else 1
+
+
 def _command_bench(args: argparse.Namespace, out) -> int:
     from repro.bench import main as bench_main
 
@@ -998,6 +1115,11 @@ def _command_bench(args: argparse.Namespace, out) -> int:
     argv.extend(["--traffic-steps", str(args.traffic_steps)])
     for variant in args.traffic_variant or ():
         argv.extend(["--traffic-variant", variant])
+    if args.shard_sweep:
+        argv.append("--shard-sweep")
+        argv.extend(["--shard-steps", str(args.shard_steps)])
+    if args.min_shard_speedup is not None:
+        argv.extend(["--min-shard-speedup", str(args.min_shard_speedup)])
     return bench_main(argv, out)
 
 

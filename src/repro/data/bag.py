@@ -198,12 +198,29 @@ class Bag:
         * ``foldBag g f (negate b)   = inverse (foldBag g f b)``
         * ``foldBag g f (singleton v) = f v``
         """
+        # scale() handles signs and uses the group's fast path (or
+        # O(log count) doubling), so high multiplicities don't cost one
+        # merge per occurrence; a group-provided bulk fold lets container
+        # groups accumulate mutably instead of copying the partial per
+        # element.  Empty/singleton bags (the per-step change shape) skip
+        # both: zero ⊕ scale(v, c) = scale(v, c) in any abelian group.
+        counts = self._counts
+        if not counts:
+            return group.zero
+        scale = group.scale
+        if len(counts) == 1:
+            ((element, count),) = counts.items()
+            value = fn(element)
+            return value if count == 1 else scale(value, count)
+        fold = getattr(group, "_fold", None)
+        if fold is not None:
+            return fold(
+                scale(fn(element), count) for element, count in counts.items()
+            )
         result = group.zero
-        for element, count in self._counts.items():
-            # scale() handles signs and uses the group's fast path (or
-            # O(log count) doubling), so high multiplicities don't cost
-            # one merge per occurrence.
-            result = group.merge(result, group.scale(fn(element), count))
+        merge = group.merge
+        for element, count in counts.items():
+            result = merge(result, scale(fn(element), count))
         return result
 
     # -- object protocol -----------------------------------------------------

@@ -9,7 +9,7 @@ values so they can flow through the object language as first-class data.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 
 class AbelianGroup:
@@ -24,7 +24,7 @@ class AbelianGroup:
     ``map_group(INT_ADD_GROUP)`` built twice is a single logical group.
     """
 
-    __slots__ = ("name", "merge", "inverse", "zero", "_args", "_scale")
+    __slots__ = ("name", "merge", "inverse", "zero", "_args", "_scale", "_fold")
 
     def __init__(
         self,
@@ -34,6 +34,7 @@ class AbelianGroup:
         zero: Any,
         args: tuple = (),
         scale: Callable[[Any, int], Any] | None = None,
+        fold: Callable[[Iterable[Any]], Any] | None = None,
     ):
         self.name = name
         self.merge = merge
@@ -41,6 +42,7 @@ class AbelianGroup:
         self.zero = zero
         self._args = args
         self._scale = scale
+        self._fold = fold
 
     @property
     def args(self) -> tuple:
@@ -68,6 +70,21 @@ class AbelianGroup:
             remaining >>= 1
             if remaining:
                 power = self.merge(power, power)
+        return result
+
+    def fold(self, values: Iterable[Any]) -> Any:
+        """Merge ``values`` into one group element.
+
+        Associativity/commutativity make the result independent of order,
+        which lets container groups (bags, maps) accumulate into one
+        mutable buffer instead of copying the partial result per merge —
+        the difference between O(n²) and O(n) for large base folds.
+        """
+        if self._fold is not None:
+            return self._fold(values)
+        result = self.zero
+        for value in values:
+            result = self.merge(result, value)
         return result
 
     def is_zero(self, value: Any) -> bool:
@@ -126,6 +143,18 @@ FLOAT_ADD_GROUP = AbelianGroup(
 def _bag_group() -> AbelianGroup:
     from repro.data.bag import Bag
 
+    def fold(values) -> Bag:
+        counts: dict = {}
+        get = counts.get
+        for bag in values:
+            for element, count in bag.counts():
+                new_count = get(element, 0) + count
+                if new_count:
+                    counts[element] = new_count
+                elif element in counts:
+                    del counts[element]
+        return Bag(counts)
+
     return AbelianGroup(
         "BagGroup",
         merge=lambda a, b: a.merge(b),
@@ -134,6 +163,7 @@ def _bag_group() -> AbelianGroup:
         scale=lambda a, n: Bag(
             {element: count * n for element, count in a.counts()}
         ),
+        fold=fold,
     )
 
 
@@ -146,12 +176,32 @@ def map_group(value_group: AbelianGroup) -> AbelianGroup:
     and dropping entries whose merged value is the inner zero (Fig. 6)."""
     from repro.data.pmap import PMap
 
+    inner_merge = value_group.merge
+    inner_is_zero = value_group.is_zero
+
+    def fold(values) -> PMap:
+        entries: dict = {}
+        for mapping in values:
+            for key, value in mapping.items():
+                if key in entries:
+                    entries[key] = inner_merge(entries[key], value)
+                else:
+                    entries[key] = value
+        return PMap(
+            {
+                key: value
+                for key, value in entries.items()
+                if not inner_is_zero(value)
+            }
+        )
+
     return AbelianGroup(
         f"MapGroup",
         merge=lambda a, b: a.merged_with(b, value_group),
         inverse=lambda a: a.map_values(value_group.inverse),
         zero=PMap.empty(),
         args=(value_group,),
+        fold=fold,
     )
 
 

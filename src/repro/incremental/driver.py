@@ -165,6 +165,8 @@ def run_trace(
     step_delay: float = 0.0,
     backend: str = "compiled",
     profile: Any = None,
+    shards: Optional[int] = None,
+    shard_executor: str = "inprocess",
 ) -> TraceResult:
     """Incrementalize ``term``, run it over a generated change stream
     under observability, and collect per-step records.
@@ -201,9 +203,38 @@ def run_trace(
     arrivals, read mixes, and fault storms.  Multi-row bursts go through
     ``step_batch`` (change coalescing) on a bare engine; corrupt storm
     rows are allowed to be rejected and show up as ``rejected`` records.
+
+    ``shards`` (``repro trace --shards N``) runs the program as a
+    :class:`~repro.parallel.sharded.ShardedIncrementalProgram`: inputs
+    are partitioned N ways, each change is routed to the shard owning
+    the affected elements, and the output is the ⊕-merge of the
+    per-shard partials (Sec. 4.4's group homomorphism).  With
+    ``journal_dir`` the journal is partitioned per shard
+    (``journal-<shard>/`` plus a ``shards.json`` consistent-cut
+    manifest) and recovered with
+    :func:`repro.parallel.recovery.recover_sharded`.  Sharding runs the
+    default specialized/optimized derivative and does not compose with
+    the resilience layer or fault injection.
     """
     if steps < 0:
         raise ValueError("steps must be >= 0")
+    if shards is not None:
+        if shards < 1:
+            raise WorkloadError(f"--shards must be >= 1, got {shards}")
+        if resilient:
+            raise WorkloadError(
+                "--shards does not compose with --resilient (per-shard "
+                "validation wrapping is not supported)"
+            )
+        if faults:
+            raise WorkloadError(
+                "--shards does not compose with fault injection"
+            )
+        if not (specialize and optimize):
+            raise WorkloadError(
+                "--shards runs the default specialized/optimized "
+                "derivative; drop --no-specialize/--no-optimize"
+            )
     rng = random.Random(seed)
     fault_specs: List[FaultSpec] = []
     corrupt_steps: set = set()
@@ -214,8 +245,29 @@ def run_trace(
         else:
             fault_specs.append(parsed)
     with observing() as hub:
-        if caching:
-            engine: Any = CachingIncrementalProgram(
+        if shards is not None:
+            from repro.parallel.sharded import ShardedIncrementalProgram
+            from repro.runtime.durability import DurabilityPolicy
+
+            engine: Any = ShardedIncrementalProgram(
+                term,
+                registry,
+                shards,
+                seed=seed,
+                backend=backend,
+                engine="caching" if caching else "incremental",
+                executor=shard_executor,
+                durable_directory=journal_dir,
+                durability_policy=(
+                    DurabilityPolicy(
+                        journal_fsync=fsync, snapshot_every=snapshot_every
+                    )
+                    if journal_dir is not None
+                    else None
+                ),
+            )
+        elif caching:
+            engine = CachingIncrementalProgram(
                 term, registry, specialize=specialize, backend=backend
             )
         else:
@@ -239,7 +291,7 @@ def run_trace(
         else:
             program = engine
         runner: Any = program
-        if journal_dir is not None:
+        if journal_dir is not None and shards is None:
             from repro.persistence import DurabilityPolicy, DurableProgram
 
             runner = DurableProgram(
@@ -384,6 +436,10 @@ def run_trace(
                         _verify_step(event.step)
                         _sleep_step()
         if runner is not program:
+            runner.close()
+        elif shards is not None and journal_dir is not None:
+            # Sharded journals live inside the program; close them so
+            # the per-shard logs are flushed like DurableProgram's.
             runner.close()
     return TraceResult(
         program=program,

@@ -1,0 +1,38 @@
+"""Partitioned bags with parallel derivative execution.
+
+Section 4.4 of the paper proves bag changes form an abelian group and
+that ``foldBag f`` is a group homomorphism::
+
+    foldBag f (b₁ ⊎ b₂) = foldBag f b₁ ⊕ foldBag f b₂
+
+so both the base fold and derivative application distribute over a
+partition of the input: shard the bag, run the compiled per-shard base
+fold and per-shard derivative steps independently, and ⊕-merge the
+partial results under the output group.  This package is that plan:
+
+* :mod:`repro.parallel.partitioner` -- the seeded, stable key
+  partitioner that splits bag/map-of-bags values (and their changes)
+  into per-shard slices whose group sum is the original value;
+* :mod:`repro.parallel.executors` -- where shard programs run: in the
+  calling process (deterministic, zero-overhead; the default) or in
+  worker processes speaking the persistence codec as the wire format;
+* :mod:`repro.parallel.sharded` -- :class:`ShardedIncrementalProgram`,
+  the engine-shaped front that routes each incoming change row to its
+  owning shard and materializes the merged output on demand;
+* :mod:`repro.parallel.recovery` -- crash recovery over per-shard
+  ``journal-<shard>/`` directories tied together by a root manifest
+  recording the acknowledged consistent cut.
+"""
+
+from repro.parallel.errors import ParallelError
+from repro.parallel.partitioner import Partitioner, infer_group_for_value
+from repro.parallel.sharded import ShardedIncrementalProgram
+from repro.parallel.recovery import recover_sharded
+
+__all__ = [
+    "ParallelError",
+    "Partitioner",
+    "ShardedIncrementalProgram",
+    "infer_group_for_value",
+    "recover_sharded",
+]

@@ -1,0 +1,13 @@
+"""The error type of the sharding layer."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ParallelError(ReproError, ValueError):
+    """A value, change, or configuration the sharding layer cannot
+    partition or execute."""
+
+
+__all__ = ["ParallelError"]

@@ -1,0 +1,367 @@
+"""Where shard programs run.
+
+Two executors implement the same per-shard surface:
+
+* :class:`InProcessExecutor` keeps every shard engine in the calling
+  process.  It is deterministic, adds no serialization cost, composes
+  with per-shard durability layers, and is the default -- the win
+  sharding buys on a single core is algorithmic (each shard's ``⊕``
+  touches a partial output 1/N the size), not concurrency.
+* :class:`ProcessExecutor` runs each shard in a worker process.  The
+  wire format is the persistence codec: every request and reply crosses
+  the pipe as a CRC-framed canonical-JSON message (the same envelope
+  the journal uses), so only values the codec can represent -- i.e.
+  values that could be journaled and recovered -- can cross a process
+  boundary, and a corrupt frame is detected rather than absorbed.
+  Fan-out calls (initialize, batched steps) are dispatched to every
+  worker before any reply is collected, so workers overlap on
+  multi-core hosts.
+
+Both expose blocking per-shard calls; :class:`ShardedIncrementalProgram`
+owns routing and merging above them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.parallel.errors import ParallelError
+from repro.persistence.codec import (
+    canonical_json,
+    checksum,
+    decode_value,
+    encode_value,
+)
+
+EXECUTORS = ("inprocess", "process")
+
+
+class InProcessExecutor:
+    """Shard programs in the calling process (the deterministic default)."""
+
+    kind = "inprocess"
+
+    def __init__(self, programs: Sequence[Any]):
+        self.programs = list(programs)
+
+    def initialize(self, shard_inputs: Sequence[Sequence[Any]]) -> List[Any]:
+        return [
+            program.initialize(*inputs)
+            for program, inputs in zip(self.programs, shard_inputs)
+        ]
+
+    def step(self, shard: int, changes: Sequence[Any]) -> Any:
+        return self.programs[shard].step(*changes)
+
+    def step_batch(
+        self, shard: int, rows: Sequence[Sequence[Any]], coalesce: bool = True
+    ) -> Any:
+        return self.programs[shard].step_batch(rows, coalesce=coalesce)
+
+    def rebase(self, shard: int, changes: Sequence[Any]) -> Any:
+        return self.programs[shard].rebase(*changes)
+
+    def output(self, shard: int) -> Any:
+        return self.programs[shard].output
+
+    def outputs(self) -> List[Any]:
+        return [program.output for program in self.programs]
+
+    def recompute(self, shard: int) -> Any:
+        return self.programs[shard].recompute()
+
+    def verify(self, shard: int) -> bool:
+        return self.programs[shard].verify()
+
+    def resync(self, shard: int) -> Any:
+        return self.programs[shard].resync()
+
+    def current_inputs(self, shard: int) -> Sequence[Any]:
+        return self.programs[shard].current_inputs()
+
+    def steps(self, shard: int) -> int:
+        return self.programs[shard].steps
+
+    def coalesced_changes(self, shard: int) -> int:
+        return getattr(self.programs[shard], "coalesced_changes", 0)
+
+    def last_step_span(self, shard: int) -> Optional[Any]:
+        return getattr(self.programs[shard], "last_step_span", None)
+
+    def close(self) -> None:
+        for program in self.programs:
+            close = getattr(program, "close", None)
+            if close is not None:
+                close()
+
+
+# -- codec wire protocol ----------------------------------------------------
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """Frame one message: ``crc32-hex newline canonical-json`` (the
+    journal's integrity envelope, minus the append-only file)."""
+    body = canonical_json(payload)
+    return (checksum(body) + "\n" + body).encode("utf-8")
+
+
+def decode_message(frame: bytes) -> Dict[str, Any]:
+    text = frame.decode("utf-8")
+    header, _, body = text.partition("\n")
+    if checksum(body) != header:
+        raise ParallelError("corrupt frame on the shard wire (CRC mismatch)")
+    import json
+
+    return json.loads(body)
+
+
+def _worker_main(
+    connection: Any,
+    source: str,
+    backend: str,
+    strict: bool,
+    caching: bool,
+    registry_factory: str,
+) -> None:
+    """One shard worker: build the engine from the program source, then
+    serve codec-framed requests until ``close``."""
+    from importlib import import_module
+
+    from repro.lang.parser import parse
+
+    module_name, _, attr = registry_factory.partition(":")
+    registry = getattr(import_module(module_name), attr)()
+    term = parse(source, registry)
+    if caching:
+        from repro.incremental.caching import CachingIncrementalProgram
+
+        program: Any = CachingIncrementalProgram(term, registry)
+    else:
+        from repro.incremental.engine import IncrementalProgram
+
+        program = IncrementalProgram(
+            term, registry, strict=strict, backend=backend
+        )
+    while True:
+        try:
+            request = decode_message(connection.recv_bytes())
+        except EOFError:
+            break
+        op = request.get("op")
+        try:
+            if op == "initialize":
+                value: Any = program.initialize(
+                    *[decode_value(item) for item in request["inputs"]]
+                )
+            elif op == "step":
+                value = program.step(
+                    *[decode_value(item) for item in request["changes"]]
+                )
+            elif op == "step_batch":
+                rows = [
+                    [decode_value(item) for item in row]
+                    for row in request["rows"]
+                ]
+                value = program.step_batch(
+                    rows, coalesce=bool(request.get("coalesce", True))
+                )
+            elif op == "rebase":
+                value = program.rebase(
+                    *[decode_value(item) for item in request["changes"]]
+                )
+            elif op == "output":
+                value = program.output
+            elif op == "recompute":
+                value = program.recompute()
+            elif op == "verify":
+                value = program.verify()
+            elif op == "resync":
+                value = program.resync()
+            elif op == "current_inputs":
+                value = list(program.current_inputs())
+            elif op == "steps":
+                value = program.steps
+            elif op == "coalesced":
+                value = getattr(program, "coalesced_changes", 0)
+            elif op == "close":
+                connection.send_bytes(
+                    encode_message({"ok": True, "value": None})
+                )
+                break
+            else:
+                raise ParallelError(f"unknown shard op {op!r}")
+            connection.send_bytes(
+                encode_message({"ok": True, "value": encode_value(value)})
+            )
+        except Exception as error:  # surfaces as a typed error in the parent
+            connection.send_bytes(
+                encode_message(
+                    {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+            )
+    connection.close()
+
+
+class ProcessExecutor:
+    """Shard programs in worker processes (codec wire format).
+
+    Workers rebuild the engine from the pretty-printed program source
+    (exactly what the journal's init record carries), so the executor
+    needs a registry *factory* path rather than a live registry.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        shards: int,
+        source: str,
+        backend: str = "compiled",
+        strict: bool = False,
+        caching: bool = False,
+        registry_factory: str = "repro.plugins.registry:standard_registry",
+    ):
+        context = multiprocessing.get_context("fork")
+        self._connections = []
+        self._processes = []
+        for _ in range(shards):
+            parent, child = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child, source, backend, strict, caching, registry_factory),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            self._connections.append(parent)
+            self._processes.append(process)
+        self._closed = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, shard: int, request: Dict[str, Any]) -> None:
+        self._connections[shard].send_bytes(encode_message(request))
+
+    def _receive(self, shard: int) -> Any:
+        try:
+            reply = decode_message(self._connections[shard].recv_bytes())
+        except EOFError:
+            raise ParallelError(f"shard worker {shard} died mid-request")
+        if not reply.get("ok"):
+            raise ParallelError(
+                f"shard {shard} failed: {reply.get('error', 'unknown error')}"
+            )
+        return decode_value(reply.get("value"))
+
+    def _call(self, shard: int, request: Dict[str, Any]) -> Any:
+        self._send(shard, request)
+        return self._receive(shard)
+
+    def _broadcast(self, requests: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Send one request per shard, then collect every reply -- the
+        workers overlap while the parent waits."""
+        for shard, request in enumerate(requests):
+            self._send(shard, request)
+        return [self._receive(shard) for shard in range(len(requests))]
+
+    # -- per-shard surface -------------------------------------------------
+
+    def initialize(self, shard_inputs: Sequence[Sequence[Any]]) -> List[Any]:
+        return self._broadcast(
+            [
+                {
+                    "op": "initialize",
+                    "inputs": [encode_value(value) for value in inputs],
+                }
+                for inputs in shard_inputs
+            ]
+        )
+
+    def step(self, shard: int, changes: Sequence[Any]) -> Any:
+        return self._call(
+            shard,
+            {
+                "op": "step",
+                "changes": [encode_value(change) for change in changes],
+            },
+        )
+
+    def step_batch(
+        self, shard: int, rows: Sequence[Sequence[Any]], coalesce: bool = True
+    ) -> Any:
+        return self._call(
+            shard,
+            {
+                "op": "step_batch",
+                "rows": [
+                    [encode_value(change) for change in row] for row in rows
+                ],
+                "coalesce": coalesce,
+            },
+        )
+
+    def rebase(self, shard: int, changes: Sequence[Any]) -> Any:
+        return self._call(
+            shard,
+            {
+                "op": "rebase",
+                "changes": [encode_value(change) for change in changes],
+            },
+        )
+
+    def output(self, shard: int) -> Any:
+        return self._call(shard, {"op": "output"})
+
+    def outputs(self) -> List[Any]:
+        return self._broadcast(
+            [{"op": "output"} for _ in self._connections]
+        )
+
+    def recompute(self, shard: int) -> Any:
+        return self._call(shard, {"op": "recompute"})
+
+    def verify(self, shard: int) -> bool:
+        return bool(self._call(shard, {"op": "verify"}))
+
+    def resync(self, shard: int) -> Any:
+        return self._call(shard, {"op": "resync"})
+
+    def current_inputs(self, shard: int) -> Sequence[Any]:
+        return self._call(shard, {"op": "current_inputs"})
+
+    def steps(self, shard: int) -> int:
+        return int(self._call(shard, {"op": "steps"}))
+
+    def coalesced_changes(self, shard: int) -> int:
+        return int(self._call(shard, {"op": "coalesced"}))
+
+    def last_step_span(self, shard: int) -> Optional[Any]:
+        return None  # spans do not cross the process boundary
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard, connection in enumerate(self._connections):
+            try:
+                self._call(shard, {"op": "close"})
+            except (ParallelError, OSError, ValueError):
+                pass
+            connection.close()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+
+
+__all__ = [
+    "EXECUTORS",
+    "InProcessExecutor",
+    "ProcessExecutor",
+    "decode_message",
+    "encode_message",
+]

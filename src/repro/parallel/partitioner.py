@@ -1,0 +1,233 @@
+"""The seeded, stable key partitioner.
+
+A partitioner splits a group-valued input into ``shards`` slices whose
+group sum is the original value -- the precondition for the §4.4
+distribution law ``foldBag f (b₁ ⊎ b₂) = foldBag f b₁ ⊕ foldBag f b₂``.
+The same function splits *changes*, so every incoming change row can be
+routed to the shard that owns the affected elements and applied there
+alone.
+
+Placement is decided by a deterministic seeded hash of the element --
+**not** Python's ``hash()``, which is randomized per process
+(``PYTHONHASHSEED``) and would scatter the same element to different
+shards across workers and across a crash/recover boundary.  Integers go
+through a splitmix64-style mixer, strings/bytes through CRC32, tuples
+combine their fields, and anything else hashes its canonical codec
+encoding, so ownership is a pure function of ``(value, shards, seed)``.
+
+Splitting is structural:
+
+* a :class:`~repro.data.bag.Bag` splits element-wise (each element's
+  multiplicity goes wholly to its owner);
+* a map whose values are themselves group-valued containers (the
+  ``Map Int (Bag word)`` corpus of Fig. 5's MapReduce skeleton) splits
+  each entry's *value* recursively, keeping the key on every shard that
+  receives a non-zero slice.  This is what makes the per-shard partial
+  outputs of ``histogram``/``wordcount`` disjoint: shard ``i`` only
+  ever sees words it owns, so its partial histogram holds only those
+  words and the merged view is a disjoint union;
+* a map with scalar values routes whole entries by key;
+* a scalar lands on shard 0 (with the group zero elsewhere) -- the
+  degenerate but still correct split.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import (
+    AbelianGroup,
+    BAG_GROUP,
+    FLOAT_ADD_GROUP,
+    INT_ADD_GROUP,
+    map_group,
+    pair_group,
+)
+from repro.data.pmap import PMap
+from repro.parallel.errors import ParallelError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """The splitmix64 finalizer: a cheap, well-distributed int mixer."""
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK64
+    return value ^ (value >> 31)
+
+
+def infer_group_for_value(value: Any) -> AbelianGroup:
+    """The abelian group a value structurally belongs to.
+
+    Used to split inputs (and merge outputs) when the caller does not
+    name groups explicitly; raises :class:`ParallelError` for values
+    with no canonical group.
+    """
+    if isinstance(value, Bag):
+        return BAG_GROUP
+    if isinstance(value, PMap):
+        for inner in value.values():
+            return map_group(infer_group_for_value(inner))
+        return map_group(INT_ADD_GROUP)
+    if isinstance(value, bool):
+        raise ParallelError("booleans do not form a canonical abelian group")
+    if isinstance(value, int):
+        return INT_ADD_GROUP
+    if isinstance(value, float):
+        return FLOAT_ADD_GROUP
+    if isinstance(value, tuple) and len(value) == 2:
+        return pair_group(
+            infer_group_for_value(value[0]), infer_group_for_value(value[1])
+        )
+    raise ParallelError(
+        f"cannot infer an abelian group for {type(value).__name__} values; "
+        "pass the group explicitly"
+    )
+
+
+def zero_change(group: AbelianGroup) -> GroupChange:
+    """The nil change of ``group``'s induced change structure."""
+    return GroupChange(group, group.zero)
+
+
+class Partitioner:
+    """Split group values and changes across ``shards`` by element owner."""
+
+    def __init__(self, shards: int, seed: int = 0):
+        if shards < 1:
+            raise ParallelError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.seed = int(seed)
+        self._int_salt = _mix64((self.seed * 0x9E3779B97F4A7C15 + 1) & _MASK64)
+        self._crc_salt = zlib.crc32(
+            self.seed.to_bytes(8, "little", signed=True)
+        )
+
+    # -- ownership ---------------------------------------------------------
+
+    def stable_hash(self, element: Any) -> int:
+        """A process-independent 64-bit hash of ``element``."""
+        if isinstance(element, bool):
+            return _mix64(self._int_salt ^ (2 if element else 3))
+        if isinstance(element, int):
+            return _mix64(self._int_salt ^ (element & _MASK64))
+        if isinstance(element, str):
+            return zlib.crc32(element.encode("utf-8"), self._crc_salt)
+        if isinstance(element, bytes):
+            return zlib.crc32(element, self._crc_salt)
+        if isinstance(element, tuple):
+            combined = self._int_salt ^ len(element)
+            for field in element:
+                combined = _mix64(combined ^ self.stable_hash(field))
+            return combined
+        from repro.persistence.codec import canonical_json, encode_value
+
+        return zlib.crc32(
+            canonical_json(encode_value(element)).encode("utf-8"),
+            self._crc_salt,
+        )
+
+    def owner(self, element: Any) -> int:
+        """The shard that owns ``element``."""
+        return self.stable_hash(element) % self.shards
+
+    # -- value splitting ---------------------------------------------------
+
+    def split_value(self, value: Any, group: AbelianGroup) -> List[Any]:
+        """Split ``value`` into per-shard slices with ``⊕``-sum ``value``."""
+        if self.shards == 1:
+            return [value]
+        if group.name == "BagGroup":
+            return self._split_bag(value)
+        if group.name == "MapGroup":
+            return self._split_map(value, group.args[0])
+        slices = [group.zero] * self.shards
+        slices[0] = value
+        return slices
+
+    def _split_bag(self, bag: Bag) -> List[Bag]:
+        if not isinstance(bag, Bag):
+            raise ParallelError(
+                f"expected a Bag for a BagGroup input, got {type(bag).__name__}"
+            )
+        buckets: List[dict] = [{} for _ in range(self.shards)]
+        owner = self.owner
+        for element, count in bag.counts():
+            buckets[owner(element)][element] = count
+        return [Bag(bucket) for bucket in buckets]
+
+    def _split_map(self, mapping: PMap, inner: AbelianGroup) -> List[PMap]:
+        if not isinstance(mapping, PMap):
+            raise ParallelError(
+                f"expected a PMap for a MapGroup input, "
+                f"got {type(mapping).__name__}"
+            )
+        buckets: List[dict] = [{} for _ in range(self.shards)]
+        if inner.name in ("BagGroup", "MapGroup"):
+            # Container-valued entries split by their *elements*: the key
+            # stays on every shard that receives a non-zero slice.
+            is_zero = inner.is_zero
+            for key, value in mapping.items():
+                for shard, piece in enumerate(self.split_value(value, inner)):
+                    if not is_zero(piece):
+                        buckets[shard][key] = piece
+        else:
+            # Scalar-valued entries route whole by key.
+            owner = self.owner
+            for key, value in mapping.items():
+                buckets[owner(key)][key] = value
+        return [PMap(bucket) for bucket in buckets]
+
+    # -- change splitting --------------------------------------------------
+
+    def split_change(
+        self, change: Any, group: AbelianGroup
+    ) -> Tuple[List[Optional[Any]], List[int]]:
+        """Split one change into per-shard sub-changes.
+
+        Returns ``(slices, touched)``: ``slices[shard]`` is the shard's
+        sub-change or ``None`` where the change does not reach the
+        shard, and ``touched`` lists the shards with a non-None slice.
+        """
+        if self.shards == 1:
+            return [change], [0]
+        if isinstance(change, GroupChange):
+            slices: List[Optional[Any]] = [None] * self.shards
+            touched: List[int] = []
+            is_zero = change.group.is_zero
+            for shard, piece in enumerate(
+                self.split_value(change.delta, change.group)
+            ):
+                if not is_zero(piece):
+                    slices[shard] = GroupChange(change.group, piece)
+                    touched.append(shard)
+            return slices, touched
+        if isinstance(change, Replace):
+            # A replacement re-partitions the whole input: every shard
+            # adopts its slice of the new value.
+            pieces = self.split_value(change.value, group)
+            return [Replace(piece) for piece in pieces], list(
+                range(self.shards)
+            )
+        raise ParallelError(
+            f"cannot route change {type(change).__name__} across shards; "
+            "sharded inputs take group changes or replacements"
+        )
+
+    def describe(self) -> dict:
+        """A JSON-ready description (lands in the shard manifest)."""
+        return {
+            "kind": "stable-hash",
+            "shards": self.shards,
+            "seed": self.seed,
+        }
+
+
+__all__ = [
+    "Partitioner",
+    "infer_group_for_value",
+    "zero_change",
+]

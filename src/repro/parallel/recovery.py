@@ -1,0 +1,163 @@
+"""Crash recovery for partitioned journals.
+
+A sharded durable run lays its state out as::
+
+    root/
+      shards.json        -- the consistent-cut manifest (atomic rewrite)
+      journal-0/         -- an ordinary durable directory (journal +
+      journal-1/            snapshots) for shard 0, 1, ...
+      ...
+
+Each routed step is journaled by exactly one shard's
+:class:`~repro.runtime.durability.DurabilityLayer` *before* the root
+manifest acknowledges it, so after a crash a shard's journal may hold a
+record the router never acknowledged.  :func:`recover_sharded` replays
+every shard through the ordinary recovery ladder **capped at the
+manifest's cut** (``through_step``): unacknowledged records are trimmed
+from both the recovered state and the on-disk log, so no shard comes
+back ahead of the manifest and the reassembled state is a consistent
+cut of the routed change stream.  (Shard journals are independent --
+each routed change touches one shard -- so any per-shard prefix vector
+is a consistent global state; the cut makes the *acknowledged* prefix
+the one we adopt.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import RecoveryError
+from repro.lang.parser import parse
+from repro.persistence.recovery import RecoveryReport, recover
+from repro.parallel.sharded import (
+    SHARD_MANIFEST,
+    ShardedIncrementalProgram,
+    shard_journal_directory,
+)
+
+
+@dataclass
+class ShardedRecoveryReport:
+    """The root-level view plus every shard's own recovery report."""
+
+    directory: str
+    shards: int
+    seed: int
+    global_steps: int
+    cut: List[int]
+    shard_reports: List[RecoveryReport] = field(default_factory=list)
+
+    @property
+    def trimmed_steps(self) -> int:
+        return sum(report.trimmed_steps for report in self.shard_reports)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "sharded-recovery",
+            "directory": self.directory,
+            "shards": self.shards,
+            "seed": self.seed,
+            "global_steps": self.global_steps,
+            "cut": self.cut,
+            "trimmed_steps": self.trimmed_steps,
+            "shard_reports": [
+                report.to_dict() for report in self.shard_reports
+            ],
+        }
+
+
+@dataclass
+class ShardedRecoveryResult:
+    program: ShardedIncrementalProgram
+    report: ShardedRecoveryReport
+
+    @property
+    def output(self) -> Any:
+        return self.program.output
+
+
+def load_shard_manifest(directory: str) -> Dict[str, Any]:
+    """Read and validate the root ``shards.json`` manifest."""
+    path = os.path.join(directory, SHARD_MANIFEST)
+    if not os.path.exists(path):
+        raise RecoveryError(f"no shard manifest at {path!r}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise RecoveryError(
+            f"cannot read shard manifest {path!r}: {error}"
+        ) from error
+    if manifest.get("type") != "shard-manifest":
+        raise RecoveryError(f"{path!r} is not a shard manifest")
+    shards = manifest.get("shards")
+    cut = manifest.get("cut")
+    if not isinstance(shards, int) or shards < 1:
+        raise RecoveryError(f"shard manifest has invalid shard count {shards!r}")
+    if not isinstance(cut, list) or len(cut) != shards:
+        raise RecoveryError(
+            f"shard manifest cut {cut!r} does not cover {shards} shards"
+        )
+    return manifest
+
+
+def recover_sharded(
+    directory: str,
+    registry: Any = None,
+    policy: Optional[Any] = None,
+    resilience: Optional[Any] = None,
+    verify: Optional[bool] = None,
+) -> ShardedRecoveryResult:
+    """Reassemble a sharded durable run as of its acknowledged cut."""
+    if registry is None:
+        from repro.plugins.registry import standard_registry
+
+        registry = standard_registry()
+    manifest = load_shard_manifest(directory)
+    shards = int(manifest["shards"])
+    cut = [int(value) for value in manifest["cut"]]
+    seed = int(manifest.get("partitioner", {}).get("seed", 0))
+    report = ShardedRecoveryReport(
+        directory=directory,
+        shards=shards,
+        seed=seed,
+        global_steps=int(manifest.get("global_steps", 0)),
+        cut=cut,
+    )
+    programs: List[Any] = []
+    for shard in range(shards):
+        result = recover(
+            shard_journal_directory(directory, shard),
+            registry,
+            policy=policy,
+            resilience=resilience,
+            verify=verify,
+            through_step=cut[shard],
+        )
+        report.shard_reports.append(result.report)
+        programs.append(result.program)
+    source = manifest.get("program")
+    if not isinstance(source, str):
+        raise RecoveryError("shard manifest carries no program source")
+    term = parse(source, registry)
+    program = ShardedIncrementalProgram._attach(
+        programs,
+        term,
+        registry,
+        seed=seed,
+        steps=report.global_steps,
+        backend=str(manifest.get("backend", "compiled")),
+        durable_directory=directory,
+    )
+    return ShardedRecoveryResult(program=program, report=report)
+
+
+__all__ = [
+    "ShardedRecoveryReport",
+    "ShardedRecoveryResult",
+    "load_shard_manifest",
+    "recover_sharded",
+]

@@ -1,0 +1,597 @@
+"""The engine-shaped front over N per-shard engines.
+
+:class:`ShardedIncrementalProgram` quacks like
+:class:`~repro.incremental.engine.IncrementalProgram` -- ``initialize``
+/ ``step`` / ``step_batch`` / ``recompute`` / ``verify`` / ``rebase``
+and the inspection surface -- but executes over a partition:
+
+* ``initialize`` splits every input with the seeded
+  :class:`~repro.parallel.partitioner.Partitioner` and runs the
+  compiled base fold once per shard (§4.4's
+  ``foldBag f (b₁ ⊎ b₂) = foldBag f b₁ ⊕ foldBag f b₂`` guarantees the
+  per-shard partials sum to the whole);
+* ``step`` routes each change row to the shards that own the affected
+  elements -- almost always exactly one -- and applies the per-shard
+  derivative there.  The step therefore pays ``⊕`` against a partial
+  output ~1/N the size of the combined one, which is where partitioning
+  wins even on a single core (the per-step cost is dominated by the
+  output-map copy in ``⊕`` at large output sizes);
+* ``output`` materializes the ⊕-merge of the partials on demand and
+  caches it until the next write -- partials live with their shards,
+  exactly like MapReduce reducer outputs.
+
+Per-phase wall time (partition, dispatch, worker compute, merge) is
+recorded in the observability registry under ``parallel.phase.*`` so
+the dashboard drill-down shows where parallel time goes.
+
+With ``durable_directory`` set, every shard engine is wrapped in its own
+:class:`~repro.runtime.durability.DurabilityLayer` journaling into
+``journal-<shard>/`` under the root, and the root's ``shards.json``
+manifest records the acknowledged per-shard step vector (the consistent
+cut) after every committed write.  Recovery
+(:func:`repro.parallel.recovery.recover_sharded`) replays each shard
+journal *up to* the cut, so no shard resurfaces ahead of what the
+router acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.data.group import AbelianGroup
+from repro.lang.infer import infer_type
+from repro.lang.pretty import pretty
+from repro.lang.terms import Term
+from repro.lang.types import Type, uncurry_fun_type
+from repro.observability import get_observability
+from repro.observability import metrics as _metrics
+from repro.parallel.errors import ParallelError
+from repro.parallel.executors import (
+    EXECUTORS,
+    InProcessExecutor,
+    ProcessExecutor,
+)
+from repro.parallel.partitioner import (
+    Partitioner,
+    infer_group_for_value,
+    zero_change,
+)
+from repro.plugins.registry import Registry
+
+_STATE = _metrics.STATE
+
+#: File name of the root manifest tying per-shard journals together.
+SHARD_MANIFEST = "shards.json"
+
+
+def shard_journal_directory(root: str, shard: int) -> str:
+    """``journal-<shard>/`` under the sharded-state root."""
+    return os.path.join(root, f"journal-{shard}")
+
+
+def _infer_output_group(outputs: Sequence[Any]) -> AbelianGroup:
+    """Infer the ⊕-merge group from the per-shard partial outputs,
+    preferring a shard whose output is structurally informative (a
+    non-empty container)."""
+    from repro.data.pmap import PMap
+
+    fallback: Optional[AbelianGroup] = None
+    last_error: Optional[Exception] = None
+    for output in outputs:
+        try:
+            group = infer_group_for_value(output)
+        except ParallelError as error:
+            last_error = error
+            continue
+        if not (isinstance(output, PMap) and output.is_empty()):
+            return group
+        fallback = fallback or group
+    if fallback is not None:
+        return fallback
+    raise ParallelError(
+        "cannot infer the output group for ⊕-merging shard partials; "
+        "pass output_group explicitly"
+    ) from last_error
+
+
+class ShardedIncrementalProgram:
+    """N per-shard incremental programs behind one engine-shaped front."""
+
+    def __init__(
+        self,
+        term: Term,
+        registry: Registry,
+        shards: int,
+        seed: int = 0,
+        backend: str = "compiled",
+        strict: bool = False,
+        engine: str = "incremental",
+        executor: str = "inprocess",
+        durable_directory: Optional[str] = None,
+        durability_policy: Optional[Any] = None,
+        output_group: Optional[AbelianGroup] = None,
+        input_groups: Optional[Sequence[AbelianGroup]] = None,
+    ):
+        if executor not in EXECUTORS:
+            raise ParallelError(
+                f"unknown executor {executor!r} (available: "
+                f"{', '.join(EXECUTORS)})"
+            )
+        if engine not in ("incremental", "caching"):
+            raise ParallelError(
+                f"unknown engine {engine!r} "
+                "(available: incremental, caching)"
+            )
+        self.registry = registry
+        self.backend = backend
+        self.strict = strict
+        self.engine_kind = engine
+        self.executor_kind = executor
+        term, program_type = infer_type(term)
+        self.term = term
+        self.program_type: Optional[Type] = program_type
+        self.arity = len(uncurry_fun_type(program_type)[0])
+        if self.arity == 0:
+            raise ParallelError("program must take at least one input")
+        self.source = pretty(term)
+        self.partitioner = Partitioner(shards, seed=seed)
+        self.durable_directory = durable_directory
+        self.durability_policy = durability_policy
+        self._output_group = output_group
+        self._input_groups: Optional[List[AbelianGroup]] = (
+            list(input_groups) if input_groups is not None else None
+        )
+        self._executor = self._build_executor()
+        self._merged_output: Any = None
+        self._merged_valid = False
+        self._initialized = False
+        self._steps = 0
+        self.coalesced_changes = 0
+        self.routed_changes = 0
+        self._last_touched: Optional[int] = None
+
+    @property
+    def shards(self) -> int:
+        return self.partitioner.shards
+
+    @property
+    def seed(self) -> int:
+        return self.partitioner.seed
+
+    def _build_executor(self) -> Any:
+        if self.executor_kind == "process":
+            if self.durable_directory is not None:
+                raise ParallelError(
+                    "per-shard durability requires the in-process executor"
+                )
+            return ProcessExecutor(
+                self.shards,
+                self.source,
+                backend=self.backend,
+                strict=self.strict,
+                caching=self.engine_kind == "caching",
+            )
+        programs = [
+            self._build_shard_program(shard) for shard in range(self.shards)
+        ]
+        return InProcessExecutor(programs)
+
+    def _build_shard_program(self, shard: int) -> Any:
+        if self.engine_kind == "caching":
+            from repro.incremental.caching import CachingIncrementalProgram
+
+            program: Any = CachingIncrementalProgram(self.term, self.registry)
+        else:
+            from repro.incremental.engine import IncrementalProgram
+
+            program = IncrementalProgram(
+                self.term,
+                self.registry,
+                strict=self.strict,
+                backend=self.backend,
+            )
+        if self.durable_directory is not None:
+            from repro.runtime.durability import DurabilityLayer
+
+            program = DurabilityLayer(
+                program,
+                shard_journal_directory(self.durable_directory, shard),
+                policy=self.durability_policy,
+                source=self.source,
+                meta={
+                    "shard": shard,
+                    "shards": self.shards,
+                    "partitioner_seed": self.seed,
+                },
+            )
+        return program
+
+    # -- recovery re-attachment --------------------------------------------
+
+    @classmethod
+    def _attach(
+        cls,
+        programs: Sequence[Any],
+        term: Term,
+        registry: Registry,
+        seed: int,
+        steps: int,
+        backend: str = "compiled",
+        durable_directory: Optional[str] = None,
+        durability_policy: Optional[Any] = None,
+        output_group: Optional[AbelianGroup] = None,
+        input_groups: Optional[Sequence[AbelianGroup]] = None,
+    ) -> "ShardedIncrementalProgram":
+        """Wrap already-recovered per-shard programs (no re-initialize)."""
+        sharded = cls.__new__(cls)
+        sharded.registry = registry
+        sharded.backend = backend
+        sharded.strict = False
+        sharded.engine_kind = "incremental"
+        sharded.executor_kind = "inprocess"
+        term, program_type = infer_type(term)
+        sharded.term = term
+        sharded.program_type = program_type
+        sharded.arity = len(uncurry_fun_type(program_type)[0])
+        sharded.source = pretty(term)
+        sharded.partitioner = Partitioner(len(programs), seed=seed)
+        sharded.durable_directory = durable_directory
+        sharded.durability_policy = durability_policy
+        sharded._output_group = output_group
+        sharded._input_groups = (
+            list(input_groups) if input_groups is not None else None
+        )
+        sharded._executor = InProcessExecutor(programs)
+        sharded._merged_output = None
+        sharded._merged_valid = False
+        sharded._initialized = True
+        sharded._steps = steps
+        sharded.coalesced_changes = 0
+        sharded.routed_changes = 0
+        sharded._last_touched = None
+        if sharded._input_groups is None:
+            sharded._infer_input_groups_from_shards()
+        if sharded._output_group is None:
+            sharded._output_group = _infer_output_group(
+                sharded._executor.outputs()
+            )
+        return sharded
+
+    def _infer_input_groups_from_shards(self) -> None:
+        """Infer input groups from recovered shard inputs, preferring a
+        shard whose slice of each input is structurally informative."""
+        per_shard = [
+            list(self._executor.current_inputs(shard))
+            for shard in range(self.shards)
+        ]
+        groups: List[AbelianGroup] = []
+        for position in range(self.arity):
+            groups.append(
+                _infer_output_group(
+                    [inputs[position] for inputs in per_shard]
+                )
+            )
+        self._input_groups = groups
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, *inputs: Any) -> Any:
+        if len(inputs) != self.arity:
+            raise ValueError(
+                f"expected {self.arity} inputs, got {len(inputs)}"
+            )
+        if self._input_groups is None:
+            self._input_groups = [
+                infer_group_for_value(value) for value in inputs
+            ]
+        began = time.perf_counter()
+        partitions = [
+            self.partitioner.split_value(value, group)
+            for value, group in zip(inputs, self._input_groups)
+        ]
+        shard_inputs = [
+            tuple(partition[shard] for partition in partitions)
+            for shard in range(self.shards)
+        ]
+        partitioned = time.perf_counter()
+        outputs = self._executor.initialize(shard_inputs)
+        computed = time.perf_counter()
+        if self._output_group is None:
+            self._output_group = _infer_output_group(outputs)
+        self._merged_output = self._output_group.fold(outputs)
+        merged = time.perf_counter()
+        self._merged_valid = True
+        self._initialized = True
+        self._steps = 0
+        self._write_shard_manifest()
+        if _STATE.on:
+            metrics = get_observability().metrics
+            metrics.gauge("parallel.shards").set(self.shards)
+            metrics.histogram("parallel.phase.partition_wall_time_s").record(
+                partitioned - began
+            )
+            metrics.histogram("parallel.phase.compute_wall_time_s").record(
+                computed - partitioned
+            )
+            metrics.histogram("parallel.phase.merge_wall_time_s").record(
+                merged - computed
+            )
+        return self._merged_output
+
+    def _require_initialized(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("call initialize() before stepping")
+
+    def _split_row(
+        self, changes: Sequence[Any]
+    ) -> Tuple[Dict[int, List[Any]], List[int]]:
+        """Split one change row into per-shard rows (zero-filled for the
+        inputs a touched shard receives no slice of)."""
+        assert self._input_groups is not None
+        slices_per_input = []
+        touched: set = set()
+        for change, group in zip(changes, self._input_groups):
+            slices, owners = self.partitioner.split_change(change, group)
+            slices_per_input.append(slices)
+            touched.update(owners)
+        rows: Dict[int, List[Any]] = {}
+        for shard in sorted(touched):
+            rows[shard] = [
+                slices[shard]
+                if slices[shard] is not None
+                else zero_change(group)
+                for slices, group in zip(
+                    slices_per_input, self._input_groups
+                )
+            ]
+        return rows, sorted(touched)
+
+    def step(self, *changes: Any) -> Any:
+        """Route one change row to its owning shards and step them."""
+        self._require_initialized()
+        if len(changes) != self.arity:
+            raise ValueError(
+                f"expected {self.arity} changes, got {len(changes)}"
+            )
+        began = time.perf_counter()
+        rows, touched = self._split_row(changes)
+        partitioned = time.perf_counter()
+        compute = 0.0
+        for shard in touched:
+            shard_began = time.perf_counter()
+            self._executor.step(shard, rows[shard])
+            compute += time.perf_counter() - shard_began
+            self._last_touched = shard
+        dispatched = time.perf_counter()
+        if touched:
+            self._merged_valid = False
+        self._steps += 1
+        self.routed_changes += len(touched)
+        self._write_shard_manifest()
+        if _STATE.on:
+            metrics = get_observability().metrics
+            metrics.counter("parallel.steps").inc()
+            metrics.counter("parallel.routed_changes").inc(len(touched))
+            metrics.histogram("parallel.phase.partition_wall_time_s").record(
+                partitioned - began
+            )
+            metrics.histogram("parallel.phase.compute_wall_time_s").record(
+                compute
+            )
+            metrics.histogram("parallel.phase.dispatch_wall_time_s").record(
+                max(dispatched - partitioned - compute, 0.0)
+            )
+        # Deliberately does NOT force the ⊕-merge: partials stay with
+        # their shards (the MapReduce shape) and ``output`` materializes
+        # the combined view on read.  Returning the merge here would put
+        # an O(|output| · N) fold on every routed step and erase the
+        # win sharding buys.
+        return None
+
+    def step_batch(
+        self, batch: Sequence[Sequence[Any]], coalesce: bool = True
+    ) -> Any:
+        """Route a burst of rows, delivering each shard its sub-batch in
+        one call (per-shard coalescing applies downstream)."""
+        self._require_initialized()
+        rows = [tuple(row) for row in batch]
+        for row in rows:
+            if len(row) != self.arity:
+                raise ValueError(
+                    f"expected {self.arity} changes per row, got {len(row)}"
+                )
+        if not rows:
+            return self.output
+        began = time.perf_counter()
+        shard_batches: Dict[int, List[List[Any]]] = {}
+        routed = 0
+        for row in rows:
+            split, touched = self._split_row(row)
+            routed += len(touched)
+            for shard, shard_row in split.items():
+                shard_batches.setdefault(shard, []).append(shard_row)
+        partitioned = time.perf_counter()
+        compute = 0.0
+        before = sum(
+            self._executor.coalesced_changes(shard) for shard in shard_batches
+        )
+        for shard, shard_rows in shard_batches.items():
+            shard_began = time.perf_counter()
+            self._executor.step_batch(shard, shard_rows, coalesce=coalesce)
+            compute += time.perf_counter() - shard_began
+            self._last_touched = shard
+        after = sum(
+            self._executor.coalesced_changes(shard) for shard in shard_batches
+        )
+        self.coalesced_changes += after - before
+        dispatched = time.perf_counter()
+        if shard_batches:
+            self._merged_valid = False
+        self._steps += 1 if coalesce else len(rows)
+        self.routed_changes += routed
+        self._write_shard_manifest()
+        if _STATE.on:
+            metrics = get_observability().metrics
+            metrics.counter("parallel.steps").inc()
+            metrics.counter("parallel.routed_changes").inc(routed)
+            metrics.histogram("parallel.phase.partition_wall_time_s").record(
+                partitioned - began
+            )
+            metrics.histogram("parallel.phase.compute_wall_time_s").record(
+                compute
+            )
+            metrics.histogram("parallel.phase.dispatch_wall_time_s").record(
+                max(dispatched - partitioned - compute, 0.0)
+            )
+        # Like ``step``: the merged view is materialized on read.
+        return None
+
+    def rebase(self, *changes: Any) -> Any:
+        """⊕-apply ``changes`` and recompute, on the owning shards only."""
+        self._require_initialized()
+        if len(changes) != self.arity:
+            raise ValueError(
+                f"expected {self.arity} changes, got {len(changes)}"
+            )
+        rows, touched = self._split_row(changes)
+        for shard in touched:
+            self._executor.rebase(shard, rows[shard])
+            self._last_touched = shard
+        if touched:
+            self._merged_valid = False
+        self._steps += 1
+        self.routed_changes += len(touched)
+        self._write_shard_manifest()
+        return self.output
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def output(self) -> Any:
+        """The ⊕-merge of the per-shard partial outputs (cached between
+        writes; partials stay with their shards)."""
+        self._require_initialized()
+        if not self._merged_valid:
+            began = time.perf_counter()
+            assert self._output_group is not None
+            self._merged_output = self._output_group.fold(
+                self._executor.outputs()
+            )
+            self._merged_valid = True
+            if _STATE.on:
+                get_observability().metrics.histogram(
+                    "parallel.phase.merge_wall_time_s"
+                ).record(time.perf_counter() - began)
+        return self._merged_output
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    @property
+    def last_step_span(self) -> Optional[Any]:
+        if self._last_touched is None:
+            return None
+        return self._executor.last_step_span(self._last_touched)
+
+    def shard_outputs(self) -> List[Any]:
+        """The raw per-shard partials (the pre-merge MapReduce view)."""
+        self._require_initialized()
+        return self._executor.outputs()
+
+    def shard_steps(self) -> List[int]:
+        """Per-shard committed step counts (the consistent-cut vector)."""
+        return [
+            self._executor.steps(shard) for shard in range(self.shards)
+        ]
+
+    def current_inputs(self) -> Sequence[Any]:
+        """The ⊕-merge, per input position, of the shard slices."""
+        self._require_initialized()
+        assert self._input_groups is not None
+        per_shard = [
+            list(self._executor.current_inputs(shard))
+            for shard in range(self.shards)
+        ]
+        return [
+            group.fold(inputs[position] for inputs in per_shard)
+            for position, group in enumerate(self._input_groups)
+        ]
+
+    def recompute(self) -> Any:
+        """⊕-merge of the per-shard from-scratch recomputations."""
+        self._require_initialized()
+        assert self._output_group is not None
+        return self._output_group.fold(
+            self._executor.recompute(shard) for shard in range(self.shards)
+        )
+
+    def verify(self) -> bool:
+        """Every shard passes Eq. 1 locally and the merged partials
+        equal the merged recomputation."""
+        self._require_initialized()
+        for shard in range(self.shards):
+            if not self._executor.verify(shard):
+                return False
+        return self.output == self.recompute()
+
+    def resync(self) -> Any:
+        self._require_initialized()
+        for shard in range(self.shards):
+            self._executor.resync(shard)
+        self._merged_valid = False
+        return self.output
+
+    def fast_forward(self, steps: int) -> None:
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        self._steps = steps
+
+    # -- durability --------------------------------------------------------
+
+    def _write_shard_manifest(self) -> None:
+        """Atomically record the acknowledged consistent cut."""
+        if self.durable_directory is None:
+            return
+        from repro.persistence.snapshot import _atomic_write
+
+        payload = {
+            "type": "shard-manifest",
+            "version": 1,
+            "shards": self.shards,
+            "partitioner": self.partitioner.describe(),
+            "program": self.source,
+            "backend": self.backend,
+            "global_steps": self._steps,
+            "cut": self.shard_steps(),
+        }
+        _atomic_write(
+            self.durable_directory,
+            SHARD_MANIFEST,
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+
+    def snapshot_state(self) -> Any:
+        return {
+            "layer": "sharded-engine",
+            "shards": self.shards,
+            "seed": self.seed,
+            "executor": self.executor_kind,
+            "steps": self._steps,
+            "routed_changes": self.routed_changes,
+            "cut": self.shard_steps() if self._initialized else None,
+            "backend": self.backend,
+        }
+
+    def close(self) -> None:
+        self._executor.close()
+
+
+__all__ = [
+    "SHARD_MANIFEST",
+    "ShardedIncrementalProgram",
+    "shard_journal_directory",
+]

@@ -78,6 +78,9 @@ class RecoveryReport:
     snapshot_used: Optional[str] = None  # file name, or None = init rung
     replayed_steps: int = 0
     skipped_aborts: int = 0
+    #: Journaled steps discarded because they lie beyond the caller's
+    #: ``through_step`` cap (a sharded run's acknowledged cut).
+    trimmed_steps: int = 0
     dropped_tail_step: bool = False
     journal_records: int = 0
     torn_bytes: int = 0
@@ -94,6 +97,7 @@ class RecoveryReport:
             "snapshot_used": self.snapshot_used,
             "replayed_steps": self.replayed_steps,
             "skipped_aborts": self.skipped_aborts,
+            "trimmed_steps": self.trimmed_steps,
             "dropped_tail_step": self.dropped_tail_step,
             "journal_records": self.journal_records,
             "torn_bytes": self.torn_bytes,
@@ -159,15 +163,24 @@ def _replay_suffix(
     records: List[JournalRecord],
     start_offset: int,
     aborted: Set[int],
-) -> Tuple[int, int, bool, Optional[int]]:
+    through_step: Optional[int] = None,
+) -> Tuple[int, int, bool, Optional[int], int, Optional[int]]:
     """Apply every committed step record at offset >= ``start_offset``.
 
-    Returns ``(applied, skipped, dropped_tail, last_applied_end)``.
-    Raises ``_RungFailure`` on anything that contradicts the snapshot
-    the replay started from.
+    With ``through_step`` set, step records numbered ``>= through_step``
+    are *trimmed* instead of applied: a sharded run acknowledges steps
+    in a root manifest after journaling them, so a crash in between
+    leaves a record the coordinator never acknowledged -- replaying it
+    would put this shard ahead of the consistent cut.
+
+    Returns ``(applied, skipped, dropped_tail, last_applied_end,
+    trimmed, trim_start)``.  Raises ``_RungFailure`` on anything that
+    contradicts the snapshot the replay started from.
     """
     applied = 0
     skipped = 0
+    trimmed = 0
+    trim_start: Optional[int] = None
     last_applied_end: Optional[int] = None
     final_start = records[-1].start if records else None
     for record in records:
@@ -189,6 +202,15 @@ def _replay_suffix(
             skipped += 1
             continue
         recorded_step = record.payload.get("step")
+        if (
+            through_step is not None
+            and isinstance(recorded_step, int)
+            and recorded_step >= through_step
+        ):
+            trimmed += 1
+            if trim_start is None:
+                trim_start = record.start
+            continue
         if recorded_step != program.steps:
             raise _RungFailure(
                 f"journal record at offset {record.start} is step "
@@ -204,14 +226,14 @@ def _replay_suffix(
             if record.start == final_start:
                 # Write-ahead tail: the record was journaled but the
                 # engine step never committed before the crash.
-                return applied, skipped, True, last_applied_end
+                return applied, skipped, True, last_applied_end, trimmed, trim_start
             raise _RungFailure(
                 f"replay of step {recorded_step!r} at offset "
                 f"{record.start} failed: {error}"
             ) from error
         applied += 1
         last_applied_end = record.end
-    return applied, skipped, False, last_applied_end
+    return applied, skipped, False, last_applied_end, trimmed, trim_start
 
 
 def recover(
@@ -220,8 +242,16 @@ def recover(
     policy: Optional[DurabilityPolicy] = None,
     resilience: Optional[ResiliencePolicy] = None,
     verify: Optional[bool] = None,
+    through_step: Optional[int] = None,
 ) -> RecoveryResult:
     """Recover a :class:`DurableProgram` from ``directory``.
+
+    ``through_step`` caps replay at an externally-acknowledged step
+    count (exclusive): journal records numbered at or beyond it are
+    trimmed from both the recovered state and the on-disk log.  The
+    sharded recovery (:func:`repro.parallel.recovery.recover_sharded`)
+    passes each shard its slot of the root manifest's consistent cut so
+    no shard resurfaces ahead of what the router acknowledged.
 
     Raises :class:`~repro.errors.RecoveryError` when every ladder rung
     fails; the error's ``details['attempts']`` lists each rung's reason.
@@ -271,6 +301,10 @@ def recover(
     rungs: List[Tuple[str, Optional[SnapshotEntry]]] = []
     try:
         for entry in reversed(load_manifest(directory)):
+            if through_step is not None and entry.step > through_step:
+                # The checkpoint itself lies beyond the acknowledged
+                # cut; restoring it could not be trimmed back.
+                continue
             rungs.append((entry.file, entry))
     except ReproError as error:
         report.attempts.append(
@@ -306,8 +340,10 @@ def recover(
                         "primitives)"
                     )
                 start_offset = records[0].end
-            applied, skipped, dropped_tail, last_end = _replay_suffix(
-                program, records, start_offset, aborted
+            applied, skipped, dropped_tail, last_end, trimmed, trim_start = (
+                _replay_suffix(
+                    program, records, start_offset, aborted, through_step
+                )
             )
             if verify and not program.verify():
                 raise _RungFailure(
@@ -326,12 +362,20 @@ def recover(
         report.steps = program.steps
         report.replayed_steps = applied
         report.skipped_aborts = skipped
+        report.trimmed_steps = trimmed
         report.dropped_tail_step = dropped_tail
         report.verified = True if verify else None
         if _STATE.on:
             _REPLAYED.inc(applied)
         durable = _reattach(
-            program, directory, policy, init, records, dropped_tail, last_end
+            program,
+            directory,
+            policy,
+            init,
+            records,
+            dropped_tail,
+            last_end,
+            trim_start,
         )
         return RecoveryResult(program=durable, report=report)
 
@@ -378,14 +422,21 @@ def _reattach(
     records: List[JournalRecord],
     dropped_tail: bool,
     last_applied_end: Optional[int],
+    trim_start: Optional[int] = None,
 ) -> DurableProgram:
     """Reopen the journal for append (repairing the torn tail) and, when
-    the final record was dropped as an uncommitted write-ahead entry,
-    truncate it away too so the on-disk log matches the adopted state."""
+    the final record was dropped as an uncommitted write-ahead entry --
+    or records were trimmed beyond a ``through_step`` cap -- truncate
+    them away too so the on-disk log matches the adopted state."""
     path = journal_path(directory)
-    if dropped_tail and records:
+    truncate_at: Optional[int] = None
+    if trim_start is not None:
+        truncate_at = trim_start
+    elif dropped_tail and records:
+        truncate_at = records[-1].start
+    if truncate_at is not None:
         with open(path, "r+b") as handle:
-            handle.truncate(records[-1].start)
+            handle.truncate(truncate_at)
             handle.flush()
             os.fsync(handle.fileno())
     journal, _ = Journal.open(path, fsync=policy.journal_fsync)

@@ -23,7 +23,7 @@ self-maintainable -- derivative instead of the generic one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.data.change_values import Replace, oplus_value
 from repro.lang.terms import Const, Term
@@ -110,11 +110,18 @@ class ConstantSpec:
         only forced on the Replace-fallback path, which the analysis
         deliberately does not model (Replace-optimism, Sec. 4.3).
     escape_guards:
-        Mapping from an escaping position to a *guard* position: the
-        escaping position's thunk only escapes when the argument at the
-        guard position is not a statically-nil change.  Models primitives
-        like ``singleton'`` that force their lazy base element exactly
-        when the accompanying change is non-nil.
+        Mapping from an escaping position to a *guard*: the escaping
+        position's thunk only escapes when the guard argument is not a
+        statically-nil change.  A guard is either a position (an ``int``:
+        nil means a detectably-nil change literal, e.g. ``GroupChange g
+        0``) or a ``(guard, base)`` pair of positions: nil means the
+        guard argument is a change literal that is provably nil
+        *relative to* the base argument's literal (e.g. a
+        ``Replace True`` condition change against a ``True`` condition
+        -- the condition provably cannot flip).  Models primitives like
+        ``singleton'`` that force their lazy base element exactly when
+        the accompanying change is non-nil, and ``ifThenElse'`` whose
+        branch values are forced exactly when the condition flips.
     """
 
     def __init__(
@@ -159,18 +166,33 @@ class ConstantSpec:
                     "are not lazy positions (strict arguments are always "
                     "demanded; only lazy positions need escape facts)"
                 )
-        self.escape_guards = dict(escape_guards or {})
-        for position, guard in self.escape_guards.items():
+        self.escape_guards: Dict[int, Tuple[int, Optional[int]]] = {}
+        for position, guard in dict(escape_guards or {}).items():
             if position not in self.escaping_positions:
                 raise ValueError(
                     f"constant {name}: escape guard on position {position} "
                     "which is not an escaping position"
                 )
-            if not (0 <= guard < arity) or guard == position:
-                raise ValueError(
-                    f"constant {name}: escape guard position {guard} "
-                    f"for position {position} is out of range"
-                )
+            if isinstance(guard, int):
+                guard_position, base_position = guard, None
+            else:
+                try:
+                    guard_position, base_position = guard
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"constant {name}: escape guard for position "
+                        f"{position} must be a position or a "
+                        f"(guard, base) pair, got {guard!r}"
+                    ) from None
+            for index in (guard_position, base_position):
+                if index is None:
+                    continue
+                if not (0 <= index < arity) or index == position:
+                    raise ValueError(
+                        f"constant {name}: escape guard position {index} "
+                        f"for position {position} is out of range"
+                    )
+            self.escape_guards[position] = (guard_position, base_position)
         self.derivative = derivative
         self.semantic_impl = semantic_impl
         self.semantic_derivative = semantic_derivative

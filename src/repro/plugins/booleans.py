@@ -94,11 +94,14 @@ def plugin() -> Plugin:
         # Audited: on the stable-condition path the *taken* branch's
         # change (3 or 5) is forced and returned, so branch changes
         # always escape; the branch *values* (2 and 4) are forced only
-        # when the condition change (position 1) flips the condition, so
-        # they are guarded on it being statically nil.  This replaces the
-        # old blanket "modulo branch-forcing ifThenElse" caveat.
+        # when the condition change (position 1) flips the condition
+        # (position 0), so they are guarded on the condition change
+        # being statically nil -- including a ``Replace v`` against a
+        # literal condition ``v``, the shape ``Derive`` emits for
+        # statically-known Bool conditions.  This replaces the old
+        # blanket "modulo branch-forcing ifThenElse" caveat.
         escaping_positions=(2, 3, 4, 5),
-        escape_guards={2: 1, 4: 1},
+        escape_guards={2: (1, 0), 4: (1, 0)},
     ))
 
     def ite_impl(condition: Any, then_value: Any, else_value: Any) -> Any:

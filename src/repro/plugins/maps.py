@@ -154,11 +154,15 @@ def plugin() -> Plugin:
     # -- foldMap (homomorphism fold, Fig. 6) ----------------------------------------
 
     def fold_map_impl(group_a: Any, group_b: Any, fn: Any, mapping: Any) -> Any:
+        fold = getattr(group_b, "fold", None)
+        images = (
+            apply_semantic(fn, key, value) for key, value in mapping.items()
+        )
+        if fold is not None:
+            return fold(images)
         accumulator = group_b.zero
-        for key, value in mapping.items():
-            accumulator = group_b.merge(
-                accumulator, apply_semantic(fn, key, value)
-            )
+        for image in images:
+            accumulator = group_b.merge(accumulator, image)
         return accumulator
 
     def fold_map_nil_impl(

@@ -1,0 +1,161 @@
+"""The parallel middleware layer: shard the engine beneath it.
+
+``ParallelLayer`` sits between metrics (rank 40) and durable (rank 30)
+in the canonical stack order.  Unlike the other layers it does not
+interpose on a single engine's calls -- it *replaces* execution with a
+:class:`~repro.parallel.sharded.ShardedIncrementalProgram` built from
+the template stack below it at ``initialize`` time:
+
+* the bare engine at the bottom supplies the program term, registry,
+  backend, and engine kind (plain or caching) -- one shard engine is
+  built per shard from that template;
+* a ``durable`` layer below supplies the journal root and policy: the
+  parallel layer partitions it into per-shard ``journal-<shard>/``
+  directories (each an ordinary durable directory) tied together by the
+  root's ``shards.json`` consistent-cut manifest, and the template's
+  own journal is never created;
+* a ``resilient`` layer below is rejected -- per-shard validation
+  wrapping is future work, and silently dropping a requested guarantee
+  would be worse than refusing.
+
+The metrics layer above still times the full sharded cost, which is why
+``parallel`` ranks below it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.runtime.middleware import (
+    Middleware,
+    StackError,
+    engine_of,
+    iter_layers,
+)
+
+
+class ParallelLayer(Middleware):
+    """Shard the inner engine across N workers and route changes."""
+
+    layer_name = "parallel"
+    rank = 35
+
+    def __init__(
+        self,
+        program: Any,
+        shards: int = 2,
+        seed: int = 0,
+        executor: str = "inprocess",
+    ):
+        super().__init__(program)
+        if shards < 1:
+            raise StackError(f"shards must be >= 1, got {shards}")
+        self.shard_count = shards
+        self.seed = seed
+        self.executor = executor
+        self.sharded: Optional[Any] = None
+        for layer in iter_layers(self.inner):
+            if getattr(layer, "layer_name", None) == "resilient":
+                raise StackError(
+                    "the parallel layer does not compose with a resilient "
+                    "layer beneath it; put resilience above parallel or "
+                    "drop one of the two"
+                )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, *inputs: Any) -> Any:
+        from repro.parallel.sharded import ShardedIncrementalProgram
+
+        engine = engine_of(self.inner)
+        durable = next(
+            (
+                layer
+                for layer in iter_layers(self.inner)
+                if getattr(layer, "layer_name", None) == "durable"
+            ),
+            None,
+        )
+        self.sharded = ShardedIncrementalProgram(
+            engine.term,
+            engine.registry,
+            self.shard_count,
+            seed=self.seed,
+            backend=getattr(engine, "backend", "compiled"),
+            strict=bool(getattr(engine, "strict", False)),
+            engine=(
+                "caching"
+                if type(engine).__name__ == "CachingIncrementalProgram"
+                else "incremental"
+            ),
+            executor=self.executor,
+            durable_directory=durable.directory if durable else None,
+            durability_policy=durable.policy if durable else None,
+        )
+        return self.sharded.initialize(*inputs)
+
+    def _active(self) -> Any:
+        if self.sharded is None:
+            raise RuntimeError("call initialize() before stepping")
+        return self.sharded
+
+    def step(self, *changes: Any) -> Any:
+        return self._active().step(*changes)
+
+    def step_batch(
+        self, batch: Sequence[Sequence[Any]], coalesce: bool = True
+    ) -> Any:
+        return self._active().step_batch(batch, coalesce=coalesce)
+
+    def recompute(self) -> Any:
+        return self._active().recompute()
+
+    def rebase(self, *changes: Any) -> Any:
+        return self._active().rebase(*changes)
+
+    def resync(self) -> Any:
+        return self._active().resync()
+
+    def verify(self) -> bool:
+        return self._active().verify()
+
+    def fast_forward(self, steps: int) -> None:
+        self._active().fast_forward(steps)
+
+    def current_inputs(self) -> Sequence[Any]:
+        return self._active().current_inputs()
+
+    # -- delegation to the sharded front ------------------------------------
+
+    @property
+    def output(self) -> Any:
+        return self._active().output
+
+    @property
+    def steps(self) -> int:
+        return self.sharded.steps if self.sharded is not None else 0
+
+    @property
+    def last_step_span(self) -> Optional[Any]:
+        if self.sharded is not None:
+            return self.sharded.last_step_span
+        return super().last_step_span
+
+    def layer_state(self) -> Any:
+        state = {
+            "shards": self.shard_count,
+            "seed": self.seed,
+            "executor": self.executor,
+        }
+        if self.sharded is not None:
+            state["routed_changes"] = self.sharded.routed_changes
+            state["cut"] = self.sharded.shard_steps()
+        return state
+
+    def close(self) -> None:
+        if self.sharded is not None:
+            self.sharded.close()
+        super().close()
+
+
+__all__ = ["ParallelLayer"]

@@ -20,6 +20,10 @@ spec and enforces the stacking discipline:
   layer       rank  why it sits there
   ==========  ====  =====================================================
   metrics       40  boundary timing must see the full stack cost
+  parallel      35  sharding replaces execution below it; metrics above
+                    still times the full sharded cost, and a durable
+                    layer below declares the journal root the parallel
+                    layer partitions per shard (``journal-<shard>/``)
   durable       30  the WAL must record rejected steps as aborts, so it
                     sits *above* validation/fallback
   resilient     20  validation must run before the engine mutates state
@@ -50,6 +54,7 @@ from repro.runtime.middleware import StackError, iter_layers
 #: machinery) until a durable layer is actually requested.
 LAYER_REGISTRY: Dict[str, Tuple[str, str]] = {
     "metrics": ("repro.runtime.telemetry", "MetricsLayer"),
+    "parallel": ("repro.runtime.parallelism", "ParallelLayer"),
     "durable": ("repro.runtime.durability", "DurabilityLayer"),
     "resilient": ("repro.runtime.resilience", "ResilienceLayer"),
 }

@@ -38,7 +38,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.data.bag import Bag
 from repro.errors import ReproError
 from repro.lang.types import uncurry_fun_type
-from repro.mapreduce.skeleton import grand_total_term, histogram_term
+from repro.mapreduce.skeleton import (
+    grand_total_term,
+    histogram_term,
+    word_count_term,
+)
 from repro.mapreduce.workloads import make_corpus
 from repro.observability import get_observability, observing
 from repro.observability.quantiles import QuantileSketch
@@ -58,12 +62,26 @@ def _grand_total_inputs(registry: Registry, size: int) -> Tuple[Any, Tuple[Any, 
     return grand_total_term(registry), (xs, ys)
 
 
+def _wordcount_inputs(registry: Registry, size: int) -> Tuple[Any, Tuple[Any, ...]]:
+    """The Sec. 4.4 wordcount cell: same program shape as ``histogram``
+    but over a wide vocabulary (~size/4 distinct words), the regime
+    where the per-step ⊕ against the output map dominates -- the one
+    the shard sweep partitions."""
+    from repro.bench import wordcount_vocabulary
+
+    corpus = make_corpus(
+        size, vocabulary_size=wordcount_vocabulary(size), seed=11
+    )
+    return word_count_term(registry), (corpus.documents,)
+
+
 #: Workloads traffic cells know how to build: name -> (term, inputs).
 TRAFFIC_WORKLOADS: Dict[
     str, Callable[[Registry, int], Tuple[Any, Tuple[Any, ...]]]
 ] = {
     "histogram": _histogram_inputs,
     "grand_total": _grand_total_inputs,
+    "wordcount": _wordcount_inputs,
 }
 
 #: Engine variants a cell can measure (the label lands in the cell's

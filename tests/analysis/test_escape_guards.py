@@ -1,0 +1,204 @@
+"""Guard-aware escape precision, pinned.
+
+``escape_guards`` originally discharged an escaping lazy position only
+when its guard argument was a detectably-nil change *literal* (the
+``GroupChange g 0`` shape).  ``ifThenElse'`` needs more: its branch
+values are forced exactly when the condition *flips*, and for a
+statically-known condition ``Derive`` emits a ``Replace v`` condition
+change against the literal condition ``v`` -- nil only *relative to*
+that base.  The ``(guard, base)`` pair guard models this; these tests
+pin the precision gain, its soundness (measured forcings agree on both
+backends), and the flip-safety edge the relative check must not cross.
+"""
+
+import pytest
+
+from repro.analysis.crossval import measured_base_forcings
+from repro.analysis.framework import (
+    escaping_lazy_positions,
+    statically_nil_change_term,
+)
+from repro.analysis.self_maintainability import (
+    analyze_self_maintainability,
+    is_self_maintainable,
+)
+from repro.data.change_values import GroupChange, Replace
+from repro.data.group import INT_ADD_GROUP
+from repro.derive.derive import derive_program
+from repro.lang.infer import infer_type
+from repro.lang.parser import parse
+from repro.lang.terms import Lit, Var
+from repro.lang.types import Schema, TBool, TInt, fun_type
+from repro.optimize.pipeline import optimize
+from repro.plugins.base import ConstantSpec
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY
+
+STABLE_SOURCE = r"\x -> ifThenElse true x 0"
+PARAMETER_SOURCE = r"\b x -> ifThenElse b x 0"
+
+NIL = GroupChange(INT_ADD_GROUP, 0)
+NON_NIL = GroupChange(INT_ADD_GROUP, 5)
+
+
+def _derivative(source):
+    annotated, _ty = infer_type(parse(source, REGISTRY))
+    return annotated, optimize(derive_program(annotated, REGISTRY)).term
+
+
+class TestStaticVerdict:
+    def test_stable_condition_is_self_maintainable(self):
+        # The precision pin: a statically-``true`` condition provably
+        # cannot flip, so the branch values never escape and ``x`` is
+        # not demanded.  Before the (guard, base) extension this
+        # program was (wrongly, conservatively) escape-demanded.
+        _annotated, derived = _derivative(STABLE_SOURCE)
+        report = analyze_self_maintainability(derived)
+        assert report.self_maintainable
+        assert is_self_maintainable(derived)
+        assert report.demanded_bases == []
+
+    def test_parameter_condition_still_escapes(self):
+        # Negative control: when the condition is a *parameter* the
+        # flip is not statically excluded -- the branch value ``x``
+        # must stay escaped/demanded, or the guard became unsound.
+        _annotated, derived = _derivative(PARAMETER_SOURCE)
+        report = analyze_self_maintainability(derived)
+        assert not report.self_maintainable
+        assert "x" in report.demanded_bases
+        assert "x" in report.escaped_bases
+
+
+class TestMeasuredForcingsAgree:
+    def test_no_base_forcings_on_either_backend(self):
+        # Soundness of the discharge: the runtime derivative on the
+        # stable-condition path forces only the taken branch's change,
+        # never the branch values -- nil and non-nil alike.
+        annotated, derived = _derivative(STABLE_SOURCE)
+        input_value = 6
+        base_output = apply_value(evaluate(annotated), input_value)
+        for change in (NIL, NON_NIL):
+            for backend in ("interpreted", "compiled"):
+                forced, count = measured_base_forcings(
+                    derived,
+                    [(input_value, True), (change, False)],
+                    backend,
+                    completion=base_output,
+                )
+                assert forced == [], (backend, change)
+                assert count == 0
+
+
+class TestGuardDischarge:
+    SPEC = REGISTRY.lookup_constant("ifThenElse'")
+
+    def _arguments(self, condition, condition_change):
+        return [
+            condition,
+            condition_change,
+            Var("x"),
+            Var("dx"),
+            Lit(0, TInt),
+            Lit(NIL, TInt),
+        ]
+
+    def test_stable_condition_discharges_branch_values(self):
+        live = escaping_lazy_positions(
+            self.SPEC,
+            self._arguments(Lit(True, TBool), Lit(Replace(True), TBool)),
+        )
+        # Branch *changes* always escape (the taken one is returned);
+        # branch *values* are discharged by the non-flip proof.
+        assert live == frozenset({3, 5})
+
+    def test_flipping_condition_change_is_not_discharged(self):
+        # Replace False against a True condition IS a flip: both branch
+        # values must stay live.  The relative-nil check compares the
+        # change to the base, not just its shape.
+        live = escaping_lazy_positions(
+            self.SPEC,
+            self._arguments(Lit(True, TBool), Lit(Replace(False), TBool)),
+        )
+        assert live == frozenset({2, 3, 4, 5})
+
+    def test_variable_condition_is_not_discharged(self):
+        # A Replace literal against a non-literal base proves nothing.
+        live = escaping_lazy_positions(
+            self.SPEC,
+            self._arguments(Var("b"), Lit(Replace(True), TBool)),
+        )
+        assert live == frozenset({2, 3, 4, 5})
+
+    def test_int_guards_still_work(self):
+        # The original single-position guard form (bags' singleton',
+        # maps' insertWith-style guards) must keep discharging on
+        # absolutely-nil change literals.
+        spec = REGISTRY.lookup_constant("singleton'")
+        if spec is None or not spec.escape_guards:
+            pytest.skip("no int-guarded constant in the registry")
+        position, (guard, base) = next(iter(spec.escape_guards.items()))
+        assert base is None  # int guards normalize to (guard, None)
+
+    def test_statically_nil_change_term_relative_form(self):
+        assert statically_nil_change_term(Lit(NIL, TInt))
+        assert not statically_nil_change_term(Lit(Replace(True), TBool))
+        assert statically_nil_change_term(
+            Lit(Replace(True), TBool), base=Lit(True, TBool)
+        )
+        assert not statically_nil_change_term(
+            Lit(Replace(False), TBool), base=Lit(True, TBool)
+        )
+        assert not statically_nil_change_term(
+            Lit(Replace(True), TBool), base=Var("b")
+        )
+
+
+class TestSpecValidation:
+    SCHEMA = Schema.mono(fun_type(TInt, TInt, TInt))
+
+    def _spec(self, **kwargs):
+        return ConstantSpec(
+            name="probe",
+            schema=self.SCHEMA,
+            arity=2,
+            impl=lambda a, b: 0,
+            lazy_positions=(0,),
+            escaping_positions=(0,),
+            **kwargs,
+        )
+
+    def test_int_guard_normalizes_to_pair(self):
+        spec = self._spec(escape_guards={0: 1})
+        assert spec.escape_guards == {0: (1, None)}
+
+    def test_pair_guard_accepted(self):
+        schema = Schema.mono(fun_type(TInt, TInt, TInt, TInt))
+        spec = ConstantSpec(
+            name="probe3",
+            schema=schema,
+            arity=3,
+            impl=lambda a, b, c: 0,
+            lazy_positions=(2,),
+            escaping_positions=(2,),
+            escape_guards={2: (1, 0)},
+        )
+        assert spec.escape_guards == {2: (1, 0)}
+
+    def test_bad_guard_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec(escape_guards={0: (1, 2, 3)})
+        with pytest.raises(ValueError):
+            self._spec(escape_guards={0: "one"})
+
+    def test_out_of_range_guard_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec(escape_guards={0: 7})
+        with pytest.raises(ValueError):
+            self._spec(escape_guards={0: (1, 5)})
+        with pytest.raises(ValueError):
+            self._spec(escape_guards={0: 0})  # self-guard
+
+    def test_guard_on_non_escaping_position_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec(escape_guards={1: 0})

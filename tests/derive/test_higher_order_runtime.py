@@ -4,7 +4,7 @@ value) and must combine it correctly with data changes."""
 
 from hypothesis import given, settings
 
-from repro.data.change_values import GroupChange, oplus_value
+from repro.data.change_values import GroupChange, Replace, oplus_value
 from repro.data.group import INT_ADD_GROUP
 from repro.derive.derive import derive_program
 from repro.semantics.eval import apply_value, evaluate
@@ -23,7 +23,7 @@ def as_runtime_function_change(fn_change):
 
     def outer(point):
         def inner(point_change):
-            delta = fn_change(point)(oplus_int(point_change))
+            delta = fn_change(point)(int_delta(point_change, point))
             return GroupChange(INT_ADD_GROUP, delta)
 
         return HostFunction(inner, "df@point")
@@ -31,11 +31,18 @@ def as_runtime_function_change(fn_change):
     return HostFunction(outer, "df")
 
 
-def oplus_int(change):
-    """Extract the integer delta from an erased int change."""
+def int_delta(change, point):
+    """The integer delta an erased int change applies at ``point``.
+
+    Derivatives may hand a function change a ``Replace`` argument (e.g.
+    ``ifThenElse'`` when the condition flips); at a known point that is
+    equivalent to the delta reaching the replaced value.
+    """
     if isinstance(change, GroupChange):
         return change.delta
-    raise TypeError(f"expected a group int change, got {change!r}")
+    if isinstance(change, Replace):
+        return change.value - point
+    raise TypeError(f"expected an erased int change, got {change!r}")
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,139 @@
+"""The §4.4 homomorphism, quantified (Hypothesis).
+
+Sec. 4.4 proves bag changes form an abelian group and ``foldBag f`` is
+a group homomorphism, so base folds and derivative application both
+distribute over any partition of the input.  These properties quantify
+that claim: for ANY bag, ANY partition count, ANY seed, and ANY change
+stream, the parallel plan (split, per-shard compute, ⊕-merge in ANY
+order) agrees exactly with the single-process engine -- for the base
+fold, for first derivatives, and for second derivatives.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange, Replace, oplus_value
+from repro.data.group import BAG_GROUP
+from repro.derive.derive import derive_program
+from repro.incremental.engine import IncrementalProgram
+from repro.lang.parser import parse
+from repro.parallel import Partitioner, ShardedIncrementalProgram
+from repro.semantics.eval import apply_value, evaluate
+
+from tests.strategies import REGISTRY, bags_of_ints
+
+_TERM = parse(r"\xs -> foldBag gplus id xs", REGISTRY)
+_FIRST = derive_program(_TERM, REGISTRY)
+_SECOND = derive_program(_FIRST, REGISTRY)
+_TERM_VALUE = evaluate(_TERM)
+_FIRST_VALUE = evaluate(_FIRST)
+_SECOND_VALUE = evaluate(_SECOND)
+
+shard_counts = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=5)
+
+
+def _dbag(delta: Bag) -> GroupChange:
+    return GroupChange(BAG_GROUP, delta)
+
+
+@given(bag=bags_of_ints, shards=shard_counts, seed=seeds, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_base_fold_distributes_over_any_partition(bag, shards, seed, data):
+    partitioner = Partitioner(shards, seed=seed)
+    slices = partitioner.split_value(bag, BAG_GROUP)
+    order = data.draw(st.permutations(range(shards)))
+    # The partition itself ⊕-sums back to the whole, in any merge order.
+    assert BAG_GROUP.fold(slices[index] for index in order) == bag
+    # ... and so do the per-shard base folds (the homomorphism).
+    partials = [apply_value(_TERM_VALUE, piece) for piece in slices]
+    assert sum(partials[index] for index in order) == apply_value(
+        _TERM_VALUE, bag
+    )
+
+
+@given(
+    bag=bags_of_ints,
+    deltas=st.lists(bags_of_ints, max_size=4),
+    shards=shard_counts,
+    seed=seeds,
+)
+@settings(max_examples=25, deadline=None)
+def test_parallel_first_derivative_agrees_with_single_engine(
+    bag, deltas, shards, seed
+):
+    single = IncrementalProgram(_TERM, REGISTRY)
+    sharded = ShardedIncrementalProgram(_TERM, REGISTRY, shards, seed=seed)
+    try:
+        assert sharded.initialize(bag) == single.initialize(bag)
+        for delta in deltas:
+            single.step(_dbag(delta))
+            sharded.step(_dbag(delta))
+            assert sharded.output == single.output
+        assert sharded.verify()
+        assert sharded.recompute() == single.recompute()
+    finally:
+        sharded.close()
+
+
+@given(
+    bag=bags_of_ints,
+    input_delta=bags_of_ints,
+    dxs=bags_of_ints,
+    dxs_target=bags_of_ints,
+    shards=shard_counts,
+    seed=seeds,
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_second_derivative_distributes_over_any_partition(
+    bag, input_delta, dxs, dxs_target, shards, seed, data
+):
+    # The second derivative incrementalizes the first: at input change
+    # ``input_delta`` (xs moves) and dxs-change ``dxs -> dxs_target``,
+    # completing each shard's first derivative with its second
+    # derivative and ⊕-merging must equal the whole-input answer, which
+    # must equal direct recomputation at the fully-updated inputs.
+    partitioner = Partitioner(shards, seed=seed)
+    slices = {
+        name: partitioner.split_value(value, BAG_GROUP)
+        for name, value in (
+            ("bag", bag),
+            ("d1", input_delta),
+            ("d2", dxs),
+            ("d3", dxs_target),
+        )
+    }
+
+    def final(piece, d1, d2, d3):
+        first = apply_value(_FIRST_VALUE, piece, _dbag(d2))
+        second = apply_value(
+            _SECOND_VALUE,
+            piece,
+            _dbag(d1),
+            _dbag(d2),
+            Replace(_dbag(d3)),
+        )
+        updated_base = apply_value(
+            _TERM_VALUE, oplus_value(piece, _dbag(d1))
+        )
+        return oplus_value(updated_base, oplus_value(first, second))
+
+    order = data.draw(st.permutations(range(shards)))
+    merged = sum(
+        final(
+            slices["bag"][index],
+            slices["d1"][index],
+            slices["d2"][index],
+            slices["d3"][index],
+        )
+        for index in order
+    )
+    whole = final(bag, input_delta, dxs, dxs_target)
+    assert merged == whole
+    direct = apply_value(
+        _TERM_VALUE,
+        BAG_GROUP.merge(BAG_GROUP.merge(bag, input_delta), dxs_target),
+    )
+    assert whole == direct

@@ -1,0 +1,302 @@
+"""The sharded engine front agrees with the single-process engine.
+
+Every test here is an instance of the §4.4 distribution law
+``foldBag f (b₁ ⊎ b₂) = foldBag f b₁ ⊕ foldBag f b₂``: the sharded
+front partitions the inputs, runs per-shard base folds and per-shard
+derivative steps, and ⊕-merges partials -- and the merged view must be
+*exactly* the single engine's view, step for step, for both executors
+and through the middleware stack.
+"""
+
+import pytest
+
+from repro.data.bag import Bag
+from repro.data.change_values import GroupChange
+from repro.data.group import BAG_GROUP
+from repro.incremental.driver import WorkloadError, run_trace
+from repro.incremental.engine import IncrementalProgram
+from repro.mapreduce.skeleton import grand_total_term, histogram_term
+from repro.mapreduce.workloads import ChangeScript, make_corpus
+from repro.observability import get_observability, observing
+from repro.parallel import ParallelError, ShardedIncrementalProgram
+from repro.runtime.middleware import StackError
+from repro.runtime.stack import assemble_stack
+
+SIZE = 30
+SEED = 13
+STEPS = 12
+
+
+def _corpus_and_changes(length=STEPS):
+    corpus = make_corpus(SIZE, vocabulary_size=40, seed=SEED)
+    return corpus, list(ChangeScript(corpus, length=length, seed=SEED))
+
+
+def _bag_delta(*counts):
+    return GroupChange(BAG_GROUP, Bag(dict(counts)))
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_histogram_stepwise(self, registry, shards):
+        corpus, changes = _corpus_and_changes()
+        single = IncrementalProgram(histogram_term(registry), registry)
+        sharded = ShardedIncrementalProgram(
+            histogram_term(registry), registry, shards, seed=SEED
+        )
+        assert sharded.initialize(corpus.documents) == single.initialize(
+            corpus.documents
+        )
+        for change in changes:
+            single.step(change)
+            assert sharded.step(change) is None  # merge is read-side
+            assert sharded.output == single.output
+        assert sharded.steps == len(changes)
+        assert sharded.verify()
+        sharded.close()
+
+    def test_grand_total_two_inputs(self, registry):
+        xs = Bag.from_iterable(range(SIZE))
+        ys = Bag.from_iterable(range(SIZE, 2 * SIZE))
+        single = IncrementalProgram(grand_total_term(registry), registry)
+        sharded = ShardedIncrementalProgram(
+            grand_total_term(registry), registry, 3, seed=1
+        )
+        assert sharded.initialize(xs, ys) == single.initialize(xs, ys)
+        for step in range(8):
+            dx = _bag_delta((step, 1))
+            dy = _bag_delta((step + SIZE, -1), (step + 7, 2))
+            single.step(dx, dy)
+            sharded.step(dx, dy)
+            assert sharded.output == single.output
+        assert sharded.recompute() == single.recompute()
+        sharded.close()
+
+    def test_partials_are_disjoint_and_merge_to_output(self, registry):
+        corpus, changes = _corpus_and_changes()
+        sharded = ShardedIncrementalProgram(
+            histogram_term(registry), registry, 4, seed=0
+        )
+        sharded.initialize(corpus.documents)
+        for change in changes:
+            sharded.step(change)
+        partials = sharded.shard_outputs()
+        seen = set()
+        for partial in partials:
+            keys = set(partial.keys())
+            assert not (keys & seen)  # element-wise routing => disjoint
+            seen |= keys
+        merged = sharded.output
+        assert set(merged.keys()) == seen
+        assert sharded._output_group.fold(partials) == merged
+        sharded.close()
+
+    def test_current_inputs_merge_back(self, registry):
+        corpus, changes = _corpus_and_changes(length=5)
+        sharded = ShardedIncrementalProgram(
+            histogram_term(registry), registry, 3, seed=SEED
+        )
+        from repro.mapreduce.workloads import MAP_OF_BAGS_GROUP
+
+        sharded.initialize(corpus.documents)
+        expected = corpus.documents
+        for change in changes:
+            sharded.step(change)
+            expected = MAP_OF_BAGS_GROUP.merge(expected, change.delta)
+        (merged,) = sharded.current_inputs()
+        assert merged == expected
+        sharded.close()
+
+    def test_step_batch_agreement(self, registry):
+        corpus, changes = _corpus_and_changes(length=16)
+        single = IncrementalProgram(histogram_term(registry), registry)
+        sharded = ShardedIncrementalProgram(
+            histogram_term(registry), registry, 2, seed=SEED
+        )
+        single.initialize(corpus.documents)
+        sharded.initialize(corpus.documents)
+        rows = [(change,) for change in changes]
+        single.step_batch(rows, coalesce=True)
+        sharded.step_batch(rows, coalesce=True)
+        assert sharded.output == single.output
+        assert sharded.routed_changes >= len(rows)
+        sharded.close()
+
+    def test_rebase_and_resync(self, registry):
+        corpus, changes = _corpus_and_changes(length=4)
+        sharded = ShardedIncrementalProgram(
+            histogram_term(registry), registry, 2, seed=SEED
+        )
+        sharded.initialize(corpus.documents)
+        for change in changes:
+            sharded.rebase(change)
+        assert sharded.verify()
+        assert sharded.resync() == sharded.recompute()
+        sharded.close()
+
+    def test_process_executor_agreement(self, registry):
+        # The multiprocessing executor speaks the persistence codec over
+        # pipes; same partition, same merge, same answers.
+        corpus, changes = _corpus_and_changes(length=4)
+        single = IncrementalProgram(histogram_term(registry), registry)
+        sharded = ShardedIncrementalProgram(
+            histogram_term(registry),
+            registry,
+            2,
+            seed=SEED,
+            executor="process",
+        )
+        try:
+            assert sharded.initialize(corpus.documents) == single.initialize(
+                corpus.documents
+            )
+            for change in changes:
+                single.step(change)
+                sharded.step(change)
+                assert sharded.output == single.output
+            assert sharded.verify()
+        finally:
+            sharded.close()
+
+
+class TestPhaseMetrics:
+    def test_parallel_phases_recorded(self, registry):
+        corpus, changes = _corpus_and_changes(length=6)
+        with observing(reset=True):
+            sharded = ShardedIncrementalProgram(
+                histogram_term(registry), registry, 2, seed=SEED
+            )
+            sharded.initialize(corpus.documents)
+            for change in changes:
+                sharded.step(change)
+            _ = sharded.output
+            metrics = get_observability().metrics
+            assert metrics.gauge("parallel.shards").value == 2
+            assert metrics.counter("parallel.steps").value == len(changes)
+            assert metrics.counter("parallel.routed_changes").value >= len(
+                changes
+            )
+            for phase in ("partition", "compute", "dispatch", "merge"):
+                hist = metrics.histogram(
+                    f"parallel.phase.{phase}_wall_time_s"
+                )
+                assert hist.count > 0, phase
+            sharded.close()
+
+
+class TestStackIntegration:
+    def test_parallel_layer_between_metrics_and_durable(
+        self, registry, tmp_path
+    ):
+        corpus, changes = _corpus_and_changes(length=5)
+        single = IncrementalProgram(histogram_term(registry), registry)
+        single.initialize(corpus.documents)
+        stack = assemble_stack(
+            histogram_term(registry),
+            registry,
+            [
+                "metrics",
+                ("parallel", {"shards": 2, "seed": SEED}),
+                ("durable", {"directory": str(tmp_path / "state")}),
+            ],
+        )
+        stack.initialize(corpus.documents)
+        for change in changes:
+            single.step(change)
+            stack.step(change)
+            assert stack.output == single.output
+        state = next(
+            layer.layer_state()
+            for layer in _iter_layers(stack)
+            if getattr(layer, "layer_name", None) == "parallel"
+        )
+        assert state["shards"] == 2
+        assert sum(state["cut"]) == len(changes)
+        assert (tmp_path / "state" / "shards.json").exists()
+        assert (tmp_path / "state" / "journal-0").is_dir()
+        assert (tmp_path / "state" / "journal-1").is_dir()
+        stack.close()
+
+    def test_resilient_beneath_parallel_rejected(self, registry):
+        with pytest.raises(StackError):
+            assemble_stack(
+                grand_total_term(registry),
+                registry,
+                ["parallel", "resilient"],
+            )
+
+    def test_spec_order_inversion_rejected(self, registry):
+        with pytest.raises(StackError):
+            assemble_stack(
+                grand_total_term(registry),
+                registry,
+                ["durable", "parallel"],
+                durable={"directory": "/nonexistent"},
+            )
+
+
+class TestDriverIntegration:
+    def test_run_trace_with_shards_verifies(self, registry):
+        result = run_trace(
+            histogram_term(registry),
+            registry,
+            steps=5,
+            size=SIZE,
+            seed=SEED,
+            shards=3,
+            verify=True,
+        )
+        assert result.program.shards == 3
+        assert result.program.routed_changes >= 1
+        baseline = run_trace(
+            histogram_term(registry),
+            registry,
+            steps=5,
+            size=SIZE,
+            seed=SEED,
+        )
+        assert result.program.output == baseline.program.output
+
+    def test_run_trace_rejects_incompatible_flags(self, registry):
+        term = grand_total_term(registry)
+        with pytest.raises(WorkloadError):
+            run_trace(term, registry, steps=1, shards=0)
+        with pytest.raises(WorkloadError):
+            run_trace(term, registry, steps=1, shards=2, resilient=True)
+        with pytest.raises(WorkloadError):
+            run_trace(term, registry, steps=1, shards=2, faults=("drop@1",))
+        with pytest.raises(WorkloadError):
+            run_trace(term, registry, steps=1, shards=2, optimize=False)
+
+
+class TestErrors:
+    def test_unknown_executor_and_engine(self, registry):
+        term = grand_total_term(registry)
+        with pytest.raises(ParallelError):
+            ShardedIncrementalProgram(term, registry, 2, executor="threads")
+        with pytest.raises(ParallelError):
+            ShardedIncrementalProgram(term, registry, 2, engine="batch")
+
+    def test_step_before_initialize(self, registry):
+        sharded = ShardedIncrementalProgram(
+            grand_total_term(registry), registry, 2
+        )
+        with pytest.raises(RuntimeError):
+            sharded.step(_bag_delta((1, 1)), _bag_delta((2, 1)))
+        sharded.close()
+
+    def test_process_executor_refuses_durability(self, registry, tmp_path):
+        with pytest.raises(ParallelError):
+            ShardedIncrementalProgram(
+                grand_total_term(registry),
+                registry,
+                2,
+                executor="process",
+                durable_directory=str(tmp_path),
+            )
+
+
+def _iter_layers(program):
+    from repro.runtime.middleware import iter_layers
+
+    return iter_layers(program)
